@@ -1,0 +1,281 @@
+//! `alive-repl` — an interactive live programming console.
+//!
+//! Drives a [`alive_live::RecordingSession`] from stdin, so it works
+//! interactively and scripted (`alive-repl < script`). The split-screen
+//! experience of the paper's Figure 2 is approximated by `:view`
+//! (live view) and `:src` (code view), with `:where` / `:find`
+//! implementing the bidirectional navigation.
+//!
+//! ```text
+//! $ cargo run -p alive-apps --bin alive-repl
+//! alive> :help
+//! ```
+
+use alive_live::{box_source_at, boxes_for_cursor, span_for_box, RecordingSession};
+use alive_ui::{layout, render_to_ansi};
+use std::io::{self, BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  :view                 render the live view (ANSI colors)
+  :src                  show the current source with line numbers
+  :tap <i> [<j> ...]    tap the box at a path, e.g. `:tap 1 0`
+  :back                 press the back button
+  :editbox <path...> -- <text>   edit a box's text (fires onedit)
+  :edit                 replace the source; end input with a single `.`
+  :fig2 [<path...>]     the Figure 2 split view (optionally select a box)
+  :where <path...>      box -> code: show the boxed statement for a box
+  :find <line>:<col>    code -> boxes: which boxes does this cursor make?
+  :stack                show the page stack and model store
+  :trace                dump the session trace (replayable)
+  :save <file>          snapshot the model (persistent data) to a file
+  :restore <file>       restore a model snapshot against the current code
+  :demo <name>          load a demo: counter | calculator | mortgage | shopping | life
+  :help                 this text
+  :quit                 exit";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let initial = match args.get(1).map(String::as_str) {
+        Some("mortgage") => alive_apps::mortgage::mortgage_src(6),
+        Some("shopping") => alive_apps::SHOPPING_SRC.to_string(),
+        Some(path) if std::path::Path::new(path).exists() => {
+            std::fs::read_to_string(path).expect("readable file")
+        }
+        _ => alive_apps::COUNTER_SRC.to_string(),
+    };
+    let mut session = match RecordingSession::new(&initial) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("its-alive REPL — :help for commands");
+    show_view(&mut session);
+
+    let stdin = io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("alive> ");
+        io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim();
+        match dispatch(&mut session, line, &mut lines) {
+            Flow::Continue => {}
+            Flow::Quit => break,
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Quit,
+}
+
+fn dispatch(
+    session: &mut RecordingSession,
+    line: &str,
+    lines: &mut dyn Iterator<Item = io::Result<String>>,
+) -> Flow {
+    let (cmd, rest) = match line.split_once(' ') {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd {
+        "" => {}
+        ":quit" | ":q" => return Flow::Quit,
+        ":help" | ":h" => println!("{HELP}"),
+        ":view" | ":v" => show_view(session),
+        ":src" => {
+            for (i, l) in session.session().source().lines().enumerate() {
+                println!("{:>4} | {l}", i + 1);
+            }
+        }
+        ":tap" => match parse_path(rest) {
+            Some(path) => match session.tap_path(&path) {
+                Ok(()) => show_view(session),
+                Err(e) => println!("tap failed: {e}"),
+            },
+            None => println!("usage: :tap <i> [<j> ...]"),
+        },
+        ":back" => match session.back() {
+            Ok(()) => show_view(session),
+            Err(e) => println!("back failed: {e}"),
+        },
+        ":editbox" => {
+            let Some((path_part, text)) = rest.split_once(" -- ") else {
+                println!("usage: :editbox <path...> -- <text>");
+                return Flow::Continue;
+            };
+            match parse_path(path_part) {
+                Some(path) => match session.edit_box(&path, text) {
+                    Ok(()) => show_view(session),
+                    Err(e) => println!("edit failed: {e}"),
+                },
+                None => println!("bad path"),
+            }
+        }
+        ":edit" => {
+            println!("enter the new source; end with a single `.` line:");
+            let mut src = String::new();
+            for l in &mut *lines {
+                let Ok(l) = l else { break };
+                if l.trim() == "." {
+                    break;
+                }
+                src.push_str(&l);
+                src.push('\n');
+            }
+            match session.edit_source(&src) {
+                Ok(outcome) if outcome.is_applied() => {
+                    println!("applied.");
+                    show_view(session);
+                }
+                Ok(_) => println!("rejected — old program keeps running."),
+                Err(e) => println!("edit failed: {e}"),
+            }
+        }
+        ":fig2" => {
+            let selection = match parse_path(rest) {
+                Some(path) => alive_live::Selection::Box(path),
+                None => alive_live::Selection::None,
+            };
+            let options = alive_live::SplitViewOptions {
+                width: 110,
+                live_pane: 36,
+                ansi: false,
+                zoom: 1,
+            };
+            match alive_live::split_view(session.session_view_mut(), &selection, options) {
+                Ok(view) => print!("{view}"),
+                Err(e) => println!("split view failed: {e}"),
+            }
+        }
+        ":where" => match parse_path(rest) {
+            Some(path) => {
+                let system = session.session().system();
+                match system.display().content() {
+                    Some(root) => {
+                        match span_for_box(system.program(), root, &path) {
+                            Some(span) => {
+                                let src = session.session().source();
+                                println!("--- boxed statement for {path:?} ---");
+                                println!("{}", span.slice(src));
+                            }
+                            None => println!("no boxed statement for {path:?}"),
+                        }
+                    }
+                    None => println!("display is stale; :view first"),
+                }
+            }
+            None => println!("usage: :where <path...>"),
+        },
+        ":find" => {
+            let Some((l, c)) = rest.split_once(':') else {
+                println!("usage: :find <line>:<col>");
+                return Flow::Continue;
+            };
+            let (Ok(l), Ok(c)) = (l.trim().parse::<u32>(), c.trim().parse::<u32>()) else {
+                println!("usage: :find <line>:<col>");
+                return Flow::Continue;
+            };
+            let src = session.session().source().to_string();
+            let map = alive_syntax::SourceMap::new(&src);
+            let Some(line_span) = map.line_span(l) else {
+                println!("no line {l}");
+                return Flow::Continue;
+            };
+            let cursor = line_span.start + c.saturating_sub(1);
+            let system = session.session().system();
+            match system.display().content() {
+                Some(root) => {
+                    let id = box_source_at(system.program(), cursor);
+                    let boxes = boxes_for_cursor(system.program(), root, cursor);
+                    println!("statement {id:?} renders boxes at {boxes:?}");
+                }
+                None => println!("display is stale; :view first"),
+            }
+        }
+        ":stack" => {
+            let system = session.session().system();
+            println!("page stack (bottom first):");
+            for (name, arg) in system.page_stack() {
+                println!("  {name}({arg})");
+            }
+            println!("store: {}", system.store());
+            println!(
+                "cost: {} steps, {:.0} simulated web ms, version {}",
+                system.cost().steps,
+                system.cost().prim.simulated_ms,
+                system.version()
+            );
+        }
+        ":trace" => print!("{}", session.trace().serialize()),
+        ":save" => {
+            let snapshot = session.session().system().snapshot();
+            match std::fs::write(rest, &snapshot) {
+                Ok(()) => println!("model saved to {rest}"),
+                Err(e) => println!("save failed: {e}"),
+            }
+        }
+        ":restore" => match std::fs::read_to_string(rest) {
+            Ok(snapshot) => {
+                match session.restore_snapshot(&snapshot) {
+                    Ok(report) => {
+                        if !report.skipped.is_empty() {
+                            for (name, why) in &report.skipped {
+                                println!("skipped `{name}`: {why}");
+                            }
+                        }
+                        show_view(session);
+                    }
+                    Err(e) => println!("restore failed: {e}"),
+                }
+            }
+            Err(e) => println!("cannot read {rest}: {e}"),
+        },
+        ":demo" => {
+            let src = match rest {
+                "counter" => alive_apps::COUNTER_SRC.to_string(),
+                "calculator" => alive_apps::CALCULATOR_SRC.to_string(),
+                "mortgage" => alive_apps::mortgage::mortgage_src(6),
+                "shopping" => alive_apps::SHOPPING_SRC.to_string(),
+                "life" => alive_apps::life::life_src(10),
+                other => {
+                    println!(
+                        "unknown demo `{other}` (counter | calculator | mortgage | shopping | life)"
+                    );
+                    return Flow::Continue;
+                }
+            };
+            match RecordingSession::new(&src) {
+                Ok(new_session) => {
+                    *session = new_session;
+                    show_view(session);
+                }
+                Err(e) => println!("demo failed: {e}"),
+            }
+        }
+        other => println!("unknown command `{other}` — :help"),
+    }
+    Flow::Continue
+}
+
+fn parse_path(args: &str) -> Option<Vec<usize>> {
+    if args.trim().is_empty() {
+        return None;
+    }
+    args.split_whitespace().map(|p| p.parse().ok()).collect()
+}
+
+fn show_view(session: &mut RecordingSession) {
+    match session.live_view() {
+        Ok(_) => {
+            let system = session.session().system();
+            let root = system.display().content().expect("stable").clone();
+            print!("{}", render_to_ansi(&layout(&root)));
+        }
+        Err(e) => println!("render failed: {e}"),
+    }
+}

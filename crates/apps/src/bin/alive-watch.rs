@@ -1,0 +1,102 @@
+//! `alive-watch` — live programming against your own editor.
+//!
+//! Watches a program file; every time it changes on disk, the running
+//! session applies it as a live UPDATE (or reports why it was rejected)
+//! and reprints the view. The model survives across saves, so this is
+//! the paper's workflow with any text editor standing in for the
+//! built-in code view.
+//!
+//! ```text
+//! $ cargo run -p alive-apps --bin alive-watch -- path/to/app.alive
+//! $ cargo run -p alive-apps --bin alive-watch -- app.alive --once
+//! ```
+//!
+//! `--once` renders once and exits (used by tests and CI).
+
+use alive_live::{EditOutcome, LiveSession};
+use alive_ui::{layout, render_to_ansi};
+use std::path::Path;
+use std::time::{Duration, SystemTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, once) = match args.as_slice() {
+        [path] => (path.clone(), false),
+        [path, flag] if flag == "--once" => (path.clone(), true),
+        _ => {
+            eprintln!("usage: alive-watch <program-file> [--once]");
+            std::process::exit(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut session = match LiveSession::new(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path} does not start:\n{e}");
+            std::process::exit(1);
+        }
+    };
+    show(&mut session, &path);
+    if once {
+        return;
+    }
+
+    println!("\nwatching {path} — save the file to live-update (ctrl-c to stop)");
+    let mut last_seen = mtime(&path);
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let now = mtime(&path);
+        if now == last_seen {
+            continue;
+        }
+        last_seen = now;
+        let Ok(new_source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if new_source == session.source() {
+            continue;
+        }
+        match session.edit_source(&new_source) {
+            Ok(EditOutcome::Applied(report)) => {
+                println!("\n— applied (version {}) —", session.system().version());
+                if report.dropped_anything() {
+                    for (name, why) in &report.dropped_globals {
+                        println!("  dropped global `{name}`: {why}");
+                    }
+                    for (name, why) in &report.dropped_pages {
+                        println!("  dropped page `{name}`: {why}");
+                    }
+                }
+                show(&mut session, &path);
+            }
+            Ok(EditOutcome::Rejected(diags)) => {
+                println!("\n— rejected; the old program keeps running —");
+                print!("{}", diags.render(&new_source));
+            }
+            Err(e) => {
+                println!("\n— the new code failed at run time: {e} —");
+            }
+        }
+    }
+}
+
+fn mtime(path: &str) -> Option<SystemTime> {
+    Path::new(path).metadata().and_then(|m| m.modified()).ok()
+}
+
+fn show(session: &mut LiveSession, path: &str) {
+    match session.display_tree() {
+        Ok(root) => {
+            println!("── {path} (live) ──");
+            print!("{}", render_to_ansi(&layout(&root)));
+        }
+        Err(e) => println!("render failed: {e}"),
+    }
+}

@@ -1,0 +1,49 @@
+//! A minimal counter app — the "hello world" of live UI programming.
+
+/// Counter app source: one page, one global, one tap handler.
+pub const COUNTER_SRC: &str = r#"// A counter: tap the button to increment.
+global count : number = 0
+
+page start() {
+    init { }
+    render {
+        boxed {
+            post "count: " ++ count;
+            box.border := 1;
+            box.padding := 1;
+        }
+        boxed {
+            post "[ +1 ]";
+            box.border := 1;
+            on tap { count := count + 1; }
+        }
+        boxed {
+            post "[ reset ]";
+            box.border := 1;
+            on tap { count := 0; }
+        }
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::compile;
+    use alive_core::system::System;
+    use alive_core::Value;
+
+    #[test]
+    fn counter_counts() {
+        let mut sys = System::new(compile(COUNTER_SRC).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        sys.tap(&[1]).expect("tap +1");
+        sys.run_to_stable().expect("handles");
+        sys.tap(&[1]).expect("tap +1");
+        sys.run_to_stable().expect("handles");
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(2.0)));
+        sys.tap(&[2]).expect("tap reset");
+        sys.run_to_stable().expect("handles");
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(0.0)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Synthetic scaling workloads for the benchmarks.
+//!
+//! [`gallery_src`] generates a page rendering `n` tiles from a list
+//! global, with one "selected" tile that reacts to taps — the workload
+//! for E4 (§5: "recreating the entire box tree on a redraw can become
+//! slow if there are many boxes on the screen"). [`wide_program_src`]
+//! generates programs of increasing code size for the E5 type-checking
+//! throughput experiment.
+
+/// A page that renders `n` tiles; tapping any tile moves the selection.
+/// Every tile's render code reads the `selected` global, so this is the
+/// *dependency-dense* workload: after a tap, every tile's inputs have
+/// changed and the §5 reuse optimization cannot skip any of them.
+pub fn gallery_src(n: usize) -> String {
+    format!(
+        r#"// Synthetic gallery with {n} tiles (dense dependencies).
+global tiles : list number = []
+global selected : number = 0
+
+fun tile_label(i : number) : string pure {{
+    "tile #" ++ i
+}}
+
+page start() {{
+    init {{ tiles := list.range(0, {n}); }}
+    render {{
+        boxed {{
+            post "gallery of " ++ list.length(tiles)
+                ++ " (selected: " ++ selected ++ ")";
+        }}
+        foreach i in tiles {{
+            boxed {{
+                post tile_label(i);
+                if i == selected {{
+                    box.background := colors.light_blue;
+                }}
+                on tap {{ selected := i; }}
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// A feed of `n` items where a tap edits exactly one item's value —
+/// the *dependency-sparse* workload: each row's render code reads only
+/// its own (local) item, so after a tap the §5 optimization reuses all
+/// rows but the changed one. This is the realistic shape of the
+/// paper's listings page.
+pub fn feed_src(n: usize) -> String {
+    format!(
+        r#"// Synthetic feed with {n} rows (sparse dependencies).
+global items : list number = []
+global taps : number = 0
+
+page start() {{
+    init {{ items := list.range(0, {n}); }}
+    render {{
+        boxed {{
+            post "feed (" ++ taps ++ " taps)";
+        }}
+        foreach item in items {{
+            boxed {{
+                post "row value " ++ item;
+                on tap {{
+                    taps := taps + 1;
+                    items := list.set(items, 0, list.nth(items, 0) + 1);
+                }}
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// A program with `n` small pure functions and globals plus a start
+/// page that calls them — code-size scaling for type-check throughput.
+pub fn wide_program_src(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("global g{i} : number = {i}\n"));
+        src.push_str(&format!(
+            "fun f{i}(x : number) : number pure {{\n    \
+             let a = x * 2 + g{i};\n    \
+             let b = math.max(a, {i});\n    \
+             if b > 10 {{ b - 1 }} else {{ b + 1 }}\n}}\n"
+        ));
+    }
+    src.push_str("page start() {\n    init { }\n    render {\n");
+    for i in 0..n.min(50) {
+        src.push_str(&format!("        boxed {{ post f{i}({i}); }}\n"));
+    }
+    src.push_str("    }\n}\n");
+    src
+}
+
+/// A deep-nesting workload: `depth` nested boxes (layout stress).
+pub fn nested_src(depth: usize) -> String {
+    let mut render = String::new();
+    for _ in 0..depth {
+        render.push_str("boxed { box.padding := 1; ");
+    }
+    render.push_str("post \"core\";");
+    for _ in 0..depth {
+        render.push('}');
+    }
+    format!("page start() {{\n    render {{ {render} }}\n}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::compile;
+    use alive_core::system::System;
+
+    #[test]
+    fn gallery_scales_and_selects() {
+        let mut sys = System::new(compile(&gallery_src(25)).expect("compiles"));
+        let root = sys.rendered().expect("renders").clone();
+        assert_eq!(root.children().count(), 26); // header + 25 tiles
+        sys.tap(&[7]).expect("tap tile 6");
+        sys.run_to_stable().expect("handles");
+        assert_eq!(
+            sys.store().get("selected"),
+            Some(&alive_core::Value::Number(6.0))
+        );
+    }
+
+    #[test]
+    fn wide_program_compiles_at_sizes() {
+        for n in [1, 10, 50] {
+            compile(&wide_program_src(n)).expect("compiles");
+        }
+    }
+
+    #[test]
+    fn nested_boxes_compile_and_render() {
+        let mut sys = System::new(compile(&nested_src(10)).expect("compiles"));
+        let root = sys.rendered().expect("renders");
+        assert_eq!(root.depth(), 11);
+    }
+}

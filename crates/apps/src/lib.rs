@@ -1,0 +1,36 @@
+//! # alive-apps
+//!
+//! Demo applications for *its-alive*, written in the surface language:
+//!
+//! * [`mortgage`] — the PLDI 2013 paper's running example (Figures 1,
+//!   3, 4, 5), with the §2/§3.1 improvements I1–I3 as replayable edits;
+//! * [`counter`] — a minimal tap counter;
+//! * [`calculator`] — a keypad calculator (grid layout, state machine);
+//! * [`shopping`] — a two-page shopping list;
+//! * [`life`] — Conway's Game of Life (pure-computation stress demo);
+//! * [`gallery`] — synthetic scaling workloads for the benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use alive_apps::mortgage;
+//! use alive_live::LiveSession;
+//!
+//! let mut session = LiveSession::new(&mortgage::mortgage_src(3))
+//!     .expect("the mortgage calculator compiles");
+//! let view = session.live_view().expect("renders");
+//! assert!(view.contains("Listings"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calculator;
+pub mod counter;
+pub mod gallery;
+pub mod life;
+pub mod mortgage;
+pub mod shopping;
+
+pub use calculator::CALCULATOR_SRC;
+pub use counter::COUNTER_SRC;
+pub use shopping::SHOPPING_SRC;

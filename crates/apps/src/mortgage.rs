@@ -1,0 +1,229 @@
+//! The paper's running example: the mortgage calculator of Figures 1,
+//! 3, 4, and 5.
+//!
+//! A start page downloads local real-estate listings (simulated web
+//! request) and displays them; tapping an entry pushes a detail page
+//! showing the monthly mortgage payment and a yearly amortization
+//! schedule. The term and annual percentage rate are editable.
+//!
+//! The module also packages the three improvements of §2/§3.1 as
+//! source-to-source edits, so examples, tests, and benches can replay
+//! the paper's live programming session:
+//!
+//! * **I1** — adjust margins for visual appearance (direct manipulation);
+//! * **I2** — print the balance in properly formatted dollars and cents;
+//! * **I3** — highlight every fifth amortization row in light blue.
+
+/// Number of listings the default program downloads.
+pub const DEFAULT_LISTING_COUNT: usize = 12;
+
+/// Build the mortgage calculator source with a given listing count.
+pub fn mortgage_src(listing_count: usize) -> String {
+    format!(
+        r#"// Mortgage calculator — the running example of
+// "It's Alive! Continuous Feedback in UI Programming" (PLDI 2013).
+
+global listings : list (string, number) = []
+global term : number = 30
+global apr : number = 5
+
+fun monthly_rate() : number pure {{
+    apr / 1200
+}}
+
+fun monthly_payment(principal : number) : number pure {{
+    let r = monthly_rate();
+    let n = term * 12;
+    if r == 0 {{ principal / n }} else {{
+        principal * r / (1 - math.pow(1 + r, -n))
+    }}
+}}
+
+fun display_listentry(entry : (string, number)) : () render {{
+    boxed {{
+        post entry.1;
+    }}
+    boxed {{
+        post "$" ++ fmt.fixed(entry.2, 0);
+    }}
+}}
+
+fun display_amortization(principal : number) : () render {{
+    let payment = monthly_payment(principal);
+    let r = monthly_rate();
+    let balance = principal;
+    let i = 0;
+    while i < term {{
+        let m = 0;
+        while m < 12 {{
+            balance := balance * (1 + r) - payment;
+            m := m + 1;
+        }}
+        if balance < 0 {{ balance := 0; }}
+        boxed {{
+            box.horizontal := true;
+            boxed {{ post "year " ++ (i + 1); box.margin := 1; }}
+            boxed {{ post "balance: $" ++ balance; box.margin := 1; }}
+        }}
+        i := i + 1;
+    }}
+}}
+
+page start() {{
+    init {{
+        listings := web.listings({listing_count});
+    }}
+    render {{
+        boxed {{
+            box.horizontal := true;
+            boxed {{ post "Local"; box.margin := 1; }}
+            boxed {{
+                post "Listings";
+                box.margin := 1;
+                box.background := colors.light_blue;
+            }}
+        }}
+        boxed {{
+            foreach entry in listings {{
+                boxed {{
+                    box.margin := 1;
+                    display_listentry(entry);
+                    on tap {{ push detail(entry.1, entry.2); }}
+                }}
+            }}
+        }}
+    }}
+}}
+
+page detail(addr : string, price : number) {{
+    init {{ }}
+    render {{
+        boxed {{
+            post addr;
+            box.background := colors.light_blue;
+            box.padding := 1;
+        }}
+        boxed {{
+            post "price: $" ++ fmt.fixed(price, 0);
+        }}
+        boxed {{
+            box.horizontal := true;
+            boxed {{
+                post "term: " ++ term ++ " years";
+                box.border := 1;
+                on edited(text : string) {{
+                    let n = str.to_number(text);
+                    if n > 0 {{ term := n; }}
+                }}
+            }}
+            boxed {{
+                post "APR: " ++ apr ++ "%";
+                box.border := 1;
+                on edited(text : string) {{
+                    let n = str.to_number(text);
+                    if n > 0 {{ apr := n; }}
+                }}
+            }}
+        }}
+        boxed {{
+            post "monthly payment: $" ++ fmt.fixed(monthly_payment(price), 2);
+        }}
+        boxed {{
+            display_amortization(price);
+            on tap {{ pop; }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// The default mortgage calculator source.
+pub fn default_src() -> String {
+    mortgage_src(DEFAULT_LISTING_COUNT)
+}
+
+/// Improvement **I1** (§2): adjust a margin for visual appearance.
+/// This is the textual result of the direct-manipulation flow (select
+/// the listing entry box in the live view, twiddle `margin`).
+pub fn apply_improvement_i1(src: &str) -> String {
+    src.replacen(
+        "box.margin := 1;\n                    display_listentry(entry);",
+        "box.margin := 2;\n                    display_listentry(entry);",
+        1,
+    )
+}
+
+/// Improvement **I2** (§3.1): print the monthly balance in properly
+/// formatted dollars and cents — the paper's exact balance-cell edit.
+pub fn apply_improvement_i2(src: &str) -> String {
+    src.replacen(
+        r#"boxed { post "balance: $" ++ balance; box.margin := 1; }"#,
+        r#"boxed {
+                let dollars = math.floor(balance);
+                let cents = math.round((balance - dollars) * 100);
+                if cents == 100 { dollars := dollars + 1; cents := 0; }
+                let cents_text = cents ++ "";
+                if str.len(cents_text) < 2 { cents_text := "0" ++ cents_text; }
+                post "balance: $" ++ dollars ++ "." ++ cents_text;
+                box.margin := 1;
+            }"#,
+        1,
+    )
+}
+
+/// Improvement **I3** (§3.1): highlight every fifth amortization row
+/// with a light blue background.
+pub fn apply_improvement_i3(src: &str) -> String {
+    src.replacen(
+        "boxed {\n            box.horizontal := true;",
+        "boxed {\n            box.horizontal := true;\n            \
+         if math.mod(i, 5) == 4 { box.background := colors.light_blue; }",
+        1,
+    )
+}
+
+/// The reference mortgage-payment formula, for oracle checks in tests:
+/// principal `p`, annual rate percentage `apr`, term in years.
+pub fn expected_monthly_payment(p: f64, apr: f64, term_years: f64) -> f64 {
+    let r = apr / 1200.0;
+    let n = term_years * 12.0;
+    if r == 0.0 {
+        p / n
+    } else {
+        p * r / (1.0 - (1.0 + r).powf(-n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::compile;
+
+    #[test]
+    fn base_program_compiles() {
+        compile(&default_src()).expect("mortgage calculator compiles");
+    }
+
+    #[test]
+    fn improvements_compile_individually_and_stacked() {
+        let base = default_src();
+        for (name, improved) in [
+            ("I1", apply_improvement_i1(&base)),
+            ("I2", apply_improvement_i2(&base)),
+            ("I3", apply_improvement_i3(&base)),
+        ] {
+            assert_ne!(improved, base, "{name} must change the source");
+            compile(&improved).unwrap_or_else(|ds| panic!("{name} breaks: {ds}"));
+        }
+        let all = apply_improvement_i3(&apply_improvement_i2(&apply_improvement_i1(&base)));
+        compile(&all).expect("stacked improvements compile");
+    }
+
+    #[test]
+    fn payment_formula_matches_oracle() {
+        // 200k at 5% over 30 years ≈ $1073.64/month.
+        let p = expected_monthly_payment(200_000.0, 5.0, 30.0);
+        assert!((p - 1073.64).abs() < 0.01, "got {p}");
+    }
+}

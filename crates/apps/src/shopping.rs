@@ -1,0 +1,108 @@
+//! A two-page shopping-list app: list page plus an item detail page.
+//!
+//! Exercises page arguments, list-valued model state, and handlers that
+//! rebuild lists — a second realistic workload beyond the paper's
+//! mortgage example.
+
+/// Shopping list app source.
+pub const SHOPPING_SRC: &str = r#"// A shopping list with per-item detail pages.
+global items : list (string, number) = [("milk", 2), ("bread", 1), ("eggs", 12)]
+global bought : number = 0
+
+fun total_quantity() : number pure {
+    let total = 0;
+    foreach item in items {
+        total := total + item.2;
+    }
+    total
+}
+
+page start() {
+    init { }
+    render {
+        boxed {
+            post "Shopping (" ++ list.length(items) ++ " items, "
+                ++ total_quantity() ++ " units)";
+            box.background := colors.light_gray;
+            box.padding := 1;
+        }
+        foreach item in items {
+            boxed {
+                box.horizontal := true;
+                boxed { post item.1; box.margin := 1; }
+                boxed { post "x" ++ item.2; box.margin := 1; }
+                on tap { push detail(item.1, item.2); }
+            }
+        }
+        boxed {
+            post "[ add apples ]";
+            box.border := 1;
+            on tap { items := list.append(items, ("apples", 6)); }
+        }
+        boxed {
+            post "bought so far: " ++ bought;
+        }
+    }
+}
+
+page detail(name : string, quantity : number) {
+    init { }
+    render {
+        boxed {
+            post name;
+            box.font_size := 2;
+        }
+        boxed { post "quantity: " ++ quantity; }
+        boxed {
+            post "[ buy ]";
+            box.border := 1;
+            on tap {
+                bought := bought + quantity;
+                pop;
+            }
+        }
+        boxed {
+            post "[ back ]";
+            box.border := 1;
+            on tap { pop; }
+        }
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::compile;
+    use alive_core::system::System;
+    use alive_core::Value;
+
+    #[test]
+    fn navigates_and_buys() {
+        let mut sys = System::new(compile(SHOPPING_SRC).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        // Boxes: [0] header, [1..=3] items, [4] add button, [5] bought.
+        sys.tap(&[3]).expect("open eggs");
+        sys.run_to_stable().expect("navigates");
+        assert_eq!(sys.current_page().map(|(n, _)| n), Some("detail"));
+        sys.tap(&[2]).expect("buy");
+        sys.run_to_stable().expect("buys and pops");
+        assert_eq!(sys.current_page().map(|(n, _)| n), Some("start"));
+        assert_eq!(sys.store().get("bought"), Some(&Value::Number(12.0)));
+    }
+
+    #[test]
+    fn add_button_grows_the_model() {
+        let mut sys = System::new(compile(SHOPPING_SRC).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        sys.tap(&[4]).expect("add apples");
+        sys.run_to_stable().expect("handles");
+        let Some(Value::List(items)) = sys.store().get("items") else {
+            panic!("items is a list");
+        };
+        assert_eq!(items.len(), 4);
+        // Display now has one more item row.
+        let root = sys.display().content().expect("valid");
+        assert_eq!(root.children().count(), 7);
+    }
+}

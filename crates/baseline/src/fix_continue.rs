@@ -1,0 +1,195 @@
+//! The fix-and-continue baseline — paper §2's second conventional tool.
+//!
+//! > "Many IDEs ... support a 'fix-and-continue' feature where the
+//! > programmer can modify their code without restarting the debugging
+//! > process. Unfortunately, fix-and-continue often does not result in
+//! > responsive feedback: for the common 'retained' UI where a program
+//! > builds and modifies a tree of widget objects to be rendered,
+//! > changing the code that initially builds this widget tree is
+//! > meaningless as that code has already executed and will not execute
+//! > again!"
+//!
+//! A [`FixAndContinueSession`] swaps in new code and keeps all state —
+//! but, unlike the live UPDATE transition, it does **not** invalidate
+//! the display. The UI built by the old code stays on screen until some
+//! *other* event happens to redraw it. The E8 experiment measures how
+//! many edits leave a stale display.
+
+use alive_core::boxtree::Display;
+use alive_core::fixup::{fixup_pages, fixup_store, FixupReport};
+use alive_core::system::{ActionError, System};
+use alive_core::{compile, RuntimeError};
+use alive_syntax::Diagnostics;
+
+/// The fix-and-continue baseline session.
+#[derive(Debug)]
+pub struct FixAndContinueSession {
+    source: String,
+    system: System,
+    /// The display frozen at the last real redraw — what the user sees.
+    shown: Display,
+    stale_views_served: u64,
+}
+
+/// Outcome of a fix-and-continue code swap.
+#[derive(Debug)]
+pub enum SwapOutcome {
+    /// Code swapped; the display was NOT refreshed (the usual case).
+    SwappedDisplayStale(FixupReport),
+    /// The new code was rejected.
+    Rejected(Diagnostics),
+}
+
+impl FixAndContinueSession {
+    /// Compile and start the program.
+    ///
+    /// # Errors
+    ///
+    /// Compile diagnostics or startup runtime errors.
+    pub fn new(source: &str) -> Result<Self, String> {
+        let program = compile(source).map_err(|ds| ds.to_string())?;
+        let mut system = System::new(program);
+        system.run_to_stable().map_err(|e| e.to_string())?;
+        let shown = system.display().clone();
+        Ok(FixAndContinueSession {
+            source: source.to_string(),
+            system,
+            shown,
+            stale_views_served: 0,
+        })
+    }
+
+    /// The source currently loaded.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The underlying system (whose display is kept in sync only by
+    /// real events, not by code swaps).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// What the user currently sees. After a code swap this can be
+    /// *stale*: built by old code.
+    pub fn shown(&self) -> &Display {
+        &self.shown
+    }
+
+    /// Whether what the user sees differs from what the current code
+    /// would render — the staleness the paper criticizes.
+    pub fn view_is_stale(&mut self) -> Result<bool, RuntimeError> {
+        self.system.run_to_stable()?;
+        let fresh = self.system.display();
+        Ok(match (&self.shown, fresh) {
+            (Display::Valid(old), Display::Valid(new)) => old != new,
+            _ => false,
+        })
+    }
+
+    /// Swap in new code, fix-and-continue style: state is kept (same
+    /// fix-up as UPDATE), but the display is left exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors from settling pending events before the swap.
+    pub fn swap_code(&mut self, new_source: &str) -> Result<SwapOutcome, RuntimeError> {
+        let program = match compile(new_source) {
+            Ok(p) => p,
+            Err(ds) => return Ok(SwapOutcome::Rejected(ds)),
+        };
+        self.system.run_to_stable()?;
+        // Reuse the formal fix-up so the comparison is apples-to-apples;
+        // the ONLY difference from UPDATE is not touching the display.
+        let (store, mut report) = fixup_store(&program, self.system.store());
+        let pages = fixup_pages(&program, self.system.page_stack(), &mut report);
+        let shown = self.shown.clone();
+        let mut system = System::new(program);
+        system.add_external_cost(self.system.cost());
+        *system.debug_store_mut() = store;
+        system.debug_set_pages(pages);
+        self.system = system;
+        self.system.run_to_stable()?;
+        // The swap does not repaint: keep showing the old pixels.
+        self.shown = shown;
+        if self.view_is_stale()? {
+            self.stale_views_served += 1;
+        }
+        self.source = new_source.to_string();
+        Ok(SwapOutcome::SwappedDisplayStale(report))
+    }
+
+    /// A real user interaction finally repaints the display.
+    ///
+    /// # Errors
+    ///
+    /// Action or runtime errors.
+    pub fn tap(&mut self, path: &[usize]) -> Result<(), String> {
+        self.system.run_to_stable().map_err(|e| e.to_string())?;
+        match self.system.tap(path) {
+            Ok(()) => {}
+            Err(ActionError::DisplayInvalid) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        self.system.run_to_stable().map_err(|e| e.to_string())?;
+        self.shown = self.system.display().clone();
+        Ok(())
+    }
+
+    /// How many code swaps left the user looking at a stale view.
+    pub fn stale_views_served(&self) -> u64 {
+        self.stale_views_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::boxtree::Display;
+    use alive_core::Value;
+
+    const SRC: &str = "
+        global count : number = 0
+        page start() {
+            render {
+                boxed { post \"count is \" ++ count; on tap { count := count + 1; } }
+            }
+        }";
+
+    #[test]
+    fn swap_keeps_state_but_shows_stale_view() {
+        let mut s = FixAndContinueSession::new(SRC).expect("starts");
+        s.tap(&[0]).expect("tap");
+        assert_eq!(s.system().store().get("count"), Some(&Value::Number(1.0)));
+
+        let outcome = s
+            .swap_code(&SRC.replace("count is", "total:"))
+            .expect("swap runs");
+        assert!(matches!(outcome, SwapOutcome::SwappedDisplayStale(_)));
+        // The user still sees "count is 1" — the old code's output.
+        let Display::Valid(shown) = s.shown().clone() else {
+            panic!("something is shown");
+        };
+        let leaf = shown.descendant(&[0]).expect("box").leaves().next().cloned();
+        assert_eq!(leaf, Some(Value::str("count is 1")));
+        assert!(s.view_is_stale().expect("comparable"));
+        assert_eq!(s.stale_views_served(), 1);
+
+        // Only a real interaction repaints.
+        s.tap(&[0]).expect("tap");
+        let Display::Valid(shown) = s.shown().clone() else {
+            panic!("something is shown");
+        };
+        let leaf = shown.descendant(&[0]).expect("box").leaves().next().cloned();
+        assert_eq!(leaf, Some(Value::str("total: 2")));
+        assert!(!s.view_is_stale().expect("comparable"));
+    }
+
+    #[test]
+    fn rejected_swap_changes_nothing() {
+        let mut s = FixAndContinueSession::new(SRC).expect("starts");
+        let outcome = s.swap_code("garbage !!").expect("handled");
+        assert!(matches!(outcome, SwapOutcome::Rejected(_)));
+        assert_eq!(s.source(), SRC);
+    }
+}

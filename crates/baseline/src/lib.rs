@@ -1,0 +1,25 @@
+//! # alive-baseline
+//!
+//! Conventional-practice baselines for the *its-alive* benchmarks,
+//! implementing the development styles the PLDI 2013 paper's Section 2
+//! compares against:
+//!
+//! * [`restart`] — the seven-step edit-compile-run cycle: every edit
+//!   restarts the program from scratch, re-pays initialization (incl.
+//!   the simulated listing download), and replays navigation;
+//! * [`fix_continue`] — fix-and-continue: code is swapped and state
+//!   kept, but the already-built display is not refreshed, so edits to
+//!   view-building code show nothing until some other event repaints;
+//! * [`retained`] — a retained-mode MVC widget library with
+//!   hand-written view-update rules, exhibiting the view-update
+//!   problem (a forgotten rule silently leaves the view stale).
+
+#![warn(missing_docs)]
+
+pub mod fix_continue;
+pub mod restart;
+pub mod retained;
+
+pub use fix_continue::{FixAndContinueSession, SwapOutcome};
+pub use restart::{NavAction, RestartError, RestartSession};
+pub use retained::{build_listings_view, ListingsModel, RetainedApp, Widget};

@@ -1,0 +1,285 @@
+//! A retained-mode MVC widget library — the conventional GUI
+//! architecture the paper contrasts with (§2):
+//!
+//! > "The widely used model-view-controller (MVC) pattern requires the
+//! > programmer to write code that reacts to model changes and performs
+//! > the corresponding updates to the view. If the view is a complex
+//! > function of the state, writing such code can be challenging (in
+//! > database systems, this is known as the view-update problem)."
+//!
+//! [`RetainedApp`] keeps a mutable widget tree alive across model
+//! changes. The programmer supplies `build` (model → fresh tree, run
+//! once) and a set of named *update rules* (model change → targeted
+//! tree mutation). The E8 experiment shows both sides of the trade:
+//! a correct rule set updates in O(changed widgets) — faster than
+//! immediate-mode rebuilding — while a missing rule silently leaves a
+//! stale view, the failure mode immediate-mode rendering makes
+//! impossible by construction.
+
+use alive_core::value::Color;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A retained widget: a mutable node the program keeps references into
+/// (by id) and updates in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Widget {
+    /// Stable identifier used by update rules to find this widget.
+    pub id: String,
+    /// Displayed text.
+    pub text: String,
+    /// Optional background color.
+    pub background: Option<Color>,
+    /// Child widgets.
+    pub children: Vec<Widget>,
+}
+
+impl Widget {
+    /// A leaf widget.
+    pub fn leaf(id: impl Into<String>, text: impl Into<String>) -> Self {
+        Widget {
+            id: id.into(),
+            text: text.into(),
+            background: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// A container widget.
+    pub fn container(id: impl Into<String>, children: Vec<Widget>) -> Self {
+        Widget {
+            id: id.into(),
+            text: String::new(),
+            background: None,
+            children,
+        }
+    }
+
+    /// Find a widget by id (depth-first).
+    pub fn find(&self, id: &str) -> Option<&Widget> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(id))
+    }
+
+    /// Find a widget mutably by id.
+    pub fn find_mut(&mut self, id: &str) -> Option<&mut Widget> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter_mut().find_map(|c| c.find_mut(id))
+    }
+
+    /// Total widget count.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Widget::count).sum::<usize>()
+    }
+
+    /// Flatten visible texts, depth-first — the "screen" for tests.
+    pub fn texts(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_texts(&mut out);
+        out
+    }
+
+    fn collect_texts<'w>(&'w self, out: &mut Vec<&'w str>) {
+        if !self.text.is_empty() {
+            out.push(&self.text);
+        }
+        for c in &self.children {
+            c.collect_texts(out);
+        }
+    }
+}
+
+impl fmt::Display for Widget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.texts() {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An update rule: reacts to one kind of model change by mutating the
+/// retained tree in place.
+pub type UpdateRule<M> = fn(&M, &mut Widget);
+
+/// A retained-mode application: model, widget tree built once, and the
+/// hand-written view-update rules keyed by change kind.
+pub struct RetainedApp<M> {
+    /// The model.
+    pub model: M,
+    tree: Widget,
+    rules: HashMap<&'static str, UpdateRule<M>>,
+    updates_applied: u64,
+    missing_rule_hits: u64,
+}
+
+impl<M> RetainedApp<M> {
+    /// Build the app: run the view-construction code exactly once
+    /// (that is the retained-mode premise).
+    pub fn new(model: M, build: impl FnOnce(&M) -> Widget) -> Self {
+        let tree = build(&model);
+        RetainedApp {
+            model,
+            tree,
+            rules: HashMap::new(),
+            updates_applied: 0,
+            missing_rule_hits: 0,
+        }
+    }
+
+    /// Register the update rule for a change kind.
+    pub fn on_change(&mut self, kind: &'static str, rule: UpdateRule<M>) -> &mut Self {
+        self.rules.insert(kind, rule);
+        self
+    }
+
+    /// The retained tree (what is on screen).
+    pub fn tree(&self) -> &Widget {
+        &self.tree
+    }
+
+    /// Mutate the model and fire the update rule for `kind`. If the
+    /// programmer forgot to register a rule, the model changes but the
+    /// view silently does not — the view-update problem.
+    pub fn mutate(&mut self, kind: &'static str, change: impl FnOnce(&mut M)) {
+        change(&mut self.model);
+        match self.rules.get(kind) {
+            Some(rule) => {
+                rule(&self.model, &mut self.tree);
+                self.updates_applied += 1;
+            }
+            None => {
+                self.missing_rule_hits += 1;
+            }
+        }
+    }
+
+    /// How many model changes found no update rule (stale-view bugs).
+    pub fn missing_rule_hits(&self) -> u64 {
+        self.missing_rule_hits
+    }
+
+    /// How many targeted updates ran.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Whether the retained view matches what `build` would produce
+    /// from the current model — the consistency oracle.
+    pub fn view_consistent(&self, build: impl FnOnce(&M) -> Widget) -> bool {
+        build(&self.model) == self.tree
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for RetainedApp<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RetainedApp")
+            .field("model", &self.model)
+            .field("widgets", &self.tree.count())
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+/// The listings model used by the E8 comparison (mirrors the mortgage
+/// start page).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingsModel {
+    /// `(address, price)` rows.
+    pub listings: Vec<(String, f64)>,
+    /// Currently selected row.
+    pub selected: usize,
+}
+
+/// Build the listings view from the model (used once at startup, and
+/// as the consistency oracle).
+pub fn build_listings_view(model: &ListingsModel) -> Widget {
+    let mut rows = Vec::new();
+    for (i, (addr, price)) in model.listings.iter().enumerate() {
+        let mut row = Widget::leaf(format!("row-{i}"), format!("{addr} — ${price:.0}"));
+        if i == model.selected {
+            row.background = Some(Color::new(170, 210, 240));
+        }
+        rows.push(row);
+    }
+    Widget::container(
+        "root",
+        vec![
+            Widget::leaf("header", format!("{} listings", model.listings.len())),
+            Widget::container("rows", rows),
+        ],
+    )
+}
+
+/// The correct hand-written update rule for selection changes: clears
+/// the old highlight and sets the new one (two targeted mutations).
+pub fn update_selection(model: &ListingsModel, tree: &mut Widget) {
+    let Some(rows) = tree.find_mut("rows") else { return };
+    for (i, row) in rows.children.iter_mut().enumerate() {
+        row.background =
+            (i == model.selected).then_some(Color::new(170, 210, 240));
+    }
+}
+
+/// The correct update rule for price changes: rewrite one row's text.
+pub fn update_prices(model: &ListingsModel, tree: &mut Widget) {
+    let Some(rows) = tree.find_mut("rows") else { return };
+    for (i, row) in rows.children.iter_mut().enumerate() {
+        if let Some((addr, price)) = model.listings.get(i) {
+            row.text = format!("{addr} — ${price:.0}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: usize) -> ListingsModel {
+        ListingsModel {
+            listings: (0..n).map(|i| (format!("{i} Oak St"), 100_000.0 + i as f64)).collect(),
+            selected: 0,
+        }
+    }
+
+    #[test]
+    fn correct_rules_keep_view_consistent() {
+        let mut app = RetainedApp::new(model(5), build_listings_view);
+        app.on_change("selection", update_selection);
+        app.on_change("price", update_prices);
+        app.mutate("selection", |m| m.selected = 3);
+        assert!(app.view_consistent(build_listings_view));
+        app.mutate("price", |m| m.listings[2].1 = 250_000.0);
+        assert!(app.view_consistent(build_listings_view));
+        assert_eq!(app.updates_applied(), 2);
+        assert_eq!(app.missing_rule_hits(), 0);
+    }
+
+    #[test]
+    fn missing_rule_yields_stale_view() {
+        let mut app = RetainedApp::new(model(5), build_listings_view);
+        app.on_change("selection", update_selection);
+        // The programmer forgot the "price" rule.
+        app.mutate("price", |m| m.listings[2].1 = 999_999.0);
+        assert_eq!(app.missing_rule_hits(), 1);
+        assert!(
+            !app.view_consistent(build_listings_view),
+            "the view silently shows the old price"
+        );
+        let shown = app.tree().find("row-2").expect("row").text.clone();
+        assert!(shown.contains("100002"), "stale: {shown}");
+    }
+
+    #[test]
+    fn widget_tree_navigation() {
+        let tree = build_listings_view(&model(3));
+        assert_eq!(tree.count(), 6); // root + header + rows + 3 rows
+        assert!(tree.find("row-2").is_some());
+        assert!(tree.find("row-9").is_none());
+        assert_eq!(tree.texts().len(), 4);
+    }
+}

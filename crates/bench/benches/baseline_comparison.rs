@@ -1,0 +1,77 @@
+//! E8 — per-model-change view maintenance cost across architectures:
+//! retained-MVC targeted updates (hand-written rules), retained-MVC
+//! full rebuild, immediate-mode full re-render (the paper's approach),
+//! and immediate-mode with the §5 reuse cache. The paper's position:
+//! the retained approach is the fastest per update but requires
+//! dangerous hand-written view-update code; immediate mode trades a
+//! bounded render cost for correctness by construction.
+
+use alive_baseline::retained::{update_prices, update_selection};
+use alive_baseline::{build_listings_view, ListingsModel, RetainedApp};
+use alive_bench::{feed_session, feed_touch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn listings_model(n: usize) -> ListingsModel {
+    ListingsModel {
+        listings: (0..n)
+            .map(|i| (format!("{i} Oak Ave"), 100_000.0 + i as f64))
+            .collect(),
+        selected: 0,
+    }
+}
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(30);
+    for n in [10usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("retained_update", n), &n, |b, &n| {
+            let mut app = RetainedApp::new(listings_model(n), build_listings_view);
+            app.on_change("selection", update_selection);
+            app.on_change("price", update_prices);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                if i.is_multiple_of(2) {
+                    app.mutate("selection", |m| m.selected = i % n);
+                } else {
+                    app.mutate("price", |m| m.listings[i % n].1 += 1.0);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("retained_rebuild", n), &n, |b, &n| {
+            // The "correct by construction" variant of retained MVC:
+            // rebuild the whole widget tree from the model per change —
+            // i.e. immediate mode in the host language.
+            let mut app = RetainedApp::new(listings_model(n), build_listings_view);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                app.model.selected = i % n;
+                std::hint::black_box(build_listings_view(&app.model))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("immediate_naive", n), &n, |b, &n| {
+            let mut session = feed_session(n, false);
+            let mut i = 0usize;
+            b.iter(|| {
+                feed_touch(&mut session, i);
+                i += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("immediate_memo", n), &n, |b, &n| {
+            let mut session = feed_session(n, true);
+            let mut i = 0usize;
+            b.iter(|| {
+                feed_touch(&mut session, i);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_comparison);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E7 — ablation: the paper-faithful small-step substitution machine
+//! (Fig. 8) vs the production big-step evaluator, on a pure workload
+//! (recursive fib) and a render workload (the gallery page). Measures
+//! the cost of semantic fidelity; correctness agreement is tested in
+//! `tests/semantics_agreement.rs`.
+
+use alive_core::event::EventQueue;
+use alive_core::store::Store;
+use alive_core::{bigstep, compile, smallstep};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+fn bench_eval_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_ablation");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+
+    // Pure workload: fib(n).
+    let fib_src = "fun fib(n: number): number pure {
+            if n < 2 { n } else { fib(n - 1) + fib(n - 2) }
+        }
+        fun main(): number pure { fib(14) }
+        page start() { render { } }";
+    let p = compile(fib_src).expect("compiles");
+    let body = p.fun("main").expect("fun").body.clone();
+    group.bench_function(BenchmarkId::new("bigstep", "fib14"), |b| {
+        let store = Store::new();
+        b.iter(|| {
+            black_box(bigstep::run_pure(&p, &store, 0, u64::MAX, &body).expect("runs"))
+        });
+    });
+    group.bench_function(BenchmarkId::new("smallstep", "fib14"), |b| {
+        b.iter(|| {
+            let mut store = Store::new();
+            black_box(smallstep::eval_pure(&p, &mut store, u64::MAX, &body).expect("runs"))
+        });
+    });
+
+    // Render workload: one full page render of the dense gallery.
+    for n in [10usize, 50] {
+        let p = compile(&alive_apps::gallery::gallery_src(n)).expect("compiles");
+        let page = p.page("start").expect("page");
+        let mut store = Store::new();
+        let mut queue = EventQueue::new();
+        bigstep::run_state(&p, &mut store, &mut queue, 0, u64::MAX, vec![], &page.init)
+            .expect("init");
+        let render = page.render.clone();
+        group.bench_with_input(BenchmarkId::new("bigstep_render", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    bigstep::run_render(&p, &store, 0, u64::MAX, vec![], &render)
+                        .expect("runs"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("smallstep_render", n), &n, |b, _| {
+            b.iter(|| {
+                let mut scratch = store.clone();
+                black_box(
+                    smallstep::eval_render(&p, &mut scratch, u64::MAX, &render)
+                        .expect("runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_ablation);
+criterion_main!(benches);

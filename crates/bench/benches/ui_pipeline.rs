@@ -1,0 +1,52 @@
+//! UI substrate micro-benchmarks: layout, text rendering, hit-testing,
+//! and display diffing, across wide (many siblings) and deep (nested)
+//! box trees. Establishes that the display pipeline stays linear and is
+//! not the bottleneck behind the render-scaling numbers of E4.
+
+use alive_apps::gallery::{feed_src, nested_src};
+use alive_core::compile;
+use alive_core::system::System;
+use alive_ui::{diff_displays, hit_test, layout, render_to_text, Point};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rendered_root(src: &str) -> alive_core::BoxNode {
+    let mut sys = System::new(compile(src).expect("compiles"));
+    sys.rendered().expect("renders").clone()
+}
+
+fn bench_ui_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ui_pipeline");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for n in [10usize, 100, 1000] {
+        let root = rendered_root(&feed_src(n));
+        group.bench_with_input(BenchmarkId::new("layout_wide", n), &n, |b, _| {
+            b.iter(|| black_box(layout(&root)));
+        });
+        let tree = layout(&root);
+        group.bench_with_input(BenchmarkId::new("render_text_wide", n), &n, |b, _| {
+            b.iter(|| black_box(render_to_text(&tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("hit_test_wide", n), &n, |b, _| {
+            let bottom = tree.size().h - 1;
+            b.iter(|| black_box(hit_test(&tree, Point::new(0, bottom))));
+        });
+        group.bench_with_input(BenchmarkId::new("diff_identical_wide", n), &n, |b, _| {
+            b.iter(|| black_box(diff_displays(&root, &root)));
+        });
+    }
+
+    for depth in [8usize, 32, 128] {
+        let root = rendered_root(&nested_src(depth));
+        group.bench_with_input(BenchmarkId::new("layout_deep", depth), &depth, |b, _| {
+            b.iter(|| black_box(layout(&root)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ui_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerate every experiment table: `cargo run -p alive-bench --bin
+//! tables --release`. The output is recorded in EXPERIMENTS.md.
+
+fn main() {
+    println!("its-alive experiment tables (see DESIGN.md §4 for the index)");
+    println!("=============================================================\n");
+    print!("{}", alive_bench::tables::all_tables());
+}

@@ -1,0 +1,160 @@
+//! Box attributes and the attribute environment Γa (paper §4.3).
+//!
+//! Attributes are set by `box.a := e` inside render code. The attribute
+//! environment assigns each attribute its type, e.g. `ontap : () →s ()`
+//! and `margin : number`.
+
+use crate::types::{Effect, Type};
+use std::fmt;
+
+/// The catalog of box attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Attr {
+    /// Outer spacing, in cells.
+    Margin,
+    /// Inner spacing, in cells.
+    Padding,
+    /// Font size multiplier (1 = normal); affects measured text size.
+    FontSize,
+    /// Fixed width in cells (content-sized if unset).
+    Width,
+    /// Fixed height in cells (content-sized if unset).
+    Height,
+    /// Background fill color.
+    Background,
+    /// Text color.
+    Foreground,
+    /// Lay out children horizontally instead of the vertical default.
+    Horizontal,
+    /// Border thickness (0 or 1 in the ASCII backend).
+    Border,
+    /// Tap handler: `() →s ()`.
+    OnTap,
+    /// Edit handler: `(string) →s ()`, fired when the user edits the
+    /// box's text content.
+    OnEdit,
+}
+
+impl Attr {
+    /// All attributes, for iteration in tests and tooling.
+    pub const ALL: [Attr; 11] = [
+        Attr::Margin,
+        Attr::Padding,
+        Attr::FontSize,
+        Attr::Width,
+        Attr::Height,
+        Attr::Background,
+        Attr::Foreground,
+        Attr::Horizontal,
+        Attr::Border,
+        Attr::OnTap,
+        Attr::OnEdit,
+    ];
+
+    /// The attribute environment Γa: the type of each attribute.
+    pub fn ty(self) -> Type {
+        match self {
+            Attr::Margin
+            | Attr::Padding
+            | Attr::FontSize
+            | Attr::Width
+            | Attr::Height
+            | Attr::Border => Type::Number,
+            Attr::Background | Attr::Foreground => Type::Color,
+            Attr::Horizontal => Type::Bool,
+            Attr::OnTap => Type::func(vec![], Effect::State, Type::unit()),
+            Attr::OnEdit => Type::func(vec![Type::String], Effect::State, Type::unit()),
+        }
+    }
+
+    /// Whether the attribute holds an event handler (a closure).
+    pub fn is_handler(self) -> bool {
+        matches!(self, Attr::OnTap | Attr::OnEdit)
+    }
+
+    /// Source-level spelling used in `box.a := e`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attr::Margin => "margin",
+            Attr::Padding => "padding",
+            Attr::FontSize => "font_size",
+            Attr::Width => "width",
+            Attr::Height => "height",
+            Attr::Background => "background",
+            Attr::Foreground => "foreground",
+            Attr::Horizontal => "horizontal",
+            Attr::Border => "border",
+            Attr::OnTap => "ontap",
+            Attr::OnEdit => "onedit",
+        }
+    }
+
+    /// Look up an attribute by its source spelling. Also accepts the
+    /// event names used by `on <event> { ... }` sugar (`tap`, `edit`,
+    /// `edited`).
+    pub fn from_name(name: &str) -> Option<Attr> {
+        Some(match name {
+            "margin" => Attr::Margin,
+            "padding" => Attr::Padding,
+            "font_size" => Attr::FontSize,
+            "width" => Attr::Width,
+            "height" => Attr::Height,
+            "background" => Attr::Background,
+            "foreground" => Attr::Foreground,
+            "horizontal" => Attr::Horizontal,
+            "border" => Attr::Border,
+            "ontap" | "tap" | "tapped" => Attr::OnTap,
+            "onedit" | "edit" | "edited" => Attr::OnEdit,
+            _ => return None,
+        })
+    }
+
+    /// The number of handler parameters, for `on` sugar arity checking.
+    pub fn handler_arity(self) -> Option<usize> {
+        match self {
+            Attr::OnTap => Some(0),
+            Attr::OnEdit => Some(1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for attr in Attr::ALL {
+            assert_eq!(Attr::from_name(attr.name()), Some(attr));
+        }
+        assert_eq!(Attr::from_name("tap"), Some(Attr::OnTap));
+        assert_eq!(Attr::from_name("edited"), Some(Attr::OnEdit));
+        assert_eq!(Attr::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn handler_types_are_stateful() {
+        let Type::Fn(sig) = Attr::OnTap.ty() else {
+            panic!("ontap must be a function type");
+        };
+        assert_eq!(sig.effect, Effect::State);
+        assert!(sig.params.is_empty());
+        assert!(sig.ret.is_unit());
+        assert!(Attr::OnTap.is_handler());
+        assert!(!Attr::Margin.is_handler());
+    }
+
+    #[test]
+    fn handler_arity() {
+        assert_eq!(Attr::OnTap.handler_arity(), Some(0));
+        assert_eq!(Attr::OnEdit.handler_arity(), Some(1));
+        assert_eq!(Attr::Margin.handler_arity(), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! The event queue `Q` (Figure 7).
+//!
+//! `q ::= [exec v] | [push p v] | [pop]` — handler thunks, page pushes,
+//! and page pops. The paper enqueues on the left and dequeues on the
+//! right of the sequence; [`EventQueue`] is the FIFO refinement.
+
+use crate::types::Name;
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One queued event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// `[exec v]` — run a handler `v` applied to the given arguments.
+    /// The paper's thunks are the nullary case (`ontap : () →s ()`);
+    /// edit handlers carry the edited text as their single argument.
+    Exec(Value, Vec<Value>),
+    /// `[push p v]` — create page `p` with argument `v`.
+    Push(Name, Value),
+    /// `[pop]` — pop the current page.
+    Pop,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Exec(..) => f.write_str("[exec ·]"),
+            Event::Push(p, v) => write!(f, "[push {p} {v}]"),
+            Event::Pop => f.write_str("[pop]"),
+        }
+    }
+}
+
+/// The event queue `Q`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventQueue {
+    items: VecDeque<Event>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue an event (the paper's "adding to the left").
+    pub fn enqueue(&mut self, event: Event) {
+        self.items.push_back(event);
+    }
+
+    /// Dequeue the oldest event (the paper's "removing from the right").
+    pub fn dequeue(&mut self) -> Option<Event> {
+        self.items.pop_front()
+    }
+
+    /// Whether the queue is empty (a requirement for stability).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Drop all pending events (used by UPDATE, which starts from a
+    /// stable state and leaves no stale thunks behind).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterate events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = EventQueue::new();
+        q.enqueue(Event::Pop);
+        q.enqueue(Event::Push(Rc::from("detail"), Value::unit()));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(), Some(Event::Pop));
+        assert!(matches!(q.dequeue(), Some(Event::Push(..))));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.enqueue(Event::Pop);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Event::Pop.to_string(), "[pop]");
+        assert_eq!(
+            Event::Push(Rc::from("start"), Value::unit()).to_string(),
+            "[push start ()]"
+        );
+    }
+}

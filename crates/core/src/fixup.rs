@@ -1,0 +1,207 @@
+//! State fix-up on code update — the paper's Figure 12.
+//!
+//! When the UPDATE transition swaps in new code `C'`, the store and page
+//! stack are *fixed up* against `C'`: entries that no longer type-check
+//! are deleted (`S-SKIP`, `P-SKIP`), everything else is kept verbatim
+//! (`S-OKAY`, `P-OKAY`). "Essentially, it just deletes whatever does not
+//! type." (§4.3)
+
+use crate::program::Program;
+use crate::store::Store;
+use crate::types::Name;
+use crate::value::Value;
+use std::fmt;
+
+/// Why a store or page-stack entry was dropped during fix-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// The definition no longer exists in the new code (`g ∉ C'`, `p ∉ C'`).
+    NoLongerDefined,
+    /// The value no longer has the declared type (`C'; ε ⊬s v : τ`).
+    TypeChanged,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DropReason::NoLongerDefined => "no longer defined",
+            DropReason::TypeChanged => "declared type changed",
+        })
+    }
+}
+
+/// A report of what the fix-up did, for the live environment's UI and
+/// for tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FixupReport {
+    /// Globals kept with their values (`S-OKAY`).
+    pub kept_globals: Vec<Name>,
+    /// Globals dropped, with reasons (`S-SKIP`).
+    pub dropped_globals: Vec<(Name, DropReason)>,
+    /// Page-stack entries kept (`P-OKAY`), by page name.
+    pub kept_pages: Vec<Name>,
+    /// Page-stack entries dropped (`P-SKIP`), with reasons.
+    pub dropped_pages: Vec<(Name, DropReason)>,
+}
+
+impl FixupReport {
+    /// Whether anything was dropped.
+    pub fn dropped_anything(&self) -> bool {
+        !self.dropped_globals.is_empty() || !self.dropped_pages.is_empty()
+    }
+}
+
+/// Fix up a store against new code: `C' : S ▷ S'` (rules S-EMPTY,
+/// S-SKIP, S-OKAY). Returns the new store and the decisions taken.
+pub fn fixup_store(new_program: &Program, old: &Store) -> (Store, FixupReport) {
+    let mut report = FixupReport::default();
+    let mut kept = Store::new();
+    for (name, value) in old.iter() {
+        match new_program.global(name) {
+            None => {
+                report
+                    .dropped_globals
+                    .push((name.clone(), DropReason::NoLongerDefined));
+            }
+            Some(def) if !value.has_type(&def.ty) => {
+                report
+                    .dropped_globals
+                    .push((name.clone(), DropReason::TypeChanged));
+            }
+            Some(_) => {
+                report.kept_globals.push(name.clone());
+                kept.set(name, value.clone());
+            }
+        }
+    }
+    (kept, report)
+}
+
+/// Fix up a page stack against new code: `C' : P ▷ P'` (rules P-EMPTY,
+/// P-SKIP, P-OKAY). Appends decisions to `report`.
+pub fn fixup_pages(
+    new_program: &Program,
+    old: &[(Name, Value)],
+    report: &mut FixupReport,
+) -> Vec<(Name, Value)> {
+    let mut kept = Vec::new();
+    for (page_name, arg) in old {
+        match new_program.page(page_name) {
+            None => {
+                report
+                    .dropped_pages
+                    .push((page_name.clone(), DropReason::NoLongerDefined));
+            }
+            Some(def) if !arg.has_type(&def.arg_type()) => {
+                report
+                    .dropped_pages
+                    .push((page_name.clone(), DropReason::TypeChanged));
+            }
+            Some(_) => {
+                report.kept_pages.push(page_name.clone());
+                kept.push((page_name.clone(), arg.clone()));
+            }
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use std::rc::Rc;
+
+    fn name(s: &str) -> Name {
+        Rc::from(s)
+    }
+
+    #[test]
+    fn keeps_well_typed_entries() {
+        let new = compile(
+            "global count : number = 0
+             page start() { render { } }",
+        )
+        .expect("compiles");
+        let mut old = Store::new();
+        old.set("count", Value::Number(42.0));
+        let (fixed, report) = fixup_store(&new, &old);
+        assert_eq!(fixed.get("count"), Some(&Value::Number(42.0)));
+        assert_eq!(report.kept_globals, vec![name("count")]);
+        assert!(!report.dropped_anything());
+    }
+
+    #[test]
+    fn drops_undefined_globals() {
+        let new = compile("page start() { render { } }").expect("compiles");
+        let mut old = Store::new();
+        old.set("ghost", Value::Number(1.0));
+        let (fixed, report) = fixup_store(&new, &old);
+        assert!(fixed.is_empty());
+        assert_eq!(
+            report.dropped_globals,
+            vec![(name("ghost"), DropReason::NoLongerDefined)]
+        );
+    }
+
+    #[test]
+    fn drops_retyped_globals() {
+        // `count` used to be a number; the new code declares it a string.
+        let new = compile(
+            "global count : string = \"zero\"
+             page start() { render { } }",
+        )
+        .expect("compiles");
+        let mut old = Store::new();
+        old.set("count", Value::Number(42.0));
+        let (fixed, report) = fixup_store(&new, &old);
+        assert!(!fixed.contains("count"));
+        assert_eq!(
+            report.dropped_globals,
+            vec![(name("count"), DropReason::TypeChanged)]
+        );
+    }
+
+    #[test]
+    fn page_stack_fixup_mirrors_store_fixup() {
+        let new = compile(
+            "page start() { render { } }
+             page detail(addr: string, price: number) { render { } }",
+        )
+        .expect("compiles");
+        let old_stack = vec![
+            (name("start"), Value::unit()),
+            (
+                name("detail"),
+                Value::tuple(vec![Value::str("12 Oak"), Value::Number(5.0)]),
+            ),
+            (name("gone"), Value::unit()),
+            (
+                name("detail"),
+                Value::tuple(vec![Value::Number(1.0), Value::Number(2.0)]),
+            ),
+        ];
+        let mut report = FixupReport::default();
+        let kept = fixup_pages(&new, &old_stack, &mut report);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(&*kept[0].0, "start");
+        assert_eq!(&*kept[1].0, "detail");
+        assert_eq!(
+            report.dropped_pages,
+            vec![
+                (name("gone"), DropReason::NoLongerDefined),
+                (name("detail"), DropReason::TypeChanged),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_inputs_fix_to_empty() {
+        let new = compile("page start() { render { } }").expect("compiles");
+        let (fixed, report) = fixup_store(&new, &Store::new());
+        assert!(fixed.is_empty());
+        let mut r = FixupReport::default();
+        assert!(fixup_pages(&new, &[], &mut r).is_empty());
+        assert!(!report.dropped_anything());
+    }
+}

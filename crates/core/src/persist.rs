@@ -1,0 +1,365 @@
+//! Model persistence — the paper's programs "consist of both code and
+//! *persistent* data" (§1), inheriting Smalltalk's image-based
+//! persistence through TouchDevelop (§6).
+//!
+//! The store is serialized as *literal expressions of the language
+//! itself*: each global becomes a line `g := <value literal>`, and
+//! loading parses the literal with the ordinary expression parser,
+//! lowers it, evaluates it (it is closed and pure), and type-checks it
+//! against the current program — so a snapshot taken under old code is
+//! subjected to exactly the Fig. 12 fix-up discipline when restored
+//! under new code: ill-typed entries are dropped, not crashed on.
+//!
+//! Only →-free values exist in the store (T-C-GLOBAL), so every value
+//! has a literal form.
+
+use crate::bigstep;
+use crate::lower::lower_program;
+use crate::program::Program;
+use crate::store::Store;
+use crate::value::{Color, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Render a (→-free) value as a parseable literal of the language.
+///
+/// # Panics
+///
+/// Panics on closures and primitives — those cannot be stored in
+/// globals, so a store snapshot never contains them.
+pub fn value_to_literal(value: &Value) -> String {
+    let mut out = String::new();
+    write_literal(&mut out, value);
+    out
+}
+
+fn write_literal(out: &mut String, value: &Value) {
+    match value {
+        Value::Number(n) => {
+            if n.is_finite() {
+                let _ = write!(out, "{n}");
+            } else if n.is_nan() {
+                // No NaN literal; 0/0 evaluates to NaN.
+                out.push_str("(0 / 0)");
+            } else if *n > 0.0 {
+                out.push_str("(1 / 0)");
+            } else {
+                out.push_str("(-1 / 0)");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Color(c) => match c.name() {
+            Some(name) => {
+                let _ = write!(out, "colors.{name}");
+            }
+            None => {
+                // Un-named colors have no literal; snap to the nearest
+                // named color (the palette is the language's color space).
+                let nearest = nearest_named(*c);
+                let _ = write!(out, "colors.{nearest}");
+            }
+        },
+        Value::Tuple(vs) => {
+            out.push('(');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_literal(out, v);
+            }
+            out.push(')');
+        }
+        Value::List(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_literal(out, v);
+            }
+            out.push(']');
+        }
+        Value::Closure(_) | Value::Prim(_) | Value::WidgetRef(_) => {
+            unreachable!("store values are function-free (T-C-GLOBAL)")
+        }
+    }
+}
+
+fn nearest_named(c: Color) -> &'static str {
+    Color::NAMED
+        .iter()
+        .min_by_key(|(_, n)| {
+            let dr = i32::from(n.r) - i32::from(c.r);
+            let dg = i32::from(n.g) - i32::from(c.g);
+            let db = i32::from(n.b) - i32::from(c.b);
+            dr * dr + dg * dg + db * db
+        })
+        .map(|(name, _)| *name)
+        .expect("palette is nonempty")
+}
+
+/// Serialize a store snapshot.
+pub fn save_store(store: &Store) -> String {
+    let mut out = String::from("#alive-store v1\n");
+    for (name, value) in store.iter() {
+        let _ = writeln!(out, "{name} := {}", value_to_literal(value));
+    }
+    out
+}
+
+/// An error restoring a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// What happened to each snapshot entry on load.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Entries restored into the store.
+    pub restored: Vec<String>,
+    /// Entries skipped (unknown global or type mismatch under the
+    /// current program — the persistence analogue of S-SKIP).
+    pub skipped: Vec<(String, String)>,
+}
+
+/// Restore a snapshot against the current program. Entries that do not
+/// type-check under `program` are skipped (reported, not fatal), so old
+/// snapshots survive code evolution the same way old stores survive
+/// UPDATE.
+///
+/// # Errors
+///
+/// [`PersistError`] only for malformed snapshot *syntax*; semantic
+/// mismatches are reported in the [`LoadReport`].
+pub fn load_store(program: &Program, text: &str) -> Result<(Store, LoadReport), PersistError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == "#alive-store v1" => {}
+        _ => {
+            return Err(PersistError {
+                line: 1,
+                message: "missing `#alive-store v1` header".into(),
+            })
+        }
+    }
+    let mut store = Store::new();
+    let mut report = LoadReport::default();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, literal)) = line.split_once(":=") else {
+            return Err(PersistError {
+                line: line_no,
+                message: format!("expected `name := literal`, found {line:?}"),
+            });
+        };
+        let name = name.trim();
+        let literal = literal.trim();
+        let value = match parse_literal(literal) {
+            Ok(v) => v,
+            Err(message) => return Err(PersistError { line: line_no, message }),
+        };
+        match program.global(name) {
+            None => report
+                .skipped
+                .push((name.to_string(), "no such global in the current code".into())),
+            Some(def) if !value.has_type(&def.ty) => report.skipped.push((
+                name.to_string(),
+                format!("value is not a `{}` anymore", def.ty),
+            )),
+            Some(_) => {
+                report.restored.push(name.to_string());
+                store.set(name, value);
+            }
+        }
+    }
+    Ok((store, report))
+}
+
+/// Parse a value literal (closed pure expression) back into a value:
+/// parse with the ordinary expression parser, lower the literal forms,
+/// and evaluate purely against an empty program.
+fn parse_literal(src: &str) -> Result<Value, String> {
+    let expr = alive_syntax::parse_expr(src).map_err(|d| d.to_string())?;
+    let core_expr = lower_expr_standalone(&expr)?;
+    let empty = lower_program(&alive_syntax::ast::Program::default()).program;
+    let store = Store::new();
+    let (value, _) = bigstep::run_pure(&empty, &store, 0, 1_000_000, &core_expr)
+        .map_err(|e| e.to_string())?;
+    Ok(value)
+}
+
+/// Lower a literal expression without a surrounding program: only
+/// literal forms are accepted.
+fn lower_expr_standalone(
+    expr: &alive_syntax::ast::Expr,
+) -> Result<crate::expr::Expr, String> {
+    use alive_syntax::ast::{ExprKind as S, UnOp};
+    use crate::expr::{Expr, ExprKind as C};
+    let span = expr.span;
+    let kind = match &expr.kind {
+        S::Number(n) => C::Num(*n),
+        S::Str(s) => C::Str(std::rc::Rc::from(s.as_str())),
+        S::Bool(b) => C::Bool(*b),
+        S::Tuple(es) => C::Tuple(
+            es.iter()
+                .map(lower_expr_standalone)
+                .collect::<Result<_, _>>()?,
+        ),
+        S::ListLit(es) => C::ListLit(
+            es.iter()
+                .map(lower_expr_standalone)
+                .collect::<Result<_, _>>()?,
+        ),
+        S::Qualified { ns, name } if ns.text == "colors" => match Color::by_name(&name.text)
+        {
+            Some(c) => C::ColorLit(c),
+            None => return Err(format!("unknown color `{}`", name.text)),
+        },
+        S::Unary { op: UnOp::Neg, expr } => {
+            C::Unary(alive_syntax::ast::UnOp::Neg, Box::new(lower_expr_standalone(expr)?))
+        }
+        S::Binary { op, lhs, rhs } => C::Binary(
+            *op,
+            Box::new(lower_expr_standalone(lhs)?),
+            Box::new(lower_expr_standalone(rhs)?),
+        ),
+        other => return Err(format!("not a value literal: {other:?}")),
+    };
+    Ok(Expr::new(kind, span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn sample_store() -> Store {
+        let mut s = Store::new();
+        s.set("count", Value::Number(42.5));
+        s.set("name", Value::str("ada \"quoted\"\nline2"));
+        s.set("flag", Value::Bool(true));
+        s.set("hue", Value::Color(Color::by_name("light_blue").expect("known")));
+        s.set(
+            "pairs",
+            Value::list(vec![
+                Value::tuple(vec![Value::str("a"), Value::Number(1.0)]),
+                Value::tuple(vec![Value::str("b"), Value::Number(-2.0)]),
+            ]),
+        );
+        s
+    }
+
+    fn matching_program() -> Program {
+        compile(
+            "global count : number = 0
+             global name : string = \"\"
+             global flag : bool = false
+             global hue : color = colors.black
+             global pairs : list (string, number) = []
+             page start() { render { } }",
+        )
+        .expect("compiles")
+    }
+
+    #[test]
+    fn store_roundtrips_through_literals() {
+        let original = sample_store();
+        let text = save_store(&original);
+        let (restored, report) =
+            load_store(&matching_program(), &text).expect("loads");
+        assert_eq!(restored, original);
+        assert_eq!(report.restored.len(), 5);
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn snapshot_survives_code_evolution_like_fixup() {
+        let text = save_store(&sample_store());
+        // New code: `count` retyped, `flag` gone, the rest unchanged.
+        let evolved = compile(
+            "global count : string = \"zero\"
+             global name : string = \"\"
+             global hue : color = colors.black
+             global pairs : list (string, number) = []
+             page start() { render { } }",
+        )
+        .expect("compiles");
+        let (restored, report) = load_store(&evolved, &text).expect("loads");
+        assert_eq!(report.restored, vec!["hue", "name", "pairs"]);
+        assert_eq!(report.skipped.len(), 2);
+        assert!(!restored.contains("count"));
+        assert!(!restored.contains("flag"));
+    }
+
+    #[test]
+    fn special_numbers_roundtrip() {
+        let mut s = Store::new();
+        s.set("inf", Value::Number(f64::INFINITY));
+        s.set("ninf", Value::Number(f64::NEG_INFINITY));
+        let p = compile(
+            "global inf : number = 0
+             global ninf : number = 0
+             page start() { render { } }",
+        )
+        .expect("compiles");
+        let (restored, _) = load_store(&p, &save_store(&s)).expect("loads");
+        assert_eq!(restored.get("inf"), Some(&Value::Number(f64::INFINITY)));
+        assert_eq!(restored.get("ninf"), Some(&Value::Number(f64::NEG_INFINITY)));
+    }
+
+    #[test]
+    fn malformed_snapshots_are_syntax_errors() {
+        let p = matching_program();
+        assert!(load_store(&p, "").is_err());
+        assert!(load_store(&p, "#alive-store v1\ncount 42").is_err());
+        assert!(load_store(&p, "#alive-store v1\ncount := fn() -> 1").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = matching_program();
+        let text = "#alive-store v1\n\n# a comment\ncount := 7\n";
+        let (restored, report) = load_store(&p, text).expect("loads");
+        assert_eq!(restored.get("count"), Some(&Value::Number(7.0)));
+        assert_eq!(report.restored, vec!["count"]);
+    }
+
+    #[test]
+    fn unnamed_colors_snap_to_palette() {
+        assert_eq!(
+            value_to_literal(&Value::Color(Color::new(172, 208, 238))),
+            "colors.light_blue"
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! Primitive functions — the standard library of the language.
+//!
+//! Primitives are grouped in namespaces (`math`, `str`, `fmt`, `list`,
+//! `web`) and referenced as `math.floor(x)`. Most are pure and
+//! monomorphic; the `list` namespace is polymorphic (typed specially in
+//! the checker) and the `web` namespace is the *simulated substrate* for
+//! the paper's web requests: it produces deterministic synthetic listings
+//! and charges simulated latency to the cost model, so the restart
+//! baseline pays the re-download that §2 step 5 describes.
+
+use crate::types::{Effect, FnType, Type};
+use crate::value::Value;
+use std::fmt;
+use std::rc::Rc;
+
+/// Simulated latency of one web request, in milliseconds (paper §2:
+/// "waiting for the list to download"). Plus a per-item transfer cost.
+pub const WEB_REQUEST_BASE_MS: f64 = 350.0;
+/// Simulated per-item transfer cost of a web request, in milliseconds.
+pub const WEB_REQUEST_PER_ITEM_MS: f64 = 1.5;
+
+/// Context threaded to primitive applications: the deterministic cost
+/// model for simulated external effects.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrimCtx {
+    /// Simulated wall-clock milliseconds charged by web primitives.
+    pub simulated_ms: f64,
+    /// Number of simulated web requests issued.
+    pub web_requests: u64,
+}
+
+/// Error applying a primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimError {
+    /// Wrong argument count or value shape (unreachable after typeck).
+    BadArgs(Prim),
+    /// List index out of range.
+    IndexOutOfRange {
+        /// The primitive that failed.
+        prim: Prim,
+        /// The requested index.
+        index: f64,
+        /// The list length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PrimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimError::BadArgs(p) => write!(f, "bad arguments to `{p}`"),
+            PrimError::IndexOutOfRange { prim, index, len } => {
+                write!(f, "index {index} out of range for list of length {len} in `{prim}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrimError {}
+
+/// The catalog of primitive functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prim {
+    // math
+    /// `math.floor(x)`
+    MathFloor,
+    /// `math.ceil(x)`
+    MathCeil,
+    /// `math.round(x)`
+    MathRound,
+    /// `math.abs(x)`
+    MathAbs,
+    /// `math.sqrt(x)`
+    MathSqrt,
+    /// `math.pow(base, exp)`
+    MathPow,
+    /// `math.min(a, b)`
+    MathMin,
+    /// `math.max(a, b)`
+    MathMax,
+    /// `math.mod(a, b)` — the paper's `math→mod`.
+    MathMod,
+    // str
+    /// `str.len(s)` — the paper's `s→count`.
+    StrLen,
+    /// `str.substr(s, start, len)`
+    StrSubstr,
+    /// `str.contains(s, sub)`
+    StrContains,
+    /// `str.index_of(s, sub)` — `-1` if absent.
+    StrIndexOf,
+    /// `str.upper(s)`
+    StrUpper,
+    /// `str.lower(s)`
+    StrLower,
+    /// `str.trim(s)`
+    StrTrim,
+    /// `str.repeat(s, n)`
+    StrRepeat,
+    /// `str.to_number(s)` — parse a number; `0` if unparseable.
+    StrToNumber,
+    // fmt
+    /// `fmt.fixed(x, digits)` — fixed-point formatting.
+    FmtFixed,
+    // list (polymorphic; typed specially in the checker)
+    /// `list.length(xs)`
+    ListLength,
+    /// `list.nth(xs, i)` — 0-based.
+    ListNth,
+    /// `list.append(xs, x)`
+    ListAppend,
+    /// `list.set(xs, i, x)` — a copy of `xs` with index `i` replaced.
+    ListSet,
+    /// `list.concat(xs, ys)`
+    ListConcat,
+    /// `list.reverse(xs)`
+    ListReverse,
+    /// `list.is_empty(xs)`
+    ListIsEmpty,
+    /// `list.range(lo, hi)` — numbers `lo, lo+1, ..., hi-1`.
+    ListRange,
+    // web (simulated substrate; state effect)
+    /// `web.listings(n)` — deterministic synthetic real-estate listings
+    /// `(address, price)`, charging simulated download latency.
+    WebListings,
+    /// `web.delay(ms)` — charge extra simulated latency (for modelling
+    /// slow services in benchmarks).
+    WebDelay,
+}
+
+impl Prim {
+    /// All primitives, for iteration in tests and tooling.
+    pub const ALL: [Prim; 29] = [
+        Prim::MathFloor,
+        Prim::MathCeil,
+        Prim::MathRound,
+        Prim::MathAbs,
+        Prim::MathSqrt,
+        Prim::MathPow,
+        Prim::MathMin,
+        Prim::MathMax,
+        Prim::MathMod,
+        Prim::StrLen,
+        Prim::StrSubstr,
+        Prim::StrContains,
+        Prim::StrIndexOf,
+        Prim::StrUpper,
+        Prim::StrLower,
+        Prim::StrTrim,
+        Prim::StrRepeat,
+        Prim::StrToNumber,
+        Prim::FmtFixed,
+        Prim::ListLength,
+        Prim::ListNth,
+        Prim::ListAppend,
+        Prim::ListSet,
+        Prim::ListConcat,
+        Prim::ListReverse,
+        Prim::ListIsEmpty,
+        Prim::ListRange,
+        Prim::WebListings,
+        Prim::WebDelay,
+    ];
+
+    /// The `(namespace, name)` the primitive is spelled as.
+    pub fn path(self) -> (&'static str, &'static str) {
+        use Prim::*;
+        match self {
+            MathFloor => ("math", "floor"),
+            MathCeil => ("math", "ceil"),
+            MathRound => ("math", "round"),
+            MathAbs => ("math", "abs"),
+            MathSqrt => ("math", "sqrt"),
+            MathPow => ("math", "pow"),
+            MathMin => ("math", "min"),
+            MathMax => ("math", "max"),
+            MathMod => ("math", "mod"),
+            StrLen => ("str", "len"),
+            StrSubstr => ("str", "substr"),
+            StrContains => ("str", "contains"),
+            StrIndexOf => ("str", "index_of"),
+            StrUpper => ("str", "upper"),
+            StrLower => ("str", "lower"),
+            StrTrim => ("str", "trim"),
+            StrRepeat => ("str", "repeat"),
+            StrToNumber => ("str", "to_number"),
+            FmtFixed => ("fmt", "fixed"),
+            ListLength => ("list", "length"),
+            ListNth => ("list", "nth"),
+            ListAppend => ("list", "append"),
+            ListSet => ("list", "set"),
+            ListConcat => ("list", "concat"),
+            ListReverse => ("list", "reverse"),
+            ListIsEmpty => ("list", "is_empty"),
+            ListRange => ("list", "range"),
+            WebListings => ("web", "listings"),
+            WebDelay => ("web", "delay"),
+        }
+    }
+
+    /// Look up a primitive by namespace and name.
+    pub fn from_path(ns: &str, name: &str) -> Option<Prim> {
+        Prim::ALL.iter().copied().find(|p| p.path() == (ns, name))
+    }
+
+    /// The latent effect of the primitive.
+    pub fn effect(self) -> Effect {
+        match self {
+            Prim::WebListings | Prim::WebDelay => Effect::State,
+            _ => Effect::Pure,
+        }
+    }
+
+    /// The monomorphic signature, or `None` for the polymorphic `list`
+    /// primitives (which the type checker handles structurally).
+    pub fn sig(self) -> Option<FnType> {
+        use Prim::*;
+        use Type::*;
+        let f = |params: Vec<Type>, ret: Type| {
+            Some(FnType { params, effect: self.effect(), ret })
+        };
+        match self {
+            MathFloor | MathCeil | MathRound | MathAbs | MathSqrt => {
+                f(vec![Number], Number)
+            }
+            MathPow | MathMin | MathMax | MathMod => f(vec![Number, Number], Number),
+            StrLen => f(vec![String], Number),
+            StrSubstr => f(vec![String, Number, Number], String),
+            StrContains => f(vec![String, String], Bool),
+            StrIndexOf => f(vec![String, String], Number),
+            StrUpper | StrLower | StrTrim => f(vec![String], String),
+            StrRepeat => f(vec![String, Number], String),
+            StrToNumber => f(vec![String], Number),
+            FmtFixed => f(vec![Number, Number], String),
+            ListRange => f(vec![Number, Number], Type::list(Number)),
+            WebListings => f(
+                vec![Number],
+                Type::list(Type::tuple(vec![String, Number])),
+            ),
+            WebDelay => f(vec![Number], Type::unit()),
+            ListLength | ListNth | ListAppend | ListSet | ListConcat | ListReverse
+            | ListIsEmpty => None,
+        }
+    }
+
+    /// Number of arguments the primitive takes.
+    pub fn arity(self) -> usize {
+        use Prim::*;
+        match self {
+            MathFloor | MathCeil | MathRound | MathAbs | MathSqrt | StrLen | StrUpper
+            | StrLower | StrTrim | StrToNumber | ListLength | ListReverse | ListIsEmpty
+            | WebListings | WebDelay => 1,
+            MathPow | MathMin | MathMax | MathMod | StrContains | StrIndexOf | StrRepeat
+            | FmtFixed | ListNth | ListAppend | ListConcat | ListRange => 2,
+            StrSubstr | ListSet => 3,
+        }
+    }
+
+    /// Apply the primitive to argument values.
+    ///
+    /// # Errors
+    ///
+    /// [`PrimError::BadArgs`] on arity or shape mismatch (unreachable for
+    /// type-checked programs), [`PrimError::IndexOutOfRange`] for
+    /// `list.nth` out of range.
+    pub fn apply(self, args: &[Value], ctx: &mut PrimCtx) -> Result<Value, PrimError> {
+        use Prim::*;
+        let bad = || PrimError::BadArgs(self);
+        let num = |v: &Value| match v {
+            Value::Number(n) => Ok(*n),
+            _ => Err(bad()),
+        };
+        let string = |v: &Value| match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(bad()),
+        };
+        let listv = |v: &Value| match v {
+            Value::List(xs) => Ok(xs.clone()),
+            _ => Err(bad()),
+        };
+        if args.len() != self.arity() {
+            return Err(bad());
+        }
+        Ok(match self {
+            MathFloor => Value::Number(num(&args[0])?.floor()),
+            MathCeil => Value::Number(num(&args[0])?.ceil()),
+            MathRound => Value::Number(num(&args[0])?.round()),
+            MathAbs => Value::Number(num(&args[0])?.abs()),
+            MathSqrt => Value::Number(num(&args[0])?.sqrt()),
+            MathPow => Value::Number(num(&args[0])?.powf(num(&args[1])?)),
+            MathMin => Value::Number(num(&args[0])?.min(num(&args[1])?)),
+            MathMax => Value::Number(num(&args[0])?.max(num(&args[1])?)),
+            MathMod => Value::Number(num(&args[0])?.rem_euclid(num(&args[1])?)),
+            StrLen => Value::Number(string(&args[0])?.chars().count() as f64),
+            StrSubstr => {
+                let s = string(&args[0])?;
+                let start = num(&args[1])?.max(0.0) as usize;
+                let len = num(&args[2])?.max(0.0) as usize;
+                let taken: String = s.chars().skip(start).take(len).collect();
+                Value::str(taken)
+            }
+            StrContains => {
+                Value::Bool(string(&args[0])?.contains(&*string(&args[1])?))
+            }
+            StrIndexOf => {
+                let s = string(&args[0])?;
+                let sub = string(&args[1])?;
+                match s.find(&*sub) {
+                    // Report a character index, consistent with str.len.
+                    Some(byte_idx) => {
+                        Value::Number(s[..byte_idx].chars().count() as f64)
+                    }
+                    None => Value::Number(-1.0),
+                }
+            }
+            StrUpper => Value::str(string(&args[0])?.to_uppercase()),
+            StrLower => Value::str(string(&args[0])?.to_lowercase()),
+            StrTrim => Value::str(string(&args[0])?.trim()),
+            StrRepeat => {
+                let s = string(&args[0])?;
+                let n = num(&args[1])?.max(0.0) as usize;
+                Value::str(s.repeat(n))
+            }
+            StrToNumber => {
+                let s = string(&args[0])?;
+                Value::Number(s.trim().parse::<f64>().unwrap_or(0.0))
+            }
+            FmtFixed => {
+                let x = num(&args[0])?;
+                let digits = num(&args[1])?.clamp(0.0, 17.0) as usize;
+                Value::str(format!("{x:.digits$}"))
+            }
+            ListLength => Value::Number(listv(&args[0])?.len() as f64),
+            ListNth => {
+                let xs = listv(&args[0])?;
+                let i = num(&args[1])?;
+                if i < 0.0 || i.fract() != 0.0 || i as usize >= xs.len() {
+                    return Err(PrimError::IndexOutOfRange {
+                        prim: self,
+                        index: i,
+                        len: xs.len(),
+                    });
+                }
+                xs[i as usize].clone()
+            }
+            ListAppend => {
+                let xs = listv(&args[0])?;
+                let mut out: Vec<Value> = xs.to_vec();
+                out.push(args[1].clone());
+                Value::list(out)
+            }
+            ListSet => {
+                let xs = listv(&args[0])?;
+                let i = num(&args[1])?;
+                if i < 0.0 || i.fract() != 0.0 || i as usize >= xs.len() {
+                    return Err(PrimError::IndexOutOfRange {
+                        prim: self,
+                        index: i,
+                        len: xs.len(),
+                    });
+                }
+                let mut out: Vec<Value> = xs.to_vec();
+                out[i as usize] = args[2].clone();
+                Value::list(out)
+            }
+            ListConcat => {
+                let xs = listv(&args[0])?;
+                let ys = listv(&args[1])?;
+                let mut out: Vec<Value> = xs.to_vec();
+                out.extend(ys.iter().cloned());
+                Value::list(out)
+            }
+            ListReverse => {
+                let xs = listv(&args[0])?;
+                let mut out: Vec<Value> = xs.to_vec();
+                out.reverse();
+                Value::list(out)
+            }
+            ListIsEmpty => Value::Bool(listv(&args[0])?.is_empty()),
+            ListRange => {
+                let lo = num(&args[0])?;
+                let hi = num(&args[1])?;
+                let mut out = Vec::new();
+                let mut x = lo;
+                while x < hi {
+                    out.push(Value::Number(x));
+                    x += 1.0;
+                }
+                Value::list(out)
+            }
+            WebListings => {
+                let n = num(&args[0])?.max(0.0) as usize;
+                ctx.web_requests += 1;
+                ctx.simulated_ms +=
+                    WEB_REQUEST_BASE_MS + WEB_REQUEST_PER_ITEM_MS * n as f64;
+                Value::List(Rc::from(synthetic_listings(n)))
+            }
+            WebDelay => {
+                ctx.simulated_ms += num(&args[0])?.max(0.0);
+                Value::unit()
+            }
+        })
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ns, name) = self.path();
+        write!(f, "{ns}.{name}")
+    }
+}
+
+/// Deterministic synthetic real-estate listings, substituting for the
+/// paper's live web data: `(address, price)` pairs generated from a
+/// fixed linear-congruential stream, so runs are reproducible.
+pub fn synthetic_listings(n: usize) -> Vec<Value> {
+    const STREETS: [&str; 8] = [
+        "Maple St", "Oak Ave", "Pine Rd", "Cedar Ln", "Birch Way", "Elm Dr",
+        "Walnut Ct", "Spruce Pl",
+    ];
+    let mut state = 0x2545F491_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|i| {
+            let number = 100 + (next() % 9900);
+            let street = STREETS[(next() % STREETS.len() as u32) as usize];
+            let price = 150_000.0 + f64::from(next() % 850) * 1000.0;
+            Value::tuple(vec![
+                Value::str(format!("{number} {street} #{i}")),
+                Value::Number(price),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PrimCtx {
+        PrimCtx::default()
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        for p in Prim::ALL {
+            let (ns, name) = p.path();
+            assert_eq!(Prim::from_path(ns, name), Some(p), "{p}");
+        }
+        assert_eq!(Prim::from_path("math", "nope"), None);
+    }
+
+    #[test]
+    fn arity_matches_sig() {
+        for p in Prim::ALL {
+            if let Some(sig) = p.sig() {
+                assert_eq!(sig.params.len(), p.arity(), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn math_primitives() {
+        let mut c = ctx();
+        assert_eq!(
+            Prim::MathFloor.apply(&[Value::Number(2.7)], &mut c),
+            Ok(Value::Number(2.0))
+        );
+        assert_eq!(
+            Prim::MathMod.apply(&[Value::Number(9.0), Value::Number(5.0)], &mut c),
+            Ok(Value::Number(4.0))
+        );
+        // rem_euclid keeps the result non-negative, like the paper's mod.
+        assert_eq!(
+            Prim::MathMod.apply(&[Value::Number(-1.0), Value::Number(5.0)], &mut c),
+            Ok(Value::Number(4.0))
+        );
+        assert_eq!(
+            Prim::MathPow.apply(&[Value::Number(2.0), Value::Number(10.0)], &mut c),
+            Ok(Value::Number(1024.0))
+        );
+    }
+
+    #[test]
+    fn string_primitives() {
+        let mut c = ctx();
+        assert_eq!(
+            Prim::StrLen.apply(&[Value::str("héllo")], &mut c),
+            Ok(Value::Number(5.0))
+        );
+        assert_eq!(
+            Prim::StrSubstr
+                .apply(&[Value::str("abcdef"), Value::Number(2.0), Value::Number(3.0)], &mut c),
+            Ok(Value::str("cde"))
+        );
+        assert_eq!(
+            Prim::StrIndexOf.apply(&[Value::str("hello"), Value::str("ll")], &mut c),
+            Ok(Value::Number(2.0))
+        );
+        assert_eq!(
+            Prim::StrIndexOf.apply(&[Value::str("hello"), Value::str("xyz")], &mut c),
+            Ok(Value::Number(-1.0))
+        );
+    }
+
+    #[test]
+    fn fmt_fixed_formats_cents() {
+        let mut c = ctx();
+        assert_eq!(
+            Prim::FmtFixed.apply(&[Value::Number(1234.5), Value::Number(2.0)], &mut c),
+            Ok(Value::str("1234.50"))
+        );
+    }
+
+    #[test]
+    fn list_primitives() {
+        let mut c = ctx();
+        let xs = Value::list(vec![Value::Number(1.0), Value::Number(2.0)]);
+        assert_eq!(
+            Prim::ListLength.apply(std::slice::from_ref(&xs), &mut c),
+            Ok(Value::Number(2.0))
+        );
+        assert_eq!(
+            Prim::ListNth.apply(&[xs.clone(), Value::Number(1.0)], &mut c),
+            Ok(Value::Number(2.0))
+        );
+        assert!(matches!(
+            Prim::ListNth.apply(&[xs.clone(), Value::Number(2.0)], &mut c),
+            Err(PrimError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(
+            Prim::ListAppend.apply(&[xs.clone(), Value::Number(3.0)], &mut c),
+            Ok(Value::list(vec![
+                Value::Number(1.0),
+                Value::Number(2.0),
+                Value::Number(3.0)
+            ]))
+        );
+        assert_eq!(
+            Prim::ListRange.apply(&[Value::Number(0.0), Value::Number(3.0)], &mut c),
+            Ok(Value::list(vec![
+                Value::Number(0.0),
+                Value::Number(1.0),
+                Value::Number(2.0)
+            ]))
+        );
+    }
+
+    #[test]
+    fn web_listings_deterministic_and_costed() {
+        let mut c1 = ctx();
+        let mut c2 = ctx();
+        let a = Prim::WebListings.apply(&[Value::Number(5.0)], &mut c1);
+        let b = Prim::WebListings.apply(&[Value::Number(5.0)], &mut c2);
+        assert_eq!(a, b, "listings must be deterministic");
+        assert_eq!(c1.web_requests, 1);
+        assert!(c1.simulated_ms >= WEB_REQUEST_BASE_MS);
+        let Ok(Value::List(xs)) = a else { panic!("expected list") };
+        assert_eq!(xs.len(), 5);
+        let ty = Type::tuple(vec![Type::String, Type::Number]);
+        for x in xs.iter() {
+            assert!(x.has_type(&ty));
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_bad_args() {
+        let mut c = ctx();
+        assert_eq!(
+            Prim::MathFloor.apply(&[], &mut c),
+            Err(PrimError::BadArgs(Prim::MathFloor))
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! System-state typing — the paper's Figure 11 (`⊢ (C, D, S, P, Q)`).
+//!
+//! Used by the preservation property tests: a well-typed system state
+//! stays well-typed under every `→g` transition. Beyond the paper's
+//! rules, [`check_system`] also verifies the §4.2 *no-stale-code*
+//! invariant: every closure reachable from the state carries the current
+//! code version.
+
+
+use crate::boxtree::{BoxItem, BoxNode, Display};
+use crate::event::Event;
+use crate::system::System;
+use crate::typeck::check_program;
+use crate::types::{Effect, Type};
+use crate::value::Value;
+use std::fmt;
+
+/// A violation of state well-typedness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateTypeError {
+    /// Which component was ill-typed (`D`, `S`, `P`, `Q`, or `C`).
+    pub component: &'static str,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for StateTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.component, self.message)
+    }
+}
+
+impl std::error::Error for StateTypeError {}
+
+/// Check `⊢ (C, D, S, P, Q)` (rule T-SYS and its components), plus the
+/// no-stale-code invariant. Returns all violations found.
+pub fn check_system(system: &System) -> Vec<StateTypeError> {
+    let mut errors = Vec::new();
+    let program = system.program();
+
+    // C ⊢ C (and the start-page requirement of T-SYS).
+    let diags = check_program(program);
+    if diags.has_errors() {
+        errors.push(StateTypeError {
+            component: "C",
+            message: format!("program is ill-typed: {diags}"),
+        });
+    }
+
+    // C ⊢ S: every store entry is for a declared global and has its
+    // declared type (T-S-ENTRY).
+    for (name, value) in system.store().iter() {
+        match program.global(name) {
+            None => errors.push(StateTypeError {
+                component: "S",
+                message: format!("store entry `{name}` has no declaration"),
+            }),
+            Some(def) => {
+                if !value.has_type(&def.ty) {
+                    errors.push(StateTypeError {
+                        component: "S",
+                        message: format!(
+                            "store entry `{name}` = {value} is not a `{}`",
+                            def.ty
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // C ⊢ P: every stack entry names a page and its argument has the
+    // page's argument type (T-R-ENTRY).
+    for (page_name, arg) in system.page_stack() {
+        match program.page(page_name) {
+            None => errors.push(StateTypeError {
+                component: "P",
+                message: format!("stack entry `{page_name}` has no page definition"),
+            }),
+            Some(def) => {
+                if !arg.has_type(&def.arg_type()) {
+                    errors.push(StateTypeError {
+                        component: "P",
+                        message: format!(
+                            "argument of stacked page `{page_name}` is not a `{}`",
+                            def.arg_type()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // C ⊢ Q: exec thunks are state handlers, push arguments type
+    // (T-Q-EXEC, T-Q-PUSH, T-Q-POP).
+    for event in system.queue().iter() {
+        match event {
+            Event::Exec(thunk, args) => {
+                let handler_ty = Type::func(
+                    args.iter()
+                        .map(|a| {
+                            // Edit handlers take the edited string.
+                            match a {
+                                Value::Str(_) => Type::String,
+                                other => infer_value_type(other),
+                            }
+                        })
+                        .collect(),
+                    Effect::State,
+                    Type::unit(),
+                );
+                if !thunk.has_type(&handler_ty) {
+                    errors.push(StateTypeError {
+                        component: "Q",
+                        message: format!("[exec ·] payload is not a `{handler_ty}`"),
+                    });
+                }
+            }
+            Event::Push(page_name, arg) => match program.page(page_name) {
+                None => errors.push(StateTypeError {
+                    component: "Q",
+                    message: format!("[push {page_name} ·] names an unknown page"),
+                }),
+                Some(def) => {
+                    if !arg.has_type(&def.arg_type()) {
+                        errors.push(StateTypeError {
+                            component: "Q",
+                            message: format!(
+                                "[push {page_name} ·] argument is not a `{}`",
+                                def.arg_type()
+                            ),
+                        });
+                    }
+                }
+            },
+            Event::Pop => {}
+        }
+    }
+
+    // C ⊢ D: attribute values have their Γa types (T-B-ATTR); the
+    // `boxed` source ids refer to real statements.
+    if let Display::Valid(root) = system.display() {
+        check_box(program, root, &mut errors);
+    }
+
+    // W (extension): every `remember` slot refers to a real statement
+    // and holds a function-free value — view state can hide no code.
+    for (key, value) in system.widgets().iter() {
+        if program.remember_span(key.id).is_none() {
+            errors.push(StateTypeError {
+                component: "W",
+                message: format!("slot {key} refers to no `remember` statement"),
+            });
+        }
+        if matches!(value, Value::Closure(_) | Value::Prim(_) | Value::WidgetRef(_)) {
+            errors.push(StateTypeError {
+                component: "W",
+                message: format!("slot {key} holds non-data value {value}"),
+            });
+        }
+    }
+
+    // No-stale-code invariant (§4.2): every reachable closure was
+    // created under the current code version.
+    let version = system.version();
+    let mut check_value = |where_: &'static str, v: &Value| {
+        visit_closures(v, &mut |c| {
+            if c.version != version {
+                errors.push(StateTypeError {
+                    component: where_,
+                    message: format!(
+                        "stale closure from code version {} (current is {version})",
+                        c.version
+                    ),
+                });
+            }
+        });
+    };
+    for (_, v) in system.store().iter() {
+        check_value("S", v);
+    }
+    for (_, arg) in system.page_stack() {
+        check_value("P", arg);
+    }
+    for event in system.queue().iter() {
+        match event {
+            Event::Exec(thunk, args) => {
+                check_value("Q", thunk);
+                for a in args {
+                    check_value("Q", a);
+                }
+            }
+            Event::Push(_, arg) => check_value("Q", arg),
+            Event::Pop => {}
+        }
+    }
+    if let Display::Valid(root) = system.display() {
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            for item in &node.items {
+                match item {
+                    BoxItem::Leaf(v) | BoxItem::Attr(_, v) => check_value("D", v),
+                    BoxItem::Child(b) => stack.push(b),
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+fn check_box(program: &crate::program::Program, node: &BoxNode, errors: &mut Vec<StateTypeError>) {
+    if let Some(id) = node.source {
+        if program.box_span(id).is_none() {
+            errors.push(StateTypeError {
+                component: "D",
+                message: format!("box refers to unknown source statement {id:?}"),
+            });
+        }
+    }
+    for item in &node.items {
+        match item {
+            BoxItem::Attr(attr, value) => {
+                if !value.has_type(&attr.ty()) {
+                    errors.push(StateTypeError {
+                        component: "D",
+                        message: format!(
+                            "attribute `{attr}` = {value} is not a `{}`",
+                            attr.ty()
+                        ),
+                    });
+                }
+            }
+            BoxItem::Leaf(_) => {}
+            BoxItem::Child(child) => check_box(program, child, errors),
+        }
+    }
+}
+
+/// Best-effort structural type of a value (for exec-argument typing).
+fn infer_value_type(v: &Value) -> Type {
+    match v {
+        Value::Number(_) => Type::Number,
+        Value::Str(_) => Type::String,
+        Value::Bool(_) => Type::Bool,
+        Value::Color(_) => Type::Color,
+        Value::Tuple(vs) => Type::tuple(vs.iter().map(infer_value_type).collect()),
+        Value::List(vs) => match vs.first() {
+            Some(first) => Type::list(infer_value_type(first)),
+            None => Type::list(Type::unit()),
+        },
+        Value::Closure(c) => Type::func(
+            c.params.iter().map(|p| p.ty.clone()).collect(),
+            c.effect,
+            Type::unit(),
+        ),
+        Value::Prim(p) => p
+            .sig()
+            .map(|s| Type::Fn(std::rc::Rc::new(s)))
+            .unwrap_or_else(Type::unit),
+        Value::WidgetRef(_) => Type::unit(),
+    }
+}
+
+/// Visit every closure reachable inside a value.
+fn visit_closures(v: &Value, visit: &mut dyn FnMut(&crate::value::Closure)) {
+    match v {
+        Value::Closure(c) => {
+            visit(c);
+            for (_, captured) in c.env.iter() {
+                visit_closures(captured, visit);
+            }
+        }
+        Value::Tuple(vs) | Value::List(vs) => {
+            for inner in vs.iter() {
+                visit_closures(inner, visit);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Check a system state and panic with a readable report on violation —
+/// an assertion helper for tests.
+///
+/// # Panics
+///
+/// Panics if [`check_system`] reports any violation.
+pub fn assert_well_typed(system: &System) {
+    let errors = check_system(system);
+    assert!(
+        errors.is_empty(),
+        "system state is ill-typed:\n{}",
+        errors
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::system::System;
+
+    const APP: &str = "
+        global count : number = 0
+        page start() {
+            init { count := count + 1; }
+            render {
+                boxed {
+                    post count;
+                    on tap { push detail(count); }
+                }
+            }
+        }
+        page detail(n: number) {
+            render { boxed { post n; on tap { pop; } } }
+        }";
+
+    #[test]
+    fn preservation_along_a_session() {
+        let mut sys = System::new(compile(APP).expect("compiles"));
+        assert_well_typed(&sys);
+        // Step through the whole startup cascade, checking at each state.
+        loop {
+            let kind = sys.step().expect("steps");
+            assert_well_typed(&sys);
+            if kind == crate::system::StepKind::Stable {
+                break;
+            }
+        }
+        sys.tap(&[0]).expect("tap");
+        assert_well_typed(&sys);
+        sys.run_to_stable().expect("navigates");
+        assert_well_typed(&sys);
+        sys.back();
+        assert_well_typed(&sys);
+        sys.run_to_stable().expect("returns");
+        assert_well_typed(&sys);
+    }
+
+    #[test]
+    fn update_leaves_no_stale_code() {
+        let mut sys = System::new(compile(APP).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        let report = sys
+            .update(compile(APP).expect("compiles again"))
+            .expect("update applies");
+        assert!(!report.dropped_anything());
+        // Before the re-render the display is ⊥ and the queue empty, so
+        // no closures from version 0 can remain anywhere.
+        assert_well_typed(&sys);
+        sys.run_to_stable().expect("re-renders");
+        assert_well_typed(&sys);
+    }
+
+    #[test]
+    fn detects_ill_typed_store() {
+        let mut sys = System::new(compile(APP).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        // Corrupt the model through the test-only escape hatch.
+        let corrupted = {
+            let mut clone = sys.clone();
+            clone.debug_store_mut().set("count", crate::value::Value::str("oops"));
+            clone
+        };
+        let errors = check_system(&corrupted);
+        assert!(errors.iter().any(|e| e.component == "S"));
+    }
+}

@@ -1,0 +1,114 @@
+//! The store `S` — values of global variables (the program's *model*).
+
+use crate::types::Name;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// The store `S`: a map from global variable names to values.
+///
+/// The paper represents `S` as a sequence of `[g ↦ v]` pairs with
+/// rightmost-wins lookup; a map is the obvious data-structure refinement
+/// ("an actual implementation would use specialized data structures",
+/// §4.2). Iteration order is deterministic (sorted by name) so renders
+/// and tests are reproducible.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Store {
+    entries: BTreeMap<Name, Value>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a global (`S(g)`).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.get(name)
+    }
+
+    /// Write a global (`S[g ↦ v]`).
+    pub fn set(&mut self, name: impl AsRef<str>, value: Value) {
+        self.entries.insert(Rc::from(name.as_ref()), value);
+    }
+
+    /// Whether `g ∈ dom S`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Remove an entry, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.entries.remove(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
+        self.entries.iter()
+    }
+}
+
+impl fmt::Display for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k} ↦ {v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<(Name, Value)> for Store {
+    fn from_iter<T: IntoIterator<Item = (Name, Value)>>(iter: T) -> Self {
+        Store { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rightmost_write_wins() {
+        let mut s = Store::new();
+        s.set("g", Value::Number(1.0));
+        s.set("g", Value::Number(2.0));
+        assert_eq!(s.get("g"), Some(&Value::Number(2.0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut s = Store::new();
+        s.set("b", Value::Number(2.0));
+        s.set("a", Value::Number(1.0));
+        let names: Vec<&str> = s.iter().map(|(k, _)| &**k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(s.to_string(), "{a ↦ 1, b ↦ 2}");
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s = Store::new();
+        s.set("x", Value::Bool(true));
+        assert!(s.contains("x"));
+        assert_eq!(s.remove("x"), Some(Value::Bool(true)));
+        assert!(!s.contains("x"));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,785 @@
+//! The system model — the paper's Figure 9.
+//!
+//! A [`System`] is the state tuple `σ = (C, D, S, P, Q)` plus the global
+//! transition relation `→g`:
+//!
+//! * **STARTUP** — empty page stack enqueues `[push start ()]`;
+//! * **TAP** / **BACK** — user actions enqueue `[exec v]` / `[pop]` and
+//!   invalidate the display;
+//! * **THUNK** / **PUSH** / **POP** — event handling runs state code;
+//! * **RENDER** — an invalid display is rebuilt from the top page's
+//!   render body;
+//! * **UPDATE** — new code replaces old, the store and page stack are
+//!   fixed up (Fig. 12), and the display is invalidated.
+//!
+//! The system is *live*: in any unstable state some transition is
+//! enabled, and in a stable state it waits for user actions or code
+//! updates (§4.2).
+
+use crate::attr::Attr;
+use crate::bigstep::{self, Cost, DEFAULT_FUEL};
+use crate::boxtree::{BoxNode, Display};
+use crate::error::RuntimeError;
+use crate::event::{Event, EventQueue};
+use crate::fixup::{fixup_pages, fixup_store, FixupReport};
+use crate::program::{Program, START_PAGE};
+use crate::store::Store;
+use crate::types::Name;
+use crate::value::Value;
+use std::fmt;
+use std::rc::Rc;
+
+/// Which transition a [`System::step`] performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// STARTUP — enqueued `[push start ()]`.
+    Startup,
+    /// THUNK — executed a handler thunk.
+    Thunk,
+    /// PUSH — ran a page's init body and pushed it.
+    Push,
+    /// POP — popped the current page (or did nothing on empty).
+    Pop,
+    /// RENDER — rebuilt the display.
+    Render,
+    /// No transition is enabled: the state is stable.
+    Stable,
+}
+
+/// Errors surfaced by user-action entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionError {
+    /// The display is stale (`⊥`); TAP's premise `[ontap = v] ∈ B` fails.
+    DisplayInvalid,
+    /// No box exists at the given path.
+    NoSuchBox(Vec<usize>),
+    /// The box at the path has no handler for this interaction.
+    NoHandler(Attr),
+    /// UPDATE requires a stable state.
+    NotStable,
+    /// The new program failed its checks (`C' ⊢ C'` does not hold).
+    IllTyped(alive_syntax::Diagnostics),
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::DisplayInvalid => f.write_str("display is invalid (⊥)"),
+            ActionError::NoSuchBox(p) => write!(f, "no box at path {p:?}"),
+            ActionError::NoHandler(a) => write!(f, "box has no `{a}` handler"),
+            ActionError::NotStable => f.write_str("code updates require a stable state"),
+            ActionError::IllTyped(ds) => write!(f, "new code is ill-typed:\n{ds}"),
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+/// Configuration of a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Step budget per transition (models divergence detection).
+    pub fuel: u64,
+    /// Safety bound for [`System::run_to_stable`] (an event cascade
+    /// longer than this is reported as divergence).
+    pub max_transitions: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig { fuel: DEFAULT_FUEL, max_transitions: 10_000 }
+    }
+}
+
+/// The system state `σ = (C, D, S, P, Q)` with its transitions.
+#[derive(Debug, Clone)]
+pub struct System {
+    program: Rc<Program>,
+    display: Display,
+    store: Store,
+    page_stack: Vec<(Name, Value)>,
+    queue: EventQueue,
+    config: SystemConfig,
+    /// View-state slots (`remember`), cleared by UPDATE.
+    widgets: crate::widget::WidgetStore,
+    /// Incremented by every UPDATE; stamped into closures.
+    version: u64,
+    /// Accumulated cost over the system's lifetime.
+    cost: Cost,
+}
+
+impl System {
+    /// Create the initial system state `(C, ⊥, ε, ε, ε)`.
+    pub fn new(program: Program) -> Self {
+        System::with_config(program, SystemConfig::default())
+    }
+
+    /// Create a system with explicit configuration.
+    pub fn with_config(program: Program, config: SystemConfig) -> Self {
+        System {
+            program: Rc::new(program),
+            display: Display::Invalid,
+            store: Store::new(),
+            page_stack: Vec::new(),
+            queue: EventQueue::new(),
+            config,
+            widgets: crate::widget::WidgetStore::new(),
+            version: 0,
+            cost: Cost::default(),
+        }
+    }
+
+    /// The current code `C`.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The current display `D`.
+    pub fn display(&self) -> &Display {
+        &self.display
+    }
+
+    /// The store `S` (the model).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The page stack `P`, bottom first.
+    pub fn page_stack(&self) -> &[(Name, Value)] {
+        &self.page_stack
+    }
+
+    /// The event queue `Q`.
+    pub fn queue(&self) -> &EventQueue {
+        &self.queue
+    }
+
+    /// The `remember` view-state slots.
+    pub fn widgets(&self) -> &crate::widget::WidgetStore {
+        &self.widgets
+    }
+
+    /// The UPDATE counter (how many code swaps have happened).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total accumulated cost (steps, boxes, simulated latency).
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Fold external cost into this system's counter — used by harness
+    /// code that replaces a system but accounts for a whole session
+    /// (e.g. the restart baseline carrying cost across restarts).
+    pub fn add_external_cost(&mut self, cost: Cost) {
+        self.cost.absorb(cost);
+    }
+
+    /// The page currently on top of the stack.
+    pub fn current_page(&self) -> Option<(&str, &Value)> {
+        self.page_stack.last().map(|(n, v)| (&**n, v))
+    }
+
+    /// A state is *stable* iff the event queue is empty, the page stack
+    /// is non-empty, and the display is valid — the system is waiting
+    /// for the user.
+    ///
+    /// (The paper defines stability as "queue empty ∧ stack non-empty";
+    /// rendering is the only transition left from such a state, so we
+    /// fold it in: `run_to_stable` always leaves a valid display.)
+    pub fn is_stable(&self) -> bool {
+        self.queue.is_empty() && !self.page_stack.is_empty() && self.display.is_valid()
+    }
+
+    /// Perform one enabled transition of `→g`, in the deterministic
+    /// order: STARTUP, event handling, RENDER.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from user code (divergence via fuel,
+    /// partial primitives). The system state remains consistent: the
+    /// offending event has been consumed and the display left invalid.
+    pub fn step(&mut self) -> Result<StepKind, RuntimeError> {
+        // (STARTUP)
+        if self.page_stack.is_empty() && self.queue.is_empty() {
+            self.display = Display::Invalid;
+            self.queue
+                .enqueue(Event::Push(Rc::from(START_PAGE), Value::unit()));
+            return Ok(StepKind::Startup);
+        }
+        // (THUNK) / (PUSH) / (POP)
+        if let Some(event) = self.queue.dequeue() {
+            self.display = Display::Invalid;
+            return match event {
+                Event::Exec(thunk, args) => {
+                    let (_, cost) = bigstep::call_thunk_full(
+                        &self.program,
+                        &mut self.store,
+                        &mut self.queue,
+                        self.version,
+                        self.config.fuel,
+                        &thunk,
+                        args,
+                        Some(&mut self.widgets),
+                    )?;
+                    self.cost.absorb(cost);
+                    Ok(StepKind::Thunk)
+                }
+                Event::Push(page_name, arg) => {
+                    let page = self
+                        .program
+                        .page(&page_name)
+                        .ok_or_else(|| RuntimeError::UnknownPage(page_name.clone()))?;
+                    let bindings = bind_page_params(page, &arg);
+                    let init = page.init.clone();
+                    let (_, cost) = bigstep::run_state(
+                        &self.program,
+                        &mut self.store,
+                        &mut self.queue,
+                        self.version,
+                        self.config.fuel,
+                        bindings,
+                        &init,
+                    )?;
+                    self.cost.absorb(cost);
+                    self.page_stack.push((page_name, arg));
+                    Ok(StepKind::Push)
+                }
+                Event::Pop => {
+                    // (POP): pops the top page, or does nothing if empty.
+                    self.page_stack.pop();
+                    Ok(StepKind::Pop)
+                }
+            };
+        }
+        // (RENDER)
+        if !self.display.is_valid() {
+            if let Some((page_name, arg)) = self.page_stack.last().cloned() {
+                let page = self
+                    .program
+                    .page(&page_name)
+                    .ok_or_else(|| RuntimeError::UnknownPage(page_name.clone()))?;
+                let bindings = bind_page_params(page, &arg);
+                let render = page.render.clone();
+                self.widgets.begin_render();
+                let out = bigstep::run_render_full(
+                    &self.program,
+                    &self.store,
+                    self.version,
+                    self.config.fuel,
+                    bindings,
+                    &render,
+                    None,
+                    Some(&mut self.widgets),
+                )?;
+                self.cost.absorb(out.cost);
+                self.display = Display::Valid(out.root);
+                return Ok(StepKind::Render);
+            }
+        }
+        Ok(StepKind::Stable)
+    }
+
+    /// Run transitions until the system is stable. Returns the kinds of
+    /// transitions performed.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::FuelExhausted`] if the event cascade exceeds the
+    /// configured bound (e.g. pages that push pages forever), or any
+    /// error from user code.
+    pub fn run_to_stable(&mut self) -> Result<Vec<StepKind>, RuntimeError> {
+        let mut kinds = Vec::new();
+        for _ in 0..self.config.max_transitions {
+            let kind = self.step()?;
+            if kind == StepKind::Stable {
+                return Ok(kinds);
+            }
+            kinds.push(kind);
+        }
+        Err(RuntimeError::FuelExhausted)
+    }
+
+    /// (TAP) — the user taps the box at `path` in the display. Requires
+    /// a valid display (the rule's premise `[ontap = v] ∈ B`); enqueues
+    /// the handler and invalidates the display.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError`] if the display is stale, the path is bad, or the
+    /// box has no `ontap` handler.
+    pub fn tap(&mut self, path: &[usize]) -> Result<(), ActionError> {
+        let handler = self.interaction_handler(path, Attr::OnTap)?;
+        self.display = Display::Invalid;
+        self.queue.enqueue(Event::Exec(handler, vec![]));
+        Ok(())
+    }
+
+    /// Like [`System::tap`] but for the `onedit` handler, passing the
+    /// edited text. Models the user editing a box's content.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::tap`].
+    pub fn edit_box(&mut self, path: &[usize], text: &str) -> Result<(), ActionError> {
+        let handler = self.interaction_handler(path, Attr::OnEdit)?;
+        self.display = Display::Invalid;
+        self.queue
+            .enqueue(Event::Exec(handler, vec![Value::str(text)]));
+        Ok(())
+    }
+
+    fn interaction_handler(&self, path: &[usize], attr: Attr) -> Result<Value, ActionError> {
+        let Display::Valid(root) = &self.display else {
+            return Err(ActionError::DisplayInvalid);
+        };
+        let node = root
+            .descendant(path)
+            .ok_or_else(|| ActionError::NoSuchBox(path.to_vec()))?;
+        node.attr(attr).cloned().ok_or(ActionError::NoHandler(attr))
+    }
+
+    /// (BACK) — the user presses the back button: enqueue `[pop]` and
+    /// invalidate the display.
+    pub fn back(&mut self) {
+        self.display = Display::Invalid;
+        self.queue.enqueue(Event::Pop);
+    }
+
+    /// (UPDATE) — swap in new code. Only enabled in a stable state. The
+    /// store and page stack are fixed up per Fig. 12, the display is
+    /// invalidated, and the version counter increments so that stale
+    /// closures are detectable.
+    ///
+    /// ```
+    /// use alive_core::{compile, Value};
+    /// use alive_core::system::System;
+    ///
+    /// let code_v1 = "global n : number = 0
+    ///     page start() {
+    ///         init { n := 41; }
+    ///         render { boxed { post n; } }
+    ///     }";
+    /// let mut system = System::new(compile(code_v1)?);
+    /// system.run_to_stable()?;
+    ///
+    /// // A code change is just one more transition: the model survives,
+    /// // init does NOT re-run, only the render code is re-executed.
+    /// let code_v2 = code_v1.replace("post n;", "post \"n = \" ++ n;");
+    /// let report = system.update(compile(&code_v2)?).expect("stable");
+    /// assert!(report.kept_globals.iter().any(|g| &**g == "n"));
+    /// system.run_to_stable()?;
+    /// assert_eq!(system.store().get("n"), Some(&Value::Number(41.0)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NotStable`] outside stable states;
+    /// [`ActionError::IllTyped`] if `C' ⊢ C'` fails (the old program
+    /// keeps running).
+    pub fn update(&mut self, new_program: Program) -> Result<FixupReport, ActionError> {
+        if !self.is_stable() {
+            return Err(ActionError::NotStable);
+        }
+        let diags = crate::typeck::check_program(&new_program);
+        if diags.has_errors() {
+            return Err(ActionError::IllTyped(diags));
+        }
+        let (store, mut report) = fixup_store(&new_program, &self.store);
+        let page_stack = fixup_pages(&new_program, &self.page_stack, &mut report);
+        self.program = Rc::new(new_program);
+        self.store = store;
+        self.page_stack = page_stack;
+        self.display = Display::Invalid;
+        self.queue.clear();
+        // View state dies with the view's code (§4.2 discipline applied
+        // to the `remember` extension).
+        self.widgets.clear();
+        self.version += 1;
+        Ok(report)
+    }
+
+    /// Snapshot the model (store) as persistent text — the "persistent
+    /// data" half of the paper's program = code + data (§1).
+    pub fn snapshot(&self) -> String {
+        crate::persist::save_store(&self.store)
+    }
+
+    /// Restore a model snapshot against the *current* code. Entries that
+    /// no longer type-check are skipped (the persistence analogue of the
+    /// Fig. 12 fix-up). The display is invalidated so the restored model
+    /// is rendered.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::persist::PersistError`] on malformed snapshot syntax.
+    pub fn restore(
+        &mut self,
+        snapshot: &str,
+    ) -> Result<crate::persist::LoadReport, crate::persist::PersistError> {
+        let (store, report) = crate::persist::load_store(&self.program, snapshot)?;
+        self.store = store;
+        self.display = Display::Invalid;
+        Ok(report)
+    }
+
+    /// Perform the RENDER transition with a [`bigstep::RenderHook`]
+    /// intercepting `boxed` evaluation — the §5 reuse optimization.
+    /// Does nothing (returns `false`) if the display is already valid,
+    /// the queue is non-empty, or the page stack is empty (i.e. RENDER
+    /// is not the enabled transition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from the render body.
+    pub fn render_with_hook(
+        &mut self,
+        hook: &mut dyn crate::bigstep::RenderHook,
+    ) -> Result<bool, RuntimeError> {
+        if self.display.is_valid() || !self.queue.is_empty() {
+            return Ok(false);
+        }
+        let Some((page_name, arg)) = self.page_stack.last().cloned() else {
+            return Ok(false);
+        };
+        let page = self
+            .program
+            .page(&page_name)
+            .ok_or_else(|| RuntimeError::UnknownPage(page_name.clone()))?;
+        let bindings = bind_page_params(page, &arg);
+        let render = page.render.clone();
+        self.widgets.begin_render();
+        let out = bigstep::run_render_full(
+            &self.program,
+            &self.store,
+            self.version,
+            self.config.fuel,
+            bindings,
+            &render,
+            Some(hook),
+            Some(&mut self.widgets),
+        )?;
+        self.cost.absorb(out.cost);
+        self.display = Display::Valid(out.root);
+        Ok(true)
+    }
+
+    /// Mutable access to the store, for tests that need to corrupt or
+    /// probe the model directly. Not part of the semantic model: user
+    /// code can only reach the store through the transitions.
+    #[doc(hidden)]
+    pub fn debug_store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Mutable access to the `remember` slots, for harness code that
+    /// reconstructs equivalent systems. Not part of the semantic model.
+    #[doc(hidden)]
+    pub fn debug_widgets_mut(&mut self) -> &mut crate::widget::WidgetStore {
+        &mut self.widgets
+    }
+
+    /// Replace the page stack wholesale — escape hatch for harness code
+    /// modelling *other* systems (the fix-and-continue baseline). Not
+    /// part of the semantic model.
+    #[doc(hidden)]
+    pub fn debug_set_pages(&mut self, pages: Vec<(Name, Value)>) {
+        self.page_stack = pages;
+        self.display = Display::Invalid;
+    }
+
+    /// Convenience: the rendered box tree, rendering first if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from pending transitions.
+    pub fn rendered(&mut self) -> Result<&BoxNode, RuntimeError> {
+        self.run_to_stable()?;
+        Ok(self
+            .display
+            .content()
+            .expect("stable states have a valid display"))
+    }
+}
+
+/// Bind a page's parameters from its argument tuple.
+fn bind_page_params(page: &crate::program::PageDef, arg: &Value) -> Vec<(Name, Value)> {
+    match arg {
+        Value::Tuple(vs) if vs.len() == page.params.len() => page
+            .params
+            .iter()
+            .zip(vs.iter())
+            .map(|(p, v)| (p.name.clone(), v.clone()))
+            .collect(),
+        // Degenerate (ill-typed) argument: bind nothing; the evaluator
+        // will report unbound locals if the body uses parameters.
+        _ => Vec::new(),
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "System(v{}, display: {}, store: {} globals, stack: [{}], queue: {} events)",
+            self.version,
+            self.display,
+            self.store.len(),
+            self.page_stack
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.queue.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::value::Value;
+
+    const COUNTER: &str = "
+        global count : number = 0
+        page start() {
+            init { count := count + 1; }
+            render {
+                boxed {
+                    post \"count is \" ++ count;
+                    on tap { count := count + 10; }
+                }
+            }
+        }";
+
+    fn counter_system() -> System {
+        System::new(compile(COUNTER).expect("compiles"))
+    }
+
+    #[test]
+    fn startup_reaches_stable_render() {
+        let mut sys = counter_system();
+        assert!(!sys.is_stable());
+        let kinds = sys.run_to_stable().expect("runs");
+        assert_eq!(kinds, vec![StepKind::Startup, StepKind::Push, StepKind::Render]);
+        assert!(sys.is_stable());
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(1.0)));
+        let root = sys.display().content().expect("valid");
+        assert_eq!(
+            root.descendant(&[0]).expect("box").leaves().next(),
+            Some(&Value::str("count is 1"))
+        );
+    }
+
+    #[test]
+    fn tap_runs_handler_and_rerenders() {
+        let mut sys = counter_system();
+        sys.run_to_stable().expect("starts");
+        sys.tap(&[0]).expect("tap lands");
+        assert!(!sys.display().is_valid(), "tap invalidates the display");
+        let kinds = sys.run_to_stable().expect("handles tap");
+        assert_eq!(kinds, vec![StepKind::Thunk, StepKind::Render]);
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(11.0)));
+        let root = sys.display().content().expect("valid");
+        assert_eq!(
+            root.descendant(&[0]).expect("box").leaves().next(),
+            Some(&Value::str("count is 11"))
+        );
+    }
+
+    #[test]
+    fn tap_requires_valid_display() {
+        let mut sys = counter_system();
+        assert_eq!(sys.tap(&[0]), Err(ActionError::DisplayInvalid));
+        sys.run_to_stable().expect("starts");
+        assert_eq!(sys.tap(&[9]), Err(ActionError::NoSuchBox(vec![9])));
+    }
+
+    #[test]
+    fn back_pops_and_startup_reenters() {
+        let mut sys = counter_system();
+        sys.run_to_stable().expect("starts");
+        sys.back();
+        let kinds = sys.run_to_stable().expect("pops and restarts");
+        // Pop empties the stack; STARTUP pushes start again (re-running
+        // init — the paper's model restarts an empty stack).
+        assert_eq!(
+            kinds,
+            vec![StepKind::Pop, StepKind::Startup, StepKind::Push, StepKind::Render]
+        );
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(2.0)));
+    }
+
+    #[test]
+    fn update_preserves_model_and_rerenders() {
+        let mut sys = counter_system();
+        sys.run_to_stable().expect("starts");
+        sys.tap(&[0]).expect("tap");
+        sys.run_to_stable().expect("handles");
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(11.0)));
+
+        // Live edit: change the label text (the paper's I2-style tweak).
+        let new_code = COUNTER.replace("count is ", "the count: ");
+        let new_program = compile(&new_code).expect("new code compiles");
+        let report = sys.update(new_program).expect("update applies");
+        assert!(!report.dropped_anything());
+        assert_eq!(sys.version(), 1);
+        assert!(!sys.display().is_valid());
+
+        let kinds = sys.run_to_stable().expect("re-renders");
+        // Crucially: only RENDER runs. Init does NOT re-run; the model
+        // (count = 11) is preserved.
+        assert_eq!(kinds, vec![StepKind::Render]);
+        assert_eq!(sys.store().get("count"), Some(&Value::Number(11.0)));
+        let root = sys.display().content().expect("valid");
+        assert_eq!(
+            root.descendant(&[0]).expect("box").leaves().next(),
+            Some(&Value::str("the count: 11"))
+        );
+    }
+
+    #[test]
+    fn update_requires_stability() {
+        let mut sys = counter_system();
+        let p = compile(COUNTER).expect("compiles");
+        assert!(matches!(sys.update(p), Err(ActionError::NotStable)));
+    }
+
+    #[test]
+    fn ill_typed_update_is_rejected_and_old_code_keeps_running() {
+        let mut sys = counter_system();
+        sys.run_to_stable().expect("starts");
+        let bad = "global g : number = 0
+                   page start() { render { g := 1; } }";
+        // The bad program fails `compile` already; build it via parse +
+        // lower then feed to update to exercise the `C' ⊢ C'` premise.
+        let parsed = alive_syntax::parse_program(bad);
+        let lowered = crate::lower::lower_program(&parsed.program);
+        let err = sys.update(lowered.program).expect_err("rejected");
+        assert!(matches!(err, ActionError::IllTyped(_)));
+        assert_eq!(sys.version(), 0);
+        assert!(sys.is_stable(), "old program keeps running");
+    }
+
+    #[test]
+    fn update_dropping_global_reinitializes_it() {
+        let mut sys = counter_system();
+        sys.run_to_stable().expect("starts");
+        // Retype `count` as a string; fix-up drops the old value and the
+        // initializer supplies the new one on first read (EP-GLOBAL-2).
+        let retyped = "
+            global count : string = \"zero\"
+            page start() {
+                init { count := count ++ \"!\"; }
+                render { boxed { post count; } }
+            }";
+        let report = sys
+            .update(compile(retyped).expect("compiles"))
+            .expect("update applies");
+        assert_eq!(report.dropped_globals.len(), 1);
+        sys.run_to_stable().expect("re-renders");
+        // Init does not re-run on update, so no "!" is appended; the
+        // render reads the initializer value.
+        let root = sys.display().content().expect("valid");
+        let leaf = root.descendant(&[0]).expect("box").leaves().next().cloned();
+        assert_eq!(leaf, Some(Value::str("zero")));
+    }
+
+    #[test]
+    fn page_navigation_push_and_pop() {
+        let two_pages = "
+            global picked : number = 0
+            page start() {
+                render {
+                    for i in 0 .. 3 {
+                        boxed {
+                            post i;
+                            on tap { push detail(i); }
+                        }
+                    }
+                }
+            }
+            page detail(n: number) {
+                init { picked := n; }
+                render {
+                    boxed { post \"detail \" ++ n; on tap { pop; } }
+                }
+            }";
+        let mut sys = System::new(compile(two_pages).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        assert_eq!(sys.current_page().map(|(n, _)| n), Some("start"));
+
+        sys.tap(&[1]).expect("tap second entry");
+        sys.run_to_stable().expect("navigates");
+        assert_eq!(sys.current_page().map(|(n, _)| n), Some("detail"));
+        assert_eq!(sys.store().get("picked"), Some(&Value::Number(1.0)));
+        let root = sys.display().content().expect("valid");
+        assert_eq!(
+            root.descendant(&[0]).expect("box").leaves().next(),
+            Some(&Value::str("detail 1"))
+        );
+
+        sys.tap(&[0]).expect("tap to pop");
+        sys.run_to_stable().expect("pops");
+        assert_eq!(sys.current_page().map(|(n, _)| n), Some("start"));
+        assert_eq!(sys.page_stack().len(), 1);
+    }
+
+    #[test]
+    fn edit_handler_receives_text() {
+        let editable = "
+            global term : string = \"30\"
+            page start() {
+                render {
+                    boxed {
+                        post term;
+                        on edited(text: string) { term := text; }
+                    }
+                }
+            }";
+        let mut sys = System::new(compile(editable).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        sys.edit_box(&[0], "15").expect("edit lands");
+        sys.run_to_stable().expect("handles edit");
+        assert_eq!(sys.store().get("term"), Some(&Value::str("15")));
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip_the_model() {
+        let mut sys = counter_system();
+        sys.run_to_stable().expect("starts");
+        sys.tap(&[0]).expect("tap");
+        sys.run_to_stable().expect("handles");
+        let snapshot = sys.snapshot();
+        assert!(snapshot.contains("count := 11"), "{snapshot}");
+
+        // A fresh system restores the model without re-running init.
+        let mut fresh = counter_system();
+        fresh.run_to_stable().expect("starts"); // count = 1
+        let report = fresh.restore(&snapshot).expect("restores");
+        assert_eq!(report.restored, vec!["count".to_string()]);
+        fresh.run_to_stable().expect("re-renders");
+        let root = fresh.display().content().expect("valid");
+        assert_eq!(
+            root.descendant(&[0]).expect("box").leaves().next(),
+            Some(&Value::str("count is 11"))
+        );
+    }
+
+    #[test]
+    fn infinite_push_cascade_is_bounded() {
+        let loopy = "
+            page start() {
+                init { push start(); }
+                render { }
+            }";
+        let mut sys = System::with_config(
+            compile(loopy).expect("compiles"),
+            SystemConfig { fuel: DEFAULT_FUEL, max_transitions: 50 },
+        );
+        assert_eq!(sys.run_to_stable(), Err(RuntimeError::FuelExhausted));
+    }
+}

@@ -1,0 +1,269 @@
+//! Types and effects — the paper's Figure 6 type grammar.
+//!
+//! `τ ::= number | string | (τ1, ..., τn) | τ →µ τ` extended with the
+//! conservative additions `bool`, `color`, and `list τ` that the paper's
+//! own example programs rely on (booleans for conditionals, colors for
+//! `set background`, collections for the listings).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned-ish name; cheap to clone and hash.
+pub type Name = Rc<str>;
+
+/// The paper's three effects: `p` (pure), `s` (state), `r` (render).
+///
+/// Effects form the partial order `p ⊑ s`, `p ⊑ r`, with `s` and `r`
+/// incomparable (rule T-SUB: a pure function may be used at any effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Effect {
+    /// Side-effect free; may read code and globals.
+    #[default]
+    Pure,
+    /// May write globals and enqueue page navigation.
+    State,
+    /// May create boxes, post content, and set box attributes.
+    Render,
+}
+
+impl Effect {
+    /// The subeffect relation `self ⊑ other`.
+    pub fn subeffect_of(self, other: Effect) -> bool {
+        self == Effect::Pure || self == other
+    }
+
+    /// Short name as used in the paper (`p`, `s`, `r`).
+    pub fn letter(self) -> char {
+        match self {
+            Effect::Pure => 'p',
+            Effect::State => 's',
+            Effect::Render => 'r',
+        }
+    }
+
+    /// Keyword spelling (`pure`, `state`, `render`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Effect::Pure => "pure",
+            Effect::State => "state",
+            Effect::Render => "render",
+        }
+    }
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A type of the core language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// IEEE-754 double, the paper's `number`.
+    Number,
+    /// Immutable text, the paper's `string`.
+    String,
+    /// Boolean (conservative extension).
+    Bool,
+    /// RGB color (conservative extension, used by box attributes).
+    Color,
+    /// Tuple `(τ1, ..., τn)`; the empty tuple is the unit type.
+    Tuple(Rc<[Type]>),
+    /// Immutable list (conservative extension).
+    List(Rc<Type>),
+    /// Function `(τ1, ..., τn) →µ τ`.
+    Fn(Rc<FnType>),
+}
+
+/// Signature of a function type: parameters, latent effect, return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FnType {
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Latent effect, discharged at the call site.
+    pub effect: Effect,
+    /// Return type.
+    pub ret: Type,
+}
+
+impl Type {
+    /// The unit type `()` (the empty tuple).
+    pub fn unit() -> Type {
+        Type::Tuple(Rc::from(Vec::new()))
+    }
+
+    /// A tuple type from component types.
+    pub fn tuple(elems: Vec<Type>) -> Type {
+        Type::Tuple(Rc::from(elems))
+    }
+
+    /// A list type.
+    pub fn list(elem: Type) -> Type {
+        Type::List(Rc::new(elem))
+    }
+
+    /// A function type.
+    pub fn func(params: Vec<Type>, effect: Effect, ret: Type) -> Type {
+        Type::Fn(Rc::new(FnType { params, effect, ret }))
+    }
+
+    /// Whether this is the unit type.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Type::Tuple(elems) if elems.is_empty())
+    }
+
+    /// The paper's "→-free" check (Fig. 11, T-C-GLOBAL / T-C-PAGE):
+    /// globals and page arguments must not contain function types, which
+    /// is what guarantees that no stale code survives an UPDATE (§4.2).
+    pub fn is_arrow_free(&self) -> bool {
+        match self {
+            Type::Number | Type::String | Type::Bool | Type::Color => true,
+            Type::Tuple(elems) => elems.iter().all(Type::is_arrow_free),
+            Type::List(elem) => elem.is_arrow_free(),
+            Type::Fn(_) => false,
+        }
+    }
+
+    /// Structural subtyping with the paper's T-SUB generalized pointwise:
+    /// a function type is a subtype if parameters are supertypes
+    /// (contravariant), the result is a subtype (covariant), and the
+    /// latent effect is a subeffect (`p ⊑ µ`).
+    pub fn is_subtype_of(&self, expected: &Type) -> bool {
+        match (self, expected) {
+            (Type::Number, Type::Number)
+            | (Type::String, Type::String)
+            | (Type::Bool, Type::Bool)
+            | (Type::Color, Type::Color) => true,
+            (Type::Tuple(a), Type::Tuple(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x.is_subtype_of(y))
+            }
+            (Type::List(a), Type::List(b)) => a.is_subtype_of(b),
+            (Type::Fn(a), Type::Fn(b)) => {
+                a.params.len() == b.params.len()
+                    && a.effect.subeffect_of(b.effect)
+                    && b.params
+                        .iter()
+                        .zip(a.params.iter())
+                        .all(|(x, y)| x.is_subtype_of(y))
+                    && a.ret.is_subtype_of(&b.ret)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Number => f.write_str("number"),
+            Type::String => f.write_str("string"),
+            Type::Bool => f.write_str("bool"),
+            Type::Color => f.write_str("color"),
+            Type::Tuple(elems) => {
+                f.write_str("(")?;
+                for (i, t) in elems.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Type::List(elem) => write!(f, "list {elem}"),
+            Type::Fn(sig) => {
+                f.write_str("fn(")?;
+                for (i, t) in sig.params.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")?;
+                if sig.effect != Effect::Pure {
+                    write!(f, " {}", sig.effect)?;
+                }
+                write!(f, " -> {}", sig.ret)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effect_partial_order() {
+        use Effect::*;
+        assert!(Pure.subeffect_of(Pure));
+        assert!(Pure.subeffect_of(State));
+        assert!(Pure.subeffect_of(Render));
+        assert!(State.subeffect_of(State));
+        assert!(!State.subeffect_of(Render));
+        assert!(!Render.subeffect_of(State));
+        assert!(!State.subeffect_of(Pure));
+        assert!(!Render.subeffect_of(Pure));
+    }
+
+    #[test]
+    fn arrow_free() {
+        assert!(Type::Number.is_arrow_free());
+        assert!(Type::tuple(vec![Type::String, Type::list(Type::Number)]).is_arrow_free());
+        let handler = Type::func(vec![], Effect::State, Type::unit());
+        assert!(!handler.is_arrow_free());
+        assert!(!Type::tuple(vec![Type::Number, handler.clone()]).is_arrow_free());
+        assert!(!Type::list(handler).is_arrow_free());
+    }
+
+    #[test]
+    fn subtyping_reflexive_on_base() {
+        for t in [Type::Number, Type::String, Type::Bool, Type::Color, Type::unit()] {
+            assert!(t.is_subtype_of(&t));
+        }
+        assert!(!Type::Number.is_subtype_of(&Type::String));
+    }
+
+    #[test]
+    fn t_sub_on_function_effects() {
+        let pure_fn = Type::func(vec![Type::Number], Effect::Pure, Type::Number);
+        let state_fn = Type::func(vec![Type::Number], Effect::State, Type::Number);
+        let render_fn = Type::func(vec![Type::Number], Effect::Render, Type::Number);
+        // Pure functions can be used anywhere (T-SUB).
+        assert!(pure_fn.is_subtype_of(&state_fn));
+        assert!(pure_fn.is_subtype_of(&render_fn));
+        // But not the other way around, and s/r are incomparable.
+        assert!(!state_fn.is_subtype_of(&pure_fn));
+        assert!(!state_fn.is_subtype_of(&render_fn));
+        assert!(!render_fn.is_subtype_of(&state_fn));
+    }
+
+    #[test]
+    fn function_subtyping_is_contravariant_in_params() {
+        // fn(fn() state -> ()) pure -> () vs fn(fn() pure -> ()) pure -> ()
+        let takes_state = Type::func(
+            vec![Type::func(vec![], Effect::State, Type::unit())],
+            Effect::Pure,
+            Type::unit(),
+        );
+        let takes_pure = Type::func(
+            vec![Type::func(vec![], Effect::Pure, Type::unit())],
+            Effect::Pure,
+            Type::unit(),
+        );
+        // A function accepting state-handlers also accepts pure handlers.
+        assert!(takes_state.is_subtype_of(&takes_pure));
+        assert!(!takes_pure.is_subtype_of(&takes_state));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::unit().to_string(), "()");
+        assert_eq!(
+            Type::func(vec![Type::Number], Effect::Render, Type::unit()).to_string(),
+            "fn(number) render -> ()"
+        );
+        assert_eq!(Type::list(Type::String).to_string(), "list string");
+    }
+}

@@ -1,0 +1,53 @@
+//! # alive-live
+//!
+//! The live programming environment of *its-alive* — the Section 3
+//! features of the PLDI 2013 paper, built on the formal model in
+//! `alive-core`:
+//!
+//! * **Live editing** ([`session::LiveSession`]): the program keeps
+//!   running while the source is edited; accepted edits become UPDATE
+//!   transitions, rejected edits leave the old program running.
+//! * **UI↔code navigation** ([`navigation`]): tap a box to find its
+//!   `boxed` statement; put the cursor in a `boxed` statement to find
+//!   all boxes it created (one-to-many under loops), as in Figure 2.
+//! * **Direct manipulation** ([`manipulate`]): change a box attribute
+//!   from the live view; the change is enshrined as a code edit.
+//! * **Render memoization** ([`memo`]): the §5 optimization that reuses
+//!   box subtrees whose inputs have not changed.
+//!
+//! # Example
+//!
+//! ```
+//! use alive_live::LiveSession;
+//!
+//! let mut session = LiveSession::new(r#"
+//!     global n : number = 0
+//!     page start() {
+//!         init { n := 41; }
+//!         render { boxed { post "n = " ++ n; } }
+//!     }
+//! "#).expect("program compiles");
+//! assert_eq!(session.live_view().expect("renders"), "n = 41\n");
+//!
+//! // A live edit: the display refreshes, the model (n = 41) survives.
+//! let edited = session.source().replace("n = ", "value: ");
+//! let outcome = session.edit_source(&edited).expect("edit runs");
+//! assert!(outcome.is_applied());
+//! assert_eq!(session.live_view().expect("renders"), "value: 41\n");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod editor;
+pub mod manipulate;
+pub mod memo;
+pub mod navigation;
+pub mod session;
+pub mod trace;
+
+pub use editor::{highlight_line, split_view, Selection, SplitViewOptions};
+pub use manipulate::{attribute_edit, remove_attribute_edit, ManipulateError};
+pub use memo::{MemoCache, MemoStats, RenderDeps};
+pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for_box};
+pub use session::{EditOutcome, LiveSession, SessionError};
+pub use trace::{RecordingSession, SessionTrace, TraceEvent};

@@ -1,0 +1,330 @@
+//! Direct manipulation — Section 3's third live feature.
+//!
+//! > "The programmer can directly change the attributes of a box in the
+//! > live view, where the code view is updated automatically to reflect
+//! > these changes. ... to insert a command to change the size of a
+//! > margin, the programmer can first select the corresponding box in
+//! > the live view and then choose the margin property from a button
+//! > menu, which inserts (if not present) a command in the code."
+//!
+//! [`attribute_edit`] computes the [`TextEdit`] for such a change: it
+//! re-parses the current source, finds the `boxed` statement that
+//! created the selected box, and either rewrites the value of an
+//! existing `box.attr := ...;` statement or inserts a new one at the top
+//! of the box body. The effects of manipulation are thereby "enshrined
+//! in code" (paper §6).
+
+use alive_core::expr::BoxSourceId;
+use alive_core::{Attr, Program};
+use alive_syntax::ast::{Block, Item, Stmt, StmtKind};
+use alive_syntax::{parse_expr, parse_program, Span, TextEdit};
+use std::fmt;
+
+/// Errors computing a direct-manipulation edit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManipulateError {
+    /// The selected box has no `boxed` statement (the implicit root).
+    NoSourceStatement,
+    /// The statement's span was not found in the source (stale source).
+    StatementNotFound(Span),
+    /// The replacement value does not parse as an expression.
+    BadValue(String),
+}
+
+impl fmt::Display for ManipulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManipulateError::NoSourceStatement => {
+                f.write_str("the selected box was not created by a boxed statement")
+            }
+            ManipulateError::StatementNotFound(span) => {
+                write!(f, "no boxed statement at {span} in the current source")
+            }
+            ManipulateError::BadValue(v) => {
+                write!(f, "`{v}` does not parse as an expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManipulateError {}
+
+/// Compute the text edit that sets `attr` of the box created by the
+/// `boxed` statement `id` to the expression `value_src`.
+///
+/// If the statement body already sets the attribute, the existing
+/// value expression is replaced in place (so repeated manipulation
+/// twiddles one number, exactly like the paper's margin example);
+/// otherwise a new `box.attr := value;` statement is inserted at the
+/// start of the body.
+///
+/// # Errors
+///
+/// See [`ManipulateError`].
+pub fn attribute_edit(
+    source: &str,
+    program: &Program,
+    id: BoxSourceId,
+    attr: Attr,
+    value_src: &str,
+) -> Result<TextEdit, ManipulateError> {
+    if parse_expr(value_src).is_err() {
+        return Err(ManipulateError::BadValue(value_src.to_string()));
+    }
+    let span = program.box_span(id).ok_or(ManipulateError::NoSourceStatement)?;
+    let parsed = parse_program(source);
+    let body =
+        find_boxed_body(&parsed.program, span).ok_or(ManipulateError::StatementNotFound(span))?;
+
+    // Rewrite an existing `box.attr := ...;` if present (direct
+    // children only — nested boxes own their own attributes).
+    for stmt in &body.stmts {
+        if let StmtKind::SetAttr { attr: name, value } = &stmt.kind {
+            if Attr::from_name(&name.text) == Some(attr) {
+                return Ok(TextEdit::replace(value.span, value_src));
+            }
+        }
+        // `on tap { ... }` sugar also sets handler attributes.
+        if let StmtKind::On { event, .. } = &stmt.kind {
+            if attr.is_handler() && Attr::from_name(&event.text) == Some(attr) {
+                return Ok(TextEdit::replace(stmt.span, format!(
+                    "box.{attr} := {value_src};"
+                )));
+            }
+        }
+    }
+    // Insert a new statement right after the opening brace.
+    Ok(TextEdit::insert(
+        body.span.start + 1,
+        format!(" box.{attr} := {value_src};"),
+    ))
+}
+
+/// Compute the text edit that removes an attribute setting from the box
+/// created by `boxed` statement `id` (the "reset to default" button of a
+/// property inspector). Returns `None` if the statement does not set the
+/// attribute directly.
+///
+/// # Errors
+///
+/// See [`ManipulateError`].
+pub fn remove_attribute_edit(
+    source: &str,
+    program: &Program,
+    id: BoxSourceId,
+    attr: Attr,
+) -> Result<Option<TextEdit>, ManipulateError> {
+    let span = program.box_span(id).ok_or(ManipulateError::NoSourceStatement)?;
+    let parsed = parse_program(source);
+    let body =
+        find_boxed_body(&parsed.program, span).ok_or(ManipulateError::StatementNotFound(span))?;
+    for stmt in &body.stmts {
+        let matches_attr = match &stmt.kind {
+            StmtKind::SetAttr { attr: name, .. } => Attr::from_name(&name.text) == Some(attr),
+            StmtKind::On { event, .. } => {
+                attr.is_handler() && Attr::from_name(&event.text) == Some(attr)
+            }
+            _ => false,
+        };
+        if matches_attr {
+            // Delete the statement plus any whitespace run up to it, so
+            // repeated add/remove cycles do not accumulate blank space.
+            let mut start = stmt.span.start as usize;
+            let bytes = source.as_bytes();
+            while start > 0 && (bytes[start - 1] == b' ' || bytes[start - 1] == b'\n') {
+                start -= 1;
+            }
+            return Ok(Some(TextEdit::delete(Span::new(
+                start as u32,
+                stmt.span.end,
+            ))));
+        }
+    }
+    Ok(None)
+}
+
+/// Find the body block of the `boxed` statement at exactly `span`.
+fn find_boxed_body(program: &alive_syntax::Program, span: Span) -> Option<&Block> {
+    fn in_block(block: &Block, span: Span) -> Option<&Block> {
+        for stmt in &block.stmts {
+            if let Some(found) = in_stmt(stmt, span) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    fn in_stmt(stmt: &Stmt, span: Span) -> Option<&Block> {
+        match &stmt.kind {
+            StmtKind::Boxed { body } => {
+                if stmt.span == span {
+                    return Some(body);
+                }
+                in_block(body, span)
+            }
+            StmtKind::If { then_block, else_block, .. } => in_block(then_block, span)
+                .or_else(|| else_block.as_ref().and_then(|b| in_block(b, span))),
+            StmtKind::While { body, .. }
+            | StmtKind::ForRange { body, .. }
+            | StmtKind::Foreach { body, .. }
+            | StmtKind::On { body, .. } => in_block(body, span),
+            _ => None,
+        }
+    }
+
+    for item in &program.items {
+        let found = match item {
+            Item::Fun(f) => in_block(&f.body, span),
+            Item::Page(p) => in_block(&p.init, span).or_else(|| in_block(&p.render, span)),
+            Item::Global(_) => None,
+        };
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::navigation::span_for_box;
+    use crate::session::LiveSession;
+    use alive_core::compile;
+    use alive_syntax::apply_edits;
+
+    const SRC: &str = r#"page start() {
+    render {
+        boxed {
+            box.margin := 4;
+            post "header";
+        }
+        boxed { post "body"; }
+    }
+}"#;
+
+    fn id_of_box(session_src: &str, needle: &str) -> (Program, BoxSourceId) {
+        let program = compile(session_src).expect("compiles");
+        let pos = session_src.find(needle).expect("found") as u32;
+        let id = crate::navigation::box_source_at(&program, pos).expect("in a box");
+        (program, id)
+    }
+
+    #[test]
+    fn rewrites_existing_attribute_value() {
+        let (program, id) = id_of_box(SRC, "header");
+        let edit = attribute_edit(SRC, &program, id, Attr::Margin, "8").expect("edits");
+        let out = apply_edits(SRC, &[edit]).expect("applies");
+        assert!(out.contains("box.margin := 8;"), "{out}");
+        assert!(!out.contains(":= 4"), "{out}");
+    }
+
+    #[test]
+    fn inserts_missing_attribute() {
+        let (program, id) = id_of_box(SRC, "body");
+        let edit =
+            attribute_edit(SRC, &program, id, Attr::Background, "colors.light_blue")
+                .expect("edits");
+        let out = apply_edits(SRC, &[edit]).expect("applies");
+        assert!(
+            out.contains("boxed { box.background := colors.light_blue; post \"body\"; }"),
+            "{out}"
+        );
+        // The patched program still compiles.
+        compile(&out).expect("patched program compiles");
+    }
+
+    #[test]
+    fn bad_value_is_rejected() {
+        let (program, id) = id_of_box(SRC, "body");
+        assert!(matches!(
+            attribute_edit(SRC, &program, id, Attr::Margin, "4 +"),
+            Err(ManipulateError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn end_to_end_direct_manipulation() {
+        // The paper's I1 improvement: select a box in the live view,
+        // change its margin, watch code and view update together.
+        let mut session = LiveSession::new(SRC).expect("starts");
+        let display = session.display_tree().expect("renders");
+        // Select the header box in the live view (path [0]) — code side
+        // shows its boxed statement.
+        let span = span_for_box(session.system().program(), &display, &[0])
+            .expect("navigates");
+        assert!(span.slice(session.source()).contains("header"));
+        // Now manipulate: margin 4 → 2.
+        let id = display.descendant(&[0]).expect("box").source.expect("has source");
+        let edit = attribute_edit(session.source(), session.system().program(), id, Attr::Margin, "2")
+            .expect("edit computed");
+        let outcome = session.apply_text_edits(&[edit]).expect("applies");
+        assert!(outcome.is_applied());
+        assert!(session.source().contains("box.margin := 2;"));
+        // And the live view reflects it: margin 2 indents "header" by 2.
+        let view = session.live_view().expect("renders");
+        assert!(view.contains("  header"), "{view}");
+    }
+
+    #[test]
+    fn remove_attribute_deletes_the_statement() {
+        let (program, id) = id_of_box(SRC, "header");
+        let edit = remove_attribute_edit(SRC, &program, id, Attr::Margin)
+            .expect("computes")
+            .expect("attribute present");
+        let out = apply_edits(SRC, &[edit]).expect("applies");
+        assert!(!out.contains("box.margin"), "{out}");
+        compile(&out).expect("still compiles");
+        // Removing an absent attribute is a no-op.
+        let (program, id) = id_of_box(&out, "header");
+        assert_eq!(
+            remove_attribute_edit(&out, &program, id, Attr::Margin).expect("computes"),
+            None
+        );
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips_cleanly() {
+        let mut session = LiveSession::new(SRC).expect("starts");
+        let display = session.display_tree().expect("renders");
+        let id = display.descendant(&[1]).expect("box").source.expect("id");
+        let add = attribute_edit(
+            session.source(),
+            session.system().program(),
+            id,
+            Attr::Border,
+            "1",
+        )
+        .expect("edit");
+        session.apply_text_edits(&[add]).expect("applies");
+        assert!(session.source().contains("box.border := 1;"));
+
+        let display = session.display_tree().expect("renders");
+        let id = display.descendant(&[1]).expect("box").source.expect("id");
+        let remove = remove_attribute_edit(
+            session.source(),
+            session.system().program(),
+            id,
+            Attr::Border,
+        )
+        .expect("computes")
+        .expect("present");
+        session.apply_text_edits(&[remove]).expect("applies");
+        assert!(!session.source().contains("box.border"));
+        // Clean roundtrip: back to the original text.
+        assert_eq!(session.source(), SRC);
+    }
+
+    #[test]
+    fn nested_boxed_targets_the_inner_statement() {
+        let src = r#"page start() {
+    render {
+        boxed { boxed { post "inner"; } }
+    }
+}"#;
+        let (program, id) = id_of_box(src, "inner");
+        let edit = attribute_edit(src, &program, id, Attr::Margin, "1").expect("edits");
+        let out = apply_edits(src, &[edit]).expect("applies");
+        assert!(out.contains(r#"boxed { box.margin := 1; post "inner"; }"#), "{out}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Bidirectional UI↔code navigation — the paper's Figure 2.
+//!
+//! > "If the user taps a box in the live view, the editor selects the
+//! > boxed statement in the code view that created the UI element.
+//! > Likewise, if the user selects a boxed statement in the code view,
+//! > the corresponding box (or boxes) is selected in the live view."
+//!
+//! The mapping is exact because every box records the
+//! [`BoxSourceId`] of the `boxed` statement that created it, and the
+//! program records each statement's source span.
+
+use alive_core::boxtree::BoxNode;
+use alive_core::expr::BoxSourceId;
+use alive_core::Program;
+use alive_syntax::Span;
+
+/// Box → code: the source span of the `boxed` statement that created
+/// the box at `path` in the display.
+pub fn span_for_box(program: &Program, display: &BoxNode, path: &[usize]) -> Option<Span> {
+    let node = display.descendant(path)?;
+    program.box_span(node.source?)
+}
+
+/// Code → box: all boxes in the display created by the `boxed`
+/// statement whose span contains the cursor position. A statement
+/// inside a loop yields many boxes, which are "collectively selected".
+pub fn boxes_for_cursor(
+    program: &Program,
+    display: &BoxNode,
+    cursor: u32,
+) -> Vec<Vec<usize>> {
+    match box_source_at(program, cursor) {
+        Some(id) => display.find_by_source(id),
+        None => Vec::new(),
+    }
+}
+
+/// The innermost `boxed` statement whose source span contains the
+/// cursor position.
+pub fn box_source_at(program: &Program, cursor: u32) -> Option<BoxSourceId> {
+    program
+        .box_spans
+        .iter()
+        .enumerate()
+        .filter(|(_, span)| span.contains_pos(cursor))
+        .min_by_key(|(_, span)| span.len())
+        .map(|(i, _)| BoxSourceId(i as u32))
+}
+
+/// All boxes created by a specific `boxed` statement.
+pub fn boxes_for_source(display: &BoxNode, id: BoxSourceId) -> Vec<Vec<usize>> {
+    display.find_by_source(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::compile;
+    use alive_core::system::System;
+
+    const SRC: &str = r#"page start() {
+    render {
+        boxed { post "header"; }
+        for i in 0 .. 3 {
+            boxed { post i; }
+        }
+    }
+}"#;
+
+    fn rendered() -> (Program, BoxNode) {
+        let program = compile(SRC).expect("compiles");
+        let mut system = System::new(program.clone());
+        let root = system.rendered().expect("renders").clone();
+        (program, root)
+    }
+
+    #[test]
+    fn tap_box_selects_its_statement() {
+        let (program, root) = rendered();
+        let span = span_for_box(&program, &root, &[0]).expect("maps");
+        assert_eq!(span.slice(SRC), r#"boxed { post "header"; }"#);
+        // One of the loop-produced boxes maps to the loop's boxed stmt.
+        let span2 = span_for_box(&program, &root, &[2]).expect("maps");
+        assert_eq!(span2.slice(SRC), "boxed { post i; }");
+    }
+
+    #[test]
+    fn cursor_in_loop_statement_selects_all_its_boxes() {
+        let (program, root) = rendered();
+        let cursor = SRC.find("post i").expect("found") as u32;
+        let boxes = boxes_for_cursor(&program, &root, cursor);
+        assert_eq!(boxes, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn cursor_in_header_selects_one_box() {
+        let (program, root) = rendered();
+        let cursor = SRC.find("header").expect("found") as u32;
+        let boxes = boxes_for_cursor(&program, &root, cursor);
+        assert_eq!(boxes, vec![vec![0]]);
+    }
+
+    #[test]
+    fn cursor_outside_any_boxed_selects_nothing(){
+        let (program, root) = rendered();
+        // Position 0 is `page`, outside every boxed statement.
+        assert!(boxes_for_cursor(&program, &root, 0).is_empty());
+        assert_eq!(box_source_at(&program, 0), None);
+    }
+
+    #[test]
+    fn implicit_root_box_has_no_span() {
+        let (program, root) = rendered();
+        assert_eq!(span_for_box(&program, &root, &[]), None);
+    }
+
+    #[test]
+    fn nested_boxed_prefers_innermost() {
+        let src = r#"page start() {
+    render {
+        boxed { boxed { post "inner"; } }
+    }
+}"#;
+        let program = compile(src).expect("compiles");
+        let cursor = src.find("inner").expect("found") as u32;
+        let id = box_source_at(&program, cursor).expect("inside both");
+        let span = program.box_span(id).expect("has span");
+        assert_eq!(span.slice(src), r#"boxed { post "inner"; }"#);
+    }
+}

@@ -1,0 +1,502 @@
+//! The live programming session — Section 3's developer experience.
+//!
+//! A [`LiveSession`] pairs the running [`System`] with the program's
+//! *source text*. The programmer edits text; the session continuously
+//! parses, type-checks, and — only when clean — applies the UPDATE
+//! transition, so "the program keeps running while the programmer edits
+//! their code". Ill-formed edits are rejected with diagnostics and the
+//! previous program keeps running.
+
+use crate::memo::{MemoCache, MemoStats};
+use alive_core::boxtree::BoxNode;
+use alive_core::fixup::FixupReport;
+use alive_core::system::{ActionError, System, SystemConfig};
+use alive_core::{compile, IncrementalCompiler, RuntimeError};
+use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
+use alive_ui::{layout, render_to_text, Point};
+
+/// The result of submitting an edit to a live session.
+#[derive(Debug)]
+pub enum EditOutcome {
+    /// The new code was accepted; the UPDATE transition ran with this
+    /// fix-up, and the display was refreshed.
+    Applied(FixupReport),
+    /// The new code was rejected (parse, lower, or type errors); the
+    /// old program keeps running and the source text is unchanged.
+    Rejected(Diagnostics),
+}
+
+impl EditOutcome {
+    /// Whether the edit was applied.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, EditOutcome::Applied(_))
+    }
+}
+
+/// A live programming session: source text + running system + optional
+/// render cache.
+#[derive(Debug)]
+pub struct LiveSession {
+    source: String,
+    system: System,
+    memo: Option<MemoCache>,
+    updates_applied: u64,
+    updates_rejected: u64,
+    /// Per-keystroke compiler with an item-granular parse cache.
+    compiler: IncrementalCompiler,
+    /// Previously applied sources, oldest first (for undo).
+    undo_stack: Vec<String>,
+    /// Sources undone from (for redo); cleared by a fresh edit.
+    redo_stack: Vec<String>,
+}
+
+impl LiveSession {
+    /// Start a session from source text and run it to its first stable
+    /// state (start page rendered).
+    ///
+    /// # Errors
+    ///
+    /// Compilation diagnostics if the initial program is ill-formed, or
+    /// a boxed [`RuntimeError`] if its startup diverges.
+    pub fn new(source: &str) -> Result<Self, SessionError> {
+        Self::with_options(source, SystemConfig::default(), false)
+    }
+
+    /// Start a session with the §5 render cache enabled.
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveSession::new`].
+    pub fn with_memo(source: &str) -> Result<Self, SessionError> {
+        Self::with_options(source, SystemConfig::default(), true)
+    }
+
+    /// Start a session with explicit system configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveSession::new`].
+    pub fn with_options(
+        source: &str,
+        config: SystemConfig,
+        memo: bool,
+    ) -> Result<Self, SessionError> {
+        let program = compile(source).map_err(SessionError::Compile)?;
+        let memo = memo.then(|| MemoCache::new(&program));
+        let mut session = LiveSession {
+            source: source.to_string(),
+            system: System::with_config(program, config),
+            memo,
+            updates_applied: 0,
+            updates_rejected: 0,
+            compiler: IncrementalCompiler::new(),
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+        };
+        session.refresh().map_err(SessionError::Runtime)?;
+        Ok(session)
+    }
+
+    /// The current source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The running system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the running system (for driving interactions).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Number of code updates applied / rejected so far.
+    pub fn update_counts(&self) -> (u64, u64) {
+        (self.updates_applied, self.updates_rejected)
+    }
+
+    /// Render-cache statistics, if the cache is enabled.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.memo.as_ref().map(MemoCache::stats)
+    }
+
+    /// Run the system to a stable state, rendering through the cache
+    /// when one is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from user code.
+    pub fn refresh(&mut self) -> Result<(), RuntimeError> {
+        loop {
+            let render_pending = !self.system.display().is_valid()
+                && self.system.queue().is_empty()
+                && !self.system.page_stack().is_empty();
+            if render_pending {
+                if let Some(memo) = self.memo.as_mut() {
+                    memo.begin_render(self.system.store(), self.system.version());
+                    if self.system.render_with_hook(memo)? {
+                        continue;
+                    }
+                }
+            }
+            if self.system.step()? == alive_core::system::StepKind::Stable {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Submit a full replacement source text — one keystroke's worth of
+    /// the paper's continuous edit loop.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] only if re-rendering the *accepted* program
+    /// fails; rejection of bad code is reported in the returned
+    /// [`EditOutcome`], not as an error.
+    pub fn edit_source(&mut self, new_source: &str) -> Result<EditOutcome, RuntimeError> {
+        let outcome = self.swap_source(new_source)?;
+        if outcome.is_applied() {
+            self.redo_stack.clear();
+        }
+        Ok(outcome)
+    }
+
+    /// Undo the most recent applied edit: restore the previous source
+    /// via a regular UPDATE transition (the model is fixed up, not
+    /// rolled back — undo is an edit like any other, as in the paper's
+    /// model where code changes are transitions).
+    ///
+    /// Returns `false` if there is nothing to undo.
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveSession::edit_source`].
+    pub fn undo(&mut self) -> Result<bool, RuntimeError> {
+        let Some(previous) = self.undo_stack.pop() else {
+            return Ok(false);
+        };
+        let current = self.source.clone();
+        let outcome = self.swap_source(&previous)?;
+        match outcome {
+            EditOutcome::Applied(_) => {
+                // swap_source pushed `current` onto undo; it belongs on
+                // redo instead.
+                self.undo_stack.pop();
+                self.redo_stack.push(current);
+                Ok(true)
+            }
+            EditOutcome::Rejected(_) => {
+                unreachable!("previously applied sources always re-apply")
+            }
+        }
+    }
+
+    /// Redo the most recently undone edit. Returns `false` if there is
+    /// nothing to redo.
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveSession::edit_source`].
+    pub fn redo(&mut self) -> Result<bool, RuntimeError> {
+        let Some(next) = self.redo_stack.pop() else {
+            return Ok(false);
+        };
+        self.swap_source(&next)?;
+        Ok(true)
+    }
+
+    /// Number of edits that can currently be undone.
+    pub fn undo_depth(&self) -> usize {
+        self.undo_stack.len()
+    }
+
+    fn swap_source(&mut self, new_source: &str) -> Result<EditOutcome, RuntimeError> {
+        let program = match self.compiler.compile(new_source) {
+            Ok(p) => p,
+            Err(diags) => {
+                self.updates_rejected += 1;
+                return Ok(EditOutcome::Rejected(diags));
+            }
+        };
+        // UPDATE requires a stable state.
+        self.refresh()?;
+        let report = match self.system.update(program) {
+            Ok(report) => report,
+            Err(ActionError::IllTyped(diags)) => {
+                self.updates_rejected += 1;
+                return Ok(EditOutcome::Rejected(diags));
+            }
+            Err(other) => {
+                unreachable!("update from a stable state cannot fail with {other}")
+            }
+        };
+        self.undo_stack.push(std::mem::replace(&mut self.source, new_source.to_string()));
+        if let Some(memo) = self.memo.as_mut() {
+            memo.on_update(self.system.program(), self.system.version());
+        }
+        self.updates_applied += 1;
+        self.refresh()?;
+        Ok(EditOutcome::Applied(report))
+    }
+
+    /// Apply span-addressed edits to the current source and submit the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Edit`] if the edits are malformed;
+    /// [`SessionError::Runtime`] if the accepted program fails to
+    /// re-render.
+    pub fn apply_text_edits(&mut self, edits: &[TextEdit]) -> Result<EditOutcome, SessionError> {
+        let new_source = apply_edits(&self.source, edits).map_err(SessionError::Edit)?;
+        self.edit_source(&new_source).map_err(SessionError::Runtime)
+    }
+
+    /// The current display's box tree (refreshing first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from user code.
+    pub fn display_tree(&mut self) -> Result<BoxNode, RuntimeError> {
+        self.refresh()?;
+        Ok(self
+            .system
+            .display()
+            .content()
+            .expect("stable state has a display")
+            .clone())
+    }
+
+    /// Render the current display as text — the live view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from user code.
+    pub fn live_view(&mut self) -> Result<String, RuntimeError> {
+        let root = self.display_tree()?;
+        Ok(render_to_text(&layout(&root)))
+    }
+
+    /// Tap the screen at a point (hit-tested), then refresh.
+    /// Returns whether a tappable box was hit.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Runtime`] if the handler or re-render fails.
+    pub fn tap_at(&mut self, x: i32, y: i32) -> Result<bool, SessionError> {
+        self.refresh().map_err(SessionError::Runtime)?;
+        let hit = alive_ui::tap_at(&mut self.system, Point::new(x, y))
+            .map_err(SessionError::Action)?;
+        self.refresh().map_err(SessionError::Runtime)?;
+        Ok(hit)
+    }
+
+    /// Tap a box by its path in the box tree, then refresh.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Action`] if the path or handler is missing.
+    pub fn tap_path(&mut self, path: &[usize]) -> Result<(), SessionError> {
+        self.refresh().map_err(SessionError::Runtime)?;
+        self.system.tap(path).map_err(SessionError::Action)?;
+        self.refresh().map_err(SessionError::Runtime)
+    }
+
+    /// Press the back button, then refresh.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Runtime`] if re-rendering fails.
+    pub fn back(&mut self) -> Result<(), SessionError> {
+        self.system.back();
+        self.refresh().map_err(SessionError::Runtime)
+    }
+
+    /// Edit the text of the box at `path` (fires its `onedit` handler),
+    /// then refresh.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Action`] if the box has no edit handler.
+    pub fn edit_box(&mut self, path: &[usize], text: &str) -> Result<(), SessionError> {
+        self.refresh().map_err(SessionError::Runtime)?;
+        self.system.edit_box(path, text).map_err(SessionError::Action)?;
+        self.refresh().map_err(SessionError::Runtime)
+    }
+}
+
+/// Errors surfaced by [`LiveSession`] entry points.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The initial program did not compile.
+    Compile(Diagnostics),
+    /// User code failed at run time (divergence, partial primitive).
+    Runtime(RuntimeError),
+    /// A user action could not be delivered.
+    Action(ActionError),
+    /// Text edits were malformed.
+    Edit(EditError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Compile(ds) => write!(f, "program does not compile:\n{ds}"),
+            SessionError::Runtime(e) => write!(f, "runtime error: {e}"),
+            SessionError::Action(e) => write!(f, "action failed: {e}"),
+            SessionError::Edit(e) => write!(f, "bad text edit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::Value;
+
+    const APP: &str = r#"
+global count : number = 0
+page start() {
+    init { count := count + 1; }
+    render {
+        boxed {
+            post "count is " ++ count;
+            on tap { count := count + 10; }
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn session_starts_and_renders() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        assert_eq!(s.live_view().expect("renders"), "count is 1\n");
+        assert!(s.system().is_stable());
+    }
+
+    #[test]
+    fn live_edit_keeps_model_state() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        s.tap_path(&[0]).expect("tap");
+        assert_eq!(s.live_view().expect("renders"), "count is 11\n");
+
+        let outcome = s
+            .edit_source(&APP.replace("count is ", "n = "))
+            .expect("edit runs");
+        assert!(outcome.is_applied());
+        // Model preserved across the code update; init did not re-run.
+        assert_eq!(s.live_view().expect("renders"), "n = 11\n");
+        assert_eq!(s.update_counts(), (1, 0));
+    }
+
+    #[test]
+    fn broken_edit_is_rejected_and_old_code_runs() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        // Mid-keystroke state: incomplete expression.
+        let outcome = s
+            .edit_source(&APP.replace("count + 10", "count + "))
+            .expect("edit handled");
+        let EditOutcome::Rejected(diags) = outcome else {
+            panic!("expected rejection");
+        };
+        assert!(diags.has_errors());
+        assert_eq!(s.update_counts(), (0, 1));
+        // Old program still runs, source unchanged.
+        assert_eq!(s.live_view().expect("renders"), "count is 1\n");
+        assert!(s.source().contains("count + 10"));
+    }
+
+    #[test]
+    fn text_edits_apply_by_span(){
+        let mut s = LiveSession::new(APP).expect("starts");
+        let at = s.source().find("10").expect("found") as u32;
+        let outcome = s
+            .apply_text_edits(&[TextEdit::replace(
+                alive_syntax::Span::new(at, at + 2),
+                "100",
+            )])
+            .expect("edits apply");
+        assert!(outcome.is_applied());
+        s.tap_path(&[0]).expect("tap");
+        assert_eq!(
+            s.system().store().get("count"),
+            Some(&Value::Number(101.0))
+        );
+    }
+
+    #[test]
+    fn memo_session_produces_identical_views() {
+        let src = r#"
+global items : list (string, number) = []
+global sel : number = 0
+page start() {
+    init { items := web.listings(20); }
+    render {
+        boxed { post "selected " ++ sel; }
+        foreach entry in items {
+            boxed {
+                post entry.1 ++ " $" ++ entry.2;
+                on tap { sel := sel + 1; }
+            }
+        }
+    }
+}
+"#;
+        let mut plain = LiveSession::new(src).expect("starts");
+        let mut memo = LiveSession::with_memo(src).expect("starts");
+        assert_eq!(plain.live_view().expect("v"), memo.live_view().expect("v"));
+        for _ in 0..3 {
+            plain.tap_path(&[1]).expect("tap");
+            memo.tap_path(&[1]).expect("tap");
+            assert_eq!(plain.live_view().expect("v"), memo.live_view().expect("v"));
+        }
+        let stats = memo.memo_stats().expect("enabled");
+        assert!(stats.hits > 0, "listing rows should be reused: {stats:?}");
+    }
+
+    #[test]
+    fn undo_redo_are_update_transitions() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        s.tap_path(&[0]).expect("tap"); // count = 11
+        assert_eq!(s.undo_depth(), 0);
+        assert!(!s.undo().expect("handled"), "nothing to undo yet");
+
+        let v1 = APP.replace("count is", "n =");
+        let v2 = APP.replace("count is", "total:");
+        assert!(s.edit_source(&v1).expect("runs").is_applied());
+        assert!(s.edit_source(&v2).expect("runs").is_applied());
+        assert_eq!(s.undo_depth(), 2);
+        assert_eq!(s.live_view().expect("renders"), "total: 11\n");
+
+        // Undo restores the previous code; the model stays at 11
+        // (undo is just another UPDATE, not time travel).
+        assert!(s.undo().expect("runs"));
+        assert_eq!(s.live_view().expect("renders"), "n = 11\n");
+        assert!(s.undo().expect("runs"));
+        assert_eq!(s.live_view().expect("renders"), "count is 11\n");
+        assert!(!s.undo().expect("handled"), "stack exhausted");
+
+        // Redo walks forward again.
+        assert!(s.redo().expect("runs"));
+        assert_eq!(s.live_view().expect("renders"), "n = 11\n");
+        // A fresh edit clears the redo stack.
+        let v3 = s.source().replace("n =", "N:");
+        assert!(s.edit_source(&v3).expect("runs").is_applied());
+        assert!(!s.redo().expect("handled"));
+    }
+
+    #[test]
+    fn memo_cache_cleared_on_update() {
+        let mut s = LiveSession::with_memo(APP).expect("starts");
+        s.tap_path(&[0]).expect("tap");
+        let outcome = s
+            .edit_source(&APP.replace("count is", "total:"))
+            .expect("edit");
+        assert!(outcome.is_applied());
+        assert_eq!(s.live_view().expect("renders"), "total: 11\n");
+    }
+}

@@ -1,0 +1,563 @@
+//! Surface abstract syntax.
+//!
+//! This is the tree produced by the parser, with every node carrying its
+//! [`Span`]. It corresponds to the paper's Figure 6 syntax plus the
+//! standard conveniences (loops, conditionals, `let`, operators) that the
+//! paper notes are "expressible in our calculus via recursion through
+//! global functions" (§4.1) and that its own example programs use
+//! (Figures 3–5).
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The identifier text.
+    pub text: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct an identifier.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Ident { text: text.into(), span }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Effect annotations: the paper's `p` (pure), `s` (state), `r` (render).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EffectAnn {
+    /// No side effects; usable in any mode (`p`).
+    #[default]
+    Pure,
+    /// May write globals and navigate pages (`s`).
+    State,
+    /// May create boxes, post content, set attributes (`r`).
+    Render,
+}
+
+impl fmt::Display for EffectAnn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EffectAnn::Pure => "pure",
+            EffectAnn::State => "state",
+            EffectAnn::Render => "render",
+        })
+    }
+}
+
+/// A type expression as written in source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeExpr {
+    /// The shape of the type.
+    pub kind: TypeExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The shape of a [`TypeExpr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExprKind {
+    /// `number`
+    Number,
+    /// `string`
+    String,
+    /// `bool`
+    Bool,
+    /// `color`
+    Color,
+    /// `(τ1, ..., τn)`; `()` is the unit type.
+    Tuple(Vec<TypeExpr>),
+    /// `list τ`
+    List(Box<TypeExpr>),
+    /// `fn(τ1, ..., τn) µ -> τ`
+    Fn {
+        /// Parameter types.
+        params: Vec<TypeExpr>,
+        /// Latent effect of the function.
+        effect: EffectAnn,
+        /// Return type.
+        ret: Box<TypeExpr>,
+    },
+}
+
+/// A `name : type` parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: Ident,
+    /// Declared type.
+    pub ty: TypeExpr,
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Span of the whole text.
+    pub span: Span,
+}
+
+impl Program {
+    /// Iterate over global variable definitions.
+    pub fn globals(&self) -> impl Iterator<Item = &GlobalDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Iterate over function definitions.
+    pub fn funs(&self) -> impl Iterator<Item = &FunDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Fun(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over page definitions.
+    pub fn pages(&self) -> impl Iterator<Item = &PageDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Page(p) => Some(p),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `global g : τ = v`
+    Global(GlobalDef),
+    /// `fun f(params) : τ µ { ... }`
+    Fun(FunDef),
+    /// `page p(params) { init { ... } render { ... } }`
+    Page(PageDef),
+}
+
+impl Item {
+    /// The item's name.
+    pub fn name(&self) -> &Ident {
+        match self {
+            Item::Global(g) => &g.name,
+            Item::Fun(f) => &f.name,
+            Item::Page(p) => &p.name,
+        }
+    }
+
+    /// The item's full span.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Global(g) => g.span,
+            Item::Fun(f) => f.span,
+            Item::Page(p) => p.span,
+        }
+    }
+}
+
+/// `global g : τ = e` — model state, as in Figure 7's `global` definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Variable name.
+    pub name: Ident,
+    /// Declared (→-free) type.
+    pub ty: TypeExpr,
+    /// Initial value expression (must be pure).
+    pub init: Expr,
+    /// Full item span.
+    pub span: Span,
+}
+
+/// A global function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// Function name.
+    pub name: Ident,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Declared return type; `None` means unit.
+    pub ret: Option<TypeExpr>,
+    /// Latent effect; defaults to `pure`.
+    pub effect: EffectAnn,
+    /// Body block; its value is the return value.
+    pub body: Block,
+    /// Full item span.
+    pub span: Span,
+}
+
+/// A page definition with separate init and render bodies (paper §3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageDef {
+    /// Page name.
+    pub name: Ident,
+    /// Page arguments (→-free types), supplied by `push`.
+    pub params: Vec<Param>,
+    /// Initialization body: state effect, runs once when pushed.
+    pub init: Block,
+    /// Render body: render effect, re-runs on every display refresh.
+    pub render: Block,
+    /// Full item span.
+    pub span: Span,
+}
+
+/// A `{ ... }` block: statements plus an optional trailing value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Optional trailing expression (no semicolon) — the block's value.
+    pub tail: Option<Box<Expr>>,
+    /// Span including the braces.
+    pub span: Span,
+}
+
+impl Block {
+    /// An empty block at `span`.
+    pub fn empty(span: Span) -> Self {
+        Block { stmts: Vec::new(), tail: None, span }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's shape.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The shape of a [`Stmt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let x : τ = e;` — immutable-by-default local binding
+    /// (re-assignable with `x := e`).
+    Let {
+        /// Bound name.
+        name: Ident,
+        /// Optional type annotation.
+        ty: Option<TypeExpr>,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `x := e;` — assignment to a local or (in state code) a global.
+    Assign {
+        /// Assignment target.
+        target: Ident,
+        /// New value.
+        value: Expr,
+    },
+    /// `if c { ... } else { ... }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Else branch, if present (`else if` nests a block with one `if`).
+        else_block: Option<Block>,
+    },
+    /// `while c { ... }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for i in lo .. hi { ... }` — iterates `i = lo, lo+1, ..., hi-1`.
+    ForRange {
+        /// Loop variable.
+        var: Ident,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `foreach x in e { ... }` — iterates over a list.
+    Foreach {
+        /// Loop variable.
+        var: Ident,
+        /// List expression.
+        list: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `boxed { ... }` — creates a nested box (render code only).
+    Boxed {
+        /// Contents rendered inside the new box.
+        body: Block,
+    },
+    /// `remember x : τ = e;` — encapsulated view state (the paper's §7
+    /// future-work extension): a per-box-instance slot that survives
+    /// re-renders, readable in render code, assignable in handlers.
+    Remember {
+        /// Slot name (scoped like a `let` to the rest of the block).
+        name: Ident,
+        /// Declared (→-free) slot type.
+        ty: TypeExpr,
+        /// Initial value (pure), evaluated the first time the slot is
+        /// seen after a code update.
+        init: Expr,
+    },
+    /// `post e;` — appends content to the current box (render code only).
+    Post {
+        /// Posted value.
+        value: Expr,
+    },
+    /// `box.a := e;` — sets an attribute of the current box.
+    SetAttr {
+        /// Attribute name.
+        attr: Ident,
+        /// Attribute value.
+        value: Expr,
+    },
+    /// `on tap { ... }` / `on edited(x) { ... }` — sugar for installing an
+    /// event-handler attribute whose value is a state-effect closure.
+    On {
+        /// Event name (`tap`, `edited`, ...).
+        event: Ident,
+        /// Handler parameters.
+        params: Vec<Param>,
+        /// Handler body (state effect).
+        body: Block,
+    },
+    /// `push p(e1, ..., en);` — enqueue navigation to page `p`.
+    Push {
+        /// Page name.
+        page: Ident,
+        /// Page arguments.
+        args: Vec<Expr>,
+    },
+    /// `pop;` — enqueue popping the current page.
+    Pop,
+    /// An expression evaluated for effect, `e;`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's shape.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The shape of an [`Expr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A bare name: local, global, function, or page (resolved in lowering).
+    Name(String),
+    /// A namespaced name such as `math.floor` or `colors.light_blue`.
+    Qualified {
+        /// Namespace (`math`, `str`, `fmt`, `colors`, `web`, `list`).
+        ns: Ident,
+        /// Member name.
+        name: Ident,
+    },
+    /// `f(e1, ..., en)`.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `(e1, ..., en)` for n ≠ 1; `()` is unit.
+    Tuple(Vec<Expr>),
+    /// `[e1, ..., en]` list literal.
+    ListLit(Vec<Expr>),
+    /// `e.n` — 1-based tuple projection, as in the paper.
+    Proj {
+        /// Tuple expression.
+        base: Box<Expr>,
+        /// 1-based component index.
+        index: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `fn(params) µ -> e` or `fn(params) µ { ... }`.
+    Lambda {
+        /// Parameters.
+        params: Vec<Param>,
+        /// Latent effect annotation; defaults to `pure`.
+        effect: EffectAnn,
+        /// Body.
+        body: Box<Block>,
+    },
+    /// `if c { ... } else { ... }` in expression position; both branches
+    /// must produce a value.
+    IfExpr {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then_block: Box<Block>,
+        /// Else branch.
+        else_block: Box<Block>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Numeric negation `-e`.
+    Neg,
+    /// Boolean negation `!e`.
+    Not,
+}
+
+impl UnOp {
+    /// Source text of the operator.
+    pub fn text(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+}
+
+/// Binary operators, loosest-binding first in the precedence table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `++` string concatenation (coerces numbers/bools to strings).
+    Concat,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (floating-point remainder, like the paper's `math→mod`).
+    Mod,
+}
+
+impl BinOp {
+    /// Source text of the operator.
+    pub fn text(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Concat => "++",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// Binding strength; larger binds tighter. Used by both the parser and
+    /// the pretty-printer so they stay consistent.
+    pub fn precedence(self) -> u8 {
+        use BinOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            Eq | Ne => 3,
+            Lt | Le | Gt | Ge => 4,
+            Concat => 5,
+            Add | Sub => 6,
+            Mul | Div | Mod => 7,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text())
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_is_strictly_layered() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Concat.precedence());
+        assert!(BinOp::Concat.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn program_item_filters() {
+        let span = Span::DUMMY;
+        let prog = Program {
+            items: vec![Item::Global(GlobalDef {
+                name: Ident::new("g", span),
+                ty: TypeExpr { kind: TypeExprKind::Number, span },
+                init: Expr { kind: ExprKind::Number(0.0), span },
+                span,
+            })],
+            span,
+        };
+        assert_eq!(prog.globals().count(), 1);
+        assert_eq!(prog.funs().count(), 0);
+        assert_eq!(prog.pages().count(), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Diagnostics: errors and warnings with source spans.
+//!
+//! The live editor never crashes on bad input: lexing, parsing, and type
+//! checking all accumulate [`Diagnostic`]s and the previous program keeps
+//! running until the new code is clean (paper §3: code is "continuously
+//! type-checked, compiled, and executed").
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// Prevents the program from being accepted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One problem found in a source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+    /// Optional related notes (span + text).
+    pub notes: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a note pointing at `span`.
+    pub fn with_note(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.notes.push((span, message.into()));
+        self
+    }
+
+    /// Render the diagnostic against its source text, with a caret line.
+    pub fn render(&self, src: &str) -> String {
+        let map = SourceMap::new(src);
+        let mut out = String::new();
+        let lc = map.line_col(self.span.start);
+        out.push_str(&format!("{}: {} (at {})\n", self.severity, self.message, lc));
+        if let Some(line_span) = map.line_span(lc.line) {
+            let line_text = line_span.slice(src);
+            out.push_str(&format!("  {} | {}\n", lc.line, line_text));
+            let gutter = format!("  {} | ", lc.line).len();
+            let caret_start = (self.span.start - line_span.start) as usize;
+            let caret_len = (self.span.len().max(1) as usize)
+                .min(line_text.len().saturating_sub(caret_start).max(1));
+            out.push_str(&" ".repeat(gutter + caret_start));
+            out.push_str(&"^".repeat(caret_len));
+            out.push('\n');
+        }
+        for (nspan, ntext) in &self.notes {
+            let nlc = map.line_col(nspan.start);
+            out.push_str(&format!("  note: {ntext} (at {nlc})\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (at {})", self.severity, self.message, self.span)
+    }
+}
+
+/// An accumulating collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// All diagnostics, in the order found.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of diagnostics of any severity.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no diagnostics at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether any diagnostic is an error (blocks acceptance).
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Consume into the underlying list.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Render every diagnostic against `src`, one after another.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render(src));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<T: IntoIterator<Item = Diagnostic>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_detection() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::warning(Span::new(0, 1), "meh"));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error(Span::new(0, 1), "bad"));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn render_includes_caret() {
+        let src = "let x = oops;";
+        let d = Diagnostic::error(Span::new(8, 12), "unknown name `oops`");
+        let rendered = d.render(src);
+        assert!(rendered.contains("unknown name"));
+        assert!(rendered.contains("^^^^"));
+        assert!(rendered.contains("1:9"));
+    }
+
+    #[test]
+    fn render_with_note() {
+        let src = "a\nb";
+        let d = Diagnostic::error(Span::new(2, 3), "bad b")
+            .with_note(Span::new(0, 1), "a was here");
+        let rendered = d.render(src);
+        assert!(rendered.contains("note: a was here"));
+        assert!(rendered.contains("2:1"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Span rebasing: shift every span in an AST fragment by a byte delta.
+//!
+//! The incremental parser re-uses the parsed AST of unchanged top-level
+//! items; when earlier edits move an item's text, its cached spans are
+//! rebased so they stay *exact* — the whole-program parse and the
+//! incremental parse produce identical trees, spans included (a
+//! property test in `tests/` holds them equal).
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Shift a span by `delta` bytes (negative moves left).
+fn shift(span: Span, delta: i64) -> Span {
+    Span {
+        start: (i64::from(span.start) + delta) as u32,
+        end: (i64::from(span.end) + delta) as u32,
+    }
+}
+
+/// Rebase all spans in an item by `delta` bytes.
+pub fn rebase_item(item: &mut Item, delta: i64) {
+    if delta == 0 {
+        return;
+    }
+    match item {
+        Item::Global(g) => {
+            g.span = shift(g.span, delta);
+            rebase_ident(&mut g.name, delta);
+            rebase_type(&mut g.ty, delta);
+            rebase_expr(&mut g.init, delta);
+        }
+        Item::Fun(f) => {
+            f.span = shift(f.span, delta);
+            rebase_ident(&mut f.name, delta);
+            for p in &mut f.params {
+                rebase_param(p, delta);
+            }
+            if let Some(ret) = &mut f.ret {
+                rebase_type(ret, delta);
+            }
+            rebase_block(&mut f.body, delta);
+        }
+        Item::Page(p) => {
+            p.span = shift(p.span, delta);
+            rebase_ident(&mut p.name, delta);
+            for param in &mut p.params {
+                rebase_param(param, delta);
+            }
+            rebase_block(&mut p.init, delta);
+            rebase_block(&mut p.render, delta);
+        }
+    }
+}
+
+fn rebase_ident(ident: &mut Ident, delta: i64) {
+    ident.span = shift(ident.span, delta);
+}
+
+fn rebase_param(param: &mut Param, delta: i64) {
+    rebase_ident(&mut param.name, delta);
+    rebase_type(&mut param.ty, delta);
+}
+
+fn rebase_type(ty: &mut TypeExpr, delta: i64) {
+    ty.span = shift(ty.span, delta);
+    match &mut ty.kind {
+        TypeExprKind::Number
+        | TypeExprKind::String
+        | TypeExprKind::Bool
+        | TypeExprKind::Color => {}
+        TypeExprKind::Tuple(elems) => {
+            for e in elems {
+                rebase_type(e, delta);
+            }
+        }
+        TypeExprKind::List(elem) => rebase_type(elem, delta),
+        TypeExprKind::Fn { params, ret, .. } => {
+            for p in params {
+                rebase_type(p, delta);
+            }
+            rebase_type(ret, delta);
+        }
+    }
+}
+
+fn rebase_block(block: &mut Block, delta: i64) {
+    block.span = shift(block.span, delta);
+    for stmt in &mut block.stmts {
+        rebase_stmt(stmt, delta);
+    }
+    if let Some(tail) = &mut block.tail {
+        rebase_expr(tail, delta);
+    }
+}
+
+fn rebase_stmt(stmt: &mut Stmt, delta: i64) {
+    stmt.span = shift(stmt.span, delta);
+    match &mut stmt.kind {
+        StmtKind::Let { name, ty, value } => {
+            rebase_ident(name, delta);
+            if let Some(ty) = ty {
+                rebase_type(ty, delta);
+            }
+            rebase_expr(value, delta);
+        }
+        StmtKind::Assign { target, value } => {
+            rebase_ident(target, delta);
+            rebase_expr(value, delta);
+        }
+        StmtKind::If { cond, then_block, else_block } => {
+            rebase_expr(cond, delta);
+            rebase_block(then_block, delta);
+            if let Some(else_block) = else_block {
+                rebase_block(else_block, delta);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            rebase_expr(cond, delta);
+            rebase_block(body, delta);
+        }
+        StmtKind::ForRange { var, lo, hi, body } => {
+            rebase_ident(var, delta);
+            rebase_expr(lo, delta);
+            rebase_expr(hi, delta);
+            rebase_block(body, delta);
+        }
+        StmtKind::Foreach { var, list, body } => {
+            rebase_ident(var, delta);
+            rebase_expr(list, delta);
+            rebase_block(body, delta);
+        }
+        StmtKind::Boxed { body } => rebase_block(body, delta),
+        StmtKind::Remember { name, ty, init } => {
+            rebase_ident(name, delta);
+            rebase_type(ty, delta);
+            rebase_expr(init, delta);
+        }
+        StmtKind::Post { value } => rebase_expr(value, delta),
+        StmtKind::SetAttr { attr, value } => {
+            rebase_ident(attr, delta);
+            rebase_expr(value, delta);
+        }
+        StmtKind::On { event, params, body } => {
+            rebase_ident(event, delta);
+            for p in params {
+                rebase_param(p, delta);
+            }
+            rebase_block(body, delta);
+        }
+        StmtKind::Push { page, args } => {
+            rebase_ident(page, delta);
+            for a in args {
+                rebase_expr(a, delta);
+            }
+        }
+        StmtKind::Pop => {}
+        StmtKind::Expr { expr } => rebase_expr(expr, delta),
+    }
+}
+
+fn rebase_expr(expr: &mut Expr, delta: i64) {
+    expr.span = shift(expr.span, delta);
+    match &mut expr.kind {
+        ExprKind::Number(_) | ExprKind::Str(_) | ExprKind::Bool(_) | ExprKind::Name(_) => {}
+        ExprKind::Qualified { ns, name } => {
+            rebase_ident(ns, delta);
+            rebase_ident(name, delta);
+        }
+        ExprKind::Call { callee, args } => {
+            rebase_expr(callee, delta);
+            for a in args {
+                rebase_expr(a, delta);
+            }
+        }
+        ExprKind::Tuple(elems) | ExprKind::ListLit(elems) => {
+            for e in elems {
+                rebase_expr(e, delta);
+            }
+        }
+        ExprKind::Proj { base, .. } => rebase_expr(base, delta),
+        ExprKind::Unary { expr: inner, .. } => rebase_expr(inner, delta),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            rebase_expr(lhs, delta);
+            rebase_expr(rhs, delta);
+        }
+        ExprKind::Lambda { params, body, .. } => {
+            for p in params {
+                rebase_param(p, delta);
+            }
+            rebase_block(body, delta);
+        }
+        ExprKind::IfExpr { cond, then_block, else_block } => {
+            rebase_expr(cond, delta);
+            rebase_block(then_block, delta);
+            rebase_block(else_block, delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn rebased_item_equals_reparse_at_new_offset() {
+        let item_text = "fun f(x : number) : number pure {\n    \
+                         let y = x * 2;\n    if y > 3 { y } else { x }\n}";
+        // Parse the item standing alone, then parse it after a prefix.
+        let alone = parse_program(item_text);
+        assert!(alone.is_ok());
+        let prefix = "global g : number = 0\n\n";
+        let shifted_src = format!("{prefix}{item_text}");
+        let shifted = parse_program(&shifted_src);
+        assert!(shifted.is_ok());
+
+        let mut rebased = alone.program.items[0].clone();
+        rebase_item(&mut rebased, prefix.len() as i64);
+        assert_eq!(rebased, shifted.program.items[1]);
+    }
+
+    #[test]
+    fn negative_delta_moves_left() {
+        let src = "global a : number = 1\nglobal b : number = 2";
+        let both = parse_program(src);
+        let b_alone = parse_program("global b : number = 2");
+        let mut rebased = both.program.items[1].clone();
+        rebase_item(&mut rebased, -(("global a : number = 1\n".len()) as i64));
+        assert_eq!(rebased, b_alone.program.items[0]);
+    }
+
+    #[test]
+    fn zero_delta_is_identity() {
+        let src = "page start() { render { boxed { post 1; } } }";
+        let parsed = parse_program(src);
+        let mut item = parsed.program.items[0].clone();
+        rebase_item(&mut item, 0);
+        assert_eq!(item, parsed.program.items[0]);
+    }
+}

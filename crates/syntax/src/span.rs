@@ -1,0 +1,217 @@
+//! Byte-offset source spans and line/column mapping.
+//!
+//! Every AST node carries a [`Span`] into the source text it was parsed
+//! from. Spans are the currency of the live environment: the UI↔code
+//! navigation of the paper's Figure 2 maps rendered boxes to the span of
+//! the `boxed` statement that created them, and direct manipulation
+//! produces text edits addressed by span.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// The empty span at a position; used for synthesized nodes.
+    pub fn point(at: u32) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// A dummy span for nodes with no source counterpart.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the byte offset `pos` falls inside the span.
+    pub fn contains_pos(&self, pos: u32) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// The source slice this span denotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `src`.
+    pub fn slice<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start as usize..self.end as usize]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position, for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column positions for one source text.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Index the line structure of `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// Total length of the indexed source, in bytes.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the source was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of lines (at least 1, even for an empty source).
+    pub fn line_count(&self) -> u32 {
+        self.line_starts.len() as u32
+    }
+
+    /// Line/column of a byte offset. Offsets past the end clamp to the
+    /// final position.
+    pub fn line_col(&self, pos: u32) -> LineCol {
+        let pos = pos.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: pos - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// The span of the (1-based) line `line`, excluding its newline.
+    /// Returns `None` for out-of-range lines.
+    pub fn line_span(&self, line: u32) -> Option<Span> {
+        let idx = line.checked_sub(1)? as usize;
+        let start = *self.line_starts.get(idx)?;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|next| next.saturating_sub(1))
+            .unwrap_or(self.len);
+        Some(Span::new(start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_contains() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert!(Span::new(0, 10).contains(a));
+        assert!(!a.contains(b));
+        assert!(a.contains_pos(2));
+        assert!(!a.contains_pos(5));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let src = "ab\ncd\n\nef";
+        let map = SourceMap::new(src);
+        assert_eq!(map.line_count(), 4);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(4), LineCol { line: 2, col: 2 });
+        assert_eq!(map.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(8), LineCol { line: 4, col: 2 });
+        // Past the end clamps.
+        assert_eq!(map.line_col(999), map.line_col(src.len() as u32));
+    }
+
+    #[test]
+    fn line_spans() {
+        let src = "ab\ncd\n";
+        let map = SourceMap::new(src);
+        assert_eq!(map.line_span(1), Some(Span::new(0, 2)));
+        assert_eq!(map.line_span(2), Some(Span::new(3, 5)));
+        assert_eq!(map.line_span(3), Some(Span::new(6, 6)));
+        assert_eq!(map.line_span(4), None);
+        assert_eq!(map.line_span(0), None);
+    }
+
+    #[test]
+    fn empty_source() {
+        let map = SourceMap::new("");
+        assert!(map.is_empty());
+        assert_eq!(map.line_count(), 1);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+    }
+}

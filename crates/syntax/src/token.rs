@@ -1,0 +1,249 @@
+//! Tokens of the surface language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keyword and punctuation variants are individually undocumented: each
+/// corresponds 1:1 to its source spelling (see [`TokenKind::text`]).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    /// Identifier or keyword-candidate (`listings`, `display_entry`).
+    Ident(String),
+    /// Numeric literal (`3`, `0.25`).
+    Number(f64),
+    /// String literal with escapes resolved (`"hello"`).
+    Str(String),
+
+    // Keywords.
+    Global,
+    Fun,
+    Page,
+    Init,
+    Render,
+    Pure,
+    State,
+    Let,
+    If,
+    Else,
+    While,
+    For,
+    Foreach,
+    In,
+    Boxed,
+    Remember,
+    Post,
+    Box_,
+    Push,
+    Pop,
+    On,
+    Fn,
+    True,
+    False,
+    /// `number` type keyword.
+    TyNumber,
+    /// `string` type keyword.
+    TyString,
+    /// `bool` type keyword.
+    TyBool,
+    /// `color` type keyword.
+    TyColor,
+    /// `list` type keyword.
+    TyList,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    ColonEq,
+    Eq,
+    EqEq,
+    BangEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    PlusPlus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    Dot,
+    DotDot,
+    Arrow,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped word.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "global" => Global,
+            "fun" => Fun,
+            "page" => Page,
+            "init" => Init,
+            "render" => Render,
+            "pure" => Pure,
+            "state" => State,
+            "let" => Let,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "for" => For,
+            "foreach" => Foreach,
+            "in" => In,
+            "boxed" => Boxed,
+            "remember" => Remember,
+            "post" => Post,
+            "box" => Box_,
+            "push" => Push,
+            "pop" => Pop,
+            "on" => On,
+            "fn" => Fn,
+            "true" => True,
+            "false" => False,
+            "number" => TyNumber,
+            "string" => TyString,
+            "bool" => TyBool,
+            "color" => TyColor,
+            "list" => TyList,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            Number(n) => format!("number `{n}`"),
+            Str(_) => "string literal".to_string(),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    /// The literal source text of a fixed token; empty for variable tokens.
+    pub fn text(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Global => "global",
+            Fun => "fun",
+            Page => "page",
+            Init => "init",
+            Render => "render",
+            Pure => "pure",
+            State => "state",
+            Let => "let",
+            If => "if",
+            Else => "else",
+            While => "while",
+            For => "for",
+            Foreach => "foreach",
+            In => "in",
+            Boxed => "boxed",
+            Remember => "remember",
+            Post => "post",
+            Box_ => "box",
+            Push => "push",
+            Pop => "pop",
+            On => "on",
+            Fn => "fn",
+            True => "true",
+            False => "false",
+            TyNumber => "number",
+            TyString => "string",
+            TyBool => "bool",
+            TyColor => "color",
+            TyList => "list",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Comma => ",",
+            Semi => ";",
+            Colon => ":",
+            ColonEq => ":=",
+            Eq => "=",
+            EqEq => "==",
+            BangEq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Plus => "+",
+            PlusPlus => "++",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Bang => "!",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Dot => ".",
+            DotDot => "..",
+            Arrow => "->",
+            Ident(_) | Number(_) | Str(_) | Eof => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source text.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("boxed"), Some(TokenKind::Boxed));
+        assert_eq!(TokenKind::keyword("box"), Some(TokenKind::Box_));
+        assert_eq!(TokenKind::keyword("widget"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert_eq!(TokenKind::ColonEq.describe(), "`:=`");
+        assert_eq!(
+            TokenKind::Ident("x".into()).describe(),
+            "identifier `x`"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Fuzz-style property tests: the lexer and parser are total — they
+//! never panic and always terminate, whatever bytes arrive. This is
+//! what lets the live editor run them on every keystroke.
+
+use alive_syntax::{lexer, parse_program, pretty_program, Diagnostics, IncrementalParser};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_is_total(src in ".*") {
+        let mut diags = Diagnostics::new();
+        let tokens = lexer::lex(&src, &mut diags);
+        // Always Eof-terminated, spans in bounds and non-decreasing.
+        prop_assert!(matches!(
+            tokens.last().map(|t| &t.kind),
+            Some(alive_syntax::token::TokenKind::Eof)
+        ));
+        let mut prev_start = 0u32;
+        for t in &tokens {
+            prop_assert!(t.span.end as usize <= src.len());
+            prop_assert!(t.span.start >= prev_start);
+            prev_start = t.span.start;
+        }
+    }
+
+    #[test]
+    fn parser_is_total(src in ".*") {
+        let result = parse_program(&src);
+        // Whatever happened, pretty-printing the (possibly partial)
+        // program must not panic either.
+        let _ = pretty_program(&result.program);
+    }
+
+    #[test]
+    fn parser_is_total_on_codeish_input(
+        src in r"(global|fun|page|boxed|post|if|\{|\}|\(|\)|;|:=|[a-z]+|[0-9]+| |\n){0,60}"
+    ) {
+        let result = parse_program(&src);
+        let _ = pretty_program(&result.program);
+    }
+
+    /// The incremental parser agrees with the full parser on every
+    /// input, including arbitrary garbage, across a sequence of edits
+    /// sharing one cache.
+    #[test]
+    fn incremental_parse_equals_full_parse(
+        sources in proptest::collection::vec(
+            prop_oneof![
+                ".*",
+                r"(global [a-z]+ : number = [0-9]+\n|fun [a-z]+\(\) : number pure \{ [0-9]+ \}\n|page start\(\) \{ render \{ \} \}\n){0,5}",
+            ],
+            1..6,
+        )
+    ) {
+        let mut inc = IncrementalParser::new();
+        for src in &sources {
+            let incremental = inc.parse(src);
+            let full = parse_program(src);
+            prop_assert_eq!(&incremental.program, &full.program);
+            prop_assert_eq!(
+                incremental.diagnostics.into_vec(),
+                full.diagnostics.into_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn accepted_programs_pretty_roundtrip(
+        names in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
+    ) {
+        // Generate a simple but valid program from identifier soup.
+        let mut src = String::new();
+        for (i, n) in names.iter().enumerate() {
+            src.push_str(&format!("global g_{n}_{i} : number = {i}\n"));
+        }
+        src.push_str("page start() { render {\n");
+        for (i, n) in names.iter().enumerate() {
+            src.push_str(&format!("boxed {{ post g_{n}_{i}; }}\n"));
+        }
+        src.push_str("} }\n");
+        let first = parse_program(&src);
+        prop_assert!(first.is_ok(), "{}", first.diagnostics.render(&src));
+        let printed = pretty_program(&first.program);
+        let second = parse_program(&printed);
+        prop_assert!(second.is_ok(), "{}", second.diagnostics.render(&printed));
+        prop_assert_eq!(printed, pretty_program(&second.program));
+    }
+}

@@ -1,0 +1,241 @@
+//! Display diffing: which boxes changed between two renders?
+//!
+//! The paper's model rebuilds the whole box tree per refresh; a real
+//! screen only wants to repaint what changed. This module computes the
+//! structural difference between two displays and the corresponding
+//! *damage rectangles* — what a compositing backend would repaint. The
+//! E4 discussion uses it to quantify how little of the screen actually
+//! changes per model update.
+
+use crate::geom::Rect;
+use crate::layout::{LayoutBox, LayoutItem, LayoutTree};
+use alive_core::boxtree::{BoxItem, BoxNode};
+
+/// One difference between two displays, located by box path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxChange {
+    /// A box exists in the new display but not the old.
+    Added(Vec<usize>),
+    /// A box existed in the old display but not the new.
+    Removed(Vec<usize>),
+    /// The box exists in both but its own content (leaves, attributes,
+    /// or source statement) differs; children are reported separately.
+    Changed(Vec<usize>),
+}
+
+impl BoxChange {
+    /// The path the change is located at.
+    pub fn path(&self) -> &[usize] {
+        match self {
+            BoxChange::Added(p) | BoxChange::Removed(p) | BoxChange::Changed(p) => p,
+        }
+    }
+}
+
+/// Compare two displays structurally. Children are matched by index
+/// (the box tree is ordered); a box is `Changed` if its non-child items
+/// or its source id differ.
+pub fn diff_displays(old: &BoxNode, new: &BoxNode) -> Vec<BoxChange> {
+    let mut out = Vec::new();
+    diff_nodes(old, new, &mut Vec::new(), &mut out);
+    out
+}
+
+fn own_items(node: &BoxNode) -> Vec<&BoxItem> {
+    node.items
+        .iter()
+        .filter(|i| !matches!(i, BoxItem::Child(_)))
+        .collect()
+}
+
+fn diff_nodes(old: &BoxNode, new: &BoxNode, path: &mut Vec<usize>, out: &mut Vec<BoxChange>) {
+    if old.source != new.source || own_items(old) != own_items(new) {
+        out.push(BoxChange::Changed(path.clone()));
+    }
+    let old_children: Vec<&BoxNode> = old.children().collect();
+    let new_children: Vec<&BoxNode> = new.children().collect();
+    let shared = old_children.len().min(new_children.len());
+    for i in 0..shared {
+        path.push(i);
+        diff_nodes(old_children[i], new_children[i], path, out);
+        path.pop();
+    }
+    for i in shared..old_children.len() {
+        let mut p = path.clone();
+        p.push(i);
+        out.push(BoxChange::Removed(p));
+    }
+    for i in shared..new_children.len() {
+        let mut p = path.clone();
+        p.push(i);
+        out.push(BoxChange::Added(p));
+    }
+}
+
+/// The screen rectangles a backend would repaint to go from the old
+/// layout to the new one: the new rect of every added/changed box plus
+/// the old rect of every removed/changed box (content may have moved).
+pub fn damage_rects(
+    old_tree: &LayoutTree,
+    new_tree: &LayoutTree,
+    changes: &[BoxChange],
+) -> Vec<Rect> {
+    let mut rects = Vec::new();
+    let mut push = |r: Option<&LayoutBox>| {
+        if let Some(b) = r {
+            if !b.rect.size.is_empty() {
+                rects.push(b.rect);
+            }
+        }
+    };
+    for change in changes {
+        match change {
+            BoxChange::Added(p) => push(new_tree.by_path(p)),
+            BoxChange::Removed(p) => push(old_tree.by_path(p)),
+            BoxChange::Changed(p) => {
+                push(old_tree.by_path(p));
+                push(new_tree.by_path(p));
+            }
+        }
+    }
+    // Also repaint anything whose rectangle moved even if its content
+    // did not (relayout shifts siblings below a grown box).
+    collect_moved(&old_tree.root, new_tree, &mut rects);
+    dedup_rects(rects)
+}
+
+fn collect_moved(old: &LayoutBox, new_tree: &LayoutTree, rects: &mut Vec<Rect>) {
+    if let Some(new_box) = new_tree.by_path(&old.path) {
+        if new_box.rect != old.rect {
+            if !old.rect.size.is_empty() {
+                rects.push(old.rect);
+            }
+            if !new_box.rect.size.is_empty() {
+                rects.push(new_box.rect);
+            }
+        }
+    }
+    for item in &old.items {
+        if let LayoutItem::Child(c) = item {
+            collect_moved(c, new_tree, rects);
+        }
+    }
+}
+
+fn dedup_rects(mut rects: Vec<Rect>) -> Vec<Rect> {
+    rects.sort_by_key(|r| (r.origin.y, r.origin.x, r.size.h, r.size.w));
+    rects.dedup();
+    // Drop rects fully contained in another.
+    let containing = rects.clone();
+    rects.retain(|r| {
+        !containing.iter().any(|big| {
+            big != r
+                && big.left() <= r.left()
+                && big.top() <= r.top()
+                && big.right() >= r.right()
+                && big.bottom() >= r.bottom()
+        })
+    });
+    rects
+}
+
+/// Fraction of the (new) display area covered by damage — a 0.0–1.0
+/// repaint ratio.
+pub fn damage_ratio(new_tree: &LayoutTree, damage: &[Rect]) -> f64 {
+    let total = new_tree.size();
+    let total_area = f64::from(total.w.max(1)) * f64::from(total.h.max(1));
+    let damaged: f64 = damage
+        .iter()
+        .map(|r| f64::from(r.size.w) * f64::from(r.size.h))
+        .sum();
+    (damaged / total_area).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout;
+    use alive_core::{Attr, Value};
+
+    fn leaf_box(text: &str) -> BoxNode {
+        let mut b = BoxNode::new(None);
+        b.items.push(BoxItem::Leaf(Value::str(text)));
+        b
+    }
+
+    fn root_of(children: Vec<BoxNode>) -> BoxNode {
+        let mut root = BoxNode::new(None);
+        for c in children {
+            root.items.push(BoxItem::Child(c));
+        }
+        root
+    }
+
+    #[test]
+    fn identical_displays_have_no_diff() {
+        let a = root_of(vec![leaf_box("x"), leaf_box("y")]);
+        assert!(diff_displays(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn leaf_change_is_located_exactly() {
+        let old = root_of(vec![leaf_box("x"), leaf_box("y")]);
+        let new = root_of(vec![leaf_box("x"), leaf_box("z")]);
+        assert_eq!(diff_displays(&old, &new), vec![BoxChange::Changed(vec![1])]);
+    }
+
+    #[test]
+    fn attr_change_is_a_change() {
+        let old = root_of(vec![leaf_box("x")]);
+        let mut changed = leaf_box("x");
+        changed.items.push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
+        let new = root_of(vec![changed]);
+        assert_eq!(diff_displays(&old, &new), vec![BoxChange::Changed(vec![0])]);
+    }
+
+    #[test]
+    fn added_and_removed_children() {
+        let old = root_of(vec![leaf_box("a"), leaf_box("b"), leaf_box("c")]);
+        let new = root_of(vec![leaf_box("a")]);
+        assert_eq!(
+            diff_displays(&old, &new),
+            vec![BoxChange::Removed(vec![1]), BoxChange::Removed(vec![2])]
+        );
+        let grown = diff_displays(&new, &old);
+        assert_eq!(
+            grown,
+            vec![BoxChange::Added(vec![1]), BoxChange::Added(vec![2])]
+        );
+    }
+
+    #[test]
+    fn damage_covers_changed_rows_only() {
+        let old = root_of(vec![leaf_box("aaaa"), leaf_box("bbbb"), leaf_box("cccc")]);
+        let new = root_of(vec![leaf_box("aaaa"), leaf_box("BBBB"), leaf_box("cccc")]);
+        let old_tree = layout(&old);
+        let new_tree = layout(&new);
+        let changes = diff_displays(&old, &new);
+        let damage = damage_rects(&old_tree, &new_tree, &changes);
+        assert_eq!(damage, vec![Rect::new(0, 1, 4, 1)]);
+        let ratio = damage_ratio(&new_tree, &damage);
+        assert!((ratio - 1.0 / 3.0).abs() < 1e-9, "one of three rows: {ratio}");
+    }
+
+    #[test]
+    fn relayout_shift_damages_moved_siblings() {
+        // The first box grows a margin; the second box moves down.
+        let old = root_of(vec![leaf_box("top"), leaf_box("below")]);
+        let mut grown = leaf_box("top");
+        grown.items.insert(0, BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
+        let new = root_of(vec![grown, leaf_box("below")]);
+        let changes = diff_displays(&old, &new);
+        let damage = damage_rects(&layout(&old), &layout(&new), &changes);
+        // The "below" row's old position must be repainted even though
+        // its content is unchanged.
+        assert!(
+            damage.iter().any(|r| r.contains(crate::geom::Point::new(0, 1))),
+            "{damage:?}"
+        );
+    }
+
+}

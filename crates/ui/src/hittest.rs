@@ -1,0 +1,111 @@
+//! Hit-testing: mapping a screen point to a box path.
+//!
+//! This is how user taps reach the (TAP) transition: the user taps a
+//! point, hit-testing finds the deepest box under it, and the system
+//! invokes that box's `ontap` handler. It also implements the paper's
+//! *nested selection* (§5): "the user can tap the same box multiple
+//! times to select enclosing boxes" — [`hit_stack`] returns the whole
+//! chain from root to the deepest box.
+
+use crate::geom::Point;
+use crate::layout::{LayoutBox, LayoutItem, LayoutTree};
+
+/// The deepest box containing `point`, as a box-tree path.
+pub fn hit_test(tree: &LayoutTree, point: Point) -> Option<Vec<usize>> {
+    hit_stack(tree, point).into_iter().next_back()
+}
+
+/// All boxes containing `point`, outermost first (each entry is a path).
+/// Tapping repeatedly can walk up this chain to select enclosing boxes.
+pub fn hit_stack(tree: &LayoutTree, point: Point) -> Vec<Vec<usize>> {
+    let mut stack = Vec::new();
+    collect_hits(&tree.root, point, &mut stack);
+    stack
+}
+
+fn collect_hits(node: &LayoutBox, point: Point, out: &mut Vec<Vec<usize>>) {
+    if !node.rect.contains(point) {
+        return;
+    }
+    out.push(node.path.clone());
+    for item in &node.items {
+        if let LayoutItem::Child(child) = item {
+            collect_hits(child, point, out);
+        }
+    }
+}
+
+/// The deepest box under `point` that has a tap handler — where a user
+/// tap actually lands. Inner boxes win over enclosing ones, like DOM
+/// event targeting.
+pub fn hit_test_tappable(tree: &LayoutTree, point: Point) -> Option<Vec<usize>> {
+    let mut found = None;
+    for path in hit_stack(tree, point) {
+        let node = tree.by_path(&path).expect("hit paths are valid");
+        if node.style.tappable {
+            found = Some(path);
+        }
+    }
+    found
+}
+
+/// The deepest box under `point` with an edit handler.
+pub fn hit_test_editable(tree: &LayoutTree, point: Point) -> Option<Vec<usize>> {
+    let mut found = None;
+    for path in hit_stack(tree, point) {
+        let node = tree.by_path(&path).expect("hit paths are valid");
+        if node.style.editable {
+            found = Some(path);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout;
+    use alive_core::boxtree::{BoxItem, BoxNode};
+    use alive_core::{Attr, Value};
+
+    /// root(vertical): [a "aaaa"] [b: [c "cc"]] where b has ontap.
+    fn sample() -> LayoutTree {
+        let mut a = BoxNode::new(None);
+        a.items.push(BoxItem::Leaf(Value::str("aaaa")));
+        let mut c = BoxNode::new(None);
+        c.items.push(BoxItem::Leaf(Value::str("cc")));
+        let mut b = BoxNode::new(None);
+        b.items.push(BoxItem::Attr(Attr::OnTap, Value::Prim(alive_core::Prim::MathFloor)));
+        b.items.push(BoxItem::Child(c));
+        let mut root = BoxNode::new(None);
+        root.items.push(BoxItem::Child(a));
+        root.items.push(BoxItem::Child(b));
+        layout(&root)
+    }
+
+    #[test]
+    fn hit_finds_deepest_box() {
+        let tree = sample();
+        // Row 0 is box a; row 1 is c inside b.
+        assert_eq!(hit_test(&tree, Point::new(0, 0)), Some(vec![0]));
+        assert_eq!(hit_test(&tree, Point::new(0, 1)), Some(vec![1, 0]));
+        assert_eq!(hit_test(&tree, Point::new(50, 50)), None);
+    }
+
+    #[test]
+    fn hit_stack_supports_nested_selection() {
+        let tree = sample();
+        let stack = hit_stack(&tree, Point::new(0, 1));
+        assert_eq!(stack, vec![Vec::<usize>::new(), vec![1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn tappable_targeting_bubbles_to_handler() {
+        let tree = sample();
+        // The point is inside c (no handler); the tap lands on b.
+        assert_eq!(hit_test_tappable(&tree, Point::new(0, 1)), Some(vec![1]));
+        // Box a has no handler anywhere in its chain.
+        assert_eq!(hit_test_tappable(&tree, Point::new(0, 0)), None);
+        assert_eq!(hit_test_editable(&tree, Point::new(0, 1)), None);
+    }
+}

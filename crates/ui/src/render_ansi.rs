@@ -1,0 +1,234 @@
+//! ANSI terminal rendering: the colored sibling of
+//! [`crate::render_text`]. Produces 24-bit color escape sequences for
+//! backgrounds and foregrounds, so the examples can show the paper's
+//! light-blue highlights as actual colors in a terminal.
+
+use crate::geom::Rect;
+use crate::layout::{LayoutBox, LayoutItem, LayoutTree};
+use alive_core::value::Color;
+
+/// One styled cell of the ANSI canvas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    ch: char,
+    fg: Option<Color>,
+    bg: Option<Color>,
+}
+
+impl Cell {
+    const BLANK: Cell = Cell { ch: ' ', fg: None, bg: None };
+}
+
+/// A canvas of styled cells.
+#[derive(Debug, Clone)]
+pub struct AnsiCanvas {
+    width: usize,
+    height: usize,
+    cells: Vec<Cell>,
+}
+
+impl AnsiCanvas {
+    /// A blank canvas.
+    pub fn new(width: usize, height: usize) -> Self {
+        AnsiCanvas { width, height, cells: vec![Cell::BLANK; width * height] }
+    }
+
+    fn idx(&self, x: i32, y: i32) -> Option<usize> {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            Some(y as usize * self.width + x as usize)
+        } else {
+            None
+        }
+    }
+
+    fn put(&mut self, x: i32, y: i32, ch: char, fg: Option<Color>) {
+        if let Some(i) = self.idx(x, y) {
+            self.cells[i].ch = ch;
+            if fg.is_some() {
+                self.cells[i].fg = fg;
+            }
+        }
+    }
+
+    fn fill_bg(&mut self, rect: Rect, bg: Color) {
+        for y in rect.top()..rect.bottom() {
+            for x in rect.left()..rect.right() {
+                if let Some(i) = self.idx(x, y) {
+                    self.cells[i].bg = Some(bg);
+                }
+            }
+        }
+    }
+
+    /// Serialize to a string with ANSI 24-bit color escapes. Runs of
+    /// identical style share one escape sequence; every line ends with
+    /// a reset so terminal state never leaks.
+    pub fn to_ansi(&self) -> String {
+        let mut out = String::new();
+        for row in 0..self.height {
+            let mut current: (Option<Color>, Option<Color>) = (None, None);
+            let mut line = String::new();
+            let cells = &self.cells[row * self.width..(row + 1) * self.width];
+            // Trim trailing blank cells per line.
+            let end = cells
+                .iter()
+                .rposition(|c| *c != Cell::BLANK)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            for cell in &cells[..end] {
+                let style = (cell.fg, cell.bg);
+                if style != current {
+                    line.push_str("\x1b[0m");
+                    if let Some(fg) = cell.fg {
+                        line.push_str(&format!("\x1b[38;2;{};{};{}m", fg.r, fg.g, fg.b));
+                    }
+                    if let Some(bg) = cell.bg {
+                        line.push_str(&format!("\x1b[48;2;{};{};{}m", bg.r, bg.g, bg.b));
+                    }
+                    current = style;
+                }
+                line.push(cell.ch);
+            }
+            if current != (None, None) || !line.is_empty() {
+                line.push_str("\x1b[0m");
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a layout tree with ANSI colors.
+pub fn render_to_ansi(tree: &LayoutTree) -> String {
+    let size = tree.size();
+    let mut canvas = AnsiCanvas::new(size.w.max(0) as usize, size.h.max(0) as usize);
+    draw(&mut canvas, &tree.root, None);
+    canvas.to_ansi()
+}
+
+fn draw(canvas: &mut AnsiCanvas, node: &LayoutBox, inherited_fg: Option<Color>) {
+    if let Some(bg) = node.style.background {
+        canvas.fill_bg(node.rect, bg);
+    }
+    let fg = node.style.foreground.or(inherited_fg);
+    if node.style.border > 0 {
+        frame(canvas, node.rect, fg);
+    }
+    for item in &node.items {
+        match item {
+            LayoutItem::Text { rect, lines, font_size } => {
+                let scale = (*font_size).max(1);
+                for (row, line) in lines.iter().enumerate() {
+                    for (col, ch) in line.chars().enumerate() {
+                        for dy in 0..scale {
+                            for dx in 0..scale {
+                                canvas.put(
+                                    rect.left() + (col as i32) * scale + dx,
+                                    rect.top() + (row as i32) * scale + dy,
+                                    ch,
+                                    fg,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            LayoutItem::Child(child) => draw(canvas, child, fg),
+        }
+    }
+}
+
+fn frame(canvas: &mut AnsiCanvas, rect: Rect, fg: Option<Color>) {
+    if rect.size.is_empty() {
+        return;
+    }
+    let (l, t, r, b) = (rect.left(), rect.top(), rect.right() - 1, rect.bottom() - 1);
+    for x in l..=r {
+        canvas.put(x, t, '─', fg);
+        canvas.put(x, b, '─', fg);
+    }
+    for y in t..=b {
+        canvas.put(l, y, '│', fg);
+        canvas.put(r, y, '│', fg);
+    }
+    canvas.put(l, t, '┌', fg);
+    canvas.put(r, t, '┐', fg);
+    canvas.put(l, b, '└', fg);
+    canvas.put(r, b, '┘', fg);
+}
+
+/// Strip ANSI escape sequences — useful for asserting on colored output.
+pub fn strip_ansi(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\x1b' {
+            // Skip to the terminating `m` of the CSI sequence.
+            for esc in chars.by_ref() {
+                if esc == 'm' {
+                    break;
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout;
+    use alive_core::boxtree::{BoxItem, BoxNode};
+    use alive_core::{Attr, Value};
+
+    fn colored_box() -> BoxNode {
+        let mut inner = BoxNode::new(None);
+        inner.items.push(BoxItem::Attr(
+            Attr::Background,
+            Value::Color(Color::new(170, 210, 240)),
+        ));
+        inner.items.push(BoxItem::Attr(
+            Attr::Foreground,
+            Value::Color(Color::new(220, 50, 47)),
+        ));
+        inner.items.push(BoxItem::Leaf(Value::str("hi")));
+        let mut root = BoxNode::new(None);
+        root.items.push(BoxItem::Child(inner));
+        root
+    }
+
+    #[test]
+    fn emits_color_escapes_and_resets() {
+        let ansi = render_to_ansi(&layout(&colored_box()));
+        assert!(ansi.contains("\x1b[48;2;170;210;240m"), "{ansi:?}");
+        assert!(ansi.contains("\x1b[38;2;220;50;47m"), "{ansi:?}");
+        assert!(ansi.trim_end().ends_with("\x1b[0m"), "{ansi:?}");
+    }
+
+    #[test]
+    fn stripped_output_matches_plain_renderer_text() {
+        let tree = layout(&colored_box());
+        let plain = strip_ansi(&render_to_ansi(&tree));
+        assert_eq!(plain, "hi\n");
+    }
+
+    #[test]
+    fn border_uses_box_drawing_chars() {
+        let mut b = BoxNode::new(None);
+        b.items.push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
+        b.items.push(BoxItem::Leaf(Value::str("x")));
+        let mut root = BoxNode::new(None);
+        root.items.push(BoxItem::Child(b));
+        let ansi = strip_ansi(&render_to_ansi(&layout(&root)));
+        assert_eq!(ansi, "┌─┐\n│x│\n└─┘\n");
+    }
+
+    #[test]
+    fn strip_ansi_is_identity_on_plain_text() {
+        assert_eq!(strip_ansi("plain\ntext"), "plain\ntext");
+        assert_eq!(strip_ansi("\x1b[0m\x1b[38;2;0;0;0mz\x1b[0m"), "z");
+    }
+}

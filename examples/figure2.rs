@@ -1,0 +1,49 @@
+//! Figure 2, reproduced: the split-screen live programming view with
+//! bidirectional selection between the rendered UI and the code.
+//!
+//! Run with `cargo run --example figure2`.
+
+use its_alive::live::{split_view, LiveSession, Selection, SplitViewOptions};
+
+const SRC: &str = r#"global items : list string = ["butter", "milk", "rye bread"]
+
+page start() {
+    render {
+        boxed {
+            post "Groceries";
+            box.background := colors.light_blue;
+        }
+        foreach item in items {
+            boxed {
+                post "* " ++ item;
+                box.margin := 1;
+            }
+        }
+    }
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = LiveSession::new(SRC)?;
+    let options = SplitViewOptions { width: 100, live_pane: 26, ansi: false, zoom: 1 };
+
+    println!("— no selection —\n");
+    print!("{}", split_view(&mut session, &Selection::None, options)?);
+
+    // "Selecting a box in the left live view causes the corresponding
+    // boxed statement to be selected in the right code view" (Fig. 2).
+    println!("\n— the user taps the second grocery row (box [2]) —\n");
+    print!(
+        "{}",
+        split_view(&mut session, &Selection::Box(vec![2]), options)?
+    );
+
+    // "...and vice versa": the cursor in the loop's boxed statement
+    // collectively selects every box it created.
+    let cursor = session.source().find("post \"* \"").expect("in source") as u32;
+    println!("\n— the user puts the cursor inside the loop's boxed statement —\n");
+    print!(
+        "{}",
+        split_view(&mut session, &Selection::Cursor(cursor), options)?
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! The formal model, visibly at work: print the Figure 8 reduction
+//! derivation of a small program, step by step, and the Figure 9
+//! system-transition trace of a user session.
+//!
+//! Run with `cargo run --example formal_model`.
+
+use its_alive::core::event::EventQueue;
+use its_alive::core::pretty::pretty_expr;
+use its_alive::core::smallstep::{self, Stepper};
+use its_alive::core::store::Store;
+use its_alive::core::system::{StepKind, System};
+use its_alive::core::{compile, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(
+        r#"
+        global apr : number = 5
+        fun rate() : number pure { apr / 1200 }
+        page start() {
+            init { apr := apr + 1; }
+            render {
+                boxed {
+                    post "rate " ++ rate();
+                    box.margin := 1;
+                }
+            }
+        }
+        "#,
+    )
+    .expect("compiles");
+    let page = program.page("start").expect("page");
+
+    // ---- Figure 8, →s: the init body, rule by rule ----
+    let mut store = Store::new();
+    let mut queue = EventQueue::new();
+    let out = smallstep::eval_state_traced(&program, &mut store, &mut queue, 10_000, &page.init)?;
+    println!("=== →s derivation of the init body `apr := apr + 1` ===");
+    for (i, rule) in out.trace.as_deref().unwrap_or_default().iter().enumerate() {
+        println!("  step {:>2}: ({rule})", i + 1);
+    }
+    println!("  store afterwards: {}", store);
+
+    // ---- Figure 8, →r: the render body ----
+    let out = smallstep::eval_render_traced(&program, &mut store, 10_000, &page.render)?;
+    println!("\n=== →r derivation of the render body ===");
+    for (i, rule) in out.trace.as_deref().unwrap_or_default().iter().enumerate() {
+        println!("  step {:>2}: ({rule})", i + 1);
+    }
+    let root = out.root.expect("render builds content");
+    println!(
+        "  display B: {} box(es), first leaf = {:?}",
+        root.box_count(),
+        root.descendant(&[0])
+            .and_then(|b| b.leaves().next())
+            .map(Value::display_text)
+    );
+
+    // ---- The stepper: intermediate expressions, rule by rule ----
+    println!("\n=== single-stepping `rate() * 1200` (the §5 debugger angle) ===");
+    let probe = compile(
+        r#"
+        global apr : number = 6
+        fun rate() : number pure { apr / 1200 }
+        fun probe() : number pure { rate() * 1200 }
+        page start() { render { } }
+        "#,
+    )
+    .expect("compiles");
+    let body = (*probe.fun("probe").expect("probe").body).clone();
+    let mut store = Store::new();
+    let mut stepper = Stepper::new_pure(&probe, &mut store, 1_000, body);
+    println!("  {:<14} {}", "", pretty_expr(stepper.current(), 6));
+    while !stepper.is_done() {
+        let rule = stepper.step()?.expect("applied a rule");
+        println!("  {:<14} {}", format!("({rule})"), pretty_expr(stepper.current(), 6));
+    }
+    println!("  value: {}", stepper.value().expect("done"));
+
+    // ---- Figure 9: the →g transition sequence of a session ----
+    println!("\n=== →g transitions of a whole session ===");
+    let mut system = System::new(program);
+    let log = |system: &mut System| -> Result<(), Box<dyn std::error::Error>> {
+        loop {
+            let before = format!("{system}");
+            let kind = system.step()?;
+            if kind == StepKind::Stable {
+                println!("  (stable)  {system}");
+                return Ok(());
+            }
+            println!("  {kind:?}: {before}");
+        }
+    };
+    log(&mut system)?;
+    println!("  -- user taps nothing; back button instead --");
+    system.back();
+    log(&mut system)?;
+    Ok(())
+}

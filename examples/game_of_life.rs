@@ -1,0 +1,38 @@
+//! Conway's Game of Life, live-edited mid-simulation: run a glider,
+//! then change the evolution *rule* while the organism is alive.
+//!
+//! Run with `cargo run --example game_of_life`.
+
+use its_alive::apps::life::life_src;
+use its_alive::live::LiveSession;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = LiveSession::new(&life_src(10))?;
+    println!("=== generation 0 (tap the board to step) ===");
+    print!("{}", session.live_view()?);
+
+    for _ in 0..3 {
+        session.tap_path(&[1])?;
+    }
+    println!("\n=== generation 3 ===");
+    print!("{}", session.live_view()?);
+
+    // Live edit: switch B3/S23 to "HighLife" (B36/S23) while running.
+    // The grid (model) survives; only the rule changes.
+    let highlife = session.source().replace(
+        "else if !alive && around == 3 { 1 }",
+        "else if !alive && (around == 3 || around == 6) { 1 }",
+    );
+    assert!(session.edit_source(&highlife)?.is_applied());
+    println!("\n=== rule changed to HighLife (B36/S23) mid-run; grid preserved ===");
+    for _ in 0..3 {
+        session.tap_path(&[1])?;
+    }
+    println!("=== generation 6, three HighLife steps later ===");
+    print!("{}", session.live_view()?);
+    println!(
+        "\n{} evaluation steps total; the simulation never restarted.",
+        session.system().cost().steps
+    );
+    Ok(())
+}

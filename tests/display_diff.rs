@@ -1,0 +1,69 @@
+//! Display diffing on live sessions: model changes damage exactly the
+//! boxes whose inputs changed — the observable counterpart of the §5
+//! reuse optimization (E4).
+
+use its_alive::apps::gallery;
+use its_alive::live::LiveSession;
+use its_alive::ui::{damage_ratio, damage_rects, diff_displays, layout, BoxChange};
+
+#[test]
+fn one_item_update_damages_one_row_plus_header() {
+    let mut s = LiveSession::new(&gallery::feed_src(6)).expect("starts");
+    let before = s.display_tree().expect("renders");
+    s.tap_path(&[1]).expect("tap row 0");
+    let after = s.display_tree().expect("renders");
+    let changes = diff_displays(&before, &after);
+    let changed_paths: Vec<&[usize]> = changes.iter().map(BoxChange::path).collect();
+    assert_eq!(changed_paths, vec![&[0][..], &[1][..]], "header + row 0 only");
+
+    let damage = damage_rects(&layout(&before), &layout(&after), &changes);
+    let ratio = damage_ratio(&layout(&after), &damage);
+    assert!(ratio < 0.5, "most of the screen is untouched: {ratio}");
+}
+
+#[test]
+fn selection_change_damages_two_tiles_and_header() {
+    let mut s = LiveSession::new(&gallery::gallery_src(8)).expect("starts");
+    s.tap_path(&[3]).expect("select tile 2");
+    let before = s.display_tree().expect("renders");
+    s.tap_path(&[6]).expect("select tile 5");
+    let after = s.display_tree().expect("renders");
+    let changes = diff_displays(&before, &after);
+    let changed_paths: Vec<&[usize]> = changes.iter().map(BoxChange::path).collect();
+    // Header (reads `selected`), the de-selected tile, the selected tile.
+    assert_eq!(changed_paths, vec![&[0][..], &[3][..], &[6][..]]);
+}
+
+#[test]
+fn growing_the_model_adds_boxes() {
+    let mut s = LiveSession::new(its_alive::apps::SHOPPING_SRC).expect("starts");
+    let before = s.display_tree().expect("renders");
+    s.tap_path(&[4]).expect("add apples");
+    let after = s.display_tree().expect("renders");
+    let changes = diff_displays(&before, &after);
+    assert!(
+        changes.iter().any(|c| matches!(c, BoxChange::Added(_))),
+        "a new row appeared: {changes:?}"
+    );
+}
+
+#[test]
+fn a_pure_relabel_edit_damages_only_the_label() {
+    let src = "
+        global a : number = 1
+        page start() {
+            render {
+                boxed { post \"alpha \" ++ a; }
+                boxed { post \"beta\"; }
+                boxed { post \"gamma\"; }
+            }
+        }";
+    let mut s = LiveSession::new(src).expect("starts");
+    let before = s.display_tree().expect("renders");
+    let edited = src.replace("\"beta\"", "\"BETA\"");
+    assert!(s.edit_source(&edited).expect("runs").is_applied());
+    let after = s.display_tree().expect("renders");
+    let changes = diff_displays(&before, &after);
+    let changed_paths: Vec<&[usize]> = changes.iter().map(BoxChange::path).collect();
+    assert_eq!(changed_paths, vec![&[1][..]]);
+}

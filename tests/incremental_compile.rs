@@ -1,0 +1,121 @@
+//! The incremental compiler is observationally identical to the full
+//! compiler across random edit sequences: same definitions, same core
+//! bodies (compared via the core pretty-printer), same spans for
+//! `boxed`/`remember` statements (navigation depends on them).
+
+use its_alive::core::pretty::pretty_expr;
+use its_alive::core::{compile, IncrementalCompiler, Program};
+use proptest::prelude::*;
+
+fn fingerprint(p: &Program) -> Vec<String> {
+    let mut out = Vec::new();
+    for g in p.globals() {
+        out.push(format!("global {} : {} = {} @{}", g.name, g.ty, pretty_expr(&g.init, 64), g.span));
+    }
+    for f in p.funs() {
+        out.push(format!(
+            "fun {}({:?}) : {} {} = {} @{}",
+            f.name,
+            f.params.iter().map(|p| format!("{}:{}", p.name, p.ty)).collect::<Vec<_>>(),
+            f.ret,
+            f.effect,
+            pretty_expr(&f.body, 64),
+            f.span,
+        ));
+    }
+    for pg in p.pages() {
+        out.push(format!(
+            "page {} init={} render={} @{}",
+            pg.name,
+            pretty_expr(&pg.init, 64),
+            pretty_expr(&pg.render, 64),
+            pg.span,
+        ));
+    }
+    out.push(format!("box_spans {:?}", p.box_spans));
+    out.push(format!("remember_spans {:?}", p.remember_spans));
+    out
+}
+
+const SEED: &str = "global total : number = 0
+fun add(x : number) : number pure { x + total }
+fun show(n : number) : () render { boxed { post n; } }
+page start() {
+    init { total := add(5); }
+    render {
+        boxed {
+            remember hits : number = 0;
+            post hits;
+            on tap { hits := hits + 1; }
+        }
+        show(total);
+    }
+}
+page detail(n : number) {
+    render { boxed { post n; } }
+}
+";
+
+/// A pool of plausible whole-item edits.
+fn edits() -> Vec<fn(&str) -> String> {
+    vec![
+        |s| s.replace("x + total", "x * 2 + total"),
+        |s| s.replace("total := add(5);", "total := add(7) + 1;"),
+        |s| s.replace("post n;", "post \"n: \" ++ n;"),
+        |s| s.replace("remember hits : number = 0;", "remember hits : number = 10;"),
+        |s| format!("{s}\nglobal extra : string = \"x\"\n"),
+        |s| s.replace("\nglobal extra : string = \"x\"\n", ""),
+        |s| s.replace("page detail(n : number) {", "page detail(n : number) {\n    init { }"),
+        |s| s.to_string(), // no-op keystroke
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_compiler_matches_full_compiler(
+        sequence in proptest::collection::vec(0usize..8, 1..12)
+    ) {
+        let pool = edits();
+        let mut compiler = IncrementalCompiler::new();
+        let mut src = SEED.to_string();
+        // Initial compile.
+        let inc = compiler.compile(&src).expect("seed compiles");
+        let full = compile(&src).expect("seed compiles");
+        prop_assert_eq!(fingerprint(&inc), fingerprint(&full));
+
+        for &choice in &sequence {
+            src = pool[choice](&src);
+            match (compiler.compile(&src), compile(&src)) {
+                (Ok(inc), Ok(full)) => {
+                    prop_assert_eq!(fingerprint(&inc), fingerprint(&full));
+                }
+                (Err(inc_err), Err(full_err)) => {
+                    prop_assert_eq!(inc_err.to_string(), full_err.to_string());
+                }
+                (inc, full) => {
+                    return Err(TestCaseError::fail(format!(
+                        "accept/reject disagreement: inc={:?} full={:?}",
+                        inc.is_ok(),
+                        full.is_ok()
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_survives_duplicate_identical_items() {
+    // Two byte-identical chunks must not confuse the move-based cache.
+    let src = "fun a() : number pure { 1 }
+page start() { render { post a(); } }
+";
+    let dup = format!("{src}fun b() : number pure {{ 1 }}\n");
+    let mut compiler = IncrementalCompiler::new();
+    compiler.compile(src).expect("compiles");
+    let inc = compiler.compile(&dup).expect("compiles");
+    let full = compile(&dup).expect("compiles");
+    assert_eq!(fingerprint(&inc), fingerprint(&full));
+}

@@ -1,0 +1,169 @@
+//! Random-walk fuzzing of whole sessions: arbitrary interleavings of
+//! taps, box edits, back presses, code edits, undo, snapshot/restore —
+//! the system must never panic, always settle to a stable, well-typed
+//! state, and keep its display consistent with a from-scratch render.
+
+use its_alive::core::state_typing::assert_well_typed;
+use its_alive::core::system::ActionError;
+use its_alive::live::{LiveSession, SessionError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Tap(usize, usize),
+    EditBox(usize, String),
+    Back,
+    SourceTweak(u8),
+    Undo,
+    SnapshotRoundtrip,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..8, 0usize..4).prop_map(|(a, b)| Action::Tap(a, b)),
+        (0usize..8, "[0-9]{0,3}").prop_map(|(p, t)| Action::EditBox(p, t)),
+        Just(Action::Back),
+        (0u8..4).prop_map(Action::SourceTweak),
+        Just(Action::Undo),
+        Just(Action::SnapshotRoundtrip),
+    ]
+}
+
+const APP: &str = r#"
+global score : number = 0
+global label : string = "points"
+page start() {
+    init { }
+    render {
+        boxed {
+            post label ++ ": " ++ score;
+            on edited(t: string) { label := t; }
+        }
+        for i in 0 .. 3 {
+            boxed {
+                post "+" ++ (i + 1);
+                on tap { score := score + i + 1; }
+            }
+        }
+        boxed {
+            post "open detail";
+            on tap { push detail(score); }
+        }
+        boxed {
+            remember local_hits : number = 0;
+            post "widget " ++ local_hits;
+            on tap { local_hits := local_hits + 1; }
+        }
+    }
+}
+page detail(n : number) {
+    render {
+        boxed { post "snapshot of " ++ n; on tap { pop; } }
+    }
+}
+"#;
+
+fn tweaked(src: &str, which: u8) -> String {
+    match which {
+        0 => src.replace("\": \"", "\" = \""),
+        1 => src.replace("open detail", "details..."),
+        2 => src.replace("score + i + 1", "score + (i + 1) * 2"),
+        _ => src.replace("snapshot of ", "detail for "),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_sessions_stay_alive_and_well_typed(
+        actions in proptest::collection::vec(arb_action(), 1..25)
+    ) {
+        let mut session = LiveSession::new(APP).expect("starts");
+        for action in actions {
+            let result: Result<(), SessionError> = match &action {
+                Action::Tap(a, b) => {
+                    // Try a one- or two-level path; misses are fine.
+                    match session.tap_path(&[*a]) {
+                        Ok(()) => Ok(()),
+                        Err(SessionError::Action(_)) => {
+                            match session.tap_path(&[*a, *b]) {
+                                Ok(()) => Ok(()),
+                                Err(SessionError::Action(_)) => Ok(()),
+                                Err(e) => Err(e),
+                            }
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                Action::EditBox(p, t) => match session.edit_box(&[*p], t) {
+                    Ok(()) | Err(SessionError::Action(_)) => Ok(()),
+                    Err(e) => Err(e),
+                },
+                Action::Back => session.back(),
+                Action::SourceTweak(w) => {
+                    let new_src = tweaked(session.source(), *w);
+                    session
+                        .edit_source(&new_src)
+                        .map(|_| ())
+                        .map_err(SessionError::Runtime)
+                }
+                Action::Undo => session.undo().map(|_| ()).map_err(SessionError::Runtime),
+                Action::SnapshotRoundtrip => {
+                    let snap = session.system().snapshot();
+                    let report = session
+                        .system_mut()
+                        .restore(&snap)
+                        .expect("own snapshots parse");
+                    prop_assert!(report.skipped.is_empty(), "own snapshot restores fully");
+                    session.refresh().map_err(SessionError::Runtime)
+                }
+            };
+            match result {
+                Ok(()) => {}
+                Err(SessionError::Action(ActionError::DisplayInvalid)) => {
+                    // Acceptable transiently; settle and continue.
+                    session.refresh().map_err(|e| {
+                        TestCaseError::fail(format!("refresh failed: {e}"))
+                    })?;
+                }
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "action {action:?} failed hard: {other}"
+                    )));
+                }
+            }
+            prop_assert!(session.system().is_stable());
+            assert_well_typed(session.system());
+        }
+
+        // Final consistency: the incremental display equals a fresh
+        // render of the same code + model.
+        let shown = session.display_tree().expect("renders");
+        let mut fresh = its_alive::core::system::System::new(
+            its_alive::core::compile(session.source()).expect("compiles"),
+        );
+        *fresh.debug_store_mut() = session.system().store().clone();
+        *fresh.debug_widgets_mut() = session.system().widgets().clone();
+        fresh.debug_set_pages(session.system().page_stack().to_vec());
+        fresh.run_to_stable().expect("fresh render");
+        // Handler closures differ by construction context; compare the
+        // observable structure instead: leaves + box counts per path.
+        let mut shown_leaves = Vec::new();
+        shown.walk(&mut |path, node| {
+            shown_leaves.push((
+                path.to_vec(),
+                node.leaves().map(|v| v.display_text()).collect::<Vec<_>>(),
+            ));
+        });
+        let fresh_display = fresh.display().content().expect("valid").clone();
+        let mut fresh_leaves = Vec::new();
+        fresh_display.walk(&mut |path, node| {
+            fresh_leaves.push((
+                path.to_vec(),
+                node.leaves().map(|v| v.display_text()).collect::<Vec<_>>(),
+            ));
+        });
+        prop_assert_eq!(shown_leaves, fresh_leaves);
+    }
+}
