@@ -156,16 +156,14 @@ fn dispatch(
             Some(path) => {
                 let system = session.session().system();
                 match system.display().content() {
-                    Some(root) => {
-                        match span_for_box(system.program(), root, &path) {
-                            Some(span) => {
-                                let src = session.session().source();
-                                println!("--- boxed statement for {path:?} ---");
-                                println!("{}", span.slice(src));
-                            }
-                            None => println!("no boxed statement for {path:?}"),
+                    Some(root) => match span_for_box(system.program(), root, &path) {
+                        Some(span) => {
+                            let src = session.session().source();
+                            println!("--- boxed statement for {path:?} ---");
+                            println!("{}", span.slice(src));
                         }
-                    }
+                        None => println!("no boxed statement for {path:?}"),
+                    },
                     None => println!("display is stale; :view first"),
                 }
             }
@@ -220,19 +218,17 @@ fn dispatch(
             }
         }
         ":restore" => match std::fs::read_to_string(rest) {
-            Ok(snapshot) => {
-                match session.restore_snapshot(&snapshot) {
-                    Ok(report) => {
-                        if !report.skipped.is_empty() {
-                            for (name, why) in &report.skipped {
-                                println!("skipped `{name}`: {why}");
-                            }
+            Ok(snapshot) => match session.restore_snapshot(&snapshot) {
+                Ok(report) => {
+                    if !report.skipped.is_empty() {
+                        for (name, why) in &report.skipped {
+                            println!("skipped `{name}`: {why}");
                         }
-                        show_view(session);
                     }
-                    Err(e) => println!("restore failed: {e}"),
+                    show_view(session);
                 }
-            }
+                Err(e) => println!("restore failed: {e}"),
+            },
             Err(e) => println!("cannot read {rest}: {e}"),
         },
         ":demo" => {

@@ -123,9 +123,8 @@ mod tests {
 
         // Compare with the start board shifted by (1,1) on the torus.
         let n = 8usize;
-        let cell = |b: &[String], x: usize, y: usize| {
-            b[y % n].chars().nth(x % n).expect("in range")
-        };
+        let cell =
+            |b: &[String], x: usize, y: usize| b[y % n].chars().nth(x % n).expect("in range");
         for y in 0..n {
             for x in 0..n {
                 assert_eq!(
@@ -135,10 +134,7 @@ mod tests {
                 );
             }
         }
-        assert_eq!(
-            sys.store().get("generation"),
-            Some(&Value::Number(4.0))
-        );
+        assert_eq!(sys.store().get("generation"), Some(&Value::Number(4.0)));
     }
 
     #[test]

@@ -170,7 +170,12 @@ mod tests {
         let Display::Valid(shown) = s.shown().clone() else {
             panic!("something is shown");
         };
-        let leaf = shown.descendant(&[0]).expect("box").leaves().next().cloned();
+        let leaf = shown
+            .descendant(&[0])
+            .expect("box")
+            .leaves()
+            .next()
+            .cloned();
         assert_eq!(leaf, Some(Value::str("count is 1")));
         assert!(s.view_is_stale().expect("comparable"));
         assert_eq!(s.stale_views_served(), 1);
@@ -180,7 +185,12 @@ mod tests {
         let Display::Valid(shown) = s.shown().clone() else {
             panic!("something is shown");
         };
-        let leaf = shown.descendant(&[0]).expect("box").leaves().next().cloned();
+        let leaf = shown
+            .descendant(&[0])
+            .expect("box")
+            .leaves()
+            .next()
+            .cloned();
         assert_eq!(leaf, Some(Value::str("total: 2")));
         assert!(!s.view_is_stale().expect("comparable"));
     }

@@ -174,7 +174,10 @@ mod tests {
         session
             .interact(NavAction::Tap(vec![1, 0]))
             .expect("navigates");
-        assert_eq!(session.system().current_page().map(|(n, _)| n), Some("detail"));
+        assert_eq!(
+            session.system().current_page().map(|(n, _)| n),
+            Some("detail")
+        );
 
         // An aesthetic tweak forces a full restart + re-download + replay.
         let edited = src.replace("post \"Local\";", "post \"Nearby\";");
@@ -182,7 +185,10 @@ mod tests {
         assert_eq!(session.restarts(), 1);
         assert_eq!(session.cost().prim.web_requests, 2, "download paid again");
         // Replay brought us back to the detail page.
-        assert_eq!(session.system().current_page().map(|(n, _)| n), Some("detail"));
+        assert_eq!(
+            session.system().current_page().map(|(n, _)| n),
+            Some("detail")
+        );
     }
 
     #[test]
@@ -196,13 +202,19 @@ mod tests {
             }";
         let mut session = RestartSession::new(src).expect("starts");
         session.interact(NavAction::Tap(vec![0])).expect("tap");
-        assert_eq!(session.system().store().get("count"), Some(&Value::Number(1.0)));
+        assert_eq!(
+            session.system().store().get("count"),
+            Some(&Value::Number(1.0))
+        );
         session
             .edit_source(&src.replace("post count;", "post \"n: \" ++ count;"))
             .expect("edit");
         // The tap was replayed once from scratch: count is 1 again, but
         // only because the replay re-tapped — the state itself was lost.
-        assert_eq!(session.system().store().get("count"), Some(&Value::Number(1.0)));
+        assert_eq!(
+            session.system().store().get("count"),
+            Some(&Value::Number(1.0))
+        );
         // An edit that renames the box path structure would break replay
         // entirely; here we just confirm the restart count.
         assert_eq!(session.restarts(), 1);

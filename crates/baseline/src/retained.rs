@@ -218,16 +218,19 @@ pub fn build_listings_view(model: &ListingsModel) -> Widget {
 /// The correct hand-written update rule for selection changes: clears
 /// the old highlight and sets the new one (two targeted mutations).
 pub fn update_selection(model: &ListingsModel, tree: &mut Widget) {
-    let Some(rows) = tree.find_mut("rows") else { return };
+    let Some(rows) = tree.find_mut("rows") else {
+        return;
+    };
     for (i, row) in rows.children.iter_mut().enumerate() {
-        row.background =
-            (i == model.selected).then_some(Color::new(170, 210, 240));
+        row.background = (i == model.selected).then_some(Color::new(170, 210, 240));
     }
 }
 
 /// The correct update rule for price changes: rewrite one row's text.
 pub fn update_prices(model: &ListingsModel, tree: &mut Widget) {
-    let Some(rows) = tree.find_mut("rows") else { return };
+    let Some(rows) = tree.find_mut("rows") else {
+        return;
+    };
     for (i, row) in rows.children.iter_mut().enumerate() {
         if let Some((addr, price)) = model.listings.get(i) {
             row.text = format!("{addr} — ${price:.0}");
@@ -241,7 +244,9 @@ mod tests {
 
     fn model(n: usize) -> ListingsModel {
         ListingsModel {
-            listings: (0..n).map(|i| (format!("{i} Oak St"), 100_000.0 + i as f64)).collect(),
+            listings: (0..n)
+                .map(|i| (format!("{i} Oak St"), 100_000.0 + i as f64))
+                .collect(),
             selected: 0,
         }
     }

@@ -9,8 +9,7 @@
 use alive_baseline::retained::{update_prices, update_selection};
 use alive_baseline::{build_listings_view, ListingsModel, RetainedApp};
 use alive_bench::{feed_session, feed_touch};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use alive_testkit::Bench;
 
 fn listings_model(n: usize) -> ListingsModel {
     ListingsModel {
@@ -21,57 +20,43 @@ fn listings_model(n: usize) -> ListingsModel {
     }
 }
 
-fn bench_baseline_comparison(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_comparison");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
-    group.sample_size(30);
+fn main() {
+    let mut bench = Bench::from_args("baseline_comparison");
     for n in [10usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::new("retained_update", n), &n, |b, &n| {
-            let mut app = RetainedApp::new(listings_model(n), build_listings_view);
-            app.on_change("selection", update_selection);
-            app.on_change("price", update_prices);
-            let mut i = 0usize;
-            b.iter(|| {
-                i += 1;
-                if i.is_multiple_of(2) {
-                    app.mutate("selection", |m| m.selected = i % n);
-                } else {
-                    app.mutate("price", |m| m.listings[i % n].1 += 1.0);
-                }
-            });
+        let mut app = RetainedApp::new(listings_model(n), build_listings_view);
+        app.on_change("selection", update_selection);
+        app.on_change("price", update_prices);
+        let mut i = 0usize;
+        bench.bench(&format!("retained_update/{n}"), || {
+            i += 1;
+            if i.is_multiple_of(2) {
+                app.mutate("selection", |m| m.selected = i % n);
+            } else {
+                app.mutate("price", |m| m.listings[i % n].1 += 1.0);
+            }
         });
-        group.bench_with_input(BenchmarkId::new("retained_rebuild", n), &n, |b, &n| {
-            // The "correct by construction" variant of retained MVC:
-            // rebuild the whole widget tree from the model per change —
-            // i.e. immediate mode in the host language.
-            let mut app = RetainedApp::new(listings_model(n), build_listings_view);
-            let mut i = 0usize;
-            b.iter(|| {
-                i += 1;
-                app.model.selected = i % n;
-                std::hint::black_box(build_listings_view(&app.model))
-            });
+        // The "correct by construction" variant of retained MVC:
+        // rebuild the whole widget tree from the model per change —
+        // i.e. immediate mode in the host language.
+        let mut app = RetainedApp::new(listings_model(n), build_listings_view);
+        let mut i = 0usize;
+        bench.bench(&format!("retained_rebuild/{n}"), || {
+            i += 1;
+            app.model.selected = i % n;
+            std::hint::black_box(build_listings_view(&app.model));
         });
-        group.bench_with_input(BenchmarkId::new("immediate_naive", n), &n, |b, &n| {
-            let mut session = feed_session(n, false);
-            let mut i = 0usize;
-            b.iter(|| {
-                feed_touch(&mut session, i);
-                i += 1;
-            });
+        let mut session = feed_session(n, false);
+        let mut i = 0usize;
+        bench.bench(&format!("immediate_naive/{n}"), || {
+            feed_touch(&mut session, i);
+            i += 1;
         });
-        group.bench_with_input(BenchmarkId::new("immediate_memo", n), &n, |b, &n| {
-            let mut session = feed_session(n, true);
-            let mut i = 0usize;
-            b.iter(|| {
-                feed_touch(&mut session, i);
-                i += 1;
-            });
+        let mut session = feed_session(n, true);
+        let mut i = 0usize;
+        bench.bench(&format!("immediate_memo/{n}"), || {
+            feed_touch(&mut session, i);
+            i += 1;
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_baseline_comparison);
-criterion_main!(benches);

@@ -7,15 +7,11 @@
 use alive_core::event::EventQueue;
 use alive_core::store::Store;
 use alive_core::{bigstep, compile, smallstep};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use alive_testkit::Bench;
 use std::hint::black_box;
 
-fn bench_eval_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval_ablation");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
-    group.sample_size(20);
+fn main() {
+    let mut bench = Bench::from_args("eval_ablation");
 
     // Pure workload: fib(n).
     let fib_src = "fun fib(n: number): number pure {
@@ -25,17 +21,13 @@ fn bench_eval_ablation(c: &mut Criterion) {
         page start() { render { } }";
     let p = compile(fib_src).expect("compiles");
     let body = p.fun("main").expect("fun").body.clone();
-    group.bench_function(BenchmarkId::new("bigstep", "fib14"), |b| {
-        let store = Store::new();
-        b.iter(|| {
-            black_box(bigstep::run_pure(&p, &store, 0, u64::MAX, &body).expect("runs"))
-        });
+    let store = Store::new();
+    bench.bench("bigstep/fib14", || {
+        black_box(bigstep::run_pure(&p, &store, 0, u64::MAX, &body).expect("runs"))
     });
-    group.bench_function(BenchmarkId::new("smallstep", "fib14"), |b| {
-        b.iter(|| {
-            let mut store = Store::new();
-            black_box(smallstep::eval_pure(&p, &mut store, u64::MAX, &body).expect("runs"))
-        });
+    bench.bench("smallstep/fib14", || {
+        let mut store = Store::new();
+        black_box(smallstep::eval_pure(&p, &mut store, u64::MAX, &body).expect("runs"))
     });
 
     // Render workload: one full page render of the dense gallery.
@@ -47,26 +39,13 @@ fn bench_eval_ablation(c: &mut Criterion) {
         bigstep::run_state(&p, &mut store, &mut queue, 0, u64::MAX, vec![], &page.init)
             .expect("init");
         let render = page.render.clone();
-        group.bench_with_input(BenchmarkId::new("bigstep_render", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    bigstep::run_render(&p, &store, 0, u64::MAX, vec![], &render)
-                        .expect("runs"),
-                )
-            });
+        bench.bench(&format!("bigstep_render/{n}"), || {
+            black_box(bigstep::run_render(&p, &store, 0, u64::MAX, vec![], &render).expect("runs"))
         });
-        group.bench_with_input(BenchmarkId::new("smallstep_render", n), &n, |b, _| {
-            b.iter(|| {
-                let mut scratch = store.clone();
-                black_box(
-                    smallstep::eval_render(&p, &mut scratch, u64::MAX, &render)
-                        .expect("runs"),
-                )
-            });
+        bench.bench(&format!("smallstep_render/{n}"), || {
+            let mut scratch = store.clone();
+            black_box(smallstep::eval_render(&p, &mut scratch, u64::MAX, &render).expect("runs"))
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_eval_ablation);
-criterion_main!(benches);

@@ -7,38 +7,27 @@
 //! latency is independent of startup cost.
 
 use alive_bench::{label_variants, mortgage_live_on_detail, mortgage_restart_on_detail};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use alive_testkit::Bench;
 
-fn bench_feedback_latency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("feedback_latency");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
-    group.sample_size(20);
+fn main() {
+    let mut bench = Bench::from_args("feedback_latency");
     for n in [10usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::new("live_edit", n), &n, |b, &n| {
-            let mut session = mortgage_live_on_detail(n);
-            let mut flip = false;
-            b.iter(|| {
-                let (a, orig) = label_variants(session.source());
-                let target = if flip { a } else { orig };
-                flip = !flip;
-                assert!(session.edit_source(&target).expect("edit").is_applied());
-            });
+        let mut session = mortgage_live_on_detail(n);
+        let mut flip = false;
+        bench.bench(&format!("live_edit/{n}"), || {
+            let (a, orig) = label_variants(session.source());
+            let target = if flip { a } else { orig };
+            flip = !flip;
+            assert!(session.edit_source(&target).expect("edit").is_applied());
         });
-        group.bench_with_input(BenchmarkId::new("restart_edit", n), &n, |b, &n| {
-            let mut session = mortgage_restart_on_detail(n);
-            let mut flip = false;
-            b.iter(|| {
-                let (a, orig) = label_variants(session.source());
-                let target = if flip { a } else { orig };
-                flip = !flip;
-                session.edit_source(&target).expect("edit");
-            });
+        let mut session = mortgage_restart_on_detail(n);
+        let mut flip = false;
+        bench.bench(&format!("restart_edit/{n}"), || {
+            let (a, orig) = label_variants(session.source());
+            let target = if flip { a } else { orig };
+            flip = !flip;
+            session.edit_source(&target).expect("edit");
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_feedback_latency);
-criterion_main!(benches);

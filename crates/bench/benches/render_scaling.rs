@@ -4,51 +4,36 @@
 //! dependency-dense workload.
 
 use alive_bench::{feed_session, feed_touch, gallery_select_next, gallery_session};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use alive_testkit::Bench;
 
-fn bench_render_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("render_scaling");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
-    group.sample_size(20);
+fn main() {
+    let mut bench = Bench::from_args("render_scaling");
     for n in [10usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::new("feed_naive", n), &n, |b, &n| {
-            let mut session = feed_session(n, false);
-            let mut i = 0usize;
-            b.iter(|| {
-                feed_touch(&mut session, i);
-                i += 1;
-            });
+        let mut session = feed_session(n, false);
+        let mut i = 0usize;
+        bench.bench(&format!("feed_naive/{n}"), || {
+            feed_touch(&mut session, i);
+            i += 1;
         });
-        group.bench_with_input(BenchmarkId::new("feed_memo", n), &n, |b, &n| {
-            let mut session = feed_session(n, true);
-            let mut i = 0usize;
-            b.iter(|| {
-                feed_touch(&mut session, i);
-                i += 1;
-            });
+        let mut session = feed_session(n, true);
+        let mut i = 0usize;
+        bench.bench(&format!("feed_memo/{n}"), || {
+            feed_touch(&mut session, i);
+            i += 1;
         });
-        group.bench_with_input(BenchmarkId::new("gallery_naive", n), &n, |b, &n| {
-            let mut session = gallery_session(n, false);
-            let mut i = 0usize;
-            b.iter(|| {
-                gallery_select_next(&mut session, i);
-                i += 1;
-            });
+        let mut session = gallery_session(n, false);
+        let mut i = 0usize;
+        bench.bench(&format!("gallery_naive/{n}"), || {
+            gallery_select_next(&mut session, i);
+            i += 1;
         });
-        group.bench_with_input(BenchmarkId::new("gallery_memo", n), &n, |b, &n| {
-            // Dense deps: this measures the cache's pure overhead.
-            let mut session = gallery_session(n, true);
-            let mut i = 0usize;
-            b.iter(|| {
-                gallery_select_next(&mut session, i);
-                i += 1;
-            });
+        // Dense deps: this measures the cache's pure overhead.
+        let mut session = gallery_session(n, true);
+        let mut i = 0usize;
+        bench.bench(&format!("gallery_memo/{n}"), || {
+            gallery_select_next(&mut session, i);
+            i += 1;
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_render_scaling);
-criterion_main!(benches);

@@ -7,51 +7,36 @@
 use alive_apps::gallery::wide_program_src;
 use alive_core::{compile, lower, typeck};
 use alive_syntax::parse_program;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use alive_testkit::Bench;
 use std::hint::black_box;
 
-fn bench_typecheck_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("typecheck_throughput");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
+fn main() {
+    let mut bench = Bench::from_args("typecheck_throughput");
     for n in [10usize, 50, 200] {
         let src = wide_program_src(n);
-        group.bench_with_input(BenchmarkId::new("parse", n), &src, |b, src| {
-            b.iter(|| black_box(parse_program(src)));
+        bench.bench(&format!("parse/{n}"), || black_box(parse_program(&src)));
+        let parsed = parse_program(&src);
+        bench.bench(&format!("lower/{n}"), || {
+            black_box(lower::lower_program(&parsed.program))
         });
-        group.bench_with_input(BenchmarkId::new("lower", n), &src, |b, src| {
-            let parsed = parse_program(src);
-            b.iter(|| black_box(lower::lower_program(&parsed.program)));
+        let lowered = lower::lower_program(&parsed.program);
+        bench.bench(&format!("typecheck/{n}"), || {
+            black_box(typeck::check_program(&lowered.program))
         });
-        group.bench_with_input(BenchmarkId::new("typecheck", n), &src, |b, src| {
-            let parsed = parse_program(src);
-            let lowered = lower::lower_program(&parsed.program);
-            b.iter(|| black_box(typeck::check_program(&lowered.program)));
+        bench.bench(&format!("full_compile/{n}"), || {
+            black_box(compile(&src).expect("compiles"))
         });
-        group.bench_with_input(BenchmarkId::new("full_compile", n), &src, |b, src| {
-            b.iter(|| black_box(compile(src).expect("compiles")));
+        // The keystroke loop: alternate two one-token body edits; all
+        // other items hit the parse cache.
+        let mut compiler = alive_core::IncrementalCompiler::new();
+        compiler.compile(&src).expect("compiles");
+        let variant = src.replace("x * 2 + g0", "x * 3 + g0");
+        let mut flip = false;
+        bench.bench(&format!("incremental_compile/{n}"), || {
+            flip = !flip;
+            let target: &str = if flip { &variant } else { &src };
+            black_box(compiler.compile(target).expect("compiles"));
         });
-        group.bench_with_input(
-            BenchmarkId::new("incremental_compile", n),
-            &src,
-            |b, src| {
-                // The keystroke loop: alternate two one-token body edits;
-                // all other items hit the parse cache.
-                let mut compiler = alive_core::IncrementalCompiler::new();
-                compiler.compile(src).expect("compiles");
-                let variant = src.replace("x * 2 + g0", "x * 3 + g0");
-                let mut flip = false;
-                b.iter(|| {
-                    flip = !flip;
-                    let target: &str = if flip { &variant } else { src };
-                    black_box(compiler.compile(target).expect("compiles"))
-                });
-            },
-        );
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_typecheck_throughput);
-criterion_main!(benches);

@@ -6,47 +6,37 @@
 use alive_apps::gallery::{feed_src, nested_src};
 use alive_core::compile;
 use alive_core::system::System;
+use alive_testkit::Bench;
 use alive_ui::{diff_displays, hit_test, layout, render_to_text, Point};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
 fn rendered_root(src: &str) -> alive_core::BoxNode {
     let mut sys = System::new(compile(src).expect("compiles"));
     sys.rendered().expect("renders").clone()
 }
 
-fn bench_ui_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ui_pipeline");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
+fn main() {
+    let mut bench = Bench::from_args("ui_pipeline");
 
     for n in [10usize, 100, 1000] {
         let root = rendered_root(&feed_src(n));
-        group.bench_with_input(BenchmarkId::new("layout_wide", n), &n, |b, _| {
-            b.iter(|| black_box(layout(&root)));
-        });
+        bench.bench(&format!("layout_wide/{n}"), || black_box(layout(&root)));
         let tree = layout(&root);
-        group.bench_with_input(BenchmarkId::new("render_text_wide", n), &n, |b, _| {
-            b.iter(|| black_box(render_to_text(&tree)));
+        bench.bench(&format!("render_text_wide/{n}"), || {
+            black_box(render_to_text(&tree))
         });
-        group.bench_with_input(BenchmarkId::new("hit_test_wide", n), &n, |b, _| {
-            let bottom = tree.size().h - 1;
-            b.iter(|| black_box(hit_test(&tree, Point::new(0, bottom))));
+        let bottom = tree.size().h - 1;
+        bench.bench(&format!("hit_test_wide/{n}"), || {
+            black_box(hit_test(&tree, Point::new(0, bottom)))
         });
-        group.bench_with_input(BenchmarkId::new("diff_identical_wide", n), &n, |b, _| {
-            b.iter(|| black_box(diff_displays(&root, &root)));
+        bench.bench(&format!("diff_identical_wide/{n}"), || {
+            black_box(diff_displays(&root, &root))
         });
     }
 
     for depth in [8usize, 32, 128] {
         let root = rendered_root(&nested_src(depth));
-        group.bench_with_input(BenchmarkId::new("layout_deep", depth), &depth, |b, _| {
-            b.iter(|| black_box(layout(&root)));
-        });
+        bench.bench(&format!("layout_deep/{depth}"), || black_box(layout(&root)));
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_ui_pipeline);
-criterion_main!(benches);

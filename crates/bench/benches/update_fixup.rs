@@ -6,8 +6,7 @@ use alive_core::store::Store;
 use alive_core::types::Name;
 use alive_core::{compile, Program, Value};
 use alive_live::LiveSession;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use alive_testkit::Bench;
 use std::hint::black_box;
 use std::rc::Rc;
 
@@ -29,15 +28,13 @@ fn full_store(n: usize) -> Store {
     store
 }
 
-fn bench_update_fixup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("update_fixup");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_millis(1200));
+fn main() {
+    let mut bench = Bench::from_args("update_fixup");
     for n in [10usize, 100, 1000] {
         let program = half_program(n);
         let store = full_store(n);
-        group.bench_with_input(BenchmarkId::new("fixup_store", n), &n, |b, _| {
-            b.iter(|| black_box(fixup_store(&program, &store)));
+        bench.bench(&format!("fixup_store/{n}"), || {
+            black_box(fixup_store(&program, &store))
         });
     }
     // Page-stack fix-up depth sweep.
@@ -55,29 +52,20 @@ fn bench_update_fixup(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("fixup_pages", depth), &depth, |b, _| {
-            b.iter(|| {
-                let mut report = FixupReport::default();
-                black_box(fixup_pages(&two_pages, &stack, &mut report))
-            });
+        bench.bench(&format!("fixup_pages/{depth}"), || {
+            let mut report = FixupReport::default();
+            black_box(fixup_pages(&two_pages, &stack, &mut report))
         });
     }
     // End-to-end: a whole UPDATE on a live session (fix-up dominated by
     // re-render).
-    group.sample_size(20);
-    group.bench_function("end_to_end_update", |b| {
-        let mut session =
-            LiveSession::new(&alive_apps::mortgage::mortgage_src(50)).expect("compiles");
-        let mut flip = false;
-        b.iter(|| {
-            let (a, orig) = alive_bench::label_variants(session.source());
-            let target = if flip { a } else { orig };
-            flip = !flip;
-            assert!(session.edit_source(&target).expect("edit").is_applied());
-        });
+    let mut session = LiveSession::new(&alive_apps::mortgage::mortgage_src(50)).expect("compiles");
+    let mut flip = false;
+    bench.bench("end_to_end_update", || {
+        let (a, orig) = alive_bench::label_variants(session.source());
+        let target = if flip { a } else { orig };
+        flip = !flip;
+        assert!(session.edit_source(&target).expect("edit").is_applied());
     });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_update_fixup);
-criterion_main!(benches);

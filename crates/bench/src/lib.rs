@@ -1,8 +1,8 @@
 //! # alive-bench
 //!
 //! Shared workload builders and measurement helpers for the experiment
-//! harness. Each experiment in DESIGN.md §4 maps to one Criterion bench
-//! in `benches/` (wall-clock timing) and one table in the [`tables`]
+//! harness. Each experiment in DESIGN.md §4 maps to one `alive-testkit`
+//! bench in `benches/` (wall-clock timing) and one table in the [`tables`]
 //! module (deterministic cost-model numbers: simulated web latency,
 //! evaluation steps, boxes built/reused). `cargo run -p alive-bench
 //! --bin tables` regenerates every table in EXPERIMENTS.md.

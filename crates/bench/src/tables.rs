@@ -131,9 +131,11 @@ pub fn table_e5_typecheck() -> String {
         let src = gallery::wide_program_src(n);
         let program = compile(&src).expect("compiles");
         let mut samples: Vec<f64> = (0..9)
-            .map(|_| time_ms(|| {
-                compile(&src).expect("compiles");
-            }))
+            .map(|_| {
+                time_ms(|| {
+                    compile(&src).expect("compiles");
+                })
+            })
             .collect();
         samples.sort_by(f64::total_cmp);
         // Incremental: one body token flips per keystroke.
@@ -185,9 +187,11 @@ pub fn table_e6_update_fixup() -> String {
         }
         let (fixed, report) = fixup_store(&program, &store);
         let mut samples: Vec<f64> = (0..9)
-            .map(|_| time_ms(|| {
-                let _ = fixup_store(&program, &store);
-            }))
+            .map(|_| {
+                time_ms(|| {
+                    let _ = fixup_store(&program, &store);
+                })
+            })
             .collect();
         samples.sort_by(f64::total_cmp);
         writeln!(
@@ -247,13 +251,11 @@ pub fn table_e7_eval_ablation() -> String {
     let page = p.page("start").expect("page");
     let mut store = Store::new();
     let mut queue = EventQueue::new();
-    bigstep::run_state(&p, &mut store, &mut queue, 0, u64::MAX, vec![], &page.init)
-        .expect("init");
+    bigstep::run_state(&p, &mut store, &mut queue, 0, u64::MAX, vec![], &page.init).expect("init");
     let render = page.render.clone();
     let mut big_cost = 0u64;
     let big_ms = time_ms(|| {
-        let out =
-            bigstep::run_render(&p, &store, 0, u64::MAX, vec![], &render).expect("runs");
+        let out = bigstep::run_render(&p, &store, 0, u64::MAX, vec![], &render).expect("runs");
         big_cost = out.cost.steps;
     });
     let mut small_counts = smallstep::StepCounts::default();
@@ -311,7 +313,9 @@ pub fn table_e8_baselines() -> String {
 
     // Retained MVC with a complete rule set vs a forgotten rule.
     let model = ListingsModel {
-        listings: (0..50).map(|i| (format!("{i} Oak"), 1000.0 + i as f64)).collect(),
+        listings: (0..50)
+            .map(|i| (format!("{i} Oak"), 1000.0 + i as f64))
+            .collect(),
         selected: 0,
     };
     let mut complete = RetainedApp::new(model.clone(), build_listings_view);
@@ -471,7 +475,10 @@ mod tests {
         let cols: Vec<&str> = sparse_row.split('|').map(str::trim).collect();
         let naive: f64 = cols[2].parse().expect("number");
         let memo: f64 = cols[3].parse().expect("number");
-        assert!(memo < naive / 2.0, "memo rebuilds fewer boxes: {sparse_row}");
+        assert!(
+            memo < naive / 2.0,
+            "memo rebuilds fewer boxes: {sparse_row}"
+        );
         // Dense workload: the memo cannot help (every tile's inputs changed).
         let dense_row = e4
             .lines()
@@ -484,6 +491,8 @@ mod tests {
 
         let e8 = table_e8_baselines();
         assert!(e8.contains("immediate (live)"));
-        assert!(e8.lines().any(|l| l.contains("fix-and-continue") && l.contains("10")));
+        assert!(e8
+            .lines()
+            .any(|l| l.contains("fix-and-continue") && l.contains("10")));
     }
 }

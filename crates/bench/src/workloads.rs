@@ -1,4 +1,4 @@
-//! Workload builders shared by the Criterion benches and the tables
+//! Workload builders shared by the wall-clock benches and the tables
 //! binary.
 
 use alive_apps::{gallery, mortgage};
@@ -88,7 +88,10 @@ mod tests {
         assert!(live.edit_source(&a).expect("runs").is_applied());
 
         let restart = mortgage_restart_on_detail(3);
-        assert_eq!(restart.system().current_page().map(|(n, _)| n), Some("detail"));
+        assert_eq!(
+            restart.system().current_page().map(|(n, _)| n),
+            Some("detail")
+        );
 
         // Sparse feed: taps reuse untouched rows.
         let mut f = feed_session(8, true);

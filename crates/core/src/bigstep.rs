@@ -195,7 +195,10 @@ pub fn run_render(
     };
     ev.eval(expr)?;
     let root = ev.boxes.pop().expect("top-level box frame");
-    Ok(RenderOutput { root, cost: ev.cost })
+    Ok(RenderOutput {
+        root,
+        cost: ev.cost,
+    })
 }
 
 /// Like [`run_render`], but with a [`RenderHook`] intercepting `boxed`
@@ -228,7 +231,10 @@ pub fn run_render_hooked(
     };
     ev.eval(expr)?;
     let root = ev.boxes.pop().expect("top-level box frame");
-    Ok(RenderOutput { root, cost: ev.cost })
+    Ok(RenderOutput {
+        root,
+        cost: ev.cost,
+    })
 }
 
 /// Like [`run_render`], with both optional extras: a [`RenderHook`]
@@ -265,7 +271,10 @@ pub fn run_render_full<'a>(
     };
     ev.eval(expr)?;
     let root = ev.boxes.pop().expect("top-level box frame");
-    Ok(RenderOutput { root, cost: ev.cost })
+    Ok(RenderOutput {
+        root,
+        cost: ev.cost,
+    })
 }
 
 /// Like [`call_thunk`], with a widget store so handlers can write
@@ -461,7 +470,10 @@ impl Evaluator<'_> {
                 if i >= 1 && i <= vs.len() {
                     Ok(vs[i - 1].clone())
                 } else {
-                    Err(RuntimeError::ProjOutOfRange { index: *index, len: vs.len() })
+                    Err(RuntimeError::ProjOutOfRange {
+                        index: *index,
+                        len: vs.len(),
+                    })
                 }
             }
             ExprKind::Call(callee, args) => {
@@ -479,7 +491,9 @@ impl Evaluator<'_> {
                 env: self.capture_env(),
                 version: self.version,
             }))),
-            ExprKind::Let { name, value, body, .. } => {
+            ExprKind::Let {
+                name, value, body, ..
+            } => {
                 let v = self.eval(value)?;
                 self.scopes.push(vec![(name.clone(), v)]);
                 let result = self.eval(body);
@@ -560,7 +574,10 @@ impl Evaluator<'_> {
             ExprKind::PushPage(name, args) => {
                 // ES-PUSH: state mode only; enqueues the event.
                 if self.mode != Effect::State {
-                    return Err(RuntimeError::EffectViolation { op: "push", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "push",
+                        mode: self.mode,
+                    });
                 }
                 if self.program.page(name).is_none() {
                     return Err(RuntimeError::UnknownPage(name.clone()));
@@ -569,27 +586,41 @@ impl Evaluator<'_> {
                 for a in args {
                     argv.push(self.eval(a)?);
                 }
-                let queue = self.queue.as_deref_mut().ok_or(
-                    RuntimeError::EffectViolation { op: "push", mode: Effect::Render },
-                )?;
+                let queue = self
+                    .queue
+                    .as_deref_mut()
+                    .ok_or(RuntimeError::EffectViolation {
+                        op: "push",
+                        mode: Effect::Render,
+                    })?;
                 queue.enqueue(Event::Push(name.clone(), Value::tuple(argv)));
                 Ok(Value::unit())
             }
             ExprKind::PopPage => {
                 // ES-POP: state mode only; enqueues the event.
                 if self.mode != Effect::State {
-                    return Err(RuntimeError::EffectViolation { op: "pop", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "pop",
+                        mode: self.mode,
+                    });
                 }
-                let queue = self.queue.as_deref_mut().ok_or(
-                    RuntimeError::EffectViolation { op: "pop", mode: Effect::Render },
-                )?;
+                let queue = self
+                    .queue
+                    .as_deref_mut()
+                    .ok_or(RuntimeError::EffectViolation {
+                        op: "pop",
+                        mode: Effect::Render,
+                    })?;
                 queue.enqueue(Event::Pop);
                 Ok(Value::unit())
             }
             ExprKind::Boxed(id, body) => {
                 // ER-BOXED: evaluate the body into a fresh box.
                 if self.mode != Effect::Render || self.boxes.is_empty() {
-                    return Err(RuntimeError::EffectViolation { op: "boxed", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "boxed",
+                        mode: self.mode,
+                    });
                 }
                 // Give the render hook (the §5 reuse optimization) a
                 // chance to supply a cached subtree.
@@ -626,7 +657,10 @@ impl Evaluator<'_> {
             ExprKind::Post(value) => {
                 // ER-POST.
                 if self.mode != Effect::Render || self.boxes.is_empty() {
-                    return Err(RuntimeError::EffectViolation { op: "post", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "post",
+                        mode: self.mode,
+                    });
                 }
                 let v = self.eval(value)?;
                 self.cost.posts += 1;
@@ -653,7 +687,13 @@ impl Evaluator<'_> {
                     .push(BoxItem::Attr(*attr, v));
                 Ok(Value::unit())
             }
-            ExprKind::Remember { id, name, init, body, .. } => {
+            ExprKind::Remember {
+                id,
+                name,
+                init,
+                body,
+                ..
+            } => {
                 if self.mode != Effect::Render {
                     return Err(RuntimeError::EffectViolation {
                         op: "remember",
@@ -680,12 +720,13 @@ impl Evaluator<'_> {
             }
             ExprKind::WidgetRead(name) => {
                 let key = self.widget_key_of(name)?;
-                let widgets = self.widgets.as_deref().ok_or(
-                    RuntimeError::EffectViolation {
+                let widgets = self
+                    .widgets
+                    .as_deref()
+                    .ok_or(RuntimeError::EffectViolation {
                         op: "widget read (no widget store)",
                         mode: self.mode,
-                    },
-                )?;
+                    })?;
                 widgets
                     .get(key)
                     .cloned()
@@ -700,12 +741,13 @@ impl Evaluator<'_> {
                 }
                 let key = self.widget_key_of(name)?;
                 let v = self.eval(value)?;
-                let widgets = self.widgets.as_deref_mut().ok_or(
-                    RuntimeError::EffectViolation {
+                let widgets = self
+                    .widgets
+                    .as_deref_mut()
+                    .ok_or(RuntimeError::EffectViolation {
                         op: "widget write (no widget store)",
                         mode: self.mode,
-                    },
-                )?;
+                    })?;
                 widgets.set(key, v);
                 Ok(Value::unit())
             }
@@ -713,14 +755,10 @@ impl Evaluator<'_> {
                 // Short-circuit logic first.
                 match op {
                     BinOp::And => {
-                        return Ok(Value::Bool(
-                            self.eval_bool(lhs)? && self.eval_bool(rhs)?,
-                        ))
+                        return Ok(Value::Bool(self.eval_bool(lhs)? && self.eval_bool(rhs)?))
                     }
                     BinOp::Or => {
-                        return Ok(Value::Bool(
-                            self.eval_bool(lhs)? || self.eval_bool(rhs)?,
-                        ))
+                        return Ok(Value::Bool(self.eval_bool(lhs)? || self.eval_bool(rhs)?))
                     }
                     _ => {}
                 }
@@ -750,16 +788,20 @@ impl Evaluator<'_> {
     fn eval_bool(&mut self, expr: &Expr) -> Result<bool, RuntimeError> {
         match self.eval(expr)? {
             Value::Bool(b) => Ok(b),
-            v => Err(RuntimeError::TypeMismatch { expected: "bool", found: v.display_text() }),
+            v => Err(RuntimeError::TypeMismatch {
+                expected: "bool",
+                found: v.display_text(),
+            }),
         }
     }
 
     fn eval_number(&mut self, expr: &Expr) -> Result<f64, RuntimeError> {
         match self.eval(expr)? {
             Value::Number(n) => Ok(n),
-            v => {
-                Err(RuntimeError::TypeMismatch { expected: "number", found: v.display_text() })
-            }
+            v => Err(RuntimeError::TypeMismatch {
+                expected: "number",
+                found: v.display_text(),
+            }),
         }
     }
 
@@ -782,12 +824,7 @@ impl Evaluator<'_> {
                 // Enter the closure's environment: captured bindings plus
                 // parameters. The caller's locals are not visible.
                 let mut frame: Frame = c.env.as_ref().clone();
-                frame.extend(
-                    c.params
-                        .iter()
-                        .zip(args)
-                        .map(|(p, v)| (p.name.clone(), v)),
-                );
+                frame.extend(c.params.iter().zip(args).map(|(p, v)| (p.name.clone(), v)));
                 let saved = std::mem::replace(&mut self.scopes, vec![frame]);
                 let result = self.eval(&c.body);
                 self.scopes = saved;
@@ -885,7 +922,11 @@ mod tests {
         let parsed = parse_program(src);
         assert!(parsed.is_ok(), "parse: {}", parsed.diagnostics.render(src));
         let lowered = lower_program(&parsed.program);
-        assert!(lowered.is_ok(), "lower: {}", lowered.diagnostics.render(src));
+        assert!(
+            lowered.is_ok(),
+            "lower: {}",
+            lowered.diagnostics.render(src)
+        );
         let ds = check_program(&lowered.program);
         assert!(!ds.has_errors(), "typeck: {ds}");
         lowered.program
@@ -998,8 +1039,16 @@ mod tests {
         let mut store = Store::new();
         store.set("count", Value::Number(41.0));
         let mut queue = EventQueue::new();
-        run_state(&p, &mut store, &mut queue, 0, DEFAULT_FUEL, vec![], &page.init)
-            .expect("init runs");
+        run_state(
+            &p,
+            &mut store,
+            &mut queue,
+            0,
+            DEFAULT_FUEL,
+            vec![],
+            &page.init,
+        )
+        .expect("init runs");
         assert_eq!(store.get("count"), Some(&Value::Number(42.0)));
         assert_eq!(queue.len(), 1);
         assert!(matches!(queue.dequeue(), Some(Event::Push(..))));
@@ -1033,8 +1082,8 @@ mod tests {
         );
         let page = p.page("start").expect("page");
         let store = Store::new();
-        let out = run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &page.render)
-            .expect("render runs");
+        let out =
+            run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &page.render).expect("render runs");
         assert_eq!(out.root.box_count(), 5); // root + header + 3 items
         assert_eq!(out.cost.boxes_created, 4);
         let header = out.root.descendant(&[0]).expect("header box");
@@ -1056,8 +1105,8 @@ mod tests {
             alive_syntax::Span::DUMMY,
         );
         let store = Store::new();
-        let err = run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &bad)
-            .expect_err("must be refused");
+        let err =
+            run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &bad).expect_err("must be refused");
         assert!(matches!(err, RuntimeError::EffectViolation { .. }));
     }
 
@@ -1108,14 +1157,21 @@ mod tests {
         );
         let page = p.page("start").expect("page");
         let store = Store::new();
-        let out = run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &page.render)
-            .expect("render");
+        let out = run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &page.render).expect("render");
         let second = out.root.descendant(&[1]).expect("second box");
         let handler = second.attr(Attr::OnTap).expect("handler").clone();
         let mut store = Store::new();
         let mut queue = EventQueue::new();
-        call_thunk(&p, &mut store, &mut queue, 0, DEFAULT_FUEL, &handler, vec![])
-            .expect("tap runs");
+        call_thunk(
+            &p,
+            &mut store,
+            &mut queue,
+            0,
+            DEFAULT_FUEL,
+            &handler,
+            vec![],
+        )
+        .expect("tap runs");
         assert_eq!(store.get("picked"), Some(&Value::str("b")));
     }
 
@@ -1151,8 +1207,7 @@ mod tests {
         );
         let page = p.page("start").expect("page");
         let store = Store::new();
-        let out = run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &page.render)
-            .expect("render");
+        let out = run_render(&p, &store, 0, DEFAULT_FUEL, vec![], &page.render).expect("render");
         // The root has one child box and one leaf `42`.
         assert_eq!(out.root.box_count(), 2);
         assert_eq!(out.root.leaves().next(), Some(&Value::Number(42.0)));

@@ -33,7 +33,10 @@ pub struct BoxNode {
 impl BoxNode {
     /// An empty box created by the given source statement.
     pub fn new(source: Option<BoxSourceId>) -> Self {
-        BoxNode { source, items: Vec::new() }
+        BoxNode {
+            source,
+            items: Vec::new(),
+        }
     }
 
     /// The current value of attribute `a`: rightmost setting wins, as in
@@ -160,7 +163,8 @@ mod tests {
         let mut b = BoxNode::new(Some(BoxSourceId(1)));
         b.items.push(leaf("b"));
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
+        root.items
+            .push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
         root.items.push(BoxItem::Child(a));
         root.items.push(BoxItem::Child(b));
         root
@@ -169,8 +173,10 @@ mod tests {
     #[test]
     fn rightmost_attr_wins() {
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
-        b.items.push(BoxItem::Attr(Attr::Margin, Value::Number(9.0)));
+        b.items
+            .push(BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
+        b.items
+            .push(BoxItem::Attr(Attr::Margin, Value::Number(9.0)));
         assert_eq!(b.attr(Attr::Margin), Some(&Value::Number(9.0)));
         assert_eq!(b.attr(Attr::Padding), None);
     }

@@ -76,7 +76,10 @@ impl fmt::Display for RuntimeError {
                 write!(f, "expected {expected}, found {found}")
             }
             RuntimeError::ProjOutOfRange { index, len } => {
-                write!(f, "projection .{index} out of range for tuple of size {len}")
+                write!(
+                    f,
+                    "projection .{index} out of range for tuple of size {len}"
+                )
             }
             RuntimeError::Prim(e) => write!(f, "{e}"),
             RuntimeError::EffectViolation { op, mode } => {
@@ -103,9 +106,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RuntimeError::EffectViolation { op: "g := e", mode: Effect::Render };
+        let e = RuntimeError::EffectViolation {
+            op: "g := e",
+            mode: Effect::Render,
+        };
         assert_eq!(e.to_string(), "`g := e` is not permitted in render mode");
-        let e = RuntimeError::ArityMismatch { expected: 2, found: 3 };
+        let e = RuntimeError::ArityMismatch {
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("expected 2"));
     }
 }

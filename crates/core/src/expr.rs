@@ -28,7 +28,10 @@ pub struct ParamSig {
 impl ParamSig {
     /// Construct a parameter signature.
     pub fn new(name: impl AsRef<str>, ty: Type) -> Self {
-        ParamSig { name: Rc::from(name.as_ref()), ty }
+        ParamSig {
+            name: Rc::from(name.as_ref()),
+            ty,
+        }
     }
 }
 
@@ -301,10 +304,7 @@ mod tests {
             Span::DUMMY,
         );
         assert_eq!(e.node_count(), 3);
-        let nested = Expr::new(
-            ExprKind::Boxed(BoxSourceId(0), Box::new(e)),
-            Span::DUMMY,
-        );
+        let nested = Expr::new(ExprKind::Boxed(BoxSourceId(0), Box::new(e)), Span::DUMMY);
         assert_eq!(nested.node_count(), 4);
     }
 }

@@ -44,7 +44,10 @@ pub fn lower_program(ast: &ast::Program) -> LowerResult {
     };
     lowerer.collect_names(ast);
     lowerer.lower_items(ast);
-    LowerResult { program: lowerer.program, diagnostics: lowerer.diags }
+    LowerResult {
+        program: lowerer.program,
+        diagnostics: lowerer.diags,
+    }
 }
 
 /// Convert a surface effect annotation to a core effect.
@@ -63,11 +66,13 @@ pub fn lower_type(ty: &ast::TypeExpr) -> Type {
         ast::TypeExprKind::String => Type::String,
         ast::TypeExprKind::Bool => Type::Bool,
         ast::TypeExprKind::Color => Type::Color,
-        ast::TypeExprKind::Tuple(elems) => {
-            Type::tuple(elems.iter().map(lower_type).collect())
-        }
+        ast::TypeExprKind::Tuple(elems) => Type::tuple(elems.iter().map(lower_type).collect()),
         ast::TypeExprKind::List(elem) => Type::list(lower_type(elem)),
-        ast::TypeExprKind::Fn { params, effect, ret } => Type::func(
+        ast::TypeExprKind::Fn {
+            params,
+            effect,
+            ret,
+        } => Type::func(
             params.iter().map(lower_type).collect(),
             lower_effect(*effect),
             lower_type(ret),
@@ -134,7 +139,8 @@ impl Lowerer {
                 }
                 ast::Item::Fun(f) => {
                     let params = self.lower_params(&f.params);
-                    self.scopes.push(params.iter().map(|p| (p.name.clone(), false)).collect());
+                    self.scopes
+                        .push(params.iter().map(|p| (p.name.clone(), false)).collect());
                     let body = self.block(&f.body);
                     self.scopes.pop();
                     let def = FunDef {
@@ -149,7 +155,8 @@ impl Lowerer {
                 }
                 ast::Item::Page(p) => {
                     let params = self.lower_params(&p.params);
-                    let names: Vec<(Name, bool)> = params.iter().map(|p| (p.name.clone(), false)).collect();
+                    let names: Vec<(Name, bool)> =
+                        params.iter().map(|p| (p.name.clone(), false)).collect();
                     self.scopes.push(names.clone());
                     let init = self.block(&p.init);
                     self.scopes.pop();
@@ -293,7 +300,11 @@ impl Lowerer {
                     Expr::unit(span)
                 }
             }
-            ast::StmtKind::If { cond, then_block, else_block } => {
+            ast::StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let cond = Box::new(self.expr(cond));
                 let then_e = Box::new(self.block(then_block));
                 let else_e = Box::new(match else_block {
@@ -314,7 +325,15 @@ impl Lowerer {
                 self.scopes.push(vec![(name.clone(), false)]);
                 let body = Box::new(self.block(body));
                 self.scopes.pop();
-                Expr::new(ExprKind::ForRange { var: name, lo, hi, body }, span)
+                Expr::new(
+                    ExprKind::ForRange {
+                        var: name,
+                        lo,
+                        hi,
+                        body,
+                    },
+                    span,
+                )
             }
             ast::StmtKind::Foreach { var, list, body } => {
                 let list = Box::new(self.expr(list));
@@ -322,7 +341,14 @@ impl Lowerer {
                 self.scopes.push(vec![(name.clone(), false)]);
                 let body = Box::new(self.block(body));
                 self.scopes.pop();
-                Expr::new(ExprKind::Foreach { var: name, list, body }, span)
+                Expr::new(
+                    ExprKind::Foreach {
+                        var: name,
+                        list,
+                        body,
+                    },
+                    span,
+                )
             }
             ast::StmtKind::Boxed { body } => {
                 let id = self.program.alloc_box_source(span);
@@ -338,19 +364,19 @@ impl Lowerer {
                 match Attr::from_name(&attr.text) {
                     Some(a) => Expr::new(ExprKind::SetAttr(a, value), span),
                     None => {
-                        self.error(
-                            attr.span,
-                            format!("unknown box attribute `{}`", attr.text),
-                        );
+                        self.error(attr.span, format!("unknown box attribute `{}`", attr.text));
                         Expr::unit(span)
                     }
                 }
             }
-            ast::StmtKind::On { event, params, body } => {
+            ast::StmtKind::On {
+                event,
+                params,
+                body,
+            } => {
                 // `on tap { ... }` desugars to
                 // `box.ontap := fn() state { ... }`.
-                let Some(attr) = Attr::from_name(&event.text).filter(|a| a.is_handler())
-                else {
+                let Some(attr) = Attr::from_name(&event.text).filter(|a| a.is_handler()) else {
                     self.error(
                         event.span,
                         format!("unknown event `{}` in `on` statement", event.text),
@@ -369,7 +395,8 @@ impl Lowerer {
                     );
                 }
                 let sigs = self.lower_params(params);
-                self.scopes.push(sigs.iter().map(|p| (p.name.clone(), false)).collect());
+                self.scopes
+                    .push(sigs.iter().map(|p| (p.name.clone(), false)).collect());
                 let body = self.block(body);
                 self.scopes.pop();
                 let lambda = Expr::new(
@@ -387,10 +414,7 @@ impl Lowerer {
                     self.error(page.span, format!("unknown page `{}`", page.text));
                 }
                 let args = args.iter().map(|a| self.expr(a)).collect();
-                Expr::new(
-                    ExprKind::PushPage(Rc::from(page.text.as_str()), args),
-                    span,
-                )
+                Expr::new(ExprKind::PushPage(Rc::from(page.text.as_str()), args), span)
             }
             ast::StmtKind::Pop => Expr::new(ExprKind::PopPage, span),
             ast::StmtKind::Expr { expr } => self.expr(expr),
@@ -456,14 +480,17 @@ impl Lowerer {
             ast::ExprKind::Unary { op, expr: inner } => {
                 ExprKind::Unary(*op, Box::new(self.expr(inner)))
             }
-            ast::ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary(
-                *op,
-                Box::new(self.expr(lhs)),
-                Box::new(self.expr(rhs)),
-            ),
-            ast::ExprKind::Lambda { params, effect, body } => {
+            ast::ExprKind::Binary { op, lhs, rhs } => {
+                ExprKind::Binary(*op, Box::new(self.expr(lhs)), Box::new(self.expr(rhs)))
+            }
+            ast::ExprKind::Lambda {
+                params,
+                effect,
+                body,
+            } => {
                 let sigs = self.lower_params(params);
-                self.scopes.push(sigs.iter().map(|p| (p.name.clone(), false)).collect());
+                self.scopes
+                    .push(sigs.iter().map(|p| (p.name.clone(), false)).collect());
                 let body = self.block(body);
                 self.scopes.pop();
                 ExprKind::Lambda(Rc::new(LambdaExpr {
@@ -472,7 +499,11 @@ impl Lowerer {
                     body: Rc::new(body),
                 }))
             }
-            ast::ExprKind::IfExpr { cond, then_block, else_block } => {
+            ast::ExprKind::IfExpr {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let cond = Box::new(self.expr(cond));
                 let then_e = Box::new(self.block(then_block));
                 let else_e = Box::new(self.block(else_block));
@@ -575,7 +606,9 @@ mod tests {
         });
         let (attr, value) = found.expect("handler installed");
         assert_eq!(attr, Attr::OnTap);
-        let ExprKind::Lambda(lam) = value else { panic!("expected lambda") };
+        let ExprKind::Lambda(lam) = value else {
+            panic!("expected lambda")
+        };
         assert_eq!(lam.effect, Effect::State);
         assert!(lam.params.is_empty());
     }
@@ -644,9 +677,7 @@ mod tests {
 
     #[test]
     fn let_scopes_to_rest_of_block() {
-        let p = lower_ok(
-            "fun f(): number pure { let a = 1; let b = a + 1; a + b }",
-        );
+        let p = lower_ok("fun f(): number pure { let a = 1; let b = a + 1; a + b }");
         let f = p.fun("f").expect("fun");
         let ExprKind::Let { name, body, .. } = &f.body.kind else {
             panic!("expected let chain, got {:?}", f.body.kind);
@@ -667,9 +698,7 @@ mod tests {
             }
             "#,
         );
-        let ds = lower_err(
-            "page start() { render { boxed { on tap(x: string) { pop; } } } }",
-        );
+        let ds = lower_err("page start() { render { boxed { on tap(x: string) { pop; } } } }");
         assert!(ds.to_string().contains("takes 0 parameter"));
     }
 }

@@ -187,12 +187,18 @@ pub fn load_store(program: &Program, text: &str) -> Result<(Store, LoadReport), 
         let literal = literal.trim();
         let value = match parse_literal(literal) {
             Ok(v) => v,
-            Err(message) => return Err(PersistError { line: line_no, message }),
+            Err(message) => {
+                return Err(PersistError {
+                    line: line_no,
+                    message,
+                })
+            }
         };
         match program.global(name) {
-            None => report
-                .skipped
-                .push((name.to_string(), "no such global in the current code".into())),
+            None => report.skipped.push((
+                name.to_string(),
+                "no such global in the current code".into(),
+            )),
             Some(def) if !value.has_type(&def.ty) => report.skipped.push((
                 name.to_string(),
                 format!("value is not a `{}` anymore", def.ty),
@@ -214,18 +220,16 @@ fn parse_literal(src: &str) -> Result<Value, String> {
     let core_expr = lower_expr_standalone(&expr)?;
     let empty = lower_program(&alive_syntax::ast::Program::default()).program;
     let store = Store::new();
-    let (value, _) = bigstep::run_pure(&empty, &store, 0, 1_000_000, &core_expr)
-        .map_err(|e| e.to_string())?;
+    let (value, _) =
+        bigstep::run_pure(&empty, &store, 0, 1_000_000, &core_expr).map_err(|e| e.to_string())?;
     Ok(value)
 }
 
 /// Lower a literal expression without a surrounding program: only
 /// literal forms are accepted.
-fn lower_expr_standalone(
-    expr: &alive_syntax::ast::Expr,
-) -> Result<crate::expr::Expr, String> {
-    use alive_syntax::ast::{ExprKind as S, UnOp};
+fn lower_expr_standalone(expr: &alive_syntax::ast::Expr) -> Result<crate::expr::Expr, String> {
     use crate::expr::{Expr, ExprKind as C};
+    use alive_syntax::ast::{ExprKind as S, UnOp};
     let span = expr.span;
     let kind = match &expr.kind {
         S::Number(n) => C::Num(*n),
@@ -241,14 +245,17 @@ fn lower_expr_standalone(
                 .map(lower_expr_standalone)
                 .collect::<Result<_, _>>()?,
         ),
-        S::Qualified { ns, name } if ns.text == "colors" => match Color::by_name(&name.text)
-        {
+        S::Qualified { ns, name } if ns.text == "colors" => match Color::by_name(&name.text) {
             Some(c) => C::ColorLit(c),
             None => return Err(format!("unknown color `{}`", name.text)),
         },
-        S::Unary { op: UnOp::Neg, expr } => {
-            C::Unary(alive_syntax::ast::UnOp::Neg, Box::new(lower_expr_standalone(expr)?))
-        }
+        S::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => C::Unary(
+            alive_syntax::ast::UnOp::Neg,
+            Box::new(lower_expr_standalone(expr)?),
+        ),
         S::Binary { op, lhs, rhs } => C::Binary(
             *op,
             Box::new(lower_expr_standalone(lhs)?),
@@ -269,7 +276,10 @@ mod tests {
         s.set("count", Value::Number(42.5));
         s.set("name", Value::str("ada \"quoted\"\nline2"));
         s.set("flag", Value::Bool(true));
-        s.set("hue", Value::Color(Color::by_name("light_blue").expect("known")));
+        s.set(
+            "hue",
+            Value::Color(Color::by_name("light_blue").expect("known")),
+        );
         s.set(
             "pairs",
             Value::list(vec![
@@ -296,8 +306,7 @@ mod tests {
     fn store_roundtrips_through_literals() {
         let original = sample_store();
         let text = save_store(&original);
-        let (restored, report) =
-            load_store(&matching_program(), &text).expect("loads");
+        let (restored, report) = load_store(&matching_program(), &text).expect("loads");
         assert_eq!(restored, original);
         assert_eq!(report.restored.len(), 5);
         assert!(report.skipped.is_empty());
@@ -335,7 +344,10 @@ mod tests {
         .expect("compiles");
         let (restored, _) = load_store(&p, &save_store(&s)).expect("loads");
         assert_eq!(restored.get("inf"), Some(&Value::Number(f64::INFINITY)));
-        assert_eq!(restored.get("ninf"), Some(&Value::Number(f64::NEG_INFINITY)));
+        assert_eq!(
+            restored.get("ninf"),
+            Some(&Value::Number(f64::NEG_INFINITY))
+        );
     }
 
     #[test]

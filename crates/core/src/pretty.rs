@@ -87,7 +87,9 @@ fn write_expr(out: &mut String, expr: &Expr, depth: usize) {
             out.push_str(") -> ");
             write_expr(out, &lam.body, d);
         }
-        ExprKind::Let { name, value, body, .. } => {
+        ExprKind::Let {
+            name, value, body, ..
+        } => {
             let _ = write!(out, "let {name} = ");
             write_expr(out, value, d);
             out.push_str("; ");
@@ -135,7 +137,13 @@ fn write_expr(out: &mut String, expr: &Expr, depth: usize) {
             write_expr(out, e, d);
         }
         ExprKind::WidgetRead(n) => out.push_str(n),
-        ExprKind::Remember { name, ty, init, body, .. } => {
+        ExprKind::Remember {
+            name,
+            ty,
+            init,
+            body,
+            ..
+        } => {
             let _ = write!(out, "remember {name} : {ty} = ");
             write_expr(out, init, d);
             out.push_str("; ");

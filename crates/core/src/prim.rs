@@ -50,7 +50,10 @@ impl fmt::Display for PrimError {
         match self {
             PrimError::BadArgs(p) => write!(f, "bad arguments to `{p}`"),
             PrimError::IndexOutOfRange { prim, index, len } => {
-                write!(f, "index {index} out of range for list of length {len} in `{prim}`")
+                write!(
+                    f,
+                    "index {index} out of range for list of length {len} in `{prim}`"
+                )
             }
         }
     }
@@ -217,12 +220,14 @@ impl Prim {
         use Prim::*;
         use Type::*;
         let f = |params: Vec<Type>, ret: Type| {
-            Some(FnType { params, effect: self.effect(), ret })
+            Some(FnType {
+                params,
+                effect: self.effect(),
+                ret,
+            })
         };
         match self {
-            MathFloor | MathCeil | MathRound | MathAbs | MathSqrt => {
-                f(vec![Number], Number)
-            }
+            MathFloor | MathCeil | MathRound | MathAbs | MathSqrt => f(vec![Number], Number),
             MathPow | MathMin | MathMax | MathMod => f(vec![Number, Number], Number),
             StrLen => f(vec![String], Number),
             StrSubstr => f(vec![String, Number, Number], String),
@@ -233,10 +238,7 @@ impl Prim {
             StrToNumber => f(vec![String], Number),
             FmtFixed => f(vec![Number, Number], String),
             ListRange => f(vec![Number, Number], Type::list(Number)),
-            WebListings => f(
-                vec![Number],
-                Type::list(Type::tuple(vec![String, Number])),
-            ),
+            WebListings => f(vec![Number], Type::list(Type::tuple(vec![String, Number]))),
             WebDelay => f(vec![Number], Type::unit()),
             ListLength | ListNth | ListAppend | ListSet | ListConcat | ListReverse
             | ListIsEmpty => None,
@@ -299,17 +301,13 @@ impl Prim {
                 let taken: String = s.chars().skip(start).take(len).collect();
                 Value::str(taken)
             }
-            StrContains => {
-                Value::Bool(string(&args[0])?.contains(&*string(&args[1])?))
-            }
+            StrContains => Value::Bool(string(&args[0])?.contains(&*string(&args[1])?)),
             StrIndexOf => {
                 let s = string(&args[0])?;
                 let sub = string(&args[1])?;
                 match s.find(&*sub) {
                     // Report a character index, consistent with str.len.
-                    Some(byte_idx) => {
-                        Value::Number(s[..byte_idx].chars().count() as f64)
-                    }
+                    Some(byte_idx) => Value::Number(s[..byte_idx].chars().count() as f64),
                     None => Value::Number(-1.0),
                 }
             }
@@ -391,8 +389,7 @@ impl Prim {
             WebListings => {
                 let n = num(&args[0])?.max(0.0) as usize;
                 ctx.web_requests += 1;
-                ctx.simulated_ms +=
-                    WEB_REQUEST_BASE_MS + WEB_REQUEST_PER_ITEM_MS * n as f64;
+                ctx.simulated_ms += WEB_REQUEST_BASE_MS + WEB_REQUEST_PER_ITEM_MS * n as f64;
                 Value::List(Rc::from(synthetic_listings(n)))
             }
             WebDelay => {
@@ -415,12 +412,20 @@ impl fmt::Display for Prim {
 /// fixed linear-congruential stream, so runs are reproducible.
 pub fn synthetic_listings(n: usize) -> Vec<Value> {
     const STREETS: [&str; 8] = [
-        "Maple St", "Oak Ave", "Pine Rd", "Cedar Ln", "Birch Way", "Elm Dr",
-        "Walnut Ct", "Spruce Pl",
+        "Maple St",
+        "Oak Ave",
+        "Pine Rd",
+        "Cedar Ln",
+        "Birch Way",
+        "Elm Dr",
+        "Walnut Ct",
+        "Spruce Pl",
     ];
     let mut state = 0x2545F491_u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     (0..n)
@@ -492,8 +497,10 @@ mod tests {
             Ok(Value::Number(5.0))
         );
         assert_eq!(
-            Prim::StrSubstr
-                .apply(&[Value::str("abcdef"), Value::Number(2.0), Value::Number(3.0)], &mut c),
+            Prim::StrSubstr.apply(
+                &[Value::str("abcdef"), Value::Number(2.0), Value::Number(3.0)],
+                &mut c
+            ),
             Ok(Value::str("cde"))
         );
         assert_eq!(
@@ -558,7 +565,9 @@ mod tests {
         assert_eq!(a, b, "listings must be deterministic");
         assert_eq!(c1.web_requests, 1);
         assert!(c1.simulated_ms >= WEB_REQUEST_BASE_MS);
-        let Ok(Value::List(xs)) = a else { panic!("expected list") };
+        let Ok(Value::List(xs)) = a else {
+            panic!("expected list")
+        };
         assert_eq!(xs.len(), 5);
         let ty = Type::tuple(vec![Type::String, Type::Number]);
         for x in xs.iter() {

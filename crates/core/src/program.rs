@@ -102,7 +102,8 @@ impl Program {
         if self.is_defined(&def.name) {
             return false;
         }
-        self.global_index.insert(def.name.clone(), self.globals.len());
+        self.global_index
+            .insert(def.name.clone(), self.globals.len());
         self.globals.push(def);
         true
     }

@@ -146,7 +146,12 @@ pub fn eval_state(
         trace: None,
     };
     let value = machine.reduce_to_value(expr.clone())?;
-    Ok(SmallStepOutput { value, steps: machine.steps, root: None, trace: machine.trace })
+    Ok(SmallStepOutput {
+        value,
+        steps: machine.steps,
+        root: None,
+        trace: machine.trace,
+    })
 }
 
 /// Reduce `expr` to a value in render mode (`→r*`), building box content.
@@ -172,7 +177,12 @@ pub fn eval_render(
     };
     let value = machine.reduce_to_value(expr.clone())?;
     let root = machine.boxes.pop().expect("top-level box");
-    Ok(SmallStepOutput { value, steps: machine.steps, root: Some(root), trace: machine.trace })
+    Ok(SmallStepOutput {
+        value,
+        steps: machine.steps,
+        root: Some(root),
+        trace: machine.trace,
+    })
 }
 
 /// Reduce `expr` to a value in pure mode (`→p*`).
@@ -197,7 +207,12 @@ pub fn eval_pure(
         trace: None,
     };
     let value = machine.reduce_to_value(expr.clone())?;
-    Ok(SmallStepOutput { value, steps: machine.steps, root: None, trace: machine.trace })
+    Ok(SmallStepOutput {
+        value,
+        steps: machine.steps,
+        root: None,
+        trace: machine.trace,
+    })
 }
 
 /// Like [`eval_state`], but records the [`Rule`] applied by every step
@@ -224,7 +239,12 @@ pub fn eval_state_traced(
         trace: Some(Vec::new()),
     };
     let value = machine.reduce_to_value(expr.clone())?;
-    Ok(SmallStepOutput { value, steps: machine.steps, root: None, trace: machine.trace })
+    Ok(SmallStepOutput {
+        value,
+        steps: machine.steps,
+        root: None,
+        trace: machine.trace,
+    })
 }
 
 /// Like [`eval_render`], but records the [`Rule`] applied by every step.
@@ -250,7 +270,12 @@ pub fn eval_render_traced(
     };
     let value = machine.reduce_to_value(expr.clone())?;
     let root = machine.boxes.pop().expect("top-level box");
-    Ok(SmallStepOutput { value, steps: machine.steps, root: Some(root), trace: machine.trace })
+    Ok(SmallStepOutput {
+        value,
+        steps: machine.steps,
+        root: Some(root),
+        trace: machine.trace,
+    })
 }
 
 /// An interactive single-stepper over the substitution machine — the
@@ -337,12 +362,7 @@ impl<'a> Stepper<'a> {
         }
         let expr = std::mem::replace(&mut self.current, Expr::unit(Span::DUMMY));
         self.current = self.machine.step(expr)?;
-        Ok(self
-            .machine
-            .trace
-            .as_ref()
-            .and_then(|t| t.last())
-            .copied())
+        Ok(self.machine.trace.as_ref().and_then(|t| t.last()).copied())
     }
 
     /// All rules applied so far.
@@ -411,12 +431,8 @@ pub fn value_to_expr(value: &Value, span: Span) -> Expr {
         Value::Bool(b) => ExprKind::Bool(*b),
         Value::Color(c) => ExprKind::ColorLit(*c),
         Value::Prim(p) => ExprKind::PrimRef(*p),
-        Value::Tuple(vs) => {
-            ExprKind::Tuple(vs.iter().map(|v| value_to_expr(v, span)).collect())
-        }
-        Value::List(vs) => {
-            ExprKind::ListLit(vs.iter().map(|v| value_to_expr(v, span)).collect())
-        }
+        Value::Tuple(vs) => ExprKind::Tuple(vs.iter().map(|v| value_to_expr(v, span)).collect()),
+        Value::List(vs) => ExprKind::ListLit(vs.iter().map(|v| value_to_expr(v, span)).collect()),
         Value::WidgetRef(_) => {
             // View-state references have no substitution semantics; the
             // kernel machine rejects `remember` before one can appear.
@@ -481,7 +497,12 @@ pub fn subst(expr: &Expr, name: &Name, replacement: &Expr) -> Expr {
                 }))
             }
         }
-        ExprKind::Let { name: bound, ty, value, body } => {
+        ExprKind::Let {
+            name: bound,
+            ty,
+            value,
+            body,
+        } => {
             let new_value = subst(value, name, replacement);
             let new_body = if bound == name {
                 (**body).clone() // shadowed
@@ -540,7 +561,13 @@ pub fn subst(expr: &Expr, name: &Name, replacement: &Expr) -> Expr {
         ExprKind::WidgetWrite(n, e) => {
             ExprKind::WidgetWrite(n.clone(), Box::new(subst(e, name, replacement)))
         }
-        ExprKind::Remember { id, name: bound, ty, init, body } => {
+        ExprKind::Remember {
+            id,
+            name: bound,
+            ty,
+            init,
+            body,
+        } => {
             let new_init = subst(init, name, replacement);
             let new_body = if bound == name {
                 (**body).clone() // shadowed
@@ -562,21 +589,15 @@ pub fn subst(expr: &Expr, name: &Name, replacement: &Expr) -> Expr {
             p.clone(),
             args.iter().map(|a| subst(a, name, replacement)).collect(),
         ),
-        ExprKind::Boxed(id, e) => {
-            ExprKind::Boxed(*id, Box::new(subst(e, name, replacement)))
-        }
+        ExprKind::Boxed(id, e) => ExprKind::Boxed(*id, Box::new(subst(e, name, replacement))),
         ExprKind::Post(e) => ExprKind::Post(Box::new(subst(e, name, replacement))),
-        ExprKind::SetAttr(a, e) => {
-            ExprKind::SetAttr(*a, Box::new(subst(e, name, replacement)))
-        }
+        ExprKind::SetAttr(a, e) => ExprKind::SetAttr(*a, Box::new(subst(e, name, replacement))),
         ExprKind::Binary(op, l, r) => ExprKind::Binary(
             *op,
             Box::new(subst(l, name, replacement)),
             Box::new(subst(r, name, replacement)),
         ),
-        ExprKind::Unary(op, e) => {
-            ExprKind::Unary(*op, Box::new(subst(e, name, replacement)))
-        }
+        ExprKind::Unary(op, e) => ExprKind::Unary(*op, Box::new(subst(e, name, replacement))),
     };
     Expr::new(kind, span)
 }
@@ -646,7 +667,10 @@ impl Machine<'_> {
                     if i >= 1 && i <= elems.len() {
                         Ok(elems[i - 1].clone())
                     } else {
-                        Err(RuntimeError::ProjOutOfRange { index, len: elems.len() })
+                        Err(RuntimeError::ProjOutOfRange {
+                            index,
+                            len: elems.len(),
+                        })
                     }
                 } else {
                     let base = self.step(*base)?;
@@ -710,8 +734,7 @@ impl Machine<'_> {
                         Ok(body)
                     }
                     ExprKind::PrimRef(p) => {
-                        let argv: Result<Vec<Value>, _> =
-                            args.iter().map(expr_to_value).collect();
+                        let argv: Result<Vec<Value>, _> = args.iter().map(expr_to_value).collect();
                         let mut ctx = crate::prim::PrimCtx::default();
                         let result = p.apply(&argv?, &mut ctx)?;
                         Ok(value_to_expr(&result, span))
@@ -750,27 +773,39 @@ impl Machine<'_> {
                 }
                 // (ES-PUSH)
                 if self.mode != Effect::State {
-                    return Err(RuntimeError::EffectViolation { op: "push", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "push",
+                        mode: self.mode,
+                    });
                 }
                 self.tick(Effect::State, Rule::EsPush)?;
                 let argv: Result<Vec<Value>, _> = args.iter().map(expr_to_value).collect();
                 let queue = self
                     .queue
                     .as_deref_mut()
-                    .ok_or(RuntimeError::EffectViolation { op: "push", mode: Effect::Render })?;
+                    .ok_or(RuntimeError::EffectViolation {
+                        op: "push",
+                        mode: Effect::Render,
+                    })?;
                 queue.enqueue(Event::Push(name, Value::tuple(argv?)));
                 Ok(unit())
             }
             ExprKind::PopPage => {
                 // (ES-POP)
                 if self.mode != Effect::State {
-                    return Err(RuntimeError::EffectViolation { op: "pop", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "pop",
+                        mode: self.mode,
+                    });
                 }
                 self.tick(Effect::State, Rule::EsPop)?;
                 let queue = self
                     .queue
                     .as_deref_mut()
-                    .ok_or(RuntimeError::EffectViolation { op: "pop", mode: Effect::Render })?;
+                    .ok_or(RuntimeError::EffectViolation {
+                        op: "pop",
+                        mode: Effect::Render,
+                    })?;
                 queue.enqueue(Event::Pop);
                 Ok(unit())
             }
@@ -822,7 +857,10 @@ impl Machine<'_> {
                 // (ER-BOXED): fully reduce the body with a fresh box
                 // content B′, then append ⟨B′⟩ and yield the body value.
                 if self.mode != Effect::Render || self.boxes.is_empty() {
-                    return Err(RuntimeError::EffectViolation { op: "boxed", mode: self.mode });
+                    return Err(RuntimeError::EffectViolation {
+                        op: "boxed",
+                        mode: self.mode,
+                    });
                 }
                 self.tick(Effect::Render, Rule::ErBoxed)?;
                 self.boxes.push(BoxNode::new(Some(id)));
@@ -837,14 +875,24 @@ impl Machine<'_> {
                 Ok(value_to_expr(&value, span))
             }
             // -- conservative extensions --------------------------------
-            ExprKind::Let { name, ty, value, body } => {
+            ExprKind::Let {
+                name,
+                ty,
+                value,
+                body,
+            } => {
                 if is_value(&value) {
                     self.tick(Effect::Pure, Rule::XLet)?;
                     Ok(subst(&body, &name, &value))
                 } else {
                     let value = self.step(*value)?;
                     Ok(Expr::new(
-                        ExprKind::Let { name, ty, value: Box::new(value), body },
+                        ExprKind::Let {
+                            name,
+                            ty,
+                            value: Box::new(value),
+                            body,
+                        },
                         span,
                     ))
                 }
@@ -893,14 +941,24 @@ impl Machine<'_> {
                 if !is_value(&lo) {
                     let lo = self.step(*lo)?;
                     return Ok(Expr::new(
-                        ExprKind::ForRange { var, lo: Box::new(lo), hi, body },
+                        ExprKind::ForRange {
+                            var,
+                            lo: Box::new(lo),
+                            hi,
+                            body,
+                        },
                         span,
                     ));
                 }
                 if !is_value(&hi) {
                     let hi = self.step(*hi)?;
                     return Ok(Expr::new(
-                        ExprKind::ForRange { var, lo, hi: Box::new(hi), body },
+                        ExprKind::ForRange {
+                            var,
+                            lo,
+                            hi: Box::new(hi),
+                            body,
+                        },
                         span,
                     ));
                 }
@@ -934,7 +992,11 @@ impl Machine<'_> {
                 if !is_value(&list) {
                     let list = self.step(*list)?;
                     return Ok(Expr::new(
-                        ExprKind::Foreach { var, list: Box::new(list), body },
+                        ExprKind::Foreach {
+                            var,
+                            list: Box::new(list),
+                            body,
+                        },
                         span,
                     ));
                 }
@@ -952,10 +1014,7 @@ impl Machine<'_> {
                         let next = Expr::new(
                             ExprKind::Foreach {
                                 var,
-                                list: Box::new(Expr::new(
-                                    ExprKind::ListLit(rest.to_vec()),
-                                    span,
-                                )),
+                                list: Box::new(Expr::new(ExprKind::ListLit(rest.to_vec()), span)),
                                 body,
                             },
                             span,
@@ -1007,9 +1066,7 @@ impl Machine<'_> {
                 self.tick(Effect::Pure, Rule::XOp)?;
                 match (op, &e.kind) {
                     (UnOp::Neg, ExprKind::Num(n)) => Ok(Expr::new(ExprKind::Num(-n), span)),
-                    (UnOp::Not, ExprKind::Bool(b)) => {
-                        Ok(Expr::new(ExprKind::Bool(!b), span))
-                    }
+                    (UnOp::Not, ExprKind::Bool(b)) => Ok(Expr::new(ExprKind::Bool(!b), span)),
                     (_, other) => Err(RuntimeError::TypeMismatch {
                         expected: "operand",
                         found: format!("{other:?}"),
@@ -1064,13 +1121,16 @@ mod tests {
         let full = format!("{src}\n{START}");
         let p = compiled(&full);
         let f = p.fun(fun).expect("fun exists");
-        assert!(f.params.is_empty(), "agree_on_fun only supports nullary funs");
+        assert!(
+            f.params.is_empty(),
+            "agree_on_fun only supports nullary funs"
+        );
         let body = (*f.body).clone();
 
         let mut store1 = Store::new();
         let mut q1 = EventQueue::new();
-        let small = eval_state(&p, &mut store1, &mut q1, 10_000_000, &body)
-            .expect("small-step evaluates");
+        let small =
+            eval_state(&p, &mut store1, &mut q1, 10_000_000, &body).expect("small-step evaluates");
 
         let mut store2 = Store::new();
         let mut q2 = EventQueue::new();
@@ -1166,8 +1226,8 @@ mod tests {
         );
         let page = p.page("start").expect("page");
         let mut store = Store::new();
-        let small = eval_render(&p, &mut store, 10_000_000, &page.render)
-            .expect("small-step renders");
+        let small =
+            eval_render(&p, &mut store, 10_000_000, &page.render).expect("small-step renders");
         let store2 = Store::new();
         let big = bigstep::run_render(&p, &store2, 0, 10_000_000, vec![], &page.render)
             .expect("big-step renders");
@@ -1188,8 +1248,7 @@ mod tests {
         let page = p.page("start").expect("page");
         let mut store = Store::new();
         let mut queue = EventQueue::new();
-        let out = eval_state(&p, &mut store, &mut queue, 1_000_000, &page.init)
-            .expect("evaluates");
+        let out = eval_state(&p, &mut store, &mut queue, 1_000_000, &page.init).expect("evaluates");
         assert!(out.value.is_unit());
         assert_eq!(store.get("n"), Some(&Value::Number(7.0)));
         assert_eq!(queue.len(), 2);
@@ -1219,8 +1278,8 @@ mod tests {
         let f = p.fun("f").expect("fun");
         let mut store = Store::new();
         let mut queue = EventQueue::new();
-        let err = eval_state(&p, &mut store, &mut queue, 1_000_000, &f.body)
-            .expect_err("not in kernel");
+        let err =
+            eval_state(&p, &mut store, &mut queue, 1_000_000, &f.body).expect_err("not in kernel");
         assert_eq!(err, RuntimeError::NotInKernel("local assignment"));
     }
 
@@ -1247,16 +1306,13 @@ mod tests {
         let f = p.fun("spin").expect("fun");
         let mut store = Store::new();
         let mut queue = EventQueue::new();
-        let err = eval_state(&p, &mut store, &mut queue, 10_000, &f.body)
-            .expect_err("diverges");
+        let err = eval_state(&p, &mut store, &mut queue, 10_000, &f.body).expect_err("diverges");
         assert_eq!(err, RuntimeError::FuelExhausted);
     }
 
     #[test]
     fn stepper_walks_a_reduction_sequence() {
-        let p = compiled(&format!(
-            "global g : number = 40 {START}"
-        ));
+        let p = compiled(&format!("global g : number = 40 {START}"));
         // g + (1 + 1) reduces: EP-GLOBAL-2, X-OP, X-OP.
         let expr = Expr::new(
             ExprKind::Binary(
@@ -1331,8 +1387,7 @@ mod tests {
         let f = p.fun("make").expect("fun");
         let mut store = Store::new();
         let mut q = EventQueue::new();
-        let out = eval_state(&p, &mut store, &mut q, 1_000_000, &f.body)
-            .expect("evaluates");
+        let out = eval_state(&p, &mut store, &mut q, 1_000_000, &f.body).expect("evaluates");
         assert_eq!(out.value, Value::Number(42.0));
     }
 }

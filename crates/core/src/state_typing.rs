@@ -6,7 +6,6 @@
 //! invariant: every closure reachable from the state carries the current
 //! code version.
 
-
 use crate::boxtree::{BoxItem, BoxNode, Display};
 use crate::event::Event;
 use crate::system::System;
@@ -59,10 +58,7 @@ pub fn check_system(system: &System) -> Vec<StateTypeError> {
                 if !value.has_type(&def.ty) {
                     errors.push(StateTypeError {
                         component: "S",
-                        message: format!(
-                            "store entry `{name}` = {value} is not a `{}`",
-                            def.ty
-                        ),
+                        message: format!("store entry `{name}` = {value} is not a `{}`", def.ty),
                     });
                 }
             }
@@ -152,7 +148,10 @@ pub fn check_system(system: &System) -> Vec<StateTypeError> {
                 message: format!("slot {key} refers to no `remember` statement"),
             });
         }
-        if matches!(value, Value::Closure(_) | Value::Prim(_) | Value::WidgetRef(_)) {
+        if matches!(
+            value,
+            Value::Closure(_) | Value::Prim(_) | Value::WidgetRef(_)
+        ) {
             errors.push(StateTypeError {
                 component: "W",
                 message: format!("slot {key} holds non-data value {value}"),
@@ -224,10 +223,7 @@ fn check_box(program: &crate::program::Program, node: &BoxNode, errors: &mut Vec
                 if !value.has_type(&attr.ty()) {
                     errors.push(StateTypeError {
                         component: "D",
-                        message: format!(
-                            "attribute `{attr}` = {value} is not a `{}`",
-                            attr.ty()
-                        ),
+                        message: format!("attribute `{attr}` = {value} is not a `{}`", attr.ty()),
                     });
                 }
             }
@@ -364,7 +360,9 @@ mod tests {
         // Corrupt the model through the test-only escape hatch.
         let corrupted = {
             let mut clone = sys.clone();
-            clone.debug_store_mut().set("count", crate::value::Value::str("oops"));
+            clone
+                .debug_store_mut()
+                .set("count", crate::value::Value::str("oops"));
             clone
         };
         let errors = check_system(&corrupted);

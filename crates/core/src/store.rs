@@ -75,7 +75,9 @@ impl fmt::Display for Store {
 
 impl FromIterator<(Name, Value)> for Store {
     fn from_iter<T: IntoIterator<Item = (Name, Value)>>(iter: T) -> Self {
-        Store { entries: iter.into_iter().collect() }
+        Store {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -55,6 +55,8 @@ pub enum ActionError {
     NoSuchBox(Vec<usize>),
     /// The box at the path has no handler for this interaction.
     NoHandler(Attr),
+    /// BACK was requested with no page to pop (already at the root).
+    NoPageToPop,
     /// UPDATE requires a stable state.
     NotStable,
     /// The new program failed its checks (`C' ⊢ C'` does not hold).
@@ -67,6 +69,7 @@ impl fmt::Display for ActionError {
             ActionError::DisplayInvalid => f.write_str("display is invalid (⊥)"),
             ActionError::NoSuchBox(p) => write!(f, "no box at path {p:?}"),
             ActionError::NoHandler(a) => write!(f, "box has no `{a}` handler"),
+            ActionError::NoPageToPop => f.write_str("no page to pop (already at the root)"),
             ActionError::NotStable => f.write_str("code updates require a stable state"),
             ActionError::IllTyped(ds) => write!(f, "new code is ill-typed:\n{ds}"),
         }
@@ -87,7 +90,10 @@ pub struct SystemConfig {
 
 impl Default for SystemConfig {
     fn default() -> Self {
-        SystemConfig { fuel: DEFAULT_FUEL, max_transitions: 10_000 }
+        SystemConfig {
+            fuel: DEFAULT_FUEL,
+            max_transitions: 10_000,
+        }
     }
 }
 
@@ -564,7 +570,10 @@ mod tests {
         let mut sys = counter_system();
         assert!(!sys.is_stable());
         let kinds = sys.run_to_stable().expect("runs");
-        assert_eq!(kinds, vec![StepKind::Startup, StepKind::Push, StepKind::Render]);
+        assert_eq!(
+            kinds,
+            vec![StepKind::Startup, StepKind::Push, StepKind::Render]
+        );
         assert!(sys.is_stable());
         assert_eq!(sys.store().get("count"), Some(&Value::Number(1.0)));
         let root = sys.display().content().expect("valid");
@@ -608,7 +617,12 @@ mod tests {
         // init — the paper's model restarts an empty stack).
         assert_eq!(
             kinds,
-            vec![StepKind::Pop, StepKind::Startup, StepKind::Push, StepKind::Render]
+            vec![
+                StepKind::Pop,
+                StepKind::Startup,
+                StepKind::Push,
+                StepKind::Render
+            ]
         );
         assert_eq!(sys.store().get("count"), Some(&Value::Number(2.0)));
     }
@@ -778,7 +792,10 @@ mod tests {
             }";
         let mut sys = System::with_config(
             compile(loopy).expect("compiles"),
-            SystemConfig { fuel: DEFAULT_FUEL, max_transitions: 50 },
+            SystemConfig {
+                fuel: DEFAULT_FUEL,
+                max_transitions: 50,
+            },
         );
         assert_eq!(sys.run_to_stable(), Err(RuntimeError::FuelExhausted));
     }

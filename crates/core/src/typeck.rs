@@ -57,7 +57,10 @@ impl TypeEnv {
 /// Type-check a whole program (`C ⊢ C`, Fig. 11). Returns all
 /// diagnostics; the program is accepted iff none are errors.
 pub fn check_program(program: &Program) -> Diagnostics {
-    let mut checker = Checker { program, diags: Diagnostics::new() };
+    let mut checker = Checker {
+        program,
+        diags: Diagnostics::new(),
+    };
     checker.check();
     checker.diags
 }
@@ -65,7 +68,10 @@ pub fn check_program(program: &Program) -> Diagnostics {
 /// Infer the type of a closed expression in the given mode — exposed for
 /// tests and tooling.
 pub fn infer_expr(program: &Program, mode: Effect, expr: &Expr) -> Result<Type, Diagnostics> {
-    let mut checker = Checker { program, diags: Diagnostics::new() };
+    let mut checker = Checker {
+        program,
+        diags: Diagnostics::new(),
+    };
     let mut env = TypeEnv::new();
     let ty = checker.infer(&mut env, mode, expr, None);
     match ty {
@@ -165,9 +171,9 @@ impl Checker<'_> {
         let mut used_funs: HashSet<Name> = HashSet::new();
         let mut pending: Vec<Name> = Vec::new();
         let scan = |root: &Expr,
-                        used_globals: &mut HashSet<Name>,
-                        used_funs: &mut HashSet<Name>,
-                        pending: &mut Vec<Name>| {
+                    used_globals: &mut HashSet<Name>,
+                    used_funs: &mut HashSet<Name>,
+                    pending: &mut Vec<Name>| {
             root.walk(&mut |e| match &e.kind {
                 ExprKind::Global(g) | ExprKind::GlobalAssign(g, _) => {
                     used_globals.insert(g.clone());
@@ -180,7 +186,12 @@ impl Checker<'_> {
         };
         for page in self.program.pages() {
             scan(&page.init, &mut used_globals, &mut used_funs, &mut pending);
-            scan(&page.render, &mut used_globals, &mut used_funs, &mut pending);
+            scan(
+                &page.render,
+                &mut used_globals,
+                &mut used_funs,
+                &mut pending,
+            );
         }
         while let Some(name) = pending.pop() {
             if let Some(def) = self.program.fun(&name) {
@@ -190,12 +201,10 @@ impl Checker<'_> {
         }
         for g in self.program.globals() {
             if !used_globals.contains(&g.name) {
-                self.diags.push(
-                    Diagnostic::warning(
-                        g.span,
-                        format!("global `{}` is never read or written by any page", g.name),
-                    ),
-                );
+                self.diags.push(Diagnostic::warning(
+                    g.span,
+                    format!("global `{}` is never read or written by any page", g.name),
+                ));
             }
         }
         for f in self.program.funs() {
@@ -337,9 +346,7 @@ impl Checker<'_> {
                         } else {
                             self.error(
                                 span,
-                                format!(
-                                    "projection .{index} out of range for `{base_ty}`"
-                                ),
+                                format!("projection .{index} out of range for `{base_ty}`"),
                             );
                             None
                         }
@@ -372,10 +379,7 @@ impl Checker<'_> {
                 if !sig.effect.subeffect_of(mode) {
                     self.error(
                         span,
-                        format!(
-                            "cannot call a {} function from {} code",
-                            sig.effect, mode
-                        ),
+                        format!("cannot call a {} function from {} code", sig.effect, mode),
                     );
                 }
                 if args.len() != sig.params.len() {
@@ -414,7 +418,12 @@ impl Checker<'_> {
                     ret,
                 ))
             }
-            ExprKind::Let { name, ty, value, body } => {
+            ExprKind::Let {
+                name,
+                ty,
+                value,
+                body,
+            } => {
                 let value_ty = match ty {
                     Some(declared) => {
                         self.check_expect(env, mode, value, declared);
@@ -448,9 +457,7 @@ impl Checker<'_> {
                 } else {
                     self.error(
                         span,
-                        format!(
-                            "branches of `if` disagree: `{then_ty}` vs `{else_ty}`"
-                        ),
+                        format!("branches of `if` disagree: `{then_ty}` vs `{else_ty}`"),
                     );
                     None
                 }
@@ -552,7 +559,13 @@ impl Checker<'_> {
                 self.check_expect(env, Effect::Render, value, &expected);
                 Some(Type::unit())
             }
-            ExprKind::Remember { name, ty, init, body, .. } => {
+            ExprKind::Remember {
+                name,
+                ty,
+                init,
+                body,
+                ..
+            } => {
                 // View-state slots exist only in render code; the slot
                 // type must be →-free so no code hides in view state.
                 self.require_mode(span, mode, Effect::Render, "remember");
@@ -644,10 +657,7 @@ impl Checker<'_> {
                 let lt = self.infer(env, mode, lhs, None)?;
                 let rt = self.infer(env, mode, rhs, Some(&lt))?;
                 if !(rt.is_subtype_of(&lt) || lt.is_subtype_of(&rt)) {
-                    self.error(
-                        span,
-                        format!("cannot compare `{lt}` with `{rt}`"),
-                    );
+                    self.error(span, format!("cannot compare `{lt}` with `{rt}`"));
                 } else if !lt.is_arrow_free() {
                     self.error(span, "cannot compare functions for equality");
                 }
@@ -736,7 +746,11 @@ mod tests {
         let parsed = parse_program(src);
         assert!(parsed.is_ok(), "parse: {}", parsed.diagnostics.render(src));
         let lowered = lower_program(&parsed.program);
-        assert!(lowered.is_ok(), "lower: {}", lowered.diagnostics.render(src));
+        assert!(
+            lowered.is_ok(),
+            "lower: {}",
+            lowered.diagnostics.render(src)
+        );
         check_program(&lowered.program)
     }
 
@@ -747,7 +761,10 @@ mod tests {
 
     fn check_err(src: &str, needle: &str) {
         let ds = check(src);
-        assert!(ds.has_errors(), "expected a type error containing {needle:?}");
+        assert!(
+            ds.has_errors(),
+            "expected a type error containing {needle:?}"
+        );
         let text = ds.to_string();
         assert!(
             text.contains(needle),
@@ -781,9 +798,7 @@ mod tests {
     #[test]
     fn globals_must_be_arrow_free() {
         check_err(
-            &format!(
-                "global h : fn() state -> () = fn() state {{ pop; }} {START}"
-            ),
+            &format!("global h : fn() state -> () = fn() state {{ pop; }} {START}"),
             "function-free",
         );
     }
@@ -799,10 +814,7 @@ mod tests {
 
     #[test]
     fn render_cannot_push_or_pop() {
-        check_err(
-            "page start() { render { pop; } }",
-            "requires state mode",
-        );
+        check_err("page start() { render { pop; } }", "requires state mode");
         check_err(
             "page start() { render { push start(); } }",
             "requires state mode",
@@ -875,9 +887,7 @@ mod tests {
             "page start() { render { boxed { box.margin := \"wide\"; } } }",
             "expected type `number`",
         );
-        check_ok(
-            "page start() { render { boxed { box.background := colors.red; } } }",
-        );
+        check_ok("page start() { render { boxed { box.background := colors.red; } } }");
     }
 
     #[test]
@@ -957,9 +967,7 @@ mod tests {
 
     #[test]
     fn concat_coerces_but_checks() {
-        check_ok(&format!(
-            "global s : string = \"n=\" ++ 42 ++ true {START}"
-        ));
+        check_ok(&format!("global s : string = \"n=\" ++ 42 ++ true {START}"));
         check_err(
             &format!("global s : string = \"x\" ++ (1, 2) {START}"),
             "`++` concatenates",
@@ -972,9 +980,7 @@ mod tests {
             "fun f(b: bool): number pure {{ if b {{ 1 }} else {{ 2 }} }} {START}"
         ));
         check_err(
-            &format!(
-                "fun f(b: bool): number pure {{ if b {{ 1 }} else {{ \"x\" }} }} {START}"
-            ),
+            &format!("fun f(b: bool): number pure {{ if b {{ 1 }} else {{ \"x\" }} }} {START}"),
             "branches of `if` disagree",
         );
     }

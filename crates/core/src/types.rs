@@ -105,7 +105,11 @@ impl Type {
 
     /// A function type.
     pub fn func(params: Vec<Type>, effect: Effect, ret: Type) -> Type {
-        Type::Fn(Rc::new(FnType { params, effect, ret }))
+        Type::Fn(Rc::new(FnType {
+            params,
+            effect,
+            ret,
+        }))
     }
 
     /// Whether this is the unit type.
@@ -136,8 +140,7 @@ impl Type {
             | (Type::Bool, Type::Bool)
             | (Type::Color, Type::Color) => true,
             (Type::Tuple(a), Type::Tuple(b)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| x.is_subtype_of(y))
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.is_subtype_of(y))
             }
             (Type::List(a), Type::List(b)) => a.is_subtype_of(b),
             (Type::Fn(a), Type::Fn(b)) => {
@@ -219,7 +222,13 @@ mod tests {
 
     #[test]
     fn subtyping_reflexive_on_base() {
-        for t in [Type::Number, Type::String, Type::Bool, Type::Color, Type::unit()] {
+        for t in [
+            Type::Number,
+            Type::String,
+            Type::Bool,
+            Type::Color,
+            Type::unit(),
+        ] {
             assert!(t.is_subtype_of(&t));
         }
         assert!(!Type::Number.is_subtype_of(&Type::String));

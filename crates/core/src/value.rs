@@ -158,8 +158,7 @@ impl Value {
             (Value::Bool(_), Type::Bool) => true,
             (Value::Color(_), Type::Color) => true,
             (Value::Tuple(vs), Type::Tuple(ts)) => {
-                vs.len() == ts.len()
-                    && vs.iter().zip(ts.iter()).all(|(v, t)| v.has_type(t))
+                vs.len() == ts.len() && vs.iter().zip(ts.iter()).all(|(v, t)| v.has_type(t))
             }
             (Value::List(vs), Type::List(t)) => vs.iter().all(|v| v.has_type(t)),
             (Value::Closure(c), Type::Fn(sig)) => {

@@ -67,7 +67,10 @@ impl WidgetStore {
     /// (called by the evaluator, in render order).
     pub fn next_key(&mut self, id: RememberId) -> WidgetKey {
         let counter = self.counters.entry(id).or_insert(0);
-        let key = WidgetKey { id, occurrence: *counter };
+        let key = WidgetKey {
+            id,
+            occurrence: *counter,
+        };
         *counter += 1;
         key
     }
@@ -111,8 +114,11 @@ impl WidgetStore {
 
 impl fmt::Display for WidgetStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut entries: Vec<String> =
-            self.slots.iter().map(|(k, v)| format!("{k} ↦ {v}")).collect();
+        let mut entries: Vec<String> = self
+            .slots
+            .iter()
+            .map(|(k, v)| format!("{k} ↦ {v}"))
+            .collect();
         entries.sort();
         write!(f, "{{{}}}", entries.join(", "))
     }

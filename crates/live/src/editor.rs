@@ -43,7 +43,12 @@ pub struct SplitViewOptions {
 
 impl Default for SplitViewOptions {
     fn default() -> Self {
-        SplitViewOptions { width: 100, live_pane: 40, ansi: false, zoom: 1 }
+        SplitViewOptions {
+            width: 100,
+            live_pane: 40,
+            ansi: false,
+            zoom: 1,
+        }
     }
 }
 
@@ -87,7 +92,10 @@ pub fn split_view(
     } else {
         render_with_options(
             &tree,
-            RenderOptions { outline_all_boxes: false, ..RenderOptions::default() },
+            RenderOptions {
+                outline_all_boxes: false,
+                ..RenderOptions::default()
+            },
         )
     };
     let zoom = options.zoom.max(1) as i32;
@@ -125,7 +133,11 @@ pub fn split_view(
         let line_no = i + 1;
         let marked = line_no >= sel_start_line && line_no <= sel_end_line && sel_start_line > 0;
         let marker = if marked { "▶" } else { " " };
-        let shown = if options.ansi { highlight_line(line) } else { line.to_string() };
+        let shown = if options.ansi {
+            highlight_line(line)
+        } else {
+            line.to_string()
+        };
         right_lines.push(format!("{marker}{line_no:>3} {shown}"));
     }
 
@@ -218,8 +230,8 @@ mod tests {
     #[test]
     fn split_view_shows_both_panes() {
         let mut s = LiveSession::new(SRC).expect("starts");
-        let view = split_view(&mut s, &Selection::None, SplitViewOptions::default())
-            .expect("renders");
+        let view =
+            split_view(&mut s, &Selection::None, SplitViewOptions::default()).expect("renders");
         assert!(view.contains("live view"));
         assert!(view.contains("code view"));
         assert!(view.contains("header"));
@@ -265,12 +277,15 @@ mod tests {
     #[test]
     fn zoomed_split_view_shrinks_the_live_pane() {
         let mut s = LiveSession::new(SRC).expect("starts");
-        let full = split_view(&mut s, &Selection::None, SplitViewOptions::default())
-            .expect("renders");
+        let full =
+            split_view(&mut s, &Selection::None, SplitViewOptions::default()).expect("renders");
         let zoomed = split_view(
             &mut s,
             &Selection::Box(vec![0]),
-            SplitViewOptions { zoom: 2, ..SplitViewOptions::default() },
+            SplitViewOptions {
+                zoom: 2,
+                ..SplitViewOptions::default()
+            },
         )
         .expect("renders");
         // The code pane is unchanged in height; the live pane content

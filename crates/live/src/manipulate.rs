@@ -71,7 +71,9 @@ pub fn attribute_edit(
     if parse_expr(value_src).is_err() {
         return Err(ManipulateError::BadValue(value_src.to_string()));
     }
-    let span = program.box_span(id).ok_or(ManipulateError::NoSourceStatement)?;
+    let span = program
+        .box_span(id)
+        .ok_or(ManipulateError::NoSourceStatement)?;
     let parsed = parse_program(source);
     let body =
         find_boxed_body(&parsed.program, span).ok_or(ManipulateError::StatementNotFound(span))?;
@@ -87,9 +89,10 @@ pub fn attribute_edit(
         // `on tap { ... }` sugar also sets handler attributes.
         if let StmtKind::On { event, .. } = &stmt.kind {
             if attr.is_handler() && Attr::from_name(&event.text) == Some(attr) {
-                return Ok(TextEdit::replace(stmt.span, format!(
-                    "box.{attr} := {value_src};"
-                )));
+                return Ok(TextEdit::replace(
+                    stmt.span,
+                    format!("box.{attr} := {value_src};"),
+                ));
             }
         }
     }
@@ -114,7 +117,9 @@ pub fn remove_attribute_edit(
     id: BoxSourceId,
     attr: Attr,
 ) -> Result<Option<TextEdit>, ManipulateError> {
-    let span = program.box_span(id).ok_or(ManipulateError::NoSourceStatement)?;
+    let span = program
+        .box_span(id)
+        .ok_or(ManipulateError::NoSourceStatement)?;
     let parsed = parse_program(source);
     let body =
         find_boxed_body(&parsed.program, span).ok_or(ManipulateError::StatementNotFound(span))?;
@@ -162,7 +167,11 @@ fn find_boxed_body(program: &alive_syntax::Program, span: Span) -> Option<&Block
                 }
                 in_block(body, span)
             }
-            StmtKind::If { then_block, else_block, .. } => in_block(then_block, span)
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => in_block(then_block, span)
                 .or_else(|| else_block.as_ref().and_then(|b| in_block(b, span))),
             StmtKind::While { body, .. }
             | StmtKind::ForRange { body, .. }
@@ -222,9 +231,8 @@ mod tests {
     #[test]
     fn inserts_missing_attribute() {
         let (program, id) = id_of_box(SRC, "body");
-        let edit =
-            attribute_edit(SRC, &program, id, Attr::Background, "colors.light_blue")
-                .expect("edits");
+        let edit = attribute_edit(SRC, &program, id, Attr::Background, "colors.light_blue")
+            .expect("edits");
         let out = apply_edits(SRC, &[edit]).expect("applies");
         assert!(
             out.contains("boxed { box.background := colors.light_blue; post \"body\"; }"),
@@ -251,13 +259,22 @@ mod tests {
         let display = session.display_tree().expect("renders");
         // Select the header box in the live view (path [0]) — code side
         // shows its boxed statement.
-        let span = span_for_box(session.system().program(), &display, &[0])
-            .expect("navigates");
+        let span = span_for_box(session.system().program(), &display, &[0]).expect("navigates");
         assert!(span.slice(session.source()).contains("header"));
         // Now manipulate: margin 4 → 2.
-        let id = display.descendant(&[0]).expect("box").source.expect("has source");
-        let edit = attribute_edit(session.source(), session.system().program(), id, Attr::Margin, "2")
-            .expect("edit computed");
+        let id = display
+            .descendant(&[0])
+            .expect("box")
+            .source
+            .expect("has source");
+        let edit = attribute_edit(
+            session.source(),
+            session.system().program(),
+            id,
+            Attr::Margin,
+            "2",
+        )
+        .expect("edit computed");
         let outcome = session.apply_text_edits(&[edit]).expect("applies");
         assert!(outcome.is_applied());
         assert!(session.source().contains("box.margin := 2;"));
@@ -325,6 +342,9 @@ mod tests {
         let (program, id) = id_of_box(src, "inner");
         let edit = attribute_edit(src, &program, id, Attr::Margin, "1").expect("edits");
         let out = apply_edits(src, &[edit]).expect("applies");
-        assert!(out.contains(r#"boxed { box.margin := 1; post "inner"; }"#), "{out}");
+        assert!(
+            out.contains(r#"boxed { box.margin := 1; post "inner"; }"#),
+            "{out}"
+        );
     }
 }

@@ -60,7 +60,13 @@ impl RenderDeps {
                 let mut globals = BTreeSet::new();
                 let mut dynamic = false;
                 let mut widgets = false;
-                collect_reads(&f.body, &fun_reads, &mut globals, &mut dynamic, &mut widgets);
+                collect_reads(
+                    &f.body,
+                    &fun_reads,
+                    &mut globals,
+                    &mut dynamic,
+                    &mut widgets,
+                );
                 let entry = fun_reads.entry(f.name.clone()).or_default();
                 if entry.0 != globals || entry.1 != dynamic || entry.2 != widgets {
                     *entry = (globals, dynamic, widgets);
@@ -133,10 +139,11 @@ fn collect_reads(
             if !matches!(
                 callee.kind,
                 ExprKind::FunRef(_) | ExprKind::PrimRef(_) | ExprKind::Lambda(_)
-            ) => {
-                // Target unknown at this site (e.g. function-typed local).
-                *dynamic = true;
-            }
+            ) =>
+        {
+            // Target unknown at this site (e.g. function-typed local).
+            *dynamic = true;
+        }
         _ => {}
     }
     for child in direct_children(expr) {
@@ -220,7 +227,11 @@ fn collect_boxed(
             let cacheable = !assigns_outer_local(body) && !dynamic && !widgets;
             out.insert(
                 *id,
-                ReadSet { globals, reads_everything: dynamic, cacheable },
+                ReadSet {
+                    globals,
+                    reads_everything: dynamic,
+                    cacheable,
+                },
             );
         }
     });
@@ -230,10 +241,10 @@ fn collect_boxed(
 fn assigns_outer_local(body: &Expr) -> bool {
     fn go(expr: &Expr, bound: &mut HashSet<Name>) -> bool {
         match &expr.kind {
-            ExprKind::LocalAssign(name, value) => {
-                !bound.contains(name) || go(value, bound)
-            }
-            ExprKind::Let { name, value, body, .. } => {
+            ExprKind::LocalAssign(name, value) => !bound.contains(name) || go(value, bound),
+            ExprKind::Let {
+                name, value, body, ..
+            } => {
                 if go(value, bound) {
                     return true;
                 }
@@ -428,7 +439,10 @@ pub struct MemoCache {
 impl MemoCache {
     /// Build a cache for a program (runs the dependency analysis).
     pub fn new(program: &Program) -> Self {
-        MemoCache { deps: RenderDeps::analyze(program), ..Default::default() }
+        MemoCache {
+            deps: RenderDeps::analyze(program),
+            ..Default::default()
+        }
     }
 
     /// Cache statistics so far.
@@ -692,33 +706,38 @@ mod tests {
         .expect("compiles");
         let page = p.page("start").expect("page");
         let mut store = Store::new();
-        store.set("items", Value::list(vec![
-            Value::Number(1.0),
-            Value::Number(2.0),
-            Value::Number(3.0),
-        ]));
+        store.set(
+            "items",
+            Value::list(vec![
+                Value::Number(1.0),
+                Value::Number(2.0),
+                Value::Number(3.0),
+            ]),
+        );
         store.set("sel", Value::Number(0.0));
 
         let mut cache = MemoCache::new(&p);
         cache.begin_render(&store, 0);
-        let first = bigstep::run_render_hooked(&p, &store, 0, 1_000_000, vec![], &page.render, &mut cache)
-            .expect("renders");
+        let first =
+            bigstep::run_render_hooked(&p, &store, 0, 1_000_000, vec![], &page.render, &mut cache)
+                .expect("renders");
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 4);
 
         // Change only `sel`: the three item boxes reuse, the sel box re-renders.
         store.set("sel", Value::Number(9.0));
         cache.begin_render(&store, 0);
-        let second = bigstep::run_render_hooked(&p, &store, 0, 1_000_000, vec![], &page.render, &mut cache)
-            .expect("renders");
+        let second =
+            bigstep::run_render_hooked(&p, &store, 0, 1_000_000, vec![], &page.render, &mut cache)
+                .expect("renders");
         assert_eq!(cache.stats().hits, 3);
         assert_eq!(cache.stats().misses, 5);
         assert_eq!(second.cost.boxes_created, 1);
         assert_eq!(second.cost.boxes_reused, 3);
 
         // The reused tree is identical to an uncached render.
-        let plain = bigstep::run_render(&p, &store, 0, 1_000_000, vec![], &page.render)
-            .expect("renders");
+        let plain =
+            bigstep::run_render(&p, &store, 0, 1_000_000, vec![], &page.render).expect("renders");
         assert_eq!(second.root, plain.root);
         assert_ne!(first.root, second.root);
     }

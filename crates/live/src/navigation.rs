@@ -24,11 +24,7 @@ pub fn span_for_box(program: &Program, display: &BoxNode, path: &[usize]) -> Opt
 /// Code → box: all boxes in the display created by the `boxed`
 /// statement whose span contains the cursor position. A statement
 /// inside a loop yields many boxes, which are "collectively selected".
-pub fn boxes_for_cursor(
-    program: &Program,
-    display: &BoxNode,
-    cursor: u32,
-) -> Vec<Vec<usize>> {
+pub fn boxes_for_cursor(program: &Program, display: &BoxNode, cursor: u32) -> Vec<Vec<usize>> {
     match box_source_at(program, cursor) {
         Some(id) => display.find_by_source(id),
         None => Vec::new(),
@@ -101,7 +97,7 @@ mod tests {
     }
 
     #[test]
-    fn cursor_outside_any_boxed_selects_nothing(){
+    fn cursor_outside_any_boxed_selects_nothing() {
         let (program, root) = rendered();
         // Position 0 is `page`, outside every boxed statement.
         assert!(boxes_for_cursor(&program, &root, 0).is_empty());

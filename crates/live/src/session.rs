@@ -232,7 +232,8 @@ impl LiveSession {
                 unreachable!("update from a stable state cannot fail with {other}")
             }
         };
-        self.undo_stack.push(std::mem::replace(&mut self.source, new_source.to_string()));
+        self.undo_stack
+            .push(std::mem::replace(&mut self.source, new_source.to_string()));
         if let Some(memo) = self.memo.as_mut() {
             memo.on_update(self.system.program(), self.system.version());
         }
@@ -287,8 +288,8 @@ impl LiveSession {
     /// [`SessionError::Runtime`] if the handler or re-render fails.
     pub fn tap_at(&mut self, x: i32, y: i32) -> Result<bool, SessionError> {
         self.refresh().map_err(SessionError::Runtime)?;
-        let hit = alive_ui::tap_at(&mut self.system, Point::new(x, y))
-            .map_err(SessionError::Action)?;
+        let hit =
+            alive_ui::tap_at(&mut self.system, Point::new(x, y)).map_err(SessionError::Action)?;
         self.refresh().map_err(SessionError::Runtime)?;
         Ok(hit)
     }
@@ -306,10 +307,19 @@ impl LiveSession {
 
     /// Press the back button, then refresh.
     ///
+    /// At the root page this is a typed error, not a pop: popping the
+    /// last page would empty the stack and the STARTUP transition would
+    /// re-run `init` from scratch — a hidden restart, which is exactly
+    /// what a live session promises never to do.
+    ///
     /// # Errors
     ///
-    /// [`SessionError::Runtime`] if re-rendering fails.
+    /// [`SessionError::Action`] ([`ActionError::NoPageToPop`]) at the
+    /// root page; [`SessionError::Runtime`] if re-rendering fails.
     pub fn back(&mut self) -> Result<(), SessionError> {
+        if self.system.page_stack().len() <= 1 {
+            return Err(SessionError::Action(ActionError::NoPageToPop));
+        }
         self.system.back();
         self.refresh().map_err(SessionError::Runtime)
     }
@@ -322,7 +332,9 @@ impl LiveSession {
     /// [`SessionError::Action`] if the box has no edit handler.
     pub fn edit_box(&mut self, path: &[usize], text: &str) -> Result<(), SessionError> {
         self.refresh().map_err(SessionError::Runtime)?;
-        self.system.edit_box(path, text).map_err(SessionError::Action)?;
+        self.system
+            .edit_box(path, text)
+            .map_err(SessionError::Action)?;
         self.refresh().map_err(SessionError::Runtime)
     }
 }
@@ -411,7 +423,7 @@ page start() {
     }
 
     #[test]
-    fn text_edits_apply_by_span(){
+    fn text_edits_apply_by_span() {
         let mut s = LiveSession::new(APP).expect("starts");
         let at = s.source().find("10").expect("found") as u32;
         let outcome = s
@@ -422,10 +434,7 @@ page start() {
             .expect("edits apply");
         assert!(outcome.is_applied());
         s.tap_path(&[0]).expect("tap");
-        assert_eq!(
-            s.system().store().get("count"),
-            Some(&Value::Number(101.0))
-        );
+        assert_eq!(s.system().store().get("count"), Some(&Value::Number(101.0)));
     }
 
     #[test]

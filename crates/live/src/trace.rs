@@ -67,7 +67,10 @@ pub struct SessionTrace {
 impl SessionTrace {
     /// A new empty trace for a program.
     pub fn new(initial_source: impl Into<String>) -> Self {
-        SessionTrace { initial_source: initial_source.into(), events: Vec::new() }
+        SessionTrace {
+            initial_source: initial_source.into(),
+            events: Vec::new(),
+        }
     }
 
     /// Replay the trace from scratch, returning the resulting session.
@@ -183,8 +186,7 @@ impl SessionTrace {
             Ok(block)
         };
 
-        let header = next_line(&mut rest)
-            .ok_or_else(|| TraceParseError::new(1, "empty trace"))?;
+        let header = next_line(&mut rest).ok_or_else(|| TraceParseError::new(1, "empty trace"))?;
         if header.trim() != "#alive-trace v1" {
             return Err(TraceParseError::new(1, "missing `#alive-trace v1` header"));
         }
@@ -228,7 +230,10 @@ impl SessionTrace {
                 return Err(TraceParseError::new(ln, format!("unknown event `{line}`")));
             }
         }
-        Ok(SessionTrace { initial_source, events })
+        Ok(SessionTrace {
+            initial_source,
+            events,
+        })
     }
 }
 
@@ -249,13 +254,20 @@ pub struct TraceParseError {
 
 impl TraceParseError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        TraceParseError { line, message: message.into() }
+        TraceParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -22,7 +22,10 @@ pub struct Ident {
 impl Ident {
     /// Construct an identifier.
     pub fn new(text: impl Into<String>, span: Span) -> Self {
-        Ident { text: text.into(), span }
+        Ident {
+            text: text.into(),
+            span,
+        }
     }
 }
 
@@ -223,7 +226,11 @@ pub struct Block {
 impl Block {
     /// An empty block at `span`.
     pub fn empty(span: Span) -> Self {
-        Block { stmts: Vec::new(), tail: None, span }
+        Block {
+            stmts: Vec::new(),
+            tail: None,
+            span,
+        }
     }
 }
 
@@ -550,8 +557,14 @@ mod tests {
         let prog = Program {
             items: vec![Item::Global(GlobalDef {
                 name: Ident::new("g", span),
-                ty: TypeExpr { kind: TypeExprKind::Number, span },
-                init: Expr { kind: ExprKind::Number(0.0), span },
+                ty: TypeExpr {
+                    kind: TypeExprKind::Number,
+                    span,
+                },
+                init: Expr {
+                    kind: ExprKind::Number(0.0),
+                    span,
+                },
                 span,
             })],
             span,

@@ -74,7 +74,10 @@ impl Diagnostic {
         let map = SourceMap::new(src);
         let mut out = String::new();
         let lc = map.line_col(self.span.start);
-        out.push_str(&format!("{}: {} (at {})\n", self.severity, self.message, lc));
+        out.push_str(&format!(
+            "{}: {} (at {})\n",
+            self.severity, self.message, lc
+        ));
         if let Some(line_span) = map.line_span(lc.line) {
             let line_text = line_span.slice(src);
             out.push_str(&format!("  {} | {}\n", lc.line, line_text));
@@ -205,8 +208,8 @@ mod tests {
     #[test]
     fn render_with_note() {
         let src = "a\nb";
-        let d = Diagnostic::error(Span::new(2, 3), "bad b")
-            .with_note(Span::new(0, 1), "a was here");
+        let d =
+            Diagnostic::error(Span::new(2, 3), "bad b").with_note(Span::new(0, 1), "a was here");
         let rendered = d.render(src);
         assert!(rendered.contains("note: a was here"));
         assert!(rendered.contains("2:1"));

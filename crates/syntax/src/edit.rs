@@ -20,17 +20,26 @@ pub struct TextEdit {
 impl TextEdit {
     /// Replace `span` with `replacement`.
     pub fn replace(span: Span, replacement: impl Into<String>) -> Self {
-        TextEdit { span, replacement: replacement.into() }
+        TextEdit {
+            span,
+            replacement: replacement.into(),
+        }
     }
 
     /// Insert `text` at byte offset `at`.
     pub fn insert(at: u32, text: impl Into<String>) -> Self {
-        TextEdit { span: Span::point(at), replacement: text.into() }
+        TextEdit {
+            span: Span::point(at),
+            replacement: text.into(),
+        }
     }
 
     /// Delete the text at `span`.
     pub fn delete(span: Span) -> Self {
-        TextEdit { span, replacement: String::new() }
+        TextEdit {
+            span,
+            replacement: String::new(),
+        }
     }
 }
 
@@ -124,8 +133,11 @@ mod tests {
 
     #[test]
     fn single_replace() {
-        let out = apply_edits("hello world", &[TextEdit::replace(Span::new(6, 11), "rust")])
-            .expect("applies");
+        let out = apply_edits(
+            "hello world",
+            &[TextEdit::replace(Span::new(6, 11), "rust")],
+        )
+        .expect("applies");
         assert_eq!(out, "hello rust");
     }
 
@@ -142,7 +154,10 @@ mod tests {
     #[test]
     fn insertion_and_deletion() {
         let src = "margin 4";
-        let edits = vec![TextEdit::insert(0, ">> "), TextEdit::delete(Span::new(6, 8))];
+        let edits = vec![
+            TextEdit::insert(0, ">> "),
+            TextEdit::delete(Span::new(6, 8)),
+        ];
         assert_eq!(apply_edits(src, &edits).expect("applies"), ">> margin");
     }
 
@@ -160,7 +175,10 @@ mod tests {
             TextEdit::replace(Span::new(0, 3), "x"),
             TextEdit::replace(Span::new(2, 4), "y"),
         ];
-        assert!(matches!(apply_edits(src, &edits), Err(EditError::Overlap(..))));
+        assert!(matches!(
+            apply_edits(src, &edits),
+            Err(EditError::Overlap(..))
+        ));
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn chunk_items(src: &str) -> Vec<Chunk> {
         let span = Span::new(start, end);
         let mut hasher = DefaultHasher::new();
         span.slice(src).hash(&mut hasher);
-        chunks.push(Chunk { span, hash: hasher.finish() });
+        chunks.push(Chunk {
+            span,
+            hash: hasher.finish(),
+        });
     }
     chunks
 }
@@ -99,7 +102,10 @@ impl IncrementalParser {
     /// when a borrow suffices — it avoids cloning the unchanged items.
     pub fn parse(&mut self, src: &str) -> ParseResult {
         self.reparse(src);
-        ParseResult { program: self.assemble_program(src), diagnostics: self.assemble_diags() }
+        ParseResult {
+            program: self.assemble_program(src),
+            diagnostics: self.assemble_diags(),
+        }
     }
 
     /// Parse `src` incrementally; the returned references borrow the
@@ -177,7 +183,10 @@ impl IncrementalParser {
         for chunk in &self.chunks {
             items.extend(chunk.items.iter().cloned());
         }
-        Program { items, span: Span::new(0, src.len() as u32) }
+        Program {
+            items,
+            span: Span::new(0, src.len() as u32),
+        }
     }
 
     /// Lower/typecheck straight off the owned document without cloning
@@ -190,7 +199,10 @@ impl IncrementalParser {
             counts.push(chunk.items.len());
             items.append(&mut chunk.items);
         }
-        let program = Program { items, span: Span::new(0, src.len() as u32) };
+        let program = Program {
+            items,
+            span: Span::new(0, src.len() as u32),
+        };
         let result = f(&program);
         // Put the items back where they came from.
         let mut iter = program.items.into_iter();
@@ -224,9 +236,11 @@ impl IncrementalParser {
 
     /// Whether the current document has parse errors.
     pub fn has_errors(&self) -> bool {
-        self.chunks
-            .iter()
-            .any(|c| c.diagnostics.iter().any(|d| d.severity == crate::Severity::Error))
+        self.chunks.iter().any(|c| {
+            c.diagnostics
+                .iter()
+                .any(|d| d.severity == crate::Severity::Error)
+        })
     }
 
     /// Drop the document (e.g. on a project switch).
@@ -253,7 +267,10 @@ mod tests {
         assert!(SRC[chunks[1].span.start as usize..].starts_with("fun double"));
         assert!(SRC[chunks[2].span.start as usize..].starts_with("page start"));
         // Chunks tile the source exactly.
-        assert_eq!(chunks.last().expect("nonempty").span.end as usize, SRC.len());
+        assert_eq!(
+            chunks.last().expect("nonempty").span.end as usize,
+            SRC.len()
+        );
     }
 
     #[test]

@@ -48,7 +48,8 @@ impl Lexer<'_, '_> {
             }
         }
         let end = self.src.len() as u32;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::point(end)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::point(end)));
         self.tokens
     }
 
@@ -57,7 +58,8 @@ impl Lexer<'_, '_> {
     }
 
     fn emit(&mut self, kind: TokenKind, start: u32) {
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos as u32)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos as u32)));
     }
 
     fn skip_trivia(&mut self) {
@@ -164,10 +166,7 @@ impl Lexer<'_, '_> {
                         _ => {
                             // Step over one whole UTF-8 scalar so the
                             // cursor stays on a char boundary.
-                            let ch = self.src[self.pos..]
-                                .chars()
-                                .next()
-                                .expect("in-bounds char");
+                            let ch = self.src[self.pos..].chars().next().expect("in-bounds char");
                             self.pos += ch.len_utf8();
                             self.diags.push(Diagnostic::error(
                                 Span::new(esc_start, self.pos as u32),
@@ -196,8 +195,7 @@ impl Lexer<'_, '_> {
             self.pos += 1;
         }
         let word = &self.src[start as usize..self.pos];
-        let kind = TokenKind::keyword(word)
-            .unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+        let kind = TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
         self.emit(kind, start);
     }
 
@@ -286,14 +284,8 @@ mod tests {
             kinds("0 .. 10"),
             vec![Number(0.0), DotDot, Number(10.0), Eof]
         );
-        assert_eq!(
-            kinds("1..3"),
-            vec![Number(1.0), DotDot, Number(3.0), Eof]
-        );
-        assert_eq!(
-            kinds("t.1"),
-            vec![Ident("t".into()), Dot, Number(1.0), Eof]
-        );
+        assert_eq!(kinds("1..3"), vec![Number(1.0), DotDot, Number(3.0), Eof]);
+        assert_eq!(kinds("t.1"), vec![Ident("t".into()), Dot, Number(1.0), Eof]);
         assert_eq!(kinds("1.5"), vec![Number(1.5), Eof]);
     }
 
@@ -307,10 +299,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds(r#""a\n\"b\\""#),
-            vec![Str("a\n\"b\\".into()), Eof]
-        );
+        assert_eq!(kinds(r#""a\n\"b\\""#), vec![Str("a\n\"b\\".into()), Eof]);
     }
 
     #[test]

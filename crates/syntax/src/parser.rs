@@ -30,16 +30,27 @@ impl ParseResult {
 pub fn parse_program(src: &str) -> ParseResult {
     let mut diagnostics = Diagnostics::new();
     let tokens = lex(src, &mut diagnostics);
-    let mut parser = Parser { tokens, pos: 0, diags: diagnostics };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: diagnostics,
+    };
     let program = parser.program(src.len() as u32);
-    ParseResult { program, diagnostics: parser.diags }
+    ParseResult {
+        program,
+        diagnostics: parser.diags,
+    }
 }
 
 /// Parse a single expression (used by direct-manipulation code patches).
 pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
     let mut diagnostics = Diagnostics::new();
     let tokens = lex(src, &mut diagnostics);
-    let mut parser = Parser { tokens, pos: 0, diags: diagnostics };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: diagnostics,
+    };
     let expr = parser.expr();
     parser.expect(TokenKind::Eof);
     if parser.diags.has_errors() {
@@ -131,8 +142,10 @@ impl Parser {
                 TokenKind::Fun => items.push(Item::Fun(self.fun_def())),
                 TokenKind::Page => items.push(Item::Page(self.page_def())),
                 other => {
-                    let msg =
-                        format!("expected `global`, `fun`, or `page`, found {}", other.describe());
+                    let msg = format!(
+                        "expected `global`, `fun`, or `page`, found {}",
+                        other.describe()
+                    );
                     self.error(msg);
                     self.recover_to_item();
                 }
@@ -142,7 +155,10 @@ impl Parser {
                 self.bump();
             }
         }
-        Program { items, span: Span::new(0, src_len) }
+        Program {
+            items,
+            span: Span::new(0, src_len),
+        }
     }
 
     fn recover_to_item(&mut self) {
@@ -164,18 +180,34 @@ impl Parser {
         self.expect(TokenKind::Eq);
         let init = self.expr();
         let span = start.merge(init.span);
-        GlobalDef { name, ty, init, span }
+        GlobalDef {
+            name,
+            ty,
+            init,
+            span,
+        }
     }
 
     fn fun_def(&mut self) -> FunDef {
         let start = self.expect(TokenKind::Fun);
         let name = self.ident();
         let params = self.param_list();
-        let ret = if self.eat(TokenKind::Colon) { Some(self.type_expr()) } else { None };
+        let ret = if self.eat(TokenKind::Colon) {
+            Some(self.type_expr())
+        } else {
+            None
+        };
         let effect = self.effect_ann();
         let body = self.block();
         let span = start.merge(body.span);
-        FunDef { name, params, ret, effect, body, span }
+        FunDef {
+            name,
+            params,
+            ret,
+            effect,
+            body,
+            span,
+        }
     }
 
     fn effect_ann(&mut self) -> EffectAnn {
@@ -285,7 +317,10 @@ impl Parser {
                 if elems.len() == 1 {
                     // `(τ)` is just τ, not a 1-tuple.
                     let only = elems.pop().expect("one element");
-                    return TypeExpr { kind: only.kind, span: start.merge(self.prev_span()) };
+                    return TypeExpr {
+                        kind: only.kind,
+                        span: start.merge(self.prev_span()),
+                    };
                 }
                 TypeExprKind::Tuple(elems)
             }
@@ -303,7 +338,11 @@ impl Parser {
                 let effect = self.effect_ann();
                 self.expect(TokenKind::Arrow);
                 let ret = Box::new(self.type_expr());
-                TypeExprKind::Fn { params, effect, ret }
+                TypeExprKind::Fn {
+                    params,
+                    effect,
+                    ret,
+                }
             }
             other => {
                 self.error(format!("expected a type, found {}", other.describe()));
@@ -313,7 +352,10 @@ impl Parser {
                 TypeExprKind::Tuple(Vec::new())
             }
         };
-        TypeExpr { kind, span: start.merge(self.prev_span()) }
+        TypeExpr {
+            kind,
+            span: start.merge(self.prev_span()),
+        }
     }
 
     // ---- statements and blocks ---------------------------------------
@@ -338,7 +380,11 @@ impl Parser {
             }
         }
         let end = self.expect(TokenKind::RBrace);
-        Block { stmts, tail, span: start.merge(end) }
+        Block {
+            stmts,
+            tail,
+            span: start.merge(end),
+        }
     }
 
     fn stmt_or_tail(&mut self) -> Option<StmtOrTail> {
@@ -347,7 +393,11 @@ impl Parser {
             TokenKind::Let => {
                 self.bump();
                 let name = self.ident();
-                let ty = if self.eat(TokenKind::Colon) { Some(self.type_expr()) } else { None };
+                let ty = if self.eat(TokenKind::Colon) {
+                    Some(self.type_expr())
+                } else {
+                    None
+                };
                 self.expect(TokenKind::Eq);
                 let value = self.expr();
                 self.expect(TokenKind::Semi);
@@ -422,10 +472,17 @@ impl Parser {
             TokenKind::On => {
                 self.bump();
                 let event = self.ident();
-                let params =
-                    if self.at(&TokenKind::LParen) { self.param_list() } else { Vec::new() };
+                let params = if self.at(&TokenKind::LParen) {
+                    self.param_list()
+                } else {
+                    Vec::new()
+                };
                 let body = self.block();
-                StmtKind::On { event, params, body }
+                StmtKind::On {
+                    event,
+                    params,
+                    body,
+                }
             }
             TokenKind::Push => {
                 self.bump();
@@ -480,7 +537,11 @@ impl Parser {
                 self.bump();
                 let nested = self.if_stmt(nested_start);
                 let span = nested.span;
-                Some(Block { stmts: vec![nested], tail: None, span })
+                Some(Block {
+                    stmts: vec![nested],
+                    tail: None,
+                    span,
+                })
             } else {
                 Some(self.block())
             }
@@ -488,7 +549,14 @@ impl Parser {
             None
         };
         let span = start.merge(self.prev_span());
-        Stmt { kind: StmtKind::If { cond, then_block, else_block }, span }
+        Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            },
+            span,
+        }
     }
 
     // ---- expressions --------------------------------------------------
@@ -525,7 +593,11 @@ impl Parser {
             let rhs = self.binary_expr(prec);
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -537,12 +609,24 @@ impl Parser {
         if self.eat(TokenKind::Minus) {
             let inner = self.unary_expr();
             let span = start.merge(inner.span);
-            return Expr { kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(inner) }, span };
+            return Expr {
+                kind: ExprKind::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(inner),
+                },
+                span,
+            };
         }
         if self.eat(TokenKind::Bang) {
             let inner = self.unary_expr();
             let span = start.merge(inner.span);
-            return Expr { kind: ExprKind::Unary { op: UnOp::Not, expr: Box::new(inner) }, span };
+            return Expr {
+                kind: ExprKind::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(inner),
+                },
+                span,
+            };
         }
         self.postfix_expr()
     }
@@ -563,7 +647,10 @@ impl Parser {
                     let end = self.expect(TokenKind::RParen);
                     let span = expr.span.merge(end);
                     expr = Expr {
-                        kind: ExprKind::Call { callee: Box::new(expr), args },
+                        kind: ExprKind::Call {
+                            callee: Box::new(expr),
+                            args,
+                        },
                         span,
                     };
                 }
@@ -695,11 +782,19 @@ impl Parser {
                 let body = if self.eat(TokenKind::Arrow) {
                     let e = self.expr();
                     let span = e.span;
-                    Block { stmts: Vec::new(), tail: Some(Box::new(e)), span }
+                    Block {
+                        stmts: Vec::new(),
+                        tail: Some(Box::new(e)),
+                        span,
+                    }
                 } else {
                     self.block()
                 };
-                ExprKind::Lambda { params, effect, body: Box::new(body) }
+                ExprKind::Lambda {
+                    params,
+                    effect,
+                    body: Box::new(body),
+                }
             }
             TokenKind::If => {
                 self.bump();
@@ -710,21 +805,35 @@ impl Parser {
                     // `else if` chain in expression position.
                     let nested = self.expr();
                     let span = nested.span;
-                    Block { stmts: Vec::new(), tail: Some(Box::new(nested)), span }
+                    Block {
+                        stmts: Vec::new(),
+                        tail: Some(Box::new(nested)),
+                        span,
+                    }
                 } else {
                     self.block()
                 });
-                ExprKind::IfExpr { cond, then_block, else_block }
+                ExprKind::IfExpr {
+                    cond,
+                    then_block,
+                    else_block,
+                }
             }
             other => {
-                self.error(format!("expected an expression, found {}", other.describe()));
+                self.error(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                ));
                 if !self.at_recovery_point() {
                     self.bump();
                 }
                 ExprKind::Tuple(Vec::new())
             }
         };
-        Expr { kind, span: start.merge(self.prev_span()) }
+        Expr {
+            kind,
+            span: start.merge(self.prev_span()),
+        }
     }
 }
 
@@ -752,7 +861,12 @@ enum StmtOrTail {
 /// Convert a value-producing `if` statement into an `if` expression, for
 /// blocks that end in `if c { v1 } else { v2 }`.
 fn if_stmt_to_expr(stmt: &Stmt) -> Option<Expr> {
-    let StmtKind::If { cond, then_block, else_block } = &stmt.kind else {
+    let StmtKind::If {
+        cond,
+        then_block,
+        else_block,
+    } = &stmt.kind
+    else {
         return None;
     };
     let else_block = else_block.as_ref()?;
@@ -765,7 +879,11 @@ fn if_stmt_to_expr(stmt: &Stmt) -> Option<Expr> {
     {
         let nested = if_stmt_to_expr(&else_block.stmts[0])?;
         let span = nested.span;
-        Block { stmts: Vec::new(), tail: Some(Box::new(nested)), span }
+        Block {
+            stmts: Vec::new(),
+            tail: Some(Box::new(nested)),
+            span,
+        }
     } else {
         else_block.tail.as_ref()?;
         else_block.clone()
@@ -848,7 +966,12 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = ok("global g : number = 1 + 2 * 3");
         let g = p.globals().next().expect("global");
-        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &g.init.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &g.init.kind
+        else {
             panic!("expected + at top: {:?}", g.init.kind);
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
@@ -858,7 +981,12 @@ mod tests {
     fn concat_binds_looser_than_add() {
         let p = ok(r#"global g : string = "n=" ++ 1 + 2"#);
         let g = p.globals().next().expect("global");
-        let ExprKind::Binary { op: BinOp::Concat, rhs, .. } = &g.init.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Concat,
+            rhs,
+            ..
+        } = &g.init.kind
+        else {
             panic!("expected ++ at top");
         };
         assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Add, .. }));
@@ -909,7 +1037,11 @@ mod tests {
             }
         "#);
         let f = p.funs().next().expect("fun");
-        let StmtKind::If { else_block: Some(else_block), .. } = &f.body.stmts[1].kind else {
+        let StmtKind::If {
+            else_block: Some(else_block),
+            ..
+        } = &f.body.stmts[1].kind
+        else {
             panic!("expected if with else");
         };
         assert!(matches!(else_block.stmts[0].kind, StmtKind::If { .. }));

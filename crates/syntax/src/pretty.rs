@@ -30,7 +30,10 @@ pub fn pretty_expr(expr: &Expr) -> String {
 /// Render a single statement as source text (no trailing newline),
 /// indented at the given level.
 pub fn pretty_stmt(stmt: &Stmt, indent: usize) -> String {
-    let mut p = Printer { out: String::new(), indent };
+    let mut p = Printer {
+        out: String::new(),
+        indent,
+    };
     p.stmt(stmt);
     p.out.trim_end().to_string()
 }
@@ -49,7 +52,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, text: &str) {
@@ -149,7 +155,11 @@ impl Printer {
                     self.append_type(s, elem);
                 }
             }
-            TypeExprKind::Fn { params, effect, ret } => {
+            TypeExprKind::Fn {
+                params,
+                effect,
+                ret,
+            } => {
                 s.push_str("fn(");
                 for (i, p) in params.iter().enumerate() {
                     if i > 0 {
@@ -211,7 +221,11 @@ impl Printer {
             StmtKind::Assign { target, value } => {
                 self.line(&format!("{target} := {};", pretty_expr(value)));
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.start_line(&format!("if {} ", pretty_expr(cond)));
                 self.inline_block(then_block);
                 if let Some(else_block) = else_block {
@@ -268,7 +282,11 @@ impl Printer {
             StmtKind::SetAttr { attr, value } => {
                 self.line(&format!("box.{attr} := {};", pretty_expr(value)));
             }
-            StmtKind::On { event, params, body } => {
+            StmtKind::On {
+                event,
+                params,
+                body,
+            } => {
                 let mut s = format!("on {event}");
                 if !params.is_empty() {
                     s.push('(');
@@ -375,8 +393,7 @@ impl Printer {
             }
             ExprKind::Binary { op, lhs, rhs } => {
                 let prec = op.precedence();
-                let needs_parens = prec < parent_prec
-                    || (prec == parent_prec && parent_prec > 0);
+                let needs_parens = prec < parent_prec || (prec == parent_prec && parent_prec > 0);
                 if needs_parens {
                     self.out.push('(');
                 }
@@ -387,7 +404,11 @@ impl Printer {
                     self.out.push(')');
                 }
             }
-            ExprKind::Lambda { params, effect, body } => {
+            ExprKind::Lambda {
+                params,
+                effect,
+                body,
+            } => {
                 self.out.push_str("fn(");
                 let mut s = String::new();
                 self.append_params(&mut s, params);
@@ -409,7 +430,11 @@ impl Printer {
                 self.out.push(' ');
                 self.inline_block(body);
             }
-            ExprKind::IfExpr { cond, then_block, else_block } => {
+            ExprKind::IfExpr {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.out.push_str("if ");
                 self.expr(cond, 0);
                 self.out.push(' ');
@@ -428,7 +453,11 @@ mod tests {
 
     fn roundtrip(src: &str) {
         let first = parse_program(src);
-        assert!(first.is_ok(), "initial parse failed:\n{}", first.diagnostics.render(src));
+        assert!(
+            first.is_ok(),
+            "initial parse failed:\n{}",
+            first.diagnostics.render(src)
+        );
         let printed = pretty_program(&first.program);
         let second = parse_program(&printed);
         assert!(

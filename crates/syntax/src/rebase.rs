@@ -64,10 +64,7 @@ fn rebase_param(param: &mut Param, delta: i64) {
 fn rebase_type(ty: &mut TypeExpr, delta: i64) {
     ty.span = shift(ty.span, delta);
     match &mut ty.kind {
-        TypeExprKind::Number
-        | TypeExprKind::String
-        | TypeExprKind::Bool
-        | TypeExprKind::Color => {}
+        TypeExprKind::Number | TypeExprKind::String | TypeExprKind::Bool | TypeExprKind::Color => {}
         TypeExprKind::Tuple(elems) => {
             for e in elems {
                 rebase_type(e, delta);
@@ -107,7 +104,11 @@ fn rebase_stmt(stmt: &mut Stmt, delta: i64) {
             rebase_ident(target, delta);
             rebase_expr(value, delta);
         }
-        StmtKind::If { cond, then_block, else_block } => {
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             rebase_expr(cond, delta);
             rebase_block(then_block, delta);
             if let Some(else_block) = else_block {
@@ -140,7 +141,11 @@ fn rebase_stmt(stmt: &mut Stmt, delta: i64) {
             rebase_ident(attr, delta);
             rebase_expr(value, delta);
         }
-        StmtKind::On { event, params, body } => {
+        StmtKind::On {
+            event,
+            params,
+            body,
+        } => {
             rebase_ident(event, delta);
             for p in params {
                 rebase_param(p, delta);
@@ -189,7 +194,11 @@ fn rebase_expr(expr: &mut Expr, delta: i64) {
             }
             rebase_block(body, delta);
         }
-        ExprKind::IfExpr { cond, then_block, else_block } => {
+        ExprKind::IfExpr {
+            cond,
+            then_block,
+            else_block,
+        } => {
             rebase_expr(cond, delta);
             rebase_block(then_block, delta);
             rebase_block(else_block, delta);

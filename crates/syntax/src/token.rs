@@ -241,9 +241,6 @@ mod tests {
     #[test]
     fn describe_is_nonempty() {
         assert_eq!(TokenKind::ColonEq.describe(), "`:=`");
-        assert_eq!(
-            TokenKind::Ident("x".into()).describe(),
-            "identifier `x`"
-        );
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
     }
 }

@@ -3,88 +3,177 @@
 //! what lets the live editor run them on every keystroke.
 
 use alive_syntax::{lexer, parse_program, pretty_program, Diagnostics, IncrementalParser};
-use proptest::prelude::*;
+use alive_testkit::{prop, prop_assert, prop_assert_eq, NoShrink, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn lexer_total_on(src: &str) -> Result<(), String> {
+    let mut diags = Diagnostics::new();
+    let tokens = lexer::lex(src, &mut diags);
+    // Always Eof-terminated, spans in bounds and non-decreasing.
+    prop_assert!(matches!(
+        tokens.last().map(|t| &t.kind),
+        Some(alive_syntax::token::TokenKind::Eof)
+    ));
+    let mut prev_start = 0u32;
+    for t in &tokens {
+        prop_assert!(t.span.end as usize <= src.len());
+        prop_assert!(t.span.start >= prev_start);
+        prev_start = t.span.start;
+    }
+    Ok(())
+}
 
-    #[test]
-    fn lexer_is_total(src in ".*") {
-        let mut diags = Diagnostics::new();
-        let tokens = lexer::lex(&src, &mut diags);
-        // Always Eof-terminated, spans in bounds and non-decreasing.
-        prop_assert!(matches!(
-            tokens.last().map(|t| &t.kind),
-            Some(alive_syntax::token::TokenKind::Eof)
-        ));
-        let mut prev_start = 0u32;
-        for t in &tokens {
-            prop_assert!(t.span.end as usize <= src.len());
-            prop_assert!(t.span.start >= prev_start);
-            prev_start = t.span.start;
+#[test]
+fn lexer_is_total() {
+    // The historical shrunk regression (an unterminated string ending
+    // in a backslash), replayed deterministically before random cases.
+    lexer_total_on("\"\\").expect("regression stays fixed");
+    prop::check(
+        "lexer_is_total",
+        prop::Config::with_cases(512),
+        |rng| rng.any_string(80),
+        |src: &String| lexer_total_on(src),
+    );
+}
+
+#[test]
+fn parser_is_total() {
+    // Same historical regression through the whole parser.
+    let _ = pretty_program(&parse_program("\"\\").program);
+    prop::check(
+        "parser_is_total",
+        prop::Config::with_cases(512),
+        |rng| rng.any_string(80),
+        |src: &String| {
+            let result = parse_program(src);
+            // Whatever happened, pretty-printing the (possibly partial)
+            // program must not panic either.
+            let _ = pretty_program(&result.program);
+            Ok(())
+        },
+    );
+}
+
+/// Code-shaped token soup: keywords, punctuation, identifiers, numbers.
+fn codeish(rng: &mut Rng) -> String {
+    const PIECES: &[&str] = &[
+        "global", "fun", "page", "boxed", "post", "if", "{", "}", "(", ")", ";", ":=", " ", "\n",
+    ];
+    let n = rng.below(60);
+    let mut out = String::new();
+    for _ in 0..n {
+        match rng.below(10) {
+            0..=6 => out.push_str(rng.choose::<&str>(PIECES)),
+            7 => out.push_str(&rng.string_in("abcdefghijklmnopqrstuvwxyz", 1, 6)),
+            _ => out.push_str(&rng.string_in("0123456789", 1, 4)),
         }
     }
+    out
+}
 
-    #[test]
-    fn parser_is_total(src in ".*") {
-        let result = parse_program(&src);
-        // Whatever happened, pretty-printing the (possibly partial)
-        // program must not panic either.
-        let _ = pretty_program(&result.program);
-    }
+#[test]
+fn parser_is_total_on_codeish_input() {
+    prop::check(
+        "parser_is_total_on_codeish_input",
+        prop::Config::with_cases(512),
+        codeish,
+        |src: &String| {
+            let result = parse_program(src);
+            let _ = pretty_program(&result.program);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn parser_is_total_on_codeish_input(
-        src in r"(global|fun|page|boxed|post|if|\{|\}|\(|\)|;|:=|[a-z]+|[0-9]+| |\n){0,60}"
-    ) {
-        let result = parse_program(&src);
-        let _ = pretty_program(&result.program);
-    }
-
-    /// The incremental parser agrees with the full parser on every
-    /// input, including arbitrary garbage, across a sequence of edits
-    /// sharing one cache.
-    #[test]
-    fn incremental_parse_equals_full_parse(
-        sources in proptest::collection::vec(
-            prop_oneof![
-                ".*",
-                r"(global [a-z]+ : number = [0-9]+\n|fun [a-z]+\(\) : number pure \{ [0-9]+ \}\n|page start\(\) \{ render \{ \} \}\n){0,5}",
-            ],
-            1..6,
-        )
-    ) {
-        let mut inc = IncrementalParser::new();
-        for src in &sources {
-            let incremental = inc.parse(src);
-            let full = parse_program(src);
-            prop_assert_eq!(&incremental.program, &full.program);
-            prop_assert_eq!(
-                incremental.diagnostics.into_vec(),
-                full.diagnostics.into_vec()
-            );
+/// The incremental parser agrees with the full parser on every input,
+/// including arbitrary garbage, across a sequence of edits sharing one
+/// cache.
+#[test]
+fn incremental_parse_equals_full_parse() {
+    fn item_soup(rng: &mut Rng) -> String {
+        let mut out = String::new();
+        for _ in 0..rng.below(6) {
+            match rng.below(3) {
+                0 => out.push_str(&format!(
+                    "global {} : number = {}\n",
+                    rng.string_in("abcdefgh", 1, 4),
+                    rng.below(100)
+                )),
+                1 => out.push_str(&format!(
+                    "fun {}() : number pure {{ {} }}\n",
+                    rng.string_in("abcdefgh", 1, 4),
+                    rng.below(100)
+                )),
+                _ => out.push_str("page start() { render { } }\n"),
+            }
         }
+        out
     }
+    prop::check(
+        "incremental_parse_equals_full_parse",
+        prop::Config::with_cases(256),
+        |rng| {
+            let n = rng.gen_range(1..6);
+            (0..n)
+                .map(|_| {
+                    if rng.gen_bool() {
+                        rng.any_string(60)
+                    } else {
+                        item_soup(rng)
+                    }
+                })
+                .collect::<Vec<String>>()
+        },
+        |sources: &Vec<String>| {
+            let mut inc = IncrementalParser::new();
+            for src in sources {
+                let incremental = inc.parse(src);
+                let full = parse_program(src);
+                prop_assert_eq!(&incremental.program, &full.program);
+                prop_assert_eq!(
+                    incremental.diagnostics.into_vec(),
+                    full.diagnostics.into_vec()
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn accepted_programs_pretty_roundtrip(
-        names in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5),
-    ) {
-        // Generate a simple but valid program from identifier soup.
-        let mut src = String::new();
-        for (i, n) in names.iter().enumerate() {
-            src.push_str(&format!("global g_{n}_{i} : number = {i}\n"));
-        }
-        src.push_str("page start() { render {\n");
-        for (i, n) in names.iter().enumerate() {
-            src.push_str(&format!("boxed {{ post g_{n}_{i}; }}\n"));
-        }
-        src.push_str("} }\n");
-        let first = parse_program(&src);
-        prop_assert!(first.is_ok(), "{}", first.diagnostics.render(&src));
-        let printed = pretty_program(&first.program);
-        let second = parse_program(&printed);
-        prop_assert!(second.is_ok(), "{}", second.diagnostics.render(&printed));
-        prop_assert_eq!(printed, pretty_program(&second.program));
-    }
+#[test]
+fn accepted_programs_pretty_roundtrip() {
+    prop::check(
+        "accepted_programs_pretty_roundtrip",
+        prop::Config::with_cases(256),
+        |rng| {
+            let n = rng.gen_range(1..5);
+            NoShrink(
+                (0..n)
+                    .map(|_| {
+                        let head = rng.string_in("abcdefghijklmnopqrstuvwxyz", 1, 1);
+                        let tail = rng.string_in("abcdefghijklmnopqrstuvwxyz0123456789_", 0, 8);
+                        format!("{head}{tail}")
+                    })
+                    .collect::<Vec<String>>(),
+            )
+        },
+        |names: &NoShrink<Vec<String>>| {
+            // Generate a simple but valid program from identifier soup.
+            let mut src = String::new();
+            for (i, n) in names.0.iter().enumerate() {
+                src.push_str(&format!("global g_{n}_{i} : number = {i}\n"));
+            }
+            src.push_str("page start() { render {\n");
+            for (i, n) in names.0.iter().enumerate() {
+                src.push_str(&format!("boxed {{ post g_{n}_{i}; }}\n"));
+            }
+            src.push_str("} }\n");
+            let first = parse_program(&src);
+            prop_assert!(first.is_ok(), "{}", first.diagnostics.render(&src));
+            let printed = pretty_program(&first.program);
+            let second = parse_program(&printed);
+            prop_assert!(second.is_ok(), "{}", second.diagnostics.render(&printed));
+            prop_assert_eq!(printed, pretty_program(&second.program));
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,497 @@
+//! A minimal shrinking property-test harness.
+//!
+//! [`check`] runs a property over N generated cases from one seed. On
+//! the first failure it greedily shrinks the input via the [`Shrink`]
+//! trait (smaller vectors, smaller integers, shorter strings), re-runs
+//! the property on each candidate, and panics with the *minimal* still-
+//! failing counterexample plus a replayable seed:
+//!
+//! ```text
+//! ALIVE_TESTKIT_SEED=0x1234abcd cargo test -p its-alive --test foo
+//! ```
+//!
+//! Panics inside the property count as failures (they are caught and
+//! their payload becomes the failure message), so `assert!`-style
+//! properties work unchanged. Everything is deterministic: the same
+//! seed always generates the same cases and shrinks to the same
+//! minimal counterexample.
+
+use crate::rng::Rng;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default base seed when `ALIVE_TESTKIT_SEED` is unset. Fixed, so CI
+/// runs are reproducible by construction.
+pub const DEFAULT_SEED: u64 = 0xA11E_5EED_0000_2013;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// How many generated cases to run.
+    pub cases: u32,
+    /// Base seed for the whole run (env `ALIVE_TESTKIT_SEED` wins).
+    pub seed: u64,
+    /// Upper bound on shrink-candidate evaluations.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// `cases` cases from the env seed (or [`DEFAULT_SEED`]).
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            seed: seed_from_env(),
+            max_shrink_iters: 4096,
+        }
+    }
+
+    /// Override the base seed (the env variable still wins in
+    /// [`check`]; this is for programmatic runs).
+    pub fn seeded(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The seed to use: `ALIVE_TESTKIT_SEED` (decimal or `0x…` hex) if set
+/// and parseable, else [`DEFAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    match std::env::var("ALIVE_TESTKIT_SEED") {
+        Ok(text) => parse_seed(&text).unwrap_or(DEFAULT_SEED),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Types that know how to propose strictly "smaller" versions of
+/// themselves. Candidates are tried in order; the first that still
+/// fails the property is taken (greedy descent).
+pub trait Shrink: Sized {
+    /// Candidate smaller values. May be empty (no shrinking).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v.saturating_sub(1)] {
+                    if c < v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.chars().count();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = vec![String::new()];
+        if n > 1 {
+            out.push(chars[..n / 2].iter().collect());
+            out.push(chars[n / 2..].iter().collect());
+        }
+        // Drop single characters (capped so shrinking stays cheap).
+        for i in 0..n.min(24) {
+            let mut c = chars.clone();
+            c.remove(i);
+            out.push(c.into_iter().collect());
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        // Drop one element at a time.
+        for i in 0..n.min(24) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink one element at a time.
+        for i in 0..n.min(24) {
+            for smaller in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone(), self.2.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink()
+                .into_iter()
+                .map(|b| (self.0.clone(), b, self.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink()
+                .into_iter()
+                .map(|c| (self.0.clone(), self.1.clone(), c)),
+        );
+        out
+    }
+}
+
+/// Opt-out wrapper: a value whose generator invariants shrinking would
+/// destroy (e.g. "this string is a well-typed program").
+#[derive(Clone, PartialEq, Eq)]
+pub struct NoShrink<T>(pub T);
+
+impl<T> Shrink for NoShrink<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for NoShrink<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A fully shrunk failure report.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Base seed of the run (replay with `ALIVE_TESTKIT_SEED`).
+    pub seed: u64,
+    /// 0-based index of the failing case.
+    pub case: u32,
+    /// The input exactly as generated.
+    pub original: T,
+    /// The minimal still-failing input after shrinking.
+    pub minimal: T,
+    /// How many accepted shrink steps led to `minimal`.
+    pub shrink_steps: u32,
+    /// Failure message (returned `Err` or caught panic payload) of the
+    /// minimal input.
+    pub message: String,
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+static INSTALL_HOOK: Once = Once::new();
+
+/// Install (once) a panic hook that stays silent while this harness is
+/// probing a property. The default hook still fires for every other
+/// panic on every other thread.
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run the property once, converting a panic into `Err`.
+fn run_one<T, P>(prop: &P, input: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(input)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+/// Like [`check`], but returns the failure instead of panicking — the
+/// hook for tests *about* the harness (determinism of generation and
+/// shrinking) and for tooling.
+pub fn check_captured<T, G, P>(cfg: &Config, generate: G, prop: P) -> Option<Failure<T>>
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut master = Rng::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let mut rng = master.fork();
+        let input = generate(&mut rng);
+        if let Err(first_message) = run_one(&prop, &input) {
+            let (minimal, message, shrink_steps) =
+                shrink_failure(&prop, input.clone(), first_message, cfg.max_shrink_iters);
+            return Some(Failure {
+                seed: cfg.seed,
+                case,
+                original: input,
+                minimal,
+                shrink_steps,
+                message,
+            });
+        }
+    }
+    None
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_failure<T, P>(
+    prop: &P,
+    mut current: T,
+    mut message: String,
+    max_iters: u32,
+) -> (T, String, u32)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    let mut budget = max_iters;
+    'outer: loop {
+        for candidate in current.shrink() {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(msg) = run_one(prop, &candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
+/// Run `cases` generated inputs through `prop`; on failure, shrink and
+/// panic with the minimal counterexample and a replayable seed.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails.
+pub fn check<T, G, P>(name: &str, cfg: Config, generate: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    if let Some(failure) = check_captured(&cfg, generate, prop) {
+        panic!(
+            "property `{name}` failed at case {}/{}\n\
+             minimal counterexample (after {} shrink steps):\n  {:?}\n\
+             failure: {}\n\
+             original input:\n  {:?}\n\
+             replay with: ALIVE_TESTKIT_SEED={:#x} cargo test",
+            failure.case + 1,
+            cfg.cases,
+            failure.shrink_steps,
+            failure.minimal,
+            failure.message,
+            failure.original,
+            failure.seed,
+        );
+    }
+}
+
+/// Assertion helper mirroring `prop_assert!`: early-returns an `Err`
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assertion helper mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_returns_none() {
+        let cfg = Config::with_cases(50).seeded(1);
+        let failure = check_captured(
+            &cfg,
+            |rng| rng.below(100),
+            |&n: &usize| {
+                if n < 100 {
+                    Ok(())
+                } else {
+                    Err("impossible".into())
+                }
+            },
+        );
+        assert!(failure.is_none());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // Property: all numbers are < 10. Minimal counterexample: 10.
+        let cfg = Config::with_cases(200).seeded(2);
+        let failure = check_captured(
+            &cfg,
+            |rng| rng.below(1000),
+            |&n: &usize| {
+                if n < 10 {
+                    Ok(())
+                } else {
+                    Err(format!("{n} too big"))
+                }
+            },
+        )
+        .expect("must fail");
+        assert_eq!(failure.minimal, 10, "greedy shrink reaches the boundary");
+        assert!(failure.message.contains("too big"));
+    }
+
+    #[test]
+    fn vectors_shrink_to_minimal_length() {
+        // Property: no vector contains an element >= 7.
+        let cfg = Config::with_cases(200).seeded(3);
+        let failure = check_captured(
+            &cfg,
+            |rng| {
+                let len = rng.below(20);
+                (0..len).map(|_| rng.below(10)).collect::<Vec<usize>>()
+            },
+            |v: &Vec<usize>| {
+                if v.iter().all(|&x| x < 7) {
+                    Ok(())
+                } else {
+                    Err("contains big element".into())
+                }
+            },
+        )
+        .expect("must fail");
+        assert_eq!(failure.minimal, vec![7], "one minimal offending element");
+    }
+
+    #[test]
+    fn panics_are_caught_as_failures() {
+        let cfg = Config::with_cases(10).seeded(4);
+        let failure = check_captured(
+            &cfg,
+            |rng| rng.below(5),
+            |&n: &usize| {
+                assert!(n > 100, "boom {n}");
+                Ok(())
+            },
+        )
+        .expect("must fail");
+        assert!(failure.message.contains("boom"), "{}", failure.message);
+        assert_eq!(failure.minimal, 0, "integers shrink to zero");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("123"), Some(123));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed(" 0XFF "), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

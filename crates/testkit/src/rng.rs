@@ -1,0 +1,183 @@
+//! A small deterministic PRNG: a SplitMix64 seeder feeding a
+//! xoshiro256\*\* core (Blackman & Vigna). Not cryptographic — its job
+//! is to make every fuzz test and workload generator reproducible from
+//! a single `u64` seed with no external dependencies.
+
+/// SplitMix64: expands a single `u64` seed into a stream of well-mixed
+/// words. Used to initialize the xoshiro state (and nothing else).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256\*\* generator. `Clone` is intentional: cloning forks a
+/// generator that will replay the identical stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed a generator. Any seed is fine, including 0.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// An independently seeded child generator (for per-case streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// A uniform `usize` in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::below(0)");
+        // Lemire multiply-shift; bias is < 2^-64 per draw, irrelevant
+        // for test generation and fully deterministic.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "Rng::gen_range on empty range");
+        range.start + self.below(range.end - range.start)
+    }
+
+    /// A uniform `bool`.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num / denom`.
+    pub fn chance(&mut self, num: usize, denom: usize) -> bool {
+        self.below(denom) < num
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform element of a non-empty slice. Panics on empty input.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A string of `len` characters drawn from `alphabet` (a non-empty
+    /// `&str` of candidate chars).
+    pub fn string_of(&mut self, alphabet: &str, len: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        (0..len).map(|_| *self.choose(&chars)).collect()
+    }
+
+    /// A string of length in `[min, max]` drawn from `alphabet`.
+    pub fn string_in(&mut self, alphabet: &str, min: usize, max: usize) -> String {
+        let len = self.gen_range(min..max + 1);
+        self.string_of(alphabet, len)
+    }
+
+    /// An arbitrary (often hostile) string up to `max_len` chars:
+    /// mixes ASCII, quotes, backslashes, braces, newlines, NULs, and
+    /// multi-byte code points — a stand-in for proptest's `.*`.
+    pub fn any_string(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| match self.below(10) {
+                // Printable ASCII dominates so parsers see code-ish text.
+                0..=5 => (0x20u8 + self.below(0x5f) as u8) as char,
+                6 => *self.choose(&['"', '\\', '{', '}', '(', ')', ';']),
+                7 => *self.choose(&['\n', '\t', '\r', '\0']),
+                8 => *self.choose(&['é', 'λ', '∀', '🦀', 'ß', '中']),
+                _ => char::from_u32(self.below(0xD7FF) as u32).unwrap_or('x'),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(9);
+        let mut v: Vec<usize> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn string_generators_respect_bounds() {
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            let s = rng.string_in("abc", 2, 4);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            let t = rng.any_string(12);
+            assert!(t.chars().count() <= 12);
+        }
+    }
+}

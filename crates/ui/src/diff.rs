@@ -188,7 +188,9 @@ mod tests {
     fn attr_change_is_a_change() {
         let old = root_of(vec![leaf_box("x")]);
         let mut changed = leaf_box("x");
-        changed.items.push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
+        changed
+            .items
+            .push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
         let new = root_of(vec![changed]);
         assert_eq!(diff_displays(&old, &new), vec![BoxChange::Changed(vec![0])]);
     }
@@ -218,7 +220,10 @@ mod tests {
         let damage = damage_rects(&old_tree, &new_tree, &changes);
         assert_eq!(damage, vec![Rect::new(0, 1, 4, 1)]);
         let ratio = damage_ratio(&new_tree, &damage);
-        assert!((ratio - 1.0 / 3.0).abs() < 1e-9, "one of three rows: {ratio}");
+        assert!(
+            (ratio - 1.0 / 3.0).abs() < 1e-9,
+            "one of three rows: {ratio}"
+        );
     }
 
     #[test]
@@ -226,16 +231,19 @@ mod tests {
         // The first box grows a margin; the second box moves down.
         let old = root_of(vec![leaf_box("top"), leaf_box("below")]);
         let mut grown = leaf_box("top");
-        grown.items.insert(0, BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
+        grown
+            .items
+            .insert(0, BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
         let new = root_of(vec![grown, leaf_box("below")]);
         let changes = diff_displays(&old, &new);
         let damage = damage_rects(&layout(&old), &layout(&new), &changes);
         // The "below" row's old position must be repainted even though
         // its content is unchanged.
         assert!(
-            damage.iter().any(|r| r.contains(crate::geom::Point::new(0, 1))),
+            damage
+                .iter()
+                .any(|r| r.contains(crate::geom::Point::new(0, 1))),
             "{damage:?}"
         );
     }
-
 }

@@ -19,7 +19,10 @@ impl Point {
 
     /// Translate by a delta.
     pub fn offset(self, dx: i32, dy: i32) -> Point {
-        Point { x: self.x + dx, y: self.y + dy }
+        Point {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
     }
 }
 
@@ -41,7 +44,10 @@ pub struct Size {
 impl Size {
     /// Construct a size; clamps negatives to zero.
     pub fn new(w: i32, h: i32) -> Self {
-        Size { w: w.max(0), h: h.max(0) }
+        Size {
+            w: w.max(0),
+            h: h.max(0),
+        }
     }
 
     /// Whether either dimension is zero.
@@ -68,7 +74,10 @@ pub struct Rect {
 impl Rect {
     /// Construct a rectangle.
     pub fn new(x: i32, y: i32, w: i32, h: i32) -> Self {
-        Rect { origin: Point::new(x, y), size: Size::new(w, h) }
+        Rect {
+            origin: Point::new(x, y),
+            size: Size::new(w, h),
+        }
     }
 
     /// Left edge.
@@ -108,7 +117,10 @@ impl Rect {
 
     /// Translate by a delta.
     pub fn offset(&self, dx: i32, dy: i32) -> Rect {
-        Rect { origin: self.origin.offset(dx, dy), size: self.size }
+        Rect {
+            origin: self.origin.offset(dx, dy),
+            size: self.size,
+        }
     }
 }
 

@@ -75,7 +75,10 @@ mod tests {
         let mut c = BoxNode::new(None);
         c.items.push(BoxItem::Leaf(Value::str("cc")));
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Attr(Attr::OnTap, Value::Prim(alive_core::Prim::MathFloor)));
+        b.items.push(BoxItem::Attr(
+            Attr::OnTap,
+            Value::Prim(alive_core::Prim::MathFloor),
+        ));
         b.items.push(BoxItem::Child(c));
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(a));

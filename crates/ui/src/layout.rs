@@ -186,7 +186,12 @@ impl LayoutTree {
 pub fn layout(root: &BoxNode) -> LayoutTree {
     let measured = measure(root);
     let style = Style::from_box(root);
-    let root_box = place(root, &measured, Point::new(style.margin, style.margin), Vec::new());
+    let root_box = place(
+        root,
+        &measured,
+        Point::new(style.margin, style.margin),
+        Vec::new(),
+    );
     LayoutTree { root: root_box }
 }
 
@@ -200,12 +205,20 @@ struct Measured {
 }
 
 enum MeasuredItem {
-    Text { size: Size, lines: Vec<String>, font_size: i32 },
+    Text {
+        size: Size,
+        lines: Vec<String>,
+        font_size: i32,
+    },
     Child(Measured),
 }
 
 fn text_lines(value: &Value) -> Vec<String> {
-    value.display_text().split('\n').map(str::to_string).collect()
+    value
+        .display_text()
+        .split('\n')
+        .map(str::to_string)
+        .collect()
 }
 
 fn measure(node: &BoxNode) -> Measured {
@@ -217,11 +230,19 @@ fn measure(node: &BoxNode) -> Measured {
         let size = match item {
             BoxItem::Leaf(v) => {
                 let lines = text_lines(v);
-                let w = lines.iter().map(|l| l.chars().count() as i32).max().unwrap_or(0)
+                let w = lines
+                    .iter()
+                    .map(|l| l.chars().count() as i32)
+                    .max()
+                    .unwrap_or(0)
                     * style.font_size;
                 let h = lines.len() as i32 * style.font_size;
                 let size = Size::new(w, h);
-                items.push(MeasuredItem::Text { size, lines, font_size: style.font_size });
+                items.push(MeasuredItem::Text {
+                    size,
+                    lines,
+                    font_size: style.font_size,
+                });
                 size
             }
             BoxItem::Child(child) => {
@@ -254,12 +275,19 @@ fn measure(node: &BoxNode) -> Measured {
         inner.h = h;
     }
     let outer = Size::new(inner.w + 2 * style.margin, inner.h + 2 * style.margin);
-    Measured { inner, outer, items }
+    Measured {
+        inner,
+        outer,
+        items,
+    }
 }
 
 fn place(node: &BoxNode, measured: &Measured, origin: Point, path: Vec<usize>) -> LayoutBox {
     let style = Style::from_box(node);
-    let rect = Rect { origin, size: measured.inner };
+    let rect = Rect {
+        origin,
+        size: measured.inner,
+    };
     let content_origin = Point::new(
         origin.x + style.padding + style.border,
         origin.y + style.padding + style.border,
@@ -272,11 +300,18 @@ fn place(node: &BoxNode, measured: &Measured, origin: Point, path: Vec<usize>) -
         match item {
             BoxItem::Attr(..) => continue,
             BoxItem::Leaf(_) => {
-                let Some(MeasuredItem::Text { size, lines, font_size }) = measured_items.next()
+                let Some(MeasuredItem::Text {
+                    size,
+                    lines,
+                    font_size,
+                }) = measured_items.next()
                 else {
                     unreachable!("measure and place see the same items");
                 };
-                let text_rect = Rect { origin: cursor, size: *size };
+                let text_rect = Rect {
+                    origin: cursor,
+                    size: *size,
+                };
                 items.push(LayoutItem::Text {
                     rect: text_rect,
                     lines: lines.clone(),
@@ -308,7 +343,13 @@ fn place(node: &BoxNode, measured: &Measured, origin: Point, path: Vec<usize>) -
             }
         }
     }
-    LayoutBox { path, source: node.source, rect, style, items }
+    LayoutBox {
+        path,
+        source: node.source,
+        rect,
+        style,
+        items,
+    }
 }
 
 #[cfg(test)]
@@ -343,7 +384,8 @@ mod tests {
     #[test]
     fn horizontal_attribute_changes_axis() {
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Attr(Attr::Horizontal, Value::Bool(true)));
+        root.items
+            .push(BoxItem::Attr(Attr::Horizontal, Value::Bool(true)));
         root.items.push(BoxItem::Child(leaf_box("aaaa")));
         root.items.push(BoxItem::Child(leaf_box("bb")));
         let tree = layout(&root);
@@ -379,8 +421,12 @@ mod tests {
         let child = tree.by_path(&[0]).expect("child");
         // content 2x1 + 2*(padding 1 + border 1) = 6x5.
         assert_eq!(child.rect.size, Size::new(6, 5));
-        let LayoutItem::Child(ref c) = tree.root.items[0] else { panic!() };
-        let LayoutItem::Text { rect, .. } = &c.items[0] else { panic!() };
+        let LayoutItem::Child(ref c) = tree.root.items[0] else {
+            panic!()
+        };
+        let LayoutItem::Text { rect, .. } = &c.items[0] else {
+            panic!()
+        };
         assert_eq!(rect.origin, Point::new(2, 2));
     }
 
@@ -390,7 +436,10 @@ mod tests {
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(b));
         let tree = layout(&root);
-        assert_eq!(tree.by_path(&[0]).expect("child").rect.size, Size::new(4, 2));
+        assert_eq!(
+            tree.by_path(&[0]).expect("child").rect.size,
+            Size::new(4, 2)
+        );
     }
 
     #[test]
@@ -403,7 +452,10 @@ mod tests {
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(b));
         let tree = layout(&root);
-        assert_eq!(tree.by_path(&[0]).expect("child").rect.size, Size::new(3, 4));
+        assert_eq!(
+            tree.by_path(&[0]).expect("child").rect.size,
+            Size::new(3, 4)
+        );
     }
 
     #[test]
@@ -438,9 +490,15 @@ mod tests {
         root.items.push(BoxItem::Child(leaf_box("mid")));
         root.items.push(BoxItem::Leaf(Value::str("bottom")));
         let tree = layout(&root);
-        let LayoutItem::Text { rect: top, .. } = &tree.root.items[0] else { panic!() };
-        let LayoutItem::Child(mid) = &tree.root.items[1] else { panic!() };
-        let LayoutItem::Text { rect: bottom, .. } = &tree.root.items[2] else { panic!() };
+        let LayoutItem::Text { rect: top, .. } = &tree.root.items[0] else {
+            panic!()
+        };
+        let LayoutItem::Child(mid) = &tree.root.items[1] else {
+            panic!()
+        };
+        let LayoutItem::Text { rect: bottom, .. } = &tree.root.items[2] else {
+            panic!()
+        };
         assert_eq!(top.origin.y, 0);
         assert_eq!(mid.rect.origin.y, 1);
         assert_eq!(bottom.origin.y, 2);

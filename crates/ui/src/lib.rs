@@ -41,7 +41,9 @@ pub use geom::{Point, Rect, Size};
 pub use hittest::{hit_stack, hit_test, hit_test_editable, hit_test_tappable};
 pub use layout::{layout, LayoutBox, LayoutItem, LayoutTree, Style};
 pub use render_ansi::{render_to_ansi, strip_ansi, AnsiCanvas};
-pub use render_text::{render_to_text, render_with_options, render_zoomed_out, Canvas, RenderOptions};
+pub use render_text::{
+    render_to_text, render_with_options, render_zoomed_out, Canvas, RenderOptions,
+};
 
 use alive_core::system::{ActionError, System};
 
@@ -143,9 +145,7 @@ mod tests {
 
     #[test]
     fn tap_at_requires_valid_display() {
-        let mut system = System::new(
-            compile("page start() { render { } }").expect("compiles"),
-        );
+        let mut system = System::new(compile("page start() { render { } }").expect("compiles"));
         assert_eq!(
             tap_at(&mut system, Point::new(0, 0)),
             Err(ActionError::DisplayInvalid)

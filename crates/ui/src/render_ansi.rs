@@ -16,7 +16,11 @@ struct Cell {
 }
 
 impl Cell {
-    const BLANK: Cell = Cell { ch: ' ', fg: None, bg: None };
+    const BLANK: Cell = Cell {
+        ch: ' ',
+        fg: None,
+        bg: None,
+    };
 }
 
 /// A canvas of styled cells.
@@ -30,7 +34,11 @@ pub struct AnsiCanvas {
 impl AnsiCanvas {
     /// A blank canvas.
     pub fn new(width: usize, height: usize) -> Self {
-        AnsiCanvas { width, height, cells: vec![Cell::BLANK; width * height] }
+        AnsiCanvas {
+            width,
+            height,
+            cells: vec![Cell::BLANK; width * height],
+        }
     }
 
     fn idx(&self, x: i32, y: i32) -> Option<usize> {
@@ -117,7 +125,11 @@ fn draw(canvas: &mut AnsiCanvas, node: &LayoutBox, inherited_fg: Option<Color>) 
     }
     for item in &node.items {
         match item {
-            LayoutItem::Text { rect, lines, font_size } => {
+            LayoutItem::Text {
+                rect,
+                lines,
+                font_size,
+            } => {
                 let scale = (*font_size).max(1);
                 for (row, line) in lines.iter().enumerate() {
                     for (col, ch) in line.chars().enumerate() {
@@ -218,7 +230,8 @@ mod tests {
     #[test]
     fn border_uses_box_drawing_chars() {
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
+        b.items
+            .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
         b.items.push(BoxItem::Leaf(Value::str("x")));
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(b));

@@ -22,7 +22,10 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { outline_all_boxes: false, shade: '░' }
+        RenderOptions {
+            outline_all_boxes: false,
+            shade: '░',
+        }
     }
 }
 
@@ -37,7 +40,11 @@ pub struct Canvas {
 impl Canvas {
     /// A blank canvas of the given size.
     pub fn new(width: usize, height: usize) -> Self {
-        Canvas { width, height, cells: vec![' '; width * height] }
+        Canvas {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        }
     }
 
     /// Canvas width in cells.
@@ -70,8 +77,9 @@ impl Canvas {
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(self.cells.len() + self.height);
         for row in 0..self.height {
-            let line: String =
-                self.cells[row * self.width..(row + 1) * self.width].iter().collect();
+            let line: String = self.cells[row * self.width..(row + 1) * self.width]
+                .iter()
+                .collect();
             out.push_str(line.trim_end());
             out.push('\n');
         }
@@ -106,7 +114,11 @@ fn draw_box(canvas: &mut Canvas, node: &LayoutBox, options: RenderOptions) {
     }
     for item in &node.items {
         match item {
-            LayoutItem::Text { rect, lines, font_size } => {
+            LayoutItem::Text {
+                rect,
+                lines,
+                font_size,
+            } => {
                 draw_text(canvas, *rect, lines, *font_size);
             }
             LayoutItem::Child(child) => draw_box(canvas, child, options),
@@ -233,7 +245,9 @@ mod tests {
     #[test]
     fn renders_border() {
         let mut inner = BoxNode::new(None);
-        inner.items.push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
+        inner
+            .items
+            .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
         inner.items.push(BoxItem::Leaf(Value::str("x")));
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(inner));
@@ -247,8 +261,12 @@ mod tests {
             Attr::Background,
             Value::Color(alive_core::Color::new(170, 210, 240)),
         ));
-        inner.items.push(BoxItem::Attr(Attr::Width, Value::Number(3.0)));
-        inner.items.push(BoxItem::Attr(Attr::Height, Value::Number(1.0)));
+        inner
+            .items
+            .push(BoxItem::Attr(Attr::Width, Value::Number(3.0)));
+        inner
+            .items
+            .push(BoxItem::Attr(Attr::Height, Value::Number(1.0)));
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(inner));
         assert_eq!(render(&root), "░░░\n");
@@ -257,7 +275,8 @@ mod tests {
     #[test]
     fn scaled_text_doubles_cells() {
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Attr(Attr::FontSize, Value::Number(2.0)));
+        root.items
+            .push(BoxItem::Attr(Attr::FontSize, Value::Number(2.0)));
         root.items.push(BoxItem::Leaf(Value::str("a")));
         assert_eq!(render(&root), "aa\naa\n");
     }
@@ -265,7 +284,9 @@ mod tests {
     #[test]
     fn outline_all_boxes_mode() {
         let mut inner = BoxNode::new(None);
-        inner.items.push(BoxItem::Attr(Attr::Padding, Value::Number(1.0)));
+        inner
+            .items
+            .push(BoxItem::Attr(Attr::Padding, Value::Number(1.0)));
         inner.items.push(BoxItem::Leaf(Value::str("x")));
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Child(inner));
@@ -273,7 +294,10 @@ mod tests {
         let plain = render_with_options(&tree, RenderOptions::default());
         let outlined = render_with_options(
             &tree,
-            RenderOptions { outline_all_boxes: true, ..RenderOptions::default() },
+            RenderOptions {
+                outline_all_boxes: true,
+                ..RenderOptions::default()
+            },
         );
         assert!(!plain.contains('+'), "no frames by default: {plain}");
         assert_eq!(outlined, "+-+\n|x|\n+-+\n");
@@ -284,7 +308,8 @@ mod tests {
         // Two bordered boxes stacked; at zoom 2 they remain two distinct
         // structures at half size.
         let mut a = BoxNode::new(None);
-        a.items.push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
+        a.items
+            .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
         a.items.push(BoxItem::Leaf(Value::str("alpha")));
         let mut b = BoxNode::new(None);
         b.items.push(BoxItem::Leaf(Value::str("beta one")));

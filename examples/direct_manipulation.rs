@@ -40,11 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let span = span_for_box(session.system().program(), &display, &path)
         .expect("created by a boxed statement");
     println!("\nselected statement:\n{}", span.slice(session.source()));
-    let id = display.descendant(&path).expect("box").source.expect("has id");
+    let id = display
+        .descendant(&path)
+        .expect("box")
+        .source
+        .expect("has id");
 
     // The user picks "border" from the property menu: a statement is
     // INSERTED into the code.
-    let edit = attribute_edit(session.source(), session.system().program(), id, Attr::Border, "1")?;
+    let edit = attribute_edit(
+        session.source(),
+        session.system().program(),
+        id,
+        Attr::Border,
+        "1",
+    )?;
     println!("\ncode edit: {edit}");
     session.apply_text_edits(&[edit])?;
     println!("\n=== live view after adding a border ===");

@@ -24,7 +24,12 @@ page start() {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = LiveSession::new(SRC)?;
-    let options = SplitViewOptions { width: 100, live_pane: 26, ansi: false, zoom: 1 };
+    let options = SplitViewOptions {
+        width: 100,
+        live_pane: 26,
+        ansi: false,
+        zoom: 1,
+    };
 
     println!("— no selection —\n");
     print!("{}", split_view(&mut session, &Selection::None, options)?);

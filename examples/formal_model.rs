@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {:<14} {}", "", pretty_expr(stepper.current(), 6));
     while !stepper.is_done() {
         let rule = stepper.step()?.expect("applied a rule");
-        println!("  {:<14} {}", format!("({rule})"), pretty_expr(stepper.current(), 6));
+        println!(
+            "  {:<14} {}",
+            format!("({rule})"),
+            pretty_expr(stepper.current(), 6)
+        );
     }
     println!("  value: {}", stepper.value().expect("done"));
 

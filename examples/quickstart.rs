@@ -48,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 7. Under the hood: the paper's transition system is observable.
     session.system_mut().back();
-    let kinds: Vec<StepKind> = session
-        .system_mut()
-        .run_to_stable()?
-        .into_iter()
-        .collect();
+    let kinds: Vec<StepKind> = session.system_mut().run_to_stable()?.into_iter().collect();
     println!("\ntransitions after BACK: {kinds:?}");
     Ok(())
 }

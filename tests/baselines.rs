@@ -2,11 +2,11 @@
 //! full restart, fix-and-continue, and retained-mode MVC.
 
 use its_alive::apps::mortgage;
+use its_alive::baseline::retained::{update_prices, update_selection};
 use its_alive::baseline::{
     build_listings_view, FixAndContinueSession, ListingsModel, NavAction, RestartSession,
     RetainedApp, SwapOutcome,
 };
-use its_alive::baseline::retained::{update_prices, update_selection};
 use its_alive::core::Value;
 use its_alive::live::LiveSession;
 
@@ -34,7 +34,9 @@ fn live_vs_restart_download_and_state() {
 
     // Restart baseline.
     let mut restart = RestartSession::new(&src).expect("starts");
-    restart.interact(NavAction::Tap(vec![1, 0])).expect("open detail");
+    restart
+        .interact(NavAction::Tap(vec![1, 0]))
+        .expect("open detail");
     for edit in edits {
         let new_src = edit(restart.source());
         restart.edit_source(&new_src).expect("restarts");
@@ -71,18 +73,30 @@ fn restart_loses_state_that_live_keeps() {
         live.tap_path(&[0]).expect("tap");
         restart.interact(NavAction::Tap(vec![0])).expect("tap");
     }
-    assert_eq!(live.system().store().get("score"), Some(&Value::Number(5.0)));
-    assert_eq!(restart.system().store().get("score"), Some(&Value::Number(5.0)));
+    assert_eq!(
+        live.system().store().get("score"),
+        Some(&Value::Number(5.0))
+    );
+    assert_eq!(
+        restart.system().store().get("score"),
+        Some(&Value::Number(5.0))
+    );
 
     // Now an edit that changes only a label.
     let edit = |s: &str| s.replace("\"score \"", "\"points \"");
-    assert!(live.edit_source(&edit(live.source())).expect("runs").is_applied());
+    assert!(live
+        .edit_source(&edit(live.source()))
+        .expect("runs")
+        .is_applied());
     restart.edit_source(&edit(src)).expect("restarts");
 
     // Live kept the 5; restart replayed 5 taps from zero — same number
     // here, but it re-ran every handler (cost) and would diverge for
     // any state not reachable by replay.
-    assert_eq!(live.system().store().get("score"), Some(&Value::Number(5.0)));
+    assert_eq!(
+        live.system().store().get("score"),
+        Some(&Value::Number(5.0))
+    );
     let live_steps = live.system().cost().steps;
     let restart_steps = restart.cost().steps;
     assert!(

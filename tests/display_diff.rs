@@ -14,7 +14,11 @@ fn one_item_update_damages_one_row_plus_header() {
     let after = s.display_tree().expect("renders");
     let changes = diff_displays(&before, &after);
     let changed_paths: Vec<&[usize]> = changes.iter().map(BoxChange::path).collect();
-    assert_eq!(changed_paths, vec![&[0][..], &[1][..]], "header + row 0 only");
+    assert_eq!(
+        changed_paths,
+        vec![&[0][..], &[1][..]],
+        "header + row 0 only"
+    );
 
     let damage = damage_rects(&layout(&before), &layout(&after), &changes);
     let ratio = damage_ratio(&layout(&after), &damage);

@@ -18,7 +18,8 @@ fn compiled(src: &str) -> its_alive::core::Program {
 
 fn expr_of(src: &str, context: &str) -> (its_alive::core::Program, its_alive::core::Expr) {
     // Wrap the expression in a pure function body for lowering.
-    let full = format!("{context}\nfun probe__() : number pure {{ 0 }}\npage start() {{ render {{ }} }}");
+    let full =
+        format!("{context}\nfun probe__() : number pure {{ 0 }}\npage start() {{ render {{ }} }}");
     let with_expr = full.replace(
         "fun probe__() : number pure { 0 }",
         &format!("fun probe__() : number pure {{ let it = {src}; 0 }}"),
@@ -61,8 +62,8 @@ fn figure8_every_kernel_rule_fires() {
     let mut queue = EventQueue::new();
     let init = smallstep::eval_state_traced(&p, &mut store, &mut queue, 100_000, &page.init)
         .expect("runs");
-    let render = smallstep::eval_render_traced(&p, &mut store, 100_000, &page.render)
-        .expect("runs");
+    let render =
+        smallstep::eval_render_traced(&p, &mut store, 100_000, &page.render).expect("runs");
     let rules: HashSet<Rule> = init
         .trace
         .iter()
@@ -71,19 +72,22 @@ fn figure8_every_kernel_rule_fires() {
         .copied()
         .collect();
     for expected in [
-        Rule::EpFun,      // EP-FUN: unfolding `id`
-        Rule::EpApp,      // EP-APP: β for `id` and the lambda
-        Rule::EpTuple,    // EP-TUPLE: (g, 2).1
-        Rule::EpGlobal2,  // EP-GLOBAL-2: first read of g (not in store)
-        Rule::EpGlobal1,  // EP-GLOBAL-1: render reads g from the store
-        Rule::EsAssign,   // ES-ASSIGN
-        Rule::EsPush,     // ES-PUSH
-        Rule::EsPop,      // ES-POP
-        Rule::ErBoxed,    // ER-BOXED
-        Rule::ErPost,     // ER-POST
-        Rule::ErAttr,     // ER-ATTR
+        Rule::EpFun,     // EP-FUN: unfolding `id`
+        Rule::EpApp,     // EP-APP: β for `id` and the lambda
+        Rule::EpTuple,   // EP-TUPLE: (g, 2).1
+        Rule::EpGlobal2, // EP-GLOBAL-2: first read of g (not in store)
+        Rule::EpGlobal1, // EP-GLOBAL-1: render reads g from the store
+        Rule::EsAssign,  // ES-ASSIGN
+        Rule::EsPush,    // ES-PUSH
+        Rule::EsPop,     // ES-POP
+        Rule::ErBoxed,   // ER-BOXED
+        Rule::ErPost,    // ER-POST
+        Rule::ErAttr,    // ER-ATTR
     ] {
-        assert!(rules.contains(&expected), "rule {expected} never fired: {rules:?}");
+        assert!(
+            rules.contains(&expected),
+            "rule {expected} never fired: {rules:?}"
+        );
     }
 }
 
@@ -101,7 +105,10 @@ fn figure9_startup_push_render_tap_thunk_back_pop() {
     ));
     // STARTUP, PUSH, RENDER.
     let kinds = sys.run_to_stable().expect("starts");
-    assert_eq!(kinds, vec![StepKind::Startup, StepKind::Push, StepKind::Render]);
+    assert_eq!(
+        kinds,
+        vec![StepKind::Startup, StepKind::Push, StepKind::Render]
+    );
     // TAP enqueues [exec v] and invalidates D (premise: valid display).
     sys.tap(&[0]).expect("tap");
     assert!(!sys.display().is_valid());
@@ -113,7 +120,12 @@ fn figure9_startup_push_render_tap_thunk_back_pop() {
     let kinds = sys.run_to_stable().expect("pops");
     assert_eq!(
         kinds,
-        vec![StepKind::Pop, StepKind::Startup, StepKind::Push, StepKind::Render]
+        vec![
+            StepKind::Pop,
+            StepKind::Startup,
+            StepKind::Push,
+            StepKind::Render
+        ]
     );
 }
 
@@ -202,18 +214,11 @@ fn figure10_t_boxed_post_attr_require_render_mode() {
 #[test]
 fn figure10_t_attr_checks_gamma_a() {
     // Γa(margin) = number; Γa(ontap) = () →s ().
-    assert!(compile(
-        "page start() { render { boxed { box.margin := true; } } }"
-    )
-    .is_err());
-    assert!(compile(
-        "page start() { render { boxed { box.ontap := fn() state { pop; }; } } }"
-    )
-    .is_ok());
-    assert!(compile(
-        "page start() { render { boxed { box.ontap := 5; } } }"
-    )
-    .is_err());
+    assert!(compile("page start() { render { boxed { box.margin := true; } } }").is_err());
+    assert!(
+        compile("page start() { render { boxed { box.ontap := fn() state { pop; }; } } }").is_ok()
+    );
+    assert!(compile("page start() { render { boxed { box.ontap := 5; } } }").is_err());
 }
 
 // ---------------------------------------------------------------------
@@ -308,8 +313,14 @@ fn figure12_s_okay_s_skip_p_okay_p_skip() {
     );
 
     let stack = vec![
-        (std::rc::Rc::from("start") as its_alive::core::Name, Value::unit()), // P-OKAY
-        (std::rc::Rc::from("ghost") as its_alive::core::Name, Value::unit()), // P-SKIP
+        (
+            std::rc::Rc::from("start") as its_alive::core::Name,
+            Value::unit(),
+        ), // P-OKAY
+        (
+            std::rc::Rc::from("ghost") as its_alive::core::Name,
+            Value::unit(),
+        ), // P-SKIP
     ];
     let mut report = FixupReport::default();
     let kept = fixup_pages(&new_code, &stack, &mut report);

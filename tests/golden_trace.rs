@@ -39,13 +39,20 @@ fn bless_golden_trace() {
 
 #[test]
 fn golden_trace_replays_to_the_same_session() {
+    const REBLESS: &str = "golden trace out of date — if the change in \
+         behavior is intended, regenerate it with:\n  cargo test --test \
+         golden_trace -- --ignored bless_golden_trace";
     let text = std::fs::read_to_string(GOLDEN_PATH)
-        .expect("golden trace exists (bless_golden_trace regenerates it)");
-    let golden = SessionTrace::parse(&text).expect("parses");
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN_PATH}: {e}\n{REBLESS}"));
+    let golden = SessionTrace::parse(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {GOLDEN_PATH}: {e}\n{REBLESS}"));
 
     // Replaying the checked-in trace reproduces the live recording.
     let (mut recorded, fresh_trace) = record();
-    assert_eq!(fresh_trace, golden, "the recording script drifted");
+    assert_eq!(
+        fresh_trace, golden,
+        "the recording script drifted.\n{REBLESS}"
+    );
     let mut replayed = golden.replay().expect("replays");
     assert_eq!(
         recorded.live_view().expect("renders"),

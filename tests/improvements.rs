@@ -56,7 +56,12 @@ fn i2_formats_every_balance_row_without_leaving_the_page() {
 
 fn before_balances_all_formatted(view: &str) -> bool {
     view.lines().filter(|l| l.contains("balance: $")).all(|l| {
-        let amount = l.split("balance: $").nth(1).unwrap_or("").trim_end_matches(" |").trim();
+        let amount = l
+            .split("balance: $")
+            .nth(1)
+            .unwrap_or("")
+            .trim_end_matches(" |")
+            .trim();
         match amount.split_once('.') {
             Some((_, cents)) => cents.len() == 2 && cents.chars().all(|c| c.is_ascii_digit()),
             None => false,

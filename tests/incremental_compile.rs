@@ -3,20 +3,29 @@
 //! bodies (compared via the core pretty-printer), same spans for
 //! `boxed`/`remember` statements (navigation depends on them).
 
+use alive_testkit::{prop, prop_assert_eq};
 use its_alive::core::pretty::pretty_expr;
 use its_alive::core::{compile, IncrementalCompiler, Program};
-use proptest::prelude::*;
 
 fn fingerprint(p: &Program) -> Vec<String> {
     let mut out = Vec::new();
     for g in p.globals() {
-        out.push(format!("global {} : {} = {} @{}", g.name, g.ty, pretty_expr(&g.init, 64), g.span));
+        out.push(format!(
+            "global {} : {} = {} @{}",
+            g.name,
+            g.ty,
+            pretty_expr(&g.init, 64),
+            g.span
+        ));
     }
     for f in p.funs() {
         out.push(format!(
             "fun {}({:?}) : {} {} = {} @{}",
             f.name,
-            f.params.iter().map(|p| format!("{}:{}", p.name, p.ty)).collect::<Vec<_>>(),
+            f.params
+                .iter()
+                .map(|p| format!("{}:{}", p.name, p.ty))
+                .collect::<Vec<_>>(),
             f.ret,
             f.effect,
             pretty_expr(&f.body, 64),
@@ -62,48 +71,63 @@ fn edits() -> Vec<fn(&str) -> String> {
         |s| s.replace("x + total", "x * 2 + total"),
         |s| s.replace("total := add(5);", "total := add(7) + 1;"),
         |s| s.replace("post n;", "post \"n: \" ++ n;"),
-        |s| s.replace("remember hits : number = 0;", "remember hits : number = 10;"),
+        |s| {
+            s.replace(
+                "remember hits : number = 0;",
+                "remember hits : number = 10;",
+            )
+        },
         |s| format!("{s}\nglobal extra : string = \"x\"\n"),
         |s| s.replace("\nglobal extra : string = \"x\"\n", ""),
-        |s| s.replace("page detail(n : number) {", "page detail(n : number) {\n    init { }"),
+        |s| {
+            s.replace(
+                "page detail(n : number) {",
+                "page detail(n : number) {\n    init { }",
+            )
+        },
         |s| s.to_string(), // no-op keystroke
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn incremental_compiler_matches_full_compiler() {
+    prop::check(
+        "incremental_compiler_matches_full_compiler",
+        prop::Config::with_cases(64),
+        |rng| {
+            let n = rng.gen_range(1..12);
+            (0..n).map(|_| rng.below(8)).collect::<Vec<usize>>()
+        },
+        |sequence: &Vec<usize>| {
+            let pool = edits();
+            let mut compiler = IncrementalCompiler::new();
+            let mut src = SEED.to_string();
+            // Initial compile.
+            let inc = compiler.compile(&src).expect("seed compiles");
+            let full = compile(&src).expect("seed compiles");
+            prop_assert_eq!(fingerprint(&inc), fingerprint(&full));
 
-    #[test]
-    fn incremental_compiler_matches_full_compiler(
-        sequence in proptest::collection::vec(0usize..8, 1..12)
-    ) {
-        let pool = edits();
-        let mut compiler = IncrementalCompiler::new();
-        let mut src = SEED.to_string();
-        // Initial compile.
-        let inc = compiler.compile(&src).expect("seed compiles");
-        let full = compile(&src).expect("seed compiles");
-        prop_assert_eq!(fingerprint(&inc), fingerprint(&full));
-
-        for &choice in &sequence {
-            src = pool[choice](&src);
-            match (compiler.compile(&src), compile(&src)) {
-                (Ok(inc), Ok(full)) => {
-                    prop_assert_eq!(fingerprint(&inc), fingerprint(&full));
-                }
-                (Err(inc_err), Err(full_err)) => {
-                    prop_assert_eq!(inc_err.to_string(), full_err.to_string());
-                }
-                (inc, full) => {
-                    return Err(TestCaseError::fail(format!(
-                        "accept/reject disagreement: inc={:?} full={:?}",
-                        inc.is_ok(),
-                        full.is_ok()
-                    )));
+            for &choice in sequence {
+                src = pool[choice](&src);
+                match (compiler.compile(&src), compile(&src)) {
+                    (Ok(inc), Ok(full)) => {
+                        prop_assert_eq!(fingerprint(&inc), fingerprint(&full));
+                    }
+                    (Err(inc_err), Err(full_err)) => {
+                        prop_assert_eq!(inc_err.to_string(), full_err.to_string());
+                    }
+                    (inc, full) => {
+                        return Err(format!(
+                            "accept/reject disagreement: inc={:?} full={:?}",
+                            inc.is_ok(),
+                            full.is_ok()
+                        ));
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -3,9 +3,9 @@
 //! C" — arbitrary swaps must fix up state, never crash, and never leave
 //! stale code.
 
+use its_alive::core::compile;
 use its_alive::core::state_typing::assert_well_typed;
 use its_alive::core::system::System;
-use its_alive::core::compile;
 use its_alive::live::{EditOutcome, LiveSession};
 
 const APP_A: &str = "
@@ -36,7 +36,9 @@ const APP_B: &str = "
 fn swapping_to_an_unrelated_program_works() {
     let mut s = LiveSession::new(APP_A).expect("starts");
     let outcome = s.edit_source(APP_B).expect("runs");
-    let EditOutcome::Applied(report) = outcome else { panic!("applies") };
+    let EditOutcome::Applied(report) = outcome else {
+        panic!("applies")
+    };
     // The materialized global is gone (only `score` was ever assigned;
     // `name` lives lazily in its initializer, EP-GLOBAL-2, and never
     // entered the store). The start stack entry survives.
@@ -70,7 +72,9 @@ fn update_while_on_a_page_the_new_code_lacks() {
     // The new code has no `detail` page: P-SKIP drops the stack entry
     // and the user lands back on start.
     let outcome = s.edit_source(APP_A).expect("runs");
-    let EditOutcome::Applied(report) = outcome else { panic!("applies") };
+    let EditOutcome::Applied(report) = outcome else {
+        panic!("applies")
+    };
     assert!(report
         .dropped_pages
         .iter()
@@ -84,7 +88,10 @@ fn retyping_a_global_drops_only_that_global() {
     let mut s = LiveSession::new(APP_A).expect("starts");
     s.tap_path(&[0]).expect("tap"); // score = 7
     let retyped = APP_A
-        .replace("global score : number = 3", "global score : string = \"lots\"")
+        .replace(
+            "global score : number = 3",
+            "global score : string = \"lots\"",
+        )
         .replace("score := score * 2;", "")
         .replace("score := score + 1;", "");
     let outcome = s.edit_source(&retyped).expect("runs");
@@ -117,7 +124,8 @@ fn every_transition_preserves_well_typedness() {
             break;
         }
     }
-    sys.update(compile(APP_A).expect("compiles")).expect("updates");
+    sys.update(compile(APP_A).expect("compiles"))
+        .expect("updates");
     loop {
         assert_well_typed(&sys);
         if sys.step().expect("steps") == its_alive::core::system::StepKind::Stable {
@@ -133,7 +141,8 @@ fn queue_and_display_are_empty_right_after_update() {
     // queue are empty ... the state contains no code."
     let mut sys = System::new(compile(APP_A).expect("compiles"));
     sys.run_to_stable().expect("starts");
-    sys.update(compile(APP_B).expect("compiles")).expect("updates");
+    sys.update(compile(APP_B).expect("compiles"))
+        .expect("updates");
     assert!(sys.queue().is_empty());
     assert!(!sys.display().is_valid());
     assert_well_typed(&sys); // includes the no-stale-closure scan

@@ -35,7 +35,9 @@ fn tapping_a_listing_pushes_its_detail_page() {
     let Some(Value::List(listings)) = s.system().store().get("listings").cloned() else {
         panic!("listings is a list");
     };
-    let Value::Tuple(third) = &listings[2] else { panic!("tuple") };
+    let Value::Tuple(third) = &listings[2] else {
+        panic!("tuple")
+    };
     let (Value::Str(addr), Value::Number(price)) = (&third[0], &third[1]) else {
         panic!("(string, number)");
     };
@@ -46,7 +48,10 @@ fn tapping_a_listing_pushes_its_detail_page() {
     assert_eq!(s.system().current_page().map(|(n, _)| n), Some("detail"));
     // The page argument is the tapped listing.
     let (_, arg) = s.system().page_stack().last().cloned().expect("on detail");
-    assert_eq!(arg, Value::tuple(vec![Value::Str(addr.clone()), Value::Number(price)]));
+    assert_eq!(
+        arg,
+        Value::tuple(vec![Value::Str(addr.clone()), Value::Number(price)])
+    );
 
     let view = s.live_view().expect("renders");
     assert!(view.contains(&*addr), "detail shows the address");
@@ -60,8 +65,12 @@ fn monthly_payment_matches_the_oracle() {
     let mut s = start_session(3);
     s.tap_path(&[1, 0]).expect("open first listing");
     let (_, arg) = s.system().page_stack().last().cloned().expect("on detail");
-    let Value::Tuple(parts) = &arg else { panic!("tuple") };
-    let Value::Number(price) = parts[1] else { panic!("number") };
+    let Value::Tuple(parts) = &arg else {
+        panic!("tuple")
+    };
+    let Value::Number(price) = parts[1] else {
+        panic!("number")
+    };
     let expected = mortgage::expected_monthly_payment(price, 5.0, 30.0);
     let view = s.live_view().expect("renders");
     let shown = view
@@ -104,9 +113,13 @@ fn amortization_reaches_zero_balance() {
     s.edit_source(&improved).expect("edit runs");
     let view = s.live_view().expect("renders");
     let last_row = view
-        .lines().rfind(|l| l.contains("balance:"))
+        .lines()
+        .rfind(|l| l.contains("balance:"))
         .expect("has rows");
-    assert!(last_row.contains("$0.00"), "final balance is zero: {last_row}");
+    assert!(
+        last_row.contains("$0.00"),
+        "final balance is zero: {last_row}"
+    );
 }
 
 #[test]

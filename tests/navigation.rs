@@ -62,7 +62,10 @@ fn screen_tap_to_code_selection() {
     let display = s.display_tree().expect("renders");
     let tree = layout(&display);
     let view = s.live_view().expect("renders");
-    let row = view.lines().position(|l| l.contains("#2")).expect("third listing") as i32;
+    let row = view
+        .lines()
+        .position(|l| l.contains("#2"))
+        .expect("third listing") as i32;
     let path = hit_test(&tree, Point::new(2, row)).expect("hit");
     let span = span_for_box(s.system().program(), &display, &path).expect("maps");
     let text = span.slice(s.source());
@@ -80,9 +83,15 @@ fn nested_selection_walks_enclosing_boxes() {
     let display = s.display_tree().expect("renders");
     let tree = layout(&display);
     let view = s.live_view().expect("renders");
-    let row = view.lines().position(|l| l.contains("#0")).expect("first listing") as i32;
+    let row = view
+        .lines()
+        .position(|l| l.contains("#0"))
+        .expect("first listing") as i32;
     let stack = hit_stack(&tree, Point::new(2, row));
-    assert!(stack.len() >= 3, "root, listings box, row, inner: {stack:?}");
+    assert!(
+        stack.len() >= 3,
+        "root, listings box, row, inner: {stack:?}"
+    );
     // Outermost first; each is a prefix of the next.
     for pair in stack.windows(2) {
         assert!(pair[1].starts_with(&pair[0][..]));

@@ -26,16 +26,24 @@ fn assert_machines_agree(src: &str) {
     let mut ss_queue = EventQueue::new();
     let ss_init = smallstep::eval_state(&p, &mut ss_store, &mut ss_queue, FUEL, &page.init)
         .expect("small-step init");
-    let ss_render = smallstep::eval_render(&p, &mut ss_store, FUEL, &page.render)
-        .expect("small-step render");
+    let ss_render =
+        smallstep::eval_render(&p, &mut ss_store, FUEL, &page.render).expect("small-step render");
 
     // Big-step.
     let mut bs_store = Store::new();
     let mut bs_queue = EventQueue::new();
-    let (bs_init, _) = bigstep::run_state(&p, &mut bs_store, &mut bs_queue, 0, FUEL, vec![], &page.init)
-        .expect("big-step init");
-    let bs_render = bigstep::run_render(&p, &bs_store, 0, FUEL, vec![], &page.render)
-        .expect("big-step render");
+    let (bs_init, _) = bigstep::run_state(
+        &p,
+        &mut bs_store,
+        &mut bs_queue,
+        0,
+        FUEL,
+        vec![],
+        &page.init,
+    )
+    .expect("big-step init");
+    let bs_render =
+        bigstep::run_render(&p, &bs_store, 0, FUEL, vec![], &page.render).expect("big-step render");
 
     assert_eq!(ss_init.value, bs_init, "init values agree");
     assert_eq!(ss_store, bs_store, "stores agree");
@@ -163,8 +171,7 @@ fn small_step_counts_modes_faithfully() {
     let page = p.page("start").expect("page");
     let mut store = Store::new();
     let mut queue = EventQueue::new();
-    let init = smallstep::eval_state(&p, &mut store, &mut queue, FUEL, &page.init)
-        .expect("runs");
+    let init = smallstep::eval_state(&p, &mut store, &mut queue, FUEL, &page.init).expect("runs");
     // Exactly: 2 assigns + 1 push are state steps; the rest are pure.
     assert_eq!(init.steps.state, 3);
     assert_eq!(init.steps.render, 0);

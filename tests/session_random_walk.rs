@@ -3,12 +3,12 @@
 //! the system must never panic, always settle to a stable, well-typed
 //! state, and keep its display consistent with a from-scratch render.
 
+use alive_testkit::{prop, prop_assert, prop_assert_eq, Rng, Shrink};
 use its_alive::core::state_typing::assert_well_typed;
 use its_alive::core::system::ActionError;
 use its_alive::live::{LiveSession, SessionError};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Action {
     Tap(usize, usize),
     EditBox(usize, String),
@@ -18,15 +18,34 @@ enum Action {
     SnapshotRoundtrip,
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0usize..8, 0usize..4).prop_map(|(a, b)| Action::Tap(a, b)),
-        (0usize..8, "[0-9]{0,3}").prop_map(|(p, t)| Action::EditBox(p, t)),
-        Just(Action::Back),
-        (0u8..4).prop_map(Action::SourceTweak),
-        Just(Action::Undo),
-        Just(Action::SnapshotRoundtrip),
-    ]
+impl Shrink for Action {
+    fn shrink(&self) -> Vec<Action> {
+        match self {
+            Action::Tap(a, b) => (*a, *b)
+                .shrink()
+                .into_iter()
+                .map(|(a, b)| Action::Tap(a, b))
+                .collect(),
+            Action::EditBox(p, t) => (*p, t.clone())
+                .shrink()
+                .into_iter()
+                .map(|(p, t)| Action::EditBox(p, t))
+                .collect(),
+            Action::SourceTweak(w) => w.shrink().into_iter().map(Action::SourceTweak).collect(),
+            Action::Back | Action::Undo | Action::SnapshotRoundtrip => Vec::new(),
+        }
+    }
+}
+
+fn arb_action(rng: &mut Rng) -> Action {
+    match rng.below(6) {
+        0 => Action::Tap(rng.below(8), rng.below(4)),
+        1 => Action::EditBox(rng.below(8), rng.string_in("0123456789", 0, 3)),
+        2 => Action::Back,
+        3 => Action::SourceTweak(rng.below(4) as u8),
+        4 => Action::Undo,
+        _ => Action::SnapshotRoundtrip,
+    }
 }
 
 const APP: &str = r#"
@@ -72,98 +91,266 @@ fn tweaked(src: &str, which: u8) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_sessions_stay_alive_and_well_typed(
-        actions in proptest::collection::vec(arb_action(), 1..25)
-    ) {
-        let mut session = LiveSession::new(APP).expect("starts");
-        for action in actions {
-            let result: Result<(), SessionError> = match &action {
-                Action::Tap(a, b) => {
-                    // Try a one- or two-level path; misses are fine.
-                    match session.tap_path(&[*a]) {
-                        Ok(()) => Ok(()),
-                        Err(SessionError::Action(_)) => {
-                            match session.tap_path(&[*a, *b]) {
-                                Ok(()) => Ok(()),
-                                Err(SessionError::Action(_)) => Ok(()),
-                                Err(e) => Err(e),
-                            }
-                        }
-                        Err(e) => Err(e),
-                    }
-                }
-                Action::EditBox(p, t) => match session.edit_box(&[*p], t) {
-                    Ok(()) | Err(SessionError::Action(_)) => Ok(()),
+/// Drive one action against the session, mapping "the target does not
+/// exist" action errors to clean no-ops (misses are a legal thing for
+/// a user to do) and everything else to a hard failure.
+fn drive(session: &mut LiveSession, action: &Action) -> Result<(), String> {
+    let result: Result<(), SessionError> = match action {
+        Action::Tap(a, b) => {
+            // Try a one- or two-level path; misses are fine.
+            match session.tap_path(&[*a]) {
+                Ok(()) => Ok(()),
+                Err(SessionError::Action(_)) => match session.tap_path(&[*a, *b]) {
+                    Ok(()) => Ok(()),
+                    Err(SessionError::Action(_)) => Ok(()),
                     Err(e) => Err(e),
                 },
-                Action::Back => session.back(),
-                Action::SourceTweak(w) => {
-                    let new_src = tweaked(session.source(), *w);
-                    session
-                        .edit_source(&new_src)
-                        .map(|_| ())
-                        .map_err(SessionError::Runtime)
-                }
-                Action::Undo => session.undo().map(|_| ()).map_err(SessionError::Runtime),
-                Action::SnapshotRoundtrip => {
-                    let snap = session.system().snapshot();
-                    let report = session
-                        .system_mut()
-                        .restore(&snap)
-                        .expect("own snapshots parse");
-                    prop_assert!(report.skipped.is_empty(), "own snapshot restores fully");
-                    session.refresh().map_err(SessionError::Runtime)
-                }
-            };
-            match result {
-                Ok(()) => {}
-                Err(SessionError::Action(ActionError::DisplayInvalid)) => {
-                    // Acceptable transiently; settle and continue.
-                    session.refresh().map_err(|e| {
-                        TestCaseError::fail(format!("refresh failed: {e}"))
-                    })?;
-                }
-                Err(other) => {
-                    return Err(TestCaseError::fail(format!(
-                        "action {action:?} failed hard: {other}"
-                    )));
-                }
+                Err(e) => Err(e),
             }
-            prop_assert!(session.system().is_stable());
-            assert_well_typed(session.system());
         }
-
-        // Final consistency: the incremental display equals a fresh
-        // render of the same code + model.
-        let shown = session.display_tree().expect("renders");
-        let mut fresh = its_alive::core::system::System::new(
-            its_alive::core::compile(session.source()).expect("compiles"),
-        );
-        *fresh.debug_store_mut() = session.system().store().clone();
-        *fresh.debug_widgets_mut() = session.system().widgets().clone();
-        fresh.debug_set_pages(session.system().page_stack().to_vec());
-        fresh.run_to_stable().expect("fresh render");
-        // Handler closures differ by construction context; compare the
-        // observable structure instead: leaves + box counts per path.
-        let mut shown_leaves = Vec::new();
-        shown.walk(&mut |path, node| {
-            shown_leaves.push((
-                path.to_vec(),
-                node.leaves().map(|v| v.display_text()).collect::<Vec<_>>(),
-            ));
-        });
-        let fresh_display = fresh.display().content().expect("valid").clone();
-        let mut fresh_leaves = Vec::new();
-        fresh_display.walk(&mut |path, node| {
-            fresh_leaves.push((
-                path.to_vec(),
-                node.leaves().map(|v| v.display_text()).collect::<Vec<_>>(),
-            ));
-        });
-        prop_assert_eq!(shown_leaves, fresh_leaves);
+        Action::EditBox(p, t) => match session.edit_box(&[*p], t) {
+            Ok(()) | Err(SessionError::Action(_)) => Ok(()),
+            Err(e) => Err(e),
+        },
+        Action::Back => match session.back() {
+            // Back at the root page is a typed no-op, not a restart.
+            Ok(()) | Err(SessionError::Action(_)) => Ok(()),
+            Err(e) => Err(e),
+        },
+        Action::SourceTweak(w) => {
+            let new_src = tweaked(session.source(), *w);
+            session
+                .edit_source(&new_src)
+                .map(|_| ())
+                .map_err(SessionError::Runtime)
+        }
+        Action::Undo => session.undo().map(|_| ()).map_err(SessionError::Runtime),
+        Action::SnapshotRoundtrip => {
+            let snap = session.system().snapshot();
+            let report = session
+                .system_mut()
+                .restore(&snap)
+                .expect("own snapshots parse");
+            if !report.skipped.is_empty() {
+                return Err(format!(
+                    "own snapshot must restore fully, skipped {:?}",
+                    report.skipped
+                ));
+            }
+            session.refresh().map_err(SessionError::Runtime)
+        }
+    };
+    match result {
+        Ok(()) => Ok(()),
+        Err(SessionError::Action(ActionError::DisplayInvalid)) => {
+            // Acceptable transiently; settle and continue.
+            session
+                .refresh()
+                .map_err(|e| format!("refresh failed: {e}"))
+        }
+        Err(other) => Err(format!("action {action:?} failed hard: {other}")),
     }
+}
+
+/// The incremental display must equal a fresh render of the same code +
+/// model. Handler closures differ by construction context; compare the
+/// observable structure instead: leaves + box counts per path.
+fn assert_display_consistent(session: &mut LiveSession) -> Result<(), String> {
+    let shown = session.display_tree().expect("renders");
+    let mut fresh = its_alive::core::system::System::new(
+        its_alive::core::compile(session.source()).expect("compiles"),
+    );
+    *fresh.debug_store_mut() = session.system().store().clone();
+    *fresh.debug_widgets_mut() = session.system().widgets().clone();
+    fresh.debug_set_pages(session.system().page_stack().to_vec());
+    fresh.run_to_stable().expect("fresh render");
+    let mut shown_leaves = Vec::new();
+    shown.walk(&mut |path, node| {
+        shown_leaves.push((
+            path.to_vec(),
+            node.leaves().map(|v| v.display_text()).collect::<Vec<_>>(),
+        ));
+    });
+    let fresh_display = fresh.display().content().expect("valid").clone();
+    let mut fresh_leaves = Vec::new();
+    fresh_display.walk(&mut |path, node| {
+        fresh_leaves.push((
+            path.to_vec(),
+            node.leaves().map(|v| v.display_text()).collect::<Vec<_>>(),
+        ));
+    });
+    prop_assert_eq!(shown_leaves, fresh_leaves);
+    Ok(())
+}
+
+#[test]
+fn random_sessions_stay_alive_and_well_typed() {
+    prop::check(
+        "random_sessions_stay_alive_and_well_typed",
+        prop::Config::with_cases(48),
+        |rng| {
+            let n = rng.gen_range(1..25);
+            (0..n).map(|_| arb_action(rng)).collect::<Vec<Action>>()
+        },
+        |actions: &Vec<Action>| {
+            let mut session = LiveSession::new(APP).expect("starts");
+            for action in actions {
+                drive(&mut session, action)?;
+                prop_assert!(session.system().is_stable());
+                assert_well_typed(session.system());
+            }
+            assert_display_consistent(&mut session)
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Immortalized regressions and out-of-range action audits
+// ---------------------------------------------------------------------
+
+/// The formerly checked-in proptest regression
+/// `cc 5da8… # shrinks to actions = [Tap(5, 0)]`: a tap on the last
+/// rendered top-level box (the `remember` widget), and on every index
+/// around and past the end of the tree, must be a clean no-op or a
+/// typed `ActionError` — never a panic, and the display must stay
+/// consistent with a from-scratch render.
+#[test]
+fn tap_out_of_range_is_safe() {
+    for first in 4..=8usize {
+        let mut session = LiveSession::new(APP).expect("starts");
+        drive(&mut session, &Action::Tap(first, 0))
+            .unwrap_or_else(|e| panic!("Tap({first}, 0): {e}"));
+        assert!(session.system().is_stable(), "stable after Tap({first}, 0)");
+        assert_well_typed(session.system());
+        assert_display_consistent(&mut session).unwrap_or_else(|e| panic!("Tap({first}, 0): {e}"));
+    }
+}
+
+/// `back` at the root page must be a typed error (no blind pop, no
+/// hidden restart that would re-run init effects).
+#[test]
+fn back_at_root_is_a_typed_no_op() {
+    let mut session = LiveSession::new(APP).expect("starts");
+    let before = session.live_view().expect("renders");
+    match session.back() {
+        Err(SessionError::Action(ActionError::NoPageToPop)) => {}
+        other => panic!("expected NoPageToPop at root, got {other:?}"),
+    }
+    assert!(session.system().is_stable());
+    assert_well_typed(session.system());
+    assert_eq!(session.live_view().expect("renders"), before);
+
+    // From a pushed page, back still works, and the second back is
+    // again the typed no-op.
+    session.tap_path(&[4]).expect("open detail");
+    assert_eq!(
+        session.system().current_page().map(|(n, _)| n),
+        Some("detail")
+    );
+    session.back().expect("pops detail");
+    assert_eq!(
+        session.system().current_page().map(|(n, _)| n),
+        Some("start")
+    );
+    assert!(matches!(
+        session.back(),
+        Err(SessionError::Action(ActionError::NoPageToPop))
+    ));
+}
+
+/// `edit_box` on a missing box or on a box without an `onedit` handler
+/// must be a typed `ActionError`, never a panic or a state change.
+#[test]
+fn edit_box_out_of_range_is_a_typed_error() {
+    let mut session = LiveSession::new(APP).expect("starts");
+    let before = session.live_view().expect("renders");
+    // Box 9 does not exist.
+    match session.edit_box(&[9], "42") {
+        Err(SessionError::Action(ActionError::NoSuchBox(path))) => {
+            assert_eq!(path, vec![9]);
+        }
+        other => panic!("expected NoSuchBox, got {other:?}"),
+    }
+    // Box 1 exists but has no edit handler (it is tappable only).
+    match session.edit_box(&[1], "42") {
+        Err(SessionError::Action(ActionError::NoHandler(_))) => {}
+        other => panic!("expected NoHandler, got {other:?}"),
+    }
+    assert!(session.system().is_stable());
+    assert_well_typed(session.system());
+    assert_eq!(session.live_view().expect("renders"), before);
+}
+
+/// The harness contract the whole suite leans on: the same seed must
+/// produce identical action sequences, and a failing property must
+/// shrink to the identical minimal counterexample, across two runs.
+#[test]
+fn testkit_is_deterministic_for_action_walks() {
+    use std::cell::RefCell;
+
+    let cfg = prop::Config::with_cases(16).seeded(0x5da8_2013);
+    let gen = |rng: &mut Rng| {
+        let n = rng.gen_range(1..25);
+        (0..n).map(|_| arb_action(rng)).collect::<Vec<Action>>()
+    };
+
+    // Same seed ⇒ identical generated sequences.
+    let first: RefCell<Vec<Vec<Action>>> = RefCell::new(Vec::new());
+    let second: RefCell<Vec<Vec<Action>>> = RefCell::new(Vec::new());
+    assert!(prop::check_captured(&cfg, gen, |actions: &Vec<Action>| {
+        first.borrow_mut().push(actions.clone());
+        Ok(())
+    })
+    .is_none());
+    assert!(prop::check_captured(&cfg, gen, |actions: &Vec<Action>| {
+        second.borrow_mut().push(actions.clone());
+        Ok(())
+    })
+    .is_none());
+    assert_eq!(first.borrow().len(), 16);
+    assert_eq!(
+        *first.borrow(),
+        *second.borrow(),
+        "same seed, same sequences"
+    );
+
+    // Same seed ⇒ identical failure and identical shrink. The property
+    // "no walk ever taps" fails fast and shrinks to a single tap.
+    let no_taps = |actions: &Vec<Action>| {
+        prop_assert!(
+            !actions.iter().any(|a| matches!(a, Action::Tap(..))),
+            "walk contains a tap"
+        );
+        Ok(())
+    };
+    let a = prop::check_captured(&cfg, gen, no_taps).expect("must fail");
+    let b = prop::check_captured(&cfg, gen, no_taps).expect("must fail");
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.original, b.original);
+    assert_eq!(a.minimal, b.minimal, "same seed, same shrink");
+    assert_eq!(a.shrink_steps, b.shrink_steps);
+    assert_eq!(a.message, b.message);
+    assert_eq!(a.minimal, vec![Action::Tap(0, 0)], "fully shrunk");
+}
+
+/// `undo` past the start of history must report "nothing undone"
+/// (`Ok(false)`) and leave the session untouched — never index blindly
+/// into the undo stack.
+#[test]
+fn undo_past_start_of_history_is_safe() {
+    let mut session = LiveSession::new(APP).expect("starts");
+    let before = session.live_view().expect("renders");
+    for _ in 0..3 {
+        assert!(!session.undo().expect("handled"), "nothing to undo");
+        assert!(session.system().is_stable());
+        assert_well_typed(session.system());
+    }
+    assert_eq!(session.live_view().expect("renders"), before);
+
+    // One applied edit ⇒ exactly one undo, then safe no-ops again.
+    let edited = session.source().replace("points", "pts");
+    assert!(session.edit_source(&edited).expect("runs").is_applied());
+    assert!(session.undo().expect("runs"), "one real undo");
+    assert!(!session.undo().expect("handled"), "history exhausted");
+    assert_eq!(session.source(), APP);
 }

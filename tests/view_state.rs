@@ -123,10 +123,7 @@ fn render_code_cannot_write_slots() {
         }
     "#;
     let err = compile(bad).expect_err("render writes are rejected");
-    assert!(
-        err.to_string().contains("widget slot assignment"),
-        "{err}"
-    );
+    assert!(err.to_string().contains("widget slot assignment"), "{err}");
 }
 
 #[test]
@@ -225,12 +222,12 @@ fn memo_cache_and_view_state_compose() {
     for _ in 0..3 {
         plain.tap_path(&[0]).expect("tap");
         memo.tap_path(&[0]).expect("tap");
-        assert_eq!(
-            plain.live_view().expect("v"),
-            memo.live_view().expect("v")
-        );
+        assert_eq!(plain.live_view().expect("v"), memo.live_view().expect("v"));
     }
     let stats = memo.memo_stats().expect("enabled");
     assert!(stats.hits > 0, "static rows reuse: {stats:?}");
-    assert!(stats.uncacheable > 0, "the remember box never caches: {stats:?}");
+    assert!(
+        stats.uncacheable > 0,
+        "the remember box never caches: {stats:?}"
+    );
 }
