@@ -128,12 +128,15 @@ fn dispatch(
                 src.push('\n');
             }
             match session.edit_source(&src) {
-                Ok(outcome) if outcome.is_applied() => {
+                outcome if outcome.is_applied() => {
                     println!("applied.");
                     show_view(session);
                 }
-                Ok(_) => println!("rejected — old program keeps running."),
-                Err(e) => println!("edit failed: {e}"),
+                alive_live::EditOutcome::Quarantined { fault, .. } => {
+                    println!("quarantined — the new code faulted ({fault}); reverted to the previous source.");
+                    show_view(session);
+                }
+                _ => println!("rejected — old program keeps running."),
             }
         }
         ":fig2" => {
@@ -147,10 +150,10 @@ fn dispatch(
                 ansi: false,
                 zoom: 1,
             };
-            match alive_live::split_view(session.session_view_mut(), &selection, options) {
-                Ok(view) => print!("{view}"),
-                Err(e) => println!("split view failed: {e}"),
-            }
+            print!(
+                "{}",
+                alive_live::split_view(session.session_view_mut(), &selection, options)
+            );
         }
         ":where" => match parse_path(rest) {
             Some(path) => {
@@ -210,13 +213,13 @@ fn dispatch(
             );
         }
         ":trace" => print!("{}", session.trace().serialize()),
-        ":save" => {
-            let snapshot = session.session().system().snapshot();
-            match std::fs::write(rest, &snapshot) {
+        ":save" => match session.session().system().snapshot() {
+            Ok(snapshot) => match std::fs::write(rest, &snapshot) {
                 Ok(()) => println!("model saved to {rest}"),
                 Err(e) => println!("save failed: {e}"),
-            }
-        }
+            },
+            Err(e) => println!("save failed: {e}"),
+        },
         ":restore" => match std::fs::read_to_string(rest) {
             Ok(snapshot) => match session.restore_snapshot(&snapshot) {
                 Ok(report) => {
@@ -266,12 +269,14 @@ fn parse_path(args: &str) -> Option<Vec<usize>> {
 }
 
 fn show_view(session: &mut RecordingSession) {
-    match session.live_view() {
-        Ok(_) => {
-            let system = session.session().system();
-            let root = system.display().content().expect("stable").clone();
-            print!("{}", render_to_ansi(&layout(&root)));
-        }
-        Err(e) => println!("render failed: {e}"),
+    // Settling is folded into live_view; a faulting program degrades to
+    // its last good view with a banner instead of killing the REPL.
+    let fallback = session.live_view();
+    if let Some(banner) = session.session().fault_banner() {
+        println!("{banner}");
+    }
+    match session.session().system().display().content() {
+        Some(root) => print!("{}", render_to_ansi(&layout(root))),
+        None => print!("{fallback}"),
     }
 }

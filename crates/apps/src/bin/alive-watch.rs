@@ -64,7 +64,7 @@ fn main() {
             continue;
         }
         match session.edit_source(&new_source) {
-            Ok(EditOutcome::Applied(report)) => {
+            EditOutcome::Applied(report) => {
                 println!("\n— applied (version {}) —", session.system().version());
                 if report.dropped_anything() {
                     for (name, why) in &report.dropped_globals {
@@ -76,12 +76,14 @@ fn main() {
                 }
                 show(&mut session, &path);
             }
-            Ok(EditOutcome::Rejected(diags)) => {
+            EditOutcome::Rejected(diags) => {
                 println!("\n— rejected; the old program keeps running —");
                 print!("{}", diags.render(&new_source));
             }
-            Err(e) => {
-                println!("\n— the new code failed at run time: {e} —");
+            EditOutcome::Quarantined { fault, .. } => {
+                println!("\n— quarantined; the new code faulted and was reverted —");
+                println!("  {fault}");
+                show(&mut session, &path);
             }
         }
     }
@@ -92,11 +94,14 @@ fn mtime(path: &str) -> Option<SystemTime> {
 }
 
 fn show(session: &mut LiveSession, path: &str) {
+    println!("── {path} (live) ──");
+    // Fault containment: the session always has something to show —
+    // the current view, or the last good one under a fault banner.
+    if let Some(banner) = session.fault_banner() {
+        println!("{banner}");
+    }
     match session.display_tree() {
-        Ok(root) => {
-            println!("── {path} (live) ──");
-            print!("{}", render_to_ansi(&layout(&root)));
-        }
-        Err(e) => println!("render failed: {e}"),
+        Some(root) => print!("{}", render_to_ansi(&layout(&root))),
+        None => print!("{}", session.live_view()),
     }
 }

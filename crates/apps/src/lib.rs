@@ -18,7 +18,7 @@
 //!
 //! let mut session = LiveSession::new(&mortgage::mortgage_src(3))
 //!     .expect("the mortgage calculator compiles");
-//! let view = session.live_view().expect("renders");
+//! let view = session.live_view();
 //! assert!(view.contains("Listings"));
 //! ```
 

@@ -79,7 +79,7 @@ impl FixAndContinueSession {
     /// Whether what the user sees differs from what the current code
     /// would render — the staleness the paper criticizes.
     pub fn view_is_stale(&mut self) -> Result<bool, RuntimeError> {
-        self.system.run_to_stable()?;
+        self.system.run_to_stable().map_err(|fault| fault.error)?;
         let fresh = self.system.display();
         Ok(match (&self.shown, fresh) {
             (Display::Valid(old), Display::Valid(new)) => old != new,
@@ -98,7 +98,7 @@ impl FixAndContinueSession {
             Ok(p) => p,
             Err(ds) => return Ok(SwapOutcome::Rejected(ds)),
         };
-        self.system.run_to_stable()?;
+        self.system.run_to_stable().map_err(|fault| fault.error)?;
         // Reuse the formal fix-up so the comparison is apples-to-apples;
         // the ONLY difference from UPDATE is not touching the display.
         let (store, mut report) = fixup_store(&program, self.system.store());
@@ -109,7 +109,7 @@ impl FixAndContinueSession {
         *system.debug_store_mut() = store;
         system.debug_set_pages(pages);
         self.system = system;
-        self.system.run_to_stable()?;
+        self.system.run_to_stable().map_err(|fault| fault.error)?;
         // The swap does not repaint: keep showing the old pixels.
         self.shown = shown;
         if self.view_is_stale()? {

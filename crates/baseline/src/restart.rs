@@ -69,7 +69,9 @@ impl RestartSession {
     pub fn new(source: &str) -> Result<Self, RestartError> {
         let program = compile(source).map_err(RestartError::Compile)?;
         let mut system = System::new(program);
-        system.run_to_stable().map_err(RestartError::Runtime)?;
+        system
+            .run_to_stable()
+            .map_err(|fault| RestartError::Runtime(fault.error))?;
         Ok(RestartSession {
             source: source.to_string(),
             system,
@@ -105,7 +107,9 @@ impl RestartSession {
     /// See [`RestartError`].
     pub fn interact(&mut self, action: NavAction) -> Result<(), RestartError> {
         apply_action(&mut self.system, &action).map_err(RestartError::Replay)?;
-        self.system.run_to_stable().map_err(RestartError::Runtime)?;
+        self.system
+            .run_to_stable()
+            .map_err(|fault| RestartError::Runtime(fault.error))?;
         self.script.push(action);
         Ok(())
     }
@@ -125,11 +129,15 @@ impl RestartSession {
         // accumulated cost carries over so E3 can total the session.
         let old_cost = self.system.cost();
         let mut system = System::new(program);
-        system.run_to_stable().map_err(RestartError::Runtime)?;
+        system
+            .run_to_stable()
+            .map_err(|fault| RestartError::Runtime(fault.error))?;
         // Step 5: navigate back to the UI context.
         for action in &self.script {
             apply_action(&mut system, action).map_err(RestartError::Replay)?;
-            system.run_to_stable().map_err(RestartError::Runtime)?;
+            system
+                .run_to_stable()
+                .map_err(|fault| RestartError::Runtime(fault.error))?;
         }
         self.absorb_cost(&mut system, old_cost);
         self.system = system;

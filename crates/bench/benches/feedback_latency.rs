@@ -18,7 +18,7 @@ fn main() {
             let (a, orig) = label_variants(session.source());
             let target = if flip { a } else { orig };
             flip = !flip;
-            assert!(session.edit_source(&target).expect("edit").is_applied());
+            assert!(session.edit_source(&target).is_applied());
         });
         let mut session = mortgage_restart_on_detail(n);
         let mut flip = false;
@@ -26,7 +26,7 @@ fn main() {
             let (a, orig) = label_variants(session.source());
             let target = if flip { a } else { orig };
             flip = !flip;
-            session.edit_source(&target).expect("edit");
+            session.edit_source(&target).expect("edit applies");
         });
     }
     bench.finish();

@@ -40,7 +40,7 @@ pub fn table_e3_feedback_latency() -> String {
             for i in 0..edits {
                 let (a, b) = label_variants(live.source());
                 let target = if i % 2 == 0 { a } else { b };
-                assert!(live.edit_source(&target).expect("edit").is_applied());
+                assert!(live.edit_source(&target).is_applied());
             }
         });
         let live_after = live.system().cost().prim;
@@ -370,7 +370,7 @@ pub fn table_e2_improvements() -> String {
         ("I3 row highlight", mortgage::apply_improvement_i3),
     ];
     for (i, (name, f)) in edits.iter().enumerate() {
-        let outcome = s.edit_source(&f(s.source())).expect("edit runs");
+        let outcome = s.edit_source(&f(s.source()));
         writeln!(
             out,
             "{:4} | {name:18} | {:7} | {:16} | {}",

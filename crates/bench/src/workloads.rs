@@ -85,7 +85,7 @@ mod tests {
         assert_eq!(live.system().current_page().map(|(n, _)| n), Some("detail"));
         let (a, b) = label_variants(live.source());
         assert_ne!(a, b);
-        assert!(live.edit_source(&a).expect("runs").is_applied());
+        assert!(live.edit_source(&a).is_applied());
 
         let restart = mortgage_restart_on_detail(3);
         assert_eq!(
@@ -102,13 +102,10 @@ mod tests {
         let mut plain = feed_session(8, false);
         feed_touch(&mut plain, 0);
         feed_touch(&mut plain, 1);
-        assert_eq!(
-            f.live_view().expect("renders"),
-            plain.live_view().expect("renders")
-        );
+        assert_eq!(f.live_view(), plain.live_view());
         // Dense gallery: selection changes invalidate every tile.
         let mut g = gallery_session(8, true);
         gallery_select_next(&mut g, 0);
-        assert!(g.live_view().expect("renders").contains("selected: 0"));
+        assert!(g.live_view().contains("selected: 0"));
     }
 }

@@ -4,8 +4,10 @@
 //! environment assigns each attribute its type, e.g. `ontap : () →s ()`
 //! and `margin : number`.
 
-use crate::types::{Effect, Type};
+use crate::error::RuntimeError;
+use crate::types::{Effect, FnType, Type};
 use std::fmt;
+use std::rc::Rc;
 
 /// The catalog of box attributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,6 +72,23 @@ impl Attr {
     /// Whether the attribute holds an event handler (a closure).
     pub fn is_handler(self) -> bool {
         matches!(self, Attr::OnTap | Attr::OnEdit)
+    }
+
+    /// The function signature of a handler attribute (`ontap : () →s ()`,
+    /// `onedit : (string) →s ()`).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NotAFunction`] for non-handler attributes — a
+    /// typed error (unreachable after type check) instead of a process
+    /// abort.
+    pub fn handler_sig(self) -> Result<Rc<FnType>, RuntimeError> {
+        match self.ty() {
+            Type::Fn(sig) => Ok(sig),
+            other => Err(RuntimeError::NotAFunction(format!(
+                "attribute `{self}` of type `{other}`"
+            ))),
+        }
     }
 
     /// Source-level spelling used in `box.a := e`.
@@ -141,14 +160,16 @@ mod tests {
 
     #[test]
     fn handler_types_are_stateful() {
-        let Type::Fn(sig) = Attr::OnTap.ty() else {
-            panic!("ontap must be a function type");
-        };
+        // `handler_sig` reports non-function attributes as a typed
+        // error instead of aborting the process.
+        let sig = Attr::OnTap.handler_sig().expect("ontap is a handler");
         assert_eq!(sig.effect, Effect::State);
         assert!(sig.params.is_empty());
         assert!(sig.ret.is_unit());
         assert!(Attr::OnTap.is_handler());
         assert!(!Attr::Margin.is_handler());
+        let err = Attr::Margin.handler_sig().expect_err("margin is data");
+        assert!(matches!(err, RuntimeError::NotAFunction(_)));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::boxtree::{BoxItem, BoxNode};
 use crate::error::RuntimeError;
 use crate::event::{Event, EventQueue};
 use crate::expr::{Expr, ExprKind};
+use crate::fault::FaultInjector;
 use crate::prim::PrimCtx;
 use crate::program::Program;
 use crate::store::Store;
@@ -97,6 +98,8 @@ pub struct Evaluator<'a> {
     hook: Option<&'a mut dyn RenderHook>,
     /// View-state slots (`remember`), when the host supplies them.
     widgets: Option<&'a mut crate::widget::WidgetStore>,
+    /// Optional deterministic fault injection (primitive failures).
+    faults: Option<&'a mut dyn FaultInjector>,
 }
 
 /// Interception points around `boxed` evaluation, used by the paper's
@@ -161,6 +164,7 @@ pub fn run_state(
         cost: Cost::default(),
         hook: None,
         widgets: None,
+        faults: None,
     };
     let value = ev.eval(expr)?;
     Ok((value, ev.cost))
@@ -192,9 +196,13 @@ pub fn run_render(
         cost: Cost::default(),
         hook: None,
         widgets: None,
+        faults: None,
     };
     ev.eval(expr)?;
-    let root = ev.boxes.pop().expect("top-level box frame");
+    let root = ev
+        .boxes
+        .pop()
+        .ok_or(RuntimeError::Internal("top-level box frame missing"))?;
     Ok(RenderOutput {
         root,
         cost: ev.cost,
@@ -228,9 +236,13 @@ pub fn run_render_hooked(
         cost: Cost::default(),
         hook: Some(hook),
         widgets: None,
+        faults: None,
     };
     ev.eval(expr)?;
-    let root = ev.boxes.pop().expect("top-level box frame");
+    let root = ev
+        .boxes
+        .pop()
+        .ok_or(RuntimeError::Internal("top-level box frame missing"))?;
     Ok(RenderOutput {
         root,
         cost: ev.cost,
@@ -268,9 +280,13 @@ pub fn run_render_full<'a>(
         cost: Cost::default(),
         hook,
         widgets,
+        faults: None,
     };
     ev.eval(expr)?;
-    let root = ev.boxes.pop().expect("top-level box frame");
+    let root = ev
+        .boxes
+        .pop()
+        .ok_or(RuntimeError::Internal("top-level box frame missing"))?;
     Ok(RenderOutput {
         root,
         cost: ev.cost,
@@ -306,6 +322,7 @@ pub fn call_thunk_full<'a>(
         cost: Cost::default(),
         hook: None,
         widgets,
+        faults: None,
     };
     let value = ev.apply(thunk.clone(), args, alive_syntax::Span::DUMMY)?;
     Ok((value, ev.cost))
@@ -335,6 +352,7 @@ pub fn run_pure(
         cost: Cost::default(),
         hook: None,
         widgets: None,
+        faults: None,
     };
     let value = ev.eval(expr)?;
     Ok((value, ev.cost))
@@ -367,12 +385,175 @@ pub fn call_thunk(
         cost: Cost::default(),
         hook: None,
         widgets: None,
+        faults: None,
     };
     let value = ev.apply(thunk.clone(), args, alive_syntax::Span::DUMMY)?;
     Ok((value, ev.cost))
 }
 
+/// Reborrow adapter: a trait object's lifetime bound is invariant
+/// behind `&mut`, so passing a caller's `&mut dyn FaultInjector`
+/// straight into [`Evaluator`] would drag the caller's lifetime into
+/// every other borrow of the run. Wrapping it in a fresh concrete type
+/// lets the unsize coercion pick a run-local bound instead.
+struct ReborrowFaults<'r, 'f>(&'r mut (dyn FaultInjector + 'f));
+
+impl FaultInjector for ReborrowFaults<'_, '_> {
+    fn fuel_for(&mut self, kind: crate::fault::TransitionKind, default_fuel: u64) -> u64 {
+        self.0.fuel_for(kind, default_fuel)
+    }
+
+    fn before_prim(&mut self, prim: crate::prim::Prim) -> Option<crate::prim::PrimError> {
+        self.0.before_prim(prim)
+    }
+}
+
+impl std::fmt::Debug for ReborrowFaults<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Reborrow adapter for [`RenderHook`]; see [`ReborrowFaults`].
+struct ReborrowHook<'r, 'h>(&'r mut (dyn RenderHook + 'h));
+
+impl RenderHook for ReborrowHook<'_, '_> {
+    fn enter_boxed(
+        &mut self,
+        id: crate::expr::BoxSourceId,
+        locals: &[(Name, Value)],
+    ) -> Option<(BoxNode, Value)> {
+        self.0.enter_boxed(id, locals)
+    }
+
+    fn after_boxed(
+        &mut self,
+        id: crate::expr::BoxSourceId,
+        locals: &[(Name, Value)],
+        node: &BoxNode,
+        value: &Value,
+    ) {
+        self.0.after_boxed(id, locals, node, value)
+    }
+}
+
+/// Transactional entry point for the PUSH transition's `init` body:
+/// like [`run_state`], but the cost is reported even when the run fails
+/// (so a contained fault can record the fuel it burned), and an optional
+/// [`FaultInjector`] can make primitives fail deterministically.
+#[allow(clippy::too_many_arguments)] // mirrors the σ components + extras
+pub fn transition_state(
+    program: &Program,
+    store: &mut Store,
+    queue: &mut EventQueue,
+    version: u64,
+    fuel: u64,
+    bindings: Vec<(Name, Value)>,
+    expr: &Expr,
+    widgets: Option<&mut crate::widget::WidgetStore>,
+    faults: Option<&mut (dyn FaultInjector + '_)>,
+) -> (Result<Value, RuntimeError>, Cost) {
+    let mut faults = faults.map(ReborrowFaults);
+    let mut ev = Evaluator {
+        program,
+        store: StoreAccess::Mut(store),
+        queue: Some(queue),
+        mode: Effect::State,
+        boxes: Vec::new(),
+        scopes: vec![bindings],
+        fuel,
+        version,
+        cost: Cost::default(),
+        hook: None,
+        widgets,
+        faults: faults.as_mut().map(|f| f as &mut dyn FaultInjector),
+    };
+    let result = ev.eval(expr);
+    (result, ev.cost)
+}
+
+/// Transactional entry point for the THUNK transition: like
+/// [`call_thunk_full`], but the cost is reported even on failure and a
+/// [`FaultInjector`] can be supplied.
+#[allow(clippy::too_many_arguments)] // mirrors the σ components + extras
+pub fn transition_thunk(
+    program: &Program,
+    store: &mut Store,
+    queue: &mut EventQueue,
+    version: u64,
+    fuel: u64,
+    thunk: &Value,
+    args: Vec<Value>,
+    widgets: Option<&mut crate::widget::WidgetStore>,
+    faults: Option<&mut (dyn FaultInjector + '_)>,
+) -> (Result<Value, RuntimeError>, Cost) {
+    let mut faults = faults.map(ReborrowFaults);
+    let mut ev = Evaluator {
+        program,
+        store: StoreAccess::Mut(store),
+        queue: Some(queue),
+        mode: Effect::State,
+        boxes: Vec::new(),
+        scopes: vec![Vec::new()],
+        fuel,
+        version,
+        cost: Cost::default(),
+        hook: None,
+        widgets,
+        faults: faults.as_mut().map(|f| f as &mut dyn FaultInjector),
+    };
+    let result = ev.apply(thunk.clone(), args, alive_syntax::Span::DUMMY);
+    (result, ev.cost)
+}
+
+/// Transactional entry point for the RENDER transition: like
+/// [`run_render_full`], but the cost is reported even on failure and a
+/// [`FaultInjector`] can be supplied.
+#[allow(clippy::too_many_arguments)] // mirrors the σ components + extras
+pub fn transition_render(
+    program: &Program,
+    store: &Store,
+    version: u64,
+    fuel: u64,
+    bindings: Vec<(Name, Value)>,
+    expr: &Expr,
+    hook: Option<&mut (dyn RenderHook + '_)>,
+    widgets: Option<&mut crate::widget::WidgetStore>,
+    faults: Option<&mut (dyn FaultInjector + '_)>,
+) -> (Result<BoxNode, RuntimeError>, Cost) {
+    let mut hook = hook.map(ReborrowHook);
+    let mut faults = faults.map(ReborrowFaults);
+    let mut ev = Evaluator {
+        program,
+        store: StoreAccess::Ref(store),
+        queue: None,
+        mode: Effect::Render,
+        boxes: vec![BoxNode::new(None)],
+        scopes: vec![bindings],
+        fuel,
+        version,
+        cost: Cost::default(),
+        hook: hook.as_mut().map(|h| h as &mut dyn RenderHook),
+        widgets,
+        faults: faults.as_mut().map(|f| f as &mut dyn FaultInjector),
+    };
+    let result = ev.eval(expr).and_then(|_| {
+        ev.boxes
+            .pop()
+            .ok_or(RuntimeError::Internal("top-level box frame missing"))
+    });
+    (result, ev.cost)
+}
+
 impl Evaluator<'_> {
+    /// The innermost open box frame (render mode keeps at least the
+    /// implicit top-level frame alive for the whole run).
+    fn parent_frame(&mut self) -> Result<&mut BoxNode, RuntimeError> {
+        self.boxes
+            .last_mut()
+            .ok_or(RuntimeError::Internal("render frame missing"))
+    }
+
     fn tick(&mut self) -> Result<(), RuntimeError> {
         self.cost.steps += 1;
         if self.fuel == 0 {
@@ -626,32 +807,31 @@ impl Evaluator<'_> {
                 // chance to supply a cached subtree.
                 if self.hook.is_some() {
                     let locals = self.capture_env();
-                    let hook = self.hook.as_deref_mut().expect("checked above");
-                    if let Some((node, value)) = hook.enter_boxed(*id, &locals) {
+                    let cached = match self.hook.as_deref_mut() {
+                        Some(hook) => hook.enter_boxed(*id, &locals),
+                        None => None,
+                    };
+                    if let Some((node, value)) = cached {
                         self.cost.boxes_reused += node.box_count() as u64;
-                        self.boxes
-                            .last_mut()
-                            .expect("parent frame")
-                            .items
-                            .push(BoxItem::Child(node));
+                        self.parent_frame()?.items.push(BoxItem::Child(node));
                         return Ok(value);
                     }
                 }
                 self.cost.boxes_created += 1;
                 self.boxes.push(BoxNode::new(Some(*id)));
                 let result = self.eval(body);
-                let node = self.boxes.pop().expect("frame pushed above");
+                let node = self
+                    .boxes
+                    .pop()
+                    .ok_or(RuntimeError::Internal("boxed frame missing"))?;
                 let value = result?;
                 if self.hook.is_some() {
                     let locals = self.capture_env();
-                    let hook = self.hook.as_deref_mut().expect("checked above");
-                    hook.after_boxed(*id, &locals, &node, &value);
+                    if let Some(hook) = self.hook.as_deref_mut() {
+                        hook.after_boxed(*id, &locals, &node, &value);
+                    }
                 }
-                self.boxes
-                    .last_mut()
-                    .expect("parent frame")
-                    .items
-                    .push(BoxItem::Child(node));
+                self.parent_frame()?.items.push(BoxItem::Child(node));
                 Ok(value)
             }
             ExprKind::Post(value) => {
@@ -664,11 +844,7 @@ impl Evaluator<'_> {
                 }
                 let v = self.eval(value)?;
                 self.cost.posts += 1;
-                self.boxes
-                    .last_mut()
-                    .expect("render frame")
-                    .items
-                    .push(BoxItem::Leaf(v));
+                self.parent_frame()?.items.push(BoxItem::Leaf(v));
                 Ok(Value::unit())
             }
             ExprKind::SetAttr(attr, value) => {
@@ -680,11 +856,7 @@ impl Evaluator<'_> {
                     });
                 }
                 let v = self.eval(value)?;
-                self.boxes
-                    .last_mut()
-                    .expect("render frame")
-                    .items
-                    .push(BoxItem::Attr(*attr, v));
+                self.parent_frame()?.items.push(BoxItem::Attr(*attr, v));
                 Ok(Value::unit())
             }
             ExprKind::Remember {
@@ -709,8 +881,9 @@ impl Evaluator<'_> {
                 let key = widgets.next_key(*id);
                 if !widgets.contains(key) {
                     let initial = self.eval(init)?;
-                    let widgets = self.widgets.as_deref_mut().expect("checked above");
-                    widgets.set(key, initial);
+                    if let Some(widgets) = self.widgets.as_deref_mut() {
+                        widgets.set(key, initial);
+                    }
                 }
                 self.scopes
                     .push(vec![(name.clone(), Value::WidgetRef(key))]);
@@ -831,6 +1004,11 @@ impl Evaluator<'_> {
                 result
             }
             Value::Prim(p) => {
+                if let Some(injector) = self.faults.as_deref_mut() {
+                    if let Some(err) = injector.before_prim(p) {
+                        return Err(err.into());
+                    }
+                }
                 let v = p.apply(&args, &mut self.cost.prim)?;
                 Ok(v)
             }

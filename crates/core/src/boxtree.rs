@@ -110,7 +110,9 @@ impl BoxNode {
     }
 }
 
-/// The display component `D ::= ⊥ | B` of the system state.
+/// The display component `D ::= ⊥ | B` of the system state, extended
+/// with a degraded third state for fault containment: the last *good*
+/// box tree, kept on screen after a failed transition.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum Display {
     /// `⊥` — stale; must be re-rendered before the user can interact.
@@ -119,20 +121,30 @@ pub enum Display {
     /// Valid box content currently shown to the user. The box is the
     /// implicit top-level box of §4.3.
     Valid(BoxNode),
+    /// The last good box content, shown while the machine is degraded
+    /// by a contained fault. The user can still see (and interact with)
+    /// this tree; the next successful transition replaces it.
+    Stale(BoxNode),
 }
 
 impl Display {
-    /// The box content if the display is valid.
+    /// The box content on screen, if any (valid or last-good stale).
     pub fn content(&self) -> Option<&BoxNode> {
         match self {
             Display::Invalid => None,
-            Display::Valid(b) => Some(b),
+            Display::Valid(b) | Display::Stale(b) => Some(b),
         }
     }
 
     /// Whether the display is valid (rendered and current).
     pub fn is_valid(&self) -> bool {
         matches!(self, Display::Valid(_))
+    }
+
+    /// Whether the display shows a last-good tree after a contained
+    /// fault.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, Display::Stale(_))
     }
 }
 
@@ -141,6 +153,7 @@ impl fmt::Display for Display {
         match self {
             Display::Invalid => f.write_str("⊥"),
             Display::Valid(b) => write!(f, "{} boxes", b.box_count()),
+            Display::Stale(b) => write!(f, "{} boxes (stale)", b.box_count()),
         }
     }
 }

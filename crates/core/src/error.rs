@@ -58,6 +58,9 @@ pub enum RuntimeError {
     /// A construct outside the substitution kernel reached the faithful
     /// small-step machine (local assignment).
     NotInKernel(&'static str),
+    /// An evaluator invariant was broken (unreachable; reported as a
+    /// typed error instead of aborting the process).
+    Internal(&'static str),
 }
 
 impl fmt::Display for RuntimeError {
@@ -87,6 +90,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NotInKernel(what) => {
                 write!(f, "`{what}` is outside the substitution kernel")
+            }
+            RuntimeError::Internal(what) => {
+                write!(f, "internal evaluator invariant broken: {what}")
             }
         }
     }

@@ -190,18 +190,14 @@ impl Expr {
     }
 
     /// Sequence a list of expressions; empty list is unit.
-    pub fn seq(mut exprs: Vec<Expr>, span: Span) -> Expr {
-        match exprs.len() {
-            0 => Expr::unit(span),
-            1 => exprs.pop().expect("one element"),
-            _ => {
-                let mut iter = exprs.into_iter();
-                let first = iter.next().expect("nonempty");
-                iter.fold(first, |acc, next| {
-                    let span = acc.span.merge(next.span);
-                    Expr::new(ExprKind::Seq(Box::new(acc), Box::new(next)), span)
-                })
-            }
+    pub fn seq(exprs: Vec<Expr>, span: Span) -> Expr {
+        let mut iter = exprs.into_iter();
+        match iter.next() {
+            None => Expr::unit(span),
+            Some(first) => iter.fold(first, |acc, next| {
+                let span = acc.span.merge(next.span);
+                Expr::new(ExprKind::Seq(Box::new(acc), Box::new(next)), span)
+            }),
         }
     }
 

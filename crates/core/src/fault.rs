@@ -1,0 +1,136 @@
+//! Fault containment — structured records of contained runtime failures
+//! plus deterministic fault injection.
+//!
+//! The paper acknowledges two ways live user code can fail at run time:
+//! divergence (modelled by fuel exhaustion) and partial primitives
+//! (`list.nth` out of range). Instead of letting either poison the
+//! machine, every [`crate::system::System`] transition is *transactional*:
+//! mutable state is snapshotted before INIT/HANDLER/RENDER runs and
+//! rolled back on error, and the error is surfaced as a [`Fault`] — a
+//! record of *which* transition failed, *where* (page provenance), *why*
+//! (the underlying [`RuntimeError`]), and *how much* fuel it burned.
+//! The display keeps its last good box tree, tagged stale
+//! ([`crate::boxtree::Display::Stale`]), so there is always something to
+//! show the user while they fix their code.
+//!
+//! [`FaultInjector`] is the seam for deterministic fault *injection*:
+//! a test harness can make chosen primitives fail or chosen transitions
+//! run out of fuel on their Nth occurrence, driving the machine into
+//! every rollback path on purpose (see `alive-testkit`).
+
+use crate::error::RuntimeError;
+use crate::prim::{Prim, PrimError};
+use crate::types::Name;
+use std::fmt;
+
+/// Which kind of transition a fault occurred in (its "mode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A page's `init` body failed during a PUSH transition.
+    Init,
+    /// An event handler thunk failed during a THUNK transition.
+    Handler,
+    /// A page's `render` body failed during a RENDER transition.
+    Render,
+    /// An event cascade exceeded the configured
+    /// [`crate::system::SystemConfig::max_transitions`] bound — pages
+    /// that push pages forever. Distinguishable from in-transition
+    /// divergence, which is reported as one of the kinds above.
+    CascadeOverflow,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Init => f.write_str("init"),
+            FaultKind::Handler => f.write_str("handler"),
+            FaultKind::Render => f.write_str("render"),
+            FaultKind::CascadeOverflow => f.write_str("event cascade"),
+        }
+    }
+}
+
+/// The transition about to run, as seen by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// A PUSH transition running a page's `init` body.
+    Init,
+    /// A THUNK transition running an event handler.
+    Handler,
+    /// A RENDER transition running a page's `render` body.
+    Render,
+}
+
+impl From<TransitionKind> for FaultKind {
+    fn from(kind: TransitionKind) -> Self {
+        match kind {
+            TransitionKind::Init => FaultKind::Init,
+            TransitionKind::Handler => FaultKind::Handler,
+            TransitionKind::Render => FaultKind::Render,
+        }
+    }
+}
+
+/// A contained runtime failure. The transition it describes was rolled
+/// back: the machine is in a consistent (pre-transition) state and can
+/// keep running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Which transition failed.
+    pub kind: FaultKind,
+    /// The page whose code was running (provenance), when known.
+    pub page: Option<Name>,
+    /// The underlying runtime error.
+    pub error: RuntimeError,
+    /// Evaluation steps spent before the failure (for
+    /// [`FaultKind::CascadeOverflow`]: transitions taken).
+    pub fuel_spent: u64,
+    /// The fuel budget the transition ran under (for
+    /// [`FaultKind::CascadeOverflow`]: the transition bound).
+    pub fuel_limit: u64,
+    /// The code version that was running.
+    pub version: u64,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault", self.kind)?;
+        if let Some(page) = &self.page {
+            write!(f, " in page `{page}`")?;
+        }
+        write!(
+            f,
+            ": {} ({}/{} fuel, code v{})",
+            self.error, self.fuel_spent, self.fuel_limit, self.version
+        )
+    }
+}
+
+impl std::error::Error for Fault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Deterministic fault injection: a hook the system consults before
+/// running transitions and applying primitives.
+///
+/// Both methods have identity defaults, so an injector only overrides
+/// the failure modes it wants to drive. Implementations must be
+/// deterministic functions of their own state for replayable tests.
+pub trait FaultInjector: fmt::Debug {
+    /// The fuel budget for the next transition of `kind`. Return
+    /// `default_fuel` to leave it alone, or something tiny to make the
+    /// transition run out of fuel.
+    fn fuel_for(&mut self, kind: TransitionKind, default_fuel: u64) -> u64 {
+        let _ = kind;
+        default_fuel
+    }
+
+    /// Called before each primitive application. Return `Some(error)`
+    /// to make this application fail instead of running.
+    fn before_prim(&mut self, prim: Prim) -> Option<PrimError> {
+        let _ = prim;
+        None
+    }
+}

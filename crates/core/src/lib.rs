@@ -38,6 +38,13 @@
 //! ```
 
 #![warn(missing_docs)]
+// Fault containment discipline: non-test code must never abort the
+// process — failures are typed (`RuntimeError`, `Fault`, `PersistError`)
+// and contained. Tests may assert freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod attr;
 pub mod bigstep;
@@ -45,6 +52,7 @@ pub mod boxtree;
 pub mod error;
 pub mod event;
 pub mod expr;
+pub mod fault;
 pub mod fixup;
 pub mod incremental;
 pub mod lower;
@@ -66,6 +74,7 @@ pub use boxtree::{BoxItem, BoxNode, Display};
 pub use error::RuntimeError;
 pub use event::{Event, EventQueue};
 pub use expr::{BoxSourceId, Expr, ExprKind};
+pub use fault::{Fault, FaultInjector, FaultKind, TransitionKind};
 pub use incremental::IncrementalCompiler;
 pub use prim::Prim;
 pub use program::{Program, START_PAGE};

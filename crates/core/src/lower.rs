@@ -220,10 +220,10 @@ impl Lowerer {
         if let ast::StmtKind::Let { name, ty, value } = &first.kind {
             let value = self.expr(value);
             let bound: Name = Rc::from(name.text.as_str());
-            self.scopes
-                .last_mut()
-                .expect("block pushed a scope")
-                .push((bound.clone(), false));
+            match self.scopes.last_mut() {
+                Some(scope) => scope.push((bound.clone(), false)),
+                None => self.scopes.push(vec![(bound.clone(), false)]),
+            }
             let body = self.block_rest(rest, tail, span);
             let full = first.span.merge(body.span);
             return Expr::new(
@@ -241,10 +241,10 @@ impl Lowerer {
             let init = self.expr(init);
             let id = self.program.alloc_remember(first.span);
             let bound: Name = Rc::from(name.text.as_str());
-            self.scopes
-                .last_mut()
-                .expect("block pushed a scope")
-                .push((bound.clone(), true));
+            match self.scopes.last_mut() {
+                Some(scope) => scope.push((bound.clone(), true)),
+                None => self.scopes.push(vec![(bound.clone(), true)]),
+            }
             let body = self.block_rest(rest, tail, span);
             let full = first.span.merge(body.span);
             return Expr::new(
@@ -383,7 +383,13 @@ impl Lowerer {
                     );
                     return Expr::unit(span);
                 };
-                let expected = attr.handler_arity().expect("handlers have arity");
+                let Some(expected) = attr.handler_arity() else {
+                    self.error(
+                        event.span,
+                        format!("`{}` is not a handler event", event.text),
+                    );
+                    return Expr::unit(span);
+                };
                 if params.len() != expected {
                     self.error(
                         event.span,

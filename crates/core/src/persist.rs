@@ -23,17 +23,20 @@ use std::fmt::Write as _;
 
 /// Render a (→-free) value as a parseable literal of the language.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on closures and primitives — those cannot be stored in
-/// globals, so a store snapshot never contains them.
-pub fn value_to_literal(value: &Value) -> String {
+/// [`PersistError::Unpersistable`] on closures, primitives, and widget
+/// references — those cannot be stored in globals (T-C-GLOBAL), so a
+/// store snapshot of a type-checked program never contains them; a
+/// corrupted store is reported instead of crashed on.
+pub fn value_to_literal(value: &Value) -> Result<String, PersistError> {
     let mut out = String::new();
-    write_literal(&mut out, value);
-    out
+    write_literal(&mut out, value)
+        .map_err(|what| PersistError::Unpersistable { global: None, what })?;
+    Ok(out)
 }
 
-fn write_literal(out: &mut String, value: &Value) {
+fn write_literal(out: &mut String, value: &Value) -> Result<(), &'static str> {
     match value {
         Value::Number(n) => {
             if n.is_finite() {
@@ -80,7 +83,7 @@ fn write_literal(out: &mut String, value: &Value) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_literal(out, v);
+                write_literal(out, v)?;
             }
             out.push(')');
         }
@@ -90,14 +93,17 @@ fn write_literal(out: &mut String, value: &Value) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_literal(out, v);
+                write_literal(out, v)?;
             }
             out.push(']');
         }
-        Value::Closure(_) | Value::Prim(_) | Value::WidgetRef(_) => {
-            unreachable!("store values are function-free (T-C-GLOBAL)")
-        }
+        // Store values are function-free for type-checked programs
+        // (T-C-GLOBAL); a corrupted store is a typed error, not a panic.
+        Value::Closure(_) => return Err("closure"),
+        Value::Prim(_) => return Err("primitive"),
+        Value::WidgetRef(_) => return Err("widget reference"),
     }
+    Ok(())
 }
 
 fn nearest_named(c: Color) -> &'static str {
@@ -110,30 +116,63 @@ fn nearest_named(c: Color) -> &'static str {
             dr * dr + dg * dg + db * db
         })
         .map(|(name, _)| *name)
-        .expect("palette is nonempty")
+        .unwrap_or("black")
 }
 
 /// Serialize a store snapshot.
-pub fn save_store(store: &Store) -> String {
+///
+/// # Errors
+///
+/// [`PersistError::Unpersistable`] (naming the offending global) if the
+/// store holds a value with no literal form — impossible for
+/// type-checked programs, reported instead of panicked on otherwise.
+pub fn save_store(store: &Store) -> Result<String, PersistError> {
     let mut out = String::from("#alive-store v1\n");
     for (name, value) in store.iter() {
-        let _ = writeln!(out, "{name} := {}", value_to_literal(value));
+        let literal = value_to_literal(value).map_err(|e| match e {
+            PersistError::Unpersistable { what, .. } => PersistError::Unpersistable {
+                global: Some(name.to_string()),
+                what,
+            },
+            other => other,
+        })?;
+        let _ = writeln!(out, "{name} := {literal}");
     }
-    out
+    Ok(out)
 }
 
-/// An error restoring a snapshot.
+/// An error snapshotting or restoring the model.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PersistError {
-    /// 1-based line of the problem.
-    pub line: usize,
-    /// Description.
-    pub message: String,
+pub enum PersistError {
+    /// Malformed snapshot syntax on load.
+    Syntax {
+        /// 1-based line of the problem.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A store value has no literal form (closures, primitives, widget
+    /// references) — the store is corrupted; snapshotting it is refused
+    /// rather than aborted.
+    Unpersistable {
+        /// The global holding the value, when known.
+        global: Option<String>,
+        /// What kind of value could not be persisted.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "snapshot error at line {}: {}", self.line, self.message)
+        match self {
+            PersistError::Syntax { line, message } => {
+                write!(f, "snapshot error at line {line}: {message}")
+            }
+            PersistError::Unpersistable { global, what } => match global {
+                Some(g) => write!(f, "global `{g}` holds a {what}, which has no literal form"),
+                None => write!(f, "a {what} has no literal form"),
+            },
+        }
     }
 }
 
@@ -163,7 +202,7 @@ pub fn load_store(program: &Program, text: &str) -> Result<(Store, LoadReport), 
     match lines.next() {
         Some((_, header)) if header.trim() == "#alive-store v1" => {}
         _ => {
-            return Err(PersistError {
+            return Err(PersistError::Syntax {
                 line: 1,
                 message: "missing `#alive-store v1` header".into(),
             })
@@ -178,7 +217,7 @@ pub fn load_store(program: &Program, text: &str) -> Result<(Store, LoadReport), 
             continue;
         }
         let Some((name, literal)) = line.split_once(":=") else {
-            return Err(PersistError {
+            return Err(PersistError::Syntax {
                 line: line_no,
                 message: format!("expected `name := literal`, found {line:?}"),
             });
@@ -188,7 +227,7 @@ pub fn load_store(program: &Program, text: &str) -> Result<(Store, LoadReport), 
         let value = match parse_literal(literal) {
             Ok(v) => v,
             Err(message) => {
-                return Err(PersistError {
+                return Err(PersistError::Syntax {
                     line: line_no,
                     message,
                 })
@@ -303,9 +342,24 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_store_is_a_typed_error_not_a_panic() {
+        let mut s = Store::new();
+        s.set("f", Value::Prim(crate::prim::Prim::MathFloor));
+        let err = save_store(&s).expect_err("unpersistable");
+        assert_eq!(
+            err,
+            PersistError::Unpersistable {
+                global: Some("f".into()),
+                what: "primitive",
+            }
+        );
+        assert!(err.to_string().contains("`f`"), "{err}");
+    }
+
+    #[test]
     fn store_roundtrips_through_literals() {
         let original = sample_store();
-        let text = save_store(&original);
+        let text = save_store(&original).expect("saves");
         let (restored, report) = load_store(&matching_program(), &text).expect("loads");
         assert_eq!(restored, original);
         assert_eq!(report.restored.len(), 5);
@@ -314,7 +368,7 @@ mod tests {
 
     #[test]
     fn snapshot_survives_code_evolution_like_fixup() {
-        let text = save_store(&sample_store());
+        let text = save_store(&sample_store()).expect("saves");
         // New code: `count` retyped, `flag` gone, the rest unchanged.
         let evolved = compile(
             "global count : string = \"zero\"
@@ -342,7 +396,7 @@ mod tests {
              page start() { render { } }",
         )
         .expect("compiles");
-        let (restored, _) = load_store(&p, &save_store(&s)).expect("loads");
+        let (restored, _) = load_store(&p, &save_store(&s).expect("saves")).expect("loads");
         assert_eq!(restored.get("inf"), Some(&Value::Number(f64::INFINITY)));
         assert_eq!(
             restored.get("ninf"),
@@ -370,7 +424,7 @@ mod tests {
     #[test]
     fn unnamed_colors_snap_to_palette() {
         assert_eq!(
-            value_to_literal(&Value::Color(Color::new(172, 208, 238))),
+            value_to_literal(&Value::Color(Color::new(172, 208, 238))).expect("persistable"),
             "colors.light_blue"
         );
     }

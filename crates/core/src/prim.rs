@@ -43,6 +43,9 @@ pub enum PrimError {
         /// The list length.
         len: usize,
     },
+    /// The primitive was made to fail by a
+    /// [`crate::fault::FaultInjector`] (deterministic fault injection).
+    Injected(Prim),
 }
 
 impl fmt::Display for PrimError {
@@ -55,6 +58,7 @@ impl fmt::Display for PrimError {
                     "index {index} out of range for list of length {len} in `{prim}`"
                 )
             }
+            PrimError::Injected(p) => write!(f, "injected fault in `{p}`"),
         }
     }
 }

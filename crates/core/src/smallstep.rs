@@ -176,7 +176,10 @@ pub fn eval_render(
         trace: None,
     };
     let value = machine.reduce_to_value(expr.clone())?;
-    let root = machine.boxes.pop().expect("top-level box");
+    let root = machine
+        .boxes
+        .pop()
+        .ok_or(RuntimeError::Internal("no open box frame in render"))?;
     Ok(SmallStepOutput {
         value,
         steps: machine.steps,
@@ -269,7 +272,10 @@ pub fn eval_render_traced(
         trace: Some(Vec::new()),
     };
     let value = machine.reduce_to_value(expr.clone())?;
-    let root = machine.boxes.pop().expect("top-level box");
+    let root = machine
+        .boxes
+        .pop()
+        .ok_or(RuntimeError::Internal("no open box frame in render"))?;
     Ok(SmallStepOutput {
         value,
         steps: machine.steps,
@@ -631,6 +637,15 @@ impl Machine<'_> {
         Ok(())
     }
 
+    /// The innermost open box frame; a missing frame is an interpreter
+    /// invariant breach surfaced as a contained runtime error rather
+    /// than a panic.
+    fn current_box(&mut self) -> Result<&mut BoxNode, RuntimeError> {
+        self.boxes
+            .last_mut()
+            .ok_or(RuntimeError::Internal("no open box frame in render"))
+    }
+
     fn reduce_to_value(&mut self, mut expr: Expr) -> Result<Value, RuntimeError> {
         while !is_value(&expr) {
             expr = self.step(expr)?;
@@ -820,11 +835,7 @@ impl Machine<'_> {
                     }
                     self.tick(Effect::Render, Rule::ErPost)?;
                     let v = expr_to_value(&value)?;
-                    self.boxes
-                        .last_mut()
-                        .expect("render frame")
-                        .items
-                        .push(BoxItem::Leaf(v));
+                    self.current_box()?.items.push(BoxItem::Leaf(v));
                     Ok(unit())
                 } else {
                     let value = self.step(*value)?;
@@ -842,11 +853,7 @@ impl Machine<'_> {
                     }
                     self.tick(Effect::Render, Rule::ErAttr)?;
                     let v = expr_to_value(&value)?;
-                    self.boxes
-                        .last_mut()
-                        .expect("render frame")
-                        .items
-                        .push(BoxItem::Attr(attr, v));
+                    self.current_box()?.items.push(BoxItem::Attr(attr, v));
                     Ok(unit())
                 } else {
                     let value = self.step(*value)?;
@@ -865,13 +872,12 @@ impl Machine<'_> {
                 self.tick(Effect::Render, Rule::ErBoxed)?;
                 self.boxes.push(BoxNode::new(Some(id)));
                 let result = self.reduce_to_value(*body);
-                let node = self.boxes.pop().expect("frame pushed above");
+                let node = self
+                    .boxes
+                    .pop()
+                    .ok_or(RuntimeError::Internal("no open box frame in render"))?;
                 let value = result?;
-                self.boxes
-                    .last_mut()
-                    .expect("parent frame")
-                    .items
-                    .push(BoxItem::Child(node));
+                self.current_box()?.items.push(BoxItem::Child(node));
                 Ok(value_to_expr(&value, span))
             }
             // -- conservative extensions --------------------------------

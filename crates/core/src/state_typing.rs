@@ -6,7 +6,7 @@
 //! invariant: every closure reachable from the state carries the current
 //! code version.
 
-use crate::boxtree::{BoxItem, BoxNode, Display};
+use crate::boxtree::{BoxItem, BoxNode};
 use crate::event::Event;
 use crate::system::System;
 use crate::typeck::check_program;
@@ -134,8 +134,10 @@ pub fn check_system(system: &System) -> Vec<StateTypeError> {
     }
 
     // C ⊢ D: attribute values have their Γa types (T-B-ATTR); the
-    // `boxed` source ids refer to real statements.
-    if let Display::Valid(root) = system.display() {
+    // `boxed` source ids refer to real statements. A stale last-good
+    // tree is checked too: fault containment clears it on UPDATE, so it
+    // is always a tree of the *current* code.
+    if let Some(root) = system.display().content() {
         check_box(program, root, &mut errors);
     }
 
@@ -193,7 +195,7 @@ pub fn check_system(system: &System) -> Vec<StateTypeError> {
             Event::Pop => {}
         }
     }
-    if let Display::Valid(root) = system.display() {
+    if let Some(root) = system.display().content() {
         let mut stack = vec![root];
         while let Some(node) = stack.pop() {
             for item in &node.items {

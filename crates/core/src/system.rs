@@ -21,11 +21,13 @@ use crate::bigstep::{self, Cost, DEFAULT_FUEL};
 use crate::boxtree::{BoxNode, Display};
 use crate::error::RuntimeError;
 use crate::event::{Event, EventQueue};
+use crate::fault::{Fault, FaultInjector, FaultKind, TransitionKind};
 use crate::fixup::{fixup_pages, fixup_store, FixupReport};
 use crate::program::{Program, START_PAGE};
 use crate::store::Store;
 use crate::types::Name;
 use crate::value::Value;
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -70,7 +72,7 @@ impl fmt::Display for ActionError {
             ActionError::NoSuchBox(p) => write!(f, "no box at path {p:?}"),
             ActionError::NoHandler(a) => write!(f, "box has no `{a}` handler"),
             ActionError::NoPageToPop => f.write_str("no page to pop (already at the root)"),
-            ActionError::NotStable => f.write_str("code updates require a stable state"),
+            ActionError::NotStable => f.write_str("code updates require a drained event queue"),
             ActionError::IllTyped(ds) => write!(f, "new code is ill-typed:\n{ds}"),
         }
     }
@@ -112,6 +114,14 @@ pub struct System {
     version: u64,
     /// Accumulated cost over the system's lifetime.
     cost: Cost,
+    /// The most recent successfully rendered box tree, kept so a
+    /// faulting transition can leave *something* on screen
+    /// ([`Display::Stale`]). Cleared by UPDATE (no stale code).
+    last_good: Option<BoxNode>,
+    /// Deterministic fault injection, when a harness installed one.
+    /// Shared (not deep-cloned) across [`Clone`], so a cloned system
+    /// advances the same injection schedule.
+    injector: Option<Rc<RefCell<dyn FaultInjector>>>,
 }
 
 impl System {
@@ -132,7 +142,26 @@ impl System {
             widgets: crate::widget::WidgetStore::new(),
             version: 0,
             cost: Cost::default(),
+            last_good: None,
+            injector: None,
         }
+    }
+
+    /// Install a deterministic [`FaultInjector`] consulted before every
+    /// transition and primitive application. Pass-through by default
+    /// (no injector).
+    pub fn set_fault_injector(&mut self, injector: Rc<RefCell<dyn FaultInjector>>) {
+        self.injector = Some(injector);
+    }
+
+    /// Remove any installed fault injector.
+    pub fn clear_fault_injector(&mut self) {
+        self.injector = None;
+    }
+
+    /// The configuration this system runs under.
+    pub fn config(&self) -> SystemConfig {
+        self.config
     }
 
     /// The current code `C`.
@@ -188,25 +217,71 @@ impl System {
     }
 
     /// A state is *stable* iff the event queue is empty, the page stack
-    /// is non-empty, and the display is valid — the system is waiting
-    /// for the user.
+    /// is non-empty, and the display shows content — the system is
+    /// waiting for the user.
     ///
     /// (The paper defines stability as "queue empty ∧ stack non-empty";
     /// rendering is the only transition left from such a state, so we
-    /// fold it in: `run_to_stable` always leaves a valid display.)
+    /// fold it in: `run_to_stable` always leaves a displayable tree. A
+    /// [`Display::Stale`] last-good tree counts: the machine is degraded
+    /// by a contained fault but still alive and waiting.)
     pub fn is_stable(&self) -> bool {
-        self.queue.is_empty() && !self.page_stack.is_empty() && self.display.is_valid()
+        self.queue.is_empty() && !self.page_stack.is_empty() && self.display.content().is_some()
+    }
+
+    /// The fuel budget for the next transition of `kind`, consulting
+    /// the installed [`FaultInjector`] if any.
+    fn transition_fuel(&mut self, kind: TransitionKind) -> u64 {
+        match &self.injector {
+            Some(injector) => injector.borrow_mut().fuel_for(kind, self.config.fuel),
+            None => self.config.fuel,
+        }
+    }
+
+    /// Build a [`Fault`] record for a failed transition.
+    fn fault(
+        &self,
+        kind: FaultKind,
+        page: Option<Name>,
+        error: RuntimeError,
+        cost: Cost,
+        fuel_limit: u64,
+    ) -> Fault {
+        Fault {
+            kind,
+            page,
+            error,
+            fuel_spent: cost.steps,
+            fuel_limit,
+            version: self.version,
+        }
+    }
+
+    /// After a rolled-back transition: show the last good tree (tagged
+    /// stale), or `⊥` if nothing was ever rendered.
+    fn degrade_display(&mut self) {
+        self.display = match &self.last_good {
+            Some(tree) => Display::Stale(tree.clone()),
+            None => Display::Invalid,
+        };
     }
 
     /// Perform one enabled transition of `→g`, in the deterministic
     /// order: STARTUP, event handling, RENDER.
     ///
+    /// Every transition is *transactional*: the mutable state it may
+    /// touch (store, page stack, queue, `remember` slots) is
+    /// snapshotted first and restored on error, so a fault can never
+    /// leave the machine half-mutated. The faulting event is dropped
+    /// (its effects rolled back) and the display falls back to the last
+    /// good tree, tagged [`Display::Stale`].
+    ///
     /// # Errors
     ///
-    /// Propagates [`RuntimeError`] from user code (divergence via fuel,
-    /// partial primitives). The system state remains consistent: the
-    /// offending event has been consumed and the display left invalid.
-    pub fn step(&mut self) -> Result<StepKind, RuntimeError> {
+    /// A structured [`Fault`] when user code fails (divergence via
+    /// fuel, partial primitives). The machine survives: state is as it
+    /// was before the transition and further transitions stay enabled.
+    pub fn step(&mut self) -> Result<StepKind, Fault> {
         // (STARTUP)
         if self.page_stack.is_empty() && self.queue.is_empty() {
             self.display = Display::Invalid;
@@ -217,74 +292,168 @@ impl System {
         // (THUNK) / (PUSH) / (POP)
         if let Some(event) = self.queue.dequeue() {
             self.display = Display::Invalid;
-            return match event {
+            // The transaction checkpoint: everything an event transition
+            // may mutate, snapshotted *after* the event was consumed —
+            // rollback drops the faulting event and all its effects.
+            let checkpoint = (
+                self.store.clone(),
+                self.page_stack.clone(),
+                self.queue.clone(),
+                self.widgets.clone(),
+            );
+            let (kind, page, result, cost, fuel) = match event {
                 Event::Exec(thunk, args) => {
-                    let (_, cost) = bigstep::call_thunk_full(
+                    let fuel = self.transition_fuel(TransitionKind::Handler);
+                    let injector = self.injector.clone();
+                    let mut guard = injector.as_ref().map(|i| i.borrow_mut());
+                    let (result, cost) = bigstep::transition_thunk(
                         &self.program,
                         &mut self.store,
                         &mut self.queue,
                         self.version,
-                        self.config.fuel,
+                        fuel,
                         &thunk,
                         args,
                         Some(&mut self.widgets),
-                    )?;
-                    self.cost.absorb(cost);
-                    Ok(StepKind::Thunk)
+                        guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+                    );
+                    let page = self.page_stack.last().map(|(n, _)| n.clone());
+                    (StepKind::Thunk, page, result.map(|_| ()), cost, fuel)
                 }
                 Event::Push(page_name, arg) => {
-                    let page = self
-                        .program
-                        .page(&page_name)
-                        .ok_or_else(|| RuntimeError::UnknownPage(page_name.clone()))?;
-                    let bindings = bind_page_params(page, &arg);
-                    let init = page.init.clone();
-                    let (_, cost) = bigstep::run_state(
-                        &self.program,
-                        &mut self.store,
-                        &mut self.queue,
-                        self.version,
-                        self.config.fuel,
-                        bindings,
-                        &init,
-                    )?;
-                    self.cost.absorb(cost);
-                    self.page_stack.push((page_name, arg));
-                    Ok(StepKind::Push)
+                    let fuel = self.transition_fuel(TransitionKind::Init);
+                    let outcome = match self.program.page(&page_name) {
+                        None => (
+                            Err(RuntimeError::UnknownPage(page_name.clone())),
+                            Cost::default(),
+                        ),
+                        Some(page) => {
+                            let bindings = bind_page_params(page, &arg);
+                            let init = page.init.clone();
+                            let injector = self.injector.clone();
+                            let mut guard = injector.as_ref().map(|i| i.borrow_mut());
+                            bigstep::transition_state(
+                                &self.program,
+                                &mut self.store,
+                                &mut self.queue,
+                                self.version,
+                                fuel,
+                                bindings,
+                                &init,
+                                Some(&mut self.widgets),
+                                guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+                            )
+                        }
+                    };
+                    let (result, cost) = outcome;
+                    if result.is_ok() {
+                        self.page_stack.push((page_name.clone(), arg));
+                    }
+                    (
+                        StepKind::Push,
+                        Some(page_name),
+                        result.map(|_| ()),
+                        cost,
+                        fuel,
+                    )
                 }
                 Event::Pop => {
                     // (POP): pops the top page, or does nothing if empty.
                     self.page_stack.pop();
-                    Ok(StepKind::Pop)
+                    return Ok(StepKind::Pop);
+                }
+            };
+            self.cost.absorb(cost);
+            return match result {
+                Ok(_) => Ok(kind),
+                Err(error) => {
+                    // Roll the transaction back: the event is dropped,
+                    // every side effect (store writes, enqueued events,
+                    // pushed pages, widget writes) is undone.
+                    let (store, page_stack, queue, widgets) = checkpoint;
+                    self.store = store;
+                    self.page_stack = page_stack;
+                    self.queue = queue;
+                    self.widgets = widgets;
+                    self.degrade_display();
+                    let fault_kind = match kind {
+                        StepKind::Push => FaultKind::Init,
+                        _ => FaultKind::Handler,
+                    };
+                    Err(self.fault(fault_kind, page, error, cost, fuel))
                 }
             };
         }
-        // (RENDER)
-        if !self.display.is_valid() {
-            if let Some((page_name, arg)) = self.page_stack.last().cloned() {
-                let page = self
-                    .program
-                    .page(&page_name)
-                    .ok_or_else(|| RuntimeError::UnknownPage(page_name.clone()))?;
-                let bindings = bind_page_params(page, &arg);
-                let render = page.render.clone();
-                self.widgets.begin_render();
-                let out = bigstep::run_render_full(
-                    &self.program,
-                    &self.store,
-                    self.version,
-                    self.config.fuel,
-                    bindings,
-                    &render,
-                    None,
-                    Some(&mut self.widgets),
-                )?;
-                self.cost.absorb(out.cost);
-                self.display = Display::Valid(out.root);
-                return Ok(StepKind::Render);
+        // (RENDER) — only from `⊥`; a stale last-good tree stays until
+        // something invalidates the display again.
+        if matches!(self.display, Display::Invalid) {
+            if let Some((page_name, _)) = self.page_stack.last() {
+                let page_name = page_name.clone();
+                return match self.render_transition(None) {
+                    Ok(()) => Ok(StepKind::Render),
+                    Err((error, cost, fuel)) => {
+                        self.degrade_display();
+                        Err(self.fault(FaultKind::Render, Some(page_name), error, cost, fuel))
+                    }
+                };
             }
         }
         Ok(StepKind::Stable)
+    }
+
+    /// The RENDER transition body, shared by [`System::step`] and
+    /// [`System::render_with_hook`]. On success the display is valid
+    /// and `last_good` updated; on error the `remember` slots are
+    /// rolled back and the error returned with the cost it burned (the
+    /// display is left untouched for the caller to degrade).
+    fn render_transition(
+        &mut self,
+        hook: Option<&mut dyn bigstep::RenderHook>,
+    ) -> Result<(), (RuntimeError, Cost, u64)> {
+        let Some((page_name, arg)) = self.page_stack.last().cloned() else {
+            return Err((
+                RuntimeError::Internal("RENDER with an empty page stack"),
+                Cost::default(),
+                0,
+            ));
+        };
+        let fuel = self.transition_fuel(TransitionKind::Render);
+        let Some(page) = self.program.page(&page_name) else {
+            return Err((RuntimeError::UnknownPage(page_name), Cost::default(), fuel));
+        };
+        let bindings = bind_page_params(page, &arg);
+        let render = page.render.clone();
+        // RENDER's transaction checkpoint: render code cannot touch the
+        // store, stack, or queue (enforced by mode and borrows), so only
+        // the `remember` slots need snapshotting.
+        let widgets_checkpoint = self.widgets.clone();
+        self.widgets.begin_render();
+        let injector = self.injector.clone();
+        let mut guard = injector.as_ref().map(|i| i.borrow_mut());
+        let (result, cost) = bigstep::transition_render(
+            &self.program,
+            &self.store,
+            self.version,
+            fuel,
+            bindings,
+            &render,
+            hook,
+            Some(&mut self.widgets),
+            guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+        );
+        drop(guard);
+        self.cost.absorb(cost);
+        match result {
+            Ok(root) => {
+                self.last_good = Some(root.clone());
+                self.display = Display::Valid(root);
+                Ok(())
+            }
+            Err(error) => {
+                self.widgets = widgets_checkpoint;
+                Err((error, cost, fuel))
+            }
+        }
     }
 
     /// Run transitions until the system is stable. Returns the kinds of
@@ -292,10 +461,13 @@ impl System {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::FuelExhausted`] if the event cascade exceeds the
-    /// configured bound (e.g. pages that push pages forever), or any
-    /// error from user code.
-    pub fn run_to_stable(&mut self) -> Result<Vec<StepKind>, RuntimeError> {
+    /// Any [`Fault`] from a transition, or — if the event cascade
+    /// exceeds [`SystemConfig::max_transitions`] (e.g. pages that push
+    /// pages forever) — a [`FaultKind::CascadeOverflow`] fault. On
+    /// overflow the runaway queue is dropped so the machine stays
+    /// usable: the next `run_to_stable` renders whatever the stack
+    /// holds.
+    pub fn run_to_stable(&mut self) -> Result<Vec<StepKind>, Fault> {
         let mut kinds = Vec::new();
         for _ in 0..self.config.max_transitions {
             let kind = self.step()?;
@@ -304,7 +476,19 @@ impl System {
             }
             kinds.push(kind);
         }
-        Err(RuntimeError::FuelExhausted)
+        // Cascade overflow: contain it like any other fault — drop the
+        // runaway events and fall back to the last good tree.
+        self.queue.clear();
+        self.degrade_display();
+        let page = self.page_stack.last().map(|(n, _)| n.clone());
+        Err(Fault {
+            kind: FaultKind::CascadeOverflow,
+            page,
+            error: RuntimeError::FuelExhausted,
+            fuel_spent: self.config.max_transitions,
+            fuel_limit: self.config.max_transitions,
+            version: self.version,
+        })
     }
 
     /// (TAP) — the user taps the box at `path` in the display. Requires
@@ -337,13 +521,25 @@ impl System {
     }
 
     fn interaction_handler(&self, path: &[usize], attr: Attr) -> Result<Value, ActionError> {
-        let Display::Valid(root) = &self.display else {
+        // A stale (last-good) tree stays interactive: the machine is
+        // degraded, not dead. Only `⊥` refuses interactions.
+        let Some(root) = self.display.content() else {
             return Err(ActionError::DisplayInvalid);
         };
         let node = root
             .descendant(path)
             .ok_or_else(|| ActionError::NoSuchBox(path.to_vec()))?;
-        node.attr(attr).cloned().ok_or(ActionError::NoHandler(attr))
+        let handler = node
+            .attr(attr)
+            .cloned()
+            .ok_or(ActionError::NoHandler(attr))?;
+        // The rule's premise wants a callable `v`; a non-function here
+        // means a corrupted tree — report it as a typed error instead of
+        // letting the THUNK transition abort later.
+        if !matches!(handler, Value::Closure(_) | Value::Prim(_)) {
+            return Err(ActionError::NoHandler(attr));
+        }
+        Ok(handler)
     }
 
     /// (BACK) — the user presses the back button: enqueue `[pop]` and
@@ -353,10 +549,17 @@ impl System {
         self.queue.enqueue(Event::Pop);
     }
 
-    /// (UPDATE) — swap in new code. Only enabled in a stable state. The
-    /// store and page stack are fixed up per Fig. 12, the display is
-    /// invalidated, and the version counter increments so that stale
-    /// closures are detectable.
+    /// (UPDATE) — swap in new code. The store and page stack are fixed
+    /// up per Fig. 12, the display is invalidated, and the version
+    /// counter increments so that stale closures are detectable.
+    ///
+    /// The paper enables UPDATE only in stable states; we relax the
+    /// premise to "the event queue is drained": a *degraded* machine
+    /// (stale or even `⊥` display after a contained fault) must still
+    /// accept the edit that fixes it, or fault containment would brick
+    /// the session. In-flight events still block the update — running
+    /// them against swapped code is exactly the staleness UPDATE's
+    /// stability premise exists to prevent.
     ///
     /// ```
     /// use alive_core::{compile, Value};
@@ -382,11 +585,11 @@ impl System {
     ///
     /// # Errors
     ///
-    /// [`ActionError::NotStable`] outside stable states;
+    /// [`ActionError::NotStable`] while events are in flight;
     /// [`ActionError::IllTyped`] if `C' ⊢ C'` fails (the old program
     /// keeps running).
     pub fn update(&mut self, new_program: Program) -> Result<FixupReport, ActionError> {
-        if !self.is_stable() {
+        if !self.queue.is_empty() {
             return Err(ActionError::NotStable);
         }
         let diags = crate::typeck::check_program(&new_program);
@@ -401,15 +604,23 @@ impl System {
         self.display = Display::Invalid;
         self.queue.clear();
         // View state dies with the view's code (§4.2 discipline applied
-        // to the `remember` extension).
+        // to the `remember` extension) — and so does the last good tree:
+        // keeping it would let a fault resurrect stale code's boxes.
         self.widgets.clear();
+        self.last_good = None;
         self.version += 1;
         Ok(report)
     }
 
     /// Snapshot the model (store) as persistent text — the "persistent
     /// data" half of the paper's program = code + data (§1).
-    pub fn snapshot(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`crate::persist::PersistError::Unpersistable`] if the store
+    /// holds a value with no literal form (impossible for type-checked
+    /// programs: T-C-GLOBAL keeps globals function-free).
+    pub fn snapshot(&self) -> Result<String, crate::persist::PersistError> {
         crate::persist::save_store(&self.store)
     }
 
@@ -433,43 +644,33 @@ impl System {
 
     /// Perform the RENDER transition with a [`bigstep::RenderHook`]
     /// intercepting `boxed` evaluation — the §5 reuse optimization.
-    /// Does nothing (returns `false`) if the display is already valid,
-    /// the queue is non-empty, or the page stack is empty (i.e. RENDER
-    /// is not the enabled transition).
+    /// Does nothing (returns `false`) if the display is not `⊥`, the
+    /// queue is non-empty, or the page stack is empty (i.e. RENDER is
+    /// not the enabled transition).
     ///
     /// # Errors
     ///
-    /// Propagates evaluation errors from the render body.
+    /// A contained [`Fault`] — transactional like [`System::step`]'s
+    /// RENDER: `remember` slots roll back and the display degrades to
+    /// the last good tree.
     pub fn render_with_hook(
         &mut self,
         hook: &mut dyn crate::bigstep::RenderHook,
-    ) -> Result<bool, RuntimeError> {
-        if self.display.is_valid() || !self.queue.is_empty() {
+    ) -> Result<bool, Fault> {
+        if !matches!(self.display, Display::Invalid) || !self.queue.is_empty() {
             return Ok(false);
         }
-        let Some((page_name, arg)) = self.page_stack.last().cloned() else {
+        let Some((page_name, _)) = self.page_stack.last() else {
             return Ok(false);
         };
-        let page = self
-            .program
-            .page(&page_name)
-            .ok_or_else(|| RuntimeError::UnknownPage(page_name.clone()))?;
-        let bindings = bind_page_params(page, &arg);
-        let render = page.render.clone();
-        self.widgets.begin_render();
-        let out = bigstep::run_render_full(
-            &self.program,
-            &self.store,
-            self.version,
-            self.config.fuel,
-            bindings,
-            &render,
-            Some(hook),
-            Some(&mut self.widgets),
-        )?;
-        self.cost.absorb(out.cost);
-        self.display = Display::Valid(out.root);
-        Ok(true)
+        let page_name = page_name.clone();
+        match self.render_transition(Some(hook)) {
+            Ok(()) => Ok(true),
+            Err((error, cost, fuel)) => {
+                self.degrade_display();
+                Err(self.fault(FaultKind::Render, Some(page_name), error, cost, fuel))
+            }
+        }
     }
 
     /// Mutable access to the store, for tests that need to corrupt or
@@ -500,13 +701,17 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Propagates evaluation errors from pending transitions.
-    pub fn rendered(&mut self) -> Result<&BoxNode, RuntimeError> {
+    /// Propagates contained [`Fault`]s from pending transitions.
+    pub fn rendered(&mut self) -> Result<&BoxNode, Fault> {
         self.run_to_stable()?;
-        Ok(self
-            .display
-            .content()
-            .expect("stable states have a valid display"))
+        self.display.content().ok_or(Fault {
+            kind: FaultKind::Render,
+            page: None,
+            error: RuntimeError::Internal("stable state has no display content"),
+            fuel_spent: 0,
+            fuel_limit: self.config.fuel,
+            version: self.version,
+        })
     }
 }
 
@@ -656,10 +861,18 @@ mod tests {
     }
 
     #[test]
-    fn update_requires_stability() {
+    fn update_requires_a_drained_queue() {
         let mut sys = counter_system();
+        // Step once: STARTUP enqueues [push start ()] — an in-flight
+        // event, so UPDATE is blocked.
+        sys.step().expect("startup");
+        assert!(!sys.queue().is_empty());
         let p = compile(COUNTER).expect("compiles");
         assert!(matches!(sys.update(p), Err(ActionError::NotStable)));
+        // Drained (even pre-startup or degraded) states accept updates.
+        sys.run_to_stable().expect("settles");
+        let p = compile(COUNTER).expect("compiles");
+        assert!(sys.update(p).is_ok());
     }
 
     #[test]
@@ -767,7 +980,7 @@ mod tests {
         sys.run_to_stable().expect("starts");
         sys.tap(&[0]).expect("tap");
         sys.run_to_stable().expect("handles");
-        let snapshot = sys.snapshot();
+        let snapshot = sys.snapshot().expect("store is function-free");
         assert!(snapshot.contains("count := 11"), "{snapshot}");
 
         // A fresh system restores the model without re-running init.
@@ -797,6 +1010,149 @@ mod tests {
                 max_transitions: 50,
             },
         );
-        assert_eq!(sys.run_to_stable(), Err(RuntimeError::FuelExhausted));
+        let fault = sys.run_to_stable().expect_err("cascade overflows");
+        // Cascade overflow is its own fault kind, distinguishable from
+        // in-transition divergence, and carries the configured bound.
+        assert_eq!(fault.kind, FaultKind::CascadeOverflow);
+        assert_eq!(fault.error, RuntimeError::FuelExhausted);
+        assert_eq!(fault.fuel_limit, 50);
+        // Containment dropped the runaway queue: the machine recovers by
+        // rendering the page the cascade left on top.
+        assert!(sys.queue().is_empty());
+        sys.run_to_stable().expect("machine survives the overflow");
+        assert!(sys.is_stable());
+    }
+
+    #[test]
+    fn faulting_handler_rolls_back_the_store() {
+        // `list.nth` out of range — the paper's partial-primitive
+        // failure — after the handler already wrote the store.
+        let partial = "
+            global count : number = 0
+            global xs : list number = []
+            page start() {
+                render {
+                    boxed {
+                        post count;
+                        on tap { count := count + 1; count := list.nth(xs, 5); }
+                    }
+                }
+            }";
+        let mut sys = System::new(compile(partial).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        let before_store = sys.store().clone();
+        let before_view = sys.display().content().expect("valid").clone();
+        sys.tap(&[0]).expect("tap lands");
+        let fault = sys.run_to_stable().expect_err("handler faults");
+        assert_eq!(fault.kind, FaultKind::Handler);
+        assert!(matches!(fault.error, RuntimeError::Prim(_)));
+        // Transaction rollback: the half-applied `count := count + 1`
+        // is undone; the store is byte-identical to the pre-event state.
+        assert_eq!(sys.store(), &before_store);
+        // The event was dropped and the last good tree is still shown.
+        assert!(sys.queue().is_empty());
+        assert!(sys.display().is_stale());
+        assert_eq!(sys.display().content(), Some(&before_view));
+        assert!(sys.is_stable(), "degraded but alive");
+    }
+
+    #[test]
+    fn faulting_init_rolls_back_stack_and_store() {
+        let faulty_detail = "
+            global trace : number = 0
+            page start() {
+                render {
+                    boxed { post \"go\"; on tap { push detail(); } }
+                }
+            }
+            page detail() {
+                init { trace := 1; trace := list.nth([0], 5); }
+                render { post trace; }
+            }";
+        let mut sys = System::new(compile(faulty_detail).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        sys.tap(&[0]).expect("tap lands");
+        // The tap's THUNK succeeds (it only enqueues the push); the
+        // push's INIT faults.
+        let fault = sys.run_to_stable().expect_err("init faults");
+        assert_eq!(fault.kind, FaultKind::Init);
+        assert_eq!(fault.page.as_deref(), Some("detail"));
+        // Rollback: the page was not pushed, the store write undone.
+        assert_eq!(sys.page_stack().len(), 1);
+        assert_eq!(sys.current_page().map(|(n, _)| n), Some("start"));
+        assert_eq!(sys.store().get("trace"), None);
+        assert!(sys.is_stable(), "degraded but alive");
+    }
+
+    #[test]
+    fn render_fault_keeps_last_good_view_and_recovers() {
+        let sometimes = "
+            global n : number = 0
+            global xs : list number = [7]
+            page start() {
+                render {
+                    boxed {
+                        post list.nth(xs, n);
+                        on tap { n := n + 1; }
+                    }
+                }
+            }";
+        let mut sys = System::new(compile(sometimes).expect("compiles"));
+        sys.run_to_stable().expect("starts");
+        let good = sys.display().content().expect("valid").clone();
+        // Tap pushes n to 1; the re-render indexes out of range.
+        sys.tap(&[0]).expect("tap lands");
+        let fault = sys.run_to_stable().expect_err("render faults");
+        assert_eq!(fault.kind, FaultKind::Render);
+        // The handler's store write *committed* (it was a good
+        // transition); only the render failed, and the last good tree
+        // is still on screen.
+        assert_eq!(sys.store().get("n"), Some(&Value::Number(1.0)));
+        assert!(sys.display().is_stale());
+        assert_eq!(sys.display().content(), Some(&good));
+        // The stale tree stays interactive: tapping it again (n := 2)
+        // still faults, then a model fix recovers the display.
+        sys.tap(&[0]).expect("stale tree is interactive");
+        assert!(sys.run_to_stable().is_err());
+        sys.debug_store_mut().set("n", Value::Number(0.0));
+        sys.back();
+        sys.run_to_stable().expect("recovers");
+        assert!(sys.display().is_valid());
+    }
+
+    #[test]
+    fn injected_fuel_throttle_faults_the_chosen_transition() {
+        use crate::fault::TransitionKind;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Debug)]
+        struct ThrottleSecondRender {
+            renders: u64,
+        }
+        impl crate::fault::FaultInjector for ThrottleSecondRender {
+            fn fuel_for(&mut self, kind: TransitionKind, default_fuel: u64) -> u64 {
+                if kind == TransitionKind::Render {
+                    self.renders += 1;
+                    if self.renders == 2 {
+                        return 1;
+                    }
+                }
+                default_fuel
+            }
+        }
+
+        let mut sys = counter_system();
+        sys.set_fault_injector(Rc::new(RefCell::new(ThrottleSecondRender { renders: 0 })));
+        sys.run_to_stable().expect("first render has full fuel");
+        sys.tap(&[0]).expect("tap");
+        let fault = sys.run_to_stable().expect_err("second render throttled");
+        assert_eq!(fault.kind, FaultKind::Render);
+        assert_eq!(fault.error, RuntimeError::FuelExhausted);
+        assert_eq!(fault.fuel_limit, 1);
+        // Third render gets full fuel again: the machine recovers.
+        sys.back();
+        sys.run_to_stable().expect("recovers");
+        assert!(sys.is_stable());
     }
 }

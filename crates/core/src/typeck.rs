@@ -38,10 +38,10 @@ impl TypeEnv {
 
     /// Bind a name in the innermost scope.
     pub fn bind(&mut self, name: Name, ty: Type) {
-        if self.scopes.is_empty() {
-            self.scopes.push(Vec::new());
+        match self.scopes.last_mut() {
+            Some(scope) => scope.push((name, ty)),
+            None => self.scopes.push(vec![(name, ty)]),
         }
-        self.scopes.last_mut().expect("nonempty").push((name, ty));
     }
 
     /// Look up a name, innermost binding first.

@@ -1,0 +1,135 @@
+//! The session fault log: a bounded record of contained faults.
+//!
+//! Fault containment (see `alive_core::fault`) turns runtime failures
+//! into rolled-back transitions; the *log* is how a live session tells
+//! the programmer about them. It is bounded so that a fault-looping
+//! program cannot grow the session without limit — old entries are
+//! dropped, their count retained.
+
+use alive_core::Fault;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// How many faults the log retains before dropping the oldest.
+pub const FAULT_LOG_CAPACITY: usize = 32;
+
+/// A bounded, append-only log of contained [`Fault`]s.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    entries: VecDeque<Fault>,
+    dropped: u64,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    /// Append a fault, evicting the oldest entry beyond
+    /// [`FAULT_LOG_CAPACITY`].
+    pub fn record(&mut self, fault: Fault) {
+        if self.entries.len() == FAULT_LOG_CAPACITY {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(fault);
+    }
+
+    /// The most recent fault, if any.
+    pub fn latest(&self) -> Option<&Fault> {
+        self.entries.back()
+    }
+
+    /// Retained faults, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Fault> {
+        self.entries.iter()
+    }
+
+    /// Number of retained faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any fault has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Total faults ever recorded, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.entries.len() as u64
+    }
+
+    /// A one-line banner for display over the last good view, or `None`
+    /// when the log is empty.
+    ///
+    /// ```text
+    /// ⚠ handler fault in page `start`: injected fault in `list.nth` (12/50000000 fuel, code v0) [3 faults total]
+    /// ```
+    pub fn banner(&self) -> Option<String> {
+        let latest = self.latest()?;
+        let total = self.total();
+        if total == 1 {
+            Some(format!("⚠ {latest}"))
+        } else {
+            Some(format!("⚠ {latest} [{total} faults total]"))
+        }
+    }
+}
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(f, "({} earlier faults dropped)", self.dropped)?;
+        }
+        for fault in &self.entries {
+            writeln!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::{FaultKind, RuntimeError};
+
+    fn fault(n: u64) -> Fault {
+        Fault {
+            kind: FaultKind::Handler,
+            page: None,
+            error: RuntimeError::FuelExhausted,
+            fuel_spent: n,
+            fuel_limit: n,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn log_is_bounded_but_counts_everything() {
+        let mut log = FaultLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.banner(), None);
+        for i in 0..(FAULT_LOG_CAPACITY as u64 + 10) {
+            log.record(fault(i));
+        }
+        assert_eq!(log.len(), FAULT_LOG_CAPACITY);
+        assert_eq!(log.total(), FAULT_LOG_CAPACITY as u64 + 10);
+        // Oldest entries were evicted; the newest survives.
+        assert_eq!(
+            log.latest().map(|f| f.fuel_spent),
+            Some(FAULT_LOG_CAPACITY as u64 + 9)
+        );
+        assert_eq!(
+            log.iter().next().map(|f| f.fuel_spent),
+            Some(10),
+            "oldest retained entry"
+        );
+        assert!(!log.is_empty(), "a log with evictions is not empty");
+        let banner = log.banner().expect("has faults");
+        assert!(banner.starts_with('⚠'), "{banner}");
+        assert!(banner.contains("faults total"), "{banner}");
+        assert!(log.to_string().contains("earlier faults dropped"));
+    }
+}

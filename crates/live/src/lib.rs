@@ -14,6 +14,9 @@
 //!   from the live view; the change is enshrined as a code edit.
 //! * **Render memoization** ([`memo`]): the §5 optimization that reuses
 //!   box subtrees whose inputs have not changed.
+//! * **Fault containment** ([`fault_log`], [`session`]): runtime faults
+//!   degrade the session (last good view + fault banner) instead of
+//!   killing it; faulting edits are quarantined and auto-reverted.
 //!
 //! # Example
 //!
@@ -27,18 +30,25 @@
 //!         render { boxed { post "n = " ++ n; } }
 //!     }
 //! "#).expect("program compiles");
-//! assert_eq!(session.live_view().expect("renders"), "n = 41\n");
+//! assert_eq!(session.live_view(), "n = 41\n");
 //!
 //! // A live edit: the display refreshes, the model (n = 41) survives.
 //! let edited = session.source().replace("n = ", "value: ");
-//! let outcome = session.edit_source(&edited).expect("edit runs");
+//! let outcome = session.edit_source(&edited);
 //! assert!(outcome.is_applied());
-//! assert_eq!(session.live_view().expect("renders"), "value: 41\n");
+//! assert_eq!(session.live_view(), "value: 41\n");
 //! ```
 
 #![warn(missing_docs)]
+// Fault containment discipline: non-test code must never abort the
+// process — failures are typed and contained. Tests may assert freely.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod editor;
+pub mod fault_log;
 pub mod manipulate;
 pub mod memo;
 pub mod navigation;
@@ -46,6 +56,7 @@ pub mod session;
 pub mod trace;
 
 pub use editor::{highlight_line, split_view, Selection, SplitViewOptions};
+pub use fault_log::{FaultLog, FAULT_LOG_CAPACITY};
 pub use manipulate::{attribute_edit, remove_attribute_edit, ManipulateError};
 pub use memo::{MemoCache, MemoStats, RenderDeps};
 pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for_box};

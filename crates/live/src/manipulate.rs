@@ -279,7 +279,7 @@ mod tests {
         assert!(outcome.is_applied());
         assert!(session.source().contains("box.margin := 2;"));
         // And the live view reflects it: margin 2 indents "header" by 2.
-        let view = session.live_view().expect("renders");
+        let view = session.live_view();
         assert!(view.contains("  header"), "{view}");
     }
 

@@ -6,12 +6,29 @@
 //! transition, so "the program keeps running while the programmer edits
 //! their code". Ill-formed edits are rejected with diagnostics and the
 //! previous program keeps running.
+//!
+//! # Degraded, not dead
+//!
+//! Runtime faults (divergence caught by fuel, partial primitives) are
+//! *contained*, never fatal:
+//!
+//! * a faulting **handler** rolls back and drops its event — the model
+//!   is untouched, the last good view stays up (tagged stale);
+//! * a faulting **edit** (type-correct code whose init/render faults as
+//!   soon as it runs) is **quarantined**: the session auto-reverts to
+//!   the previous source and reports the fault like a rejection;
+//! * every contained fault lands in a bounded [`FaultLog`], surfaced to
+//!   tooling as a [`LiveSession::fault_banner`] over the last good view.
+//!
+//! Consequently [`LiveSession::live_view`] is total: whatever the user
+//! code does, the session has something to show.
 
+use crate::fault_log::FaultLog;
 use crate::memo::{MemoCache, MemoStats};
-use alive_core::boxtree::BoxNode;
+use alive_core::boxtree::{BoxNode, Display};
 use alive_core::fixup::FixupReport;
-use alive_core::system::{ActionError, System, SystemConfig};
-use alive_core::{compile, IncrementalCompiler, RuntimeError};
+use alive_core::system::{ActionError, StepKind, System, SystemConfig};
+use alive_core::{compile, Fault, IncrementalCompiler};
 use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
 use alive_ui::{layout, render_to_text, Point};
 
@@ -24,12 +41,27 @@ pub enum EditOutcome {
     /// The new code was rejected (parse, lower, or type errors); the
     /// old program keeps running and the source text is unchanged.
     Rejected(Diagnostics),
+    /// The new code type-checked, but faulted as soon as it ran (a
+    /// diverging or partial init/render). The session auto-reverted to
+    /// the previous source — quarantine counts as a rejection, with the
+    /// fault as the diagnostic.
+    Quarantined {
+        /// The fault the new code produced before being reverted.
+        fault: Fault,
+        /// The fix-up report of the rolled-back update.
+        report: FixupReport,
+    },
 }
 
 impl EditOutcome {
-    /// Whether the edit was applied.
+    /// Whether the edit was applied (and stayed applied).
     pub fn is_applied(&self) -> bool {
         matches!(self, EditOutcome::Applied(_))
+    }
+
+    /// Whether the edit was quarantined (applied, faulted, reverted).
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, EditOutcome::Quarantined { .. })
     }
 }
 
@@ -48,16 +80,18 @@ pub struct LiveSession {
     undo_stack: Vec<String>,
     /// Sources undone from (for redo); cleared by a fresh edit.
     redo_stack: Vec<String>,
+    /// Contained faults, newest last, bounded.
+    faults: FaultLog,
 }
 
 impl LiveSession {
     /// Start a session from source text and run it to its first stable
-    /// state (start page rendered).
+    /// state (start page rendered). If the program's startup faults,
+    /// the session still starts — degraded, with the fault logged.
     ///
     /// # Errors
     ///
-    /// Compilation diagnostics if the initial program is ill-formed, or
-    /// a boxed [`RuntimeError`] if its startup diverges.
+    /// Compilation diagnostics if the initial program is ill-formed.
     pub fn new(source: &str) -> Result<Self, SessionError> {
         Self::with_options(source, SystemConfig::default(), false)
     }
@@ -92,8 +126,9 @@ impl LiveSession {
             compiler: IncrementalCompiler::new(),
             undo_stack: Vec::new(),
             redo_stack: Vec::new(),
+            faults: FaultLog::new(),
         };
-        session.refresh().map_err(SessionError::Runtime)?;
+        session.refresh();
         Ok(session)
     }
 
@@ -112,7 +147,8 @@ impl LiveSession {
         &mut self.system
     }
 
-    /// Number of code updates applied / rejected so far.
+    /// Number of code updates applied / rejected so far. Quarantined
+    /// edits count as rejections: they did not stay applied.
     pub fn update_counts(&self) -> (u64, u64) {
         (self.updates_applied, self.updates_rejected)
     }
@@ -122,45 +158,100 @@ impl LiveSession {
         self.memo.as_ref().map(MemoCache::stats)
     }
 
-    /// Run the system to a stable state, rendering through the cache
-    /// when one is enabled.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`RuntimeError`] from user code.
-    pub fn refresh(&mut self) -> Result<(), RuntimeError> {
+    /// The log of contained faults.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.faults
+    }
+
+    /// A one-line banner describing the latest fault, for display over
+    /// the last good view. `None` when no fault has occurred.
+    pub fn fault_banner(&self) -> Option<String> {
+        self.faults.banner()
+    }
+
+    /// Run the system until it has nothing left to do, containing every
+    /// fault on the way: faulting events are rolled back and dropped
+    /// (recorded in the [`FaultLog`]), the display degrades to the last
+    /// good tree. This never fails — a session is always settleable.
+    pub fn refresh(&mut self) {
+        if self.memo.is_none() {
+            // Each faulting event is consumed (its transition rolled
+            // back), so the loop strictly drains the queue.
+            loop {
+                match self.system.run_to_stable() {
+                    Ok(_) => return,
+                    Err(fault) => {
+                        self.faults.record(fault);
+                        // `⊥` after a fault means there is no good tree
+                        // to fall back to; retrying RENDER would fault
+                        // forever.
+                        if matches!(self.system.display(), Display::Invalid) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        // Memo path: drive step-by-step so every RENDER goes through
+        // the cache, with the same cascade bound as `run_to_stable`.
+        let budget = self.system.config().max_transitions;
+        let mut steps = 0u64;
         loop {
-            let render_pending = !self.system.display().is_valid()
+            let render_pending = matches!(self.system.display(), Display::Invalid)
                 && self.system.queue().is_empty()
                 && !self.system.page_stack().is_empty();
             if render_pending {
                 if let Some(memo) = self.memo.as_mut() {
                     memo.begin_render(self.system.store(), self.system.version());
-                    if self.system.render_with_hook(memo)? {
-                        continue;
+                    match self.system.render_with_hook(memo) {
+                        Ok(true) => continue,
+                        Ok(false) => {}
+                        Err(fault) => {
+                            self.faults.record(fault);
+                            if matches!(self.system.display(), Display::Invalid) {
+                                return;
+                            }
+                            continue;
+                        }
                     }
                 }
             }
-            if self.system.step()? == alive_core::system::StepKind::Stable {
-                return Ok(());
+            match self.system.step() {
+                Ok(StepKind::Stable) => return,
+                Ok(_) => {
+                    steps += 1;
+                    if steps > budget {
+                        // Runaway event cascade: let the core's own
+                        // bound contain it (clears the queue, degrades
+                        // the display) and log the overflow fault. The
+                        // tail renders skip the cache — acceptable for
+                        // a pathological program.
+                        if let Err(fault) = self.system.run_to_stable() {
+                            self.faults.record(fault);
+                        }
+                        return;
+                    }
+                }
+                Err(fault) => {
+                    self.faults.record(fault);
+                    if matches!(self.system.display(), Display::Invalid) {
+                        return;
+                    }
+                }
             }
         }
     }
 
     /// Submit a full replacement source text — one keystroke's worth of
-    /// the paper's continuous edit loop.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError`] only if re-rendering the *accepted* program
-    /// fails; rejection of bad code is reported in the returned
-    /// [`EditOutcome`], not as an error.
-    pub fn edit_source(&mut self, new_source: &str) -> Result<EditOutcome, RuntimeError> {
-        let outcome = self.swap_source(new_source)?;
+    /// the paper's continuous edit loop. Never fails: bad code is
+    /// [`EditOutcome::Rejected`], faulting code is
+    /// [`EditOutcome::Quarantined`] (auto-reverted).
+    pub fn edit_source(&mut self, new_source: &str) -> EditOutcome {
+        let outcome = self.swap_source(new_source);
         if outcome.is_applied() {
             self.redo_stack.clear();
         }
-        Ok(outcome)
+        outcome
     }
 
     /// Undo the most recent applied edit: restore the previous source
@@ -168,43 +259,43 @@ impl LiveSession {
     /// rolled back — undo is an edit like any other, as in the paper's
     /// model where code changes are transitions).
     ///
-    /// Returns `false` if there is nothing to undo.
-    ///
-    /// # Errors
-    ///
-    /// See [`LiveSession::edit_source`].
-    pub fn undo(&mut self) -> Result<bool, RuntimeError> {
+    /// Returns `false` if there is nothing to undo, or if the undone
+    /// code faulted against the current model and was quarantined (the
+    /// session is unchanged in that case).
+    pub fn undo(&mut self) -> bool {
         let Some(previous) = self.undo_stack.pop() else {
-            return Ok(false);
+            return false;
         };
         let current = self.source.clone();
-        let outcome = self.swap_source(&previous)?;
-        match outcome {
+        match self.swap_source(&previous) {
             EditOutcome::Applied(_) => {
                 // swap_source pushed `current` onto undo; it belongs on
                 // redo instead.
                 self.undo_stack.pop();
                 self.redo_stack.push(current);
-                Ok(true)
+                true
             }
-            EditOutcome::Rejected(_) => {
-                unreachable!("previously applied sources always re-apply")
+            EditOutcome::Rejected(_) | EditOutcome::Quarantined { .. } => {
+                // The session was left as it was; keep the undo entry.
+                self.undo_stack.push(previous);
+                false
             }
         }
     }
 
     /// Redo the most recently undone edit. Returns `false` if there is
-    /// nothing to redo.
-    ///
-    /// # Errors
-    ///
-    /// See [`LiveSession::edit_source`].
-    pub fn redo(&mut self) -> Result<bool, RuntimeError> {
+    /// nothing to redo or the redone code was quarantined.
+    pub fn redo(&mut self) -> bool {
         let Some(next) = self.redo_stack.pop() else {
-            return Ok(false);
+            return false;
         };
-        self.swap_source(&next)?;
-        Ok(true)
+        match self.swap_source(&next) {
+            EditOutcome::Applied(_) => true,
+            EditOutcome::Rejected(_) | EditOutcome::Quarantined { .. } => {
+                self.redo_stack.push(next);
+                false
+            }
+        }
     }
 
     /// Number of edits that can currently be undone.
@@ -212,34 +303,70 @@ impl LiveSession {
         self.undo_stack.len()
     }
 
-    fn swap_source(&mut self, new_source: &str) -> Result<EditOutcome, RuntimeError> {
+    fn swap_source(&mut self, new_source: &str) -> EditOutcome {
         let program = match self.compiler.compile(new_source) {
             Ok(p) => p,
             Err(diags) => {
                 self.updates_rejected += 1;
-                return Ok(EditOutcome::Rejected(diags));
+                return EditOutcome::Rejected(diags);
             }
         };
-        // UPDATE requires a stable state.
-        self.refresh()?;
+        // UPDATE requires a drained queue; settling also re-renders, so
+        // the pre-edit state below is the freshest good state.
+        self.refresh();
+        // The edit transaction checkpoint: if the new code faults on
+        // its first run, the whole session state rolls back to here.
+        // (Cloning shares the program `Rc` and the injector, so this is
+        // cheap relative to an update.)
+        let checkpoint = self.system.clone();
         let report = match self.system.update(program) {
             Ok(report) => report,
             Err(ActionError::IllTyped(diags)) => {
                 self.updates_rejected += 1;
-                return Ok(EditOutcome::Rejected(diags));
+                return EditOutcome::Rejected(diags);
             }
             Err(other) => {
-                unreachable!("update from a stable state cannot fail with {other}")
+                // After refresh() the queue is drained, so NotStable
+                // (or anything else) here is an internal surprise —
+                // report it as a rejection rather than dying.
+                self.updates_rejected += 1;
+                let mut diags = Diagnostics::new();
+                diags.push(alive_syntax::Diagnostic::error(
+                    alive_syntax::Span::DUMMY,
+                    format!("update could not be applied: {other}"),
+                ));
+                return EditOutcome::Rejected(diags);
             }
         };
-        self.undo_stack
-            .push(std::mem::replace(&mut self.source, new_source.to_string()));
         if let Some(memo) = self.memo.as_mut() {
             memo.on_update(self.system.program(), self.system.version());
         }
+        let old_source = std::mem::replace(&mut self.source, new_source.to_string());
+        let faults_before = self.faults.total();
+        self.refresh();
+        if self.faults.total() > faults_before {
+            // The new code faulted the moment it ran (UPDATE wiped the
+            // display, so only the new version's init/render executed
+            // here). Quarantine the edit: revert the machine and the
+            // source, report like a rejection.
+            let fault = self
+                .faults
+                .latest()
+                .cloned()
+                .unwrap_or_else(|| unreachable!("total() grew, so a fault was recorded"));
+            self.system = checkpoint;
+            self.source = old_source;
+            if let Some(memo) = self.memo.as_mut() {
+                // The cache may hold entries keyed to the quarantined
+                // version; rebuild it against the restored program.
+                *memo = MemoCache::new(self.system.program());
+            }
+            self.updates_rejected += 1;
+            return EditOutcome::Quarantined { fault, report };
+        }
+        self.undo_stack.push(old_source);
         self.updates_applied += 1;
-        self.refresh()?;
-        Ok(EditOutcome::Applied(report))
+        EditOutcome::Applied(report)
     }
 
     /// Apply span-addressed edits to the current source and submit the
@@ -247,62 +374,61 @@ impl LiveSession {
     ///
     /// # Errors
     ///
-    /// [`SessionError::Edit`] if the edits are malformed;
-    /// [`SessionError::Runtime`] if the accepted program fails to
-    /// re-render.
+    /// [`SessionError::Edit`] if the edits are malformed.
     pub fn apply_text_edits(&mut self, edits: &[TextEdit]) -> Result<EditOutcome, SessionError> {
         let new_source = apply_edits(&self.source, edits).map_err(SessionError::Edit)?;
-        self.edit_source(&new_source).map_err(SessionError::Runtime)
+        Ok(self.edit_source(&new_source))
     }
 
-    /// The current display's box tree (refreshing first).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`RuntimeError`] from user code.
-    pub fn display_tree(&mut self) -> Result<BoxNode, RuntimeError> {
-        self.refresh()?;
-        Ok(self
-            .system
-            .display()
-            .content()
-            .expect("stable state has a display")
-            .clone())
+    /// The current display's box tree (refreshing first), or `None` if
+    /// the session has no renderable view at all (its only render ever
+    /// attempted faulted — there is no last good tree to fall back to).
+    pub fn display_tree(&mut self) -> Option<BoxNode> {
+        self.refresh();
+        self.system.display().content().cloned()
     }
 
-    /// Render the current display as text — the live view.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`RuntimeError`] from user code.
-    pub fn live_view(&mut self) -> Result<String, RuntimeError> {
-        let root = self.display_tree()?;
-        Ok(render_to_text(&layout(&root)))
+    /// Render the current display as text — the live view. Total: a
+    /// faulting program yields the last good view; a session with no
+    /// good view at all yields a placeholder naming the fault.
+    pub fn live_view(&mut self) -> String {
+        self.refresh();
+        match self.system.display().content() {
+            Some(root) => render_to_text(&layout(root)),
+            None => match self.faults.latest() {
+                Some(fault) => format!("(no view: {fault})\n"),
+                None => "(no view)\n".to_string(),
+            },
+        }
     }
 
     /// Tap the screen at a point (hit-tested), then refresh.
-    /// Returns whether a tappable box was hit.
+    /// Returns whether a tappable box was hit. A faulting tap handler
+    /// does not error: its event is dropped, the model kept, the fault
+    /// logged.
     ///
     /// # Errors
     ///
-    /// [`SessionError::Runtime`] if the handler or re-render fails.
+    /// [`SessionError::Action`] if the tap cannot be delivered.
     pub fn tap_at(&mut self, x: i32, y: i32) -> Result<bool, SessionError> {
-        self.refresh().map_err(SessionError::Runtime)?;
+        self.refresh();
         let hit =
             alive_ui::tap_at(&mut self.system, Point::new(x, y)).map_err(SessionError::Action)?;
-        self.refresh().map_err(SessionError::Runtime)?;
+        self.refresh();
         Ok(hit)
     }
 
-    /// Tap a box by its path in the box tree, then refresh.
+    /// Tap a box by its path in the box tree, then refresh. A faulting
+    /// handler drops its event with the model kept (fault logged).
     ///
     /// # Errors
     ///
     /// [`SessionError::Action`] if the path or handler is missing.
     pub fn tap_path(&mut self, path: &[usize]) -> Result<(), SessionError> {
-        self.refresh().map_err(SessionError::Runtime)?;
+        self.refresh();
         self.system.tap(path).map_err(SessionError::Action)?;
-        self.refresh().map_err(SessionError::Runtime)
+        self.refresh();
+        Ok(())
     }
 
     /// Press the back button, then refresh.
@@ -315,37 +441,39 @@ impl LiveSession {
     /// # Errors
     ///
     /// [`SessionError::Action`] ([`ActionError::NoPageToPop`]) at the
-    /// root page; [`SessionError::Runtime`] if re-rendering fails.
+    /// root page.
     pub fn back(&mut self) -> Result<(), SessionError> {
         if self.system.page_stack().len() <= 1 {
             return Err(SessionError::Action(ActionError::NoPageToPop));
         }
         self.system.back();
-        self.refresh().map_err(SessionError::Runtime)
+        self.refresh();
+        Ok(())
     }
 
     /// Edit the text of the box at `path` (fires its `onedit` handler),
-    /// then refresh.
+    /// then refresh. A faulting handler drops its event with the model
+    /// kept (fault logged).
     ///
     /// # Errors
     ///
     /// [`SessionError::Action`] if the box has no edit handler.
     pub fn edit_box(&mut self, path: &[usize], text: &str) -> Result<(), SessionError> {
-        self.refresh().map_err(SessionError::Runtime)?;
+        self.refresh();
         self.system
             .edit_box(path, text)
             .map_err(SessionError::Action)?;
-        self.refresh().map_err(SessionError::Runtime)
+        self.refresh();
+        Ok(())
     }
 }
 
-/// Errors surfaced by [`LiveSession`] entry points.
+/// Errors surfaced by [`LiveSession`] entry points. Runtime faults are
+/// *not* errors — they are contained and logged (see [`FaultLog`]).
 #[derive(Debug)]
 pub enum SessionError {
     /// The initial program did not compile.
     Compile(Diagnostics),
-    /// User code failed at run time (divergence, partial primitive).
-    Runtime(RuntimeError),
     /// A user action could not be delivered.
     Action(ActionError),
     /// Text edits were malformed.
@@ -356,7 +484,6 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::Compile(ds) => write!(f, "program does not compile:\n{ds}"),
-            SessionError::Runtime(e) => write!(f, "runtime error: {e}"),
             SessionError::Action(e) => write!(f, "action failed: {e}"),
             SessionError::Edit(e) => write!(f, "bad text edit: {e}"),
         }
@@ -386,22 +513,22 @@ page start() {
     #[test]
     fn session_starts_and_renders() {
         let mut s = LiveSession::new(APP).expect("starts");
-        assert_eq!(s.live_view().expect("renders"), "count is 1\n");
+        assert_eq!(s.live_view(), "count is 1\n");
         assert!(s.system().is_stable());
+        assert!(s.fault_log().is_empty());
+        assert_eq!(s.fault_banner(), None);
     }
 
     #[test]
     fn live_edit_keeps_model_state() {
         let mut s = LiveSession::new(APP).expect("starts");
         s.tap_path(&[0]).expect("tap");
-        assert_eq!(s.live_view().expect("renders"), "count is 11\n");
+        assert_eq!(s.live_view(), "count is 11\n");
 
-        let outcome = s
-            .edit_source(&APP.replace("count is ", "n = "))
-            .expect("edit runs");
+        let outcome = s.edit_source(&APP.replace("count is ", "n = "));
         assert!(outcome.is_applied());
         // Model preserved across the code update; init did not re-run.
-        assert_eq!(s.live_view().expect("renders"), "n = 11\n");
+        assert_eq!(s.live_view(), "n = 11\n");
         assert_eq!(s.update_counts(), (1, 0));
     }
 
@@ -409,17 +536,65 @@ page start() {
     fn broken_edit_is_rejected_and_old_code_runs() {
         let mut s = LiveSession::new(APP).expect("starts");
         // Mid-keystroke state: incomplete expression.
-        let outcome = s
-            .edit_source(&APP.replace("count + 10", "count + "))
-            .expect("edit handled");
+        let outcome = s.edit_source(&APP.replace("count + 10", "count + "));
         let EditOutcome::Rejected(diags) = outcome else {
             panic!("expected rejection");
         };
         assert!(diags.has_errors());
         assert_eq!(s.update_counts(), (0, 1));
         // Old program still runs, source unchanged.
-        assert_eq!(s.live_view().expect("renders"), "count is 1\n");
+        assert_eq!(s.live_view(), "count is 1\n");
         assert!(s.source().contains("count + 10"));
+    }
+
+    #[test]
+    fn faulting_edit_is_quarantined_and_reverted() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        s.tap_path(&[0]).expect("tap"); // count = 11
+                                        // Type-correct, but the render diverges as soon as it runs.
+        let diverging = APP.replace(
+            "post \"count is \" ++ count;",
+            "while true { count; } post \"never\";",
+        );
+        let outcome = s.edit_source(&diverging);
+        let EditOutcome::Quarantined { fault, .. } = outcome else {
+            panic!("expected quarantine, got {outcome:?}");
+        };
+        assert_eq!(fault.kind, alive_core::FaultKind::Render);
+        // Auto-reverted: source and view are the pre-edit ones, the
+        // model survived, and the books show a rejection.
+        assert!(s.source().contains("post \"count is \""));
+        assert_eq!(s.live_view(), "count is 11\n");
+        assert_eq!(s.system().store().get("count"), Some(&Value::Number(11.0)));
+        assert_eq!(s.update_counts(), (0, 1));
+        assert_eq!(s.fault_log().len(), 1);
+        // The session is fully alive: further edits and taps work.
+        assert!(s.edit_source(&APP.replace("count is", "n =")).is_applied());
+        s.tap_path(&[0]).expect("tap");
+        assert_eq!(s.live_view(), "n = 21\n");
+    }
+
+    #[test]
+    fn faulting_handler_drops_event_and_keeps_view() {
+        let partial = APP.replace(
+            "count := count + 10;",
+            "count := count + 10; count := list.nth([1], 9);",
+        );
+        let mut s = LiveSession::new(&partial).expect("starts");
+        assert_eq!(s.live_view(), "count is 1\n");
+        // The tap handler faults: no session error, event dropped,
+        // store rolled back, last good view still up (stale).
+        s.tap_path(&[0]).expect("tap is delivered");
+        assert_eq!(s.system().store().get("count"), Some(&Value::Number(1.0)));
+        assert_eq!(s.live_view(), "count is 1\n");
+        assert_eq!(s.fault_log().len(), 1);
+        let banner = s.fault_banner().expect("fault logged");
+        assert!(banner.contains("handler fault"), "{banner}");
+        assert!(banner.contains("list.nth"), "{banner}");
+        // Still interactive: tapping again faults again, alive still.
+        s.tap_path(&[0]).expect("tap is delivered");
+        assert_eq!(s.fault_log().len(), 2);
+        assert_eq!(s.live_view(), "count is 1\n");
     }
 
     #[test]
@@ -457,11 +632,11 @@ page start() {
 "#;
         let mut plain = LiveSession::new(src).expect("starts");
         let mut memo = LiveSession::with_memo(src).expect("starts");
-        assert_eq!(plain.live_view().expect("v"), memo.live_view().expect("v"));
+        assert_eq!(plain.live_view(), memo.live_view());
         for _ in 0..3 {
             plain.tap_path(&[1]).expect("tap");
             memo.tap_path(&[1]).expect("tap");
-            assert_eq!(plain.live_view().expect("v"), memo.live_view().expect("v"));
+            assert_eq!(plain.live_view(), memo.live_view());
         }
         let stats = memo.memo_stats().expect("enabled");
         assert!(stats.hits > 0, "listing rows should be reused: {stats:?}");
@@ -472,40 +647,38 @@ page start() {
         let mut s = LiveSession::new(APP).expect("starts");
         s.tap_path(&[0]).expect("tap"); // count = 11
         assert_eq!(s.undo_depth(), 0);
-        assert!(!s.undo().expect("handled"), "nothing to undo yet");
+        assert!(!s.undo(), "nothing to undo yet");
 
         let v1 = APP.replace("count is", "n =");
         let v2 = APP.replace("count is", "total:");
-        assert!(s.edit_source(&v1).expect("runs").is_applied());
-        assert!(s.edit_source(&v2).expect("runs").is_applied());
+        assert!(s.edit_source(&v1).is_applied());
+        assert!(s.edit_source(&v2).is_applied());
         assert_eq!(s.undo_depth(), 2);
-        assert_eq!(s.live_view().expect("renders"), "total: 11\n");
+        assert_eq!(s.live_view(), "total: 11\n");
 
         // Undo restores the previous code; the model stays at 11
         // (undo is just another UPDATE, not time travel).
-        assert!(s.undo().expect("runs"));
-        assert_eq!(s.live_view().expect("renders"), "n = 11\n");
-        assert!(s.undo().expect("runs"));
-        assert_eq!(s.live_view().expect("renders"), "count is 11\n");
-        assert!(!s.undo().expect("handled"), "stack exhausted");
+        assert!(s.undo());
+        assert_eq!(s.live_view(), "n = 11\n");
+        assert!(s.undo());
+        assert_eq!(s.live_view(), "count is 11\n");
+        assert!(!s.undo(), "stack exhausted");
 
         // Redo walks forward again.
-        assert!(s.redo().expect("runs"));
-        assert_eq!(s.live_view().expect("renders"), "n = 11\n");
+        assert!(s.redo());
+        assert_eq!(s.live_view(), "n = 11\n");
         // A fresh edit clears the redo stack.
         let v3 = s.source().replace("n =", "N:");
-        assert!(s.edit_source(&v3).expect("runs").is_applied());
-        assert!(!s.redo().expect("handled"));
+        assert!(s.edit_source(&v3).is_applied());
+        assert!(!s.redo());
     }
 
     #[test]
     fn memo_cache_cleared_on_update() {
         let mut s = LiveSession::with_memo(APP).expect("starts");
         s.tap_path(&[0]).expect("tap");
-        let outcome = s
-            .edit_source(&APP.replace("count is", "total:"))
-            .expect("edit");
+        let outcome = s.edit_source(&APP.replace("count is", "total:"));
         assert!(outcome.is_applied());
-        assert_eq!(s.live_view().expect("renders"), "total: 11\n");
+        assert_eq!(s.live_view(), "total: 11\n");
     }
 }

@@ -53,7 +53,7 @@ pub enum TraceEvent {
 /// // The serialized trace replays deterministically.
 /// let parsed = SessionTrace::parse(&trace.serialize())?;
 /// let mut replayed = parsed.replay()?;
-/// assert_eq!(replayed.live_view()?, "2\n");
+/// assert_eq!(replayed.live_view(), "2\n");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +89,9 @@ impl SessionTrace {
                 TraceEvent::Back => session.back()?,
                 TraceEvent::EditBox(path, text) => session.edit_box(path, text)?,
                 TraceEvent::EditSource(src) => {
-                    session.edit_source(src).map_err(SessionError::Runtime)?;
+                    // Rejection or quarantine during replay is fine: it
+                    // happened identically when recorded.
+                    session.edit_source(src);
                 }
             }
         }
@@ -351,28 +353,19 @@ impl RecordingSession {
         Ok(())
     }
 
-    /// Recorded [`LiveSession::edit_source`].
-    ///
-    /// # Errors
-    ///
-    /// See [`LiveSession::edit_source`].
-    pub fn edit_source(&mut self, new_source: &str) -> Result<EditOutcome, SessionError> {
-        let outcome = self
-            .session
-            .edit_source(new_source)
-            .map_err(SessionError::Runtime)?;
+    /// Recorded [`LiveSession::edit_source`]. Never fails; rejected and
+    /// quarantined edits are recorded too (replay reproduces them).
+    pub fn edit_source(&mut self, new_source: &str) -> EditOutcome {
+        let outcome = self.session.edit_source(new_source);
         self.trace
             .events
             .push(TraceEvent::EditSource(new_source.to_string()));
-        Ok(outcome)
+        outcome
     }
 
-    /// The live view of the underlying session.
-    ///
-    /// # Errors
-    ///
-    /// See [`LiveSession::live_view`].
-    pub fn live_view(&mut self) -> Result<String, alive_core::RuntimeError> {
+    /// The live view of the underlying session (total; see
+    /// [`LiveSession::live_view`]).
+    pub fn live_view(&mut self) -> String {
         self.session.live_view()
     }
 
@@ -401,8 +394,9 @@ mod tests {
         let mut rec = RecordingSession::new(&src).expect("starts");
         rec.tap_path(&[1, 1]).expect("open detail");
         rec.edit_box(&[2, 0], "15").expect("edit term");
-        rec.edit_source(&mortgage::apply_improvement_i2(&src))
-            .expect("live edit");
+        assert!(rec
+            .edit_source(&mortgage::apply_improvement_i2(&src))
+            .is_applied());
         rec.back().expect("back");
         rec.into_parts()
     }
@@ -411,10 +405,7 @@ mod tests {
     fn replay_reproduces_the_session_exactly() {
         let (mut original, trace) = record_mortgage_session();
         let mut replayed = trace.replay().expect("replays");
-        assert_eq!(
-            original.live_view().expect("renders"),
-            replayed.live_view().expect("renders")
-        );
+        assert_eq!(original.live_view(), replayed.live_view());
         assert_eq!(original.system().store(), replayed.system().store());
         assert_eq!(original.source(), replayed.source());
     }
@@ -437,10 +428,7 @@ mod tests {
         // Prefix beyond the end == full replay.
         let mut full = trace.replay_prefix(999).expect("replays");
         let mut exact = trace.replay().expect("replays");
-        assert_eq!(
-            full.live_view().expect("renders"),
-            exact.live_view().expect("renders")
-        );
+        assert_eq!(full.live_view(), exact.live_view());
         let _ = (t0.live_view(), t1.live_view());
     }
 

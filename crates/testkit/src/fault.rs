@@ -1,0 +1,260 @@
+//! Deterministic fault injection for `alive-core` systems.
+//!
+//! A [`FaultPlan`] implements [`alive_core::FaultInjector`] and makes
+//! chosen primitives fail, or chosen transitions run out of fuel, on
+//! exactly the Nth call — so fault-containment tests are reproducible
+//! down to the call count. Install one with
+//! [`alive_core::system::System::set_fault_injector`]:
+//!
+//! ```
+//! use alive_core::{compile, system::System, Prim, TransitionKind};
+//! use alive_testkit::FaultPlan;
+//!
+//! let mut sys = System::new(compile(
+//!     "page start() { render { boxed { post \"hi\"; } } }",
+//! ).expect("compiles"));
+//! // The second render runs with 1 fuel and faults; the first is fine.
+//! let plan = FaultPlan::new()
+//!     .throttle_fuel(TransitionKind::Render, 2, 1)
+//!     .shared();
+//! sys.set_fault_injector(plan.clone());
+//! sys.run_to_stable().expect("first render survives");
+//! assert_eq!(plan.borrow().throttled(), 0);
+//! ```
+
+use alive_core::prim::{Prim, PrimError};
+use alive_core::{FaultInjector, TransitionKind};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A rule making one primitive fail on its Nth evaluation (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrimRule {
+    prim: Prim,
+    on_call: u64,
+}
+
+/// A rule replacing the fuel budget of the Nth transition of a kind
+/// (1-based; `kind = None` counts transitions of every kind together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FuelRule {
+    kind: Option<TransitionKind>,
+    on_call: u64,
+    fuel: u64,
+}
+
+/// A deterministic fault-injection plan: primitive failures and fuel
+/// throttles that fire on exact call counts.
+///
+/// The plan is *stateful* (it counts calls), so share one instance
+/// between the test and the [`alive_core::system::System`] via
+/// [`FaultPlan::shared`] to observe what fired.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    prim_rules: Vec<PrimRule>,
+    fuel_rules: Vec<FuelRule>,
+    prim_calls: BTreeMap<Prim, u64>,
+    kind_calls: BTreeMap<&'static str, u64>,
+    any_calls: u64,
+    injected: u64,
+    throttled: u64,
+}
+
+fn kind_key(kind: TransitionKind) -> &'static str {
+    match kind {
+        TransitionKind::Init => "init",
+        TransitionKind::Handler => "handler",
+        TransitionKind::Render => "render",
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Make `prim` fail with [`PrimError::Injected`] on its `on_call`th
+    /// evaluation (1-based) across the whole system run.
+    #[must_use]
+    pub fn fail_prim(mut self, prim: Prim, on_call: u64) -> Self {
+        self.prim_rules.push(PrimRule { prim, on_call });
+        self
+    }
+
+    /// Run the `on_call`th transition of `kind` (1-based) with `fuel`
+    /// instead of the configured budget — `fuel` small enough makes the
+    /// transition deterministically exhaust its fuel.
+    #[must_use]
+    pub fn throttle_fuel(mut self, kind: TransitionKind, on_call: u64, fuel: u64) -> Self {
+        self.fuel_rules.push(FuelRule {
+            kind: Some(kind),
+            on_call,
+            fuel,
+        });
+        self
+    }
+
+    /// Like [`FaultPlan::throttle_fuel`], but counting transitions of
+    /// *every* kind together.
+    #[must_use]
+    pub fn throttle_any_fuel(mut self, on_call: u64, fuel: u64) -> Self {
+        self.fuel_rules.push(FuelRule {
+            kind: None,
+            on_call,
+            fuel,
+        });
+        self
+    }
+
+    /// Wrap the plan for sharing between a test and a `System`.
+    pub fn shared(self) -> Rc<RefCell<FaultPlan>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// How many primitive faults have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// How many transitions have run with a throttled fuel budget.
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+
+    /// Total primitive evaluations observed (all primitives).
+    pub fn prim_calls(&self) -> u64 {
+        self.prim_calls.values().sum()
+    }
+
+    /// Total transitions observed.
+    pub fn transitions(&self) -> u64 {
+        self.any_calls
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn fuel_for(&mut self, kind: TransitionKind, default_fuel: u64) -> u64 {
+        self.any_calls += 1;
+        let per_kind = self.kind_calls.entry(kind_key(kind)).or_insert(0);
+        *per_kind += 1;
+        let per_kind = *per_kind;
+        let any = self.any_calls;
+        let matched = self.fuel_rules.iter().find(|r| match r.kind {
+            Some(k) => k == kind && r.on_call == per_kind,
+            None => r.on_call == any,
+        });
+        match matched {
+            Some(rule) => {
+                self.throttled += 1;
+                rule.fuel
+            }
+            None => default_fuel,
+        }
+    }
+
+    fn before_prim(&mut self, prim: Prim) -> Option<PrimError> {
+        let calls = self.prim_calls.entry(prim).or_insert(0);
+        *calls += 1;
+        let calls = *calls;
+        if self
+            .prim_rules
+            .iter()
+            .any(|r| r.prim == prim && r.on_call == calls)
+        {
+            self.injected += 1;
+            return Some(PrimError::Injected(prim));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_core::system::System;
+    use alive_core::{compile, FaultKind, RuntimeError, Value};
+
+    const APP: &str = r#"
+        global total : number = 0
+        page start() {
+            render {
+                boxed {
+                    post "total " ++ total;
+                    on tap { total := total + math.abs(0 - 5); }
+                }
+            }
+        }"#;
+
+    #[test]
+    fn nth_prim_call_faults_and_earlier_ones_do_not() {
+        let mut sys = System::new(compile(APP).expect("compiles"));
+        let plan = FaultPlan::new().fail_prim(Prim::MathAbs, 2).shared();
+        sys.set_fault_injector(plan.clone());
+        sys.run_to_stable().expect("starts");
+
+        // First tap: math.abs call #1 — untouched.
+        sys.tap(&[0]).expect("tap");
+        sys.run_to_stable().expect("handler runs");
+        assert_eq!(sys.store().get("total"), Some(&Value::Number(5.0)));
+        assert_eq!(plan.borrow().injected(), 0);
+
+        // Second tap: call #2 — injected failure, store rolled back.
+        sys.tap(&[0]).expect("tap");
+        let fault = sys.run_to_stable().expect_err("injected");
+        assert_eq!(fault.kind, FaultKind::Handler);
+        assert!(matches!(
+            fault.error,
+            RuntimeError::Prim(PrimError::Injected(Prim::MathAbs))
+        ));
+        assert_eq!(sys.store().get("total"), Some(&Value::Number(5.0)));
+        assert_eq!(plan.borrow().injected(), 1);
+
+        // Third tap: call #3 — the rule fired once, all clear again.
+        sys.tap(&[0]).expect("tap");
+        sys.run_to_stable().expect("handler runs");
+        assert_eq!(sys.store().get("total"), Some(&Value::Number(10.0)));
+    }
+
+    #[test]
+    fn nth_transition_fuel_throttle_is_exact() {
+        let mut sys = System::new(compile(APP).expect("compiles"));
+        // Renders count 1, 2, 3...; starve the second one only.
+        let plan = FaultPlan::new()
+            .throttle_fuel(TransitionKind::Render, 2, 1)
+            .shared();
+        sys.set_fault_injector(plan.clone());
+        sys.run_to_stable().expect("first render is fine");
+
+        sys.tap(&[0]).expect("tap");
+        let fault = sys.run_to_stable().expect_err("second render starved");
+        assert_eq!(fault.kind, FaultKind::Render);
+        assert_eq!(fault.fuel_limit, 1);
+        assert!(matches!(fault.error, RuntimeError::FuelExhausted));
+        assert_eq!(plan.borrow().throttled(), 1);
+        // The handler committed; only the render was rolled back.
+        assert_eq!(sys.store().get("total"), Some(&Value::Number(5.0)));
+
+        // The machine recovers: invalidate and re-render (render #3).
+        sys.tap(&[0]).expect("stale tree is interactive");
+        sys.run_to_stable().expect("third render is fine");
+        assert_eq!(sys.store().get("total"), Some(&Value::Number(10.0)));
+    }
+
+    #[test]
+    fn counters_are_deterministic() {
+        let run = || {
+            let mut sys = System::new(compile(APP).expect("compiles"));
+            let plan = FaultPlan::new().shared();
+            sys.set_fault_injector(plan.clone());
+            sys.run_to_stable().expect("starts");
+            sys.tap(&[0]).expect("tap");
+            sys.run_to_stable().expect("runs");
+            let p = plan.borrow();
+            (p.prim_calls(), p.transitions())
+        };
+        assert_eq!(run(), run());
+        assert!(run().1 >= 3, "startup + handler + renders");
+    }
+}

@@ -26,11 +26,11 @@ const SRC: &str = r#"page start() {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = LiveSession::new(SRC)?;
     println!("=== live view ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // The user taps the screen at row 1 ("compose"). Nested selection
     // (§5): the hit stack lists every box under the finger.
-    let display = session.display_tree()?;
+    let display = session.display_tree().ok_or("no view")?;
     let tree = layout(&display);
     let stack = hit_stack(&tree, Point::new(0, 1));
     println!("\nhit stack at (0,1): {stack:?}");
@@ -58,12 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ncode edit: {edit}");
     session.apply_text_edits(&[edit])?;
     println!("\n=== live view after adding a border ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Now the margin, twiddled twice — the second manipulation REWRITES
     // the value in place instead of inserting a duplicate statement.
     for margin in ["1", "3"] {
-        let display = session.display_tree()?;
+        let display = session.display_tree().ok_or("no view")?;
         let id = display.descendant(&path).expect("box").source.expect("id");
         let edit = attribute_edit(
             session.source(),
@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         session.apply_text_edits(&[edit])?;
         println!("\n=== margin := {margin} ===");
-        print!("{}", session.live_view()?);
+        print!("{}", session.live_view());
     }
 
     println!("\n=== final code (the manipulations are enshrined) ===");

@@ -32,14 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("— no selection —\n");
-    print!("{}", split_view(&mut session, &Selection::None, options)?);
+    print!("{}", split_view(&mut session, &Selection::None, options));
 
     // "Selecting a box in the left live view causes the corresponding
     // boxed statement to be selected in the right code view" (Fig. 2).
     println!("\n— the user taps the second grocery row (box [2]) —\n");
     print!(
         "{}",
-        split_view(&mut session, &Selection::Box(vec![2]), options)?
+        split_view(&mut session, &Selection::Box(vec![2]), options)
     );
 
     // "...and vice versa": the cursor in the loop's boxed statement
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n— the user puts the cursor inside the loop's boxed statement —\n");
     print!(
         "{}",
-        split_view(&mut session, &Selection::Cursor(cursor), options)?
+        split_view(&mut session, &Selection::Cursor(cursor), options)
     );
     Ok(())
 }

@@ -9,13 +9,13 @@ use its_alive::live::LiveSession;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = LiveSession::new(&life_src(10))?;
     println!("=== generation 0 (tap the board to step) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     for _ in 0..3 {
         session.tap_path(&[1])?;
     }
     println!("\n=== generation 3 ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Live edit: switch B3/S23 to "HighLife" (B36/S23) while running.
     // The grid (model) survives; only the rule changes.
@@ -23,13 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "else if !alive && around == 3 { 1 }",
         "else if !alive && (around == 3 || around == 6) { 1 }",
     );
-    assert!(session.edit_source(&highlife)?.is_applied());
+    assert!(session.edit_source(&highlife).is_applied());
     println!("\n=== rule changed to HighLife (B36/S23) mid-run; grid preserved ===");
     for _ in 0..3 {
         session.tap_path(&[1])?;
     }
     println!("=== generation 6, three HighLife steps later ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
     println!(
         "\n{} evaluation steps total; the simulation never restarted.",
         session.system().cost().steps

@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = mortgage::mortgage_src(5);
     let mut session = LiveSession::new(&src)?;
     println!("=== start page (Figure 1, left) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
     let cost = session.system().cost();
     println!(
         "\n(simulated download: {} request(s), {:.0} ms simulated latency)",
@@ -23,35 +23,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Tap the second listing: push the detail page (Figure 1, right).
     session.tap_path(&[1, 1])?;
     println!("\n=== detail page (Figure 1, right) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // The term box is editable: change the mortgage term to 15 years.
     // (Path [2,0] = third top-level box, first child.)
     session.edit_box(&[2, 0], "15")?;
     println!("\n=== after editing the term to 15 years ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Improvement I2: print the balance in dollars and cents — a live
     // edit applied WITHOUT leaving the detail page. The paper: "balance
     // printing is updated for all amortization table rows as soon as we
     // complete the last line of this modification."
     let improved = mortgage::apply_improvement_i2(session.source());
-    assert!(session.edit_source(&improved)?.is_applied());
+    assert!(session.edit_source(&improved).is_applied());
     println!("\n=== after improvement I2 (dollars and cents), still on the detail page ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Improvement I3: highlight every fifth amortization row.
     let improved = mortgage::apply_improvement_i3(session.source());
-    assert!(session.edit_source(&improved)?.is_applied());
+    assert!(session.edit_source(&improved).is_applied());
     println!("\n=== after improvement I3 (every fifth row highlighted) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Back to the start page; improvement I1 tweaks the entry margins.
     session.back()?;
     let improved = mortgage::apply_improvement_i1(session.source());
-    assert!(session.edit_source(&improved)?.is_applied());
+    assert!(session.edit_source(&improved).is_applied());
     println!("\n=== start page after improvement I1 (margins) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     let (applied, rejected) = session.update_counts();
     println!("\nlive session summary: {applied} edits applied, {rejected} rejected,");

@@ -9,24 +9,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Start a live session from source text.
     let mut session = LiveSession::new(its_alive::apps::COUNTER_SRC)?;
     println!("=== initial live view ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // 2. Interact: tap the "+1" button twice.
     session.tap_path(&[1])?;
     session.tap_path(&[1])?;
     println!("\n=== after two taps ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // 3. Live edit: change the label while the program runs. The count
     //    (model state) survives — only the view re-renders.
     let edited = session.source().replace("count: ", "taps so far: ");
-    let outcome = session.edit_source(&edited)?;
+    let outcome = session.edit_source(&edited);
     assert!(outcome.is_applied());
     println!("\n=== after live edit (state preserved!) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // 4. UI -> code navigation: which statement created the first box?
-    let display = session.display_tree()?;
+    let display = session.display_tree().ok_or("no view")?;
     let span = its_alive::live::span_for_box(session.system().program(), &display, &[0])
         .expect("box came from a boxed statement");
     println!("\n=== the box at path [0] was created by ===");
@@ -41,10 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. A broken edit is rejected; the program keeps running.
     let broken = session.source().replace("count + 1", "count + ");
-    let outcome = session.edit_source(&broken)?;
+    let outcome = session.edit_source(&broken);
     assert!(!outcome.is_applied());
     println!("\n=== broken edit rejected; still alive ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // 7. Under the hood: the paper's transition system is observable.
     session.system_mut().back();

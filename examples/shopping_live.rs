@@ -10,39 +10,39 @@ use its_alive::live::LiveSession;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = LiveSession::with_memo(SHOPPING_SRC)?;
     println!("=== shopping list ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Find the "eggs" row on screen and tap it by coordinates.
-    let view = session.live_view()?;
+    let view = session.live_view();
     let eggs_row = view
         .lines()
         .position(|l| l.contains("eggs"))
         .expect("visible") as i32;
     assert!(session.tap_at(1, eggs_row)?);
     println!("\n=== eggs detail ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Buy them (tap the [ buy ] button by coordinates).
-    let view = session.live_view()?;
+    let view = session.live_view();
     let buy_row = view
         .lines()
         .position(|l| l.contains("[ buy ]"))
         .expect("visible") as i32;
     assert!(session.tap_at(1, buy_row)?);
     println!("\n=== back on the list (12 bought) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Live edit while shopping: show the bought count more loudly.
     let edited = session.source().replace(
         "\"bought so far: \" ++ bought",
         "\"BOUGHT: \" ++ bought ++ \" units\"",
     );
-    assert!(session.edit_source(&edited)?.is_applied());
+    assert!(session.edit_source(&edited).is_applied());
     println!("\n=== after live edit (model intact) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // Add twice; the memo cache reuses untouched rows.
-    let view = session.live_view()?;
+    let view = session.live_view();
     let add_row = view
         .lines()
         .position(|l| l.contains("add apples"))

@@ -39,7 +39,7 @@ page start() {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = LiveSession::new(SRC)?;
     println!("=== three sliders, each with private state ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
     println!(
         "\n(model store: {} — empty! the values live in {} view-state slots)",
         session.system().store(),
@@ -54,13 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.tap_path(&[2, 0, 2])?; // third row, inner box, "+"
     }
     println!("\n=== after dragging two sliders independently ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
 
     // A live edit: restyle the bar while the sliders hold their values.
     let edited = session.source().replace("\"#\"", "\"=\"");
-    assert!(session.edit_source(&edited)?.is_applied());
+    assert!(session.edit_source(&edited).is_applied());
     println!("\n=== after a live edit (view state resets with the view's code) ===");
-    print!("{}", session.live_view()?);
+    print!("{}", session.live_view());
     println!(
         "\nper §4.2 discipline, UPDATE cleared the slots: {} slots re-initialized",
         session.system().widgets().len()

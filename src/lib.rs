@@ -32,12 +32,12 @@
 //!         render { boxed { post greeting ++ ", world"; } }
 //!     }
 //! "#).expect("compiles");
-//! assert_eq!(session.live_view().expect("renders"), "hello, world\n");
+//! assert_eq!(session.live_view(), "hello, world\n");
 //!
 //! // Edit the running program; the model survives, the view updates.
 //! let edited = session.source().replace(", world", "!");
-//! assert!(session.edit_source(&edited).expect("runs").is_applied());
-//! assert_eq!(session.live_view().expect("renders"), "hello!\n");
+//! assert!(session.edit_source(&edited).is_applied());
+//! assert_eq!(session.live_view(), "hello!\n");
 //! ```
 
 #![warn(missing_docs)]

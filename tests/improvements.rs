@@ -18,10 +18,10 @@ fn on_detail_page() -> LiveSession {
 #[test]
 fn i1_margin_tweak_applies_live_on_the_start_page() {
     let mut s = LiveSession::new(&mortgage::mortgage_src(4)).expect("compiles");
-    let before = s.live_view().expect("renders");
+    let before = s.live_view();
     let improved = mortgage::apply_improvement_i1(s.source());
-    assert!(s.edit_source(&improved).expect("runs").is_applied());
-    let after = s.live_view().expect("renders");
+    assert!(s.edit_source(&improved).is_applied());
+    let after = s.live_view();
     assert_ne!(before, after, "margins moved");
     // Same content, just laid out differently.
     assert_eq!(
@@ -35,18 +35,18 @@ fn i1_margin_tweak_applies_live_on_the_start_page() {
 #[test]
 fn i2_formats_every_balance_row_without_leaving_the_page() {
     let mut s = on_detail_page();
-    let before = s.live_view().expect("renders");
+    let before = s.live_view();
     assert!(
         !before_balances_all_formatted(&before),
         "base version prints raw balances"
     );
 
     let improved = mortgage::apply_improvement_i2(s.source());
-    assert!(s.edit_source(&improved).expect("runs").is_applied());
+    assert!(s.edit_source(&improved).is_applied());
 
     // Still on the detail page: the UI context survived the edit.
     assert_eq!(s.system().current_page().map(|(n, _)| n), Some("detail"));
-    let after = s.live_view().expect("renders");
+    let after = s.live_view();
     assert!(
         before_balances_all_formatted(&after),
         "every balance row now shows dollars.cents: {after}"
@@ -73,7 +73,7 @@ fn before_balances_all_formatted(view: &str) -> bool {
 fn i3_highlights_every_fifth_row() {
     let mut s = on_detail_page();
     let improved = mortgage::apply_improvement_i3(s.source());
-    assert!(s.edit_source(&improved).expect("runs").is_applied());
+    assert!(s.edit_source(&improved).is_applied());
 
     let display = s.display_tree().expect("renders");
     // The amortization rows live under the schedule box (index 4).
@@ -100,13 +100,13 @@ fn all_three_improvements_stack_in_one_session() {
         mortgage::apply_improvement_i1,
     ] {
         let improved = improve(s.source());
-        assert!(s.edit_source(&improved).expect("runs").is_applied());
+        assert!(s.edit_source(&improved).is_applied());
     }
     assert_eq!(s.update_counts(), (3, 0));
     // Still on the detail page, one download total, model intact.
     assert_eq!(s.system().current_page().map(|(n, _)| n), Some("detail"));
     assert_eq!(s.system().cost().prim.web_requests, 1);
-    let view = s.live_view().expect("renders");
+    let view = s.live_view();
     assert!(view.contains("term: 30 years"), "model intact");
     assert!(view.contains("balance: $"));
 }
@@ -119,10 +119,10 @@ fn half_typed_improvement_is_rejected_and_leaves_the_page_running() {
         "post \"balance: $\" ++ balance;",
         "post \"balance: $\" ++ math.floor(balance) ++ \".\" ++ ;",
     );
-    let outcome = s.edit_source(&broken).expect("handled");
+    let outcome = s.edit_source(&broken);
     assert!(!outcome.is_applied());
     // The old view is still alive and interactive.
-    assert!(s.live_view().expect("renders").contains("balance: $"));
+    assert!(s.live_view().contains("balance: $"));
     s.back().expect("still interactive");
     assert_eq!(s.system().current_page().map(|(n, _)| n), Some("start"));
 }

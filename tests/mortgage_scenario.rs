@@ -15,7 +15,7 @@ fn start_session(n: usize) -> LiveSession {
 #[test]
 fn start_page_shows_downloaded_listings() {
     let mut s = start_session(7);
-    let view = s.live_view().expect("renders");
+    let view = s.live_view();
     assert!(view.contains("Local"));
     assert!(view.contains("Listings"));
     // All seven listings are on screen with prices.
@@ -53,7 +53,7 @@ fn tapping_a_listing_pushes_its_detail_page() {
         Value::tuple(vec![Value::Str(addr.clone()), Value::Number(price)])
     );
 
-    let view = s.live_view().expect("renders");
+    let view = s.live_view();
     assert!(view.contains(&*addr), "detail shows the address");
     assert!(view.contains("monthly payment"));
     assert!(view.contains("year 1"));
@@ -72,7 +72,7 @@ fn monthly_payment_matches_the_oracle() {
         panic!("number")
     };
     let expected = mortgage::expected_monthly_payment(price, 5.0, 30.0);
-    let view = s.live_view().expect("renders");
+    let view = s.live_view();
     let shown = view
         .lines()
         .find(|l| l.contains("monthly payment"))
@@ -90,7 +90,7 @@ fn editing_term_and_apr_recomputes_the_schedule() {
     // Edit the term box to 15 years.
     s.edit_box(&[2, 0], "15").expect("editable");
     assert_eq!(s.system().store().get("term"), Some(&Value::Number(15.0)));
-    let view = s.live_view().expect("renders");
+    let view = s.live_view();
     assert!(view.contains("term: 15 years"));
     assert!(view.contains("year 15"));
     assert!(!view.contains("year 16"), "schedule shortened");
@@ -98,7 +98,7 @@ fn editing_term_and_apr_recomputes_the_schedule() {
     // Edit the APR box.
     s.edit_box(&[2, 1], "3.5").expect("editable");
     assert_eq!(s.system().store().get("apr"), Some(&Value::Number(3.5)));
-    assert!(s.live_view().expect("renders").contains("APR: 3.5%"));
+    assert!(s.live_view().contains("APR: 3.5%"));
 
     // Nonsense input is ignored by the handler's guard.
     s.edit_box(&[2, 0], "soon").expect("editable");
@@ -110,8 +110,8 @@ fn amortization_reaches_zero_balance() {
     let mut s = start_session(1);
     s.tap_path(&[1, 0]).expect("open detail");
     let improved = mortgage::apply_improvement_i2(s.source());
-    s.edit_source(&improved).expect("edit runs");
-    let view = s.live_view().expect("renders");
+    s.edit_source(&improved);
+    let view = s.live_view();
     let last_row = view
         .lines()
         .rfind(|l| l.contains("balance:"))
@@ -130,7 +130,7 @@ fn back_returns_to_the_listings() {
     assert_eq!(s.system().current_page().map(|(n, _)| n), Some("start"));
     // Only the original download — no re-fetch on pop (model retained).
     assert_eq!(s.system().cost().prim.web_requests, 1);
-    assert!(s.live_view().expect("renders").contains("Listings"));
+    assert!(s.live_view().contains("Listings"));
 }
 
 #[test]

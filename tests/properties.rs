@@ -91,25 +91,19 @@ fn random_edits_never_kill_the_session() {
         |mutated: &String| {
             let mut session = LiveSession::new(SEED_SRC).expect("seed compiles");
             session.tap_path(&[0]).expect("tap");
-            let before_view = session.live_view().expect("renders");
+            let before_view = session.live_view();
 
-            match session.edit_source(mutated) {
-                Ok(outcome) => {
-                    assert_well_typed(session.system());
-                    prop_assert!(session.system().is_stable());
-                    if !outcome.is_applied() {
-                        // Rejected: the old program must be untouched.
-                        prop_assert_eq!(session.source(), SEED_SRC);
-                        prop_assert_eq!(session.live_view().expect("renders"), before_view.clone());
-                    }
-                }
-                Err(_) => {
-                    // The accepted new code may legitimately diverge at run
-                    // time (e.g. a mutated loop bound); the error must be a
-                    // runtime report, never a panic — reaching here proves
-                    // that. Nothing further to check: the session object is
-                    // still usable for a next edit.
-                }
+            // edit_source is total: applied, rejected, or quarantined
+            // (accepted code that faulted at run time — e.g. a mutated
+            // loop bound diverging — is auto-reverted).
+            let outcome = session.edit_source(mutated);
+            assert_well_typed(session.system());
+            prop_assert!(session.system().is_stable());
+            if !outcome.is_applied() {
+                // Rejected or quarantined: the old program must be
+                // untouched (quarantine restores it wholesale).
+                prop_assert_eq!(session.source(), SEED_SRC);
+                prop_assert_eq!(session.live_view(), before_view.clone());
             }
             Ok(())
         },

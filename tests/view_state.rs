@@ -25,17 +25,11 @@ page start() {
 #[test]
 fn each_box_instance_keeps_its_own_state() {
     let mut s = LiveSession::new(COUNTERS).expect("compiles and starts");
-    assert_eq!(
-        s.live_view().expect("renders"),
-        "item 0: 0\nitem 1: 0\nitem 2: 0\n"
-    );
+    assert_eq!(s.live_view(), "item 0: 0\nitem 1: 0\nitem 2: 0\n");
     s.tap_path(&[1]).expect("tap middle");
     s.tap_path(&[1]).expect("tap middle again");
     s.tap_path(&[2]).expect("tap last");
-    assert_eq!(
-        s.live_view().expect("renders"),
-        "item 0: 0\nitem 1: 2\nitem 2: 1\n"
-    );
+    assert_eq!(s.live_view(), "item 0: 0\nitem 1: 2\nitem 2: 1\n");
     // The model (store) is untouched — this is view state.
     assert!(s.system().store().is_empty());
     assert_eq!(s.system().widgets().len(), 3);
@@ -61,27 +55,24 @@ fn view_state_survives_re_render_and_navigation() {
     "#;
     let mut s = LiveSession::new(src).expect("starts");
     s.tap_path(&[0]).expect("bump");
-    assert!(s.live_view().expect("renders").contains("n = 11"));
+    assert!(s.live_view().contains("n = 11"));
     // Navigate away and back: the slot persists (like scroll state).
     s.tap_path(&[1]).expect("away");
-    assert!(s.live_view().expect("renders").contains("elsewhere"));
+    assert!(s.live_view().contains("elsewhere"));
     s.tap_path(&[0]).expect("back");
-    assert!(s.live_view().expect("renders").contains("n = 11"));
+    assert!(s.live_view().contains("n = 11"));
 }
 
 #[test]
 fn code_update_clears_view_state() {
     let mut s = LiveSession::new(COUNTERS).expect("starts");
     s.tap_path(&[0]).expect("tap");
-    assert!(s.live_view().expect("renders").contains("item 0: 1"));
+    assert!(s.live_view().contains("item 0: 1"));
     let edited = COUNTERS.replace("item ", "entry ");
-    let outcome = s.edit_source(&edited).expect("edit runs");
+    let outcome = s.edit_source(&edited);
     assert!(matches!(outcome, EditOutcome::Applied(_)));
     // View state died with the old view code; slots re-initialize.
-    assert_eq!(
-        s.live_view().expect("renders"),
-        "entry 0: 0\nentry 1: 0\nentry 2: 0\n"
-    );
+    assert_eq!(s.live_view(), "entry 0: 0\nentry 1: 0\nentry 2: 0\n");
     assert_well_typed(s.system());
 }
 
@@ -102,10 +93,10 @@ fn slots_initialize_from_model_reads() {
     "#;
     let mut s = LiveSession::new(src).expect("starts");
     // Initialized once from the (post-init) model...
-    assert_eq!(s.live_view().expect("renders"), "42\n");
+    assert_eq!(s.live_view(), "42\n");
     s.tap_path(&[0]).expect("tap");
     // ...then evolves independently of it.
-    assert_eq!(s.live_view().expect("renders"), "142\n");
+    assert_eq!(s.live_view(), "142\n");
     assert_eq!(s.system().store().get("base"), Some(&Value::Number(42.0)));
 }
 
@@ -191,10 +182,7 @@ fn growing_the_loop_initializes_new_instances_only() {
     s.tap_path(&[1]).expect("hit row 0");
     s.tap_path(&[0]).expect("grow the loop");
     // Row 0 kept its count (same occurrence key); the new row starts at 0.
-    assert_eq!(
-        s.live_view().expect("renders"),
-        "rows: 3\n0 -> 1\n1 -> 0\n2 -> 0\n"
-    );
+    assert_eq!(s.live_view(), "rows: 3\n0 -> 1\n1 -> 0\n2 -> 0\n");
 }
 
 #[test]
@@ -222,7 +210,7 @@ fn memo_cache_and_view_state_compose() {
     for _ in 0..3 {
         plain.tap_path(&[0]).expect("tap");
         memo.tap_path(&[0]).expect("tap");
-        assert_eq!(plain.live_view().expect("v"), memo.live_view().expect("v"));
+        assert_eq!(plain.live_view(), memo.live_view());
     }
     let stats = memo.memo_stats().expect("enabled");
     assert!(stats.hits > 0, "static rows reuse: {stats:?}");
