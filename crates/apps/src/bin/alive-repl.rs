@@ -27,6 +27,7 @@ commands:
   :where <path...>      box -> code: show the boxed statement for a box
   :find <line>:<col>    code -> boxes: which boxes does this cursor make?
   :stack                show the page stack and model store
+  :stats                frame-pipeline reuse counters (eval/layout/paint)
   :trace                dump the session trace (replayable)
   :save <file>          snapshot the model (persistent data) to a file
   :restore <file>       restore a model snapshot against the current code
@@ -210,6 +211,44 @@ fn dispatch(
                 system.cost().steps,
                 system.cost().prim.simulated_ms,
                 system.version()
+            );
+        }
+        ":stats" => {
+            // Settle and render once so the counters describe the
+            // current frame, not a stale one.
+            session.live_view();
+            let stats = session.session().frame_stats();
+            println!("frame pipeline (last frame):");
+            println!(
+                "  eval reuse:   {:>5.1}%  ({} hits, {} misses)",
+                stats.eval_reuse() * 100.0,
+                stats.eval_hits,
+                stats.eval_misses
+            );
+            println!(
+                "  layout reuse: {:>5.1}%  ({} measured, {} reused)",
+                stats.layout_reuse() * 100.0,
+                stats.nodes_measured,
+                stats.nodes_reused
+            );
+            println!(
+                "  repaint:      {:>5.1}%  ({} of {} cells, {})",
+                stats.repaint_fraction() * 100.0,
+                stats.cells_repainted,
+                stats.cells_total,
+                if stats.partial {
+                    "partial"
+                } else {
+                    "full frame"
+                }
+            );
+            println!(
+                "  stage time:   layout {} µs, paint {} µs",
+                stats.layout_us, stats.paint_us
+            );
+            println!(
+                "  lifetime:     {} frames rendered, {} view-memo hits",
+                stats.frames, stats.view_hits
             );
         }
         ":trace" => print!("{}", session.trace().serialize()),

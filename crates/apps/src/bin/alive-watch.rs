@@ -14,7 +14,8 @@
 //! `--once` renders once and exits (used by tests and CI).
 
 use alive_live::{EditOutcome, LiveSession};
-use alive_ui::{layout, render_to_ansi};
+use alive_ui::{layout, AnsiFramebuffer};
+use std::io::Write;
 use std::path::Path;
 use std::time::{Duration, SystemTime};
 
@@ -43,12 +44,14 @@ fn main() {
             std::process::exit(1);
         }
     };
-    show(&mut session, &path);
+    let mut frame = AnsiFramebuffer::new();
     if once {
+        show(&mut session, &path, &mut frame);
         return;
     }
 
-    println!("\nwatching {path} — save the file to live-update (ctrl-c to stop)");
+    println!("watching {path} — save the file to live-update (ctrl-c to stop)");
+    show(&mut session, &path, &mut frame);
     let mut last_seen = mtime(&path);
     loop {
         std::thread::sleep(Duration::from_millis(200));
@@ -64,26 +67,33 @@ fn main() {
             continue;
         }
         match session.edit_source(&new_source) {
+            EditOutcome::Applied(report) if !report.dropped_anything() => {
+                // The common case: patch the live frame in place. Only
+                // damaged rows are rewritten — the updated view itself
+                // is the feedback, with no scrolling status line.
+                patch(&mut session, &mut frame);
+            }
             EditOutcome::Applied(report) => {
                 println!("\n— applied (version {}) —", session.system().version());
-                if report.dropped_anything() {
-                    for (name, why) in &report.dropped_globals {
-                        println!("  dropped global `{name}`: {why}");
-                    }
-                    for (name, why) in &report.dropped_pages {
-                        println!("  dropped page `{name}`: {why}");
-                    }
+                for (name, why) in &report.dropped_globals {
+                    println!("  dropped global `{name}`: {why}");
                 }
-                show(&mut session, &path);
+                for (name, why) in &report.dropped_pages {
+                    println!("  dropped page `{name}`: {why}");
+                }
+                show(&mut session, &path, &mut frame);
             }
             EditOutcome::Rejected(diags) => {
                 println!("\n— rejected; the old program keeps running —");
                 print!("{}", diags.render(&new_source));
+                // The diagnostics scrolled the frame away; the next
+                // repaint must be a full one.
+                frame.reset();
             }
             EditOutcome::Quarantined { fault, .. } => {
                 println!("\n— quarantined; the new code faulted and was reverted —");
                 println!("  {fault}");
-                show(&mut session, &path);
+                show(&mut session, &path, &mut frame);
             }
         }
     }
@@ -93,7 +103,11 @@ fn mtime(path: &str) -> Option<SystemTime> {
     Path::new(path).metadata().and_then(|m| m.modified()).ok()
 }
 
-fn show(session: &mut LiveSession, path: &str) {
+/// Print a header plus a full frame. Used at startup and whenever
+/// scrolling output (diagnostics, drop reports) has pushed the previous
+/// frame away, making an in-place patch impossible.
+fn show(session: &mut LiveSession, path: &str, frame: &mut AnsiFramebuffer) {
+    frame.reset();
     println!("── {path} (live) ──");
     // Fault containment: the session always has something to show —
     // the current view, or the last good one under a fault banner.
@@ -101,7 +115,22 @@ fn show(session: &mut LiveSession, path: &str) {
         println!("{banner}");
     }
     match session.display_tree() {
-        Some(root) => print!("{}", render_to_ansi(&layout(&root))),
+        Some(root) => print!("{}", frame.render(&layout(&root))),
         None => print!("{}", session.live_view()),
     }
+    std::io::stdout().flush().ok();
+}
+
+/// Repaint in place: only the rows the edit damaged are rewritten, via
+/// the framebuffer's cursor-addressed patches. Requires the cursor to
+/// still sit just below the previous frame (no output in between).
+fn patch(session: &mut LiveSession, frame: &mut AnsiFramebuffer) {
+    match session.display_tree() {
+        Some(root) => print!("{}", frame.render(&layout(&root))),
+        None => {
+            frame.reset();
+            print!("{}", session.live_view());
+        }
+    }
+    std::io::stdout().flush().ok();
 }

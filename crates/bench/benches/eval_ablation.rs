@@ -30,6 +30,29 @@ fn main() {
         black_box(smallstep::eval_pure(&p, &mut store, u64::MAX, &body).expect("runs"))
     });
 
+    // Local-lookup micro-case: a deep let-chain makes `lookup_local`
+    // the hot operation. Names are interned `Rc<str>`s, so the resolver
+    // compares pointers before strings and walks frames innermost-first;
+    // this case tracks that fast path (regressing to string compares or
+    // outermost-first scans shows up directly in its ns/iter).
+    for depth in [16usize, 64] {
+        let mut body = String::from("fun deep(x: number): number pure {\n");
+        body.push_str("    let a0 = x + 1;\n");
+        for i in 1..depth {
+            body.push_str(&format!("    let a{i} = a{} + 1;\n", i - 1));
+        }
+        // Touch the innermost, the outermost, and the parameter: one
+        // cheap lookup and two worst-case scans per call.
+        body.push_str(&format!("    a{} + a0 + x\n}}\n", depth - 1));
+        body.push_str("fun main(): number pure { deep(1) + deep(2) }\npage start() { render { } }");
+        let p = compile(&body).expect("compiles");
+        let main_body = p.fun("main").expect("fun").body.clone();
+        let store = Store::new();
+        bench.bench(&format!("bigstep/lookup_deep{depth}"), || {
+            black_box(bigstep::run_pure(&p, &store, 0, u64::MAX, &main_body).expect("runs"))
+        });
+    }
+
     // Render workload: one full page render of the dense gallery.
     for n in [10usize, 50] {
         let p = compile(&alive_apps::gallery::gallery_src(n)).expect("compiles");

@@ -107,21 +107,23 @@ pub struct Evaluator<'a> {
 /// not changed").
 pub trait RenderHook {
     /// Called when entering `boxed e`. Returning `Some((node, value))`
-    /// skips evaluating the body and splices the cached subtree in.
+    /// skips evaluating the body and splices the cached subtree in —
+    /// an O(1) pointer copy, since children are `Rc`-shared.
     /// `locals` is the visible local environment, outermost first.
     fn enter_boxed(
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-    ) -> Option<(BoxNode, Value)>;
+    ) -> Option<(Rc<BoxNode>, Value)>;
 
     /// Called after a `boxed` body evaluated to `node` / `value`, so the
-    /// hook can populate its cache.
+    /// hook can populate its cache. The node is already shared; caching
+    /// it keeps the subtree pointer-identical on future splices.
     fn after_boxed(
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-        node: &BoxNode,
+        node: &Rc<BoxNode>,
         value: &Value,
     );
 }
@@ -422,7 +424,7 @@ impl RenderHook for ReborrowHook<'_, '_> {
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-    ) -> Option<(BoxNode, Value)> {
+    ) -> Option<(Rc<BoxNode>, Value)> {
         self.0.enter_boxed(id, locals)
     }
 
@@ -430,7 +432,7 @@ impl RenderHook for ReborrowHook<'_, '_> {
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-        node: &BoxNode,
+        node: &Rc<BoxNode>,
         value: &Value,
     ) {
         self.0.after_boxed(id, locals, node, value)
@@ -563,22 +565,36 @@ impl Evaluator<'_> {
         Ok(())
     }
 
-    fn lookup_local(&self, name: &str) -> Option<&Value> {
+    /// Innermost-first local lookup. Names are interned per-program
+    /// (`Name = Rc<str>`), so a binding introduced by the same program
+    /// as the reference shares its allocation — `Rc::ptr_eq` settles
+    /// almost every probe without touching the string bytes. The string
+    /// compare remains as the fallback for names that cross program
+    /// versions (e.g. closures captured before a live UPDATE).
+    fn lookup_local(&self, name: &Name) -> Option<&Value> {
         self.scopes
             .iter()
             .rev()
-            .find_map(|f| f.iter().rev().find(|(n, _)| &**n == name))
+            .find_map(|f| {
+                f.iter()
+                    .rev()
+                    .find(|(n, _)| Rc::ptr_eq(n, name) || **n == **name)
+            })
             .map(|(_, v)| v)
     }
 
-    fn assign_local(&mut self, name: &str, value: Value) -> Result<(), RuntimeError> {
+    fn assign_local(&mut self, name: &Name, value: Value) -> Result<(), RuntimeError> {
         for frame in self.scopes.iter_mut().rev() {
-            if let Some(slot) = frame.iter_mut().rev().find(|(n, _)| &**n == name) {
+            if let Some(slot) = frame
+                .iter_mut()
+                .rev()
+                .find(|(n, _)| Rc::ptr_eq(n, name) || **n == **name)
+            {
                 slot.1 = value;
                 return Ok(());
             }
         }
-        Err(RuntimeError::UnknownLocal(Rc::from(name)))
+        Err(RuntimeError::UnknownLocal(name.clone()))
     }
 
     /// Snapshot all visible bindings for closure capture, outermost
@@ -825,6 +841,10 @@ impl Evaluator<'_> {
                     .pop()
                     .ok_or(RuntimeError::Internal("boxed frame missing"))?;
                 let value = result?;
+                // Share the finished subtree once; the hook caches the
+                // same Rc it will splice back, keeping reused subtrees
+                // pointer-identical across frames.
+                let node = Rc::new(node);
                 if self.hook.is_some() {
                     let locals = self.capture_env();
                     if let Some(hook) = self.hook.as_deref_mut() {

@@ -8,6 +8,7 @@ use crate::attr::Attr;
 use crate::expr::BoxSourceId;
 use crate::value::Value;
 use std::fmt;
+use std::rc::Rc;
 
 /// One item in a box's content sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,8 +17,11 @@ pub enum BoxItem {
     Leaf(Value),
     /// `B [a = v]` — an attribute setting.
     Attr(Attr, Value),
-    /// `B ⟨B⟩` — a nested box.
-    Child(BoxNode),
+    /// `B ⟨B⟩` — a nested box. Children are reference-counted so that
+    /// unchanged subtrees can be *shared* across frames: a memo-cache
+    /// splice is an O(1) pointer copy, and downstream passes (layout,
+    /// paint) can detect "nothing changed here" by pointer identity.
+    Child(Rc<BoxNode>),
 }
 
 /// A box: its content sequence plus the identity of the `boxed`
@@ -59,9 +63,23 @@ impl BoxNode {
     /// Nested child boxes, in order.
     pub fn children(&self) -> impl Iterator<Item = &BoxNode> {
         self.items.iter().filter_map(|item| match item {
+            BoxItem::Child(b) => Some(&**b),
+            _ => None,
+        })
+    }
+
+    /// Nested child boxes as shared handles, in order — for passes that
+    /// want to keep (or compare) the `Rc` identity of a subtree.
+    pub fn children_rc(&self) -> impl Iterator<Item = &Rc<BoxNode>> {
+        self.items.iter().filter_map(|item| match item {
             BoxItem::Child(b) => Some(b),
             _ => None,
         })
+    }
+
+    /// Append a child box, taking ownership and sharing it.
+    pub fn push_child(&mut self, child: BoxNode) {
+        self.items.push(BoxItem::Child(Rc::new(child)));
     }
 
     /// Follow a path of child indices (`[]` = self).
@@ -172,14 +190,14 @@ mod tests {
         c.items.push(leaf("c"));
         let mut a = BoxNode::new(Some(BoxSourceId(1)));
         a.items.push(leaf("a"));
-        a.items.push(BoxItem::Child(c));
+        a.push_child(c);
         let mut b = BoxNode::new(Some(BoxSourceId(1)));
         b.items.push(leaf("b"));
         let mut root = BoxNode::new(None);
         root.items
             .push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
-        root.items.push(BoxItem::Child(a));
-        root.items.push(BoxItem::Child(b));
+        root.push_child(a);
+        root.push_child(b);
         root
     }
 

@@ -877,7 +877,9 @@ impl Machine<'_> {
                     .pop()
                     .ok_or(RuntimeError::Internal("no open box frame in render"))?;
                 let value = result?;
-                self.current_box()?.items.push(BoxItem::Child(node));
+                self.current_box()?
+                    .items
+                    .push(BoxItem::Child(std::rc::Rc::new(node)));
                 Ok(value_to_expr(&value, span))
             }
             // -- conservative extensions --------------------------------

@@ -114,6 +114,9 @@ pub struct System {
     version: u64,
     /// Accumulated cost over the system's lifetime.
     cost: Cost,
+    /// Bumped every time `display` is reassigned (even to `⊥`), so
+    /// downstream caches can key rendered output on it.
+    display_generation: u64,
     /// The most recent successfully rendered box tree, kept so a
     /// faulting transition can leave *something* on screen
     /// ([`Display::Stale`]). Cleared by UPDATE (no stale code).
@@ -142,6 +145,7 @@ impl System {
             widgets: crate::widget::WidgetStore::new(),
             version: 0,
             cost: Cost::default(),
+            display_generation: 0,
             last_good: None,
             injector: None,
         }
@@ -172,6 +176,22 @@ impl System {
     /// The current display `D`.
     pub fn display(&self) -> &Display {
         &self.display
+    }
+
+    /// A counter bumped every time the display is reassigned — including
+    /// invalidations and degradations, not just successful renders. Two
+    /// reads under the same generation are guaranteed to see the same
+    /// [`Display`], so a rendered string (or layout) cached against this
+    /// number can be reused without inspecting the tree.
+    pub fn display_generation(&self) -> u64 {
+        self.display_generation
+    }
+
+    /// The single write path for `display`: every reassignment bumps the
+    /// generation so [`System::display_generation`] never lies.
+    fn set_display(&mut self, display: Display) {
+        self.display = display;
+        self.display_generation = self.display_generation.wrapping_add(1);
     }
 
     /// The store `S` (the model).
@@ -260,10 +280,11 @@ impl System {
     /// After a rolled-back transition: show the last good tree (tagged
     /// stale), or `⊥` if nothing was ever rendered.
     fn degrade_display(&mut self) {
-        self.display = match &self.last_good {
+        let degraded = match &self.last_good {
             Some(tree) => Display::Stale(tree.clone()),
             None => Display::Invalid,
         };
+        self.set_display(degraded);
     }
 
     /// Perform one enabled transition of `→g`, in the deterministic
@@ -284,14 +305,14 @@ impl System {
     pub fn step(&mut self) -> Result<StepKind, Fault> {
         // (STARTUP)
         if self.page_stack.is_empty() && self.queue.is_empty() {
-            self.display = Display::Invalid;
+            self.set_display(Display::Invalid);
             self.queue
                 .enqueue(Event::Push(Rc::from(START_PAGE), Value::unit()));
             return Ok(StepKind::Startup);
         }
         // (THUNK) / (PUSH) / (POP)
         if let Some(event) = self.queue.dequeue() {
-            self.display = Display::Invalid;
+            self.set_display(Display::Invalid);
             // The transaction checkpoint: everything an event transition
             // may mutate, snapshotted *after* the event was consumed —
             // rollback drops the faulting event and all its effects.
@@ -446,7 +467,7 @@ impl System {
         match result {
             Ok(root) => {
                 self.last_good = Some(root.clone());
-                self.display = Display::Valid(root);
+                self.set_display(Display::Valid(root));
                 Ok(())
             }
             Err(error) => {
@@ -478,17 +499,27 @@ impl System {
         }
         // Cascade overflow: contain it like any other fault — drop the
         // runaway events and fall back to the last good tree.
+        Err(self.contain_overflow())
+    }
+
+    /// Contain a runaway event cascade: drop the queue, degrade the
+    /// display to the last good tree, and return the structured
+    /// [`FaultKind::CascadeOverflow`] fault. Used by
+    /// [`System::run_to_stable`] when its transition budget runs out,
+    /// and by external drivers (e.g. a memoizing render loop) that
+    /// enforce the same bound while stepping the system themselves.
+    pub fn contain_overflow(&mut self) -> Fault {
         self.queue.clear();
         self.degrade_display();
         let page = self.page_stack.last().map(|(n, _)| n.clone());
-        Err(Fault {
+        Fault {
             kind: FaultKind::CascadeOverflow,
             page,
             error: RuntimeError::FuelExhausted,
             fuel_spent: self.config.max_transitions,
             fuel_limit: self.config.max_transitions,
             version: self.version,
-        })
+        }
     }
 
     /// (TAP) — the user taps the box at `path` in the display. Requires
@@ -501,7 +532,7 @@ impl System {
     /// box has no `ontap` handler.
     pub fn tap(&mut self, path: &[usize]) -> Result<(), ActionError> {
         let handler = self.interaction_handler(path, Attr::OnTap)?;
-        self.display = Display::Invalid;
+        self.set_display(Display::Invalid);
         self.queue.enqueue(Event::Exec(handler, vec![]));
         Ok(())
     }
@@ -514,7 +545,7 @@ impl System {
     /// See [`System::tap`].
     pub fn edit_box(&mut self, path: &[usize], text: &str) -> Result<(), ActionError> {
         let handler = self.interaction_handler(path, Attr::OnEdit)?;
-        self.display = Display::Invalid;
+        self.set_display(Display::Invalid);
         self.queue
             .enqueue(Event::Exec(handler, vec![Value::str(text)]));
         Ok(())
@@ -545,7 +576,7 @@ impl System {
     /// (BACK) — the user presses the back button: enqueue `[pop]` and
     /// invalidate the display.
     pub fn back(&mut self) {
-        self.display = Display::Invalid;
+        self.set_display(Display::Invalid);
         self.queue.enqueue(Event::Pop);
     }
 
@@ -601,7 +632,7 @@ impl System {
         self.program = Rc::new(new_program);
         self.store = store;
         self.page_stack = page_stack;
-        self.display = Display::Invalid;
+        self.set_display(Display::Invalid);
         self.queue.clear();
         // View state dies with the view's code (§4.2 discipline applied
         // to the `remember` extension) — and so does the last good tree:
@@ -638,7 +669,7 @@ impl System {
     ) -> Result<crate::persist::LoadReport, crate::persist::PersistError> {
         let (store, report) = crate::persist::load_store(&self.program, snapshot)?;
         self.store = store;
-        self.display = Display::Invalid;
+        self.set_display(Display::Invalid);
         Ok(report)
     }
 
@@ -694,7 +725,7 @@ impl System {
     #[doc(hidden)]
     pub fn debug_set_pages(&mut self, pages: Vec<(Name, Value)>) {
         self.page_stack = pages;
-        self.display = Display::Invalid;
+        self.set_display(Display::Invalid);
     }
 
     /// Convenience: the rendered box tree, rendering first if needed.
@@ -802,6 +833,25 @@ mod tests {
             root.descendant(&[0]).expect("box").leaves().next(),
             Some(&Value::str("count is 11"))
         );
+    }
+
+    #[test]
+    fn display_generation_tracks_every_reassignment() {
+        let mut sys = counter_system();
+        let g0 = sys.display_generation();
+        sys.run_to_stable().expect("starts");
+        let g1 = sys.display_generation();
+        assert!(g1 > g0, "startup + render both reassign the display");
+        // A stable system left alone keeps its generation: cached
+        // rendered output stays valid.
+        sys.run_to_stable().expect("idles");
+        assert_eq!(sys.display_generation(), g1);
+        // A tap invalidates (bump), the re-render validates (bump).
+        sys.tap(&[0]).expect("tap");
+        let g2 = sys.display_generation();
+        assert!(g2 > g1);
+        sys.run_to_stable().expect("re-renders");
+        assert!(sys.display_generation() > g2);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   from the live view; the change is enshrined as a code edit.
 //! * **Render memoization** ([`memo`]): the §5 optimization that reuses
 //!   box subtrees whose inputs have not changed.
+//! * **Frame pipeline** ([`pipeline`]): the same reuse extended through
+//!   layout and paint — pointer-keyed incremental layout, damage-driven
+//!   partial repaint, and a generation-keyed view memo, with
+//!   [`pipeline::FrameStats`] observability.
 //! * **Fault containment** ([`fault_log`], [`session`]): runtime faults
 //!   degrade the session (last good view + fault banner) instead of
 //!   killing it; faulting edits are quarantined and auto-reverted.
@@ -52,6 +56,7 @@ pub mod fault_log;
 pub mod manipulate;
 pub mod memo;
 pub mod navigation;
+pub mod pipeline;
 pub mod session;
 pub mod trace;
 
@@ -60,5 +65,6 @@ pub use fault_log::{FaultLog, FAULT_LOG_CAPACITY};
 pub use manipulate::{attribute_edit, remove_attribute_edit, ManipulateError};
 pub use memo::{MemoCache, MemoStats, RenderDeps};
 pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for_box};
+pub use pipeline::{FramePipeline, FrameStats};
 pub use session::{EditOutcome, LiveSession, SessionError};
 pub use trace::{RecordingSession, SessionTrace, TraceEvent};

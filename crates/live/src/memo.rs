@@ -26,6 +26,7 @@ use alive_core::Program;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 
 /// What a `boxed` statement's body may depend on, besides its locals.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -429,8 +430,12 @@ pub struct MemoStats {
 #[derive(Debug, Default)]
 pub struct MemoCache {
     deps: RenderDeps,
-    current: HashMap<u64, (BoxNode, Value)>,
-    previous: HashMap<u64, (BoxNode, Value)>,
+    // Entries hold `Rc<BoxNode>` so a hit splices the cached subtree by
+    // pointer copy — O(1) instead of a deep clone — and the spliced
+    // subtree stays pointer-identical across frames, which the layout
+    // cache and damage diff downstream rely on to skip work.
+    current: HashMap<u64, (Rc<BoxNode>, Value)>,
+    previous: HashMap<u64, (Rc<BoxNode>, Value)>,
     store_snapshot: Store,
     version: u64,
     stats: MemoStats,
@@ -512,19 +517,20 @@ impl RenderHook for MemoCache {
         &mut self,
         id: BoxSourceId,
         locals: &[(Name, Value)],
-    ) -> Option<(BoxNode, Value)> {
+    ) -> Option<(Rc<BoxNode>, Value)> {
         let Some(key) = self.key(id, locals) else {
             self.stats.uncacheable += 1;
             return None;
         };
-        if let Some(entry) = self.current.get(&key) {
+        if let Some((node, value)) = self.current.get(&key) {
             self.stats.hits += 1;
-            return Some(entry.clone());
+            return Some((Rc::clone(node), value.clone()));
         }
         if let Some(entry) = self.previous.remove(&key) {
             self.stats.hits += 1;
-            self.current.insert(key, entry.clone());
-            return Some(entry);
+            let out = (Rc::clone(&entry.0), entry.1.clone());
+            self.current.insert(key, entry);
+            return Some(out);
         }
         None
     }
@@ -533,12 +539,12 @@ impl RenderHook for MemoCache {
         &mut self,
         id: BoxSourceId,
         locals: &[(Name, Value)],
-        node: &BoxNode,
+        node: &Rc<BoxNode>,
         value: &Value,
     ) {
         if let Some(key) = self.key(id, locals) {
             self.stats.misses += 1;
-            self.current.insert(key, (node.clone(), value.clone()));
+            self.current.insert(key, (Rc::clone(node), value.clone()));
         }
     }
 }

@@ -25,12 +25,13 @@
 
 use crate::fault_log::FaultLog;
 use crate::memo::{MemoCache, MemoStats};
+use crate::pipeline::{FramePipeline, FrameStats};
 use alive_core::boxtree::{BoxNode, Display};
 use alive_core::fixup::FixupReport;
 use alive_core::system::{ActionError, StepKind, System, SystemConfig};
 use alive_core::{compile, Fault, IncrementalCompiler};
 use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
-use alive_ui::{layout, render_to_text, Point};
+use alive_ui::Point;
 
 /// The result of submitting an edit to a live session.
 #[derive(Debug)]
@@ -82,6 +83,9 @@ pub struct LiveSession {
     redo_stack: Vec<String>,
     /// Contained faults, newest last, bounded.
     faults: FaultLog,
+    /// Layout + paint reuse across frames (always on: byte-identical to
+    /// from-scratch rendering by construction).
+    pipeline: FramePipeline,
 }
 
 impl LiveSession {
@@ -127,6 +131,7 @@ impl LiveSession {
             undo_stack: Vec::new(),
             redo_stack: Vec::new(),
             faults: FaultLog::new(),
+            pipeline: FramePipeline::new(),
         };
         session.refresh();
         Ok(session)
@@ -156,6 +161,18 @@ impl LiveSession {
     /// Render-cache statistics, if the cache is enabled.
     pub fn memo_stats(&self) -> Option<MemoStats> {
         self.memo.as_ref().map(MemoCache::stats)
+    }
+
+    /// Frame-pipeline statistics: reuse counters for every layer of the
+    /// last [`LiveSession::live_view`] frame (evaluation, layout, paint,
+    /// view memo) plus per-stage timings.
+    pub fn frame_stats(&self) -> FrameStats {
+        let mut stats = self.pipeline.stats();
+        if let Some(memo) = self.memo_stats() {
+            stats.eval_hits = memo.hits;
+            stats.eval_misses = memo.misses;
+        }
+        stats
     }
 
     /// The log of contained faults.
@@ -196,6 +213,7 @@ impl LiveSession {
         // the cache, with the same cascade bound as `run_to_stable`.
         let budget = self.system.config().max_transitions;
         let mut steps = 0u64;
+        let mut contained_overflow = false;
         loop {
             let render_pending = matches!(self.system.display(), Display::Invalid)
                 && self.system.queue().is_empty()
@@ -221,15 +239,20 @@ impl LiveSession {
                 Ok(_) => {
                     steps += 1;
                     if steps > budget {
-                        // Runaway event cascade: let the core's own
-                        // bound contain it (clears the queue, degrades
-                        // the display) and log the overflow fault. The
-                        // tail renders skip the cache — acceptable for
-                        // a pathological program.
-                        if let Err(fault) = self.system.run_to_stable() {
-                            self.faults.record(fault);
+                        // Runaway event cascade: contain it exactly like
+                        // `run_to_stable` (drop the queue, degrade the
+                        // display, log the overflow), then keep draining
+                        // through this loop so any containment tail
+                        // render still goes through the cache hook
+                        // instead of falling off the fast path.
+                        if contained_overflow {
+                            // A second overflow means STARTUP restarted
+                            // the cascade; give up settling this call.
+                            return;
                         }
-                        return;
+                        contained_overflow = true;
+                        steps = 0;
+                        self.faults.record(self.system.contain_overflow());
                     }
                 }
                 Err(fault) => {
@@ -393,8 +416,12 @@ impl LiveSession {
     /// good view at all yields a placeholder naming the fault.
     pub fn live_view(&mut self) -> String {
         self.refresh();
+        let generation = self.system.display_generation();
         match self.system.display().content() {
-            Some(root) => render_to_text(&layout(root)),
+            // The pipeline reuses everything the display left unchanged:
+            // an identical generation returns the memoized string; a new
+            // tree pays incremental layout + damage-driven repaint only.
+            Some(root) => self.pipeline.render(generation, root),
             None => match self.faults.latest() {
                 Some(fault) => format!("(no view: {fault})\n"),
                 None => "(no view)\n".to_string(),
@@ -671,6 +698,99 @@ page start() {
         let v3 = s.source().replace("n =", "N:");
         assert!(s.edit_source(&v3).is_applied());
         assert!(!s.redo());
+    }
+
+    #[test]
+    fn frame_stats_show_cross_frame_reuse() {
+        let src = r#"
+global sel : number = 0
+global items : list (string, number) = []
+page start() {
+    init { items := web.listings(12); }
+    render {
+        boxed { post "selected " ++ sel; }
+        foreach entry in items {
+            boxed { post entry.1; on tap { sel := sel + 1; } }
+        }
+    }
+}
+"#;
+        let mut s = LiveSession::with_memo(src).expect("starts");
+        let before = s.live_view();
+        // A repeated read of the unchanged display is a view-memo hit.
+        let again = s.live_view();
+        assert_eq!(before, again);
+        assert!(s.frame_stats().view_hits >= 1, "{:?}", s.frame_stats());
+
+        // Steady state: a tap changes one header row; the listing rows
+        // are memo splices, pointer-identical across frames, so layout
+        // skips them and paint touches only the damaged cells.
+        s.tap_path(&[1]).expect("tap");
+        let view = s.live_view();
+        assert!(view.starts_with("selected 1"), "{view}");
+        let stats = s.frame_stats();
+        assert!(
+            stats.nodes_reused > stats.nodes_measured,
+            "most of the tree is reused: {stats:?}"
+        );
+        assert!(stats.partial, "steady-state frames repaint partially");
+        assert!(
+            stats.cells_repainted < stats.cells_total / 2,
+            "damage covers a fraction of the screen: {stats:?}"
+        );
+        assert!(
+            stats.eval_hits > 0,
+            "memo splices feed the reuse: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_view_is_byte_identical_to_from_scratch() {
+        let mut s = LiveSession::with_memo(APP).expect("starts");
+        for i in 0..4 {
+            if i > 0 {
+                s.tap_path(&[0]).expect("tap");
+            }
+            let view = s.live_view();
+            let oracle = {
+                let root = s.display_tree().expect("has a view");
+                alive_ui::render_to_text(&alive_ui::layout(&root))
+            };
+            assert_eq!(view, oracle, "frame {i} diverged");
+        }
+    }
+
+    #[test]
+    fn memo_overflow_tail_renders_through_the_cache() {
+        // The init cascade pushes forever; containment must drop the
+        // queue and the *tail* render must still go through the memo
+        // hook rather than falling off the fast path.
+        let loopy = r#"
+page start() {
+    init { push start(); }
+    render { boxed { post "landed"; } }
+}
+"#;
+        let config = SystemConfig {
+            max_transitions: 40,
+            ..SystemConfig::default()
+        };
+        let mut s = LiveSession::with_options(loopy, config, true).expect("starts");
+        assert!(
+            s.fault_log()
+                .iter()
+                .any(|f| f.kind == alive_core::FaultKind::CascadeOverflow),
+            "overflow was contained and logged"
+        );
+        // The machine settled: the containment tail rendered the page…
+        assert_eq!(s.live_view(), "landed\n");
+        assert!(s.system().is_stable());
+        // …and that render went through the cache hook.
+        let memo = s.memo_stats().expect("memo session");
+        assert!(
+            memo.hits + memo.misses + memo.uncacheable > 0,
+            "tail render must hit the RenderHook: {memo:?}"
+        );
     }
 
     #[test]

@@ -3,13 +3,20 @@
 //! The paper's model rebuilds the whole box tree per refresh; a real
 //! screen only wants to repaint what changed. This module computes the
 //! structural difference between two displays and the corresponding
-//! *damage rectangles* — what a compositing backend would repaint. The
-//! E4 discussion uses it to quantify how little of the screen actually
+//! *damage rectangles*. The damage drives the retained-frame backends
+//! ([`crate::render_text::TextFrame`], [`crate::render_ansi::AnsiFramebuffer`]):
+//! only damaged cells are repainted per frame. The E4 discussion also
+//! uses the same rectangles to quantify how little of the screen
 //! changes per model update.
+//!
+//! Diffing exploits structural sharing: children are `Rc`-shared across
+//! frames, so a subtree spliced unchanged from the render memo cache is
+//! pointer-identical to last frame's and is skipped without descending.
 
 use crate::geom::Rect;
 use crate::layout::{LayoutBox, LayoutItem, LayoutTree};
 use alive_core::boxtree::{BoxItem, BoxNode};
+use std::rc::Rc;
 
 /// One difference between two displays, located by box path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,10 +59,14 @@ fn diff_nodes(old: &BoxNode, new: &BoxNode, path: &mut Vec<usize>, out: &mut Vec
     if old.source != new.source || own_items(old) != own_items(new) {
         out.push(BoxChange::Changed(path.clone()));
     }
-    let old_children: Vec<&BoxNode> = old.children().collect();
-    let new_children: Vec<&BoxNode> = new.children().collect();
+    let old_children: Vec<&Rc<BoxNode>> = old.children_rc().collect();
+    let new_children: Vec<&Rc<BoxNode>> = new.children_rc().collect();
     let shared = old_children.len().min(new_children.len());
     for i in 0..shared {
+        // Pointer-identical subtrees (memo splices) cannot differ.
+        if Rc::ptr_eq(old_children[i], new_children[i]) {
+            continue;
+        }
         path.push(i);
         diff_nodes(old_children[i], new_children[i], path, out);
         path.pop();
@@ -73,28 +84,40 @@ fn diff_nodes(old: &BoxNode, new: &BoxNode, path: &mut Vec<usize>, out: &mut Vec
 }
 
 /// The screen rectangles a backend would repaint to go from the old
-/// layout to the new one: the new rect of every added/changed box plus
-/// the old rect of every removed/changed box (content may have moved).
+/// layout to the new one: the new bounds of every added/changed box
+/// plus the old bounds of every removed/changed box (content may have
+/// moved). Bounds are the box rect *plus* its text blocks — text can
+/// overflow a `width`/`height`-overridden rect, and a partial repaint
+/// that missed the overflow would leave stale cells behind.
 pub fn damage_rects(
     old_tree: &LayoutTree,
     new_tree: &LayoutTree,
     changes: &[BoxChange],
 ) -> Vec<Rect> {
     let mut rects = Vec::new();
-    let mut push = |r: Option<&LayoutBox>| {
-        if let Some(b) = r {
-            if !b.rect.size.is_empty() {
-                rects.push(b.rect);
-            }
+    // A changed box damages its own content; its children are diffed
+    // and damaged separately. A box entering or leaving the display
+    // damages its whole subtree at once.
+    fn push_own(rects: &mut Vec<Rect>, b: Option<&LayoutBox>) {
+        if let Some(r) = b.and_then(own_bounds) {
+            rects.push(r);
         }
-    };
+    }
     for change in changes {
         match change {
-            BoxChange::Added(p) => push(new_tree.by_path(p)),
-            BoxChange::Removed(p) => push(old_tree.by_path(p)),
+            BoxChange::Added(p) => {
+                if let Some(r) = new_tree.by_path(p).and_then(subtree_bounds) {
+                    rects.push(r);
+                }
+            }
+            BoxChange::Removed(p) => {
+                if let Some(r) = old_tree.by_path(p).and_then(subtree_bounds) {
+                    rects.push(r);
+                }
+            }
             BoxChange::Changed(p) => {
-                push(old_tree.by_path(p));
-                push(new_tree.by_path(p));
+                push_own(&mut rects, old_tree.by_path(p));
+                push_own(&mut rects, new_tree.by_path(p));
             }
         }
     }
@@ -104,14 +127,80 @@ pub fn damage_rects(
     dedup_rects(rects)
 }
 
+/// Union of two rects (smallest rect containing both).
+fn union(a: Rect, b: Rect) -> Rect {
+    let left = a.left().min(b.left());
+    let top = a.top().min(b.top());
+    let right = a.right().max(b.right());
+    let bottom = a.bottom().max(b.bottom());
+    Rect::new(left, top, right - left, bottom - top)
+}
+
+/// The cells a box's *own* drawing can touch: its rect plus its text
+/// blocks (which may overflow the rect under size overrides). `None`
+/// if it draws nothing.
+fn own_bounds(b: &LayoutBox) -> Option<Rect> {
+    let mut out = (!b.rect.size.is_empty()).then_some(b.rect);
+    for item in &b.items {
+        if let LayoutItem::Text { rect, .. } = item {
+            if !rect.size.is_empty() {
+                out = Some(match out {
+                    Some(acc) => union(acc, *rect),
+                    None => *rect,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The cells a box's whole subtree can touch.
+fn subtree_bounds(b: &LayoutBox) -> Option<Rect> {
+    let mut out = own_bounds(b);
+    for item in &b.items {
+        if let LayoutItem::Child(c) = item {
+            if let Some(r) = subtree_bounds(c) {
+                out = Some(match out {
+                    Some(acc) => union(acc, r),
+                    None => r,
+                });
+            }
+        }
+    }
+    out
+}
+
 fn collect_moved(old: &LayoutBox, new_tree: &LayoutTree, rects: &mut Vec<Rect>) {
     if let Some(new_box) = new_tree.by_path(&old.path) {
         if new_box.rect != old.rect {
-            if !old.rect.size.is_empty() {
-                rects.push(old.rect);
+            if let Some(r) = own_bounds(old) {
+                rects.push(r);
             }
-            if !new_box.rect.size.is_empty() {
-                rects.push(new_box.rect);
+            if let Some(r) = own_bounds(new_box) {
+                rects.push(r);
+            }
+        } else {
+            // Even with an unmoved box rect, a text block after a
+            // resized child shifts within the box. Content changes are
+            // caught by the diff; here only positions can differ.
+            let text_rects = |b: &LayoutBox| -> Vec<Rect> {
+                b.items
+                    .iter()
+                    .filter_map(|i| match i {
+                        LayoutItem::Text { rect, .. } => Some(*rect),
+                        LayoutItem::Child(_) => None,
+                    })
+                    .collect()
+            };
+            for (o, n) in text_rects(old).iter().zip(text_rects(new_box).iter()) {
+                if o != n {
+                    if !o.size.is_empty() {
+                        rects.push(*o);
+                    }
+                    if !n.size.is_empty() {
+                        rects.push(*n);
+                    }
+                }
             }
         }
     }
@@ -166,7 +255,7 @@ mod tests {
     fn root_of(children: Vec<BoxNode>) -> BoxNode {
         let mut root = BoxNode::new(None);
         for c in children {
-            root.items.push(BoxItem::Child(c));
+            root.push_child(c);
         }
         root
     }

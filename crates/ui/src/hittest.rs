@@ -79,10 +79,10 @@ mod tests {
             Attr::OnTap,
             Value::Prim(alive_core::Prim::MathFloor),
         ));
-        b.items.push(BoxItem::Child(c));
+        b.push_child(c);
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Child(a));
-        root.items.push(BoxItem::Child(b));
+        root.push_child(a);
+        root.push_child(b);
         layout(&root)
     }
 

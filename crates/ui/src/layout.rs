@@ -16,6 +16,8 @@ use alive_core::boxtree::{BoxItem, BoxNode};
 use alive_core::expr::BoxSourceId;
 use alive_core::value::Color;
 use alive_core::{Attr, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Visual style resolved from a box's attributes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -195,12 +197,142 @@ pub fn layout(root: &BoxNode) -> LayoutTree {
     LayoutTree { root: root_box }
 }
 
+/// Per-frame counters from an incremental layout pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// Boxes whose measure pass actually ran this frame.
+    pub nodes_measured: u64,
+    /// Boxes skipped because their subtree was pointer-identical to a
+    /// previously measured one (memo splices keep subtrees shared).
+    pub nodes_reused: u64,
+}
+
+/// A measured subtree held by the cache, pinned so its pointer key
+/// stays valid.
+struct CacheEntry {
+    /// Keeps the box subtree allocation alive while the entry exists:
+    /// the cache is keyed by `Rc::as_ptr`, and a recycled allocation at
+    /// the same address would otherwise alias a stale measurement.
+    _keeper: Rc<BoxNode>,
+    measured: Rc<Measured>,
+}
+
+/// Pointer-keyed cache for the bottom-up measure pass.
+///
+/// Box trees are immutable once built, and [`measure`] depends only on
+/// the subtree's own content (no inherited inputs affect sizing), so a
+/// subtree that is pointer-identical to one measured last frame must
+/// measure identically — the `Rc` pointer alone is a sound cache key as
+/// long as the allocation cannot be recycled, which each entry's keeper
+/// `Rc` guarantees. Eviction is two-generation, like the render memo
+/// cache: entries not reused for one whole frame are dropped.
+#[derive(Default)]
+pub struct LayoutCache {
+    current: HashMap<usize, CacheEntry>,
+    previous: HashMap<usize, CacheEntry>,
+    stats: LayoutStats,
+}
+
+impl std::fmt::Debug for LayoutCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayoutCache")
+            .field("current", &self.current.len())
+            .field("previous", &self.previous.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LayoutCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached subtree measurements (both generations).
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// Whether the cache holds no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty() && self.previous.is_empty()
+    }
+
+    /// Drop all cached measurements (e.g. after a code update).
+    pub fn clear(&mut self) {
+        self.current.clear();
+        self.previous.clear();
+    }
+
+    fn begin_frame(&mut self) {
+        // Anything not reused during the previous frame dies here.
+        self.previous = std::mem::take(&mut self.current);
+        self.stats = LayoutStats::default();
+    }
+
+    fn lookup(&mut self, key: usize) -> Option<Rc<Measured>> {
+        if let Some(entry) = self.current.get(&key) {
+            self.stats.nodes_reused += entry.measured.boxes;
+            return Some(Rc::clone(&entry.measured));
+        }
+        if let Some(entry) = self.previous.remove(&key) {
+            self.stats.nodes_reused += entry.measured.boxes;
+            let measured = Rc::clone(&entry.measured);
+            self.current.insert(key, entry);
+            return Some(measured);
+        }
+        None
+    }
+}
+
+/// Lay out a box tree, reusing measurements of subtrees that are
+/// pointer-identical to ones measured on an earlier call.
+///
+/// Output is byte-identical to [`layout`] — only the measure pass is
+/// skipped for shared subtrees; the cheap top-down place pass always
+/// runs in full. Returns the tree plus this frame's reuse counters.
+pub fn layout_incremental(cache: &mut LayoutCache, root: &BoxNode) -> (LayoutTree, LayoutStats) {
+    cache.begin_frame();
+    let measured = measure_items(root, &mut |child| measure_cached(cache, child));
+    cache.stats.nodes_measured += 1; // the root itself
+    let style = Style::from_box(root);
+    let root_box = place(
+        root,
+        &measured,
+        Point::new(style.margin, style.margin),
+        Vec::new(),
+    );
+    (LayoutTree { root: root_box }, cache.stats)
+}
+
+fn measure_cached(cache: &mut LayoutCache, node: &Rc<BoxNode>) -> Rc<Measured> {
+    let key = Rc::as_ptr(node) as usize;
+    if let Some(measured) = cache.lookup(key) {
+        return measured;
+    }
+    let measured = Rc::new(measure_items(node, &mut |child| {
+        measure_cached(cache, child)
+    }));
+    cache.stats.nodes_measured += 1;
+    cache.current.insert(
+        key,
+        CacheEntry {
+            _keeper: Rc::clone(node),
+            measured: Rc::clone(&measured),
+        },
+    );
+    measured
+}
+
 /// Measured sizes for one box subtree.
 struct Measured {
     /// Size of the border box (without margin).
     inner: Size,
     /// Outer size (border box + margin on all sides).
     outer: Size,
+    /// Boxes in this subtree, including self (for reuse accounting).
+    boxes: u64,
     items: Vec<MeasuredItem>,
 }
 
@@ -210,7 +342,7 @@ enum MeasuredItem {
         lines: Vec<String>,
         font_size: i32,
     },
-    Child(Measured),
+    Child(Rc<Measured>),
 }
 
 fn text_lines(value: &Value) -> Vec<String> {
@@ -222,8 +354,16 @@ fn text_lines(value: &Value) -> Vec<String> {
 }
 
 fn measure(node: &BoxNode) -> Measured {
+    measure_items(node, &mut |child| Rc::new(measure(child)))
+}
+
+fn measure_items(
+    node: &BoxNode,
+    measure_child: &mut dyn FnMut(&Rc<BoxNode>) -> Rc<Measured>,
+) -> Measured {
     let style = Style::from_box(node);
     let mut items = Vec::new();
+    let mut boxes = 1u64;
     let mut main = 0i32; // along the stacking axis
     let mut cross = 0i32;
     for item in &node.items {
@@ -246,8 +386,9 @@ fn measure(node: &BoxNode) -> Measured {
                 size
             }
             BoxItem::Child(child) => {
-                let measured = measure(child);
+                let measured = measure_child(child);
                 let size = measured.outer;
+                boxes += measured.boxes;
                 items.push(MeasuredItem::Child(measured));
                 size
             }
@@ -278,6 +419,7 @@ fn measure(node: &BoxNode) -> Measured {
     Measured {
         inner,
         outer,
+        boxes,
         items,
     }
 }
@@ -371,8 +513,8 @@ mod tests {
     #[test]
     fn vertical_stacking_is_default() {
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Child(leaf_box("aaaa")));
-        root.items.push(BoxItem::Child(leaf_box("bb")));
+        root.push_child(leaf_box("aaaa"));
+        root.push_child(leaf_box("bb"));
         let tree = layout(&root);
         let first = tree.by_path(&[0]).expect("first child");
         let second = tree.by_path(&[1]).expect("second child");
@@ -386,8 +528,8 @@ mod tests {
         let mut root = BoxNode::new(None);
         root.items
             .push(BoxItem::Attr(Attr::Horizontal, Value::Bool(true)));
-        root.items.push(BoxItem::Child(leaf_box("aaaa")));
-        root.items.push(BoxItem::Child(leaf_box("bb")));
+        root.push_child(leaf_box("aaaa"));
+        root.push_child(leaf_box("bb"));
         let tree = layout(&root);
         let first = tree.by_path(&[0]).expect("first");
         let second = tree.by_path(&[1]).expect("second");
@@ -400,7 +542,7 @@ mod tests {
     fn margin_offsets_and_grows_parent() {
         let mut root = BoxNode::new(None);
         let child = with_attr(leaf_box("xx"), Attr::Margin, Value::Number(2.0));
-        root.items.push(BoxItem::Child(child));
+        root.push_child(child);
         let tree = layout(&root);
         let child = tree.by_path(&[0]).expect("child");
         assert_eq!(child.rect.origin, Point::new(2, 2));
@@ -416,7 +558,7 @@ mod tests {
             Value::Number(1.0),
         );
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Child(b));
+        root.push_child(b);
         let tree = layout(&root);
         let child = tree.by_path(&[0]).expect("child");
         // content 2x1 + 2*(padding 1 + border 1) = 6x5.
@@ -434,7 +576,7 @@ mod tests {
     fn font_size_scales_text() {
         let b = with_attr(leaf_box("ab"), Attr::FontSize, Value::Number(2.0));
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Child(b));
+        root.push_child(b);
         let tree = layout(&root);
         assert_eq!(
             tree.by_path(&[0]).expect("child").rect.size,
@@ -450,7 +592,7 @@ mod tests {
             Value::Number(4.0),
         );
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Child(b));
+        root.push_child(b);
         let tree = layout(&root);
         assert_eq!(
             tree.by_path(&[0]).expect("child").rect.size,
@@ -473,10 +615,10 @@ mod tests {
     #[test]
     fn paths_match_box_tree_indices() {
         let mut inner = BoxNode::new(None);
-        inner.items.push(BoxItem::Child(leaf_box("deep")));
+        inner.push_child(leaf_box("deep"));
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Child(leaf_box("a")));
-        root.items.push(BoxItem::Child(inner));
+        root.push_child(leaf_box("a"));
+        root.push_child(inner);
         let tree = layout(&root);
         assert_eq!(tree.by_path(&[1, 0]).expect("nested").path, vec![1, 0]);
         assert!(tree.by_path(&[2]).is_none());
@@ -487,7 +629,7 @@ mod tests {
     fn leaves_interleave_with_children() {
         let mut root = BoxNode::new(None);
         root.items.push(BoxItem::Leaf(Value::str("top")));
-        root.items.push(BoxItem::Child(leaf_box("mid")));
+        root.push_child(leaf_box("mid"));
         root.items.push(BoxItem::Leaf(Value::str("bottom")));
         let tree = layout(&root);
         let LayoutItem::Text { rect: top, .. } = &tree.root.items[0] else {
@@ -502,5 +644,69 @@ mod tests {
         assert_eq!(top.origin.y, 0);
         assert_eq!(mid.rect.origin.y, 1);
         assert_eq!(bottom.origin.y, 2);
+    }
+
+    #[test]
+    fn incremental_layout_matches_from_scratch() {
+        let mut root = BoxNode::new(None);
+        root.push_child(with_attr(
+            leaf_box("aaaa"),
+            Attr::Margin,
+            Value::Number(1.0),
+        ));
+        let mut inner = BoxNode::new(None);
+        inner.push_child(leaf_box("deep"));
+        root.push_child(inner);
+        let mut cache = LayoutCache::new();
+        let (tree, stats) = layout_incremental(&mut cache, &root);
+        assert_eq!(tree, layout(&root));
+        // Cold cache: everything measured, nothing reused.
+        assert_eq!(stats.nodes_measured, 4);
+        assert_eq!(stats.nodes_reused, 0);
+    }
+
+    #[test]
+    fn shared_subtrees_skip_the_measure_pass() {
+        let mut inner = BoxNode::new(None);
+        inner.push_child(leaf_box("deep"));
+        let mut root = BoxNode::new(None);
+        root.push_child(leaf_box("a"));
+        root.push_child(inner);
+
+        let mut cache = LayoutCache::new();
+        let (first, _) = layout_incremental(&mut cache, &root);
+
+        // Next frame: same children, shared by pointer (as the memo
+        // cache produces), inside a freshly built root.
+        let mut next = BoxNode::new(None);
+        next.items.extend(root.items.iter().cloned());
+        let (second, stats) = layout_incremental(&mut cache, &next);
+        assert_eq!(first, second);
+        assert_eq!(stats.nodes_measured, 1, "only the new root measures");
+        assert_eq!(stats.nodes_reused, 3, "both subtrees splice from cache");
+        assert_eq!(second, layout(&next), "incremental == from-scratch");
+    }
+
+    #[test]
+    fn layout_cache_evicts_after_one_idle_frame() {
+        let mut root = BoxNode::new(None);
+        root.push_child(leaf_box("x"));
+        let mut cache = LayoutCache::new();
+        layout_incremental(&mut cache, &root);
+        assert_eq!(cache.len(), 1);
+
+        // A frame that shares nothing: the old entry survives one
+        // rotation (previous generation), then dies.
+        let mut other = BoxNode::new(None);
+        other.push_child(leaf_box("y"));
+        layout_incremental(&mut cache, &other);
+        assert_eq!(cache.len(), 2);
+        let mut third = BoxNode::new(None);
+        third.push_child(leaf_box("z"));
+        layout_incremental(&mut cache, &third);
+        assert_eq!(cache.len(), 2, "the x entry was evicted");
+
+        cache.clear();
+        assert!(cache.is_empty());
     }
 }

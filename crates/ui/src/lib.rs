@@ -39,10 +39,12 @@ pub mod render_text;
 pub use diff::{damage_ratio, damage_rects, diff_displays, BoxChange};
 pub use geom::{Point, Rect, Size};
 pub use hittest::{hit_stack, hit_test, hit_test_editable, hit_test_tappable};
-pub use layout::{layout, LayoutBox, LayoutItem, LayoutTree, Style};
-pub use render_ansi::{render_to_ansi, strip_ansi, AnsiCanvas};
+pub use layout::{
+    layout, layout_incremental, LayoutBox, LayoutCache, LayoutItem, LayoutStats, LayoutTree, Style,
+};
+pub use render_ansi::{render_to_ansi, strip_ansi, AnsiCanvas, AnsiFramebuffer};
 pub use render_text::{
-    render_to_text, render_with_options, render_zoomed_out, Canvas, RenderOptions,
+    render_to_text, render_with_options, render_zoomed_out, Canvas, RenderOptions, TextFrame,
 };
 
 use alive_core::system::{ActionError, System};

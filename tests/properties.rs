@@ -200,8 +200,7 @@ fn arb_box_tree(rng: &mut Rng, depth: usize) -> BoxNode {
     }
     if depth > 0 {
         for _ in 0..rng.below(4) {
-            node.items
-                .push(BoxItem::Child(arb_box_tree(rng, depth - 1)));
+            node.push_child(arb_box_tree(rng, depth - 1));
         }
     }
     node
