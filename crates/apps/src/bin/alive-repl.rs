@@ -6,12 +6,19 @@
 //! (live view) and `:src` (code view), with `:where` / `:find`
 //! implementing the bidirectional navigation.
 //!
+//! Every state-changing interaction goes through the session protocol
+//! ([`SessionCommand`] → [`SessionEffect`]): the repl is one observer
+//! among many a host could attach, with no privileged side channel.
+//!
 //! ```text
 //! $ cargo run -p alive-apps --bin alive-repl
 //! alive> :help
 //! ```
 
-use alive_live::{box_source_at, boxes_for_cursor, span_for_box, RecordingSession};
+use alive_live::{
+    box_source_at, boxes_for_cursor, format_frame_stats, span_for_box, FrameSnapshot,
+    RecordingSession, SessionCommand, SessionEffect, UndoOutcome,
+};
 use alive_ui::{layout, render_to_ansi};
 use std::io::{self, BufRead, Write};
 
@@ -23,6 +30,8 @@ commands:
   :back                 press the back button
   :editbox <path...> -- <text>   edit a box's text (fires onedit)
   :edit                 replace the source; end input with a single `.`
+  :undo                 undo the most recent applied edit
+  :redo                 redo the most recently undone edit
   :fig2 [<path...>]     the Figure 2 split view (optionally select a box)
   :where <path...>      box -> code: show the boxed statement for a box
   :find <line>:<col>    code -> boxes: which boxes does this cursor make?
@@ -89,31 +98,32 @@ fn dispatch(
         ":help" | ":h" => println!("{HELP}"),
         ":view" | ":v" => show_view(session),
         ":src" => {
-            for (i, l) in session.session().source().lines().enumerate() {
-                println!("{:>4} | {l}", i + 1);
+            for effect in session.apply(SessionCommand::Source) {
+                if let SessionEffect::Source(src) = effect {
+                    for (i, l) in src.lines().enumerate() {
+                        println!("{:>4} | {l}", i + 1);
+                    }
+                }
             }
         }
         ":tap" => match parse_path(rest) {
-            Some(path) => match session.tap_path(&path) {
-                Ok(()) => show_view(session),
-                Err(e) => println!("tap failed: {e}"),
-            },
+            Some(path) => emit(session.apply(SessionCommand::TapPath(path)), "tap failed"),
             None => println!("usage: :tap <i> [<j> ...]"),
         },
-        ":back" => match session.back() {
-            Ok(()) => show_view(session),
-            Err(e) => println!("back failed: {e}"),
-        },
+        ":back" => emit(session.apply(SessionCommand::Back), "back failed"),
         ":editbox" => {
             let Some((path_part, text)) = rest.split_once(" -- ") else {
                 println!("usage: :editbox <path...> -- <text>");
                 return Flow::Continue;
             };
             match parse_path(path_part) {
-                Some(path) => match session.edit_box(&path, text) {
-                    Ok(()) => show_view(session),
-                    Err(e) => println!("edit failed: {e}"),
-                },
+                Some(path) => emit(
+                    session.apply(SessionCommand::EditBox {
+                        path,
+                        text: text.to_string(),
+                    }),
+                    "edit failed",
+                ),
                 None => println!("bad path"),
             }
         }
@@ -128,18 +138,13 @@ fn dispatch(
                 src.push_str(&l);
                 src.push('\n');
             }
-            match session.edit_source(&src) {
-                outcome if outcome.is_applied() => {
-                    println!("applied.");
-                    show_view(session);
-                }
-                alive_live::EditOutcome::Quarantined { fault, .. } => {
-                    println!("quarantined — the new code faulted ({fault}); reverted to the previous source.");
-                    show_view(session);
-                }
-                _ => println!("rejected — old program keeps running."),
-            }
+            emit(
+                session.apply(SessionCommand::EditSource(src)),
+                "edit failed",
+            );
         }
+        ":undo" => emit(session.apply(SessionCommand::Undo), "undo failed"),
+        ":redo" => emit(session.apply(SessionCommand::Redo), "redo failed"),
         ":fig2" => {
             let selection = match parse_path(rest) {
                 Some(path) => alive_live::Selection::Box(path),
@@ -213,64 +218,25 @@ fn dispatch(
                 system.version()
             );
         }
-        ":stats" => {
-            // Settle and render once so the counters describe the
-            // current frame, not a stale one.
-            session.live_view();
-            let stats = session.session().frame_stats();
-            println!("frame pipeline (last frame):");
-            println!(
-                "  eval reuse:   {:>5.1}%  ({} hits, {} misses)",
-                stats.eval_reuse() * 100.0,
-                stats.eval_hits,
-                stats.eval_misses
-            );
-            println!(
-                "  layout reuse: {:>5.1}%  ({} measured, {} reused)",
-                stats.layout_reuse() * 100.0,
-                stats.nodes_measured,
-                stats.nodes_reused
-            );
-            println!(
-                "  repaint:      {:>5.1}%  ({} of {} cells, {})",
-                stats.repaint_fraction() * 100.0,
-                stats.cells_repainted,
-                stats.cells_total,
-                if stats.partial {
-                    "partial"
-                } else {
-                    "full frame"
-                }
-            );
-            println!(
-                "  stage time:   layout {} µs, paint {} µs",
-                stats.layout_us, stats.paint_us
-            );
-            println!(
-                "  lifetime:     {} frames rendered, {} view-memo hits",
-                stats.frames, stats.view_hits
-            );
-        }
+        ":stats" => emit(session.apply(SessionCommand::Stats), "stats failed"),
         ":trace" => print!("{}", session.trace().serialize()),
-        ":save" => match session.session().system().snapshot() {
-            Ok(snapshot) => match std::fs::write(rest, &snapshot) {
-                Ok(()) => println!("model saved to {rest}"),
-                Err(e) => println!("save failed: {e}"),
-            },
-            Err(e) => println!("save failed: {e}"),
-        },
-        ":restore" => match std::fs::read_to_string(rest) {
-            Ok(snapshot) => match session.restore_snapshot(&snapshot) {
-                Ok(report) => {
-                    if !report.skipped.is_empty() {
-                        for (name, why) in &report.skipped {
-                            println!("skipped `{name}`: {why}");
-                        }
-                    }
-                    show_view(session);
+        ":save" => {
+            for effect in session.apply(SessionCommand::Snapshot) {
+                match effect {
+                    SessionEffect::Snapshot(snapshot) => match std::fs::write(rest, &snapshot) {
+                        Ok(()) => println!("model saved to {rest}"),
+                        Err(e) => println!("save failed: {e}"),
+                    },
+                    SessionEffect::Refused(why) => println!("save failed: {why}"),
+                    _ => {}
                 }
-                Err(e) => println!("restore failed: {e}"),
-            },
+            }
+        }
+        ":restore" => match std::fs::read_to_string(rest) {
+            Ok(snapshot) => emit(
+                session.apply(SessionCommand::Restore(snapshot)),
+                "restore failed",
+            ),
             Err(e) => println!("cannot read {rest}: {e}"),
         },
         ":demo" => {
@@ -307,15 +273,66 @@ fn parse_path(args: &str) -> Option<Vec<usize>> {
     args.split_whitespace().map(|p| p.parse().ok()).collect()
 }
 
-fn show_view(session: &mut RecordingSession) {
-    // Settling is folded into live_view; a faulting program degrades to
-    // its last good view with a banner instead of killing the REPL.
-    let fallback = session.live_view();
-    if let Some(banner) = session.session().fault_banner() {
+/// Print a frame: fault banner (if degraded), then the ANSI-rendered
+/// box tree, falling back to the plain view text when the session has
+/// never rendered successfully.
+fn render_frame(frame: &FrameSnapshot) {
+    if let Some(banner) = &frame.banner {
         println!("{banner}");
     }
-    match session.session().system().display().content() {
+    match &frame.tree {
         Some(root) => print!("{}", render_to_ansi(&layout(root))),
-        None => print!("{fallback}"),
+        None => print!("{}", frame.view),
+    }
+}
+
+/// Print a batch of effects the standard way. `fail_ctx` labels
+/// [`SessionEffect::Refused`] (e.g. "tap failed: no box at path…").
+fn emit(effects: Vec<SessionEffect>, fail_ctx: &str) {
+    for effect in effects {
+        match effect {
+            SessionEffect::Frame(frame) => render_frame(&frame),
+            SessionEffect::Refused(why) => println!("{fail_ctx}: {why}"),
+            SessionEffect::Tap { .. } => {}
+            SessionEffect::EditApplied(_) => println!("applied."),
+            SessionEffect::EditRejected(_) => {
+                println!("rejected — old program keeps running.");
+            }
+            SessionEffect::EditQuarantined { fault, .. } => {
+                println!(
+                    "quarantined — the new code faulted ({fault}); reverted to the previous source."
+                );
+            }
+            SessionEffect::Undo { redo, outcome } => {
+                let op = if redo { "redo" } else { "undo" };
+                match outcome {
+                    UndoOutcome::Applied => {
+                        println!("{}.", if redo { "redone" } else { "undone" });
+                    }
+                    UndoOutcome::NothingToUndo => println!("nothing to {op}."),
+                    UndoOutcome::Quarantined(fault) => match fault {
+                        Some(fault) => println!(
+                            "{op} quarantined — the restored code faulted ({fault}); session unchanged."
+                        ),
+                        None => println!("{op} rejected; session unchanged."),
+                    },
+                }
+            }
+            SessionEffect::Stats(stats) => println!("{}", format_frame_stats(&stats)),
+            SessionEffect::Restored(report) => {
+                for (name, why) in &report.skipped {
+                    println!("skipped `{name}`: {why}");
+                }
+            }
+            SessionEffect::Source(_) | SessionEffect::Snapshot(_) => {}
+        }
+    }
+}
+
+fn show_view(session: &mut RecordingSession) {
+    for effect in session.apply(SessionCommand::Frame) {
+        if let SessionEffect::Frame(frame) = effect {
+            render_frame(&frame);
+        }
     }
 }

@@ -6,6 +6,10 @@
 //! the paper's workflow with any text editor standing in for the
 //! built-in code view.
 //!
+//! All session interaction goes through the command/effect protocol
+//! ([`SessionCommand`] → [`SessionEffect`]): the watcher is a thin
+//! effect printer, exactly like a remote observer attached to a host.
+//!
 //! ```text
 //! $ cargo run -p alive-apps --bin alive-watch -- path/to/app.alive
 //! $ cargo run -p alive-apps --bin alive-watch -- app.alive --once
@@ -13,7 +17,7 @@
 //!
 //! `--once` renders once and exits (used by tests and CI).
 
-use alive_live::{EditOutcome, LiveSession};
+use alive_live::{FrameSnapshot, LiveSession, SessionCommand, SessionEffect};
 use alive_ui::{layout, AnsiFramebuffer};
 use std::io::Write;
 use std::path::Path;
@@ -66,14 +70,26 @@ fn main() {
         if new_source == session.source() {
             continue;
         }
-        match session.edit_source(&new_source) {
-            EditOutcome::Applied(report) if !report.dropped_anything() => {
-                // The common case: patch the live frame in place. Only
-                // damaged rows are rewritten — the updated view itself
-                // is the feedback, with no scrolling status line.
-                patch(&mut session, &mut frame);
-            }
-            EditOutcome::Applied(report) => {
+        apply_save(&mut session, &path, &mut frame, new_source);
+    }
+}
+
+/// Apply one on-disk save through the protocol and print its effects.
+fn apply_save(
+    session: &mut LiveSession,
+    path: &str,
+    frame: &mut AnsiFramebuffer,
+    new_source: String,
+) {
+    let effects = session.apply(SessionCommand::EditSource(new_source.clone()));
+    // The edit outcome decides the presentation: a clean apply patches
+    // the live frame in place (the updated view itself is the
+    // feedback); anything that scrolled output forces a full repaint.
+    let mut full_repaint = false;
+    for effect in effects {
+        match effect {
+            SessionEffect::EditApplied(report) if !report.dropped_anything() => {}
+            SessionEffect::EditApplied(report) => {
                 println!("\n— applied (version {}) —", session.system().version());
                 for (name, why) in &report.dropped_globals {
                     println!("  dropped global `{name}`: {why}");
@@ -81,20 +97,30 @@ fn main() {
                 for (name, why) in &report.dropped_pages {
                     println!("  dropped page `{name}`: {why}");
                 }
-                show(&mut session, &path, &mut frame);
+                full_repaint = true;
             }
-            EditOutcome::Rejected(diags) => {
+            SessionEffect::EditRejected(diags) => {
                 println!("\n— rejected; the old program keeps running —");
                 print!("{}", diags.render(&new_source));
                 // The diagnostics scrolled the frame away; the next
                 // repaint must be a full one.
                 frame.reset();
             }
-            EditOutcome::Quarantined { fault, .. } => {
+            SessionEffect::EditQuarantined { fault, .. } => {
                 println!("\n— quarantined; the new code faulted and was reverted —");
                 println!("  {fault}");
-                show(&mut session, &path, &mut frame);
+                full_repaint = true;
             }
+            SessionEffect::Frame(snapshot) => {
+                if full_repaint {
+                    frame.reset();
+                    header(path);
+                }
+                // A banner only accompanies a full repaint; the in-place
+                // patch path keeps the frame as the whole feedback.
+                paint(&snapshot, frame, full_repaint);
+            }
+            _ => {}
         }
     }
 }
@@ -103,34 +129,38 @@ fn mtime(path: &str) -> Option<SystemTime> {
     Path::new(path).metadata().and_then(|m| m.modified()).ok()
 }
 
+fn header(path: &str) {
+    println!("── {path} (live) ──");
+}
+
+/// Paint a frame snapshot: banner (if degraded), then the box tree via
+/// the framebuffer — a cursor-addressed patch when the cursor still
+/// sits below the previous frame, a full paint otherwise.
+fn paint(snapshot: &FrameSnapshot, frame: &mut AnsiFramebuffer, with_banner: bool) {
+    if with_banner {
+        if let Some(banner) = &snapshot.banner {
+            println!("{banner}");
+        }
+    }
+    match &snapshot.tree {
+        Some(root) => print!("{}", frame.render(&layout(root))),
+        None => {
+            frame.reset();
+            print!("{}", snapshot.view);
+        }
+    }
+    std::io::stdout().flush().ok();
+}
+
 /// Print a header plus a full frame. Used at startup and whenever
 /// scrolling output (diagnostics, drop reports) has pushed the previous
 /// frame away, making an in-place patch impossible.
 fn show(session: &mut LiveSession, path: &str, frame: &mut AnsiFramebuffer) {
     frame.reset();
-    println!("── {path} (live) ──");
-    // Fault containment: the session always has something to show —
-    // the current view, or the last good one under a fault banner.
-    if let Some(banner) = session.fault_banner() {
-        println!("{banner}");
-    }
-    match session.display_tree() {
-        Some(root) => print!("{}", frame.render(&layout(&root))),
-        None => print!("{}", session.live_view()),
-    }
-    std::io::stdout().flush().ok();
-}
-
-/// Repaint in place: only the rows the edit damaged are rewritten, via
-/// the framebuffer's cursor-addressed patches. Requires the cursor to
-/// still sit just below the previous frame (no output in between).
-fn patch(session: &mut LiveSession, frame: &mut AnsiFramebuffer) {
-    match session.display_tree() {
-        Some(root) => print!("{}", frame.render(&layout(&root))),
-        None => {
-            frame.reset();
-            print!("{}", session.live_view());
+    header(path);
+    for effect in session.apply(SessionCommand::Frame) {
+        if let SessionEffect::Frame(snapshot) = effect {
+            paint(&snapshot, frame, true);
         }
     }
-    std::io::stdout().flush().ok();
 }

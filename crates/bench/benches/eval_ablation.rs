@@ -31,7 +31,7 @@ fn main() {
     });
 
     // Local-lookup micro-case: a deep let-chain makes `lookup_local`
-    // the hot operation. Names are interned `Rc<str>`s, so the resolver
+    // the hot operation. Names are interned `Arc<str>`s, so the resolver
     // compares pointers before strings and walks frames innermost-first;
     // this case tracks that fast path (regressing to string compares or
     // outermost-first scans shows up directly in its ns/iter).

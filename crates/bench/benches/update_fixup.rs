@@ -8,7 +8,7 @@ use alive_core::{compile, Program, Value};
 use alive_live::LiveSession;
 use alive_testkit::Bench;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// New code declaring only the even half of `n` globals.
 fn half_program(n: usize) -> Program {
@@ -47,7 +47,7 @@ fn main() {
         let stack: Vec<(Name, Value)> = (0..depth)
             .map(|i| {
                 (
-                    Rc::from("detail") as Name,
+                    Arc::from("detail") as Name,
                     Value::tuple(vec![Value::Number(i as f64)]),
                 )
             })

@@ -7,7 +7,7 @@
 use crate::error::RuntimeError;
 use crate::types::{Effect, FnType, Type};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The catalog of box attributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,7 +82,7 @@ impl Attr {
     /// [`RuntimeError::NotAFunction`] for non-handler attributes — a
     /// typed error (unreachable after type check) instead of a process
     /// abort.
-    pub fn handler_sig(self) -> Result<Rc<FnType>, RuntimeError> {
+    pub fn handler_sig(self) -> Result<Arc<FnType>, RuntimeError> {
         match self.ty() {
             Type::Fn(sig) => Ok(sig),
             other => Err(RuntimeError::NotAFunction(format!(

@@ -18,7 +18,7 @@ use crate::store::Store;
 use crate::types::{Effect, Name};
 use crate::value::{Closure, Value};
 use alive_syntax::ast::{BinOp, UnOp};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Default step budget for one transition's worth of evaluation.
 pub const DEFAULT_FUEL: u64 = 50_000_000;
@@ -108,13 +108,13 @@ pub struct Evaluator<'a> {
 pub trait RenderHook {
     /// Called when entering `boxed e`. Returning `Some((node, value))`
     /// skips evaluating the body and splices the cached subtree in —
-    /// an O(1) pointer copy, since children are `Rc`-shared.
+    /// an O(1) pointer copy, since children are `Arc`-shared.
     /// `locals` is the visible local environment, outermost first.
     fn enter_boxed(
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-    ) -> Option<(Rc<BoxNode>, Value)>;
+    ) -> Option<(Arc<BoxNode>, Value)>;
 
     /// Called after a `boxed` body evaluated to `node` / `value`, so the
     /// hook can populate its cache. The node is already shared; caching
@@ -123,7 +123,7 @@ pub trait RenderHook {
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-        node: &Rc<BoxNode>,
+        node: &Arc<BoxNode>,
         value: &Value,
     );
 }
@@ -424,7 +424,7 @@ impl RenderHook for ReborrowHook<'_, '_> {
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-    ) -> Option<(Rc<BoxNode>, Value)> {
+    ) -> Option<(Arc<BoxNode>, Value)> {
         self.0.enter_boxed(id, locals)
     }
 
@@ -432,7 +432,7 @@ impl RenderHook for ReborrowHook<'_, '_> {
         &mut self,
         id: crate::expr::BoxSourceId,
         locals: &[(Name, Value)],
-        node: &Rc<BoxNode>,
+        node: &Arc<BoxNode>,
         value: &Value,
     ) {
         self.0.after_boxed(id, locals, node, value)
@@ -566,8 +566,8 @@ impl Evaluator<'_> {
     }
 
     /// Innermost-first local lookup. Names are interned per-program
-    /// (`Name = Rc<str>`), so a binding introduced by the same program
-    /// as the reference shares its allocation — `Rc::ptr_eq` settles
+    /// (`Name = Arc<str>`), so a binding introduced by the same program
+    /// as the reference shares its allocation — `Arc::ptr_eq` settles
     /// almost every probe without touching the string bytes. The string
     /// compare remains as the fallback for names that cross program
     /// versions (e.g. closures captured before a live UPDATE).
@@ -578,7 +578,7 @@ impl Evaluator<'_> {
             .find_map(|f| {
                 f.iter()
                     .rev()
-                    .find(|(n, _)| Rc::ptr_eq(n, name) || **n == **name)
+                    .find(|(n, _)| Arc::ptr_eq(n, name) || **n == **name)
             })
             .map(|(_, v)| v)
     }
@@ -588,7 +588,7 @@ impl Evaluator<'_> {
             if let Some(slot) = frame
                 .iter_mut()
                 .rev()
-                .find(|(n, _)| Rc::ptr_eq(n, name) || **n == **name)
+                .find(|(n, _)| Arc::ptr_eq(n, name) || **n == **name)
             {
                 slot.1 = value;
                 return Ok(());
@@ -599,12 +599,12 @@ impl Evaluator<'_> {
 
     /// Snapshot all visible bindings for closure capture, outermost
     /// first so later (inner) bindings shadow earlier ones on lookup.
-    fn capture_env(&self) -> Rc<Vec<(Name, Value)>> {
+    fn capture_env(&self) -> Arc<Vec<(Name, Value)>> {
         let mut captured = Vec::new();
         for frame in &self.scopes {
             captured.extend(frame.iter().cloned());
         }
-        Rc::new(captured)
+        Arc::new(captured)
     }
 
     fn eval(&mut self, expr: &Expr) -> Result<Value, RuntimeError> {
@@ -638,11 +638,11 @@ impl Evaluator<'_> {
                     .program
                     .fun(name)
                     .ok_or_else(|| RuntimeError::UnknownFun(name.clone()))?;
-                Ok(Value::Closure(Rc::new(Closure {
+                Ok(Value::Closure(Arc::new(Closure {
                     params: f.params.clone(),
                     effect: f.effect,
                     body: f.body.clone(),
-                    env: Rc::new(Vec::new()),
+                    env: Arc::new(Vec::new()),
                     version: self.version,
                 })))
             }
@@ -681,7 +681,7 @@ impl Evaluator<'_> {
                 }
                 self.apply(f, argv, expr.span)
             }
-            ExprKind::Lambda(lam) => Ok(Value::Closure(Rc::new(Closure {
+            ExprKind::Lambda(lam) => Ok(Value::Closure(Arc::new(Closure {
                 params: lam.params.clone(),
                 effect: lam.effect,
                 body: lam.body.clone(),
@@ -842,9 +842,9 @@ impl Evaluator<'_> {
                     .ok_or(RuntimeError::Internal("boxed frame missing"))?;
                 let value = result?;
                 // Share the finished subtree once; the hook caches the
-                // same Rc it will splice back, keeping reused subtrees
+                // same Arc it will splice back, keeping reused subtrees
                 // pointer-identical across frames.
-                let node = Rc::new(node);
+                let node = Arc::new(node);
                 if self.hook.is_some() {
                     let locals = self.capture_env();
                     if let Some(hook) = self.hook.as_deref_mut() {
@@ -1297,7 +1297,7 @@ mod tests {
         let p = compile(&format!("global g : number = 0 {START}"));
         let bad = Expr::new(
             ExprKind::GlobalAssign(
-                Rc::from("g"),
+                Arc::from("g"),
                 Box::new(Expr::new(ExprKind::Num(1.0), alive_syntax::Span::DUMMY)),
             ),
             alive_syntax::Span::DUMMY,

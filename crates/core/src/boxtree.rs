@@ -8,7 +8,7 @@ use crate::attr::Attr;
 use crate::expr::BoxSourceId;
 use crate::value::Value;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One item in a box's content sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,7 +21,7 @@ pub enum BoxItem {
     /// unchanged subtrees can be *shared* across frames: a memo-cache
     /// splice is an O(1) pointer copy, and downstream passes (layout,
     /// paint) can detect "nothing changed here" by pointer identity.
-    Child(Rc<BoxNode>),
+    Child(Arc<BoxNode>),
 }
 
 /// A box: its content sequence plus the identity of the `boxed`
@@ -69,8 +69,8 @@ impl BoxNode {
     }
 
     /// Nested child boxes as shared handles, in order — for passes that
-    /// want to keep (or compare) the `Rc` identity of a subtree.
-    pub fn children_rc(&self) -> impl Iterator<Item = &Rc<BoxNode>> {
+    /// want to keep (or compare) the `Arc` identity of a subtree.
+    pub fn children_shared(&self) -> impl Iterator<Item = &Arc<BoxNode>> {
         self.items.iter().filter_map(|item| match item {
             BoxItem::Child(b) => Some(b),
             _ => None,
@@ -79,7 +79,7 @@ impl BoxNode {
 
     /// Append a child box, taking ownership and sharing it.
     pub fn push_child(&mut self, child: BoxNode) {
-        self.items.push(BoxItem::Child(Rc::new(child)));
+        self.items.push(BoxItem::Child(Arc::new(child)));
     }
 
     /// Follow a path of child indices (`[]` = self).
@@ -137,17 +137,27 @@ pub enum Display {
     #[default]
     Invalid,
     /// Valid box content currently shown to the user. The box is the
-    /// implicit top-level box of §4.3.
-    Valid(BoxNode),
+    /// implicit top-level box of §4.3, behind a shared handle so a host
+    /// can fan one frame out to many observers without copying.
+    Valid(Arc<BoxNode>),
     /// The last good box content, shown while the machine is degraded
     /// by a contained fault. The user can still see (and interact with)
     /// this tree; the next successful transition replaces it.
-    Stale(BoxNode),
+    Stale(Arc<BoxNode>),
 }
 
 impl Display {
     /// The box content on screen, if any (valid or last-good stale).
     pub fn content(&self) -> Option<&BoxNode> {
+        match self {
+            Display::Invalid => None,
+            Display::Valid(b) | Display::Stale(b) => Some(b),
+        }
+    }
+
+    /// The box content as a shared handle — cloning the result is an
+    /// O(1) refcount bump, so many observers can hold the same frame.
+    pub fn content_shared(&self) -> Option<&Arc<BoxNode>> {
         match self {
             Display::Invalid => None,
             Display::Valid(b) | Display::Stale(b) => Some(b),
@@ -243,7 +253,7 @@ mod tests {
     fn display_states() {
         assert!(!Display::Invalid.is_valid());
         assert_eq!(Display::Invalid.content(), None);
-        let d = Display::Valid(sample());
+        let d = Display::Valid(Arc::new(sample()));
         assert!(d.is_valid());
         assert_eq!(d.content().map(BoxNode::box_count), Some(4));
         assert_eq!(Display::Invalid.to_string(), "⊥");

@@ -79,13 +79,13 @@ impl EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn fifo_order() {
         let mut q = EventQueue::new();
         q.enqueue(Event::Pop);
-        q.enqueue(Event::Push(Rc::from("detail"), Value::unit()));
+        q.enqueue(Event::Push(Arc::from("detail"), Value::unit()));
         assert_eq!(q.len(), 2);
         assert_eq!(q.dequeue(), Some(Event::Pop));
         assert!(matches!(q.dequeue(), Some(Event::Push(..))));
@@ -104,7 +104,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(Event::Pop.to_string(), "[pop]");
         assert_eq!(
-            Event::Push(Rc::from("start"), Value::unit()).to_string(),
+            Event::Push(Arc::from("start"), Value::unit()).to_string(),
             "[push start ()]"
         );
     }

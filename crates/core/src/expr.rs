@@ -14,7 +14,7 @@ use crate::types::{Effect, Name, Type};
 use crate::value::Color;
 pub use alive_syntax::ast::{BinOp, UnOp};
 use alive_syntax::Span;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A typed parameter of a function, page, or lambda.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +29,7 @@ impl ParamSig {
     /// Construct a parameter signature.
     pub fn new(name: impl AsRef<str>, ty: Type) -> Self {
         ParamSig {
-            name: Rc::from(name.as_ref()),
+            name: Arc::from(name.as_ref()),
             ty,
         }
     }
@@ -53,11 +53,11 @@ pub struct BoxSourceId(pub u32);
 #[derive(Debug, Clone, PartialEq)]
 pub struct LambdaExpr {
     /// Parameters.
-    pub params: Rc<[ParamSig]>,
+    pub params: Arc<[ParamSig]>,
     /// Latent effect of the body.
     pub effect: Effect,
     /// Body expression.
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
 }
 
 /// A core expression with its source span.
@@ -75,7 +75,7 @@ pub enum ExprKind {
     /// Number literal.
     Num(f64),
     /// String literal.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Boolean literal.
     Bool(bool),
     /// Color literal (`colors.light_blue` resolves to this).
@@ -97,7 +97,7 @@ pub enum ExprKind {
     /// Application `e(e1, ..., en)`.
     Call(Box<Expr>, Vec<Expr>),
     /// Lambda abstraction.
-    Lambda(Rc<LambdaExpr>),
+    Lambda(Arc<LambdaExpr>),
     /// `let x = e1; e2` — scoped binding.
     Let {
         /// Bound name.

@@ -118,7 +118,11 @@ impl std::error::Error for Fault {
 /// Both methods have identity defaults, so an injector only overrides
 /// the failure modes it wants to drive. Implementations must be
 /// deterministic functions of their own state for replayable tests.
-pub trait FaultInjector: fmt::Debug {
+///
+/// Injectors are `Send` so a [`crate::system::System`] carrying one can
+/// migrate between host worker threads; the system guards all calls
+/// behind a mutex, so implementations need no internal locking.
+pub trait FaultInjector: fmt::Debug + Send {
     /// The fuel budget for the next transition of `kind`. Return
     /// `default_fuel` to leave it alone, or something tiny to make the
     /// transition run out of fuel.

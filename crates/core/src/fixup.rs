@@ -110,10 +110,10 @@ pub fn fixup_pages(
 mod tests {
     use super::*;
     use crate::compile;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn name(s: &str) -> Name {
-        Rc::from(s)
+        Arc::from(s)
     }
 
     #[test]

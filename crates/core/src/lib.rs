@@ -83,6 +83,21 @@ pub use types::{Effect, Name, Type};
 pub use value::{Color, Value};
 pub use widget::{WidgetKey, WidgetStore};
 
+// Hostability is a compile-time property: the whole object graph behind
+// a running system (values, closures, box trees, compiled programs) is
+// `Arc`-shared and interior-mutability-free, so sessions can migrate
+// across host worker threads. These assertions fail to compile the
+// moment an `Rc`/`RefCell` sneaks back in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<system::System>();
+    assert_send_sync::<boxtree::Display>();
+    assert_send_sync::<program::Program>();
+    assert_send_sync::<value::Value>();
+    assert_send_sync::<boxtree::BoxNode>();
+    assert_send_sync::<fault::Fault>();
+};
+
 use alive_syntax::Diagnostics;
 
 /// Compile surface source text into a checked core [`Program`]:

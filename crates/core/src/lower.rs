@@ -14,7 +14,7 @@ use crate::value::Color;
 use alive_syntax::ast;
 use alive_syntax::{Diagnostic, Diagnostics, Span};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of lowering: a core program plus any diagnostics.
 #[derive(Debug, Clone)]
@@ -130,9 +130,9 @@ impl Lowerer {
             match item {
                 ast::Item::Global(g) => {
                     let def = GlobalDef {
-                        name: Rc::from(g.name.text.as_str()),
+                        name: Arc::from(g.name.text.as_str()),
                         ty: lower_type(&g.ty),
-                        init: Rc::new(self.expr(&g.init)),
+                        init: Arc::new(self.expr(&g.init)),
                         span: g.span,
                     };
                     self.program.add_global(def);
@@ -144,11 +144,11 @@ impl Lowerer {
                     let body = self.block(&f.body);
                     self.scopes.pop();
                     let def = FunDef {
-                        name: Rc::from(f.name.text.as_str()),
-                        params: Rc::from(params),
+                        name: Arc::from(f.name.text.as_str()),
+                        params: Arc::from(params),
                         ret: f.ret.as_ref().map(lower_type).unwrap_or_else(Type::unit),
                         effect: lower_effect(f.effect),
-                        body: Rc::new(body),
+                        body: Arc::new(body),
                         span: f.span,
                     };
                     self.program.add_fun(def);
@@ -164,10 +164,10 @@ impl Lowerer {
                     let render = self.block(&p.render);
                     self.scopes.pop();
                     let def = PageDef {
-                        name: Rc::from(p.name.text.as_str()),
-                        params: Rc::from(params),
-                        init: Rc::new(init),
-                        render: Rc::new(render),
+                        name: Arc::from(p.name.text.as_str()),
+                        params: Arc::from(params),
+                        init: Arc::new(init),
+                        render: Arc::new(render),
                         span: p.span,
                     };
                     self.program.add_page(def);
@@ -219,7 +219,7 @@ impl Lowerer {
         // `let` binds the remainder of the block as its body.
         if let ast::StmtKind::Let { name, ty, value } = &first.kind {
             let value = self.expr(value);
-            let bound: Name = Rc::from(name.text.as_str());
+            let bound: Name = Arc::from(name.text.as_str());
             match self.scopes.last_mut() {
                 Some(scope) => scope.push((bound.clone(), false)),
                 None => self.scopes.push(vec![(bound.clone(), false)]),
@@ -240,7 +240,7 @@ impl Lowerer {
         if let ast::StmtKind::Remember { name, ty, init } = &first.kind {
             let init = self.expr(init);
             let id = self.program.alloc_remember(first.span);
-            let bound: Name = Rc::from(name.text.as_str());
+            let bound: Name = Arc::from(name.text.as_str());
             match self.scopes.last_mut() {
                 Some(scope) => scope.push((bound.clone(), true)),
                 None => self.scopes.push(vec![(bound.clone(), true)]),
@@ -283,7 +283,7 @@ impl Lowerer {
             }
             ast::StmtKind::Assign { target, value } => {
                 let value = Box::new(self.expr(value));
-                let name: Name = Rc::from(target.text.as_str());
+                let name: Name = Arc::from(target.text.as_str());
                 if let Some(widget) = self.local_kind(&target.text) {
                     if widget {
                         Expr::new(ExprKind::WidgetWrite(name, value), span)
@@ -321,7 +321,7 @@ impl Lowerer {
             ast::StmtKind::ForRange { var, lo, hi, body } => {
                 let lo = Box::new(self.expr(lo));
                 let hi = Box::new(self.expr(hi));
-                let name: Name = Rc::from(var.text.as_str());
+                let name: Name = Arc::from(var.text.as_str());
                 self.scopes.push(vec![(name.clone(), false)]);
                 let body = Box::new(self.block(body));
                 self.scopes.pop();
@@ -337,7 +337,7 @@ impl Lowerer {
             }
             ast::StmtKind::Foreach { var, list, body } => {
                 let list = Box::new(self.expr(list));
-                let name: Name = Rc::from(var.text.as_str());
+                let name: Name = Arc::from(var.text.as_str());
                 self.scopes.push(vec![(name.clone(), false)]);
                 let body = Box::new(self.block(body));
                 self.scopes.pop();
@@ -406,10 +406,10 @@ impl Lowerer {
                 let body = self.block(body);
                 self.scopes.pop();
                 let lambda = Expr::new(
-                    ExprKind::Lambda(Rc::new(LambdaExpr {
-                        params: Rc::from(sigs),
+                    ExprKind::Lambda(Arc::new(LambdaExpr {
+                        params: Arc::from(sigs),
                         effect: Effect::State,
-                        body: Rc::new(body),
+                        body: Arc::new(body),
                     })),
                     span,
                 );
@@ -420,7 +420,10 @@ impl Lowerer {
                     self.error(page.span, format!("unknown page `{}`", page.text));
                 }
                 let args = args.iter().map(|a| self.expr(a)).collect();
-                Expr::new(ExprKind::PushPage(Rc::from(page.text.as_str()), args), span)
+                Expr::new(
+                    ExprKind::PushPage(Arc::from(page.text.as_str()), args),
+                    span,
+                )
             }
             ast::StmtKind::Pop => Expr::new(ExprKind::PopPage, span),
             ast::StmtKind::Expr { expr } => self.expr(expr),
@@ -431,19 +434,19 @@ impl Lowerer {
         let span = expr.span;
         let kind = match &expr.kind {
             ast::ExprKind::Number(n) => ExprKind::Num(*n),
-            ast::ExprKind::Str(s) => ExprKind::Str(Rc::from(s.as_str())),
+            ast::ExprKind::Str(s) => ExprKind::Str(Arc::from(s.as_str())),
             ast::ExprKind::Bool(b) => ExprKind::Bool(*b),
             ast::ExprKind::Name(name) => {
                 if let Some(widget) = self.local_kind(name) {
                     if widget {
-                        ExprKind::WidgetRead(Rc::from(name.as_str()))
+                        ExprKind::WidgetRead(Arc::from(name.as_str()))
                     } else {
-                        ExprKind::Local(Rc::from(name.as_str()))
+                        ExprKind::Local(Arc::from(name.as_str()))
                     }
                 } else if self.globals.contains(name) {
-                    ExprKind::Global(Rc::from(name.as_str()))
+                    ExprKind::Global(Arc::from(name.as_str()))
                 } else if self.funs.contains(name) {
-                    ExprKind::FunRef(Rc::from(name.as_str()))
+                    ExprKind::FunRef(Arc::from(name.as_str()))
                 } else {
                     self.error(span, format!("unknown name `{name}`"));
                     ExprKind::Tuple(Vec::new())
@@ -499,10 +502,10 @@ impl Lowerer {
                     .push(sigs.iter().map(|p| (p.name.clone(), false)).collect());
                 let body = self.block(body);
                 self.scopes.pop();
-                ExprKind::Lambda(Rc::new(LambdaExpr {
-                    params: Rc::from(sigs),
+                ExprKind::Lambda(Arc::new(LambdaExpr {
+                    params: Arc::from(sigs),
                     effect: lower_effect(*effect),
-                    body: Rc::new(body),
+                    body: Arc::new(body),
                 }))
             }
             ast::ExprKind::IfExpr {

@@ -272,7 +272,7 @@ fn lower_expr_standalone(expr: &alive_syntax::ast::Expr) -> Result<crate::expr::
     let span = expr.span;
     let kind = match &expr.kind {
         S::Number(n) => C::Num(*n),
-        S::Str(s) => C::Str(std::rc::Rc::from(s.as_str())),
+        S::Str(s) => C::Str(std::sync::Arc::from(s.as_str())),
         S::Bool(b) => C::Bool(*b),
         S::Tuple(es) => C::Tuple(
             es.iter()

@@ -11,7 +11,7 @@
 use crate::types::{Effect, FnType, Type};
 use crate::value::Value;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simulated latency of one web request, in milliseconds (paper §2:
 /// "waiting for the list to download"). Plus a per-item transfer cost.
@@ -394,7 +394,7 @@ impl Prim {
                 let n = num(&args[0])?.max(0.0) as usize;
                 ctx.web_requests += 1;
                 ctx.simulated_ms += WEB_REQUEST_BASE_MS + WEB_REQUEST_PER_ITEM_MS * n as f64;
-                Value::List(Rc::from(synthetic_listings(n)))
+                Value::List(Arc::from(synthetic_listings(n)))
             }
             WebDelay => {
                 ctx.simulated_ms += num(&args[0])?.max(0.0);

@@ -6,7 +6,7 @@ use crate::expr::{Expr, ParamSig};
 use crate::types::{Effect, FnType, Name, Type};
 use alive_syntax::Span;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// `global g : τ = e` — a global variable definition.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +16,7 @@ pub struct GlobalDef {
     /// Declared →-free type.
     pub ty: Type,
     /// Pure initializer expression.
-    pub init: Rc<Expr>,
+    pub init: Arc<Expr>,
     /// Source span of the definition.
     pub span: Span,
 }
@@ -27,13 +27,13 @@ pub struct FunDef {
     /// Function name.
     pub name: Name,
     /// Parameters.
-    pub params: Rc<[ParamSig]>,
+    pub params: Arc<[ParamSig]>,
     /// Declared return type.
     pub ret: Type,
     /// Latent effect.
     pub effect: Effect,
     /// Body expression.
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
     /// Source span of the definition.
     pub span: Span,
 }
@@ -55,11 +55,11 @@ pub struct PageDef {
     /// Page name.
     pub name: Name,
     /// Page parameters; the page argument value is the tuple of these.
-    pub params: Rc<[ParamSig]>,
+    pub params: Arc<[ParamSig]>,
     /// Initialization body (state effect; runs once on push).
-    pub init: Rc<Expr>,
+    pub init: Arc<Expr>,
     /// Render body (render effect; re-runs on every refresh).
-    pub render: Rc<Expr>,
+    pub render: Arc<Expr>,
     /// Source span of the definition.
     pub span: Span,
 }
@@ -210,23 +210,23 @@ mod tests {
     use super::*;
     use crate::expr::ExprKind;
 
-    fn unit_expr() -> Rc<Expr> {
-        Rc::new(Expr::unit(Span::DUMMY))
+    fn unit_expr() -> Arc<Expr> {
+        Arc::new(Expr::unit(Span::DUMMY))
     }
 
     #[test]
     fn duplicate_names_rejected_across_namespaces() {
         let mut p = Program::new();
         assert!(p.add_global(GlobalDef {
-            name: Rc::from("x"),
+            name: Arc::from("x"),
             ty: Type::Number,
-            init: Rc::new(Expr::new(ExprKind::Num(0.0), Span::DUMMY)),
+            init: Arc::new(Expr::new(ExprKind::Num(0.0), Span::DUMMY)),
             span: Span::DUMMY,
         }));
         // A page named `x` clashes with the global `x`.
         assert!(!p.add_page(PageDef {
-            name: Rc::from("x"),
-            params: Rc::from(Vec::new()),
+            name: Arc::from("x"),
+            params: Arc::from(Vec::new()),
             init: unit_expr(),
             render: unit_expr(),
             span: Span::DUMMY,
@@ -239,8 +239,8 @@ mod tests {
     #[test]
     fn page_arg_type_is_param_tuple() {
         let page = PageDef {
-            name: Rc::from("detail"),
-            params: Rc::from(vec![
+            name: Arc::from("detail"),
+            params: Arc::from(vec![
                 ParamSig::new("addr", Type::String),
                 ParamSig::new("price", Type::Number),
             ]),

@@ -28,7 +28,7 @@ use crate::types::{Effect, Name};
 use crate::value::{Closure, Value};
 use alive_syntax::ast::{BinOp, UnOp};
 use alive_syntax::Span;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-mode step counters, for the ablation bench and for tests that
 /// assert e.g. "render evaluation performs no state steps".
@@ -418,11 +418,11 @@ pub fn expr_to_value(expr: &Expr) -> Result<Value, RuntimeError> {
         }
         // A substitution-machine lambda is closed over by substitution;
         // it corresponds to a closure with an empty environment.
-        ExprKind::Lambda(lam) => Ok(Value::Closure(Rc::new(Closure {
+        ExprKind::Lambda(lam) => Ok(Value::Closure(Arc::new(Closure {
             params: lam.params.clone(),
             effect: lam.effect,
             body: lam.body.clone(),
-            env: Rc::new(Vec::new()),
+            env: Arc::new(Vec::new()),
             version: 0,
         }))),
         _ => Err(RuntimeError::NotInKernel("non-value expression")),
@@ -455,10 +455,10 @@ pub fn value_to_expr(value: &Value, span: Span) -> Expr {
                 }
                 body = subst(&body, name, &value_to_expr(captured, span));
             }
-            ExprKind::Lambda(Rc::new(LambdaExpr {
+            ExprKind::Lambda(Arc::new(LambdaExpr {
                 params: c.params.clone(),
                 effect: c.effect,
-                body: Rc::new(body),
+                body: Arc::new(body),
             }))
         }
     };
@@ -496,10 +496,10 @@ pub fn subst(expr: &Expr, name: &Name, replacement: &Expr) -> Expr {
                 // The parameter shadows `name`.
                 expr.kind.clone()
             } else {
-                ExprKind::Lambda(Rc::new(LambdaExpr {
+                ExprKind::Lambda(Arc::new(LambdaExpr {
                     params: lam.params.clone(),
                     effect: lam.effect,
-                    body: Rc::new(subst(&lam.body, name, replacement)),
+                    body: Arc::new(subst(&lam.body, name, replacement)),
                 }))
             }
         }
@@ -700,7 +700,7 @@ impl Machine<'_> {
                     .fun(&name)
                     .ok_or_else(|| RuntimeError::UnknownFun(name.clone()))?;
                 Ok(Expr::new(
-                    ExprKind::Lambda(Rc::new(LambdaExpr {
+                    ExprKind::Lambda(Arc::new(LambdaExpr {
                         params: f.params.clone(),
                         effect: f.effect,
                         body: f.body.clone(),
@@ -879,7 +879,7 @@ impl Machine<'_> {
                 let value = result?;
                 self.current_box()?
                     .items
-                    .push(BoxItem::Child(std::rc::Rc::new(node)));
+                    .push(BoxItem::Child(std::sync::Arc::new(node)));
                 Ok(value_to_expr(&value, span))
             }
             // -- conservative extensions --------------------------------
@@ -1266,7 +1266,7 @@ mod tests {
     #[test]
     fn global_read_uses_store_then_init() {
         let p = compiled(&format!("global g : number = 5 {START}"));
-        let read = Expr::new(ExprKind::Global(Rc::from("g")), Span::DUMMY);
+        let read = Expr::new(ExprKind::Global(Arc::from("g")), Span::DUMMY);
         // EP-GLOBAL-2: not in store → initializer.
         let mut store = Store::new();
         let out = eval_pure(&p, &mut store, 1000, &read).expect("evaluates");
@@ -1296,7 +1296,7 @@ mod tests {
         let p = compiled(&format!("global g : number = 0 {START}"));
         let assign = Expr::new(
             ExprKind::GlobalAssign(
-                Rc::from("g"),
+                Arc::from("g"),
                 Box::new(Expr::new(ExprKind::Num(1.0), Span::DUMMY)),
             ),
             Span::DUMMY,
@@ -1325,7 +1325,7 @@ mod tests {
         let expr = Expr::new(
             ExprKind::Binary(
                 BinOp::Add,
-                Box::new(Expr::new(ExprKind::Global(Rc::from("g")), Span::DUMMY)),
+                Box::new(Expr::new(ExprKind::Global(Arc::from("g")), Span::DUMMY)),
                 Box::new(Expr::new(
                     ExprKind::Binary(
                         BinOp::Add,
@@ -1354,14 +1354,14 @@ mod tests {
 
     #[test]
     fn subst_respects_shadowing() {
-        let x: Name = Rc::from("x");
+        let x: Name = Arc::from("x");
         let replacement = Expr::new(ExprKind::Num(9.0), Span::DUMMY);
         // (fn(x: number) -> x)  — substituting x must not touch the body.
         let lam = Expr::new(
-            ExprKind::Lambda(Rc::new(LambdaExpr {
-                params: Rc::from(vec![crate::expr::ParamSig::new("x", crate::Type::Number)]),
+            ExprKind::Lambda(Arc::new(LambdaExpr {
+                params: Arc::from(vec![crate::expr::ParamSig::new("x", crate::Type::Number)]),
                 effect: Effect::Pure,
-                body: Rc::new(Expr::new(ExprKind::Local(x.clone()), Span::DUMMY)),
+                body: Arc::new(Expr::new(ExprKind::Local(x.clone()), Span::DUMMY)),
             })),
             Span::DUMMY,
         );

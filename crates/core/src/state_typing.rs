@@ -254,7 +254,7 @@ fn infer_value_type(v: &Value) -> Type {
         ),
         Value::Prim(p) => p
             .sig()
-            .map(|s| Type::Fn(std::rc::Rc::new(s)))
+            .map(|s| Type::Fn(std::sync::Arc::new(s)))
             .unwrap_or_else(Type::unit),
         Value::WidgetRef(_) => Type::unit(),
     }

@@ -4,7 +4,7 @@ use crate::types::Name;
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The store `S`: a map from global variable names to values.
 ///
@@ -31,7 +31,7 @@ impl Store {
 
     /// Write a global (`S[g ↦ v]`).
     pub fn set(&mut self, name: impl AsRef<str>, value: Value) {
-        self.entries.insert(Rc::from(name.as_ref()), value);
+        self.entries.insert(Arc::from(name.as_ref()), value);
     }
 
     /// Whether `g ∈ dom S`.

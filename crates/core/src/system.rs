@@ -27,9 +27,8 @@ use crate::program::{Program, START_PAGE};
 use crate::store::Store;
 use crate::types::Name;
 use crate::value::Value;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Which transition a [`System::step`] performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,7 +101,7 @@ impl Default for SystemConfig {
 /// The system state `σ = (C, D, S, P, Q)` with its transitions.
 #[derive(Debug, Clone)]
 pub struct System {
-    program: Rc<Program>,
+    program: Arc<Program>,
     display: Display,
     store: Store,
     page_stack: Vec<(Name, Value)>,
@@ -119,12 +118,23 @@ pub struct System {
     display_generation: u64,
     /// The most recent successfully rendered box tree, kept so a
     /// faulting transition can leave *something* on screen
-    /// ([`Display::Stale`]). Cleared by UPDATE (no stale code).
-    last_good: Option<BoxNode>,
+    /// ([`Display::Stale`]). Cleared by UPDATE (no stale code). Shared:
+    /// degrading the display is a refcount bump, not a tree copy.
+    last_good: Option<Arc<BoxNode>>,
     /// Deterministic fault injection, when a harness installed one.
     /// Shared (not deep-cloned) across [`Clone`], so a cloned system
-    /// advances the same injection schedule.
-    injector: Option<Rc<RefCell<dyn FaultInjector>>>,
+    /// advances the same injection schedule. Mutex-guarded so a system
+    /// (and its sessions) can move across host worker threads.
+    injector: Option<Arc<Mutex<dyn FaultInjector>>>,
+}
+
+/// Lock an injector, recovering from poisoning: injector state is a
+/// monotone counter bundle, so a poisoned lock is still usable and the
+/// no-panic discipline of this crate forbids propagating the poison.
+fn lock_injector<'a>(
+    injector: &'a Mutex<dyn FaultInjector + 'static>,
+) -> MutexGuard<'a, dyn FaultInjector + 'static> {
+    injector.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl System {
@@ -135,8 +145,16 @@ impl System {
 
     /// Create a system with explicit configuration.
     pub fn with_config(program: Program, config: SystemConfig) -> Self {
+        System::with_shared_program(Arc::new(program), config)
+    }
+
+    /// Create a system around an already-compiled shared program. Hosts
+    /// compile each source version once and hand every session the same
+    /// `Arc` — parse, lower, and typecheck run once per version, not
+    /// once per session.
+    pub fn with_shared_program(program: Arc<Program>, config: SystemConfig) -> Self {
         System {
-            program: Rc::new(program),
+            program,
             display: Display::Invalid,
             store: Store::new(),
             page_stack: Vec::new(),
@@ -154,7 +172,7 @@ impl System {
     /// Install a deterministic [`FaultInjector`] consulted before every
     /// transition and primitive application. Pass-through by default
     /// (no injector).
-    pub fn set_fault_injector(&mut self, injector: Rc<RefCell<dyn FaultInjector>>) {
+    pub fn set_fault_injector(&mut self, injector: Arc<Mutex<dyn FaultInjector>>) {
         self.injector = Some(injector);
     }
 
@@ -170,6 +188,12 @@ impl System {
 
     /// The current code `C`.
     pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The current code as its shared handle — lets hosts verify (and
+    /// reuse) program sharing across sessions via `Arc::ptr_eq`.
+    pub fn program_shared(&self) -> &Arc<Program> {
         &self.program
     }
 
@@ -253,7 +277,7 @@ impl System {
     /// the installed [`FaultInjector`] if any.
     fn transition_fuel(&mut self, kind: TransitionKind) -> u64 {
         match &self.injector {
-            Some(injector) => injector.borrow_mut().fuel_for(kind, self.config.fuel),
+            Some(injector) => lock_injector(injector).fuel_for(kind, self.config.fuel),
             None => self.config.fuel,
         }
     }
@@ -281,7 +305,7 @@ impl System {
     /// stale), or `⊥` if nothing was ever rendered.
     fn degrade_display(&mut self) {
         let degraded = match &self.last_good {
-            Some(tree) => Display::Stale(tree.clone()),
+            Some(tree) => Display::Stale(Arc::clone(tree)),
             None => Display::Invalid,
         };
         self.set_display(degraded);
@@ -307,7 +331,7 @@ impl System {
         if self.page_stack.is_empty() && self.queue.is_empty() {
             self.set_display(Display::Invalid);
             self.queue
-                .enqueue(Event::Push(Rc::from(START_PAGE), Value::unit()));
+                .enqueue(Event::Push(Arc::from(START_PAGE), Value::unit()));
             return Ok(StepKind::Startup);
         }
         // (THUNK) / (PUSH) / (POP)
@@ -326,7 +350,7 @@ impl System {
                 Event::Exec(thunk, args) => {
                     let fuel = self.transition_fuel(TransitionKind::Handler);
                     let injector = self.injector.clone();
-                    let mut guard = injector.as_ref().map(|i| i.borrow_mut());
+                    let mut guard = injector.as_deref().map(lock_injector);
                     let (result, cost) = bigstep::transition_thunk(
                         &self.program,
                         &mut self.store,
@@ -352,7 +376,7 @@ impl System {
                             let bindings = bind_page_params(page, &arg);
                             let init = page.init.clone();
                             let injector = self.injector.clone();
-                            let mut guard = injector.as_ref().map(|i| i.borrow_mut());
+                            let mut guard = injector.as_deref().map(lock_injector);
                             bigstep::transition_state(
                                 &self.program,
                                 &mut self.store,
@@ -450,7 +474,7 @@ impl System {
         let widgets_checkpoint = self.widgets.clone();
         self.widgets.begin_render();
         let injector = self.injector.clone();
-        let mut guard = injector.as_ref().map(|i| i.borrow_mut());
+        let mut guard = injector.as_deref().map(lock_injector);
         let (result, cost) = bigstep::transition_render(
             &self.program,
             &self.store,
@@ -466,7 +490,8 @@ impl System {
         self.cost.absorb(cost);
         match result {
             Ok(root) => {
-                self.last_good = Some(root.clone());
+                let root = Arc::new(root);
+                self.last_good = Some(Arc::clone(&root));
                 self.set_display(Display::Valid(root));
                 Ok(())
             }
@@ -629,7 +654,7 @@ impl System {
         }
         let (store, mut report) = fixup_store(&new_program, &self.store);
         let page_stack = fixup_pages(&new_program, &self.page_stack, &mut report);
-        self.program = Rc::new(new_program);
+        self.program = Arc::new(new_program);
         self.store = store;
         self.page_stack = page_stack;
         self.set_display(Display::Invalid);
@@ -1173,8 +1198,7 @@ mod tests {
     #[test]
     fn injected_fuel_throttle_faults_the_chosen_transition() {
         use crate::fault::TransitionKind;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
 
         #[derive(Debug)]
         struct ThrottleSecondRender {
@@ -1193,7 +1217,7 @@ mod tests {
         }
 
         let mut sys = counter_system();
-        sys.set_fault_injector(Rc::new(RefCell::new(ThrottleSecondRender { renders: 0 })));
+        sys.set_fault_injector(Arc::new(Mutex::new(ThrottleSecondRender { renders: 0 })));
         sys.run_to_stable().expect("first render has full fuel");
         sys.tap(&[0]).expect("tap");
         let fault = sys.run_to_stable().expect_err("second render throttled");

@@ -271,14 +271,14 @@ impl Checker<'_> {
                 }
             },
             ExprKind::FunRef(name) => match self.program.fun(name) {
-                Some(f) => Some(Type::Fn(std::rc::Rc::new(f.fn_type()))),
+                Some(f) => Some(Type::Fn(std::sync::Arc::new(f.fn_type()))),
                 None => {
                     self.error(span, format!("unknown function `{name}`"));
                     None
                 }
             },
             ExprKind::PrimRef(p) => match p.sig() {
-                Some(sig) => Some(Type::Fn(std::rc::Rc::new(sig))),
+                Some(sig) => Some(Type::Fn(std::sync::Arc::new(sig))),
                 None => {
                     self.error(
                         span,

@@ -6,10 +6,10 @@
 //! `set background`, collections for the listings).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned-ish name; cheap to clone and hash.
-pub type Name = Rc<str>;
+pub type Name = Arc<str>;
 
 /// The paper's three effects: `p` (pure), `s` (state), `r` (render).
 ///
@@ -69,11 +69,11 @@ pub enum Type {
     /// RGB color (conservative extension, used by box attributes).
     Color,
     /// Tuple `(τ1, ..., τn)`; the empty tuple is the unit type.
-    Tuple(Rc<[Type]>),
+    Tuple(Arc<[Type]>),
     /// Immutable list (conservative extension).
-    List(Rc<Type>),
+    List(Arc<Type>),
     /// Function `(τ1, ..., τn) →µ τ`.
-    Fn(Rc<FnType>),
+    Fn(Arc<FnType>),
 }
 
 /// Signature of a function type: parameters, latent effect, return type.
@@ -90,22 +90,22 @@ pub struct FnType {
 impl Type {
     /// The unit type `()` (the empty tuple).
     pub fn unit() -> Type {
-        Type::Tuple(Rc::from(Vec::new()))
+        Type::Tuple(Arc::from(Vec::new()))
     }
 
     /// A tuple type from component types.
     pub fn tuple(elems: Vec<Type>) -> Type {
-        Type::Tuple(Rc::from(elems))
+        Type::Tuple(Arc::from(elems))
     }
 
     /// A list type.
     pub fn list(elem: Type) -> Type {
-        Type::List(Rc::new(elem))
+        Type::List(Arc::new(elem))
     }
 
     /// A function type.
     pub fn func(params: Vec<Type>, effect: Effect, ret: Type) -> Type {
-        Type::Fn(Rc::new(FnType {
+        Type::Fn(Arc::new(FnType {
             params,
             effect,
             ret,

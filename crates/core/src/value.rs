@@ -7,7 +7,7 @@ use crate::expr::{Expr, ParamSig};
 use crate::prim::Prim;
 use crate::types::{Effect, Name, Type};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An RGB color; a conservative extension used by box attributes
 /// (`box.background := colors.light_blue`, paper §3.1 improvement I3).
@@ -71,7 +71,7 @@ impl fmt::Display for Color {
 
 /// The environment captured by a closure: a by-value snapshot of the
 /// bindings visible at the lambda, innermost last.
-pub type CapturedEnv = Rc<Vec<(Name, Value)>>;
+pub type CapturedEnv = Arc<Vec<(Name, Value)>>;
 
 /// A closure value: a lambda plus its captured environment.
 ///
@@ -82,11 +82,11 @@ pub type CapturedEnv = Rc<Vec<(Name, Value)>>;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Closure {
     /// Parameter names and types.
-    pub params: Rc<[ParamSig]>,
+    pub params: Arc<[ParamSig]>,
     /// Latent effect of the body.
     pub effect: Effect,
     /// The body expression (from the program's code).
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
     /// Captured bindings.
     pub env: CapturedEnv,
     /// Code version at creation time.
@@ -99,17 +99,17 @@ pub enum Value {
     /// A number.
     Number(f64),
     /// A string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A boolean.
     Bool(bool),
     /// A color.
     Color(Color),
     /// A tuple; the empty tuple is the unit value `()`.
-    Tuple(Rc<[Value]>),
+    Tuple(Arc<[Value]>),
     /// An immutable list.
-    List(Rc<[Value]>),
+    List(Arc<[Value]>),
     /// A closure.
-    Closure(Rc<Closure>),
+    Closure(Arc<Closure>),
     /// A primitive function as a first-class value.
     Prim(Prim),
     /// A reference to a `remember` view-state slot. Never user-visible:
@@ -121,22 +121,22 @@ pub enum Value {
 impl Value {
     /// The unit value `()`.
     pub fn unit() -> Value {
-        Value::Tuple(Rc::from(Vec::new()))
+        Value::Tuple(Arc::from(Vec::new()))
     }
 
     /// A string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// A tuple value.
     pub fn tuple(elems: Vec<Value>) -> Value {
-        Value::Tuple(Rc::from(elems))
+        Value::Tuple(Arc::from(elems))
     }
 
     /// A list value.
     pub fn list(elems: Vec<Value>) -> Value {
-        Value::List(Rc::from(elems))
+        Value::List(Arc::from(elems))
     }
 
     /// Whether this is the unit value.
@@ -170,7 +170,7 @@ impl Value {
                         .all(|(p, t)| p.ty == *t)
             }
             (Value::Prim(p), Type::Fn(_)) => match p.sig() {
-                Some(sig) => Type::Fn(Rc::new(sig)).is_subtype_of(ty),
+                Some(sig) => Type::Fn(Arc::new(sig)).is_subtype_of(ty),
                 None => false,
             },
             // Widget references are an evaluator-internal currency and

@@ -13,6 +13,7 @@ use alive_core::boxtree::BoxNode;
 use alive_syntax::token::TokenKind;
 use alive_syntax::{Diagnostics, Span};
 use alive_ui::{layout, render_with_options, RenderOptions};
+use std::sync::Arc;
 
 /// What is currently selected in the split view.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -68,7 +69,9 @@ pub fn split_view(
 ) -> String {
     // A session with no renderable view still has a code pane to show —
     // an empty box tree stands in for the live pane.
-    let display = session.display_tree().unwrap_or_else(|| BoxNode::new(None));
+    let display = session
+        .display_tree()
+        .unwrap_or_else(|| Arc::new(BoxNode::new(None)));
     let program = session.system().program();
     let source = session.source();
 

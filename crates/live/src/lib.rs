@@ -57,6 +57,7 @@ pub mod manipulate;
 pub mod memo;
 pub mod navigation;
 pub mod pipeline;
+pub mod protocol;
 pub mod session;
 pub mod trace;
 
@@ -66,5 +67,17 @@ pub use manipulate::{attribute_edit, remove_attribute_edit, ManipulateError};
 pub use memo::{MemoCache, MemoStats, RenderDeps};
 pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for_box};
 pub use pipeline::{FramePipeline, FrameStats};
-pub use session::{EditOutcome, LiveSession, SessionError};
+pub use protocol::{
+    format_frame_stats, parse_commands, FrameSnapshot, ProtocolParseError, SessionCommand,
+    SessionEffect,
+};
+pub use session::{EditOutcome, LiveSession, SessionError, UndoOutcome};
 pub use trace::{RecordingSession, SessionTrace, TraceEvent};
+
+// A live session must be able to live behind a host's per-session
+// mailbox and be picked up by whichever worker thread drains it next.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<LiveSession>();
+    assert_send::<RecordingSession>();
+};

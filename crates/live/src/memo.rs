@@ -26,7 +26,7 @@ use alive_core::Program;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What a `boxed` statement's body may depend on, besides its locals.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -394,7 +394,7 @@ pub fn hash_value(value: &Value, state: &mut impl Hasher) {
         }
         Value::Closure(c) => {
             7u8.hash(state);
-            (std::rc::Rc::as_ptr(&c.body) as usize).hash(state);
+            (std::sync::Arc::as_ptr(&c.body) as usize).hash(state);
             c.version.hash(state);
             c.env.len().hash(state);
             for (n, v) in c.env.iter() {
@@ -430,12 +430,12 @@ pub struct MemoStats {
 #[derive(Debug, Default)]
 pub struct MemoCache {
     deps: RenderDeps,
-    // Entries hold `Rc<BoxNode>` so a hit splices the cached subtree by
+    // Entries hold `Arc<BoxNode>` so a hit splices the cached subtree by
     // pointer copy — O(1) instead of a deep clone — and the spliced
     // subtree stays pointer-identical across frames, which the layout
     // cache and damage diff downstream rely on to skip work.
-    current: HashMap<u64, (Rc<BoxNode>, Value)>,
-    previous: HashMap<u64, (Rc<BoxNode>, Value)>,
+    current: HashMap<u64, (Arc<BoxNode>, Value)>,
+    previous: HashMap<u64, (Arc<BoxNode>, Value)>,
     store_snapshot: Store,
     version: u64,
     stats: MemoStats,
@@ -517,18 +517,18 @@ impl RenderHook for MemoCache {
         &mut self,
         id: BoxSourceId,
         locals: &[(Name, Value)],
-    ) -> Option<(Rc<BoxNode>, Value)> {
+    ) -> Option<(Arc<BoxNode>, Value)> {
         let Some(key) = self.key(id, locals) else {
             self.stats.uncacheable += 1;
             return None;
         };
         if let Some((node, value)) = self.current.get(&key) {
             self.stats.hits += 1;
-            return Some((Rc::clone(node), value.clone()));
+            return Some((Arc::clone(node), value.clone()));
         }
         if let Some(entry) = self.previous.remove(&key) {
             self.stats.hits += 1;
-            let out = (Rc::clone(&entry.0), entry.1.clone());
+            let out = (Arc::clone(&entry.0), entry.1.clone());
             self.current.insert(key, entry);
             return Some(out);
         }
@@ -539,12 +539,12 @@ impl RenderHook for MemoCache {
         &mut self,
         id: BoxSourceId,
         locals: &[(Name, Value)],
-        node: &Rc<BoxNode>,
+        node: &Arc<BoxNode>,
         value: &Value,
     ) {
         if let Some(key) = self.key(id, locals) {
             self.stats.misses += 1;
-            self.current.insert(key, (Rc::clone(node), value.clone()));
+            self.current.insert(key, (Arc::clone(node), value.clone()));
         }
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! * **Layout** runs through [`alive_ui::layout_incremental`], whose
 //!   pointer-keyed [`LayoutCache`] skips the measure pass for subtrees
-//!   that are `Rc`-identical to last frame's (exactly the subtrees the
+//!   that are `Arc`-identical to last frame's (exactly the subtrees the
 //!   memo cache spliced).
 //! * **Paint** runs through a retained [`TextFrame`]: the old and new
 //!   displays are diffed, the damage rectangles computed, and only the
@@ -174,7 +174,7 @@ impl FramePipeline {
         self.stats.layout_us = layout_us;
         self.stats.paint_us = paint_us;
 
-        // Shallow clone: children are `Rc`-shared, so retaining the root
+        // Shallow clone: children are `Arc`-shared, so retaining the root
         // costs one item-vector copy, not a deep tree copy.
         self.prev = Some((root.clone(), tree));
         self.view = Some((generation, text.clone()));
@@ -192,7 +192,7 @@ mod tests {
     use alive_core::boxtree::{BoxItem, BoxNode};
     use alive_core::Value;
     use alive_ui::{layout, render_to_text};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn leaf(text: &str) -> BoxNode {
         let mut b = BoxNode::new(None);
@@ -200,7 +200,7 @@ mod tests {
         b
     }
 
-    fn root_of(children: Vec<Rc<BoxNode>>) -> BoxNode {
+    fn root_of(children: Vec<Arc<BoxNode>>) -> BoxNode {
         let mut root = BoxNode::new(None);
         for c in children {
             root.items.push(BoxItem::Child(c));
@@ -210,7 +210,9 @@ mod tests {
 
     #[test]
     fn pipeline_matches_from_scratch_rendering() {
-        let shared: Vec<Rc<BoxNode>> = (0..4).map(|i| Rc::new(leaf(&format!("row {i}")))).collect();
+        let shared: Vec<Arc<BoxNode>> = (0..4)
+            .map(|i| Arc::new(leaf(&format!("row {i}"))))
+            .collect();
         let mut pipeline = FramePipeline::new();
 
         let frame_a = root_of(shared.clone());
@@ -221,7 +223,7 @@ mod tests {
         // Second frame: one row changes (same width, so the canvas size
         // is stable and the frame can be patched), the rest share.
         let mut children = shared.clone();
-        children[2] = Rc::new(leaf("row X"));
+        children[2] = Arc::new(leaf("row X"));
         let frame_b = root_of(children);
         let out = pipeline.render(2, &frame_b);
         assert_eq!(out, render_to_text(&layout(&frame_b)));
@@ -239,7 +241,7 @@ mod tests {
 
     #[test]
     fn unchanged_generation_is_a_string_memo_hit() {
-        let frame = root_of(vec![Rc::new(leaf("hello"))]);
+        let frame = root_of(vec![Arc::new(leaf("hello"))]);
         let mut pipeline = FramePipeline::new();
         let first = pipeline.render(7, &frame);
         let again = pipeline.render(7, &frame);
@@ -252,9 +254,9 @@ mod tests {
     #[test]
     fn size_change_falls_back_to_a_full_frame() {
         let mut pipeline = FramePipeline::new();
-        let small = root_of(vec![Rc::new(leaf("a"))]);
+        let small = root_of(vec![Arc::new(leaf("a"))]);
         pipeline.render(1, &small);
-        let grown = root_of(vec![Rc::new(leaf("a")), Rc::new(leaf("longer line"))]);
+        let grown = root_of(vec![Arc::new(leaf("a")), Arc::new(leaf("longer line"))]);
         let out = pipeline.render(2, &grown);
         assert_eq!(out, render_to_text(&layout(&grown)));
         assert!(!pipeline.stats().partial, "resize cannot patch in place");
@@ -262,7 +264,7 @@ mod tests {
 
     #[test]
     fn invalidate_forgets_retained_frames() {
-        let frame = root_of(vec![Rc::new(leaf("x"))]);
+        let frame = root_of(vec![Arc::new(leaf("x"))]);
         let mut pipeline = FramePipeline::new();
         pipeline.render(1, &frame);
         pipeline.invalidate();

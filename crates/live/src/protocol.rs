@@ -1,0 +1,716 @@
+//! The session command/effect protocol — one total entry point for
+//! everything a frontend (or a host) can ask of a [`LiveSession`].
+//!
+//! The paper's live loop is a conversation: the user acts (tap, back,
+//! edit), the machine answers with a frame (or a banner over the last
+//! good one). This module reifies that conversation as data:
+//!
+//! * [`SessionCommand`] — every request a frontend can make, as a plain
+//!   serializable value (text wire format, [`SessionCommand::serialize`]
+//!   / [`parse_commands`]);
+//! * [`SessionEffect`] — every answer the session can give, also
+//!   serializable ([`SessionEffect::serialize`]) so hosts can log or
+//!   fan effects out to remote observers;
+//! * [`LiveSession::apply`] — the single *total* dispatcher: every
+//!   command produces effects, never an error. Failures travel inside
+//!   [`SessionEffect::Refused`], exactly like faults travel inside
+//!   banners.
+//!
+//! Both alive-repl and alive-watch run entirely through this surface,
+//! so a networked host driving sessions over a wire sees byte-identical
+//! frames to a local frontend — there is no privileged side channel.
+
+use crate::pipeline::FrameStats;
+use crate::session::{EditOutcome, LiveSession, UndoOutcome};
+use alive_core::boxtree::BoxNode;
+use alive_core::fixup::FixupReport;
+use alive_core::persist::LoadReport;
+use alive_core::Fault;
+use alive_syntax::Diagnostics;
+use std::fmt;
+use std::sync::Arc;
+
+/// A request a frontend (or host) makes of a live session.
+///
+/// Commands are plain data: no callbacks, no references into the
+/// session. The text wire format round-trips via
+/// [`SessionCommand::serialize`] and [`parse_commands`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionCommand {
+    /// Render (settling first) and return the current frame.
+    Frame,
+    /// Tap the box under a point in layout coordinates.
+    TapAt {
+        /// Column, 0-based.
+        x: i32,
+        /// Row, 0-based.
+        y: i32,
+    },
+    /// Tap the box at a child-index path.
+    TapPath(Vec<usize>),
+    /// Press the back button (pop the current page).
+    Back,
+    /// Edit a text box in place (fires its `onedit` handler).
+    EditBox {
+        /// Child-index path to the box.
+        path: Vec<usize>,
+        /// Replacement text.
+        text: String,
+    },
+    /// Replace the whole source text — one keystroke of the paper's
+    /// continuous edit loop.
+    EditSource(String),
+    /// Undo the most recent applied edit.
+    Undo,
+    /// Redo the most recently undone edit.
+    Redo,
+    /// Ask for the current source text.
+    Source,
+    /// Ask for frame-pipeline reuse statistics (settles and renders
+    /// first, so the counters describe the current frame).
+    Stats,
+    /// Snapshot the model (persistent data) to its text format.
+    Snapshot,
+    /// Restore a model snapshot against the current code.
+    Restore(String),
+}
+
+/// One settled frame, shareable across observers: the box tree is an
+/// [`Arc`] handle and the struct itself is usually passed around inside
+/// an `Arc` by hosts — fan-out is refcount bumps, never tree copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSnapshot {
+    /// The display generation this frame was rendered under; two frames
+    /// with equal generations are guaranteed identical.
+    pub generation: u64,
+    /// The plain-text live view (total: a faulting program yields its
+    /// last good view, or a placeholder).
+    pub view: String,
+    /// The box tree behind the view, when the session has one.
+    pub tree: Option<Arc<BoxNode>>,
+    /// One-line banner describing the latest contained fault, if any.
+    pub banner: Option<String>,
+}
+
+/// An answer from the session. Every command yields at least one
+/// effect; state-changing commands end with a fresh
+/// [`SessionEffect::Frame`] so observers never need a follow-up query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEffect {
+    /// A settled frame (view text, shared tree, fault banner).
+    Frame(FrameSnapshot),
+    /// A tap was delivered; `hit` says whether a handler ran.
+    Tap {
+        /// Whether a box with a handler was under the point.
+        hit: bool,
+    },
+    /// The command could not be delivered (no such box, display stale,
+    /// malformed snapshot…). The session is unchanged.
+    Refused(String),
+    /// An edit was applied; the UPDATE transition ran with this fix-up.
+    EditApplied(FixupReport),
+    /// An edit was rejected (parse/lower/type errors); the old program
+    /// keeps running.
+    EditRejected(Diagnostics),
+    /// An edit type-checked but faulted as soon as it ran and was
+    /// auto-reverted.
+    EditQuarantined {
+        /// The fault the new code produced before being reverted.
+        fault: Box<Fault>,
+        /// The fix-up report of the rolled-back update.
+        report: FixupReport,
+    },
+    /// Outcome of an [`SessionCommand::Undo`] / [`SessionCommand::Redo`].
+    Undo {
+        /// `true` for redo, `false` for undo.
+        redo: bool,
+        /// What the history step did.
+        outcome: UndoOutcome,
+    },
+    /// The current source text.
+    Source(String),
+    /// Frame-pipeline statistics for the current frame.
+    Stats(FrameStats),
+    /// A model snapshot in its text format.
+    Snapshot(String),
+    /// A snapshot was restored; entries that no longer type-check were
+    /// skipped, with reasons.
+    Restored(LoadReport),
+}
+
+impl LiveSession {
+    /// Apply one command, returning its effects. **Total**: never
+    /// panics, never errors — undeliverable commands come back as
+    /// [`SessionEffect::Refused`], bad edits as
+    /// [`SessionEffect::EditRejected`] / [`SessionEffect::EditQuarantined`].
+    ///
+    /// State-changing commands that succeed append a fresh
+    /// [`SessionEffect::Frame`], so one round-trip always leaves the
+    /// observer with the current view.
+    pub fn apply(&mut self, command: SessionCommand) -> Vec<SessionEffect> {
+        match command {
+            SessionCommand::Frame => vec![SessionEffect::Frame(self.frame_snapshot())],
+            SessionCommand::TapAt { x, y } => match self.tap_at(x, y) {
+                Ok(hit) => vec![
+                    SessionEffect::Tap { hit },
+                    SessionEffect::Frame(self.frame_snapshot()),
+                ],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::TapPath(path) => match self.tap_path(&path) {
+                Ok(()) => vec![
+                    SessionEffect::Tap { hit: true },
+                    SessionEffect::Frame(self.frame_snapshot()),
+                ],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::Back => match self.back() {
+                Ok(()) => vec![SessionEffect::Frame(self.frame_snapshot())],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::EditBox { path, text } => match self.edit_box(&path, &text) {
+                Ok(()) => vec![SessionEffect::Frame(self.frame_snapshot())],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::EditSource(src) => match self.edit_source(&src) {
+                EditOutcome::Applied(report) => vec![
+                    SessionEffect::EditApplied(report),
+                    SessionEffect::Frame(self.frame_snapshot()),
+                ],
+                // Rejected edits leave the display untouched: no frame.
+                EditOutcome::Rejected(diags) => vec![SessionEffect::EditRejected(diags)],
+                EditOutcome::Quarantined { fault, report } => vec![
+                    SessionEffect::EditQuarantined {
+                        fault: Box::new(fault),
+                        report,
+                    },
+                    SessionEffect::Frame(self.frame_snapshot()),
+                ],
+            },
+            SessionCommand::Undo => self.history_effects(false),
+            SessionCommand::Redo => self.history_effects(true),
+            SessionCommand::Source => vec![SessionEffect::Source(self.source().to_string())],
+            SessionCommand::Stats => {
+                // Settle and render once so the counters describe the
+                // current frame, not a stale one.
+                self.live_view();
+                vec![SessionEffect::Stats(self.frame_stats())]
+            }
+            SessionCommand::Snapshot => match self.system().snapshot() {
+                Ok(snapshot) => vec![SessionEffect::Snapshot(snapshot)],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::Restore(snapshot) => match self.system_mut().restore(&snapshot) {
+                Ok(report) => vec![
+                    SessionEffect::Restored(report),
+                    SessionEffect::Frame(self.frame_snapshot()),
+                ],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+        }
+    }
+
+    /// Settle and capture the current frame as a shareable snapshot.
+    pub fn frame_snapshot(&mut self) -> FrameSnapshot {
+        let view = self.live_view();
+        FrameSnapshot {
+            generation: self.system().display_generation(),
+            tree: self.display_tree(),
+            banner: self.fault_banner(),
+            view,
+        }
+    }
+
+    fn history_effects(&mut self, redo: bool) -> Vec<SessionEffect> {
+        let outcome = if redo { self.redo() } else { self.undo() };
+        let applied = outcome.is_applied();
+        let mut effects = vec![SessionEffect::Undo { redo, outcome }];
+        if applied {
+            effects.push(SessionEffect::Frame(self.frame_snapshot()));
+        }
+        effects
+    }
+}
+
+/// Render frame-pipeline statistics in the standard multi-line form
+/// shared by frontends (the repl's `:stats`, host inspection).
+pub fn format_frame_stats(stats: &FrameStats) -> String {
+    format!(
+        "frame pipeline (last frame):\n\
+         \x20 eval reuse:   {:>5.1}%  ({} hits, {} misses)\n\
+         \x20 layout reuse: {:>5.1}%  ({} measured, {} reused)\n\
+         \x20 repaint:      {:>5.1}%  ({} of {} cells, {})\n\
+         \x20 stage time:   layout {} µs, paint {} µs\n\
+         \x20 lifetime:     {} frames rendered, {} view-memo hits",
+        stats.eval_reuse() * 100.0,
+        stats.eval_hits,
+        stats.eval_misses,
+        stats.layout_reuse() * 100.0,
+        stats.nodes_measured,
+        stats.nodes_reused,
+        stats.repaint_fraction() * 100.0,
+        stats.cells_repainted,
+        stats.cells_total,
+        if stats.partial {
+            "partial"
+        } else {
+            "full frame"
+        },
+        stats.layout_us,
+        stats.paint_us,
+        stats.frames,
+        stats.view_hits,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------
+
+/// A malformed line in the command wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolParseError {}
+
+fn push_block(out: &mut String, keyword: &str, text: &str) {
+    out.push_str(keyword);
+    out.push(' ');
+    out.push_str(&text.len().to_string());
+    out.push('\n');
+    out.push_str(text);
+    out.push('\n');
+}
+
+impl SessionCommand {
+    /// Serialize to the line-oriented wire format (same family as the
+    /// `#alive-trace v1` format: one line per command, multi-line
+    /// payloads as length-prefixed blocks).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        match self {
+            SessionCommand::Frame => out.push_str("frame\n"),
+            SessionCommand::TapAt { x, y } => {
+                out.push_str(&format!("tap-at {x} {y}\n"));
+            }
+            SessionCommand::TapPath(path) => {
+                out.push_str("tap");
+                for p in path {
+                    out.push_str(&format!(" {p}"));
+                }
+                out.push('\n');
+            }
+            SessionCommand::Back => out.push_str("back\n"),
+            SessionCommand::EditBox { path, text } => {
+                out.push_str("editbox");
+                for p in path {
+                    out.push_str(&format!(" {p}"));
+                }
+                out.push_str(" -- ");
+                out.push_str(&text.replace('\\', "\\\\").replace('\n', "\\n"));
+                out.push('\n');
+            }
+            SessionCommand::EditSource(src) => push_block(&mut out, "editsource", src),
+            SessionCommand::Undo => out.push_str("undo\n"),
+            SessionCommand::Redo => out.push_str("redo\n"),
+            SessionCommand::Source => out.push_str("source\n"),
+            SessionCommand::Stats => out.push_str("stats\n"),
+            SessionCommand::Snapshot => out.push_str("snapshot\n"),
+            SessionCommand::Restore(snapshot) => push_block(&mut out, "restore", snapshot),
+        }
+        out
+    }
+}
+
+/// Parse a sequence of commands from the wire format. Blank lines and
+/// `#` comment lines between commands are ignored.
+///
+/// # Errors
+///
+/// [`ProtocolParseError`] pointing at the malformed line.
+pub fn parse_commands(text: &str) -> Result<Vec<SessionCommand>, ProtocolParseError> {
+    let mut commands = Vec::new();
+    let mut rest = text;
+    let mut line_no = 0usize;
+    while !rest.is_empty() {
+        let (line, after) = match rest.split_once('\n') {
+            Some((l, a)) => (l, a),
+            None => (rest, ""),
+        };
+        line_no += 1;
+        let err = |message: String| ProtocolParseError {
+            line: line_no,
+            message,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            rest = after;
+            continue;
+        }
+        let (keyword, args) = match trimmed.split_once(' ') {
+            Some((k, a)) => (k, a.trim()),
+            None => (trimmed, ""),
+        };
+        // Length-prefixed block commands consume payload bytes from
+        // `after` directly (the payload is raw, not line-structured).
+        let take_block = |after: &str| -> Result<(String, usize), ProtocolParseError> {
+            let len: usize = args
+                .parse()
+                .map_err(|_| err(format!("bad length `{args}`")))?;
+            if after.len() < len {
+                return Err(err(format!(
+                    "payload truncated: want {len} bytes, have {}",
+                    after.len()
+                )));
+            }
+            if !after.is_char_boundary(len) {
+                return Err(err(format!("length {len} splits a UTF-8 character")));
+            }
+            Ok((after[..len].to_string(), len))
+        };
+        let mut consumed_payload = 0usize;
+        let command = match keyword {
+            "frame" => SessionCommand::Frame,
+            "tap-at" => {
+                let mut parts = args.split_whitespace();
+                let parse_coord = |part: Option<&str>| {
+                    part.and_then(|p| p.parse::<i32>().ok())
+                        .ok_or_else(|| err(format!("bad coordinates `{args}`")))
+                };
+                let x = parse_coord(parts.next())?;
+                let y = parse_coord(parts.next())?;
+                if parts.next().is_some() {
+                    return Err(err(format!("trailing arguments in `{args}`")));
+                }
+                SessionCommand::TapAt { x, y }
+            }
+            "tap" => SessionCommand::TapPath(parse_usize_path(args).map_err(&err)?),
+            "back" => SessionCommand::Back,
+            "editbox" => {
+                let (path_part, text) = args
+                    .split_once(" -- ")
+                    .ok_or_else(|| err("editbox needs ` -- ` separator".to_string()))?;
+                SessionCommand::EditBox {
+                    path: parse_usize_path(path_part).map_err(&err)?,
+                    text: unescape(text),
+                }
+            }
+            "editsource" => {
+                let (payload, len) = take_block(after)?;
+                consumed_payload = len;
+                SessionCommand::EditSource(payload)
+            }
+            "undo" => SessionCommand::Undo,
+            "redo" => SessionCommand::Redo,
+            "source" => SessionCommand::Source,
+            "stats" => SessionCommand::Stats,
+            "snapshot" => SessionCommand::Snapshot,
+            "restore" => {
+                let (payload, len) = take_block(after)?;
+                consumed_payload = len;
+                SessionCommand::Restore(payload)
+            }
+            other => return Err(err(format!("unknown command `{other}`"))),
+        };
+        commands.push(command);
+        rest = &after[consumed_payload..];
+        // A block payload is followed by one newline of its own.
+        if consumed_payload > 0 {
+            rest = rest.strip_prefix('\n').unwrap_or(rest);
+            // Count the payload's lines so later errors still point at
+            // the right place.
+            line_no += commands
+                .last()
+                .map(|c| match c {
+                    SessionCommand::EditSource(s) | SessionCommand::Restore(s) => {
+                        s.matches('\n').count() + 1
+                    }
+                    _ => 0,
+                })
+                .unwrap_or(0);
+        }
+    }
+    Ok(commands)
+}
+
+fn parse_usize_path(args: &str) -> Result<Vec<usize>, String> {
+    args.split_whitespace()
+        .map(|p| p.parse().map_err(|_| format!("bad path element `{p}`")))
+        .collect()
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl SessionEffect {
+    /// Serialize to a line-oriented text form — the host→observer half
+    /// of the wire. One-way by design: effects carry rendered payloads
+    /// (views, banners, reports), so observers need no session of their
+    /// own to display them.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        match self {
+            SessionEffect::Frame(frame) => {
+                out.push_str(&format!("frame generation={}", frame.generation));
+                if frame.banner.is_some() {
+                    out.push_str(" degraded");
+                }
+                out.push('\n');
+                if let Some(banner) = &frame.banner {
+                    out.push_str(&format!("banner {}\n", banner.replace('\n', " ")));
+                }
+                push_block(&mut out, "view", &frame.view);
+            }
+            SessionEffect::Tap { hit } => {
+                out.push_str(if *hit { "tap hit\n" } else { "tap miss\n" });
+            }
+            SessionEffect::Refused(why) => {
+                out.push_str(&format!("refused {}\n", why.replace('\n', " ")));
+            }
+            SessionEffect::EditApplied(report) => {
+                out.push_str("edit applied");
+                if report.dropped_anything() {
+                    out.push_str(&format!(
+                        " dropped-globals={} dropped-pages={}",
+                        report.dropped_globals.len(),
+                        report.dropped_pages.len()
+                    ));
+                }
+                out.push('\n');
+            }
+            SessionEffect::EditRejected(diags) => {
+                out.push_str(&format!("edit rejected\n{diags}"));
+            }
+            SessionEffect::EditQuarantined { fault, .. } => {
+                out.push_str(&format!("edit quarantined {fault}\n"));
+            }
+            SessionEffect::Undo { redo, outcome } => {
+                let op = if *redo { "redo" } else { "undo" };
+                match outcome {
+                    UndoOutcome::Applied => out.push_str(&format!("{op} applied\n")),
+                    UndoOutcome::NothingToUndo => out.push_str(&format!("{op} empty\n")),
+                    UndoOutcome::Quarantined(_) => {
+                        out.push_str(&format!("{op} quarantined\n"));
+                    }
+                }
+            }
+            SessionEffect::Source(src) => push_block(&mut out, "sourcetext", src),
+            SessionEffect::Stats(stats) => {
+                out.push_str(&format_frame_stats(stats));
+                out.push('\n');
+            }
+            SessionEffect::Snapshot(snapshot) => push_block(&mut out, "snapshot", snapshot),
+            SessionEffect::Restored(report) => {
+                out.push_str(&format!("restored skipped={}\n", report.skipped.len()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = r#"
+global count : number = 0
+page start() {
+    init { count := count + 1; }
+    render {
+        boxed {
+            post "count is " ++ count;
+            on tap { count := count + 10; }
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn apply_is_total_over_every_command() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        let commands = vec![
+            SessionCommand::Frame,
+            SessionCommand::TapPath(vec![0]),
+            SessionCommand::TapPath(vec![9, 9]), // no such box
+            SessionCommand::TapAt { x: 1, y: 0 },
+            SessionCommand::TapAt { x: 500, y: 500 },
+            SessionCommand::Back, // root page: refused
+            SessionCommand::EditBox {
+                path: vec![0],
+                text: "x".to_string(),
+            }, // label: no onedit — refused
+            SessionCommand::EditSource(APP.replace("count is", "n =")),
+            SessionCommand::EditSource("not a program".to_string()),
+            SessionCommand::Undo,
+            SessionCommand::Undo, // history exhausted
+            SessionCommand::Redo,
+            SessionCommand::Source,
+            SessionCommand::Stats,
+            SessionCommand::Snapshot,
+            SessionCommand::Restore("#alive-store v1\n".to_string()),
+            SessionCommand::Restore("garbage".to_string()),
+        ];
+        for command in commands {
+            let effects = s.apply(command.clone());
+            assert!(!effects.is_empty(), "no effects for {command:?}");
+        }
+    }
+
+    #[test]
+    fn frame_effect_matches_direct_calls() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        let direct_view = s.live_view();
+        let effects = s.apply(SessionCommand::Frame);
+        let [SessionEffect::Frame(frame)] = effects.as_slice() else {
+            panic!("expected one frame effect, got {effects:?}");
+        };
+        assert_eq!(frame.view, direct_view);
+        assert!(frame.banner.is_none());
+        let tree = frame.tree.as_ref().expect("renderable");
+        assert!(Arc::ptr_eq(tree, &s.display_tree().expect("tree")));
+    }
+
+    #[test]
+    fn tap_effects_end_with_the_new_frame() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        let effects = s.apply(SessionCommand::TapPath(vec![0]));
+        assert!(matches!(effects[0], SessionEffect::Tap { hit: true }));
+        let SessionEffect::Frame(frame) = &effects[1] else {
+            panic!("expected frame, got {:?}", effects[1]);
+        };
+        assert_eq!(frame.view, "count is 11\n");
+    }
+
+    #[test]
+    fn refused_commands_leave_the_session_unchanged() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        let before = s.live_view();
+        let generation = s.system().display_generation();
+        for effects in [
+            s.apply(SessionCommand::TapPath(vec![42])),
+            s.apply(SessionCommand::Back),
+            s.apply(SessionCommand::EditSource("nope".to_string())),
+        ] {
+            assert!(matches!(
+                effects[0],
+                SessionEffect::Refused(_) | SessionEffect::EditRejected(_)
+            ));
+            assert_eq!(effects.len(), 1, "no frame on refusal: {effects:?}");
+        }
+        assert_eq!(s.live_view(), before);
+        assert_eq!(s.system().display_generation(), generation);
+    }
+
+    #[test]
+    fn undo_roundtrip_through_effects() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        // Nothing to undo yet.
+        let effects = s.apply(SessionCommand::Undo);
+        assert_eq!(
+            effects,
+            vec![SessionEffect::Undo {
+                redo: false,
+                outcome: UndoOutcome::NothingToUndo
+            }]
+        );
+        // Apply an edit, then undo it through the protocol.
+        let edited = APP.replace("count is", "n =");
+        let effects = s.apply(SessionCommand::EditSource(edited));
+        assert!(matches!(effects[0], SessionEffect::EditApplied(_)));
+        let effects = s.apply(SessionCommand::Undo);
+        assert!(matches!(
+            effects[0],
+            SessionEffect::Undo {
+                redo: false,
+                outcome: UndoOutcome::Applied
+            }
+        ));
+        let SessionEffect::Frame(frame) = &effects[1] else {
+            panic!("undo that applied must re-frame");
+        };
+        assert!(frame.view.starts_with("count is"));
+    }
+
+    #[test]
+    fn command_wire_format_round_trips() {
+        let commands = vec![
+            SessionCommand::Frame,
+            SessionCommand::TapAt { x: 3, y: 7 },
+            SessionCommand::TapPath(vec![1, 0, 2]),
+            SessionCommand::Back,
+            SessionCommand::EditBox {
+                path: vec![2, 1],
+                text: "two\nlines \\ with a backslash".to_string(),
+            },
+            SessionCommand::EditSource("page start() {\n    render { }\n}\n".to_string()),
+            SessionCommand::Undo,
+            SessionCommand::Redo,
+            SessionCommand::Source,
+            SessionCommand::Stats,
+            SessionCommand::Snapshot,
+            SessionCommand::Restore("#alive-store v1\nnum count 3\n".to_string()),
+        ];
+        let wire: String = commands.iter().map(SessionCommand::serialize).collect();
+        let parsed = parse_commands(&wire).expect("parses");
+        assert_eq!(parsed, commands);
+    }
+
+    #[test]
+    fn parse_reports_malformed_lines() {
+        assert!(parse_commands("warble\n").is_err());
+        assert!(parse_commands("tap-at 1\n").is_err());
+        assert!(parse_commands("tap one two\n").is_err());
+        assert!(parse_commands("editsource 999\nshort\n").is_err());
+        assert!(parse_commands("editbox 0 no separator\n").is_err());
+        // Comments and blank lines are fine.
+        let parsed = parse_commands("# a comment\n\nframe\n").expect("parses");
+        assert_eq!(parsed, vec![SessionCommand::Frame]);
+    }
+
+    #[test]
+    fn effects_serialize_without_panicking() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        for command in [
+            SessionCommand::Frame,
+            SessionCommand::TapPath(vec![0]),
+            SessionCommand::Back,
+            SessionCommand::EditSource("bad".to_string()),
+            SessionCommand::Undo,
+            SessionCommand::Stats,
+            SessionCommand::Snapshot,
+        ] {
+            for effect in s.apply(command) {
+                assert!(!effect.serialize().is_empty());
+            }
+        }
+    }
+}

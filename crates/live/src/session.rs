@@ -32,6 +32,7 @@ use alive_core::system::{ActionError, StepKind, System, SystemConfig};
 use alive_core::{compile, Fault, IncrementalCompiler};
 use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
 use alive_ui::Point;
+use std::sync::Arc;
 
 /// The result of submitting an edit to a live session.
 #[derive(Debug)]
@@ -63,6 +64,31 @@ impl EditOutcome {
     /// Whether the edit was quarantined (applied, faulted, reverted).
     pub fn is_quarantined(&self) -> bool {
         matches!(self, EditOutcome::Quarantined { .. })
+    }
+}
+
+/// The result of an undo/redo request — typed, so a frontend can tell a
+/// real history step from a no-op (and report each honestly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoOutcome {
+    /// The neighbouring history entry was applied as a regular UPDATE
+    /// transition; source and display now reflect it.
+    Applied,
+    /// The history stack was empty; the session is unchanged. (Also the
+    /// redo-side "nothing to redo".)
+    NothingToUndo,
+    /// The history entry ran but was quarantined: it faulted on its
+    /// first transition and the session auto-reverted, keeping the
+    /// entry on its stack. Carries the fault when one was recorded (a
+    /// previously-applied source failing to even recompile is reported
+    /// the same way, with no fault).
+    Quarantined(Option<Box<Fault>>),
+}
+
+impl UndoOutcome {
+    /// Whether the history step actually happened.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, UndoOutcome::Applied)
     }
 }
 
@@ -120,10 +146,30 @@ impl LiveSession {
         memo: bool,
     ) -> Result<Self, SessionError> {
         let program = compile(source).map_err(SessionError::Compile)?;
+        Ok(Self::with_shared_program(
+            source,
+            std::sync::Arc::new(program),
+            config,
+            memo,
+        ))
+    }
+
+    /// Start a session around an already-compiled shared program — the
+    /// host path: one compile per source version, shared across every
+    /// session born from it. The caller vouches that `program` is the
+    /// compilation of `source` (a mismatch shows up as confusing
+    /// navigation spans, not unsoundness: the system only runs the
+    /// program it is given).
+    pub fn with_shared_program(
+        source: &str,
+        program: Arc<alive_core::Program>,
+        config: SystemConfig,
+        memo: bool,
+    ) -> Self {
         let memo = memo.then(|| MemoCache::new(&program));
         let mut session = LiveSession {
             source: source.to_string(),
-            system: System::with_config(program, config),
+            system: System::with_shared_program(program, config),
             memo,
             updates_applied: 0,
             updates_rejected: 0,
@@ -134,7 +180,7 @@ impl LiveSession {
             pipeline: FramePipeline::new(),
         };
         session.refresh();
-        Ok(session)
+        session
     }
 
     /// The current source text.
@@ -282,12 +328,13 @@ impl LiveSession {
     /// rolled back — undo is an edit like any other, as in the paper's
     /// model where code changes are transitions).
     ///
-    /// Returns `false` if there is nothing to undo, or if the undone
-    /// code faulted against the current model and was quarantined (the
-    /// session is unchanged in that case).
-    pub fn undo(&mut self) -> bool {
+    /// The outcome says whether a history step happened:
+    /// [`UndoOutcome::NothingToUndo`] if the stack was empty, and
+    /// [`UndoOutcome::Quarantined`] if the undone code faulted against
+    /// the current model (the session is unchanged in that case).
+    pub fn undo(&mut self) -> UndoOutcome {
         let Some(previous) = self.undo_stack.pop() else {
-            return false;
+            return UndoOutcome::NothingToUndo;
         };
         let current = self.source.clone();
         match self.swap_source(&previous) {
@@ -296,27 +343,35 @@ impl LiveSession {
                 // redo instead.
                 self.undo_stack.pop();
                 self.redo_stack.push(current);
-                true
+                UndoOutcome::Applied
             }
-            EditOutcome::Rejected(_) | EditOutcome::Quarantined { .. } => {
+            EditOutcome::Quarantined { fault, .. } => {
                 // The session was left as it was; keep the undo entry.
                 self.undo_stack.push(previous);
-                false
+                UndoOutcome::Quarantined(Some(Box::new(fault)))
+            }
+            EditOutcome::Rejected(_) => {
+                self.undo_stack.push(previous);
+                UndoOutcome::Quarantined(None)
             }
         }
     }
 
-    /// Redo the most recently undone edit. Returns `false` if there is
-    /// nothing to redo or the redone code was quarantined.
-    pub fn redo(&mut self) -> bool {
+    /// Redo the most recently undone edit. Same outcomes as
+    /// [`LiveSession::undo`].
+    pub fn redo(&mut self) -> UndoOutcome {
         let Some(next) = self.redo_stack.pop() else {
-            return false;
+            return UndoOutcome::NothingToUndo;
         };
         match self.swap_source(&next) {
-            EditOutcome::Applied(_) => true,
-            EditOutcome::Rejected(_) | EditOutcome::Quarantined { .. } => {
+            EditOutcome::Applied(_) => UndoOutcome::Applied,
+            EditOutcome::Quarantined { fault, .. } => {
                 self.redo_stack.push(next);
-                false
+                UndoOutcome::Quarantined(Some(Box::new(fault)))
+            }
+            EditOutcome::Rejected(_) => {
+                self.redo_stack.push(next);
+                UndoOutcome::Quarantined(None)
             }
         }
     }
@@ -339,7 +394,7 @@ impl LiveSession {
         self.refresh();
         // The edit transaction checkpoint: if the new code faults on
         // its first run, the whole session state rolls back to here.
-        // (Cloning shares the program `Rc` and the injector, so this is
+        // (Cloning shares the program `Arc` and the injector, so this is
         // cheap relative to an update.)
         let checkpoint = self.system.clone();
         let report = match self.system.update(program) {
@@ -406,9 +461,12 @@ impl LiveSession {
     /// The current display's box tree (refreshing first), or `None` if
     /// the session has no renderable view at all (its only render ever
     /// attempted faulted — there is no last good tree to fall back to).
-    pub fn display_tree(&mut self) -> Option<BoxNode> {
+    ///
+    /// The tree comes back as a shared [`Arc`] handle: a host can fan
+    /// one frame out to many observers with refcount bumps, no copying.
+    pub fn display_tree(&mut self) -> Option<Arc<BoxNode>> {
         self.refresh();
-        self.system.display().content().cloned()
+        self.system.display().content_shared().cloned()
     }
 
     /// Render the current display as text — the live view. Total: a
@@ -674,7 +732,7 @@ page start() {
         let mut s = LiveSession::new(APP).expect("starts");
         s.tap_path(&[0]).expect("tap"); // count = 11
         assert_eq!(s.undo_depth(), 0);
-        assert!(!s.undo(), "nothing to undo yet");
+        assert!(!s.undo().is_applied(), "nothing to undo yet");
 
         let v1 = APP.replace("count is", "n =");
         let v2 = APP.replace("count is", "total:");
@@ -685,19 +743,19 @@ page start() {
 
         // Undo restores the previous code; the model stays at 11
         // (undo is just another UPDATE, not time travel).
-        assert!(s.undo());
+        assert_eq!(s.undo(), UndoOutcome::Applied);
         assert_eq!(s.live_view(), "n = 11\n");
-        assert!(s.undo());
+        assert_eq!(s.undo(), UndoOutcome::Applied);
         assert_eq!(s.live_view(), "count is 11\n");
-        assert!(!s.undo(), "stack exhausted");
+        assert_eq!(s.undo(), UndoOutcome::NothingToUndo, "stack exhausted");
 
         // Redo walks forward again.
-        assert!(s.redo());
+        assert_eq!(s.redo(), UndoOutcome::Applied);
         assert_eq!(s.live_view(), "n = 11\n");
         // A fresh edit clears the redo stack.
         let v3 = s.source().replace("n =", "N:");
         assert!(s.edit_source(&v3).is_applied());
-        assert!(!s.redo());
+        assert_eq!(s.redo(), UndoOutcome::NothingToUndo);
     }
 
     #[test]

@@ -369,6 +369,42 @@ impl RecordingSession {
         self.session.live_view()
     }
 
+    /// Apply a protocol command, recording the replayable ones in the
+    /// trace (taps, back, box edits, source edits — the same event set
+    /// [`SessionTrace`] serializes; undo/redo are recorded as the
+    /// source edit they perform, queries are not recorded).
+    pub fn apply(
+        &mut self,
+        command: crate::protocol::SessionCommand,
+    ) -> Vec<crate::protocol::SessionEffect> {
+        use crate::protocol::{SessionCommand, SessionEffect};
+        match &command {
+            SessionCommand::TapPath(path) => {
+                self.trace.events.push(TraceEvent::Tap(path.clone()));
+            }
+            SessionCommand::Back => self.trace.events.push(TraceEvent::Back),
+            SessionCommand::EditBox { path, text } => self
+                .trace
+                .events
+                .push(TraceEvent::EditBox(path.clone(), text.clone())),
+            SessionCommand::EditSource(src) => {
+                self.trace.events.push(TraceEvent::EditSource(src.clone()));
+            }
+            _ => {}
+        }
+        let effects = self.session.apply(command);
+        // Undo/redo mutate the source like an edit; record the source
+        // they landed on so a replay reproduces the same history.
+        if let Some(SessionEffect::Undo { outcome, .. }) = effects.first() {
+            if outcome.is_applied() {
+                self.trace
+                    .events
+                    .push(TraceEvent::EditSource(self.session.source().to_string()));
+            }
+        }
+        effects
+    }
+
     /// Restore a model snapshot (see [`alive_core::persist`]). Snapshot
     /// restoration is its own persistence channel and is *not* recorded
     /// in the trace.

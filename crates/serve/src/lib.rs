@@ -1,0 +1,576 @@
+//! `alive-serve` — a concurrent multi-session host.
+//!
+//! The paper's live loop serves one programmer; the ROADMAP's north
+//! star serves many. This crate is the bridge: a [`SessionHost`] owns N
+//! [`LiveSession`]s and drives them from a **fixed worker pool**, with
+//! three structural guarantees:
+//!
+//! * **Per-session mailboxes.** Each session has a FIFO command queue
+//!   and is drained by at most one worker at a time (an atomic
+//!   `scheduled` flag hands the session around), so commands for one
+//!   session apply in submission order while different sessions run in
+//!   parallel — the actor model, built from `std` parts only.
+//! * **Shared compiled programs.** Source text is compiled once per
+//!   version and every session born from it shares the same
+//!   `Arc<Program>` — parse, lower, and typecheck are per-version
+//!   costs, not per-session costs.
+//! * **Snapshot-consistent frame fan-out.** After every command the
+//!   worker publishes the session's latest [`FrameSnapshot`] behind an
+//!   `Arc`; any number of observers read whole frames (never torn
+//!   ones) with a refcount bump, no copying and no session lock.
+//!
+//! Everything a frontend does travels as [`SessionCommand`] →
+//! [`SessionEffect`] — the same total protocol the local frontends use,
+//! so hosting changes *where* a session runs, not *what* it answers.
+
+#![warn(missing_docs)]
+// Same fault-containment discipline as alive-core: the host must never
+// abort the process — a panicking worker would take every session with
+// it. Failures are typed (`HostError`) or contained; locks recover from
+// poisoning (session state is either taken out of the slot or intact).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use alive_core::compile;
+use alive_core::system::SystemConfig;
+use alive_core::Program;
+use alive_live::{FrameSnapshot, LiveSession, SessionCommand, SessionEffect};
+use alive_syntax::Diagnostics;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Identifies one hosted session for the lifetime of the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// Host configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Worker threads draining session mailboxes. Zero is clamped to 1.
+    pub workers: usize,
+    /// System configuration handed to every hosted session.
+    pub system: SystemConfig,
+    /// Whether hosted sessions enable the §5 render memo cache.
+    pub memo: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            system: SystemConfig::default(),
+            memo: false,
+        }
+    }
+}
+
+impl HostConfig {
+    /// A config with an explicit worker count (other fields default).
+    pub fn with_workers(workers: usize) -> Self {
+        HostConfig {
+            workers,
+            ..HostConfig::default()
+        }
+    }
+}
+
+/// Errors surfaced by host entry points.
+#[derive(Debug)]
+pub enum HostError {
+    /// The session id is unknown (never created, or removed).
+    UnknownSession(SessionId),
+    /// The session's source failed to compile.
+    Compile(Diagnostics),
+    /// The host's workers are gone (shut down mid-request).
+    Stopped,
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::UnknownSession(id) => write!(f, "unknown {id}"),
+            HostError::Compile(ds) => write!(f, "source does not compile:\n{ds}"),
+            HostError::Stopped => f.write_str("host is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Lock recovering from poisoning: a worker that panicked (only
+/// possible in test builds) either took the session out of its slot or
+/// left it intact — the shared maps and queues themselves are always
+/// structurally sound, so continuing is safe and required by the
+/// no-panic discipline.
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One command in flight, with its reply channel.
+struct Envelope {
+    command: SessionCommand,
+    reply: Sender<Vec<SessionEffect>>,
+}
+
+/// Per-session state: the mailbox, the session itself (present when no
+/// worker holds it), the scheduling flag, and the published frame.
+struct Slot {
+    mailbox: Mutex<VecDeque<Envelope>>,
+    /// `Some` while parked; taken by the worker that drains the mailbox.
+    session: Mutex<Option<LiveSession>>,
+    /// True while the session sits in the ready queue or a worker's
+    /// hands. At most one worker drains a session at a time, which is
+    /// what makes the mailbox a total order per session.
+    scheduled: AtomicBool,
+    /// The most recent settled frame, whole-or-nothing for observers.
+    latest: Mutex<Option<Arc<FrameSnapshot>>>,
+}
+
+impl Slot {
+    /// Try to transition unscheduled → scheduled; true on success.
+    fn try_schedule(&self) -> bool {
+        self.scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+struct HostInner {
+    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// Source text → its compiled program, one entry per version.
+    programs: Mutex<HashMap<String, Arc<Program>>>,
+    /// Number of actual compiles performed (cache misses) — observable
+    /// so tests can pin "compile once per version, not per session".
+    compiles: AtomicU64,
+    ready_tx: Sender<u64>,
+    ready_rx: Mutex<Receiver<u64>>,
+    shutdown: AtomicBool,
+    config: HostConfig,
+    next_id: AtomicU64,
+}
+
+impl HostInner {
+    fn slot(&self, id: u64) -> Option<Arc<Slot>> {
+        lock(&self.slots).get(&id).cloned()
+    }
+
+    /// Drain one session's mailbox to empty, then park the session.
+    fn drain_session(&self, id: u64) {
+        let Some(slot) = self.slot(id) else { return };
+        let Some(mut session) = lock(&slot.session).take() else {
+            // Unreachable by the scheduling protocol; recover by
+            // unscheduling so the slot cannot wedge.
+            slot.scheduled.store(false, Ordering::Release);
+            return;
+        };
+        loop {
+            let envelope = lock(&slot.mailbox).pop_front();
+            let Some(envelope) = envelope else { break };
+            let effects = session.apply(envelope.command);
+            // Publish the last frame among the effects: observers see
+            // whole settled frames, in per-session order.
+            if let Some(frame) = effects.iter().rev().find_map(|effect| match effect {
+                SessionEffect::Frame(frame) => Some(frame.clone()),
+                _ => None,
+            }) {
+                *lock(&slot.latest) = Some(Arc::new(frame));
+            }
+            // The submitter may have dropped its ticket; fine.
+            let _ = envelope.reply.send(effects);
+        }
+        *lock(&slot.session) = Some(session);
+        slot.scheduled.store(false, Ordering::Release);
+        // Close the lost-wakeup window: a submit that landed between
+        // the final pop and the flag store saw `scheduled == true` and
+        // did not enqueue — re-enqueue on its behalf.
+        if !lock(&slot.mailbox).is_empty() && slot.try_schedule() {
+            let _ = self.ready_tx.send(id);
+        }
+    }
+}
+
+fn worker_loop(inner: &HostInner) {
+    loop {
+        let next = {
+            let rx = lock(&inner.ready_rx);
+            rx.recv_timeout(Duration::from_millis(20))
+        };
+        match next {
+            Ok(id) => inner.drain_session(id),
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// A pending reply to a submitted command. Dropping it abandons the
+/// reply (the command still runs).
+#[derive(Debug)]
+pub struct EffectTicket {
+    rx: Receiver<Vec<SessionEffect>>,
+}
+
+impl EffectTicket {
+    /// Block until the command has been applied and return its effects.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Stopped`] if the host shut down (or the session was
+    /// removed) before the command ran.
+    pub fn wait(self) -> Result<Vec<SessionEffect>, HostError> {
+        self.rx.recv().map_err(|_| HostError::Stopped)
+    }
+}
+
+/// A concurrent multi-session host: N live sessions behind per-session
+/// mailboxes, drained by a fixed worker pool. See the crate docs for
+/// the scheduling protocol.
+pub struct SessionHost {
+    inner: Arc<HostInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for SessionHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionHost")
+            .field("workers", &self.workers.len())
+            .field("sessions", &self.session_count())
+            .finish()
+    }
+}
+
+impl SessionHost {
+    /// Start a host with the given configuration (spawns the workers).
+    pub fn new(config: HostConfig) -> Self {
+        let workers = config.workers.max(1);
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let inner = Arc::new(HostInner {
+            slots: Mutex::new(HashMap::new()),
+            programs: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            ready_tx,
+            ready_rx: Mutex::new(ready_rx),
+            shutdown: AtomicBool::new(false),
+            config: HostConfig { workers, ..config },
+            next_id: AtomicU64::new(1),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        SessionHost {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Start a host with default configuration (one worker per
+    /// available CPU).
+    pub fn with_default_config() -> Self {
+        SessionHost::new(HostConfig::default())
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The number of live sessions.
+    pub fn session_count(&self) -> usize {
+        lock(&self.inner.slots).len()
+    }
+
+    /// How many distinct source versions have been compiled. With K
+    /// sessions on one source this stays 1 — the host's whole point.
+    pub fn programs_compiled(&self) -> u64 {
+        self.inner.compiles.load(Ordering::Acquire)
+    }
+
+    /// The shared compiled program for `source`, compiling it on first
+    /// sight and answering from the per-version cache afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Compile`] with the program's diagnostics.
+    pub fn program_for(&self, source: &str) -> Result<Arc<Program>, HostError> {
+        if let Some(program) = lock(&self.inner.programs).get(source) {
+            return Ok(Arc::clone(program));
+        }
+        // Compile outside the lock: other sessions keep being served
+        // while a new version compiles. A racing duplicate compile is
+        // possible and harmless (last insert wins; both Arcs are the
+        // same program by value).
+        let program = Arc::new(compile(source).map_err(HostError::Compile)?);
+        self.inner.compiles.fetch_add(1, Ordering::AcqRel);
+        Ok(Arc::clone(
+            lock(&self.inner.programs)
+                .entry(source.to_string())
+                .or_insert(program),
+        ))
+    }
+
+    /// Create a session from source text, sharing the compiled program
+    /// with every other session on the same version. The session is
+    /// settled to its first frame before the id is returned, so
+    /// [`SessionHost::latest_frame`] is immediately meaningful.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Compile`] if the source does not compile.
+    pub fn create_session(&self, source: &str) -> Result<SessionId, HostError> {
+        let program = self.program_for(source)?;
+        let mut session = LiveSession::with_shared_program(
+            source,
+            program,
+            self.inner.config.system,
+            self.inner.config.memo,
+        );
+        let first = Arc::new(session.frame_snapshot());
+        let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
+        let slot = Arc::new(Slot {
+            mailbox: Mutex::new(VecDeque::new()),
+            session: Mutex::new(Some(session)),
+            scheduled: AtomicBool::new(false),
+            latest: Mutex::new(Some(first)),
+        });
+        lock(&self.inner.slots).insert(id, slot);
+        Ok(SessionId(id))
+    }
+
+    /// Remove a session. Commands still queued are abandoned (their
+    /// tickets report [`HostError::Stopped`]); a worker currently
+    /// holding the session finishes its drain first.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] if the id is not live.
+    pub fn remove_session(&self, id: SessionId) -> Result<(), HostError> {
+        lock(&self.inner.slots)
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(HostError::UnknownSession(id))
+    }
+
+    /// Queue a command on a session's mailbox and return a ticket for
+    /// its effects. Commands submitted to the same session apply in
+    /// submission order; different sessions proceed in parallel.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] if the id is not live.
+    pub fn submit(
+        &self,
+        id: SessionId,
+        command: SessionCommand,
+    ) -> Result<EffectTicket, HostError> {
+        let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
+        let (reply, rx) = mpsc::channel();
+        lock(&slot.mailbox).push_back(Envelope { command, reply });
+        if slot.try_schedule() {
+            // The workers only disconnect on shutdown; a failed send
+            // surfaces as `Stopped` when the ticket is waited on.
+            let _ = self.inner.ready_tx.send(id.0);
+        }
+        Ok(EffectTicket { rx })
+    }
+
+    /// Submit a command and block for its effects — the synchronous
+    /// convenience used by frontends that drive one session.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] / [`HostError::Stopped`].
+    pub fn apply(
+        &self,
+        id: SessionId,
+        command: SessionCommand,
+    ) -> Result<Vec<SessionEffect>, HostError> {
+        self.submit(id, command)?.wait()
+    }
+
+    /// The session's most recently published frame — the fan-out path.
+    /// The returned `Arc` is a consistent whole-frame snapshot: workers
+    /// publish frames atomically after each command, so observers never
+    /// see a torn or mid-settle view, and a thousand observers share
+    /// one allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] if the id is not live.
+    pub fn latest_frame(&self, id: SessionId) -> Result<Option<Arc<FrameSnapshot>>, HostError> {
+        let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
+        let frame = lock(&slot.latest).clone();
+        Ok(frame)
+    }
+
+    /// Stop the workers and join them. Queued commands that have not
+    /// run are abandoned (tickets report [`HostError::Stopped`]).
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SessionHost {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// A host must be shareable across the threads that submit to it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SessionHost>();
+    assert_send_sync::<FrameSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = r#"
+global count : number = 0
+page start() {
+    init { count := count + 1; }
+    render {
+        boxed {
+            post "count is " ++ count;
+            on tap { count := count + 10; }
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn host_serves_one_session_like_a_local_one() {
+        let host = SessionHost::new(HostConfig::with_workers(2));
+        let id = host.create_session(APP).expect("compiles");
+        let mut solo = LiveSession::new(APP).expect("starts");
+
+        let hosted = host.apply(id, SessionCommand::Frame).expect("applies");
+        let local = solo.apply(SessionCommand::Frame);
+        assert_eq!(hosted, local);
+
+        let hosted = host
+            .apply(id, SessionCommand::TapPath(vec![0]))
+            .expect("applies");
+        let local = solo.apply(SessionCommand::TapPath(vec![0]));
+        assert_eq!(hosted, local);
+        host.shutdown();
+    }
+
+    #[test]
+    fn commands_on_one_session_apply_in_submission_order() {
+        let host = SessionHost::new(HostConfig::with_workers(4));
+        let id = host.create_session(APP).expect("compiles");
+        // Queue a burst of taps without waiting, then read the frame:
+        // count must reflect every tap exactly once, in order.
+        let tickets: Vec<_> = (0..16)
+            .map(|_| {
+                host.submit(id, SessionCommand::TapPath(vec![0]))
+                    .expect("live")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("applied");
+        }
+        let effects = host.apply(id, SessionCommand::Frame).expect("applies");
+        let SessionEffect::Frame(frame) = &effects[0] else {
+            panic!("expected frame");
+        };
+        assert_eq!(frame.view, format!("count is {}\n", 1 + 16 * 10));
+        host.shutdown();
+    }
+
+    #[test]
+    fn sessions_share_one_compiled_program_per_version() {
+        let host = SessionHost::new(HostConfig::with_workers(1));
+        let ids: Vec<_> = (0..8)
+            .map(|_| host.create_session(APP).expect("compiles"))
+            .collect();
+        assert_eq!(host.session_count(), 8);
+        assert_eq!(host.programs_compiled(), 1, "one compile for 8 sessions");
+        let program = host.program_for(APP).expect("cached");
+        // Every session's system points at the same allocation.
+        for id in ids {
+            let effects = host.apply(id, SessionCommand::Frame).expect("applies");
+            assert!(matches!(effects[0], SessionEffect::Frame(_)));
+        }
+        assert!(Arc::ptr_eq(
+            &program,
+            &host.program_for(APP).expect("cached")
+        ));
+    }
+
+    #[test]
+    fn latest_frame_fans_out_without_copying() {
+        let host = SessionHost::new(HostConfig::with_workers(1));
+        let id = host.create_session(APP).expect("compiles");
+        let first = host.latest_frame(id).expect("live").expect("settled");
+        assert_eq!(first.view, "count is 1\n");
+        // Two observers share the same snapshot allocation.
+        let second = host.latest_frame(id).expect("live").expect("settled");
+        assert!(Arc::ptr_eq(&first, &second));
+        // A command moves the published frame forward.
+        host.apply(id, SessionCommand::TapPath(vec![0]))
+            .expect("applies");
+        let third = host.latest_frame(id).expect("live").expect("settled");
+        assert_eq!(third.view, "count is 11\n");
+    }
+
+    #[test]
+    fn unknown_and_removed_sessions_are_typed_errors() {
+        let host = SessionHost::new(HostConfig::with_workers(1));
+        let bogus = SessionId(999);
+        assert!(matches!(
+            host.apply(bogus, SessionCommand::Frame),
+            Err(HostError::UnknownSession(_))
+        ));
+        let id = host.create_session(APP).expect("compiles");
+        host.remove_session(id).expect("removes");
+        assert!(matches!(
+            host.submit(id, SessionCommand::Frame),
+            Err(HostError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            host.remove_session(id),
+            Err(HostError::UnknownSession(id2)) if id2 == id
+        ));
+    }
+
+    #[test]
+    fn bad_source_is_a_compile_error_not_a_dead_host() {
+        let host = SessionHost::new(HostConfig::with_workers(1));
+        assert!(matches!(
+            host.create_session("not a program"),
+            Err(HostError::Compile(_))
+        ));
+        // The host keeps serving.
+        let id = host.create_session(APP).expect("compiles");
+        assert!(host.apply(id, SessionCommand::Frame).is_ok());
+    }
+}

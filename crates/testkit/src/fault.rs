@@ -19,14 +19,13 @@
 //!     .shared();
 //! sys.set_fault_injector(plan.clone());
 //! sys.run_to_stable().expect("first render survives");
-//! assert_eq!(plan.borrow().throttled(), 0);
+//! assert_eq!(plan.lock().unwrap().throttled(), 0);
 //! ```
 
 use alive_core::prim::{Prim, PrimError};
 use alive_core::{FaultInjector, TransitionKind};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A rule making one primitive fail on its Nth evaluation (1-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,8 +108,8 @@ impl FaultPlan {
     }
 
     /// Wrap the plan for sharing between a test and a `System`.
-    pub fn shared(self) -> Rc<RefCell<FaultPlan>> {
-        Rc::new(RefCell::new(self))
+    pub fn shared(self) -> Arc<Mutex<FaultPlan>> {
+        Arc::new(Mutex::new(self))
     }
 
     /// How many primitive faults have been injected so far.
@@ -198,7 +197,7 @@ mod tests {
         sys.tap(&[0]).expect("tap");
         sys.run_to_stable().expect("handler runs");
         assert_eq!(sys.store().get("total"), Some(&Value::Number(5.0)));
-        assert_eq!(plan.borrow().injected(), 0);
+        assert_eq!(plan.lock().unwrap().injected(), 0);
 
         // Second tap: call #2 — injected failure, store rolled back.
         sys.tap(&[0]).expect("tap");
@@ -209,7 +208,7 @@ mod tests {
             RuntimeError::Prim(PrimError::Injected(Prim::MathAbs))
         ));
         assert_eq!(sys.store().get("total"), Some(&Value::Number(5.0)));
-        assert_eq!(plan.borrow().injected(), 1);
+        assert_eq!(plan.lock().unwrap().injected(), 1);
 
         // Third tap: call #3 — the rule fired once, all clear again.
         sys.tap(&[0]).expect("tap");
@@ -232,7 +231,7 @@ mod tests {
         assert_eq!(fault.kind, FaultKind::Render);
         assert_eq!(fault.fuel_limit, 1);
         assert!(matches!(fault.error, RuntimeError::FuelExhausted));
-        assert_eq!(plan.borrow().throttled(), 1);
+        assert_eq!(plan.lock().unwrap().throttled(), 1);
         // The handler committed; only the render was rolled back.
         assert_eq!(sys.store().get("total"), Some(&Value::Number(5.0)));
 
@@ -251,7 +250,7 @@ mod tests {
             sys.run_to_stable().expect("starts");
             sys.tap(&[0]).expect("tap");
             sys.run_to_stable().expect("runs");
-            let p = plan.borrow();
+            let p = plan.lock().unwrap();
             (p.prim_calls(), p.transitions())
         };
         assert_eq!(run(), run());

@@ -9,14 +9,14 @@
 //! uses the same rectangles to quantify how little of the screen
 //! changes per model update.
 //!
-//! Diffing exploits structural sharing: children are `Rc`-shared across
+//! Diffing exploits structural sharing: children are `Arc`-shared across
 //! frames, so a subtree spliced unchanged from the render memo cache is
 //! pointer-identical to last frame's and is skipped without descending.
 
 use crate::geom::Rect;
 use crate::layout::{LayoutBox, LayoutItem, LayoutTree};
 use alive_core::boxtree::{BoxItem, BoxNode};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One difference between two displays, located by box path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,12 +59,12 @@ fn diff_nodes(old: &BoxNode, new: &BoxNode, path: &mut Vec<usize>, out: &mut Vec
     if old.source != new.source || own_items(old) != own_items(new) {
         out.push(BoxChange::Changed(path.clone()));
     }
-    let old_children: Vec<&Rc<BoxNode>> = old.children_rc().collect();
-    let new_children: Vec<&Rc<BoxNode>> = new.children_rc().collect();
+    let old_children: Vec<&Arc<BoxNode>> = old.children_shared().collect();
+    let new_children: Vec<&Arc<BoxNode>> = new.children_shared().collect();
     let shared = old_children.len().min(new_children.len());
     for i in 0..shared {
         // Pointer-identical subtrees (memo splices) cannot differ.
-        if Rc::ptr_eq(old_children[i], new_children[i]) {
+        if Arc::ptr_eq(old_children[i], new_children[i]) {
             continue;
         }
         path.push(i);

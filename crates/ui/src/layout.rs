@@ -17,7 +17,7 @@ use alive_core::expr::BoxSourceId;
 use alive_core::value::Color;
 use alive_core::{Attr, Value};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Visual style resolved from a box's attributes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,10 +211,10 @@ pub struct LayoutStats {
 /// stays valid.
 struct CacheEntry {
     /// Keeps the box subtree allocation alive while the entry exists:
-    /// the cache is keyed by `Rc::as_ptr`, and a recycled allocation at
+    /// the cache is keyed by `Arc::as_ptr`, and a recycled allocation at
     /// the same address would otherwise alias a stale measurement.
-    _keeper: Rc<BoxNode>,
-    measured: Rc<Measured>,
+    _keeper: Arc<BoxNode>,
+    measured: Arc<Measured>,
 }
 
 /// Pointer-keyed cache for the bottom-up measure pass.
@@ -222,9 +222,9 @@ struct CacheEntry {
 /// Box trees are immutable once built, and [`measure`] depends only on
 /// the subtree's own content (no inherited inputs affect sizing), so a
 /// subtree that is pointer-identical to one measured last frame must
-/// measure identically — the `Rc` pointer alone is a sound cache key as
+/// measure identically — the `Arc` pointer alone is a sound cache key as
 /// long as the allocation cannot be recycled, which each entry's keeper
-/// `Rc` guarantees. Eviction is two-generation, like the render memo
+/// `Arc` guarantees. Eviction is two-generation, like the render memo
 /// cache: entries not reused for one whole frame are dropped.
 #[derive(Default)]
 pub struct LayoutCache {
@@ -271,14 +271,14 @@ impl LayoutCache {
         self.stats = LayoutStats::default();
     }
 
-    fn lookup(&mut self, key: usize) -> Option<Rc<Measured>> {
+    fn lookup(&mut self, key: usize) -> Option<Arc<Measured>> {
         if let Some(entry) = self.current.get(&key) {
             self.stats.nodes_reused += entry.measured.boxes;
-            return Some(Rc::clone(&entry.measured));
+            return Some(Arc::clone(&entry.measured));
         }
         if let Some(entry) = self.previous.remove(&key) {
             self.stats.nodes_reused += entry.measured.boxes;
-            let measured = Rc::clone(&entry.measured);
+            let measured = Arc::clone(&entry.measured);
             self.current.insert(key, entry);
             return Some(measured);
         }
@@ -306,20 +306,20 @@ pub fn layout_incremental(cache: &mut LayoutCache, root: &BoxNode) -> (LayoutTre
     (LayoutTree { root: root_box }, cache.stats)
 }
 
-fn measure_cached(cache: &mut LayoutCache, node: &Rc<BoxNode>) -> Rc<Measured> {
-    let key = Rc::as_ptr(node) as usize;
+fn measure_cached(cache: &mut LayoutCache, node: &Arc<BoxNode>) -> Arc<Measured> {
+    let key = Arc::as_ptr(node) as usize;
     if let Some(measured) = cache.lookup(key) {
         return measured;
     }
-    let measured = Rc::new(measure_items(node, &mut |child| {
+    let measured = Arc::new(measure_items(node, &mut |child| {
         measure_cached(cache, child)
     }));
     cache.stats.nodes_measured += 1;
     cache.current.insert(
         key,
         CacheEntry {
-            _keeper: Rc::clone(node),
-            measured: Rc::clone(&measured),
+            _keeper: Arc::clone(node),
+            measured: Arc::clone(&measured),
         },
     );
     measured
@@ -342,7 +342,7 @@ enum MeasuredItem {
         lines: Vec<String>,
         font_size: i32,
     },
-    Child(Rc<Measured>),
+    Child(Arc<Measured>),
 }
 
 fn text_lines(value: &Value) -> Vec<String> {
@@ -354,12 +354,12 @@ fn text_lines(value: &Value) -> Vec<String> {
 }
 
 fn measure(node: &BoxNode) -> Measured {
-    measure_items(node, &mut |child| Rc::new(measure(child)))
+    measure_items(node, &mut |child| Arc::new(measure(child)))
 }
 
 fn measure_items(
     node: &BoxNode,
-    measure_child: &mut dyn FnMut(&Rc<BoxNode>) -> Rc<Measured>,
+    measure_child: &mut dyn FnMut(&Arc<BoxNode>) -> Arc<Measured>,
 ) -> Measured {
     let style = Style::from_box(node);
     let mut items = Vec::new();

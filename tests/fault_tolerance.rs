@@ -80,7 +80,7 @@ fn faulting_handler_leaves_store_byte_identical() {
     session.system_mut().set_fault_injector(plan.clone());
 
     session.tap_path(&[0]).expect("tap is delivered");
-    assert_eq!(plan.borrow().injected(), 1);
+    assert_eq!(plan.lock().unwrap().injected(), 1);
     assert_eq!(session.fault_log().total(), 1);
     let fault = session.fault_log().latest().expect("logged");
     assert_eq!(fault.kind, FaultKind::Handler);
@@ -208,8 +208,8 @@ fn last_good_view_survives_three_consecutive_faults() {
     // succeed, and the display catches up with the store.
     session.tap_path(&[0]).expect("tap");
     assert!(session.live_view().contains("count is 3"));
-    assert_eq!(plan.borrow().injected(), 2);
-    assert_eq!(plan.borrow().throttled(), 1);
+    assert_eq!(plan.lock().unwrap().injected(), 2);
+    assert_eq!(plan.lock().unwrap().throttled(), 1);
 }
 
 // ---------------------------------------------------------------------

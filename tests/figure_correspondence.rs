@@ -311,18 +311,18 @@ fn figure12_s_okay_s_skip_p_okay_p_skip() {
     assert_eq!(
         report.dropped_globals,
         vec![
-            (std::rc::Rc::from("gone"), DropReason::NoLongerDefined),
-            (std::rc::Rc::from("retyped"), DropReason::TypeChanged),
+            (std::sync::Arc::from("gone"), DropReason::NoLongerDefined),
+            (std::sync::Arc::from("retyped"), DropReason::TypeChanged),
         ]
     );
 
     let stack = vec![
         (
-            std::rc::Rc::from("start") as its_alive::core::Name,
+            std::sync::Arc::from("start") as its_alive::core::Name,
             Value::unit(),
         ), // P-OKAY
         (
-            std::rc::Rc::from("ghost") as its_alive::core::Name,
+            std::sync::Arc::from("ghost") as its_alive::core::Name,
             Value::unit(),
         ), // P-SKIP
     ];

@@ -343,7 +343,7 @@ fn undo_past_start_of_history_is_safe() {
     let mut session = LiveSession::new(APP).expect("starts");
     let before = session.live_view();
     for _ in 0..3 {
-        assert!(!session.undo(), "nothing to undo");
+        assert!(!session.undo().is_applied(), "nothing to undo");
         assert!(session.system().is_stable());
         assert_well_typed(session.system());
     }
@@ -352,7 +352,7 @@ fn undo_past_start_of_history_is_safe() {
     // One applied edit ⇒ exactly one undo, then safe no-ops again.
     let edited = session.source().replace("points", "pts");
     assert!(session.edit_source(&edited).is_applied());
-    assert!(session.undo(), "one real undo");
-    assert!(!session.undo(), "history exhausted");
+    assert!(session.undo().is_applied(), "one real undo");
+    assert!(!session.undo().is_applied(), "history exhausted");
     assert_eq!(session.source(), APP);
 }
