@@ -16,8 +16,8 @@
 //! ```
 
 use alive_live::{
-    box_source_at, boxes_for_cursor, format_frame_stats, span_for_box, FrameSnapshot,
-    RecordingSession, SessionCommand, SessionEffect, UndoOutcome,
+    box_source_at, boxes_for_cursor, format_frame_stats, format_metrics_snapshot, span_for_box,
+    FrameSnapshot, RecordingSession, Registry, SessionCommand, SessionEffect, UndoOutcome,
 };
 use alive_ui::{layout, render_to_ansi};
 use std::io::{self, BufRead, Write};
@@ -37,6 +37,7 @@ commands:
   :find <line>:<col>    code -> boxes: which boxes does this cursor make?
   :stack                show the page stack and model store
   :stats                frame-pipeline reuse counters (eval/layout/paint)
+  :metrics              session metrics snapshot (counters + latency quantiles)
   :trace                dump the session trace (replayable)
   :save <file>          snapshot the model (persistent data) to a file
   :restore <file>       restore a model snapshot against the current code
@@ -54,7 +55,10 @@ fn main() {
         }
         _ => alive_apps::COUNTER_SRC.to_string(),
     };
-    let mut session = match RecordingSession::new(&initial) {
+    // One registry for the whole repl run: `:metrics` reports over it,
+    // and `:demo` swaps the program while the counters keep counting.
+    let registry = Registry::new();
+    let mut session = match RecordingSession::observed(&initial, &registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot start: {e}");
@@ -71,7 +75,7 @@ fn main() {
         io::stdout().flush().ok();
         let Some(Ok(line)) = lines.next() else { break };
         let line = line.trim();
-        match dispatch(&mut session, line, &mut lines) {
+        match dispatch(&mut session, &registry, line, &mut lines) {
             Flow::Continue => {}
             Flow::Quit => break,
         }
@@ -85,6 +89,7 @@ enum Flow {
 
 fn dispatch(
     session: &mut RecordingSession,
+    registry: &Registry,
     line: &str,
     lines: &mut dyn Iterator<Item = io::Result<String>>,
 ) -> Flow {
@@ -219,6 +224,7 @@ fn dispatch(
             );
         }
         ":stats" => emit(session.apply(SessionCommand::Stats), "stats failed"),
+        ":metrics" => emit(session.apply(SessionCommand::Metrics), "metrics failed"),
         ":trace" => print!("{}", session.trace().serialize()),
         ":save" => {
             for effect in session.apply(SessionCommand::Snapshot) {
@@ -253,7 +259,7 @@ fn dispatch(
                     return Flow::Continue;
                 }
             };
-            match RecordingSession::new(&src) {
+            match RecordingSession::observed(&src, registry) {
                 Ok(new_session) => {
                     *session = new_session;
                     show_view(session);
@@ -319,6 +325,9 @@ fn emit(effects: Vec<SessionEffect>, fail_ctx: &str) {
                 }
             }
             SessionEffect::Stats(stats) => println!("{}", format_frame_stats(&stats)),
+            SessionEffect::Metrics(snapshot) => {
+                println!("{}", format_metrics_snapshot(&snapshot));
+            }
             SessionEffect::Restored(report) => {
                 for (name, why) in &report.skipped {
                     println!("skipped `{name}`: {why}");

@@ -17,7 +17,7 @@
 //!
 //! `--once` renders once and exits (used by tests and CI).
 
-use alive_live::{FrameSnapshot, LiveSession, SessionCommand, SessionEffect};
+use alive_live::{FrameSnapshot, LiveSession, Registry, SessionCommand, SessionEffect};
 use alive_ui::{layout, AnsiFramebuffer};
 use std::io::Write;
 use std::path::Path;
@@ -41,7 +41,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut session = match LiveSession::new(&source) {
+    let registry = Registry::new();
+    let mut session = match LiveSession::observed(
+        &source,
+        alive_core::system::SystemConfig::default(),
+        false,
+        &registry,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{path} does not start:\n{e}");
@@ -115,6 +121,7 @@ fn apply_save(
                 if full_repaint {
                     frame.reset();
                     header(path);
+                    println!("{}", metrics_line(session));
                 }
                 // A banner only accompanies a full repaint; the in-place
                 // patch path keeps the frame as the whole feedback.
@@ -131,6 +138,27 @@ fn mtime(path: &str) -> Option<SystemTime> {
 
 fn header(path: &str) {
     println!("── {path} (live) ──");
+}
+
+/// One-line metrics footer under the header: edit outcomes, frames
+/// rendered, and stage p50s from the session's metrics registry.
+fn metrics_line(session: &LiveSession) -> String {
+    use alive_live::metrics::names;
+    let snap = session.metrics_snapshot();
+    let p50 = |name: &str| {
+        snap.histogram(name)
+            .and_then(|h| h.p50_us())
+            .map_or_else(|| "-".to_string(), |us| format!("{us} µs"))
+    };
+    format!(
+        "edits {} ok / {} rejected / {} quarantined · frames {} · eval p50 {} · paint p50 {}",
+        snap.counter(names::EDITS_APPLIED),
+        snap.counter(names::EDITS_REJECTED),
+        snap.counter(names::EDITS_QUARANTINED),
+        snap.counter(names::FRAMES_RENDERED),
+        p50(names::FRAME_EVAL_US),
+        p50(names::FRAME_PAINT_US),
+    )
 }
 
 /// Paint a frame snapshot: banner (if degraded), then the box tree via
@@ -158,7 +186,9 @@ fn paint(snapshot: &FrameSnapshot, frame: &mut AnsiFramebuffer, with_banner: boo
 fn show(session: &mut LiveSession, path: &str, frame: &mut AnsiFramebuffer) {
     frame.reset();
     header(path);
-    for effect in session.apply(SessionCommand::Frame) {
+    let effects = session.apply(SessionCommand::Frame);
+    println!("{}", metrics_line(session));
+    for effect in effects {
         if let SessionEffect::Frame(snapshot) = effect {
             paint(&snapshot, frame, true);
         }

@@ -5,17 +5,25 @@
 //!
 //! Reports aggregate command throughput, session walks per second, and
 //! p50/p99 per-command latency at 1, 4, and `available_parallelism`
-//! workers to `BENCH_multisession.json`.
+//! workers to `BENCH_multisession.json` — together with the host's own
+//! [`MetricsSnapshot`] (wire form) and a metrics-on vs metrics-off
+//! overhead comparison at max workers: observability must cost ≤5% of
+//! p50 command latency (plus a small absolute epsilon against timer
+//! noise), or the bench fails.
 //!
 //! Env knobs (used by the CI smoke step):
 //! * `ALIVE_BENCH_SESSIONS` — K, default 16
 //! * `ALIVE_BENCH_COMMANDS` — M, default 200
 
-use alive_live::{LiveSession, SessionCommand, SessionEffect};
+use alive_live::{LiveSession, MetricsSnapshot, SessionCommand, SessionEffect};
 use alive_serve::{HostConfig, SessionHost};
 use alive_testkit::Rng;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Absolute slack (µs) for the overhead gate: below this, p50 deltas
+/// are timer granularity, not metrics cost.
+const OVERHEAD_EPSILON_US: u64 = 25;
 
 const APP_SRC: &str = r#"
 global score : number = 0
@@ -102,7 +110,19 @@ impl RunStats {
 /// synchronously (the latency of each apply is the user-visible
 /// round-trip). Asserts the byte-identity oracle before returning.
 fn run(workers: usize, k: usize, m: usize) -> RunStats {
-    let host = Arc::new(SessionHost::new(HostConfig::with_workers(workers)));
+    run_with_metrics(workers, k, m, true).0
+}
+
+fn run_with_metrics(
+    workers: usize,
+    k: usize,
+    m: usize,
+    metrics: bool,
+) -> (RunStats, MetricsSnapshot) {
+    let host = Arc::new(SessionHost::new(HostConfig {
+        metrics,
+        ..HostConfig::with_workers(workers)
+    }));
     let ids: Vec<_> = (0..k)
         .map(|_| host.create_session(APP_SRC).expect("app compiles"))
         .collect();
@@ -134,6 +154,9 @@ fn run(workers: usize, k: usize, m: usize) -> RunStats {
         latencies_us.extend(handle.join().expect("client thread"));
     }
     let seconds = started.elapsed().as_secs_f64().max(1e-9);
+    // Snapshot before the oracle replay below so the artifact reflects
+    // exactly the timed K×M load.
+    let snapshot = host.metrics_snapshot();
 
     // Byte-identity oracle: every hosted session's final frame equals a
     // solo session replaying the same command log.
@@ -157,12 +180,33 @@ fn run(workers: usize, k: usize, m: usize) -> RunStats {
     }
 
     latencies_us.sort_unstable();
-    RunStats {
-        workers,
-        seconds,
-        commands: k * m,
-        latencies_us,
+    (
+        RunStats {
+            workers,
+            seconds,
+            commands: k * m,
+            latencies_us,
+        },
+        snapshot,
+    )
+}
+
+/// Minimal JSON string escaping for the wire snapshot (names are
+/// registry-sanitized, so only newlines and the JSON specials occur).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 16);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
+    out
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -217,14 +261,48 @@ fn main() {
         eprintln!("WARNING: expected ≥2.5x speedup at {ncpu} workers, measured {speedup:.2}x");
     }
 
+    // Observability overhead gate at max workers: best-of-two p50 per
+    // arm (min absorbs one-off scheduling hiccups), metrics-on may cost
+    // at most 5% over metrics-off, modulo an absolute epsilon.
+    let p50_of = |metrics: bool| {
+        (0..2)
+            .map(|_| run_with_metrics(ncpu, k, m, metrics).0.percentile_us(0.50))
+            .min()
+            .unwrap_or(0)
+    };
+    let p50_off = p50_of(false);
+    let p50_on = p50_of(true);
+    let budget_us = (p50_off + p50_off / 20).max(p50_off + OVERHEAD_EPSILON_US);
+    eprintln!(
+        "metrics overhead at {ncpu} workers: p50 {p50_off} µs off -> {p50_on} µs on (budget {budget_us} µs)"
+    );
+    assert!(
+        p50_on <= budget_us,
+        "metrics overhead too high: p50 {p50_on} µs with metrics vs {p50_off} µs without \
+         (budget {budget_us} µs = +5% or +{OVERHEAD_EPSILON_US} µs)"
+    );
+
+    // One more instrumented pass to capture the host's own snapshot for
+    // the artifact (wire form, embedded as an escaped JSON string).
+    let (_, host_snapshot) = run_with_metrics(ncpu, k, m, true);
+    let cmd_latency = host_snapshot.histogram("host.cmd_latency_us");
+    let host_p50 = cmd_latency.and_then(|h| h.p50_us()).unwrap_or(0);
+    let host_p99 = cmd_latency.and_then(|h| h.p99_us()).unwrap_or(0);
+
     let body: Vec<String> = runs.iter().map(|r| r.to_json(k)).collect();
     let report = format!(
-        "{{\"sessions\":{},\"commands_per_session\":{},\"cpus\":{},\"speedup_at_max_workers\":{:.2},\"oracle\":\"byte-identical final frames vs solo replay\",\"runs\":[{}]}}\n",
+        "{{\"sessions\":{},\"commands_per_session\":{},\"cpus\":{},\"speedup_at_max_workers\":{:.2},\"oracle\":\"byte-identical final frames vs solo replay\",\"runs\":[{}],\"metrics_overhead\":{{\"p50_us_metrics_off\":{},\"p50_us_metrics_on\":{},\"budget_us\":{}}},\"host_metrics\":{{\"cmd_latency_p50_us\":{},\"cmd_latency_p99_us\":{},\"snapshot_wire\":\"{}\"}}}}\n",
         k,
         m,
         ncpu,
         speedup,
-        body.join(",")
+        body.join(","),
+        p50_off,
+        p50_on,
+        budget_us,
+        host_p50,
+        host_p99,
+        json_escape(&host_snapshot.to_wire()),
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_multisession.json");

@@ -56,6 +56,7 @@ pub mod fault;
 pub mod fixup;
 pub mod incremental;
 pub mod lower;
+pub mod metrics;
 pub mod persist;
 pub mod pretty;
 pub mod prim;
@@ -76,6 +77,7 @@ pub use event::{Event, EventQueue};
 pub use expr::{BoxSourceId, Expr, ExprKind};
 pub use fault::{Fault, FaultInjector, FaultKind, TransitionKind};
 pub use incremental::IncrementalCompiler;
+pub use metrics::SystemMetrics;
 pub use prim::Prim;
 pub use program::{Program, START_PAGE};
 pub use store::Store;

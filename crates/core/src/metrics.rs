@@ -1,0 +1,142 @@
+//! System-level metrics: pre-resolved [`alive_obs`] handles for the
+//! transition machine.
+//!
+//! [`SystemMetrics`] is resolved once from a [`Registry`] and installed
+//! into a [`crate::system::System`]; every transition then records with
+//! single relaxed atomic ops on shared cells — no name lookups, no
+//! locks on the hot path.
+//!
+//! Handles are `Arc`-shared across [`Clone`], deliberately: the system
+//! is cloned as a *transaction checkpoint* (and a quarantine keeps a
+//! checkpoint to restore), and a rolled-back transaction must keep its
+//! fault and rollback counts — exactly the semantics of the fault log,
+//! which also survives the rollback. Metrics count what *happened*, not
+//! what *persisted*.
+
+use alive_obs::{Counter, Registry};
+
+use crate::fault::FaultKind;
+use crate::system::StepKind;
+
+/// Metric names recorded by [`crate::system::System`]. Public so tests
+/// and dashboards reference the same strings the machine writes.
+pub mod names {
+    /// STARTUP transitions performed.
+    pub const TRANSITIONS_STARTUP: &str = "system.transitions.startup";
+    /// THUNK transitions performed (handler thunks executed).
+    pub const TRANSITIONS_THUNK: &str = "system.transitions.thunk";
+    /// PUSH transitions performed (page inits run).
+    pub const TRANSITIONS_PUSH: &str = "system.transitions.push";
+    /// POP transitions performed.
+    pub const TRANSITIONS_POP: &str = "system.transitions.pop";
+    /// RENDER transitions performed (including hooked renders).
+    pub const TRANSITIONS_RENDER: &str = "system.transitions.render";
+    /// Successful UPDATE transitions (live code swaps).
+    pub const UPDATES: &str = "system.updates";
+    /// Transactions rolled back by a contained fault.
+    pub const ROLLBACKS: &str = "system.rollbacks";
+    /// Contained faults in page init code.
+    pub const FAULTS_INIT: &str = "system.faults.init";
+    /// Contained faults in handler code.
+    pub const FAULTS_HANDLER: &str = "system.faults.handler";
+    /// Contained faults in render code.
+    pub const FAULTS_RENDER: &str = "system.faults.render";
+    /// Contained event-cascade overflows.
+    pub const FAULTS_CASCADE_OVERFLOW: &str = "system.faults.cascade_overflow";
+    /// Runaway cascades contained (queue dropped, display degraded).
+    pub const OVERFLOW_CONTAINMENTS: &str = "system.overflow_containments";
+    /// Display reassignments — reconciles exactly with
+    /// [`crate::system::System::display_generation`] when metrics are
+    /// installed at construction.
+    pub const DISPLAY_SETS: &str = "system.display_sets";
+}
+
+/// Pre-resolved counter handles for one system (shared by its clones).
+#[derive(Debug, Clone)]
+pub struct SystemMetrics {
+    transitions_startup: Counter,
+    transitions_thunk: Counter,
+    transitions_push: Counter,
+    transitions_pop: Counter,
+    transitions_render: Counter,
+    updates: Counter,
+    rollbacks: Counter,
+    faults_init: Counter,
+    faults_handler: Counter,
+    faults_render: Counter,
+    faults_cascade_overflow: Counter,
+    overflow_containments: Counter,
+    display_sets: Counter,
+}
+
+impl SystemMetrics {
+    /// Resolve every handle from `registry` (get-or-create by name).
+    pub fn new(registry: &Registry) -> Self {
+        SystemMetrics {
+            transitions_startup: registry.counter(names::TRANSITIONS_STARTUP),
+            transitions_thunk: registry.counter(names::TRANSITIONS_THUNK),
+            transitions_push: registry.counter(names::TRANSITIONS_PUSH),
+            transitions_pop: registry.counter(names::TRANSITIONS_POP),
+            transitions_render: registry.counter(names::TRANSITIONS_RENDER),
+            updates: registry.counter(names::UPDATES),
+            rollbacks: registry.counter(names::ROLLBACKS),
+            faults_init: registry.counter(names::FAULTS_INIT),
+            faults_handler: registry.counter(names::FAULTS_HANDLER),
+            faults_render: registry.counter(names::FAULTS_RENDER),
+            faults_cascade_overflow: registry.counter(names::FAULTS_CASCADE_OVERFLOW),
+            overflow_containments: registry.counter(names::OVERFLOW_CONTAINMENTS),
+            display_sets: registry.counter(names::DISPLAY_SETS),
+        }
+    }
+
+    /// Count one performed transition ([`StepKind::Stable`] is the
+    /// absence of a transition and is not counted).
+    pub(crate) fn record_transition(&self, kind: StepKind) {
+        match kind {
+            StepKind::Startup => self.transitions_startup.inc(),
+            StepKind::Thunk => self.transitions_thunk.inc(),
+            StepKind::Push => self.transitions_push.inc(),
+            StepKind::Pop => self.transitions_pop.inc(),
+            StepKind::Render => self.transitions_render.inc(),
+            StepKind::Stable => {}
+        }
+    }
+
+    /// Count one contained, rolled-back fault of `kind`.
+    pub(crate) fn record_fault(&self, kind: FaultKind) {
+        self.rollbacks.inc();
+        match kind {
+            FaultKind::Init => self.faults_init.inc(),
+            FaultKind::Handler => self.faults_handler.inc(),
+            FaultKind::Render => self.faults_render.inc(),
+            FaultKind::CascadeOverflow => self.faults_cascade_overflow.inc(),
+        }
+    }
+
+    /// Count one contained cascade overflow (the queue was dropped;
+    /// nothing was rolled back, so this is not a rollback).
+    pub(crate) fn record_overflow_containment(&self) {
+        self.overflow_containments.inc();
+        self.faults_cascade_overflow.inc();
+    }
+
+    /// Count one successful UPDATE.
+    pub(crate) fn record_update(&self) {
+        self.updates.inc();
+    }
+
+    /// Count one display reassignment.
+    pub(crate) fn record_display_set(&self) {
+        self.display_sets.inc();
+    }
+
+    /// Contained faults of `kind` recorded so far.
+    pub fn faults(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::Init => self.faults_init.get(),
+            FaultKind::Handler => self.faults_handler.get(),
+            FaultKind::Render => self.faults_render.get(),
+            FaultKind::CascadeOverflow => self.faults_cascade_overflow.get(),
+        }
+    }
+}

@@ -126,6 +126,10 @@ pub struct System {
     /// advances the same injection schedule. Mutex-guarded so a system
     /// (and its sessions) can move across host worker threads.
     injector: Option<Arc<Mutex<dyn FaultInjector>>>,
+    /// Observability handles, when a host installed them. Shared (not
+    /// forked) across [`Clone`] — a rolled-back transaction keeps its
+    /// fault counts, exactly like the fault log keeps its entries.
+    metrics: Option<crate::metrics::SystemMetrics>,
 }
 
 /// Lock an injector, recovering from poisoning: injector state is a
@@ -166,6 +170,7 @@ impl System {
             display_generation: 0,
             last_good: None,
             injector: None,
+            metrics: None,
         }
     }
 
@@ -179,6 +184,27 @@ impl System {
     /// Remove any installed fault injector.
     pub fn clear_fault_injector(&mut self) {
         self.injector = None;
+    }
+
+    /// Install pre-resolved observability handles. Recording is a
+    /// relaxed atomic op per event; without this call every record is
+    /// a no-op. Install *at construction* (before the first `step`) if
+    /// `system.display_sets` should reconcile exactly with
+    /// [`System::display_generation`].
+    pub fn set_metrics(&mut self, metrics: crate::metrics::SystemMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The installed observability handles, if any.
+    pub fn metrics(&self) -> Option<&crate::metrics::SystemMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Count one performed transition, when metrics are installed.
+    fn record_transition(&self, kind: StepKind) {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_transition(kind);
+        }
     }
 
     /// The configuration this system runs under.
@@ -216,6 +242,9 @@ impl System {
     fn set_display(&mut self, display: Display) {
         self.display = display;
         self.display_generation = self.display_generation.wrapping_add(1);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_display_set();
+        }
     }
 
     /// The store `S` (the model).
@@ -291,6 +320,9 @@ impl System {
         cost: Cost,
         fuel_limit: u64,
     ) -> Fault {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_fault(kind);
+        }
         Fault {
             kind,
             page,
@@ -332,6 +364,7 @@ impl System {
             self.set_display(Display::Invalid);
             self.queue
                 .enqueue(Event::Push(Arc::from(START_PAGE), Value::unit()));
+            self.record_transition(StepKind::Startup);
             return Ok(StepKind::Startup);
         }
         // (THUNK) / (PUSH) / (POP)
@@ -405,12 +438,16 @@ impl System {
                 Event::Pop => {
                     // (POP): pops the top page, or does nothing if empty.
                     self.page_stack.pop();
+                    self.record_transition(StepKind::Pop);
                     return Ok(StepKind::Pop);
                 }
             };
             self.cost.absorb(cost);
             return match result {
-                Ok(_) => Ok(kind),
+                Ok(_) => {
+                    self.record_transition(kind);
+                    Ok(kind)
+                }
                 Err(error) => {
                     // Roll the transaction back: the event is dropped,
                     // every side effect (store writes, enqueued events,
@@ -435,7 +472,10 @@ impl System {
             if let Some((page_name, _)) = self.page_stack.last() {
                 let page_name = page_name.clone();
                 return match self.render_transition(None) {
-                    Ok(()) => Ok(StepKind::Render),
+                    Ok(()) => {
+                        self.record_transition(StepKind::Render);
+                        Ok(StepKind::Render)
+                    }
                     Err((error, cost, fuel)) => {
                         self.degrade_display();
                         Err(self.fault(FaultKind::Render, Some(page_name), error, cost, fuel))
@@ -536,6 +576,9 @@ impl System {
     pub fn contain_overflow(&mut self) -> Fault {
         self.queue.clear();
         self.degrade_display();
+        if let Some(metrics) = &self.metrics {
+            metrics.record_overflow_containment();
+        }
         let page = self.page_stack.last().map(|(n, _)| n.clone());
         Fault {
             kind: FaultKind::CascadeOverflow,
@@ -665,6 +708,9 @@ impl System {
         self.widgets.clear();
         self.last_good = None;
         self.version += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_update();
+        }
         Ok(report)
     }
 
@@ -721,7 +767,10 @@ impl System {
         };
         let page_name = page_name.clone();
         match self.render_transition(Some(hook)) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                self.record_transition(StepKind::Render);
+                Ok(true)
+            }
             Err((error, cost, fuel)) => {
                 self.degrade_display();
                 Err(self.fault(FaultKind::Render, Some(page_name), error, cost, fuel))

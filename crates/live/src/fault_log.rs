@@ -6,7 +6,7 @@
 //! program cannot grow the session without limit — old entries are
 //! dropped, their count retained.
 
-use alive_core::Fault;
+use alive_core::{Fault, FaultKind};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -18,6 +18,19 @@ pub const FAULT_LOG_CAPACITY: usize = 32;
 pub struct FaultLog {
     entries: VecDeque<Fault>,
     dropped: u64,
+    /// Running totals per [`FaultKind`], never evicted — the bounded
+    /// window forgets *entries*, not *counts*, so metrics can reconcile
+    /// against the log exactly (see `crates/obs`'s invariant suite).
+    totals_by_kind: [u64; 4],
+}
+
+fn kind_index(kind: FaultKind) -> usize {
+    match kind {
+        FaultKind::Init => 0,
+        FaultKind::Handler => 1,
+        FaultKind::Render => 2,
+        FaultKind::CascadeOverflow => 3,
+    }
 }
 
 impl FaultLog {
@@ -33,6 +46,7 @@ impl FaultLog {
             self.entries.pop_front();
             self.dropped += 1;
         }
+        self.totals_by_kind[kind_index(fault.kind)] += 1;
         self.entries.push_back(fault);
     }
 
@@ -59,6 +73,11 @@ impl FaultLog {
     /// Total faults ever recorded, including evicted ones.
     pub fn total(&self) -> u64 {
         self.dropped + self.entries.len() as u64
+    }
+
+    /// Total faults of `kind` ever recorded, including evicted ones.
+    pub fn total_by_kind(&self, kind: FaultKind) -> u64 {
+        self.totals_by_kind[kind_index(kind)]
     }
 
     /// A one-line banner for display over the last good view, or `None`
@@ -127,6 +146,12 @@ mod tests {
             "oldest retained entry"
         );
         assert!(!log.is_empty(), "a log with evictions is not empty");
+        assert_eq!(
+            log.total_by_kind(FaultKind::Handler),
+            log.total(),
+            "per-kind totals survive eviction"
+        );
+        assert_eq!(log.total_by_kind(FaultKind::Render), 0);
         let banner = log.banner().expect("has faults");
         assert!(banner.starts_with('⚠'), "{banner}");
         assert!(banner.contains("faults total"), "{banner}");

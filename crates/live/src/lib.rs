@@ -55,6 +55,7 @@ pub mod editor;
 pub mod fault_log;
 pub mod manipulate;
 pub mod memo;
+pub mod metrics;
 pub mod navigation;
 pub mod pipeline;
 pub mod protocol;
@@ -65,12 +66,16 @@ pub use editor::{highlight_line, split_view, Selection, SplitViewOptions};
 pub use fault_log::{FaultLog, FAULT_LOG_CAPACITY};
 pub use manipulate::{attribute_edit, remove_attribute_edit, ManipulateError};
 pub use memo::{MemoCache, MemoStats, RenderDeps};
+pub use metrics::SessionMetrics;
 pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for_box};
 pub use pipeline::{FramePipeline, FrameStats};
 pub use protocol::{
-    format_frame_stats, parse_commands, FrameSnapshot, ProtocolParseError, SessionCommand,
-    SessionEffect,
+    format_frame_stats, format_metrics_snapshot, parse_commands, FrameSnapshot, ProtocolParseError,
+    SessionCommand, SessionEffect,
 };
+// Re-exported so frontends can attach observability without a direct
+// alive-obs dependency.
+pub use alive_obs::{ManualClock, MetricsSnapshot, Registry};
 pub use session::{EditOutcome, LiveSession, SessionError, UndoOutcome};
 pub use trace::{RecordingSession, SessionTrace, TraceEvent};
 

@@ -24,10 +24,11 @@
 //! drive random sessions asserting the identity at every step.
 
 use alive_core::boxtree::BoxNode;
+use alive_obs::{Clock, MonotonicClock};
 use alive_ui::{
     damage_rects, diff_displays, layout_incremental, LayoutCache, LayoutTree, TextFrame,
 };
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Observability counters for the frame pipeline, covering every reuse
 /// layer: evaluation (memo), layout (measure cache), paint (damage) and
@@ -54,6 +55,10 @@ pub struct FrameStats {
     pub cells_total: u64,
     /// Whether the last frame was a partial (damage-driven) repaint.
     pub partial: bool,
+    /// Microseconds spent settling the system (evaluation) before the
+    /// last frame. Zero here; [`crate::LiveSession`] stamps it, like
+    /// the `eval_*` counters.
+    pub eval_us: u64,
     /// Microseconds spent in layout last frame.
     pub layout_us: u64,
     /// Microseconds spent in paint last frame.
@@ -95,19 +100,41 @@ fn ratio(part: u64, whole: u64) -> f64 {
 /// always the full paint of the previous tree and the previous tree is
 /// always the layout of the previous root — the consistency the partial
 /// repaint path relies on.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FramePipeline {
     cache: LayoutCache,
     frame: TextFrame,
     prev: Option<(BoxNode, LayoutTree)>,
     view: Option<(u64, String)>,
     stats: FrameStats,
+    /// Stage timings are taken against this clock — the real monotonic
+    /// clock by default, an injected [`alive_obs::ManualClock`] in
+    /// deterministic metrics tests.
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for FramePipeline {
+    fn default() -> Self {
+        FramePipeline {
+            cache: LayoutCache::default(),
+            frame: TextFrame::default(),
+            prev: None,
+            view: None,
+            stats: FrameStats::default(),
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
 }
 
 impl FramePipeline {
     /// An empty pipeline; the first frame is always rendered in full.
     pub fn new() -> Self {
         FramePipeline::default()
+    }
+
+    /// Replace the clock the stage timings are taken against.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// The observability counters (last frame + lifetime totals). The
@@ -141,11 +168,11 @@ impl FramePipeline {
                 return text.clone();
             }
         }
-        let layout_start = Instant::now();
+        let layout_start = self.clock.now_us();
         let (tree, layout_stats) = layout_incremental(&mut self.cache, root);
-        let layout_us = instant_us(layout_start);
+        let layout_us = self.clock.now_us().saturating_sub(layout_start);
 
-        let paint_start = Instant::now();
+        let paint_start = self.clock.now_us();
         let mut partial = false;
         let text = match &self.prev {
             Some((prev_root, prev_tree)) => {
@@ -162,7 +189,7 @@ impl FramePipeline {
             }
             None => self.frame.render_full(&tree),
         };
-        let paint_us = instant_us(paint_start);
+        let paint_us = self.clock.now_us().saturating_sub(paint_start);
 
         let size = tree.size();
         self.stats.frames += 1;
@@ -180,10 +207,6 @@ impl FramePipeline {
         self.view = Some((generation, text.clone()));
         text
     }
-}
-
-fn instant_us(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use alive_core::boxtree::BoxNode;
 use alive_core::fixup::FixupReport;
 use alive_core::persist::LoadReport;
 use alive_core::Fault;
+use alive_obs::MetricsSnapshot;
 use alive_syntax::Diagnostics;
 use std::fmt;
 use std::sync::Arc;
@@ -69,6 +70,11 @@ pub enum SessionCommand {
     /// Ask for frame-pipeline reuse statistics (settles and renders
     /// first, so the counters describe the current frame).
     Stats,
+    /// Ask for a [`MetricsSnapshot`] of every metric the session (and
+    /// its system) has recorded. Settles first, so the counters
+    /// reconcile with the session's observable history (fault log,
+    /// update counts, display generation).
+    Metrics,
     /// Snapshot the model (persistent data) to its text format.
     Snapshot,
     /// Restore a model snapshot against the current code.
@@ -131,6 +137,9 @@ pub enum SessionEffect {
     Source(String),
     /// Frame-pipeline statistics for the current frame.
     Stats(FrameStats),
+    /// A metrics snapshot (empty when the session has no registry
+    /// attached — metrics are an opt-in, never an error).
+    Metrics(MetricsSnapshot),
     /// A model snapshot in its text format.
     Snapshot(String),
     /// A snapshot was restored; entries that no longer type-check were
@@ -148,6 +157,9 @@ impl LiveSession {
     /// [`SessionEffect::Frame`], so one round-trip always leaves the
     /// observer with the current view.
     pub fn apply(&mut self, command: SessionCommand) -> Vec<SessionEffect> {
+        if let Some(metrics) = self.metrics() {
+            metrics.record_command();
+        }
         match command {
             SessionCommand::Frame => vec![SessionEffect::Frame(self.frame_snapshot())],
             SessionCommand::TapAt { x, y } => match self.tap_at(x, y) {
@@ -196,6 +208,13 @@ impl LiveSession {
                 self.live_view();
                 vec![SessionEffect::Stats(self.frame_stats())]
             }
+            SessionCommand::Metrics => {
+                // Settle (containing any pending faults) so the
+                // snapshot reconciles with the session's history; no
+                // render, so the query doesn't perturb frame metrics.
+                self.refresh();
+                vec![SessionEffect::Metrics(self.metrics_snapshot())]
+            }
             SessionCommand::Snapshot => match self.system().snapshot() {
                 Ok(snapshot) => vec![SessionEffect::Snapshot(snapshot)],
                 Err(e) => vec![SessionEffect::Refused(e.to_string())],
@@ -240,7 +259,7 @@ pub fn format_frame_stats(stats: &FrameStats) -> String {
          \x20 eval reuse:   {:>5.1}%  ({} hits, {} misses)\n\
          \x20 layout reuse: {:>5.1}%  ({} measured, {} reused)\n\
          \x20 repaint:      {:>5.1}%  ({} of {} cells, {})\n\
-         \x20 stage time:   layout {} µs, paint {} µs\n\
+         \x20 stage time:   eval {} µs, layout {} µs, paint {} µs\n\
          \x20 lifetime:     {} frames rendered, {} view-memo hits",
         stats.eval_reuse() * 100.0,
         stats.eval_hits,
@@ -256,11 +275,52 @@ pub fn format_frame_stats(stats: &FrameStats) -> String {
         } else {
             "full frame"
         },
+        stats.eval_us,
         stats.layout_us,
         stats.paint_us,
         stats.frames,
         stats.view_hits,
     )
+}
+
+/// Render a [`MetricsSnapshot`] in the standard human-readable form
+/// shared by frontends (the repl's `:metrics`, the watch footer).
+/// Deterministic: `BTreeMap` order, fixed quantiles. An empty snapshot
+/// (no registry attached, or nothing recorded yet) says so.
+pub fn format_metrics_snapshot(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.is_empty() {
+        return "metrics: (none recorded — session has no registry attached)".to_string();
+    }
+    let mut out = String::from("metrics snapshot:");
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n  counters:");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("\n    {name:<32} {value}"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n  gauges:");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("\n    {name:<32} {value}"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n  histograms:");
+        for (name, h) in &snapshot.histograms {
+            let quantile = |q: Option<u64>| match q {
+                Some(v) => v.to_string(),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "\n    {name:<32} count={} p50={} p90={} p99={}",
+                h.count,
+                quantile(h.p50_us()),
+                quantile(h.p90_us()),
+                quantile(h.p99_us()),
+            ));
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -326,6 +386,7 @@ impl SessionCommand {
             SessionCommand::Redo => out.push_str("redo\n"),
             SessionCommand::Source => out.push_str("source\n"),
             SessionCommand::Stats => out.push_str("stats\n"),
+            SessionCommand::Metrics => out.push_str("metrics\n"),
             SessionCommand::Snapshot => out.push_str("snapshot\n"),
             SessionCommand::Restore(snapshot) => push_block(&mut out, "restore", snapshot),
         }
@@ -415,6 +476,7 @@ pub fn parse_commands(text: &str) -> Result<Vec<SessionCommand>, ProtocolParseEr
             "redo" => SessionCommand::Redo,
             "source" => SessionCommand::Source,
             "stats" => SessionCommand::Stats,
+            "metrics" => SessionCommand::Metrics,
             "snapshot" => SessionCommand::Snapshot,
             "restore" => {
                 let (payload, len) = take_block(after)?;
@@ -528,6 +590,12 @@ impl SessionEffect {
                 out.push_str(&format_frame_stats(stats));
                 out.push('\n');
             }
+            SessionEffect::Metrics(snapshot) => {
+                // The payload is the snapshot's own wire form, carried
+                // as a length-prefixed block like views and sources —
+                // `MetricsSnapshot::parse_wire` recovers it losslessly.
+                push_block(&mut out, "metrics", &snapshot.to_wire());
+            }
             SessionEffect::Snapshot(snapshot) => push_block(&mut out, "snapshot", snapshot),
             SessionEffect::Restored(report) => {
                 out.push_str(&format!("restored skipped={}\n", report.skipped.len()));
@@ -575,6 +643,7 @@ page start() {
             SessionCommand::Redo,
             SessionCommand::Source,
             SessionCommand::Stats,
+            SessionCommand::Metrics,
             SessionCommand::Snapshot,
             SessionCommand::Restore("#alive-store v1\n".to_string()),
             SessionCommand::Restore("garbage".to_string()),
@@ -676,6 +745,7 @@ page start() {
             SessionCommand::Redo,
             SessionCommand::Source,
             SessionCommand::Stats,
+            SessionCommand::Metrics,
             SessionCommand::Snapshot,
             SessionCommand::Restore("#alive-store v1\nnum count 3\n".to_string()),
         ];

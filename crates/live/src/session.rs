@@ -25,11 +25,14 @@
 
 use crate::fault_log::FaultLog;
 use crate::memo::{MemoCache, MemoStats};
+use crate::metrics::SessionMetrics;
 use crate::pipeline::{FramePipeline, FrameStats};
 use alive_core::boxtree::{BoxNode, Display};
 use alive_core::fixup::FixupReport;
+use alive_core::metrics::SystemMetrics;
 use alive_core::system::{ActionError, StepKind, System, SystemConfig};
 use alive_core::{compile, Fault, IncrementalCompiler};
+use alive_obs::{Clock, MetricsSnapshot, MonotonicClock, Registry};
 use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
 use alive_ui::Point;
 use std::sync::Arc;
@@ -112,6 +115,15 @@ pub struct LiveSession {
     /// Layout + paint reuse across frames (always on: byte-identical to
     /// from-scratch rendering by construction).
     pipeline: FramePipeline,
+    /// Observability handles, when a registry was attached at
+    /// construction ([`LiveSession::with_shared_program_observed`]).
+    metrics: Option<SessionMetrics>,
+    /// The clock frame timings are taken against — the registry's clock
+    /// when metrics are attached, the real monotonic clock otherwise.
+    clock: Arc<dyn Clock>,
+    /// µs the system spent settling (evaluation) before the last
+    /// rendered frame; stamped into [`FrameStats::eval_us`].
+    last_eval_us: u64,
 }
 
 impl LiveSession {
@@ -166,10 +178,36 @@ impl LiveSession {
         config: SystemConfig,
         memo: bool,
     ) -> Self {
+        Self::with_shared_program_observed(source, program, config, memo, None)
+    }
+
+    /// [`LiveSession::with_shared_program`] with observability: when a
+    /// [`Registry`] is given, system- and session-level metrics are
+    /// resolved from it and every frame timing runs on its clock (a
+    /// [`alive_obs::ManualClock`] makes the whole session's metrics
+    /// deterministic). Attaching at construction — before the first
+    /// transition — is what lets `system.display_sets` reconcile
+    /// exactly with [`System::display_generation`].
+    pub fn with_shared_program_observed(
+        source: &str,
+        program: Arc<alive_core::Program>,
+        config: SystemConfig,
+        memo: bool,
+        registry: Option<&Registry>,
+    ) -> Self {
         let memo = memo.then(|| MemoCache::new(&program));
+        let mut system = System::with_shared_program(program, config);
+        let mut pipeline = FramePipeline::new();
+        let mut clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let metrics = registry.map(|registry| {
+            system.set_metrics(SystemMetrics::new(registry));
+            clock = registry.clock();
+            pipeline.set_clock(registry.clock());
+            SessionMetrics::new(registry)
+        });
         let mut session = LiveSession {
             source: source.to_string(),
-            system: System::with_shared_program(program, config),
+            system,
             memo,
             updates_applied: 0,
             updates_rejected: 0,
@@ -177,10 +215,35 @@ impl LiveSession {
             undo_stack: Vec::new(),
             redo_stack: Vec::new(),
             faults: FaultLog::new(),
-            pipeline: FramePipeline::new(),
+            pipeline,
+            metrics,
+            clock,
+            last_eval_us: 0,
         };
         session.refresh();
         session
+    }
+
+    /// Start an observed session from source text: compile, then
+    /// [`LiveSession::with_shared_program_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation diagnostics if the program is ill-formed.
+    pub fn observed(
+        source: &str,
+        config: SystemConfig,
+        memo: bool,
+        registry: &Registry,
+    ) -> Result<Self, SessionError> {
+        let program = compile(source).map_err(SessionError::Compile)?;
+        Ok(Self::with_shared_program_observed(
+            source,
+            Arc::new(program),
+            config,
+            memo,
+            Some(registry),
+        ))
     }
 
     /// The current source text.
@@ -214,11 +277,29 @@ impl LiveSession {
     /// view memo) plus per-stage timings.
     pub fn frame_stats(&self) -> FrameStats {
         let mut stats = self.pipeline.stats();
+        stats.eval_us = self.last_eval_us;
         if let Some(memo) = self.memo_stats() {
             stats.eval_hits = memo.hits;
             stats.eval_misses = memo.misses;
         }
         stats
+    }
+
+    /// The session's observability handles, when a registry was
+    /// attached at construction.
+    pub fn metrics(&self) -> Option<&SessionMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// A point-in-time copy of every metric the session (and its
+    /// system) has recorded — what [`crate::SessionCommand::Metrics`]
+    /// answers with. Empty when no registry is attached: metrics are
+    /// an opt-in, never an error.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .as_ref()
+            .map(|metrics| metrics.registry().snapshot())
+            .unwrap_or_default()
     }
 
     /// The log of contained faults.
@@ -333,6 +414,14 @@ impl LiveSession {
     /// [`UndoOutcome::Quarantined`] if the undone code faulted against
     /// the current model (the session is unchanged in that case).
     pub fn undo(&mut self) -> UndoOutcome {
+        let outcome = self.undo_inner();
+        if let Some(metrics) = &self.metrics {
+            metrics.record_history(&outcome);
+        }
+        outcome
+    }
+
+    fn undo_inner(&mut self) -> UndoOutcome {
         let Some(previous) = self.undo_stack.pop() else {
             return UndoOutcome::NothingToUndo;
         };
@@ -360,6 +449,14 @@ impl LiveSession {
     /// Redo the most recently undone edit. Same outcomes as
     /// [`LiveSession::undo`].
     pub fn redo(&mut self) -> UndoOutcome {
+        let outcome = self.redo_inner();
+        if let Some(metrics) = &self.metrics {
+            metrics.record_history(&outcome);
+        }
+        outcome
+    }
+
+    fn redo_inner(&mut self) -> UndoOutcome {
         let Some(next) = self.redo_stack.pop() else {
             return UndoOutcome::NothingToUndo;
         };
@@ -382,6 +479,16 @@ impl LiveSession {
     }
 
     fn swap_source(&mut self, new_source: &str) -> EditOutcome {
+        let outcome = self.swap_source_inner(new_source);
+        // Mirrors `update_counts` exactly: metrics `applied` tracks the
+        // applied count; `rejected + quarantined` the rejected count.
+        if let Some(metrics) = &self.metrics {
+            metrics.record_edit(&outcome);
+        }
+        outcome
+    }
+
+    fn swap_source_inner(&mut self, new_source: &str) -> EditOutcome {
         let program = match self.compiler.compile(new_source) {
             Ok(p) => p,
             Err(diags) => {
@@ -473,13 +580,28 @@ impl LiveSession {
     /// faulting program yields the last good view; a session with no
     /// good view at all yields a placeholder naming the fault.
     pub fn live_view(&mut self) -> String {
+        let eval_start = self.clock.now_us();
         self.refresh();
+        let eval_us = self.clock.now_us().saturating_sub(eval_start);
         let generation = self.system.display_generation();
         match self.system.display().content() {
             // The pipeline reuses everything the display left unchanged:
             // an identical generation returns the memoized string; a new
             // tree pays incremental layout + damage-driven repaint only.
-            Some(root) => self.pipeline.render(generation, root),
+            Some(root) => {
+                let frames_before = self.pipeline.stats().frames;
+                let text = self.pipeline.render(generation, root);
+                if self.pipeline.stats().frames > frames_before {
+                    // A frame was actually rendered (not a view-memo
+                    // hit): stamp the settle time and feed the stage
+                    // timings into the histograms.
+                    self.last_eval_us = eval_us;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_frame(&self.frame_stats());
+                    }
+                }
+                text
+            }
             None => match self.faults.latest() {
                 Some(fault) => format!("(no view: {fault})\n"),
                 None => "(no view)\n".to_string(),

@@ -295,6 +295,24 @@ impl RecordingSession {
         })
     }
 
+    /// Start a recording session whose metrics resolve from `registry`
+    /// (default config, no memo) — see [`LiveSession::observed`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveSession::new`].
+    pub fn observed(source: &str, registry: &alive_obs::Registry) -> Result<Self, SessionError> {
+        Ok(RecordingSession {
+            session: LiveSession::observed(
+                source,
+                alive_core::system::SystemConfig::default(),
+                false,
+                registry,
+            )?,
+            trace: SessionTrace::new(source),
+        })
+    }
+
     /// The underlying session (read-only; mutations must go through the
     /// recording wrappers or they would escape the trace).
     pub fn session(&self) -> &LiveSession {

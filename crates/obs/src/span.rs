@@ -1,0 +1,156 @@
+//! A bounded ring-buffer span/event log.
+//!
+//! Spans are the "what just happened" companion to the metrics'
+//! "how much has happened": a fixed-capacity window of recent timed
+//! operations (name, start µs, duration µs) plus point events. The
+//! buffer never grows — old records are evicted and counted, the same
+//! discipline as `alive-live`'s `FaultLog` — so it is safe to leave on
+//! in a host serving many sessions.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::clock::Clock;
+
+/// One completed span or instant event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static label, e.g. `"frame.eval"` or `"host.drain"`.
+    pub name: &'static str,
+    /// Clock reading when the span opened.
+    pub start_us: u64,
+    /// Elapsed µs (0 for instant events).
+    pub duration_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpanBuffer {
+    records: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// A bounded, shareable log of recent spans.
+#[derive(Debug, Clone)]
+pub struct SpanLog {
+    buffer: Arc<Mutex<SpanBuffer>>,
+    capacity: usize,
+}
+
+impl SpanLog {
+    /// A log keeping the most recent `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            buffer: Arc::new(Mutex::new(SpanBuffer::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Poison recovery: a panicked writer leaves at worst a missing
+    /// record, and losing the span window is never worth killing the
+    /// host (same policy as `alive-serve`'s locks).
+    fn lock(&self) -> MutexGuard<'_, SpanBuffer> {
+        match self.buffer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Append a completed record, evicting the oldest at capacity.
+    pub fn push(&self, record: SpanRecord) {
+        let mut buf = self.lock();
+        if buf.records.len() == self.capacity {
+            buf.records.pop_front();
+            buf.dropped = buf.dropped.saturating_add(1);
+        }
+        buf.records.push_back(record);
+    }
+
+    /// Record an instant event (zero duration) at `clock`'s now.
+    pub fn event(&self, clock: &dyn Clock, name: &'static str) {
+        self.push(SpanRecord {
+            name,
+            start_us: clock.now_us(),
+            duration_us: 0,
+        });
+    }
+
+    /// Time a closure against `clock` and log it as `name`.
+    pub fn time<T>(&self, clock: &dyn Clock, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = clock.now_us();
+        let out = f();
+        self.push(SpanRecord {
+            name,
+            start_us: start,
+            duration_us: clock.now_us().saturating_sub(start),
+        });
+        out
+    }
+
+    /// Copy of the current window, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.lock().records.iter().cloned().collect()
+    }
+
+    /// Records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    /// True when nothing has been logged (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.lock().records.is_empty()
+    }
+
+    /// Maximum records held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        // Matches FaultLog's window: enough to see a recent episode,
+        // small enough to forget about.
+        SpanLog::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let log = SpanLog::new(2);
+        for i in 0..5u64 {
+            log.push(SpanRecord {
+                name: "tick",
+                start_us: i,
+                duration_us: 0,
+            });
+        }
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].start_us, 3);
+        assert_eq!(records[1].start_us, 4);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn time_measures_with_injected_clock() {
+        let clock = ManualClock::with_auto_step(11);
+        let log = SpanLog::new(4);
+        let got = log.time(&clock, "work", || 42);
+        assert_eq!(got, 42);
+        let records = log.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "work");
+        assert_eq!(records[0].duration_us, 11);
+    }
+}

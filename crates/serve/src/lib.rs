@@ -37,6 +37,7 @@ use alive_core::compile;
 use alive_core::system::SystemConfig;
 use alive_core::Program;
 use alive_live::{FrameSnapshot, LiveSession, SessionCommand, SessionEffect};
+use alive_obs::{Clock, Counter, Gauge, Histogram, MetricsSnapshot, MonotonicClock, Registry};
 use alive_syntax::Diagnostics;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -45,6 +46,63 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Metric names recorded by the host itself. Per-session names
+/// (`session.*`, `system.*`, `frame.*`) are documented by
+/// `alive_live::metrics::names` and `alive_core::metrics::names`; the
+/// `host.*` names below cover what only the host can see: queueing,
+/// worker utilization, and the program cache.
+pub mod names {
+    /// µs applying one command inside a worker, recorded per session
+    /// (histograms add bucket-wise in the host snapshot).
+    pub const CMD_LATENCY_US: &str = "host.cmd_latency_us";
+    /// High-water mark of one session's mailbox depth (gauges keep the
+    /// max in the host snapshot: the deepest mailbox ever seen).
+    pub const MAILBOX_DEPTH_HWM: &str = "host.mailbox_depth_hwm";
+    /// High-water mark of the ready queue (sessions awaiting a worker).
+    pub const READY_QUEUE_HWM: &str = "host.ready_queue_hwm";
+    /// Total µs workers spent draining session mailboxes.
+    pub const WORKER_BUSY_US: &str = "host.worker_busy_us";
+    /// Total µs workers spent waiting for ready sessions.
+    pub const WORKER_IDLE_US: &str = "host.worker_idle_us";
+    /// Program-cache lookups answered without compiling.
+    pub const PROGRAM_CACHE_HITS: &str = "host.program_cache.hits";
+    /// Program-cache lookups that compiled a new version.
+    pub const PROGRAM_CACHE_MISSES: &str = "host.program_cache.misses";
+    /// Sessions created over the host's lifetime.
+    pub const SESSIONS_CREATED: &str = "host.sessions_created";
+}
+
+/// Pre-resolved host-level handles. Session-level metrics live in each
+/// session's own [`Registry`] (see [`Slot`]); everything here is what
+/// only the host can observe.
+#[derive(Debug, Clone)]
+struct HostMetrics {
+    registry: Registry,
+    clock: Arc<dyn Clock>,
+    ready_queue_hwm: Gauge,
+    worker_busy_us: Counter,
+    worker_idle_us: Counter,
+    program_cache_hits: Counter,
+    program_cache_misses: Counter,
+    sessions_created: Counter,
+}
+
+impl HostMetrics {
+    fn new(clock: Arc<dyn Clock>) -> Self {
+        let registry = Registry::with_clock(Arc::clone(&clock));
+        HostMetrics {
+            ready_queue_hwm: registry.gauge(names::READY_QUEUE_HWM),
+            worker_busy_us: registry.counter(names::WORKER_BUSY_US),
+            worker_idle_us: registry.counter(names::WORKER_IDLE_US),
+            program_cache_hits: registry.counter(names::PROGRAM_CACHE_HITS),
+            program_cache_misses: registry.counter(names::PROGRAM_CACHE_MISSES),
+            sessions_created: registry.counter(names::SESSIONS_CREATED),
+            clock,
+            registry,
+        }
+    }
+}
 
 /// Identifies one hosted session for the lifetime of the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +123,10 @@ pub struct HostConfig {
     pub system: SystemConfig,
     /// Whether hosted sessions enable the §5 render memo cache.
     pub memo: bool,
+    /// Whether the host records metrics (host-level and per-session).
+    /// Off, no [`Registry`] exists anywhere: sessions run exactly as
+    /// before this field did — the bench's baseline arm.
+    pub metrics: bool,
 }
 
 impl Default for HostConfig {
@@ -73,6 +135,7 @@ impl Default for HostConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             system: SystemConfig::default(),
             memo: false,
+            metrics: true,
         }
     }
 }
@@ -137,6 +200,13 @@ struct Slot {
     scheduled: AtomicBool,
     /// The most recent settled frame, whole-or-nothing for observers.
     latest: Mutex<Option<Arc<FrameSnapshot>>>,
+    /// The session's registry — the same one its `LiveSession` records
+    /// into, so `SessionCommand::Metrics` and host snapshots agree.
+    /// `None` when the host runs with metrics disabled.
+    registry: Option<Registry>,
+    /// Pre-resolved per-session handles (see [`names`]).
+    cmd_latency: Option<Histogram>,
+    mailbox_depth_hwm: Option<Gauge>,
 }
 
 impl Slot {
@@ -160,11 +230,31 @@ struct HostInner {
     shutdown: AtomicBool,
     config: HostConfig,
     next_id: AtomicU64,
+    /// Host-level metric handles; `None` disables recording everywhere.
+    metrics: Option<HostMetrics>,
+    /// Sessions currently in the ready queue — maintained only when
+    /// metrics are on, to feed the ready-queue high-water gauge.
+    ready_len: AtomicU64,
 }
 
 impl HostInner {
     fn slot(&self, id: u64) -> Option<Arc<Slot>> {
         lock(&self.slots).get(&id).cloned()
+    }
+
+    /// Send a session to the ready queue, tracking its length high-water
+    /// mark. Every ready send must go through here so the gauge and the
+    /// `ready_len` counter stay paired with the worker-side decrement.
+    fn enqueue_ready(&self, id: u64) {
+        if let Some(metrics) = &self.metrics {
+            let len = self.ready_len.fetch_add(1, Ordering::AcqRel) + 1;
+            metrics
+                .ready_queue_hwm
+                .observe_max(i64::try_from(len).unwrap_or(i64::MAX));
+        }
+        // The workers only disconnect on shutdown; a failed send
+        // surfaces as `Stopped` when the ticket is waited on.
+        let _ = self.ready_tx.send(id);
     }
 
     /// Drain one session's mailbox to empty, then park the session.
@@ -176,10 +266,17 @@ impl HostInner {
             slot.scheduled.store(false, Ordering::Release);
             return;
         };
+        let clock = slot.registry.as_ref().map(Registry::clock);
         loop {
             let envelope = lock(&slot.mailbox).pop_front();
             let Some(envelope) = envelope else { break };
+            let started = clock.as_ref().map(|clock| clock.now_us());
             let effects = session.apply(envelope.command);
+            if let (Some(latency), Some(clock), Some(started)) =
+                (&slot.cmd_latency, &clock, started)
+            {
+                latency.record(clock.now_us().saturating_sub(started));
+            }
             // Publish the last frame among the effects: observers see
             // whole settled frames, in per-session order.
             if let Some(frame) = effects.iter().rev().find_map(|effect| match effect {
@@ -197,19 +294,38 @@ impl HostInner {
         // the final pop and the flag store saw `scheduled == true` and
         // did not enqueue — re-enqueue on its behalf.
         if !lock(&slot.mailbox).is_empty() && slot.try_schedule() {
-            let _ = self.ready_tx.send(id);
+            self.enqueue_ready(id);
         }
     }
 }
 
 fn worker_loop(inner: &HostInner) {
+    let clock = inner.metrics.as_ref().map(|m| Arc::clone(&m.clock));
     loop {
+        let wait_started = clock.as_ref().map(|clock| clock.now_us());
         let next = {
             let rx = lock(&inner.ready_rx);
             rx.recv_timeout(Duration::from_millis(20))
         };
+        if let (Some(metrics), Some(clock), Some(started)) = (&inner.metrics, &clock, wait_started)
+        {
+            metrics
+                .worker_idle_us
+                .add(clock.now_us().saturating_sub(started));
+        }
         match next {
-            Ok(id) => inner.drain_session(id),
+            Ok(id) => {
+                if let (Some(metrics), Some(clock)) = (&inner.metrics, &clock) {
+                    inner.ready_len.fetch_sub(1, Ordering::AcqRel);
+                    let started = clock.now_us();
+                    inner.drain_session(id);
+                    metrics
+                        .worker_busy_us
+                        .add(clock.now_us().saturating_sub(started));
+                } else {
+                    inner.drain_session(id);
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
@@ -258,7 +374,30 @@ impl fmt::Debug for SessionHost {
 
 impl SessionHost {
     /// Start a host with the given configuration (spawns the workers).
+    /// When `config.metrics` is on, metrics run against real monotonic
+    /// time; see [`SessionHost::with_clock`] for deterministic tests.
     pub fn new(config: HostConfig) -> Self {
+        let clock: Option<Arc<dyn Clock>> = config
+            .metrics
+            .then(|| Arc::new(MonotonicClock::new()) as Arc<dyn Clock>);
+        SessionHost::start(config, clock)
+    }
+
+    /// Start a host whose metrics (host-level and per-session) all time
+    /// against `clock` — an [`alive_obs::ManualClock`] with an auto-step
+    /// makes every duration and snapshot deterministic. Implies
+    /// `config.metrics = true`.
+    pub fn with_clock(config: HostConfig, clock: Arc<dyn Clock>) -> Self {
+        SessionHost::start(
+            HostConfig {
+                metrics: true,
+                ..config
+            },
+            Some(clock),
+        )
+    }
+
+    fn start(config: HostConfig, clock: Option<Arc<dyn Clock>>) -> Self {
         let workers = config.workers.max(1);
         let (ready_tx, ready_rx) = mpsc::channel();
         let inner = Arc::new(HostInner {
@@ -270,6 +409,8 @@ impl SessionHost {
             shutdown: AtomicBool::new(false),
             config: HostConfig { workers, ..config },
             next_id: AtomicU64::new(1),
+            metrics: clock.map(HostMetrics::new),
+            ready_len: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -313,6 +454,9 @@ impl SessionHost {
     /// [`HostError::Compile`] with the program's diagnostics.
     pub fn program_for(&self, source: &str) -> Result<Arc<Program>, HostError> {
         if let Some(program) = lock(&self.inner.programs).get(source) {
+            if let Some(metrics) = &self.inner.metrics {
+                metrics.program_cache_hits.inc();
+            }
             return Ok(Arc::clone(program));
         }
         // Compile outside the lock: other sessions keep being served
@@ -321,6 +465,9 @@ impl SessionHost {
         // same program by value).
         let program = Arc::new(compile(source).map_err(HostError::Compile)?);
         self.inner.compiles.fetch_add(1, Ordering::AcqRel);
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.program_cache_misses.inc();
+        }
         Ok(Arc::clone(
             lock(&self.inner.programs)
                 .entry(source.to_string())
@@ -338,12 +485,24 @@ impl SessionHost {
     /// [`HostError::Compile`] if the source does not compile.
     pub fn create_session(&self, source: &str) -> Result<SessionId, HostError> {
         let program = self.program_for(source)?;
-        let mut session = LiveSession::with_shared_program(
+        // Each session gets its own registry on the host's clock, so
+        // per-session snapshots are independent and the host snapshot
+        // is their merge — counters sum exactly across sessions.
+        let registry = self
+            .inner
+            .metrics
+            .as_ref()
+            .map(|metrics| Registry::with_clock(Arc::clone(&metrics.clock)));
+        let mut session = LiveSession::with_shared_program_observed(
             source,
             program,
             self.inner.config.system,
             self.inner.config.memo,
+            registry.as_ref(),
         );
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.sessions_created.inc();
+        }
         let first = Arc::new(session.frame_snapshot());
         let id = self.inner.next_id.fetch_add(1, Ordering::AcqRel);
         let slot = Arc::new(Slot {
@@ -351,6 +510,13 @@ impl SessionHost {
             session: Mutex::new(Some(session)),
             scheduled: AtomicBool::new(false),
             latest: Mutex::new(Some(first)),
+            cmd_latency: registry
+                .as_ref()
+                .map(|registry| registry.histogram(names::CMD_LATENCY_US)),
+            mailbox_depth_hwm: registry
+                .as_ref()
+                .map(|registry| registry.gauge(names::MAILBOX_DEPTH_HWM)),
+            registry,
         });
         lock(&self.inner.slots).insert(id, slot);
         Ok(SessionId(id))
@@ -384,11 +550,15 @@ impl SessionHost {
     ) -> Result<EffectTicket, HostError> {
         let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
         let (reply, rx) = mpsc::channel();
-        lock(&slot.mailbox).push_back(Envelope { command, reply });
+        {
+            let mut mailbox = lock(&slot.mailbox);
+            mailbox.push_back(Envelope { command, reply });
+            if let Some(gauge) = &slot.mailbox_depth_hwm {
+                gauge.observe_max(i64::try_from(mailbox.len()).unwrap_or(i64::MAX));
+            }
+        }
         if slot.try_schedule() {
-            // The workers only disconnect on shutdown; a failed send
-            // surfaces as `Stopped` when the ticket is waited on.
-            let _ = self.inner.ready_tx.send(id.0);
+            self.inner.enqueue_ready(id.0);
         }
         Ok(EffectTicket { rx })
     }
@@ -420,6 +590,50 @@ impl SessionHost {
         let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
         let frame = lock(&slot.latest).clone();
         Ok(frame)
+    }
+
+    /// Whether this host records metrics.
+    pub fn metrics_enabled(&self) -> bool {
+        self.inner.metrics.is_some()
+    }
+
+    /// One hosted session's metrics snapshot — the same registry the
+    /// session itself answers [`SessionCommand::Metrics`] from, read
+    /// without queueing a command. Empty when metrics are disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] if the id is not live.
+    pub fn session_metrics(&self, id: SessionId) -> Result<MetricsSnapshot, HostError> {
+        let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
+        Ok(slot
+            .registry
+            .as_ref()
+            .map(Registry::snapshot)
+            .unwrap_or_default())
+    }
+
+    /// The host-wide snapshot: the host's own `host.*` metrics merged
+    /// with every live session's snapshot. Counters add, gauges keep
+    /// the maximum (high-water marks), histograms add bucket-wise — so
+    /// for every session-sourced counter the host total is exactly the
+    /// sum over live sessions. Empty when metrics are disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self
+            .inner
+            .metrics
+            .as_ref()
+            .map(|metrics| metrics.registry.snapshot())
+            .unwrap_or_default();
+        // Clone the slot Arcs out so snapshotting (which takes each
+        // registry's table lock) happens outside the slot-map lock.
+        let slots: Vec<Arc<Slot>> = lock(&self.inner.slots).values().cloned().collect();
+        for slot in slots {
+            if let Some(registry) = &slot.registry {
+                snapshot.merge(&registry.snapshot());
+            }
+        }
+        snapshot
     }
 
     /// Stop the workers and join them. Queued commands that have not
@@ -560,6 +774,67 @@ page start() {
             host.remove_session(id),
             Err(HostError::UnknownSession(id2)) if id2 == id
         ));
+    }
+
+    #[test]
+    fn host_metrics_reconcile_with_session_history() {
+        use alive_live::ManualClock;
+        let clock = Arc::new(ManualClock::with_auto_step(7));
+        let host = SessionHost::with_clock(HostConfig::with_workers(2), clock);
+        assert!(host.metrics_enabled());
+        let a = host.create_session(APP).expect("compiles");
+        let b = host.create_session(APP).expect("compiles");
+        for _ in 0..3 {
+            host.apply(a, SessionCommand::TapPath(vec![0]))
+                .expect("applies");
+        }
+        host.apply(b, SessionCommand::Frame).expect("applies");
+
+        let snap_a = host.session_metrics(a).expect("live");
+        let snap_b = host.session_metrics(b).expect("live");
+        assert_eq!(snap_a.counter("session.commands"), 3);
+        assert_eq!(snap_b.counter("session.commands"), 1);
+        let latency = snap_a.histogram(names::CMD_LATENCY_US).expect("recorded");
+        assert_eq!(latency.count, 3, "one latency sample per command");
+        assert!(latency.sum > 0, "auto-step clock yields nonzero latencies");
+
+        let host_snap = host.metrics_snapshot();
+        assert_eq!(
+            host_snap.counter("session.commands"),
+            4,
+            "host counters are the sum over live sessions"
+        );
+        assert_eq!(host_snap.counter(names::SESSIONS_CREATED), 2);
+        assert_eq!(host_snap.counter(names::PROGRAM_CACHE_MISSES), 1);
+        assert_eq!(host_snap.counter(names::PROGRAM_CACHE_HITS), 1);
+        assert!(host_snap.gauge(names::MAILBOX_DEPTH_HWM) >= 1);
+        assert!(host_snap.gauge(names::READY_QUEUE_HWM) >= 1);
+
+        // The hosted session answers the same protocol command local
+        // frontends use, from the same registry the host snapshots.
+        let effects = host.apply(a, SessionCommand::Metrics).expect("applies");
+        let SessionEffect::Metrics(wire) = &effects[0] else {
+            panic!("expected a metrics effect");
+        };
+        assert_eq!(wire.counter("session.commands"), 4);
+        host.shutdown();
+    }
+
+    #[test]
+    fn metrics_disabled_means_empty_snapshots() {
+        let config = HostConfig {
+            metrics: false,
+            ..HostConfig::with_workers(1)
+        };
+        let host = SessionHost::new(config);
+        assert!(!host.metrics_enabled());
+        let id = host.create_session(APP).expect("compiles");
+        host.apply(id, SessionCommand::Frame).expect("applies");
+        assert_eq!(
+            host.session_metrics(id).expect("live"),
+            MetricsSnapshot::default()
+        );
+        assert_eq!(host.metrics_snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

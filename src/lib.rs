@@ -16,6 +16,8 @@
 //! * [`ui`] — layout, text rendering, hit-testing;
 //! * [`live`] — live sessions, UI↔code navigation, direct
 //!   manipulation, render memoization;
+//! * [`obs`] — zero-dependency metrics and span tracing (counters,
+//!   gauges, latency histograms, serializable snapshots);
 //! * [`baseline`] — edit-compile-run, fix-and-continue, and
 //!   retained-MVC baselines;
 //! * [`apps`] — demo programs, including the paper's mortgage
@@ -46,5 +48,6 @@ pub use alive_apps as apps;
 pub use alive_baseline as baseline;
 pub use alive_core as core;
 pub use alive_live as live;
+pub use alive_obs as obs;
 pub use alive_syntax as syntax;
 pub use alive_ui as ui;
