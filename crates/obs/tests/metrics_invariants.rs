@@ -299,7 +299,34 @@ fn host_snapshot_is_the_sum_of_sessions_under_concurrent_load() {
         host_snapshot.counter(alive_serve::names::SESSIONS_CREATED),
         threads as u64
     );
-    host.shutdown();
+
+    // 5. Worker time accounting. The shutdown snapshot is quiesced
+    // (every worker joined), so the attribution identity is exact:
+    // busy + parked + steal-scan == wall, and idle == parked +
+    // steal-scan. Before the sharded scheduler, time spent blocked on
+    // the shared ready-queue mutex was charged to idle — contention
+    // masquerading as idleness; now every microsecond lands in exactly
+    // one honest bucket (the ManualClock makes the arithmetic
+    // deterministic, not merely approximate).
+    let final_snapshot = host.shutdown();
+    let busy = final_snapshot.counter(alive_serve::names::WORKER_BUSY_US);
+    let parked = final_snapshot.counter(alive_serve::names::WORKER_PARKED_US);
+    let scan = final_snapshot.counter(alive_serve::names::WORKER_STEAL_SCAN_US);
+    let wall = final_snapshot.counter(alive_serve::names::WORKER_WALL_US);
+    assert_eq!(
+        busy + parked + scan,
+        wall,
+        "busy ({busy}) + parked ({parked}) + steal_scan ({scan}) must equal wall ({wall})"
+    );
+    assert_eq!(
+        final_snapshot.counter(alive_serve::names::WORKER_IDLE_US),
+        parked + scan,
+        "idle must be exactly parked + steal-scan, never contention"
+    );
+    assert!(
+        busy > 0,
+        "the walk drained real work, so busy time is nonzero"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -9,7 +9,12 @@
 //!   and is drained by at most one worker at a time (an atomic
 //!   `scheduled` flag hands the session around), so commands for one
 //!   session apply in submission order while different sessions run in
-//!   parallel — the actor model, built from `std` parts only.
+//!   parallel — the actor model, built from `std` parts only. Ready
+//!   sessions flow through per-worker sharded run-queues with
+//!   work-stealing and condvar parking (see [`scheduler`]), so adding
+//!   workers adds throughput instead of contention, and mailboxes have
+//!   a high-water capacity: past it, `submit` load-sheds with a typed
+//!   [`HostError::Overloaded`] instead of queueing without bound.
 //! * **Shared compiled programs.** Source text is compiled once per
 //!   version and every session born from it shares the same
 //!   `Arc<Program>` — parse, lower, and typecheck are per-version
@@ -33,12 +38,15 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+mod scheduler;
+
 use alive_core::compile;
 use alive_core::system::SystemConfig;
 use alive_core::Program;
 use alive_live::{FrameSnapshot, LiveSession, SessionCommand, SessionEffect};
 use alive_obs::{Clock, Counter, Gauge, Histogram, MetricsSnapshot, MonotonicClock, Registry};
 use alive_syntax::Diagnostics;
+use scheduler::Scheduler;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,8 +71,31 @@ pub mod names {
     pub const READY_QUEUE_HWM: &str = "host.ready_queue_hwm";
     /// Total µs workers spent draining session mailboxes.
     pub const WORKER_BUSY_US: &str = "host.worker_busy_us";
-    /// Total µs workers spent waiting for ready sessions.
+    /// Total µs workers spent without a session to drain:
+    /// [`WORKER_PARKED_US`] + [`WORKER_STEAL_SCAN_US`]. Before the
+    /// sharded scheduler this counter also absorbed time spent blocked
+    /// on the shared ready-queue mutex — contention masquerading as
+    /// idleness; now there is no shared receiver to contend on and
+    /// idle means idle.
     pub const WORKER_IDLE_US: &str = "host.worker_idle_us";
+    /// Total µs workers spent parked on the scheduler condvar (no work
+    /// anywhere). The cheap half of idle: a parked worker burns no CPU.
+    pub const WORKER_PARKED_US: &str = "host.worker_parked_us";
+    /// Total µs workers spent scanning run-queue shards for work
+    /// (their own shard plus steal scans, successful or not).
+    pub const WORKER_STEAL_SCAN_US: &str = "host.worker_steal_scan_us";
+    /// Total µs of worker loop wall time. By construction
+    /// `WORKER_BUSY_US + WORKER_PARKED_US + WORKER_STEAL_SCAN_US ==
+    /// WORKER_WALL_US` — every worker microsecond is attributed to
+    /// exactly one of the three (pinned by the obs invariant suite).
+    pub const WORKER_WALL_US: &str = "host.worker_wall_us";
+    /// Sessions claimed from another worker's run-queue shard.
+    pub const STEALS: &str = "host.steals";
+    /// Times a worker actually blocked on the scheduler condvar.
+    pub const PARKS: &str = "host.parks";
+    /// Submissions refused with [`HostError::Overloaded`] because the
+    /// session's mailbox was at its high-water capacity.
+    pub const OVERLOADS: &str = "host.overloads";
     /// Program-cache lookups answered without compiling.
     pub const PROGRAM_CACHE_HITS: &str = "host.program_cache.hits";
     /// Program-cache lookups that compiled a new version.
@@ -83,6 +114,12 @@ struct HostMetrics {
     ready_queue_hwm: Gauge,
     worker_busy_us: Counter,
     worker_idle_us: Counter,
+    worker_parked_us: Counter,
+    worker_steal_scan_us: Counter,
+    worker_wall_us: Counter,
+    steals: Counter,
+    parks: Counter,
+    overloads: Counter,
     program_cache_hits: Counter,
     program_cache_misses: Counter,
     sessions_created: Counter,
@@ -95,6 +132,12 @@ impl HostMetrics {
             ready_queue_hwm: registry.gauge(names::READY_QUEUE_HWM),
             worker_busy_us: registry.counter(names::WORKER_BUSY_US),
             worker_idle_us: registry.counter(names::WORKER_IDLE_US),
+            worker_parked_us: registry.counter(names::WORKER_PARKED_US),
+            worker_steal_scan_us: registry.counter(names::WORKER_STEAL_SCAN_US),
+            worker_wall_us: registry.counter(names::WORKER_WALL_US),
+            steals: registry.counter(names::STEALS),
+            parks: registry.counter(names::PARKS),
+            overloads: registry.counter(names::OVERLOADS),
             program_cache_hits: registry.counter(names::PROGRAM_CACHE_HITS),
             program_cache_misses: registry.counter(names::PROGRAM_CACHE_MISSES),
             sessions_created: registry.counter(names::SESSIONS_CREATED),
@@ -127,6 +170,13 @@ pub struct HostConfig {
     /// Off, no [`Registry`] exists anywhere: sessions run exactly as
     /// before this field did — the bench's baseline arm.
     pub metrics: bool,
+    /// Mailbox high-water capacity: a `submit` that would grow a
+    /// session's mailbox past this depth is refused with
+    /// [`HostError::Overloaded`] instead of queueing — the
+    /// load-shedding contract a network transport needs. The default
+    /// (1024) is far above anything a well-behaved client queues; zero
+    /// is clamped to 1 (a mailbox that admits nothing is not a host).
+    pub mailbox_capacity: usize,
 }
 
 impl Default for HostConfig {
@@ -136,6 +186,7 @@ impl Default for HostConfig {
             system: SystemConfig::default(),
             memo: false,
             metrics: true,
+            mailbox_capacity: 1024,
         }
     }
 }
@@ -159,6 +210,21 @@ pub enum HostError {
     Compile(Diagnostics),
     /// The host's workers are gone (shut down mid-request).
     Stopped,
+    /// The session's mailbox is at its high-water capacity; the
+    /// command was refused, not queued. The typed load-shedding
+    /// response: a transport maps this to "try again later" without
+    /// the host ever queueing without bound.
+    Overloaded {
+        /// The overloaded session.
+        session: SessionId,
+        /// The mailbox depth at refusal time (== the configured
+        /// [`HostConfig::mailbox_capacity`]).
+        depth: usize,
+    },
+    /// A bounded wait ([`EffectTicket::wait_timeout`]) elapsed before
+    /// the command was applied. The command is still queued and still
+    /// runs; only the wait gave up.
+    Timeout,
 }
 
 impl fmt::Display for HostError {
@@ -167,6 +233,10 @@ impl fmt::Display for HostError {
             HostError::UnknownSession(id) => write!(f, "unknown {id}"),
             HostError::Compile(ds) => write!(f, "source does not compile:\n{ds}"),
             HostError::Stopped => f.write_str("host is stopped"),
+            HostError::Overloaded { session, depth } => {
+                write!(f, "{session} overloaded: mailbox at capacity ({depth})")
+            }
+            HostError::Timeout => f.write_str("timed out waiting for effects"),
         }
     }
 }
@@ -218,23 +288,38 @@ impl Slot {
     }
 }
 
+/// A scripted-interleaving hook for the scheduling protocol's race
+/// windows, called inside `drain_session` between the final mailbox
+/// pop and the `scheduled` release. Tests park a drain here to land a
+/// submit exactly in the lost-wakeup window — deterministically, with
+/// rendezvous channels instead of sleeps.
+type DrainParkHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// One source version's compile, single-flighted: the first caller
+/// initializes the cell (compiling outside every map lock), racing
+/// same-source callers block on the cell instead of compiling twice,
+/// and different-source callers are never blocked at all. Failures are
+/// cached too — compilation is deterministic, so the same source
+/// yields the same diagnostics.
+type ProgramCell = Arc<std::sync::OnceLock<Result<Arc<Program>, Diagnostics>>>;
+
 struct HostInner {
     slots: Mutex<HashMap<u64, Arc<Slot>>>,
     /// Source text → its compiled program, one entry per version.
-    programs: Mutex<HashMap<String, Arc<Program>>>,
+    programs: Mutex<HashMap<String, ProgramCell>>,
     /// Number of actual compiles performed (cache misses) — observable
     /// so tests can pin "compile once per version, not per session".
     compiles: AtomicU64,
-    ready_tx: Sender<u64>,
-    ready_rx: Mutex<Receiver<u64>>,
-    shutdown: AtomicBool,
+    /// Sharded work-stealing run queues; replaces the old
+    /// `Mutex<Receiver<u64>>` whose held-across-`recv_timeout` lock
+    /// serialized every worker.
+    scheduler: Scheduler,
     config: HostConfig,
     next_id: AtomicU64,
     /// Host-level metric handles; `None` disables recording everywhere.
     metrics: Option<HostMetrics>,
-    /// Sessions currently in the ready queue — maintained only when
-    /// metrics are on, to feed the ready-queue high-water gauge.
-    ready_len: AtomicU64,
+    /// See [`DrainParkHook`]; `None` outside protocol tests.
+    drain_park_hook: Mutex<Option<DrainParkHook>>,
 }
 
 impl HostInner {
@@ -242,19 +327,15 @@ impl HostInner {
         lock(&self.slots).get(&id).cloned()
     }
 
-    /// Send a session to the ready queue, tracking its length high-water
-    /// mark. Every ready send must go through here so the gauge and the
-    /// `ready_len` counter stay paired with the worker-side decrement.
+    /// Send a session to the scheduler, tracking the run-queue length
+    /// high-water mark.
     fn enqueue_ready(&self, id: u64) {
+        let len = self.scheduler.enqueue(id);
         if let Some(metrics) = &self.metrics {
-            let len = self.ready_len.fetch_add(1, Ordering::AcqRel) + 1;
             metrics
                 .ready_queue_hwm
                 .observe_max(i64::try_from(len).unwrap_or(i64::MAX));
         }
-        // The workers only disconnect on shutdown; a failed send
-        // surfaces as `Stopped` when the ticket is waited on.
-        let _ = self.ready_tx.send(id);
     }
 
     /// Drain one session's mailbox to empty, then park the session.
@@ -289,6 +370,14 @@ impl HostInner {
             let _ = envelope.reply.send(effects);
         }
         *lock(&slot.session) = Some(session);
+        // Scripted-interleaving tests pause here: the mailbox has been
+        // drained to empty but `scheduled` is still true, so a submit
+        // landing now loses the CAS and must be rescued by the re-check
+        // below.
+        let hook = lock(&self.drain_park_hook).clone();
+        if let Some(hook) = hook {
+            hook(id);
+        }
         slot.scheduled.store(false, Ordering::Release);
         // Close the lost-wakeup window: a submit that landed between
         // the final pop and the flag store saw `scheduled == true` and
@@ -299,39 +388,60 @@ impl HostInner {
     }
 }
 
-fn worker_loop(inner: &HostInner) {
+/// The worker loop: claim (own shard, then steal), drain, park when
+/// the whole run queue is dry. With metrics on, every microsecond of
+/// the loop is attributed to exactly one of busy / steal-scan / parked
+/// using shared timestamps, so `busy + parked + steal_scan == wall`
+/// holds as an identity, not an approximation — contending for work
+/// can no longer masquerade as idleness because there is no shared
+/// receiver lock to contend on.
+fn worker_loop(inner: &HostInner, worker: usize) {
     let clock = inner.metrics.as_ref().map(|m| Arc::clone(&m.clock));
     loop {
-        let wait_started = clock.as_ref().map(|clock| clock.now_us());
-        let next = {
-            let rx = lock(&inner.ready_rx);
-            rx.recv_timeout(Duration::from_millis(20))
-        };
-        if let (Some(metrics), Some(clock), Some(started)) = (&inner.metrics, &clock, wait_started)
-        {
-            metrics
-                .worker_idle_us
-                .add(clock.now_us().saturating_sub(started));
+        if inner.scheduler.is_shutdown() {
+            return;
         }
-        match next {
-            Ok(id) => {
-                if let (Some(metrics), Some(clock)) = (&inner.metrics, &clock) {
-                    inner.ready_len.fetch_sub(1, Ordering::AcqRel);
-                    let started = clock.now_us();
-                    inner.drain_session(id);
-                    metrics
-                        .worker_busy_us
-                        .add(clock.now_us().saturating_sub(started));
-                } else {
-                    inner.drain_session(id);
+        let scan_started = clock.as_ref().map(|clock| clock.now_us());
+        let claim = inner.scheduler.try_claim(worker);
+        let scan_ended = clock.as_ref().map(|clock| clock.now_us());
+        if let (Some(metrics), Some(t0), Some(t1)) = (&inner.metrics, scan_started, scan_ended) {
+            let scan_us = t1.saturating_sub(t0);
+            metrics.worker_steal_scan_us.add(scan_us);
+            metrics.worker_idle_us.add(scan_us);
+        }
+        match claim {
+            Some(claim) => {
+                if claim.stolen {
+                    if let Some(metrics) = &inner.metrics {
+                        metrics.steals.inc();
+                    }
+                }
+                inner.drain_session(claim.id);
+                if let (Some(metrics), Some(clock), Some(t0), Some(t1)) =
+                    (&inner.metrics, &clock, scan_started, scan_ended)
+                {
+                    let t2 = clock.now_us();
+                    metrics.worker_busy_us.add(t2.saturating_sub(t1));
+                    metrics.worker_wall_us.add(t2.saturating_sub(t0));
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    return;
+            None => {
+                let waited = inner.scheduler.park();
+                if let (Some(metrics), Some(clock), Some(t0), Some(t1)) =
+                    (&inner.metrics, &clock, scan_started, scan_ended)
+                {
+                    let t2 = clock.now_us();
+                    let parked_us = t2.saturating_sub(t1);
+                    metrics.worker_parked_us.add(parked_us);
+                    metrics.worker_idle_us.add(parked_us);
+                    metrics.worker_wall_us.add(t2.saturating_sub(t0));
+                }
+                if waited {
+                    if let Some(metrics) = &inner.metrics {
+                        metrics.parks.inc();
+                    }
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -352,6 +462,23 @@ impl EffectTicket {
     /// removed) before the command ran.
     pub fn wait(self) -> Result<Vec<SessionEffect>, HostError> {
         self.rx.recv().map_err(|_| HostError::Stopped)
+    }
+
+    /// Like [`EffectTicket::wait`], but give up after `timeout`. On
+    /// [`HostError::Timeout`] the command is still queued and will
+    /// still run; only this wait abandoned it. Lets transports bound
+    /// their worst-case stall on a wedged session.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Timeout`] if the deadline passed first;
+    /// [`HostError::Stopped`] if the host shut down (or the session
+    /// was removed) before the command ran.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<SessionEffect>, HostError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => HostError::Timeout,
+            RecvTimeoutError::Disconnected => HostError::Stopped,
+        })
     }
 }
 
@@ -399,23 +526,25 @@ impl SessionHost {
 
     fn start(config: HostConfig, clock: Option<Arc<dyn Clock>>) -> Self {
         let workers = config.workers.max(1);
-        let (ready_tx, ready_rx) = mpsc::channel();
+        let mailbox_capacity = config.mailbox_capacity.max(1);
         let inner = Arc::new(HostInner {
             slots: Mutex::new(HashMap::new()),
             programs: Mutex::new(HashMap::new()),
             compiles: AtomicU64::new(0),
-            ready_tx,
-            ready_rx: Mutex::new(ready_rx),
-            shutdown: AtomicBool::new(false),
-            config: HostConfig { workers, ..config },
+            scheduler: Scheduler::new(workers),
+            config: HostConfig {
+                workers,
+                mailbox_capacity,
+                ..config
+            },
             next_id: AtomicU64::new(1),
             metrics: clock.map(HostMetrics::new),
-            ready_len: AtomicU64::new(0),
+            drain_park_hook: Mutex::new(None),
         });
         let handles = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_loop(&inner, worker))
             })
             .collect();
         SessionHost {
@@ -449,30 +578,53 @@ impl SessionHost {
     /// The shared compiled program for `source`, compiling it on first
     /// sight and answering from the per-version cache afterwards.
     ///
+    /// The compile is **single-flight**: concurrent callers with the
+    /// same new source produce exactly one compile (the losers block
+    /// on the winner's cell, not on a recompile), so
+    /// [`SessionHost::programs_compiled`] is one per version even
+    /// under a thundering herd of `create_session` calls. Callers with
+    /// *different* sources never block each other — the map lock is
+    /// held only to fetch the cell, never across a compile.
+    ///
     /// # Errors
     ///
     /// [`HostError::Compile`] with the program's diagnostics.
     pub fn program_for(&self, source: &str) -> Result<Arc<Program>, HostError> {
-        if let Some(program) = lock(&self.inner.programs).get(source) {
-            if let Some(metrics) = &self.inner.metrics {
-                metrics.program_cache_hits.inc();
+        let cell = {
+            let mut programs = lock(&self.inner.programs);
+            match programs.get(source) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    let cell: ProgramCell = Arc::new(std::sync::OnceLock::new());
+                    programs.insert(source.to_string(), Arc::clone(&cell));
+                    cell
+                }
             }
-            return Ok(Arc::clone(program));
+        };
+        let mut compiled_here = false;
+        let result = cell.get_or_init(|| {
+            compiled_here = true;
+            compile(source).map(Arc::new)
+        });
+        match result {
+            Ok(program) => {
+                if compiled_here {
+                    self.inner.compiles.fetch_add(1, Ordering::AcqRel);
+                }
+                if let Some(metrics) = &self.inner.metrics {
+                    // A racing same-source caller that lost the init is
+                    // a hit: it waited for the winner, it did not
+                    // compile.
+                    if compiled_here {
+                        metrics.program_cache_misses.inc();
+                    } else {
+                        metrics.program_cache_hits.inc();
+                    }
+                }
+                Ok(Arc::clone(program))
+            }
+            Err(diagnostics) => Err(HostError::Compile(diagnostics.clone())),
         }
-        // Compile outside the lock: other sessions keep being served
-        // while a new version compiles. A racing duplicate compile is
-        // possible and harmless (last insert wins; both Arcs are the
-        // same program by value).
-        let program = Arc::new(compile(source).map_err(HostError::Compile)?);
-        self.inner.compiles.fetch_add(1, Ordering::AcqRel);
-        if let Some(metrics) = &self.inner.metrics {
-            metrics.program_cache_misses.inc();
-        }
-        Ok(Arc::clone(
-            lock(&self.inner.programs)
-                .entry(source.to_string())
-                .or_insert(program),
-        ))
     }
 
     /// Create a session from source text, sharing the compiled program
@@ -542,7 +694,11 @@ impl SessionHost {
     ///
     /// # Errors
     ///
-    /// [`HostError::UnknownSession`] if the id is not live.
+    /// [`HostError::UnknownSession`] if the id is not live;
+    /// [`HostError::Overloaded`] if the session's mailbox is at its
+    /// high-water capacity ([`HostConfig::mailbox_capacity`]) — the
+    /// command is refused, not queued, so a slow session sheds load
+    /// instead of growing an unbounded backlog.
     pub fn submit(
         &self,
         id: SessionId,
@@ -552,6 +708,16 @@ impl SessionHost {
         let (reply, rx) = mpsc::channel();
         {
             let mut mailbox = lock(&slot.mailbox);
+            if mailbox.len() >= self.inner.config.mailbox_capacity {
+                drop(mailbox);
+                if let Some(metrics) = &self.inner.metrics {
+                    metrics.overloads.inc();
+                }
+                return Err(HostError::Overloaded {
+                    session: id,
+                    depth: self.inner.config.mailbox_capacity,
+                });
+            }
             mailbox.push_back(Envelope { command, reply });
             if let Some(gauge) = &slot.mailbox_depth_hwm {
                 gauge.observe_max(i64::try_from(mailbox.len()).unwrap_or(i64::MAX));
@@ -638,17 +804,37 @@ impl SessionHost {
 
     /// Stop the workers and join them. Queued commands that have not
     /// run are abandoned (tickets report [`HostError::Stopped`]).
-    pub fn shutdown(mut self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+    /// Shutdown is explicit signaling — a flag plus a condvar
+    /// broadcast — so parked workers exit immediately rather than on
+    /// the next poll tick.
+    ///
+    /// Returns the final host-wide metrics snapshot (empty when
+    /// metrics are off). Because every worker has joined, the snapshot
+    /// is quiesced: no torn reads, and the worker time accounting
+    /// (`host.worker_busy_us + host.worker_parked_us +
+    /// host.worker_steal_scan_us == host.worker_wall_us`) holds as an
+    /// exact identity.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.inner.scheduler.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        self.metrics_snapshot()
+    }
+
+    /// Install a scripted-interleaving hook for scheduling-protocol
+    /// tests: called by the draining worker after the final mailbox pop
+    /// (mailbox empty, `scheduled` still true) and before `scheduled`
+    /// is released. Not part of the public API.
+    #[doc(hidden)]
+    pub fn set_drain_park_hook(&self, hook: Arc<dyn Fn(u64) + Send + Sync>) {
+        *lock(&self.inner.drain_park_hook) = Some(hook);
     }
 }
 
 impl Drop for SessionHost {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.scheduler.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -835,6 +1021,39 @@ page start() {
             MetricsSnapshot::default()
         );
         assert_eq!(host.metrics_snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn racing_creates_on_one_source_compile_exactly_once() {
+        // The thundering herd: sessions created from the same brand-new
+        // source on many threads at once must produce one compile, not
+        // one per loser of the insert race — the compile is
+        // single-flighted through the version's cell.
+        let host = Arc::new(SessionHost::new(HostConfig::with_workers(2)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let host = Arc::clone(&host);
+                std::thread::spawn(move || host.create_session(APP).expect("compiles"))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("create threads");
+        }
+        assert_eq!(host.programs_compiled(), 1, "single-flight compile");
+        assert_eq!(host.session_count(), 8);
+
+        // Failed compiles are cached per version too (compilation is
+        // deterministic): the error stays typed, and no compile count
+        // accrues for it.
+        assert!(matches!(
+            host.create_session("not a program"),
+            Err(HostError::Compile(_))
+        ));
+        assert!(matches!(
+            host.create_session("not a program"),
+            Err(HostError::Compile(_))
+        ));
+        assert_eq!(host.programs_compiled(), 1);
     }
 
     #[test]

@@ -202,4 +202,26 @@ fn concurrent_walks_match_solo_replays_byte_for_byte() {
         "program must be compiled once and shared"
     );
     assert_eq!(host.session_count(), threads);
+
+    // Quiesced worker accounting, under the full adversarial walk with
+    // work-stealing enabled: every worker microsecond is attributed to
+    // exactly one of busy / parked / steal-scan (the identity is exact
+    // because the shutdown snapshot is taken after every worker has
+    // joined), and idle no longer hides ready-queue contention — it is
+    // parked time plus scan time, nothing else.
+    let host = Arc::into_inner(host).expect("walk threads joined");
+    let snapshot = host.shutdown();
+    let busy = snapshot.counter(alive_serve::names::WORKER_BUSY_US);
+    let parked = snapshot.counter(alive_serve::names::WORKER_PARKED_US);
+    let scan = snapshot.counter(alive_serve::names::WORKER_STEAL_SCAN_US);
+    assert_eq!(
+        busy + parked + scan,
+        snapshot.counter(alive_serve::names::WORKER_WALL_US),
+        "busy + parked + steal_scan must equal worker wall time exactly"
+    );
+    assert_eq!(
+        parked + scan,
+        snapshot.counter(alive_serve::names::WORKER_IDLE_US),
+        "idle must be exactly parked + steal-scan"
+    );
 }
