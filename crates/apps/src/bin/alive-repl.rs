@@ -17,7 +17,7 @@
 
 use alive_live::{
     box_source_at, boxes_for_cursor, format_frame_stats, format_metrics_snapshot, span_for_box,
-    FrameSnapshot, RecordingSession, Registry, SessionCommand, SessionEffect, UndoOutcome,
+    FrameSnapshot, RecordingSession, Registry, SessionCommand, SessionEffect, TxPhase, UndoOutcome,
 };
 use alive_ui::{layout, render_to_ansi};
 use std::io::{self, BufRead, Write};
@@ -332,6 +332,22 @@ fn emit(effects: Vec<SessionEffect>, fail_ctx: &str) {
                 for (name, why) in &report.skipped {
                     println!("skipped `{name}`: {why}");
                 }
+            }
+            SessionEffect::Tx { tx, phase } => match phase {
+                TxPhase::Open { edits } => println!("tx#{tx} open ({edits} edits staged)."),
+                TxPhase::Canary { canary, fleet } => {
+                    println!("tx#{tx} canary: {canary}/{fleet} sessions updated; watching.");
+                }
+                TxPhase::Promoted { updated, skipped } => {
+                    println!("tx#{tx} promoted to {updated} sessions ({skipped} skipped).");
+                }
+                TxPhase::RolledBack { reverted, reason } => {
+                    println!("tx#{tx} rolled back ({reverted} sessions restored): {reason}");
+                }
+                TxPhase::Aborted => println!("tx#{tx} aborted."),
+            },
+            SessionEffect::Overloaded { depth } => {
+                println!("{fail_ctx}: overloaded (mailbox depth {depth}); retry later.");
             }
             SessionEffect::Source(_) | SessionEffect::Snapshot(_) => {}
         }

@@ -21,11 +21,14 @@
 //! command mix (20% of each client's sessions receive ~80% of its
 //! commands) and pipelined submits, so mailboxes develop real depth
 //! and the host's backpressure, stealing, and parking paths all run.
-//! Shed submissions (typed `Overloaded` refusals) are counted, never
-//! retried; a sample of sessions is replayed solo for the
-//! byte-identity oracle; and the quiesced shutdown snapshot must
-//! satisfy the worker accounting identity (busy + parked + steal-scan
-//! == wall) exactly.
+//! A submission refused with the typed `Overloaded` signal is retried
+//! under a bounded budget with jittered completion-based backoff (the
+//! client drains some of its own in-flight tickets — no wall-clock
+//! sleeps); only commands that exhaust the budget are shed, reported
+//! as `gave_up` (== `shed`) alongside `retries`. A sample of sessions
+//! is replayed solo for the byte-identity oracle; and the quiesced
+//! shutdown snapshot must satisfy the worker accounting identity
+//! (busy + parked + steal-scan == wall) exactly.
 //!
 //! Env knobs (used by the CI smoke step):
 //! * `ALIVE_BENCH_SESSIONS` — K, default 16
@@ -212,19 +215,39 @@ fn run_with_metrics(
     )
 }
 
+/// What one load-generator client did with its command budget.
+struct ClientTally {
+    /// Per-session logs of the commands the host actually admitted.
+    logs: Vec<Vec<SessionCommand>>,
+    /// Overload refusals the client answered with a backoff + retry.
+    retries: u64,
+    /// Commands dropped after the retry budget ran out — the only
+    /// submissions that never reached a mailbox.
+    gave_up: u64,
+}
+
 /// One load-generator client's work: drive its slice of sessions with
-/// a skewed, pipelined command stream. Returns the per-session command
-/// logs (for the oracle replay) and the shed count.
+/// a skewed, pipelined command stream. A submission refused with the
+/// typed [`HostError::Overloaded`] backpressure signal is retried with
+/// a bounded budget: between attempts the client *drains a jittered
+/// number of its own in-flight tickets* — completion-based backoff
+/// (the host finishing work is what clears the mailbox), jittered by
+/// the testkit PRNG so clients desynchronize, with no wall-clock
+/// sleeps anywhere. Past the budget the command is dropped and
+/// counted `gave_up`, exactly as a transport would give a client a
+/// final 429.
 fn loadgen_client(
     host: &SessionHost,
     ids: &[SessionId],
     commands: usize,
     seed: u64,
-) -> (Vec<Vec<SessionCommand>>, u64) {
+) -> ClientTally {
     /// In-flight tickets per client: deep enough to build real mailbox
     /// depth on hot sessions, bounded so a stalled host backs the
     /// client up instead of ballooning memory.
     const WINDOW: usize = 64;
+    /// Submission attempts per command (1 + up to 3 retries).
+    const ATTEMPTS: usize = 4;
     let mut rng = Rng::new(0x10AD_0000 ^ seed);
     // The skew: the first fifth of the slice is "hot" and receives
     // ~80% of this client's commands — a few busy sessions among many
@@ -232,7 +255,8 @@ fn loadgen_client(
     let hot = (ids.len() / 5).max(1);
     let mut logs: Vec<Vec<SessionCommand>> = vec![Vec::new(); ids.len()];
     let mut window: VecDeque<alive_serve::EffectTicket> = VecDeque::with_capacity(WINDOW);
-    let mut shed = 0u64;
+    let mut retries = 0u64;
+    let mut gave_up = 0u64;
     for _ in 0..commands {
         let target = if rng.below(10) < 8 {
             rng.below(hot)
@@ -245,26 +269,48 @@ fn loadgen_client(
             7 => SessionCommand::Back,
             _ => SessionCommand::Frame,
         };
-        match host.submit(ids[target], command.clone()) {
-            Ok(ticket) => {
-                logs[target].push(command);
-                window.push_back(ticket);
-                if window.len() >= WINDOW {
-                    if let Some(ticket) = window.pop_front() {
-                        ticket.wait().expect("host serves");
+        for attempt in 0..ATTEMPTS {
+            match host.submit(ids[target], command.clone()) {
+                Ok(ticket) => {
+                    logs[target].push(command.clone());
+                    window.push_back(ticket);
+                    if window.len() >= WINDOW {
+                        if let Some(ticket) = window.pop_front() {
+                            ticket.wait().expect("host serves");
+                        }
+                    }
+                    break;
+                }
+                Err(HostError::Overloaded { .. }) if attempt + 1 < ATTEMPTS => {
+                    // Jittered completion-based backoff: wait for 1–8
+                    // of our own in-flight commands to finish before
+                    // trying again. An empty window means the backlog
+                    // is other clients' — retry immediately.
+                    retries += 1;
+                    for _ in 0..1 + rng.below(8) {
+                        match window.pop_front() {
+                            Some(ticket) => {
+                                ticket.wait().expect("host serves");
+                            }
+                            None => break,
+                        }
                     }
                 }
+                // Budget exhausted: the final refusal sheds the
+                // command for good.
+                Err(HostError::Overloaded { .. }) => gave_up += 1,
+                Err(e) => panic!("loadgen submit failed: {e}"),
             }
-            // Load-shedding is the contract, not a failure: count the
-            // refusal and move on, exactly as a transport would.
-            Err(HostError::Overloaded { .. }) => shed += 1,
-            Err(e) => panic!("loadgen submit failed: {e}"),
         }
     }
     for ticket in window {
         ticket.wait().expect("host serves");
     }
-    (logs, shed)
+    ClientTally {
+        logs,
+        retries,
+        gave_up,
+    }
 }
 
 /// The load-generator workload: L sessions served by `workers` workers
@@ -304,14 +350,17 @@ fn run_loadgen(workers: usize) -> String {
             std::thread::spawn(move || loadgen_client(&host, &slice, per_client, client as u64))
         })
         .collect();
-    let mut shed = 0u64;
+    let mut retries = 0u64;
+    let mut gave_up = 0u64;
     let mut logs: Vec<(SessionId, Vec<SessionCommand>)> = Vec::new();
     for (client, handle) in handles.into_iter().enumerate() {
-        let (client_logs, client_shed) = handle.join().expect("client thread");
-        shed += client_shed;
+        let tally = handle.join().expect("client thread");
+        retries += tally.retries;
+        gave_up += tally.gave_up;
         let lo = client * chunk;
         logs.extend(
-            client_logs
+            tally
+                .logs
                 .into_iter()
                 .enumerate()
                 .map(|(i, log)| (ids[lo + i], log)),
@@ -319,6 +368,10 @@ fn run_loadgen(workers: usize) -> String {
     }
     let seconds = started.elapsed().as_secs_f64().max(1e-9);
     let submitted = (per_client * clients) as u64;
+    // Shed = dropped for good. Retried-then-admitted commands are not
+    // shed — the retry loop is exactly what keeps this at zero under
+    // transient overload.
+    let shed = gave_up;
     let applied = submitted - shed;
 
     // Sampled byte-identity oracle: the hottest and coldest session of
@@ -362,8 +415,8 @@ fn run_loadgen(workers: usize) -> String {
     );
     assert_eq!(
         snapshot.counter(names::OVERLOADS),
-        shed,
-        "every shed submit is a counted overload"
+        retries + gave_up,
+        "every refused submit attempt (retried or dropped) is a counted overload"
     );
     let latency = snapshot.histogram(names::CMD_LATENCY_US);
     let p50 = latency.and_then(|h| h.p50_us()).unwrap_or(0);
@@ -371,13 +424,14 @@ fn run_loadgen(workers: usize) -> String {
     let steals = snapshot.counter(names::STEALS);
     let parks = snapshot.counter(names::PARKS);
     eprintln!(
-        "loadgen: {sessions} sessions / {clients} clients: {:.1} commands/s, p50 {p50} µs, p99 {p99} µs, {steals} steals, {parks} parks, {shed} shed ({applied} commands in {seconds:.2}s)",
+        "loadgen: {sessions} sessions / {clients} clients: {:.1} commands/s, p50 {p50} µs, p99 {p99} µs, {steals} steals, {parks} parks, {retries} retries, {gave_up} gave up ({applied} commands in {seconds:.2}s)",
         applied as f64 / seconds,
     );
     format!(
         concat!(
             "{{\"sessions\":{},\"clients\":{},\"workers\":{},",
             "\"commands_submitted\":{},\"commands_applied\":{},\"shed\":{},",
+            "\"retries\":{},\"gave_up\":{},",
             "\"seconds\":{:.4},\"commands_per_sec\":{:.1},",
             "\"p50_us\":{},\"p99_us\":{},\"steals\":{},\"parks\":{},",
             "\"hot_fraction\":0.2,\"hot_share\":0.8,\"oracle_sessions\":{}}}"
@@ -388,6 +442,8 @@ fn run_loadgen(workers: usize) -> String {
         submitted,
         applied,
         shed,
+        retries,
+        gave_up,
         seconds,
         applied as f64 / seconds,
         p50,

@@ -33,6 +33,11 @@ pub mod names {
     pub const TRANSITIONS_RENDER: &str = "system.transitions.render";
     /// Successful UPDATE transitions (live code swaps).
     pub const UPDATES: &str = "system.updates";
+    /// The subset of [`UPDATES`] applied from a host-shared,
+    /// pre-type-checked program ([`crate::system::System::update_shared`]
+    /// — the fleet fan-out path, where the compile was paid once for the
+    /// whole fleet).
+    pub const UPDATES_SHARED: &str = "system.updates.shared";
     /// Transactions rolled back by a contained fault.
     pub const ROLLBACKS: &str = "system.rollbacks";
     /// Contained faults in page init code.
@@ -60,6 +65,7 @@ pub struct SystemMetrics {
     transitions_pop: Counter,
     transitions_render: Counter,
     updates: Counter,
+    updates_shared: Counter,
     rollbacks: Counter,
     faults_init: Counter,
     faults_handler: Counter,
@@ -79,6 +85,7 @@ impl SystemMetrics {
             transitions_pop: registry.counter(names::TRANSITIONS_POP),
             transitions_render: registry.counter(names::TRANSITIONS_RENDER),
             updates: registry.counter(names::UPDATES),
+            updates_shared: registry.counter(names::UPDATES_SHARED),
             rollbacks: registry.counter(names::ROLLBACKS),
             faults_init: registry.counter(names::FAULTS_INIT),
             faults_handler: registry.counter(names::FAULTS_HANDLER),
@@ -123,6 +130,12 @@ impl SystemMetrics {
     /// Count one successful UPDATE.
     pub(crate) fn record_update(&self) {
         self.updates.inc();
+    }
+
+    /// Count one successful UPDATE applied from a shared pre-checked
+    /// program (always recorded alongside [`SystemMetrics::record_update`]).
+    pub(crate) fn record_shared_update(&self) {
+        self.updates_shared.inc();
     }
 
     /// Count one display reassignment.

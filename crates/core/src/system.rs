@@ -695,9 +695,48 @@ impl System {
         if diags.has_errors() {
             return Err(ActionError::IllTyped(diags));
         }
+        let report = self.update_checked(Arc::new(new_program));
+        if let Some(metrics) = &self.metrics {
+            metrics.record_update();
+        }
+        Ok(report)
+    }
+
+    /// The UPDATE transition with an *already type-checked* shared
+    /// program — the fleet fan-out path. A host that compiled (and thus
+    /// type-checked) a new version exactly once hands every subscribed
+    /// session the same `Arc<Program>`; each session re-runs only the
+    /// parts of UPDATE that genuinely depend on its own state — the
+    /// store and page-stack fix-ups — and skips the per-session
+    /// re-typecheck and the `Program` clone that [`System::update`]
+    /// would pay. The caller vouches that `new_program` passed
+    /// `check_program` (the same contract as
+    /// [`System::with_shared_program`]); handing over an unchecked
+    /// program shows up as runtime faults, never unsoundness — the
+    /// machine still contains them.
+    ///
+    /// # Errors
+    ///
+    /// [`ActionError::NotStable`] while events are in flight.
+    pub fn update_shared(&mut self, new_program: Arc<Program>) -> Result<FixupReport, ActionError> {
+        if !self.queue.is_empty() {
+            return Err(ActionError::NotStable);
+        }
+        let report = self.update_checked(new_program);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_update();
+            metrics.record_shared_update();
+        }
+        Ok(report)
+    }
+
+    /// The shared tail of [`System::update`] / [`System::update_shared`]:
+    /// fix up the model, swap the code, invalidate the view. The queue
+    /// has been checked empty and the program type-checked by the caller.
+    fn update_checked(&mut self, new_program: Arc<Program>) -> FixupReport {
         let (store, mut report) = fixup_store(&new_program, &self.store);
         let page_stack = fixup_pages(&new_program, &self.page_stack, &mut report);
-        self.program = Arc::new(new_program);
+        self.program = new_program;
         self.store = store;
         self.page_stack = page_stack;
         self.set_display(Display::Invalid);
@@ -708,10 +747,7 @@ impl System {
         self.widgets.clear();
         self.last_good = None;
         self.version += 1;
-        if let Some(metrics) = &self.metrics {
-            metrics.record_update();
-        }
-        Ok(report)
+        report
     }
 
     /// Snapshot the model (store) as persistent text — the "persistent

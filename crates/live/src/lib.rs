@@ -71,12 +71,14 @@ pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for
 pub use pipeline::{FramePipeline, FrameStats};
 pub use protocol::{
     format_frame_stats, format_metrics_snapshot, parse_commands, FrameSnapshot, ProtocolParseError,
-    SessionCommand, SessionEffect,
+    SessionCommand, SessionEffect, TxPhase,
 };
 // Re-exported so frontends can attach observability without a direct
 // alive-obs dependency.
 pub use alive_obs::{ManualClock, MetricsSnapshot, Registry};
-pub use session::{EditOutcome, LiveSession, SessionError, UndoOutcome};
+pub use session::{
+    EditOutcome, FleetUpdateOutcome, LiveSession, SessionError, TxError, UndoOutcome,
+};
 pub use trace::{RecordingSession, SessionTrace, TraceEvent};
 
 // A live session must be able to live behind a host's per-session

@@ -49,6 +49,12 @@ pub mod names {
     pub const FRAME_EVAL_REUSE_PCT: &str = "frame.eval_reuse_pct";
     /// Percent of layout nodes skipped by the measure cache per frame.
     pub const FRAME_LAYOUT_REUSE_PCT: &str = "frame.layout_reuse_pct";
+    /// Fleet UPDATEs applied to this session (host-pushed, pre-compiled).
+    pub const FLEET_UPDATES: &str = "session.fleet.updates";
+    /// Fleet UPDATEs reverted by the host's canary auto-rollback.
+    pub const FLEET_REVERTS: &str = "session.fleet.reverts";
+    /// Fleet UPDATEs promoted (checkpoint dropped; the version stuck).
+    pub const FLEET_PROMOTES: &str = "session.fleet.promotes";
 }
 
 /// Bucket bounds for percentage-valued histograms (reuse ratios).
@@ -70,6 +76,9 @@ pub struct SessionMetrics {
     history_noop: Counter,
     frames_rendered: Counter,
     commands: Counter,
+    fleet_updates: Counter,
+    fleet_reverts: Counter,
+    fleet_promotes: Counter,
     frame_eval_us: Histogram,
     frame_layout_us: Histogram,
     frame_paint_us: Histogram,
@@ -91,6 +100,9 @@ impl SessionMetrics {
             history_noop: registry.counter(names::HISTORY_NOOP),
             frames_rendered: registry.counter(names::FRAMES_RENDERED),
             commands: registry.counter(names::COMMANDS),
+            fleet_updates: registry.counter(names::FLEET_UPDATES),
+            fleet_reverts: registry.counter(names::FLEET_REVERTS),
+            fleet_promotes: registry.counter(names::FLEET_PROMOTES),
             frame_eval_us: registry.histogram(names::FRAME_EVAL_US),
             frame_layout_us: registry.histogram(names::FRAME_LAYOUT_US),
             frame_paint_us: registry.histogram(names::FRAME_PAINT_US),
@@ -136,6 +148,25 @@ impl SessionMetrics {
     /// Count one protocol command.
     pub(crate) fn record_command(&self) {
         self.commands.inc();
+    }
+
+    /// Count one fleet UPDATE applied to this session.
+    pub(crate) fn record_fleet_update(&self) {
+        self.fleet_updates.inc();
+    }
+
+    /// Count one fleet UPDATE reverted by canary auto-rollback. Note the
+    /// monotone-counter hazard: counters recorded by journal replay
+    /// during the revert are *not* rolled back — they count what
+    /// happened, not what persisted (same semantics as fault rollbacks
+    /// in [`alive_core::metrics::SystemMetrics`]).
+    pub(crate) fn record_fleet_revert(&self) {
+        self.fleet_reverts.inc();
+    }
+
+    /// Count one fleet UPDATE promoted (its checkpoint dropped).
+    pub(crate) fn record_fleet_promote(&self) {
+        self.fleet_promotes.inc();
     }
 
     /// Feed one rendered frame's [`FrameStats`] into the histograms.

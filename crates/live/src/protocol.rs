@@ -27,7 +27,7 @@ use alive_core::fixup::FixupReport;
 use alive_core::persist::LoadReport;
 use alive_core::Fault;
 use alive_obs::MetricsSnapshot;
-use alive_syntax::Diagnostics;
+use alive_syntax::{Diagnostics, Span, TextEdit};
 use std::fmt;
 use std::sync::Arc;
 
@@ -79,6 +79,68 @@ pub enum SessionCommand {
     Snapshot,
     /// Restore a model snapshot against the current code.
     Restore(String),
+    /// Open an edit transaction: stage a copy of the current source for
+    /// batched edits. Solo sessions answer with the new transaction id;
+    /// a host opens a *fleet* transaction against this session's source
+    /// version (see `alive-serve`).
+    TxOpen,
+    /// Stage one batch of span-addressed edits on an open transaction.
+    /// Spans address the staged text (the result of every batch staged
+    /// so far); the running program is untouched until commit.
+    TxEdit {
+        /// The open transaction.
+        tx: u64,
+        /// The batch (simultaneous, non-overlapping — the
+        /// [`alive_syntax::apply_edits`] contract).
+        edits: Vec<TextEdit>,
+    },
+    /// Commit an open transaction: compile the staged batch once and
+    /// apply it as one atomic UPDATE (fleet-wide, with a canary
+    /// rollout, when hosted).
+    TxCommit(u64),
+    /// Abort an open transaction, discarding its staged edits.
+    TxAbort(u64),
+    /// Ask an open transaction's status (hosted: also advances a canary
+    /// whose observation window has elapsed).
+    TxStatus(u64),
+}
+
+/// Where an edit transaction stands — the payload of
+/// [`SessionEffect::Tx`]. Solo sessions only ever report `Open`,
+/// `Promoted` (their single session updated), `RolledBack` (the commit
+/// quarantined) and `Aborted`; the canary phase is a fleet notion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxPhase {
+    /// Open, accumulating batches.
+    Open {
+        /// Edits staged so far.
+        edits: usize,
+    },
+    /// Committed and fanned out to the canary slice; the observation
+    /// window is running ([`SessionCommand::TxStatus`] advances it).
+    Canary {
+        /// Sessions updated in the canary slice.
+        canary: usize,
+        /// Sessions subscribed to the base version in total.
+        fleet: usize,
+    },
+    /// Promoted to the whole fleet.
+    Promoted {
+        /// Sessions now running the new version.
+        updated: usize,
+        /// Subscribed sessions skipped (diverged/busy/removed mid-rollout).
+        skipped: usize,
+    },
+    /// Rolled back; every updated session was restored to its
+    /// pre-transaction state.
+    RolledBack {
+        /// Sessions restored from their checkpoints.
+        reverted: usize,
+        /// Why (the canary fault spike, or the immediate fault).
+        reason: String,
+    },
+    /// Aborted by the client before commit.
+    Aborted,
 }
 
 /// One settled frame, shareable across observers: the box tree is an
@@ -145,6 +207,22 @@ pub enum SessionEffect {
     /// A snapshot was restored; entries that no longer type-check were
     /// skipped, with reasons.
     Restored(LoadReport),
+    /// Progress of an edit transaction (see [`TxPhase`]).
+    Tx {
+        /// The transaction.
+        tx: u64,
+        /// Where it stands.
+        phase: TxPhase,
+    },
+    /// Backpressure: the host refused the command because the session's
+    /// mailbox is at its high-water capacity. The typed sibling of
+    /// [`SessionEffect::Refused`] — remote clients distinguish "try
+    /// again later" (this) from "invalid request" (that) without parsing
+    /// prose.
+    Overloaded {
+        /// The mailbox depth at refusal time (the configured capacity).
+        depth: u64,
+    },
 }
 
 impl LiveSession {
@@ -160,6 +238,10 @@ impl LiveSession {
         if let Some(metrics) = self.metrics() {
             metrics.record_command();
         }
+        // While a fleet UPDATE awaits its promote/revert decision, every
+        // client command is journaled so a revert can replay it against
+        // the restored program.
+        self.journal_for_fleet(&command);
         match command {
             SessionCommand::Frame => vec![SessionEffect::Frame(self.frame_snapshot())],
             SessionCommand::TapAt { x, y } => match self.tap_at(x, y) {
@@ -225,6 +307,75 @@ impl LiveSession {
                     SessionEffect::Frame(self.frame_snapshot()),
                 ],
                 Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::TxOpen => {
+                let tx = self.tx_open();
+                vec![SessionEffect::Tx {
+                    tx,
+                    phase: TxPhase::Open { edits: 0 },
+                }]
+            }
+            SessionCommand::TxEdit { tx, edits } => match self.tx_edit(tx, &edits) {
+                Ok(edits) => vec![SessionEffect::Tx {
+                    tx,
+                    phase: TxPhase::Open { edits },
+                }],
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::TxCommit(tx) => match self.tx_commit(tx) {
+                Ok(EditOutcome::Applied(report)) => vec![
+                    SessionEffect::EditApplied(report),
+                    SessionEffect::Tx {
+                        tx,
+                        phase: TxPhase::Promoted {
+                            updated: 1,
+                            skipped: 0,
+                        },
+                    },
+                    SessionEffect::Frame(self.frame_snapshot()),
+                ],
+                // The batch did not compile: the transaction stays open
+                // for a fix, exactly like a rejected keystroke.
+                Ok(EditOutcome::Rejected(diags)) => vec![SessionEffect::EditRejected(diags)],
+                Ok(EditOutcome::Quarantined { fault, report }) => {
+                    let reason = fault.to_string();
+                    vec![
+                        SessionEffect::EditQuarantined {
+                            fault: Box::new(fault),
+                            report,
+                        },
+                        SessionEffect::Tx {
+                            tx,
+                            phase: TxPhase::RolledBack {
+                                reverted: 1,
+                                reason,
+                            },
+                        },
+                        SessionEffect::Frame(self.frame_snapshot()),
+                    ]
+                }
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::TxAbort(tx) => {
+                if self.tx_abort(tx) {
+                    vec![SessionEffect::Tx {
+                        tx,
+                        phase: TxPhase::Aborted,
+                    }]
+                } else {
+                    vec![SessionEffect::Refused(format!(
+                        "no open transaction tx#{tx}"
+                    ))]
+                }
+            }
+            SessionCommand::TxStatus(tx) => match self.tx_edits(tx) {
+                Some(edits) => vec![SessionEffect::Tx {
+                    tx,
+                    phase: TxPhase::Open { edits },
+                }],
+                None => vec![SessionEffect::Refused(format!(
+                    "no open transaction tx#{tx}"
+                ))],
             },
         }
     }
@@ -378,7 +529,7 @@ impl SessionCommand {
                     out.push_str(&format!(" {p}"));
                 }
                 out.push_str(" -- ");
-                out.push_str(&text.replace('\\', "\\\\").replace('\n', "\\n"));
+                out.push_str(&escape(text));
                 out.push('\n');
             }
             SessionCommand::EditSource(src) => push_block(&mut out, "editsource", src),
@@ -389,6 +540,23 @@ impl SessionCommand {
             SessionCommand::Metrics => out.push_str("metrics\n"),
             SessionCommand::Snapshot => out.push_str("snapshot\n"),
             SessionCommand::Restore(snapshot) => push_block(&mut out, "restore", snapshot),
+            SessionCommand::TxOpen => out.push_str("txopen\n"),
+            SessionCommand::TxEdit { tx, edits } => {
+                // Header line carries the edit count; each edit follows
+                // on its own line (`start end -- escaped-replacement`).
+                out.push_str(&format!("txedit {tx} {}\n", edits.len()));
+                for edit in edits {
+                    out.push_str(&format!(
+                        "{} {} -- {}\n",
+                        edit.span.start,
+                        edit.span.end,
+                        escape(&edit.replacement)
+                    ));
+                }
+            }
+            SessionCommand::TxCommit(tx) => out.push_str(&format!("txcommit {tx}\n")),
+            SessionCommand::TxAbort(tx) => out.push_str(&format!("txabort {tx}\n")),
+            SessionCommand::TxStatus(tx) => out.push_str(&format!("txstatus {tx}\n")),
         }
         out
     }
@@ -483,6 +651,58 @@ pub fn parse_commands(text: &str) -> Result<Vec<SessionCommand>, ProtocolParseEr
                 consumed_payload = len;
                 SessionCommand::Restore(payload)
             }
+            "txopen" => SessionCommand::TxOpen,
+            "txedit" => {
+                let mut parts = args.split_whitespace();
+                let mut next_u64 = |what: &str| {
+                    parts
+                        .next()
+                        .and_then(|p| p.parse::<u64>().ok())
+                        .ok_or_else(|| err(format!("bad {what} in `{args}`")))
+                };
+                let tx = next_u64("transaction id")?;
+                let count = usize::try_from(next_u64("edit count")?)
+                    .map_err(|_| err(format!("bad edit count in `{args}`")))?;
+                let mut edits = Vec::with_capacity(count.min(1024));
+                let mut body = after;
+                let mut consumed = 0usize;
+                for _ in 0..count {
+                    let (edit_line, rest_body) = body.split_once('\n').ok_or_else(|| {
+                        err(format!("txedit payload truncated: want {count} edits"))
+                    })?;
+                    let (span_part, text) = edit_line.split_once(" -- ").ok_or_else(|| {
+                        err(format!("txedit edit line needs ` -- `: `{edit_line}`"))
+                    })?;
+                    let mut span_parts = span_part.split_whitespace();
+                    let mut coord = |what: &str| {
+                        span_parts
+                            .next()
+                            .and_then(|p| p.parse::<u32>().ok())
+                            .ok_or_else(|| err(format!("bad {what} in `{edit_line}`")))
+                    };
+                    let start = coord("span start")?;
+                    let end = coord("span end")?;
+                    edits.push(TextEdit {
+                        span: Span::new(start, end),
+                        replacement: unescape(text),
+                    });
+                    consumed += edit_line.len() + 1;
+                    body = rest_body;
+                }
+                // Leave the final newline for the generic strip below.
+                consumed_payload = consumed.saturating_sub(usize::from(count > 0));
+                SessionCommand::TxEdit { tx, edits }
+            }
+            "txcommit" | "txabort" | "txstatus" => {
+                let tx: u64 = args
+                    .parse()
+                    .map_err(|_| err(format!("bad transaction id `{args}`")))?;
+                match keyword {
+                    "txcommit" => SessionCommand::TxCommit(tx),
+                    "txabort" => SessionCommand::TxAbort(tx),
+                    _ => SessionCommand::TxStatus(tx),
+                }
+            }
             other => return Err(err(format!("unknown command `{other}`"))),
         };
         commands.push(command);
@@ -498,6 +718,7 @@ pub fn parse_commands(text: &str) -> Result<Vec<SessionCommand>, ProtocolParseEr
                     SessionCommand::EditSource(s) | SessionCommand::Restore(s) => {
                         s.matches('\n').count() + 1
                     }
+                    SessionCommand::TxEdit { edits, .. } => edits.len(),
                     _ => 0,
                 })
                 .unwrap_or(0);
@@ -510,6 +731,10 @@ fn parse_usize_path(args: &str) -> Result<Vec<usize>, String> {
     args.split_whitespace()
         .map(|p| p.parse().map_err(|_| format!("bad path element `{p}`")))
         .collect()
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn unescape(text: &str) -> String {
@@ -600,6 +825,29 @@ impl SessionEffect {
             SessionEffect::Restored(report) => {
                 out.push_str(&format!("restored skipped={}\n", report.skipped.len()));
             }
+            SessionEffect::Tx { tx, phase } => match phase {
+                TxPhase::Open { edits } => {
+                    out.push_str(&format!("tx {tx} open edits={edits}\n"));
+                }
+                TxPhase::Canary { canary, fleet } => {
+                    out.push_str(&format!("tx {tx} canary {canary}/{fleet}\n"));
+                }
+                TxPhase::Promoted { updated, skipped } => {
+                    out.push_str(&format!(
+                        "tx {tx} promoted updated={updated} skipped={skipped}\n"
+                    ));
+                }
+                TxPhase::RolledBack { reverted, reason } => {
+                    out.push_str(&format!(
+                        "tx {tx} rolledback reverted={reverted} -- {}\n",
+                        reason.replace('\n', " ")
+                    ));
+                }
+                TxPhase::Aborted => out.push_str(&format!("tx {tx} aborted\n")),
+            },
+            SessionEffect::Overloaded { depth } => {
+                out.push_str(&format!("overloaded depth={depth}\n"));
+            }
         }
         out
     }
@@ -647,6 +895,19 @@ page start() {
             SessionCommand::Snapshot,
             SessionCommand::Restore("#alive-store v1\n".to_string()),
             SessionCommand::Restore("garbage".to_string()),
+            SessionCommand::TxOpen,
+            SessionCommand::TxEdit {
+                tx: 1,
+                edits: vec![TextEdit::insert(0, "# staged\n")],
+            },
+            SessionCommand::TxEdit {
+                tx: 99,
+                edits: vec![],
+            }, // unknown tx
+            SessionCommand::TxStatus(1),
+            SessionCommand::TxCommit(1),
+            SessionCommand::TxCommit(1), // already committed
+            SessionCommand::TxAbort(7),  // unknown tx
         ];
         for command in commands {
             let effects = s.apply(command.clone());
@@ -748,6 +1009,22 @@ page start() {
             SessionCommand::Metrics,
             SessionCommand::Snapshot,
             SessionCommand::Restore("#alive-store v1\nnum count 3\n".to_string()),
+            SessionCommand::TxOpen,
+            SessionCommand::TxEdit {
+                tx: 3,
+                edits: vec![
+                    TextEdit::replace(Span::new(4, 9), "two\nlines \\ and a backslash"),
+                    TextEdit::insert(0, "lead"),
+                    TextEdit::delete(Span::new(12, 14)),
+                ],
+            },
+            SessionCommand::TxEdit {
+                tx: 4,
+                edits: vec![],
+            },
+            SessionCommand::TxStatus(3),
+            SessionCommand::TxCommit(3),
+            SessionCommand::TxAbort(4),
         ];
         let wire: String = commands.iter().map(SessionCommand::serialize).collect();
         let parsed = parse_commands(&wire).expect("parses");
@@ -761,6 +1038,10 @@ page start() {
         assert!(parse_commands("tap one two\n").is_err());
         assert!(parse_commands("editsource 999\nshort\n").is_err());
         assert!(parse_commands("editbox 0 no separator\n").is_err());
+        assert!(parse_commands("txedit nope 1\n").is_err());
+        assert!(parse_commands("txedit 1 2\n0 1 -- x\n").is_err()); // truncated
+        assert!(parse_commands("txedit 1 1\nno separator\n").is_err());
+        assert!(parse_commands("txcommit many\n").is_err());
         // Comments and blank lines are fine.
         let parsed = parse_commands("# a comment\n\nframe\n").expect("parses");
         assert_eq!(parsed, vec![SessionCommand::Frame]);
@@ -777,10 +1058,156 @@ page start() {
             SessionCommand::Undo,
             SessionCommand::Stats,
             SessionCommand::Snapshot,
+            SessionCommand::TxOpen,
+            SessionCommand::TxStatus(1),
+            SessionCommand::TxAbort(1),
         ] {
             for effect in s.apply(command) {
                 assert!(!effect.serialize().is_empty());
             }
         }
+        // The typed backpressure and fleet-phase effects have stable
+        // one-line wire forms.
+        assert_eq!(
+            SessionEffect::Overloaded { depth: 1024 }.serialize(),
+            "overloaded depth=1024\n"
+        );
+        assert_eq!(
+            SessionEffect::Tx {
+                tx: 5,
+                phase: TxPhase::Canary {
+                    canary: 10,
+                    fleet: 100
+                }
+            }
+            .serialize(),
+            "tx 5 canary 10/100\n"
+        );
+        assert_eq!(
+            SessionEffect::Tx {
+                tx: 5,
+                phase: TxPhase::RolledBack {
+                    reverted: 10,
+                    reason: "fault\nspike".to_string()
+                }
+            }
+            .serialize(),
+            "tx 5 rolledback reverted=10 -- fault spike\n"
+        );
+    }
+
+    #[test]
+    fn solo_transactions_commit_atomically() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        s.apply(SessionCommand::TapPath(vec![0])); // count = 11
+        let effects = s.apply(SessionCommand::TxOpen);
+        let [SessionEffect::Tx {
+            tx,
+            phase: TxPhase::Open { edits: 0 },
+        }] = effects.as_slice()
+        else {
+            panic!("expected an open effect, got {effects:?}");
+        };
+        let tx = *tx;
+        let at = APP.find("count is").expect("label") as u32;
+        let effects = s.apply(SessionCommand::TxEdit {
+            tx,
+            edits: vec![TextEdit::replace(Span::new(at, at + 8), "n =")],
+        });
+        assert!(matches!(
+            effects[0],
+            SessionEffect::Tx {
+                phase: TxPhase::Open { edits: 1 },
+                ..
+            }
+        ));
+        // Staging does not touch the running program.
+        assert_eq!(s.live_view(), "count is 11\n");
+        let effects = s.apply(SessionCommand::TxCommit(tx));
+        assert!(matches!(effects[0], SessionEffect::EditApplied(_)));
+        assert!(matches!(
+            effects[1],
+            SessionEffect::Tx {
+                phase: TxPhase::Promoted {
+                    updated: 1,
+                    skipped: 0
+                },
+                ..
+            }
+        ));
+        assert_eq!(s.live_view(), "n = 11\n");
+        // The transaction closed with its commit.
+        let effects = s.apply(SessionCommand::TxCommit(tx));
+        assert!(matches!(effects[0], SessionEffect::Refused(_)));
+    }
+
+    #[test]
+    fn solo_transaction_commit_that_faults_rolls_back() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        s.apply(SessionCommand::TapPath(vec![0])); // count = 11
+        let effects = s.apply(SessionCommand::TxOpen);
+        let [SessionEffect::Tx { tx, .. }] = effects.as_slice() else {
+            panic!("expected an open effect");
+        };
+        let tx = *tx;
+        let stmt = "post \"count is \" ++ count;";
+        let at = APP.find(stmt).expect("render stmt") as u32;
+        let effects = s.apply(SessionCommand::TxEdit {
+            tx,
+            edits: vec![TextEdit::replace(
+                Span::new(at, at + stmt.len() as u32),
+                "while true { count; } post \"never\";",
+            )],
+        });
+        assert!(matches!(effects[0], SessionEffect::Tx { .. }));
+        let effects = s.apply(SessionCommand::TxCommit(tx));
+        assert!(matches!(effects[0], SessionEffect::EditQuarantined { .. }));
+        assert!(matches!(
+            effects[1],
+            SessionEffect::Tx {
+                phase: TxPhase::RolledBack { reverted: 1, .. },
+                ..
+            }
+        ));
+        // Byte-identical to the pre-transaction state, model intact.
+        assert_eq!(s.live_view(), "count is 11\n");
+        assert!(s.source().contains(stmt));
+    }
+
+    #[test]
+    fn rejected_commit_keeps_the_transaction_open() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        let effects = s.apply(SessionCommand::TxOpen);
+        let [SessionEffect::Tx { tx, .. }] = effects.as_slice() else {
+            panic!("expected an open effect");
+        };
+        let tx = *tx;
+        // Stage a batch that will not compile.
+        let end = APP.len() as u32;
+        s.apply(SessionCommand::TxEdit {
+            tx,
+            edits: vec![TextEdit::replace(Span::new(0, end), "not a program")],
+        });
+        let effects = s.apply(SessionCommand::TxCommit(tx));
+        assert!(matches!(effects[0], SessionEffect::EditRejected(_)));
+        // Still open: a fixing batch can be staged and committed.
+        let effects = s.apply(SessionCommand::TxStatus(tx));
+        assert!(matches!(
+            effects[0],
+            SessionEffect::Tx {
+                phase: TxPhase::Open { edits: 1 },
+                ..
+            }
+        ));
+        s.apply(SessionCommand::TxEdit {
+            tx,
+            edits: vec![TextEdit::replace(
+                Span::new(0, "not a program".len() as u32),
+                APP.replace("count is", "n ="),
+            )],
+        });
+        let effects = s.apply(SessionCommand::TxCommit(tx));
+        assert!(matches!(effects[0], SessionEffect::EditApplied(_)));
+        assert_eq!(s.live_view(), "n = 1\n");
     }
 }

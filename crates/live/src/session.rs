@@ -27,14 +27,16 @@ use crate::fault_log::FaultLog;
 use crate::memo::{MemoCache, MemoStats};
 use crate::metrics::SessionMetrics;
 use crate::pipeline::{FramePipeline, FrameStats};
+use crate::protocol::SessionCommand;
 use alive_core::boxtree::{BoxNode, Display};
 use alive_core::fixup::FixupReport;
 use alive_core::metrics::SystemMetrics;
 use alive_core::system::{ActionError, StepKind, System, SystemConfig};
-use alive_core::{compile, Fault, IncrementalCompiler};
+use alive_core::{compile, Fault, IncrementalCompiler, Program};
 use alive_obs::{Clock, MetricsSnapshot, MonotonicClock, Registry};
 use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
 use alive_ui::Point;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The result of submitting an edit to a live session.
@@ -95,6 +97,90 @@ impl UndoOutcome {
     }
 }
 
+/// Outcome of a host-driven fleet UPDATE on one session
+/// ([`LiveSession::fleet_update`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetUpdateOutcome {
+    /// The UPDATE transition ran; the session now runs the new program
+    /// with a pre-transaction checkpoint parked for revert/promote.
+    Applied {
+        /// Whether the new code faulted the moment it ran (its
+        /// init/render, before any further traffic). The session keeps
+        /// running the new program — degraded, banner up — so the host's
+        /// rollout state machine, not the session, decides the revert.
+        faulted: bool,
+    },
+    /// The session's source no longer matches the transaction's base
+    /// version (it edited locally since the transaction opened); it was
+    /// left untouched.
+    Diverged,
+    /// Another fleet transaction's checkpoint is still pending on this
+    /// session; it was left untouched.
+    Busy,
+    /// The UPDATE transition itself refused (internal surprise — after a
+    /// refresh the queue is drained, so this should not happen); the
+    /// session was left untouched.
+    Failed(String),
+}
+
+/// Pre-transaction state parked on a session between a fleet UPDATE and
+/// the transaction's promote/revert decision — PR 2's checkpoint
+/// machinery, extended to everything a revert must restore *plus* a
+/// journal of the client commands answered while the canary was live
+/// (re-applied after the revert, so the session converges to what a solo
+/// replay of its full history produces).
+#[derive(Debug)]
+struct FleetCheckpoint {
+    tx: u64,
+    system: System,
+    source: String,
+    faults: FaultLog,
+    undo_stack: Vec<String>,
+    redo_stack: Vec<String>,
+    updates_applied: u64,
+    updates_rejected: u64,
+    pending_txs: BTreeMap<u64, PendingTx>,
+    next_tx: u64,
+    journal: Vec<SessionCommand>,
+    journal_overflow: bool,
+}
+
+/// Commands journaled per pending fleet checkpoint before the journal
+/// stops recording ([`FleetCheckpoint::journal_overflow`]). Past the
+/// bound a revert restores the checkpoint but skips the replay — the
+/// session is still byte-identical to its *pre-transaction* state, just
+/// not to a full-history solo replay. Observation windows are short;
+/// 4096 commands inside one is a misbehaving client.
+const FLEET_JOURNAL_CAPACITY: usize = 4096;
+
+/// One open edit transaction staged on a solo session
+/// ([`LiveSession::tx_open`]): the batched source so far.
+#[derive(Debug, Clone)]
+struct PendingTx {
+    staged: String,
+    edits: usize,
+}
+
+/// A typed failure from the solo transaction API.
+#[derive(Debug)]
+pub enum TxError {
+    /// No open transaction with this id.
+    UnknownTx(u64),
+    /// A staged batch was malformed against the staged text.
+    Edit(EditError),
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::UnknownTx(tx) => write!(f, "no open transaction tx#{tx}"),
+            TxError::Edit(e) => write!(f, "bad transaction edit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
 /// A live programming session: source text + running system + optional
 /// render cache.
 #[derive(Debug)]
@@ -124,6 +210,14 @@ pub struct LiveSession {
     /// µs the system spent settling (evaluation) before the last
     /// rendered frame; stamped into [`FrameStats::eval_us`].
     last_eval_us: u64,
+    /// Pre-transaction checkpoint while a fleet UPDATE awaits its
+    /// promote/revert decision. At most one — a session runs at most one
+    /// fleet transaction at a time.
+    fleet_checkpoint: Option<FleetCheckpoint>,
+    /// Open solo edit transactions, staged source per id.
+    pending_txs: BTreeMap<u64, PendingTx>,
+    /// Next solo transaction id.
+    next_tx: u64,
 }
 
 impl LiveSession {
@@ -219,6 +313,9 @@ impl LiveSession {
             metrics,
             clock,
             last_eval_us: 0,
+            fleet_checkpoint: None,
+            pending_txs: BTreeMap::new(),
+            next_tx: 1,
         };
         session.refresh();
         session
@@ -563,6 +660,242 @@ impl LiveSession {
     pub fn apply_text_edits(&mut self, edits: &[TextEdit]) -> Result<EditOutcome, SessionError> {
         let new_source = apply_edits(&self.source, edits).map_err(SessionError::Edit)?;
         Ok(self.edit_source(&new_source))
+    }
+
+    // -----------------------------------------------------------------
+    // Edit transactions (solo) — the degenerate single-session form of
+    // the host's fleet transaction: batch edits against a staged copy of
+    // the source, then commit them as ONE UPDATE transition (atomic: the
+    // running program never sees a half-applied batch).
+    // -----------------------------------------------------------------
+
+    /// Open an edit transaction: stage a copy of the current source for
+    /// batched edits. Returns the transaction id.
+    pub fn tx_open(&mut self) -> u64 {
+        let tx = self.next_tx;
+        self.next_tx += 1;
+        self.pending_txs.insert(
+            tx,
+            PendingTx {
+                staged: self.source.clone(),
+                edits: 0,
+            },
+        );
+        tx
+    }
+
+    /// Stage one batch of span-addressed edits on an open transaction.
+    /// Spans address the *staged* text (the result of every batch staged
+    /// so far — see [`alive_syntax::apply_edit_batches`]); the running
+    /// program is untouched until commit. Returns the total number of
+    /// edits staged on the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::UnknownTx`] / [`TxError::Edit`]; the staged text is
+    /// unchanged on error.
+    pub fn tx_edit(&mut self, tx: u64, edits: &[TextEdit]) -> Result<usize, TxError> {
+        let pending = self
+            .pending_txs
+            .get_mut(&tx)
+            .ok_or(TxError::UnknownTx(tx))?;
+        pending.staged = apply_edits(&pending.staged, edits).map_err(TxError::Edit)?;
+        pending.edits += edits.len();
+        Ok(pending.edits)
+    }
+
+    /// Commit an open transaction: submit the staged source as one
+    /// UPDATE ([`LiveSession::edit_source`] semantics — rejection and
+    /// quarantine included). The transaction closes on
+    /// [`EditOutcome::Applied`] and [`EditOutcome::Quarantined`] (the
+    /// batch was decided); it stays open on [`EditOutcome::Rejected`] so
+    /// the client can stage a fix and retry.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::UnknownTx`] if no such transaction is open.
+    pub fn tx_commit(&mut self, tx: u64) -> Result<EditOutcome, TxError> {
+        let staged = self
+            .pending_txs
+            .get(&tx)
+            .ok_or(TxError::UnknownTx(tx))?
+            .staged
+            .clone();
+        let outcome = self.edit_source(&staged);
+        if !matches!(outcome, EditOutcome::Rejected(_)) {
+            self.pending_txs.remove(&tx);
+        }
+        Ok(outcome)
+    }
+
+    /// Abort an open transaction, discarding its staged edits. Returns
+    /// whether the id named an open transaction.
+    pub fn tx_abort(&mut self, tx: u64) -> bool {
+        self.pending_txs.remove(&tx).is_some()
+    }
+
+    /// Number of edits staged on an open transaction, or `None` if the
+    /// id is unknown.
+    pub fn tx_edits(&self, tx: u64) -> Option<usize> {
+        self.pending_txs.get(&tx).map(|p| p.edits)
+    }
+
+    // -----------------------------------------------------------------
+    // Fleet UPDATE / revert — the host-driven half of a transaction's
+    // canary rollout. `fleet_update` applies a host-compiled program and
+    // parks a checkpoint; the host later calls `fleet_promote` (drop the
+    // checkpoint) or `fleet_revert` (restore it, state intact).
+    // -----------------------------------------------------------------
+
+    /// Apply a host-compiled program as a Fig. 12 UPDATE, parking a
+    /// pre-transaction checkpoint for the transaction's promote/revert
+    /// decision. The caller vouches that `program` is the compilation of
+    /// `new_source` and passed the typechecker (the host compiled it
+    /// once for the whole fleet); `base_source` is the source version the
+    /// transaction was opened against — a session that has since edited
+    /// away from it reports [`FleetUpdateOutcome::Diverged`] and is left
+    /// untouched.
+    ///
+    /// Unlike [`LiveSession::edit_source`], an immediately-faulting
+    /// update is **not** auto-quarantined here: the session keeps
+    /// running the new program degraded (banner up, last good view) and
+    /// reports `faulted: true` — whether one canary fault rolls the
+    /// whole fleet's transaction back is the host's call, not the
+    /// session's. Fleet updates do not touch the undo/redo history:
+    /// they are deploys, not local edits.
+    pub fn fleet_update(
+        &mut self,
+        tx: u64,
+        base_source: &str,
+        new_source: &str,
+        program: Arc<Program>,
+    ) -> FleetUpdateOutcome {
+        if self.fleet_checkpoint.is_some() {
+            return FleetUpdateOutcome::Busy;
+        }
+        if self.source != base_source {
+            return FleetUpdateOutcome::Diverged;
+        }
+        // UPDATE requires a drained queue; settling also renders, so the
+        // checkpoint below is the freshest good pre-transaction state.
+        self.refresh();
+        let checkpoint = FleetCheckpoint {
+            tx,
+            system: self.system.clone(),
+            source: self.source.clone(),
+            faults: self.faults.clone(),
+            undo_stack: self.undo_stack.clone(),
+            redo_stack: self.redo_stack.clone(),
+            updates_applied: self.updates_applied,
+            updates_rejected: self.updates_rejected,
+            pending_txs: self.pending_txs.clone(),
+            next_tx: self.next_tx,
+            journal: Vec::new(),
+            journal_overflow: false,
+        };
+        if let Err(e) = self.system.update_shared(program) {
+            return FleetUpdateOutcome::Failed(e.to_string());
+        }
+        if let Some(memo) = self.memo.as_mut() {
+            memo.on_update(self.system.program(), self.system.version());
+        }
+        self.source = new_source.to_string();
+        self.updates_applied += 1;
+        let faults_before = self.faults.total();
+        self.refresh();
+        let faulted = self.faults.total() > faults_before;
+        self.fleet_checkpoint = Some(checkpoint);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_fleet_update();
+        }
+        FleetUpdateOutcome::Applied { faulted }
+    }
+
+    /// Roll a fleet UPDATE back: restore the parked checkpoint — system,
+    /// source, fault log, history stacks, edit books, open solo
+    /// transactions — then re-apply the journal of client commands the
+    /// session answered while the canary was live, so the session ends
+    /// byte-identical to a solo replay of its full command history under
+    /// the old program. Returns `false` (session untouched) if no
+    /// checkpoint for `tx` is pending.
+    pub fn fleet_revert(&mut self, tx: u64) -> bool {
+        match &self.fleet_checkpoint {
+            Some(checkpoint) if checkpoint.tx == tx => {}
+            _ => return false,
+        }
+        let Some(checkpoint) = self.fleet_checkpoint.take() else {
+            return false;
+        };
+        self.system = checkpoint.system;
+        self.source = checkpoint.source;
+        self.faults = checkpoint.faults;
+        self.undo_stack = checkpoint.undo_stack;
+        self.redo_stack = checkpoint.redo_stack;
+        self.updates_applied = checkpoint.updates_applied;
+        self.updates_rejected = checkpoint.updates_rejected;
+        self.pending_txs = checkpoint.pending_txs;
+        self.next_tx = checkpoint.next_tx;
+        if let Some(memo) = self.memo.as_mut() {
+            // The cache holds entries keyed to the reverted version;
+            // rebuild it against the restored program.
+            *memo = MemoCache::new(self.system.program());
+        }
+        // The view memo is display-generation-keyed and the restored
+        // system's generation rolls *backward* — a stale pipeline would
+        // serve the canary frame for a restored generation. Rebuild it.
+        let mut pipeline = FramePipeline::new();
+        if self.metrics.is_some() {
+            pipeline.set_clock(Arc::clone(&self.clock));
+        }
+        self.pipeline = pipeline;
+        self.refresh();
+        // Replay the mid-canary traffic against the restored program.
+        // The checkpoint is `None` now, so nothing re-journals.
+        if !checkpoint.journal_overflow {
+            for command in checkpoint.journal {
+                let _ = self.apply(command);
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.record_fleet_revert();
+        }
+        true
+    }
+
+    /// Promote a fleet UPDATE: the transaction's observation window
+    /// closed clean, so drop the parked checkpoint (and its journal) —
+    /// the new program is this session's baseline now. Returns `false`
+    /// if no checkpoint for `tx` is pending.
+    pub fn fleet_promote(&mut self, tx: u64) -> bool {
+        match &self.fleet_checkpoint {
+            Some(checkpoint) if checkpoint.tx == tx => {
+                self.fleet_checkpoint = None;
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_fleet_promote();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The transaction id of the pending fleet checkpoint, if any.
+    pub fn fleet_pending(&self) -> Option<u64> {
+        self.fleet_checkpoint.as_ref().map(|c| c.tx)
+    }
+
+    /// Journal a client command while a fleet checkpoint is pending (the
+    /// revert path replays the journal). Bounded: past
+    /// `FLEET_JOURNAL_CAPACITY` the journal stops recording and a revert
+    /// restores the bare checkpoint without replay.
+    pub(crate) fn journal_for_fleet(&mut self, command: &SessionCommand) {
+        if let Some(checkpoint) = self.fleet_checkpoint.as_mut() {
+            if checkpoint.journal.len() >= FLEET_JOURNAL_CAPACITY {
+                checkpoint.journal_overflow = true;
+            } else {
+                checkpoint.journal.push(command.clone());
+            }
+        }
     }
 
     /// The current display's box tree (refreshing first), or `None` if

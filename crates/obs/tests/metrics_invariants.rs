@@ -330,6 +330,102 @@ fn host_snapshot_is_the_sum_of_sessions_under_concurrent_load() {
 }
 
 // ---------------------------------------------------------------------
+// Rollout accounting: the auto-rollback counter is evidence
+// ---------------------------------------------------------------------
+
+/// 6. **Rollback accounting.** `host.rollbacks_total` counts exactly
+///    the known-bad transactions committed against the fleet — no good
+///    commit, aborted transaction, or per-session quarantine bleeds into
+///    it. This is the invariant that makes the counter usable as an
+///    alerting signal: one tick, one bad deploy.
+#[test]
+fn host_rollbacks_total_equals_injected_bad_commits() {
+    use alive_live::TxPhase;
+    use alive_syntax::{Span, TextEdit};
+
+    const INJECTED_BAD_COMMITS: usize = 3;
+    let host = SessionHost::new(HostConfig {
+        // Tight fuel so the injected divergence faults fast.
+        system: SystemConfig {
+            fuel: 10_000,
+            max_transitions: 500,
+        },
+        ..HostConfig::with_workers(2)
+    });
+    let ids: Vec<_> = (0..8)
+        .map(|_| host.create_session(APP).expect("compiles"))
+        .collect();
+
+    let stage = |tx: u64, needle: &str, replacement: &str| {
+        let base = host
+            .inspect_session(ids[0], |session| session.source().to_string())
+            .expect("live");
+        let at = base.find(needle).expect("needle present") as u32;
+        host.tx_edit(
+            tx,
+            &[TextEdit::replace(
+                Span::new(at, at + needle.len() as u32),
+                replacement,
+            )],
+        )
+        .expect("stages");
+    };
+
+    // Each bad commit stages a distinct diverging render (distinct
+    // source text, so each is its own version in the store), watches
+    // its canary fault, and auto-rolls-back — one counter tick each.
+    for i in 0..INJECTED_BAD_COMMITS {
+        let tx = host.tx_open(ids[0]).expect("opens");
+        stage(
+            tx,
+            "post \"count is \" ++ count;",
+            &format!("while true {{ count; }} post \"bad {i}\";"),
+        );
+        let phase = host.tx_commit(tx).expect("commit decides");
+        assert!(
+            matches!(phase, TxPhase::RolledBack { .. }),
+            "bad commit {i} must roll back, got {phase:?}"
+        );
+        assert_eq!(
+            host.metrics_snapshot()
+                .counter(alive_serve::names::ROLLBACKS_TOTAL),
+            i as u64 + 1,
+            "one rollback tick per bad commit"
+        );
+    }
+
+    // Control arms: a good commit promotes, an abort never fans out —
+    // neither moves the rollback counter.
+    let tx = host.tx_open(ids[0]).expect("opens");
+    stage(tx, "count is ", "count now ");
+    assert!(matches!(
+        host.tx_commit(tx).expect("commit decides"),
+        TxPhase::Promoted { updated: 8, .. }
+    ));
+    let tx = host.tx_open(ids[0]).expect("opens");
+    host.tx_abort(tx).expect("aborts");
+
+    let snapshot = host.shutdown();
+    assert_eq!(
+        snapshot.counter(alive_serve::names::ROLLBACKS_TOTAL),
+        INJECTED_BAD_COMMITS as u64,
+        "host.rollbacks_total == injected bad commits"
+    );
+    // Cross-check against per-session evidence: total reverts are the
+    // canary slices of the bad commits (1 canary per 8-session fleet),
+    // and every revert belongs to some rollback.
+    assert_eq!(
+        snapshot.counter(alive_serve::names::ROLLOUT_REVERTS),
+        INJECTED_BAD_COMMITS as u64
+    );
+    assert_eq!(
+        snapshot.counter(alive_serve::names::TX_PROMOTED),
+        1,
+        "only the control commit promoted"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Histogram algebra: quantile edges and merge laws
 // ---------------------------------------------------------------------
 

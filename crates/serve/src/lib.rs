@@ -38,14 +38,17 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod rollout;
 mod scheduler;
 
-use alive_core::compile;
 use alive_core::system::SystemConfig;
 use alive_core::Program;
-use alive_live::{FrameSnapshot, LiveSession, SessionCommand, SessionEffect};
+use alive_live::{
+    FleetUpdateOutcome, FrameSnapshot, LiveSession, SessionCommand, SessionEffect, TxPhase,
+};
 use alive_obs::{Clock, Counter, Gauge, Histogram, MetricsSnapshot, MonotonicClock, Registry};
-use alive_syntax::Diagnostics;
+use alive_syntax::{apply_edits, Diagnostics, EditError, TextEdit};
+use rollout::{CanaryState, ProgramStore, RolloutConfig, Transaction, TxState};
 use scheduler::Scheduler;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -102,6 +105,21 @@ pub mod names {
     pub const PROGRAM_CACHE_MISSES: &str = "host.program_cache.misses";
     /// Sessions created over the host's lifetime.
     pub const SESSIONS_CREATED: &str = "host.sessions_created";
+    /// Edit transactions opened ([`crate::SessionHost::tx_open`]).
+    pub const TX_OPENED: &str = "host.tx.opened";
+    /// Edit transactions committed (the canary wave was fanned out).
+    pub const TX_COMMITTED: &str = "host.tx.committed";
+    /// Edit transactions promoted fleet-wide.
+    pub const TX_PROMOTED: &str = "host.tx.promoted";
+    /// Transactions auto-rolled-back by a canary fault spike — the
+    /// rollout safety net's trip count, gated by the invariant suite.
+    pub const ROLLBACKS_TOTAL: &str = "host.rollbacks_total";
+    /// Fleet UPDATEs applied to sessions (canary + promote waves).
+    pub const ROLLOUT_UPDATES: &str = "host.rollout.updates";
+    /// Fleet reverts applied during auto-rollback.
+    pub const ROLLOUT_REVERTS: &str = "host.rollout.reverts";
+    /// High-water mark of one transaction's canary-wave size.
+    pub const ROLLOUT_CANARY_SESSIONS: &str = "host.rollout.canary_sessions";
 }
 
 /// Pre-resolved host-level handles. Session-level metrics live in each
@@ -123,6 +141,13 @@ struct HostMetrics {
     program_cache_hits: Counter,
     program_cache_misses: Counter,
     sessions_created: Counter,
+    tx_opened: Counter,
+    tx_committed: Counter,
+    tx_promoted: Counter,
+    rollbacks_total: Counter,
+    rollout_updates: Counter,
+    rollout_reverts: Counter,
+    rollout_canary_sessions: Gauge,
 }
 
 impl HostMetrics {
@@ -141,6 +166,13 @@ impl HostMetrics {
             program_cache_hits: registry.counter(names::PROGRAM_CACHE_HITS),
             program_cache_misses: registry.counter(names::PROGRAM_CACHE_MISSES),
             sessions_created: registry.counter(names::SESSIONS_CREATED),
+            tx_opened: registry.counter(names::TX_OPENED),
+            tx_committed: registry.counter(names::TX_COMMITTED),
+            tx_promoted: registry.counter(names::TX_PROMOTED),
+            rollbacks_total: registry.counter(names::ROLLBACKS_TOTAL),
+            rollout_updates: registry.counter(names::ROLLOUT_UPDATES),
+            rollout_reverts: registry.counter(names::ROLLOUT_REVERTS),
+            rollout_canary_sessions: registry.gauge(names::ROLLOUT_CANARY_SESSIONS),
             clock,
             registry,
         }
@@ -177,6 +209,8 @@ pub struct HostConfig {
     /// (1024) is far above anything a well-behaved client queues; zero
     /// is clamped to 1 (a mailbox that admits nothing is not a host).
     pub mailbox_capacity: usize,
+    /// Canary rollout policy for committed edit transactions.
+    pub rollout: RolloutConfig,
 }
 
 impl Default for HostConfig {
@@ -187,6 +221,7 @@ impl Default for HostConfig {
             memo: false,
             metrics: true,
             mailbox_capacity: 1024,
+            rollout: RolloutConfig::default(),
         }
     }
 }
@@ -225,6 +260,13 @@ pub enum HostError {
     /// the command was applied. The command is still queued and still
     /// runs; only the wait gave up.
     Timeout,
+    /// The edit-transaction id is unknown (never opened on this host).
+    UnknownTransaction(u64),
+    /// The edit transaction has already been decided (promoted, rolled
+    /// back, or aborted) or is mid-commit on another thread.
+    TransactionClosed(u64),
+    /// A staged edit batch is malformed against the staged text.
+    Edit(EditError),
 }
 
 impl fmt::Display for HostError {
@@ -237,6 +279,11 @@ impl fmt::Display for HostError {
                 write!(f, "{session} overloaded: mailbox at capacity ({depth})")
             }
             HostError::Timeout => f.write_str("timed out waiting for effects"),
+            HostError::UnknownTransaction(tx) => write!(f, "unknown transaction tx#{tx}"),
+            HostError::TransactionClosed(tx) => {
+                write!(f, "transaction tx#{tx} is not open")
+            }
+            HostError::Edit(e) => write!(f, "malformed edit batch: {e}"),
         }
     }
 }
@@ -248,20 +295,101 @@ impl std::error::Error for HostError {}
 /// left it intact — the shared maps and queues themselves are always
 /// structurally sound, so continuing is safe and required by the
 /// no-panic discipline.
-fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One command in flight, with its reply channel.
+/// One client command in flight, with its reply channel.
 struct Envelope {
     command: SessionCommand,
     reply: Sender<Vec<SessionEffect>>,
 }
 
+/// A host-internal fleet operation, delivered through the same mailbox
+/// as client commands so it serializes with them per session (a fleet
+/// UPDATE lands between client commands, never inside one). Fleet items
+/// bypass the mailbox capacity: they are host-originated and bounded
+/// (at most a few per session per transaction phase), so shedding them
+/// would only wedge a rollout that backpressure already slowed.
+enum FleetOp {
+    /// Apply a host-compiled program as a Fig. 12 UPDATE (parks a
+    /// checkpoint in the session for the later promote/revert).
+    Update {
+        tx: u64,
+        base: Arc<str>,
+        source: Arc<str>,
+        program: Arc<Program>,
+    },
+    /// Restore the checkpoint parked by `Update` (auto-rollback).
+    Revert { tx: u64 },
+    /// Drop the checkpoint parked by `Update` (the version stuck).
+    Promote { tx: u64 },
+    /// Read the session's fault-log total (canary health probe).
+    Probe,
+    /// Run arbitrary instrumentation against the session, in mailbox
+    /// order. Test-only reachability (see `SessionHost::inspect_session`).
+    Inspect(Box<dyn FnOnce(&mut LiveSession) + Send>),
+}
+
+/// The worker's answer to one [`FleetOp`].
+enum FleetReply {
+    Updated {
+        outcome: FleetUpdateOutcome,
+        /// Fault-log totals around the update: the immediate fault
+        /// delta and the baseline for the observation window.
+        faults_before: u64,
+        faults_after: u64,
+    },
+    Reverted(bool),
+    Promoted,
+    Faults(u64),
+    Inspected,
+}
+
+struct FleetEnvelope {
+    op: FleetOp,
+    reply: Sender<FleetReply>,
+}
+
+/// Tally of one fleet UPDATE wave.
+struct UpdateWave {
+    /// Sessions the update applied to (checkpoint parked).
+    applied: Vec<u64>,
+    /// Sum of per-session fault-log growth across the wave — the
+    /// immediate health signal a zero-window commit decides on.
+    fault_delta: u64,
+    /// Sum of post-update fault-log totals — the baseline an
+    /// observation window measures its spike against.
+    faults_after: u64,
+    /// Sessions skipped (diverged from the base version, busy with
+    /// another transaction's checkpoint, or removed mid-wave).
+    skipped: usize,
+}
+
+/// The [`SessionEffect`] a transport should answer with when the host
+/// refuses a submission: [`HostError::Overloaded`] becomes the typed
+/// [`SessionEffect::Overloaded`] backpressure signal (carrying the
+/// mailbox depth, so clients can size their retry behaviour); every
+/// other error is a [`SessionEffect::Refused`] with prose.
+pub fn effect_for_error(error: &HostError) -> SessionEffect {
+    match error {
+        HostError::Overloaded { depth, .. } => SessionEffect::Overloaded {
+            depth: u64::try_from(*depth).unwrap_or(u64::MAX),
+        },
+        other => SessionEffect::Refused(other.to_string()),
+    }
+}
+
+/// Everything a session's mailbox can hold.
+enum WorkItem {
+    Client(Envelope),
+    Fleet(FleetEnvelope),
+}
+
 /// Per-session state: the mailbox, the session itself (present when no
 /// worker holds it), the scheduling flag, and the published frame.
 struct Slot {
-    mailbox: Mutex<VecDeque<Envelope>>,
+    mailbox: Mutex<VecDeque<WorkItem>>,
     /// `Some` while parked; taken by the worker that drains the mailbox.
     session: Mutex<Option<LiveSession>>,
     /// True while the session sits in the ready queue or a worker's
@@ -270,6 +398,11 @@ struct Slot {
     scheduled: AtomicBool,
     /// The most recent settled frame, whole-or-nothing for observers.
     latest: Mutex<Option<Arc<FrameSnapshot>>>,
+    /// The session's current source version, kept in sync by the
+    /// draining worker after every command. This is the host's view of
+    /// "which version is this session on" — what transaction fleet
+    /// membership is decided from — without taking the session itself.
+    source: Mutex<Arc<str>>,
     /// The session's registry — the same one its `LiveSession` records
     /// into, so `SessionCommand::Metrics` and host snapshots agree.
     /// `None` when the host runs with metrics disabled.
@@ -295,21 +428,30 @@ impl Slot {
 /// rendezvous channels instead of sleeps.
 type DrainParkHook = Arc<dyn Fn(u64) + Send + Sync>;
 
-/// One source version's compile, single-flighted: the first caller
-/// initializes the cell (compiling outside every map lock), racing
-/// same-source callers block on the cell instead of compiling twice,
-/// and different-source callers are never blocked at all. Failures are
-/// cached too — compilation is deterministic, so the same source
-/// yields the same diagnostics.
-type ProgramCell = Arc<std::sync::OnceLock<Result<Arc<Program>, Diagnostics>>>;
+/// Keep the slot's source-version tag in sync with the session: client
+/// edits, undo/redo, and fleet updates/reverts all move it. Runs
+/// *before* the reply for the item is sent, so a caller that acts on
+/// the reply (opening a transaction right after an edit or a revert)
+/// never reads a stale version tag.
+fn sync_source(slot: &Slot, session: &LiveSession) {
+    let mut source = lock(&slot.source);
+    if **source != *session.source() {
+        *source = Arc::from(session.source());
+    }
+}
 
 struct HostInner {
     slots: Mutex<HashMap<u64, Arc<Slot>>>,
-    /// Source text → its compiled program, one entry per version.
-    programs: Mutex<HashMap<String, ProgramCell>>,
-    /// Number of actual compiles performed (cache misses) — observable
-    /// so tests can pin "compile once per version, not per session".
-    compiles: AtomicU64,
+    /// The versioned program store: one single-flight compile per
+    /// distinct source text, shared by every session on that version.
+    store: ProgramStore,
+    /// Open and decided edit transactions, by id.
+    txs: Mutex<HashMap<u64, Transaction>>,
+    next_tx: AtomicU64,
+    /// The host's time base for rollout observation windows — the
+    /// metrics clock when metrics are on (deterministic under
+    /// [`alive_obs::ManualClock`]), monotonic wall time otherwise.
+    clock: Arc<dyn Clock>,
     /// Sharded work-stealing run queues; replaces the old
     /// `Mutex<Receiver<u64>>` whose held-across-`recv_timeout` lock
     /// serialized every worker.
@@ -349,25 +491,69 @@ impl HostInner {
         };
         let clock = slot.registry.as_ref().map(Registry::clock);
         loop {
-            let envelope = lock(&slot.mailbox).pop_front();
-            let Some(envelope) = envelope else { break };
-            let started = clock.as_ref().map(|clock| clock.now_us());
-            let effects = session.apply(envelope.command);
-            if let (Some(latency), Some(clock), Some(started)) =
-                (&slot.cmd_latency, &clock, started)
-            {
-                latency.record(clock.now_us().saturating_sub(started));
+            let item = lock(&slot.mailbox).pop_front();
+            let Some(item) = item else { break };
+            match item {
+                WorkItem::Client(envelope) => {
+                    let started = clock.as_ref().map(|clock| clock.now_us());
+                    let effects = session.apply(envelope.command);
+                    if let (Some(latency), Some(clock), Some(started)) =
+                        (&slot.cmd_latency, &clock, started)
+                    {
+                        latency.record(clock.now_us().saturating_sub(started));
+                    }
+                    // Publish the last frame among the effects: observers
+                    // see whole settled frames, in per-session order.
+                    if let Some(frame) = effects.iter().rev().find_map(|effect| match effect {
+                        SessionEffect::Frame(frame) => Some(frame.clone()),
+                        _ => None,
+                    }) {
+                        *lock(&slot.latest) = Some(Arc::new(frame));
+                    }
+                    sync_source(&slot, &session);
+                    // The submitter may have dropped its ticket; fine.
+                    let _ = envelope.reply.send(effects);
+                }
+                WorkItem::Fleet(envelope) => {
+                    let reply = match envelope.op {
+                        FleetOp::Update {
+                            tx,
+                            base,
+                            source,
+                            program,
+                        } => {
+                            let faults_before = session.fault_log().total();
+                            let outcome = session.fleet_update(tx, &base, &source, program);
+                            let faults_after = session.fault_log().total();
+                            *lock(&slot.latest) = Some(Arc::new(session.frame_snapshot()));
+                            FleetReply::Updated {
+                                outcome,
+                                faults_before,
+                                faults_after,
+                            }
+                        }
+                        FleetOp::Revert { tx } => {
+                            let reverted = session.fleet_revert(tx);
+                            if reverted {
+                                *lock(&slot.latest) = Some(Arc::new(session.frame_snapshot()));
+                            }
+                            FleetReply::Reverted(reverted)
+                        }
+                        FleetOp::Promote { tx } => {
+                            let _ = session.fleet_promote(tx);
+                            FleetReply::Promoted
+                        }
+                        FleetOp::Probe => FleetReply::Faults(session.fault_log().total()),
+                        FleetOp::Inspect(run) => {
+                            run(&mut session);
+                            FleetReply::Inspected
+                        }
+                    };
+                    sync_source(&slot, &session);
+                    // The transaction driver may have given up; fine.
+                    let _ = envelope.reply.send(reply);
+                }
             }
-            // Publish the last frame among the effects: observers see
-            // whole settled frames, in per-session order.
-            if let Some(frame) = effects.iter().rev().find_map(|effect| match effect {
-                SessionEffect::Frame(frame) => Some(frame.clone()),
-                _ => None,
-            }) {
-                *lock(&slot.latest) = Some(Arc::new(frame));
-            }
-            // The submitter may have dropped its ticket; fine.
-            let _ = envelope.reply.send(effects);
         }
         *lock(&slot.session) = Some(session);
         // Scripted-interleaving tests pause here: the mailbox has been
@@ -527,10 +713,19 @@ impl SessionHost {
     fn start(config: HostConfig, clock: Option<Arc<dyn Clock>>) -> Self {
         let workers = config.workers.max(1);
         let mailbox_capacity = config.mailbox_capacity.max(1);
+        let metrics = clock.map(HostMetrics::new);
+        // The rollout clock: share the metrics clock when there is one
+        // (deterministic under ManualClock), fall back to wall time.
+        let clock = metrics
+            .as_ref()
+            .map(|metrics| Arc::clone(&metrics.clock))
+            .unwrap_or_else(|| Arc::new(MonotonicClock::new()) as Arc<dyn Clock>);
         let inner = Arc::new(HostInner {
             slots: Mutex::new(HashMap::new()),
-            programs: Mutex::new(HashMap::new()),
-            compiles: AtomicU64::new(0),
+            store: ProgramStore::new(),
+            txs: Mutex::new(HashMap::new()),
+            next_tx: AtomicU64::new(1),
+            clock,
             scheduler: Scheduler::new(workers),
             config: HostConfig {
                 workers,
@@ -538,7 +733,7 @@ impl SessionHost {
                 ..config
             },
             next_id: AtomicU64::new(1),
-            metrics: clock.map(HostMetrics::new),
+            metrics,
             drain_park_hook: Mutex::new(None),
         });
         let handles = (0..workers)
@@ -572,7 +767,20 @@ impl SessionHost {
     /// How many distinct source versions have been compiled. With K
     /// sessions on one source this stays 1 — the host's whole point.
     pub fn programs_compiled(&self) -> u64 {
-        self.inner.compiles.load(Ordering::Acquire)
+        self.inner.store.compiles()
+    }
+
+    /// How many distinct source versions the host has seen (compiled
+    /// or failed) — the program store's version history length. Every
+    /// committed transaction adds exactly one.
+    pub fn version_count(&self) -> usize {
+        self.inner.store.version_count()
+    }
+
+    /// The 1-based version number of `source` in the host's program
+    /// store, if that exact text has been seen.
+    pub fn version_of(&self, source: &str) -> Option<u64> {
+        self.inner.store.version_of(source)
     }
 
     /// The shared compiled program for `source`, compiling it on first
@@ -590,40 +798,22 @@ impl SessionHost {
     ///
     /// [`HostError::Compile`] with the program's diagnostics.
     pub fn program_for(&self, source: &str) -> Result<Arc<Program>, HostError> {
-        let cell = {
-            let mut programs = lock(&self.inner.programs);
-            match programs.get(source) {
-                Some(cell) => Arc::clone(cell),
-                None => {
-                    let cell: ProgramCell = Arc::new(std::sync::OnceLock::new());
-                    programs.insert(source.to_string(), Arc::clone(&cell));
-                    cell
-                }
-            }
-        };
-        let mut compiled_here = false;
-        let result = cell.get_or_init(|| {
-            compiled_here = true;
-            compile(source).map(Arc::new)
-        });
-        match result {
+        let outcome = self.inner.store.lookup(source);
+        match outcome.result {
             Ok(program) => {
-                if compiled_here {
-                    self.inner.compiles.fetch_add(1, Ordering::AcqRel);
-                }
                 if let Some(metrics) = &self.inner.metrics {
                     // A racing same-source caller that lost the init is
                     // a hit: it waited for the winner, it did not
                     // compile.
-                    if compiled_here {
+                    if outcome.compiled_here {
                         metrics.program_cache_misses.inc();
                     } else {
                         metrics.program_cache_hits.inc();
                     }
                 }
-                Ok(Arc::clone(program))
+                Ok(program)
             }
-            Err(diagnostics) => Err(HostError::Compile(diagnostics.clone())),
+            Err(diagnostics) => Err(HostError::Compile(diagnostics)),
         }
     }
 
@@ -662,6 +852,7 @@ impl SessionHost {
             session: Mutex::new(Some(session)),
             scheduled: AtomicBool::new(false),
             latest: Mutex::new(Some(first)),
+            source: Mutex::new(Arc::from(source)),
             cmd_latency: registry
                 .as_ref()
                 .map(|registry| registry.histogram(names::CMD_LATENCY_US)),
@@ -704,6 +895,24 @@ impl SessionHost {
         id: SessionId,
         command: SessionCommand,
     ) -> Result<EffectTicket, HostError> {
+        // Transaction commands are host-level: they drive the fleet
+        // state machine, not one session, so they are answered here
+        // (synchronously — a commit with a zero observation window
+        // runs the whole canary cycle before returning) instead of
+        // being queued on the origin's mailbox.
+        if matches!(
+            command,
+            SessionCommand::TxOpen
+                | SessionCommand::TxEdit { .. }
+                | SessionCommand::TxCommit(_)
+                | SessionCommand::TxAbort(_)
+                | SessionCommand::TxStatus(_)
+        ) {
+            let effects = self.handle_tx_command(id, command)?;
+            let (reply, rx) = mpsc::channel();
+            let _ = reply.send(effects);
+            return Ok(EffectTicket { rx });
+        }
         let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
         let (reply, rx) = mpsc::channel();
         {
@@ -718,7 +927,7 @@ impl SessionHost {
                     depth: self.inner.config.mailbox_capacity,
                 });
             }
-            mailbox.push_back(Envelope { command, reply });
+            mailbox.push_back(WorkItem::Client(Envelope { command, reply }));
             if let Some(gauge) = &slot.mailbox_depth_hwm {
                 gauge.observe_max(i64::try_from(mailbox.len()).unwrap_or(i64::MAX));
             }
@@ -756,6 +965,493 @@ impl SessionHost {
         let slot = self.inner.slot(id.0).ok_or(HostError::UnknownSession(id))?;
         let frame = lock(&slot.latest).clone();
         Ok(frame)
+    }
+
+    // -----------------------------------------------------------------
+    // Edit transactions: versioned, fleet-wide UPDATE with a staged
+    // canary rollout (see the `rollout` module docs for the state
+    // machine). All five entry points are also reachable over the wire
+    // as `SessionCommand::Tx*` via `submit`.
+    // -----------------------------------------------------------------
+
+    /// Open an edit transaction against `origin`'s current source
+    /// version. Edits staged on it address that version; at commit
+    /// time every session still on it is the transaction's fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] if `origin` is not live.
+    pub fn tx_open(&self, origin: SessionId) -> Result<u64, HostError> {
+        let slot = self
+            .inner
+            .slot(origin.0)
+            .ok_or(HostError::UnknownSession(origin))?;
+        let base = lock(&slot.source).clone();
+        let tx = self.inner.next_tx.fetch_add(1, Ordering::AcqRel);
+        lock(&self.inner.txs).insert(
+            tx,
+            Transaction {
+                staged: base.to_string(),
+                base,
+                edits: 0,
+                state: TxState::Open,
+            },
+        );
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.tx_opened.inc();
+        }
+        Ok(tx)
+    }
+
+    /// Stage one batch of span-addressed edits on an open transaction.
+    /// Spans address the staged text (base + every batch staged so
+    /// far); no session sees anything until commit. Returns the total
+    /// number of edits staged.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownTransaction`] /
+    /// [`HostError::TransactionClosed`] / [`HostError::Edit`] (the
+    /// staged text is unchanged on error).
+    pub fn tx_edit(&self, tx: u64, edits: &[TextEdit]) -> Result<usize, HostError> {
+        let mut txs = lock(&self.inner.txs);
+        let transaction = txs.get_mut(&tx).ok_or(HostError::UnknownTransaction(tx))?;
+        if !matches!(transaction.state, TxState::Open) {
+            return Err(HostError::TransactionClosed(tx));
+        }
+        transaction.staged = apply_edits(&transaction.staged, edits).map_err(HostError::Edit)?;
+        transaction.edits += edits.len();
+        Ok(transaction.edits)
+    }
+
+    /// Abort an open transaction, discarding its staged edits. No
+    /// session ever saw them.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownTransaction`] /
+    /// [`HostError::TransactionClosed`].
+    pub fn tx_abort(&self, tx: u64) -> Result<(), HostError> {
+        let mut txs = lock(&self.inner.txs);
+        let transaction = txs.get_mut(&tx).ok_or(HostError::UnknownTransaction(tx))?;
+        if !matches!(transaction.state, TxState::Open) {
+            return Err(HostError::TransactionClosed(tx));
+        }
+        transaction.state = TxState::Closed(TxPhase::Aborted);
+        Ok(())
+    }
+
+    /// Commit a transaction: compile the staged source **once**
+    /// (single-flight through the program store), fan the paper's
+    /// Fig. 12 UPDATE to a canary slice of the fleet, and decide.
+    ///
+    /// With a zero observation window the decision is immediate: if
+    /// the canaries' fault logs grew by at least the configured
+    /// threshold, every updated session is rolled back to its
+    /// pre-transaction checkpoint and the transaction closes
+    /// [`TxPhase::RolledBack`]; otherwise the rest of the fleet is
+    /// updated and the transaction closes [`TxPhase::Promoted`]. With
+    /// a non-zero window the transaction parks in [`TxPhase::Canary`]
+    /// — client traffic keeps flowing to the canaries — until a
+    /// [`SessionHost::tx_status`] poll past the deadline probes their
+    /// fault logs and decides the same way.
+    ///
+    /// Sessions that edited away from the base version are skipped,
+    /// not updated (`TxPhase::Promoted { skipped, .. }`). Faults in
+    /// the *promote* wave never roll the transaction back — the canary
+    /// protects the fleet; per-session §4 containment handles the
+    /// stragglers.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Compile`] if the staged source does not compile —
+    /// the transaction stays open so the client can stage a fix.
+    /// [`HostError::UnknownTransaction`] /
+    /// [`HostError::TransactionClosed`].
+    pub fn tx_commit(&self, tx: u64) -> Result<TxPhase, HostError> {
+        let (base, staged) = {
+            let mut txs = lock(&self.inner.txs);
+            let transaction = txs.get_mut(&tx).ok_or(HostError::UnknownTransaction(tx))?;
+            if !matches!(transaction.state, TxState::Open) {
+                return Err(HostError::TransactionClosed(tx));
+            }
+            transaction.state = TxState::Committing;
+            (Arc::clone(&transaction.base), transaction.staged.clone())
+        };
+        let program = match self.program_for(&staged) {
+            Ok(program) => program,
+            Err(error) => {
+                // Back to Open: a compile failure decides nothing.
+                if let Some(transaction) = lock(&self.inner.txs).get_mut(&tx) {
+                    transaction.state = TxState::Open;
+                }
+                return Err(error);
+            }
+        };
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.tx_committed.inc();
+        }
+        let source: Arc<str> = Arc::from(staged.as_str());
+        // The fleet: every session still on the base version, in id
+        // order (deterministic canary choice).
+        let mut fleet: Vec<u64> = lock(&self.inner.slots)
+            .iter()
+            .filter(|(_, slot)| **lock(&slot.source) == *base)
+            .map(|(&id, _)| id)
+            .collect();
+        fleet.sort_unstable();
+        if fleet.is_empty() {
+            let phase = TxPhase::Promoted {
+                updated: 0,
+                skipped: 0,
+            };
+            self.close_tx(tx, phase.clone());
+            return Ok(phase);
+        }
+        let config = self.inner.config.rollout;
+        let percent = usize::from(config.canary_percent.clamp(1, 100));
+        let canary_n = (fleet.len() * percent).div_ceil(100).clamp(1, fleet.len());
+        let canary_ids: Vec<u64> = fleet[..canary_n].to_vec();
+        let rest: Vec<u64> = fleet[canary_n..].to_vec();
+        if let Some(metrics) = &self.inner.metrics {
+            metrics
+                .rollout_canary_sessions
+                .observe_max(i64::try_from(canary_n).unwrap_or(i64::MAX));
+        }
+        let wave = self.update_wave(&canary_ids, tx, &base, &source, &program);
+        let phase = if wave.fault_delta >= config.fault_threshold {
+            self.rollback(
+                tx,
+                &wave.applied,
+                format!(
+                    "canary fault spike: {} new fault(s) across {} canary session(s)",
+                    wave.fault_delta,
+                    wave.applied.len()
+                ),
+            )
+        } else if config.observation_window_us == 0 {
+            self.promote(
+                tx,
+                &wave.applied,
+                &rest,
+                &base,
+                &source,
+                &program,
+                wave.skipped,
+            )
+        } else {
+            let canary_count = wave.applied.len();
+            let fleet_count = fleet.len();
+            let state = TxState::Canary(CanaryState {
+                canary: wave.applied,
+                rest,
+                base,
+                source,
+                program,
+                deadline_us: self
+                    .inner
+                    .clock
+                    .now_us()
+                    .saturating_add(config.observation_window_us),
+                baseline_faults: wave.faults_after,
+                skipped: wave.skipped,
+                fleet: fleet_count,
+            });
+            if let Some(transaction) = lock(&self.inner.txs).get_mut(&tx) {
+                transaction.state = state;
+            }
+            return Ok(TxPhase::Canary {
+                canary: canary_count,
+                fleet: fleet_count,
+            });
+        };
+        self.close_tx(tx, phase.clone());
+        Ok(phase)
+    }
+
+    /// Where a transaction stands — and, for one parked in its canary
+    /// observation window whose deadline has passed, the poll that
+    /// decides it: probe every canary's fault log; a fault spike at or
+    /// past the threshold rolls the whole fleet's update back,
+    /// otherwise the remaining sessions are updated and the
+    /// transaction promotes.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownTransaction`].
+    pub fn tx_status(&self, tx: u64) -> Result<TxPhase, HostError> {
+        let pending = {
+            let mut txs = lock(&self.inner.txs);
+            let transaction = txs.get_mut(&tx).ok_or(HostError::UnknownTransaction(tx))?;
+            match &transaction.state {
+                TxState::Open | TxState::Committing => {
+                    return Ok(TxPhase::Open {
+                        edits: transaction.edits,
+                    })
+                }
+                TxState::Deciding { canary, fleet } => {
+                    return Ok(TxPhase::Canary {
+                        canary: *canary,
+                        fleet: *fleet,
+                    })
+                }
+                TxState::Closed(phase) => return Ok(phase.clone()),
+                TxState::Canary(canary) if self.inner.clock.now_us() < canary.deadline_us => {
+                    return Ok(TxPhase::Canary {
+                        canary: canary.canary.len(),
+                        fleet: canary.fleet,
+                    })
+                }
+                TxState::Canary(_) => {}
+            }
+            // Deadline passed: take the payload, leave a sentinel so a
+            // racing poll neither re-decides nor sees a torn state.
+            match std::mem::replace(&mut transaction.state, TxState::Committing) {
+                TxState::Canary(canary) => {
+                    transaction.state = TxState::Deciding {
+                        canary: canary.canary.len(),
+                        fleet: canary.fleet,
+                    };
+                    canary
+                }
+                other => {
+                    // Unreachable (the state was Canary under the same
+                    // lock); restore and report conservatively.
+                    transaction.state = other;
+                    return Ok(TxPhase::Open {
+                        edits: transaction.edits,
+                    });
+                }
+            }
+        };
+        // Probe the canaries' fault logs over their mailboxes: the
+        // probe serializes after any in-flight client traffic.
+        let mut fault_total = 0u64;
+        for &id in &pending.canary {
+            if let Some(rx) = self.submit_fleet(id, FleetOp::Probe) {
+                if let Ok(FleetReply::Faults(total)) = rx.recv() {
+                    fault_total += total;
+                }
+            }
+        }
+        let config = self.inner.config.rollout;
+        let delta = fault_total.saturating_sub(pending.baseline_faults);
+        let phase = if delta >= config.fault_threshold {
+            self.rollback(
+                tx,
+                &pending.canary,
+                format!(
+                    "canary fault spike: {delta} new fault(s) across {} canary session(s) \
+                     inside the observation window",
+                    pending.canary.len()
+                ),
+            )
+        } else {
+            self.promote(
+                tx,
+                &pending.canary,
+                &pending.rest,
+                &pending.base,
+                &pending.source,
+                &pending.program,
+                pending.skipped,
+            )
+        };
+        self.close_tx(tx, phase.clone());
+        Ok(phase)
+    }
+
+    /// Map protocol `Tx*` commands onto the host transaction API,
+    /// answering with the same effect vocabulary a solo session uses.
+    fn handle_tx_command(
+        &self,
+        origin: SessionId,
+        command: SessionCommand,
+    ) -> Result<Vec<SessionEffect>, HostError> {
+        Ok(match command {
+            SessionCommand::TxOpen => {
+                let tx = self.tx_open(origin)?;
+                vec![SessionEffect::Tx {
+                    tx,
+                    phase: TxPhase::Open { edits: 0 },
+                }]
+            }
+            SessionCommand::TxEdit { tx, edits } => match self.tx_edit(tx, &edits) {
+                Ok(edits) => vec![SessionEffect::Tx {
+                    tx,
+                    phase: TxPhase::Open { edits },
+                }],
+                Err(error) => vec![effect_for_error(&error)],
+            },
+            SessionCommand::TxCommit(tx) => match self.tx_commit(tx) {
+                Ok(phase) => vec![SessionEffect::Tx { tx, phase }],
+                Err(HostError::Compile(diagnostics)) => {
+                    vec![SessionEffect::EditRejected(diagnostics)]
+                }
+                Err(error) => vec![effect_for_error(&error)],
+            },
+            SessionCommand::TxAbort(tx) => match self.tx_abort(tx) {
+                Ok(()) => vec![SessionEffect::Tx {
+                    tx,
+                    phase: TxPhase::Aborted,
+                }],
+                Err(error) => vec![effect_for_error(&error)],
+            },
+            SessionCommand::TxStatus(tx) => match self.tx_status(tx) {
+                Ok(phase) => vec![SessionEffect::Tx { tx, phase }],
+                Err(error) => vec![effect_for_error(&error)],
+            },
+            // `submit` only routes Tx* commands here.
+            _ => Vec::new(),
+        })
+    }
+
+    /// Queue a fleet op on a session's mailbox (bypassing the client
+    /// capacity limit — fleet ops are host-originated and bounded).
+    /// `None` if the session is gone; the op is then simply skipped.
+    fn submit_fleet(&self, id: u64, op: FleetOp) -> Option<Receiver<FleetReply>> {
+        let slot = self.inner.slot(id)?;
+        let (reply, rx) = mpsc::channel();
+        lock(&slot.mailbox).push_back(WorkItem::Fleet(FleetEnvelope { op, reply }));
+        if slot.try_schedule() {
+            self.inner.enqueue_ready(id);
+        }
+        Some(rx)
+    }
+
+    /// Fan a fleet UPDATE to `ids` (all mailboxes enqueued before any
+    /// reply is awaited, so the wave lands in parallel across workers)
+    /// and tally the outcome.
+    fn update_wave(
+        &self,
+        ids: &[u64],
+        tx: u64,
+        base: &Arc<str>,
+        source: &Arc<str>,
+        program: &Arc<Program>,
+    ) -> UpdateWave {
+        let pending: Vec<(u64, Option<Receiver<FleetReply>>)> = ids
+            .iter()
+            .map(|&id| {
+                let op = FleetOp::Update {
+                    tx,
+                    base: Arc::clone(base),
+                    source: Arc::clone(source),
+                    program: Arc::clone(program),
+                };
+                (id, self.submit_fleet(id, op))
+            })
+            .collect();
+        let mut wave = UpdateWave {
+            applied: Vec::new(),
+            fault_delta: 0,
+            faults_after: 0,
+            skipped: 0,
+        };
+        for (id, rx) in pending {
+            match rx.and_then(|rx| rx.recv().ok()) {
+                Some(FleetReply::Updated {
+                    outcome: FleetUpdateOutcome::Applied { .. },
+                    faults_before,
+                    faults_after,
+                }) => {
+                    wave.applied.push(id);
+                    wave.fault_delta += faults_after.saturating_sub(faults_before);
+                    wave.faults_after += faults_after;
+                }
+                // Diverged, busy, failed, or the session disappeared
+                // mid-wave: skipped, never updated.
+                _ => wave.skipped += 1,
+            }
+        }
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.rollout_updates.add(wave.applied.len() as u64);
+        }
+        wave
+    }
+
+    /// Roll a transaction's applied updates back: every session in
+    /// `applied` restores the checkpoint its `fleet_update` parked
+    /// (byte-identical pre-transaction state, mid-canary client
+    /// traffic replayed).
+    fn rollback(&self, tx: u64, applied: &[u64], reason: String) -> TxPhase {
+        let pending: Vec<Option<Receiver<FleetReply>>> = applied
+            .iter()
+            .map(|&id| self.submit_fleet(id, FleetOp::Revert { tx }))
+            .collect();
+        let reverted = pending
+            .into_iter()
+            .filter(|rx| {
+                matches!(
+                    rx.as_ref().map(|rx| rx.recv()),
+                    Some(Ok(FleetReply::Reverted(true)))
+                )
+            })
+            .count();
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.rollbacks_total.inc();
+            metrics.rollout_reverts.add(reverted as u64);
+        }
+        TxPhase::RolledBack { reverted, reason }
+    }
+
+    /// Promote a transaction: update the rest of the fleet, then drop
+    /// every updated session's checkpoint — the new version is the
+    /// fleet's baseline now.
+    #[allow(clippy::too_many_arguments)]
+    fn promote(
+        &self,
+        tx: u64,
+        canary: &[u64],
+        rest: &[u64],
+        base: &Arc<str>,
+        source: &Arc<str>,
+        program: &Arc<Program>,
+        skipped_so_far: usize,
+    ) -> TxPhase {
+        let wave = self.update_wave(rest, tx, base, source, program);
+        for &id in canary.iter().chain(&wave.applied) {
+            if let Some(rx) = self.submit_fleet(id, FleetOp::Promote { tx }) {
+                let _ = rx.recv();
+            }
+        }
+        if let Some(metrics) = &self.inner.metrics {
+            metrics.tx_promoted.inc();
+        }
+        TxPhase::Promoted {
+            updated: canary.len() + wave.applied.len(),
+            skipped: skipped_so_far + wave.skipped,
+        }
+    }
+
+    /// Close a transaction with its terminal phase.
+    fn close_tx(&self, tx: u64, phase: TxPhase) {
+        if let Some(transaction) = lock(&self.inner.txs).get_mut(&tx) {
+            transaction.state = TxState::Closed(phase);
+        }
+    }
+
+    /// Run a closure against one hosted session, in its mailbox order
+    /// (after everything already queued). Test instrumentation — fault
+    /// injection and byte-identity assertions reach the session
+    /// without adding protocol surface. Not part of the public API.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownSession`] / [`HostError::Stopped`].
+    #[doc(hidden)]
+    pub fn inspect_session<R: Send + 'static>(
+        &self,
+        id: SessionId,
+        run: impl FnOnce(&mut LiveSession) -> R + Send + 'static,
+    ) -> Result<R, HostError> {
+        let (result_tx, result_rx) = mpsc::channel();
+        let op = FleetOp::Inspect(Box::new(move |session: &mut LiveSession| {
+            let _ = result_tx.send(run(session));
+        }));
+        self.submit_fleet(id.0, op)
+            .ok_or(HostError::UnknownSession(id))?;
+        result_rx.recv().map_err(|_| HostError::Stopped)
     }
 
     /// Whether this host records metrics.

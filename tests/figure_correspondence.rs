@@ -332,6 +332,69 @@ fn figure12_s_okay_s_skip_p_okay_p_skip() {
     assert_eq!(report.dropped_pages.len(), 1);
 }
 
+/// Figure 12 at fleet scale: the paper's UPDATE transition (new code,
+/// fixed-up state, same running session) is exactly what a committed
+/// edit transaction fans out to every subscribed session — compiled
+/// once by the host, applied per session with the same S-OKAY/S-SKIP
+/// fix-up semantics the solo rule test above pins. Globals whose type
+/// survives the update keep their values across the fleet UPDATE, just
+/// as they do across a solo UPDATE.
+#[test]
+fn figure12_update_fans_out_to_the_fleet_as_an_edit_transaction() {
+    use alive_serve::{HostConfig, SessionHost};
+    use its_alive::live::{SessionCommand, TxPhase};
+    use its_alive::syntax::{Span, TextEdit};
+
+    const SRC: &str = r#"
+global kept : number = 0
+page start() {
+    init { kept := kept + 1; }
+    render { boxed { post "kept = " ++ kept; on tap { kept := kept + 1; } } }
+}
+"#;
+    let host = SessionHost::new(HostConfig::with_workers(2));
+    let ids: Vec<_> = (0..4)
+        .map(|_| host.create_session(SRC).expect("compiles"))
+        .collect();
+    // Per-session state the fix-up must carry through: S-OKAY on
+    // `kept` means each session keeps its own tap count.
+    for (i, &id) in ids.iter().enumerate() {
+        for _ in 0..i {
+            host.apply(id, SessionCommand::TapPath(vec![0]))
+                .expect("taps");
+        }
+    }
+
+    let tx = host.tx_open(ids[0]).expect("opens");
+    let needle = "kept = ";
+    let at = SRC.find(needle).expect("present") as u32;
+    host.tx_edit(
+        tx,
+        &[TextEdit::replace(
+            Span::new(at, at + needle.len() as u32),
+            "still ",
+        )],
+    )
+    .expect("stages");
+    assert_eq!(
+        host.tx_commit(tx).expect("commits"),
+        TxPhase::Promoted {
+            updated: 4,
+            skipped: 0
+        }
+    );
+    assert_eq!(host.programs_compiled(), 2, "one compile for the fleet");
+    for (i, &id) in ids.iter().enumerate() {
+        let frame = host.latest_frame(id).expect("live").expect("settled");
+        assert_eq!(
+            frame.view,
+            format!("still {}\n", 1 + i),
+            "session {i}: UPDATE ran with S-OKAY on `kept`"
+        );
+    }
+    host.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // §4.2 — progress: unstable states always step
 // ---------------------------------------------------------------------
