@@ -141,8 +141,10 @@ fn header(path: &str) {
 }
 
 /// One-line metrics footer under the header: edit outcomes, frames
-/// rendered, and stage p50s from the session's metrics registry.
+/// rendered, stage p50s, and VM engine activity from the session's
+/// metrics registry.
 fn metrics_line(session: &LiveSession) -> String {
+    use alive_core::metrics::names as vm_names;
     use alive_live::metrics::names;
     let snap = session.metrics_snapshot();
     let p50 = |name: &str| {
@@ -151,13 +153,15 @@ fn metrics_line(session: &LiveSession) -> String {
             .map_or_else(|| "-".to_string(), |us| format!("{us} µs"))
     };
     format!(
-        "edits {} ok / {} rejected / {} quarantined · frames {} · eval p50 {} · paint p50 {}",
+        "edits {} ok / {} rejected / {} quarantined · frames {} · eval p50 {} · paint p50 {} · vm {} runs / {} cache hits",
         snap.counter(names::EDITS_APPLIED),
         snap.counter(names::EDITS_REJECTED),
         snap.counter(names::EDITS_QUARANTINED),
         snap.counter(names::FRAMES_RENDERED),
         p50(names::FRAME_EVAL_US),
         p50(names::FRAME_PAINT_US),
+        snap.counter(vm_names::VM_RUNS),
+        snap.counter(vm_names::VM_CACHE_HITS),
     )
 }
 

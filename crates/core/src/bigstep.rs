@@ -398,7 +398,7 @@ pub fn call_thunk(
 /// straight into [`Evaluator`] would drag the caller's lifetime into
 /// every other borrow of the run. Wrapping it in a fresh concrete type
 /// lets the unsize coercion pick a run-local bound instead.
-struct ReborrowFaults<'r, 'f>(&'r mut (dyn FaultInjector + 'f));
+pub(crate) struct ReborrowFaults<'r, 'f>(pub(crate) &'r mut (dyn FaultInjector + 'f));
 
 impl FaultInjector for ReborrowFaults<'_, '_> {
     fn fuel_for(&mut self, kind: crate::fault::TransitionKind, default_fuel: u64) -> u64 {
@@ -417,7 +417,7 @@ impl std::fmt::Debug for ReborrowFaults<'_, '_> {
 }
 
 /// Reborrow adapter for [`RenderHook`]; see [`ReborrowFaults`].
-struct ReborrowHook<'r, 'h>(&'r mut (dyn RenderHook + 'h));
+pub(crate) struct ReborrowHook<'r, 'h>(pub(crate) &'r mut (dyn RenderHook + 'h));
 
 impl RenderHook for ReborrowHook<'_, '_> {
     fn enter_boxed(

@@ -68,6 +68,7 @@ pub mod system;
 pub mod typeck;
 pub mod types;
 pub mod value;
+pub mod vm;
 pub mod widget;
 
 pub use attr::Attr;

@@ -13,7 +13,9 @@
 //! which also survives the rollback. Metrics count what *happened*, not
 //! what *persisted*.
 
-use alive_obs::{Counter, Registry};
+use std::sync::Arc;
+
+use alive_obs::{Clock, Counter, Gauge, Histogram, Registry};
 
 use crate::fault::FaultKind;
 use crate::system::StepKind;
@@ -54,6 +56,27 @@ pub mod names {
     /// [`crate::system::System::display_generation`] when metrics are
     /// installed at construction.
     pub const DISPLAY_SETS: &str = "system.display_sets";
+    /// Transitions executed on the bytecode VM.
+    pub const VM_RUNS: &str = "eval.vm.runs";
+    /// Transitions that fell back to the tree walker while the VM
+    /// engine was selected (uncompilable program, foreign closure).
+    pub const VM_FALLBACKS: &str = "eval.vm.fallbacks";
+    /// VM dispatches that reused the already-compiled bytecode.
+    pub const VM_CACHE_HITS: &str = "eval.vm.cache_hits";
+    /// Bytecode compiles performed (once per program version).
+    pub const VM_COMPILES: &str = "eval.vm.compiles";
+    /// Cumulative microseconds spent compiling bytecode.
+    pub const VM_COMPILE_US: &str = "eval.vm.compile_us";
+    /// Cumulative VM instructions executed. Monotone across any walk —
+    /// `alive-obs` invariant tests rely on this.
+    pub const VM_INSTRUCTIONS: &str = "eval.vm.instructions";
+    /// High-water bytes of the per-frame register arena (gauge,
+    /// observe-max).
+    pub const VM_ARENA_BYTES: &str = "eval.vm.arena_bytes";
+    /// Size of the compiled program's symbol intern table (gauge).
+    pub const VM_INTERN_SYMBOLS: &str = "eval.vm.intern_symbols";
+    /// Per-run VM instruction counts (histogram).
+    pub const VM_RUN_INSTRUCTIONS: &str = "eval.vm.run_instructions";
 }
 
 /// Pre-resolved counter handles for one system (shared by its clones).
@@ -73,6 +96,18 @@ pub struct SystemMetrics {
     faults_cascade_overflow: Counter,
     overflow_containments: Counter,
     display_sets: Counter,
+    vm_runs: Counter,
+    vm_fallbacks: Counter,
+    vm_cache_hits: Counter,
+    vm_compiles: Counter,
+    vm_compile_us: Counter,
+    vm_instructions: Counter,
+    vm_arena_bytes: Gauge,
+    vm_intern_symbols: Gauge,
+    vm_run_instructions: Histogram,
+    /// The registry clock — compile timing flows through it so golden
+    /// tests on a [`alive_obs::ManualClock`] stay deterministic.
+    clock: Arc<dyn Clock>,
 }
 
 impl SystemMetrics {
@@ -93,7 +128,23 @@ impl SystemMetrics {
             faults_cascade_overflow: registry.counter(names::FAULTS_CASCADE_OVERFLOW),
             overflow_containments: registry.counter(names::OVERFLOW_CONTAINMENTS),
             display_sets: registry.counter(names::DISPLAY_SETS),
+            vm_runs: registry.counter(names::VM_RUNS),
+            vm_fallbacks: registry.counter(names::VM_FALLBACKS),
+            vm_cache_hits: registry.counter(names::VM_CACHE_HITS),
+            vm_compiles: registry.counter(names::VM_COMPILES),
+            vm_compile_us: registry.counter(names::VM_COMPILE_US),
+            vm_instructions: registry.counter(names::VM_INSTRUCTIONS),
+            vm_arena_bytes: registry.gauge(names::VM_ARENA_BYTES),
+            vm_intern_symbols: registry.gauge(names::VM_INTERN_SYMBOLS),
+            vm_run_instructions: registry.histogram(names::VM_RUN_INSTRUCTIONS),
+            clock: registry.clock(),
         }
+    }
+
+    /// Microseconds on the registry clock (deterministic under a
+    /// manual clock).
+    pub(crate) fn now_us(&self) -> u64 {
+        self.clock.now_us()
     }
 
     /// Count one performed transition ([`StepKind::Stable`] is the
@@ -141,6 +192,35 @@ impl SystemMetrics {
     /// Count one display reassignment.
     pub(crate) fn record_display_set(&self) {
         self.display_sets.inc();
+    }
+
+    /// Record one transition executed on the bytecode VM.
+    pub(crate) fn record_vm_run(&self, stats: crate::vm::RunStats) {
+        self.vm_runs.inc();
+        self.vm_instructions.add(stats.instructions);
+        self.vm_run_instructions.record(stats.instructions);
+        self.vm_arena_bytes
+            .observe_max(i64::try_from(stats.arena_bytes).unwrap_or(i64::MAX));
+    }
+
+    /// Record one fallback to the tree walker while the VM engine was
+    /// selected.
+    pub(crate) fn record_vm_fallback(&self) {
+        self.vm_fallbacks.inc();
+    }
+
+    /// Record one reuse of already-compiled bytecode.
+    pub(crate) fn record_vm_cache_hit(&self) {
+        self.vm_cache_hits.inc();
+    }
+
+    /// Record one bytecode compile: its wall time and the resulting
+    /// intern-table size.
+    pub(crate) fn record_vm_compile(&self, compile_us: u64, intern_symbols: usize) {
+        self.vm_compiles.inc();
+        self.vm_compile_us.add(compile_us);
+        self.vm_intern_symbols
+            .set(i64::try_from(intern_symbols).unwrap_or(i64::MAX));
     }
 
     /// Contained faults of `kind` recorded so far.

@@ -88,6 +88,10 @@ pub struct Program {
     /// Span of each `remember` statement, indexed by
     /// [`crate::expr::RememberId`].
     pub remember_spans: Vec<Span>,
+    /// Lazily compiled bytecode for this program version (`None` once
+    /// initialized means the program is outside the VM subset and runs
+    /// on the tree walker). Every mutator resets this cache.
+    vm_cache: std::sync::OnceLock<Option<Arc<crate::vm::VmProgram>>>,
 }
 
 impl Program {
@@ -102,6 +106,7 @@ impl Program {
         if self.is_defined(&def.name) {
             return false;
         }
+        self.vm_cache = std::sync::OnceLock::new();
         self.global_index
             .insert(def.name.clone(), self.globals.len());
         self.globals.push(def);
@@ -113,6 +118,7 @@ impl Program {
         if self.is_defined(&def.name) {
             return false;
         }
+        self.vm_cache = std::sync::OnceLock::new();
         self.fun_index.insert(def.name.clone(), self.funs.len());
         self.funs.push(def);
         true
@@ -123,6 +129,7 @@ impl Program {
         if self.is_defined(&def.name) {
             return false;
         }
+        self.vm_cache = std::sync::OnceLock::new();
         self.page_index.insert(def.name.clone(), self.pages.len());
         self.pages.push(def);
         true
@@ -168,6 +175,7 @@ impl Program {
     /// Allocate a fresh box-source id for a `boxed` statement at `span`.
     pub fn alloc_box_source(&mut self, span: Span) -> crate::expr::BoxSourceId {
         let id = crate::expr::BoxSourceId(self.box_spans.len() as u32);
+        self.vm_cache = std::sync::OnceLock::new();
         self.box_spans.push(span);
         id
     }
@@ -180,6 +188,7 @@ impl Program {
     /// Allocate a fresh id for a `remember` statement at `span`.
     pub fn alloc_remember(&mut self, span: Span) -> crate::expr::RememberId {
         let id = crate::expr::RememberId(self.remember_spans.len() as u32);
+        self.vm_cache = std::sync::OnceLock::new();
         self.remember_spans.push(span);
         id
     }
@@ -187,6 +196,23 @@ impl Program {
     /// The span of a `remember` statement.
     pub fn remember_span(&self, id: crate::expr::RememberId) -> Option<Span> {
         self.remember_spans.get(id.0 as usize).copied()
+    }
+
+    /// The program compiled to bytecode, compiling on first use and
+    /// caching the result for the lifetime of this program version
+    /// (mutators invalidate). `None` means the program is outside the
+    /// VM subset and must run on the tree walker — which preserves
+    /// semantics exactly, since the VM is only ever an optimization.
+    pub fn vm(&self) -> Option<Arc<crate::vm::VmProgram>> {
+        self.vm_cache
+            .get_or_init(|| crate::vm::VmProgram::compile(self).ok().map(Arc::new))
+            .clone()
+    }
+
+    /// Whether the bytecode cache is already populated (successfully or
+    /// not) — i.e. whether the next [`Program::vm`] call is free.
+    pub fn vm_ready(&self) -> bool {
+        self.vm_cache.get().is_some()
     }
 
     /// Total node count across all bodies (a size metric for benches).

@@ -79,6 +79,19 @@ impl fmt::Display for ActionError {
 
 impl std::error::Error for ActionError {}
 
+/// Which engine evaluates INIT/HANDLER/RENDER transitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EvalEngine {
+    /// The register-based bytecode VM ([`crate::vm`]), with automatic
+    /// per-transition fallback to the tree walker for anything outside
+    /// the VM subset. The default: same semantics, much faster.
+    #[default]
+    Vm,
+    /// The bigstep tree walker only ([`crate::bigstep`]) — the
+    /// reference engine the VM is differentially tested against.
+    Bigstep,
+}
+
 /// Configuration of a [`System`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
@@ -87,6 +100,8 @@ pub struct SystemConfig {
     /// Safety bound for [`System::run_to_stable`] (an event cascade
     /// longer than this is reported as divergence).
     pub max_transitions: u64,
+    /// Which evaluation engine runs transitions.
+    pub engine: EvalEngine,
 }
 
 impl Default for SystemConfig {
@@ -94,8 +109,31 @@ impl Default for SystemConfig {
         SystemConfig {
             fuel: DEFAULT_FUEL,
             max_transitions: 10_000,
+            engine: EvalEngine::Vm,
         }
     }
+}
+
+/// Cumulative bytecode-VM accounting for one system — the source for
+/// `eval.vm.*` metrics and the repl `:stats` VM line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Transitions executed on the VM.
+    pub runs: u64,
+    /// Transitions that fell back to the tree walker while the VM
+    /// engine was selected.
+    pub fallbacks: u64,
+    /// VM dispatches that reused already-compiled bytecode.
+    pub cache_hits: u64,
+    /// Bytecode compiles performed (once per program version; shared
+    /// program `Arc`s share the compile across a whole fleet).
+    pub compiles: u64,
+    /// Cumulative microseconds spent compiling bytecode.
+    pub compile_us: u64,
+    /// Cumulative VM instructions executed.
+    pub instructions: u64,
+    /// High-water bytes of the per-frame register arena.
+    pub arena_bytes: u64,
 }
 
 /// The system state `σ = (C, D, S, P, Q)` with its transitions.
@@ -130,6 +168,11 @@ pub struct System {
     /// forked) across [`Clone`] — a rolled-back transaction keeps its
     /// fault counts, exactly like the fault log keeps its entries.
     metrics: Option<crate::metrics::SystemMetrics>,
+    /// Pooled VM register/arena storage, reused across transitions.
+    /// Clones start with a fresh pool (capacity is a cache, not state).
+    scratch: crate::vm::Scratch,
+    /// Cumulative VM accounting (runs, fallbacks, compiles, …).
+    vm_stats: VmStats,
 }
 
 /// Lock an injector, recovering from poisoning: injector state is a
@@ -171,6 +214,8 @@ impl System {
             last_good: None,
             injector: None,
             metrics: None,
+            scratch: crate::vm::Scratch::new(),
+            vm_stats: VmStats::default(),
         }
     }
 
@@ -210,6 +255,73 @@ impl System {
     /// The configuration this system runs under.
     pub fn config(&self) -> SystemConfig {
         self.config
+    }
+
+    /// Cumulative bytecode-VM accounting (runs, fallbacks, compile and
+    /// instruction counts) for this system.
+    pub fn vm_stats(&self) -> VmStats {
+        self.vm_stats
+    }
+
+    /// The compiled bytecode for the current program, when the VM
+    /// engine is selected and the program is inside the VM subset.
+    /// Books the compile or cache hit it observes.
+    fn vm_program(&mut self) -> Option<Arc<crate::vm::VmProgram>> {
+        if self.config.engine != EvalEngine::Vm {
+            return None;
+        }
+        let cached = self.program.vm_ready();
+        let started_us = match &self.metrics {
+            Some(metrics) if !cached => metrics.now_us(),
+            _ => 0,
+        };
+        let vmp = self.program.vm();
+        if let Some(vmp) = &vmp {
+            if cached {
+                self.vm_stats.cache_hits += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_vm_cache_hit();
+                }
+            } else {
+                self.vm_stats.compiles += 1;
+                // Time the compile on the registry clock when one is
+                // installed (deterministic in golden tests); otherwise
+                // use the compiler's own wall-clock measure.
+                let compile_us = match &self.metrics {
+                    Some(metrics) => metrics.now_us().saturating_sub(started_us),
+                    None => vmp.compile_us(),
+                };
+                self.vm_stats.compile_us += compile_us;
+                if let Some(metrics) = &self.metrics {
+                    metrics.record_vm_compile(compile_us, vmp.symbol_count());
+                }
+            }
+        }
+        vmp
+    }
+
+    /// Book one transition executed on the VM.
+    fn note_vm_run(&mut self, stats: crate::vm::RunStats) {
+        self.vm_stats.runs += 1;
+        self.vm_stats.instructions += stats.instructions;
+        if stats.arena_bytes > self.vm_stats.arena_bytes {
+            self.vm_stats.arena_bytes = stats.arena_bytes;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.record_vm_run(stats);
+        }
+    }
+
+    /// Book one fallback to the tree walker (only meaningful while the
+    /// VM engine is selected).
+    fn note_vm_fallback(&mut self) {
+        if self.config.engine != EvalEngine::Vm {
+            return;
+        }
+        self.vm_stats.fallbacks += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_vm_fallback();
+        }
     }
 
     /// The current code `C`.
@@ -382,45 +494,95 @@ impl System {
             let (kind, page, result, cost, fuel) = match event {
                 Event::Exec(thunk, args) => {
                     let fuel = self.transition_fuel(TransitionKind::Handler);
+                    let vmp = self.vm_program();
                     let injector = self.injector.clone();
                     let mut guard = injector.as_deref().map(lock_injector);
-                    let (result, cost) = bigstep::transition_thunk(
-                        &self.program,
-                        &mut self.store,
-                        &mut self.queue,
-                        self.version,
-                        fuel,
-                        &thunk,
-                        args,
-                        Some(&mut self.widgets),
-                        guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
-                    );
-                    let page = self.page_stack.last().map(|(n, _)| n.clone());
-                    (StepKind::Thunk, page, result.map(|_| ()), cost, fuel)
-                }
-                Event::Push(page_name, arg) => {
-                    let fuel = self.transition_fuel(TransitionKind::Init);
-                    let outcome = match self.program.page(&page_name) {
-                        None => (
-                            Err(RuntimeError::UnknownPage(page_name.clone())),
-                            Cost::default(),
-                        ),
-                        Some(page) => {
-                            let bindings = bind_page_params(page, &arg);
-                            let init = page.init.clone();
-                            let injector = self.injector.clone();
-                            let mut guard = injector.as_deref().map(lock_injector);
-                            bigstep::transition_state(
+                    let vm_run = vmp.and_then(|vmp| {
+                        crate::vm::transition_thunk(
+                            &vmp,
+                            &mut self.scratch,
+                            &mut self.store,
+                            &mut self.queue,
+                            self.version,
+                            fuel,
+                            &thunk,
+                            &args,
+                            Some(&mut self.widgets),
+                            guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+                        )
+                    });
+                    let (result, cost) = match vm_run {
+                        Some(run) => {
+                            self.note_vm_run(run.stats);
+                            (run.result, run.cost)
+                        }
+                        None => {
+                            self.note_vm_fallback();
+                            bigstep::transition_thunk(
                                 &self.program,
                                 &mut self.store,
                                 &mut self.queue,
                                 self.version,
                                 fuel,
-                                bindings,
-                                &init,
+                                &thunk,
+                                args,
                                 Some(&mut self.widgets),
                                 guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
                             )
+                        }
+                    };
+                    let page = self.page_stack.last().map(|(n, _)| n.clone());
+                    (StepKind::Thunk, page, result.map(|_| ()), cost, fuel)
+                }
+                Event::Push(page_name, arg) => {
+                    let fuel = self.transition_fuel(TransitionKind::Init);
+                    let prepared = self
+                        .program
+                        .page(&page_name)
+                        .map(|page| (bind_page_params(page, &arg), page.init.clone()));
+                    let outcome = match prepared {
+                        None => (
+                            Err(RuntimeError::UnknownPage(page_name.clone())),
+                            Cost::default(),
+                        ),
+                        Some((bindings, init)) => {
+                            let vmp = self.vm_program();
+                            let injector = self.injector.clone();
+                            let mut guard = injector.as_deref().map(lock_injector);
+                            let vm_run = vmp.and_then(|vmp| {
+                                crate::vm::transition_page_init(
+                                    &vmp,
+                                    &mut self.scratch,
+                                    &mut self.store,
+                                    &mut self.queue,
+                                    self.version,
+                                    fuel,
+                                    &page_name,
+                                    &bindings,
+                                    Some(&mut self.widgets),
+                                    guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+                                )
+                            });
+                            match vm_run {
+                                Some(run) => {
+                                    self.note_vm_run(run.stats);
+                                    (run.result, run.cost)
+                                }
+                                None => {
+                                    self.note_vm_fallback();
+                                    bigstep::transition_state(
+                                        &self.program,
+                                        &mut self.store,
+                                        &mut self.queue,
+                                        self.version,
+                                        fuel,
+                                        bindings,
+                                        &init,
+                                        Some(&mut self.widgets),
+                                        guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+                                    )
+                                }
+                            }
                         }
                     };
                     let (result, cost) = outcome;
@@ -513,19 +675,44 @@ impl System {
         // the `remember` slots need snapshotting.
         let widgets_checkpoint = self.widgets.clone();
         self.widgets.begin_render();
+        let vmp = self.vm_program();
         let injector = self.injector.clone();
         let mut guard = injector.as_deref().map(lock_injector);
-        let (result, cost) = bigstep::transition_render(
-            &self.program,
-            &self.store,
-            self.version,
-            fuel,
-            bindings,
-            &render,
-            hook,
-            Some(&mut self.widgets),
-            guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
-        );
+        let mut hook = hook;
+        let vm_run = vmp.and_then(|vmp| {
+            crate::vm::transition_page_render(
+                &vmp,
+                &mut self.scratch,
+                &self.store,
+                self.version,
+                fuel,
+                &page_name,
+                &bindings,
+                hook.as_deref_mut(),
+                Some(&mut self.widgets),
+                guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+            )
+        });
+        let (result, cost) = match vm_run {
+            Some(run) => {
+                self.note_vm_run(run.stats);
+                (run.result, run.cost)
+            }
+            None => {
+                self.note_vm_fallback();
+                bigstep::transition_render(
+                    &self.program,
+                    &self.store,
+                    self.version,
+                    fuel,
+                    bindings,
+                    &render,
+                    hook,
+                    Some(&mut self.widgets),
+                    guard.as_deref_mut().map(|g| g as &mut dyn FaultInjector),
+                )
+            }
+        };
         drop(guard);
         self.cost.absorb(cost);
         match result {
@@ -1168,6 +1355,7 @@ mod tests {
             SystemConfig {
                 fuel: DEFAULT_FUEL,
                 max_transitions: 50,
+                ..SystemConfig::default()
             },
         );
         let fault = sys.run_to_stable().expect_err("cascade overflows");

@@ -59,6 +59,17 @@ pub struct FrameStats {
     /// last frame. Zero here; [`crate::LiveSession`] stamps it, like
     /// the `eval_*` counters.
     pub eval_us: u64,
+    /// The slice of [`FrameStats::eval_us`] spent compiling bytecode
+    /// (zero once the VM cache is warm). Stamped by
+    /// [`crate::LiveSession`].
+    pub eval_compile_us: u64,
+    /// The slice of [`FrameStats::eval_us`] spent actually executing —
+    /// `eval_us` minus the compile slice. Stamped by
+    /// [`crate::LiveSession`].
+    pub eval_exec_us: u64,
+    /// Lifetime VM bytecode-cache hits (dispatches that reused the
+    /// already-compiled program). Stamped by [`crate::LiveSession`].
+    pub vm_cache_hits: u64,
     /// Microseconds spent in layout last frame.
     pub layout_us: u64,
     /// Microseconds spent in paint last frame.

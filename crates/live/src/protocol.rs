@@ -410,8 +410,8 @@ pub fn format_frame_stats(stats: &FrameStats) -> String {
          \x20 eval reuse:   {:>5.1}%  ({} hits, {} misses)\n\
          \x20 layout reuse: {:>5.1}%  ({} measured, {} reused)\n\
          \x20 repaint:      {:>5.1}%  ({} of {} cells, {})\n\
-         \x20 stage time:   eval {} µs, layout {} µs, paint {} µs\n\
-         \x20 lifetime:     {} frames rendered, {} view-memo hits",
+         \x20 stage time:   eval {} µs (compile {} + run {}), layout {} µs, paint {} µs\n\
+         \x20 lifetime:     {} frames rendered, {} view-memo hits, {} vm cache hits",
         stats.eval_reuse() * 100.0,
         stats.eval_hits,
         stats.eval_misses,
@@ -427,10 +427,13 @@ pub fn format_frame_stats(stats: &FrameStats) -> String {
             "full frame"
         },
         stats.eval_us,
+        stats.eval_compile_us,
+        stats.eval_exec_us,
         stats.layout_us,
         stats.paint_us,
         stats.frames,
         stats.view_hits,
+        stats.vm_cache_hits,
     )
 }
 

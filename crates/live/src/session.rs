@@ -210,6 +210,11 @@ pub struct LiveSession {
     /// µs the system spent settling (evaluation) before the last
     /// rendered frame; stamped into [`FrameStats::eval_us`].
     last_eval_us: u64,
+    /// The slice of [`LiveSession::last_eval_us`] the system spent
+    /// compiling bytecode (the [`alive_core::system::VmStats::compile_us`]
+    /// delta across the settle); stamped into
+    /// [`FrameStats::eval_compile_us`].
+    last_compile_us: u64,
     /// Pre-transaction checkpoint while a fleet UPDATE awaits its
     /// promote/revert decision. At most one — a session runs at most one
     /// fleet transaction at a time.
@@ -313,6 +318,7 @@ impl LiveSession {
             metrics,
             clock,
             last_eval_us: 0,
+            last_compile_us: 0,
             fleet_checkpoint: None,
             pending_txs: BTreeMap::new(),
             next_tx: 1,
@@ -375,6 +381,9 @@ impl LiveSession {
     pub fn frame_stats(&self) -> FrameStats {
         let mut stats = self.pipeline.stats();
         stats.eval_us = self.last_eval_us;
+        stats.eval_compile_us = self.last_compile_us;
+        stats.eval_exec_us = self.last_eval_us.saturating_sub(self.last_compile_us);
+        stats.vm_cache_hits = self.system.vm_stats().cache_hits;
         if let Some(memo) = self.memo_stats() {
             stats.eval_hits = memo.hits;
             stats.eval_misses = memo.misses;
@@ -914,8 +923,14 @@ impl LiveSession {
     /// good view at all yields a placeholder naming the fault.
     pub fn live_view(&mut self) -> String {
         let eval_start = self.clock.now_us();
+        let compile_before = self.system.vm_stats().compile_us;
         self.refresh();
         let eval_us = self.clock.now_us().saturating_sub(eval_start);
+        let compile_us = self
+            .system
+            .vm_stats()
+            .compile_us
+            .saturating_sub(compile_before);
         let generation = self.system.display_generation();
         match self.system.display().content() {
             // The pipeline reuses everything the display left unchanged:
@@ -929,6 +944,7 @@ impl LiveSession {
                     // hit): stamp the settle time and feed the stage
                     // timings into the histograms.
                     self.last_eval_us = eval_us;
+                    self.last_compile_us = compile_us;
                     if let Some(metrics) = &self.metrics {
                         metrics.record_frame(&self.frame_stats());
                     }

@@ -54,6 +54,7 @@ fn observed_session(registry: &Registry) -> LiveSession {
         SystemConfig {
             fuel: 50_000,
             max_transitions: 500,
+            ..SystemConfig::default()
         },
         false,
         registry,
@@ -163,6 +164,7 @@ fn fault_counters_reconcile_with_the_fault_log_by_kind() {
         SystemConfig {
             fuel: 50_000,
             max_transitions: 500,
+            ..SystemConfig::default()
         },
         false,
         &registry,
@@ -329,6 +331,60 @@ fn host_snapshot_is_the_sum_of_sessions_under_concurrent_load() {
     );
 }
 
+/// 5b. **VM accounting.** `eval.vm.instructions` is monotone across any
+/// random walk, ticks strictly upward whenever a VM run is recorded,
+/// and at the end of the walk reconciles exactly with the system's own
+/// [`alive_core::system::VmStats`] — the counter and the struct are two
+/// views of the same execution history. The default engine never falls
+/// back on this suite's app, so `eval.vm.fallbacks` stays zero.
+#[test]
+fn vm_instruction_counter_is_monotone_and_reconciles() {
+    use alive_core::metrics::names;
+
+    prop::check(
+        "vm_instruction_counter_is_monotone_and_reconciles",
+        prop::Config::with_cases(8),
+        |rng: &mut Rng| (0..256).map(|_| rng.below(256) as u8).collect::<Vec<u8>>(),
+        |steps: &Vec<u8>| {
+            let registry = Registry::with_clock(ManualClock::with_auto_step(3).shared());
+            let mut session = observed_session(&registry);
+            let snapshot = session.metrics_snapshot();
+            let mut prev_instructions = snapshot.counter(names::VM_INSTRUCTIONS);
+            let mut prev_runs = snapshot.counter(names::VM_RUNS);
+            for &step in steps {
+                let command = command_for(step, &session);
+                session.apply(command);
+                let next = session.metrics_snapshot();
+                let instructions = next.counter(names::VM_INSTRUCTIONS);
+                let runs = next.counter(names::VM_RUNS);
+                prop_assert!(
+                    instructions >= prev_instructions,
+                    "eval.vm.instructions decreased: {prev_instructions} -> {instructions}"
+                );
+                prop_assert!(
+                    runs == prev_runs || instructions > prev_instructions,
+                    "a VM run was recorded without executing a single instruction"
+                );
+                prev_instructions = instructions;
+                prev_runs = runs;
+            }
+            let snapshot = session.metrics_snapshot();
+            let stats = session.system().vm_stats();
+            prop_assert_eq!(
+                snapshot.counter(names::VM_INSTRUCTIONS),
+                stats.instructions,
+                "counter and VmStats disagree on instructions executed"
+            );
+            prop_assert_eq!(snapshot.counter(names::VM_RUNS), stats.runs);
+            prop_assert_eq!(snapshot.counter(names::VM_CACHE_HITS), stats.cache_hits);
+            prop_assert_eq!(snapshot.counter(names::VM_FALLBACKS), 0u64);
+            prop_assert_eq!(stats.fallbacks, 0u64);
+            prop_assert!(stats.runs > 0, "the walk must actually run the VM");
+            Ok(())
+        },
+    );
+}
+
 // ---------------------------------------------------------------------
 // Rollout accounting: the auto-rollback counter is evidence
 // ---------------------------------------------------------------------
@@ -349,6 +405,7 @@ fn host_rollbacks_total_equals_injected_bad_commits() {
         system: SystemConfig {
             fuel: 10_000,
             max_transitions: 500,
+            ..SystemConfig::default()
         },
         ..HostConfig::with_workers(2)
     });

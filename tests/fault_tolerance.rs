@@ -35,6 +35,7 @@ fn fast_session(source: &str) -> Result<LiveSession, its_alive::live::SessionErr
         SystemConfig {
             fuel: 50_000,
             max_transitions: 500,
+            ..SystemConfig::default()
         },
         false,
     )
