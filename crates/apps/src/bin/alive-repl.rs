@@ -29,6 +29,11 @@ commands:
   :tap <i> [<j> ...]    tap the box at a path, e.g. `:tap 1 0`
   :back                 press the back button
   :editbox <path...> -- <text>   edit a box's text (fires onedit)
+  :poke <path...> <leaf> -- <value>  ask for a rendered value to become
+                        <value>; answers with ranked candidate repairs
+  :repair <n>           apply candidate <n> of the last :poke offer
+  :attr <path...> <name> -- <expr>   set a box attribute (margin,
+                        background, ...) to an expression, in code
   :edit                 replace the source; end input with a single `.`
   :undo                 undo the most recent applied edit
   :redo                 redo the most recently undone edit
@@ -147,6 +152,55 @@ fn dispatch(
                 session.apply(SessionCommand::EditSource(src)),
                 "edit failed",
             );
+        }
+        ":poke" => {
+            let Some((head, value)) = rest.split_once(" -- ") else {
+                println!("usage: :poke <path...> <leaf> -- <value>");
+                return Flow::Continue;
+            };
+            match parse_path(head) {
+                Some(mut nums) if !nums.is_empty() => {
+                    let leaf = nums.pop().unwrap_or(0);
+                    emit(
+                        session.apply(SessionCommand::ManipulateAt {
+                            path: nums,
+                            leaf,
+                            value: value.to_string(),
+                        }),
+                        "poke failed",
+                    );
+                }
+                _ => println!("usage: :poke <path...> <leaf> -- <value>"),
+            }
+        }
+        ":repair" => match rest.parse::<usize>() {
+            Ok(n) => emit(
+                session.apply(SessionCommand::ApplyRepair(n)),
+                "repair failed",
+            ),
+            Err(_) => println!("usage: :repair <n>"),
+        },
+        ":attr" => {
+            let Some((head, value)) = rest.split_once(" -- ") else {
+                println!("usage: :attr <path...> <name> -- <expr>");
+                return Flow::Continue;
+            };
+            let mut tokens: Vec<&str> = head.split_whitespace().collect();
+            let Some(attr) = tokens.pop() else {
+                println!("usage: :attr <path...> <name> -- <expr>");
+                return Flow::Continue;
+            };
+            match parse_path_allow_empty(&tokens.join(" ")) {
+                Some(path) => emit(
+                    session.apply(SessionCommand::AttrEdit {
+                        path,
+                        attr: attr.to_string(),
+                        value: value.to_string(),
+                    }),
+                    "attr failed",
+                ),
+                None => println!("bad path"),
+            }
         }
         ":undo" => emit(session.apply(SessionCommand::Undo), "undo failed"),
         ":redo" => emit(session.apply(SessionCommand::Redo), "redo failed"),
@@ -276,6 +330,10 @@ fn parse_path(args: &str) -> Option<Vec<usize>> {
     if args.trim().is_empty() {
         return None;
     }
+    parse_path_allow_empty(args)
+}
+
+fn parse_path_allow_empty(args: &str) -> Option<Vec<usize>> {
     args.split_whitespace().map(|p| p.parse().ok()).collect()
 }
 
@@ -346,6 +404,12 @@ fn emit(effects: Vec<SessionEffect>, fail_ctx: &str) {
                 }
                 TxPhase::Aborted => println!("tx#{tx} aborted."),
             },
+            SessionEffect::Repairs(repairs) => {
+                println!("candidate repairs (apply with :repair <n>):");
+                for (i, r) in repairs.iter().enumerate() {
+                    println!("  [{i}] {}", r.description);
+                }
+            }
             SessionEffect::Overloaded { depth } => {
                 println!("{fail_ctx}: overloaded (mailbox depth {depth}); retry later.");
             }

@@ -10,14 +10,25 @@
 //! ([`SessionCommand`] → [`SessionEffect`]): the watcher is a thin
 //! effect printer, exactly like a remote observer attached to a host.
 //!
+//! `--commands <file>` watches a second file in the protocol's wire
+//! format ([`parse_commands`]): append `poke 0 0 -- 99` to select a
+//! rendered value and see ranked repairs, `repair 0` to apply one, or
+//! `attredit 0 margin -- 2` to manipulate an attribute. Repairs and
+//! attribute edits rewrite the *watched program file* — the paper's
+//! "changes are enshrined in code", with your editor as the code view.
+//!
 //! ```text
 //! $ cargo run -p alive-apps --bin alive-watch -- path/to/app.alive
 //! $ cargo run -p alive-apps --bin alive-watch -- app.alive --once
+//! $ cargo run -p alive-apps --bin alive-watch -- app.alive --commands cmds.txt
 //! ```
 //!
-//! `--once` renders once and exits (used by tests and CI).
+//! `--once` renders once (applying any command file once) and exits
+//! (used by tests and CI).
 
-use alive_live::{FrameSnapshot, LiveSession, Registry, SessionCommand, SessionEffect};
+use alive_live::{
+    parse_commands, FrameSnapshot, LiveSession, Registry, SessionCommand, SessionEffect,
+};
 use alive_ui::{layout, AnsiFramebuffer};
 use std::io::Write;
 use std::path::Path;
@@ -25,13 +36,28 @@ use std::time::{Duration, SystemTime};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (path, once) = match args.as_slice() {
-        [path] => (path.clone(), false),
-        [path, flag] if flag == "--once" => (path.clone(), true),
-        _ => {
-            eprintln!("usage: alive-watch <program-file> [--once]");
-            std::process::exit(2);
+    let mut path: Option<String> = None;
+    let mut once = false;
+    let mut commands_path: Option<String> = None;
+    let mut iter = args.iter();
+    let usage = || {
+        eprintln!("usage: alive-watch <program-file> [--once] [--commands <file>]");
+        std::process::exit(2);
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--commands" => match iter.next() {
+                Some(file) => commands_path = Some(file.clone()),
+                None => usage(),
+            },
+            other if path.is_none() => path = Some(other.to_string()),
+            _ => usage(),
         }
+    }
+    let Some(path) = path else {
+        usage();
+        unreachable!()
     };
 
     let source = match std::fs::read_to_string(&path) {
@@ -57,26 +83,107 @@ fn main() {
     let mut frame = AnsiFramebuffer::new();
     if once {
         show(&mut session, &path, &mut frame);
+        if let Some(cmds) = &commands_path {
+            run_command_file(&mut session, &path, cmds, &mut frame);
+        }
         return;
     }
 
-    println!("watching {path} — save the file to live-update (ctrl-c to stop)");
+    match &commands_path {
+        Some(cmds) => println!(
+            "watching {path} (commands from {cmds}) — save either file to drive the session (ctrl-c to stop)"
+        ),
+        None => println!("watching {path} — save the file to live-update (ctrl-c to stop)"),
+    }
     show(&mut session, &path, &mut frame);
     let mut last_seen = mtime(&path);
+    let mut last_cmds = commands_path.as_deref().and_then(mtime);
     loop {
         std::thread::sleep(Duration::from_millis(200));
         let now = mtime(&path);
-        if now == last_seen {
+        if now != last_seen {
+            last_seen = now;
+            if let Ok(new_source) = std::fs::read_to_string(&path) {
+                if new_source != session.source() {
+                    apply_save(&mut session, &path, &mut frame, new_source);
+                }
+            }
+        }
+        let Some(cmds) = &commands_path else { continue };
+        let now = mtime(cmds);
+        if now == last_cmds || now.is_none() {
             continue;
         }
-        last_seen = now;
-        let Ok(new_source) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        if new_source == session.source() {
-            continue;
+        last_cmds = now;
+        run_command_file(&mut session, &path, cmds, &mut frame);
+        // Repairs and attribute edits changed the source: write it back
+        // to the watched file (the code view), without re-triggering the
+        // save path.
+        last_seen = mtime(&path);
+    }
+}
+
+/// Read and apply one command file through the protocol, print the
+/// textual effects, repaint, and enshrine any source change back into
+/// the watched program file.
+fn run_command_file(
+    session: &mut LiveSession,
+    program_path: &str,
+    cmds_path: &str,
+    frame: &mut AnsiFramebuffer,
+) {
+    let Ok(text) = std::fs::read_to_string(cmds_path) else {
+        println!("\n— cannot read {cmds_path} —");
+        return;
+    };
+    let commands = match parse_commands(&text) {
+        Ok(commands) => commands,
+        Err(e) => {
+            println!("\n— {cmds_path}: {e} —");
+            return;
         }
-        apply_save(&mut session, &path, &mut frame, new_source);
+    };
+    if commands.is_empty() {
+        return;
+    }
+    let before = session.source().to_string();
+    println!("\n— {cmds_path}: {} command(s) —", commands.len());
+    for command in commands {
+        for effect in session.apply(command) {
+            print_command_effect(&effect);
+        }
+    }
+    if session.source() != before {
+        match std::fs::write(program_path, session.source()) {
+            Ok(()) => println!("(code updated — written back to {program_path})"),
+            Err(e) => println!("cannot write {program_path}: {e}"),
+        }
+    }
+    show(session, program_path, frame);
+}
+
+/// Print the textual half of a command's effects; frames are handled by
+/// the caller's repaint.
+fn print_command_effect(effect: &SessionEffect) {
+    match effect {
+        SessionEffect::Repairs(repairs) => {
+            println!("candidate repairs (write `repair <n>` to the command file):");
+            for (i, r) in repairs.iter().enumerate() {
+                println!("  [{i}] {}", r.description);
+            }
+        }
+        SessionEffect::Refused(why) => println!("refused: {why}"),
+        SessionEffect::EditApplied(_) => println!("applied."),
+        SessionEffect::EditRejected(_) => println!("rejected — the old program keeps running."),
+        SessionEffect::EditQuarantined { fault, .. } => {
+            println!("quarantined — the new code faulted ({fault}) and was reverted.");
+        }
+        SessionEffect::Tap { hit } => {
+            println!("tap {}", if *hit { "hit" } else { "miss" });
+        }
+        // The batch ends with a full repaint; skip per-command frames.
+        SessionEffect::Frame(_) => {}
+        other => print!("{}", other.serialize()),
     }
 }
 

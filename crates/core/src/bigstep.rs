@@ -14,6 +14,7 @@ use crate::expr::{Expr, ExprKind};
 use crate::fault::FaultInjector;
 use crate::prim::PrimCtx;
 use crate::program::Program;
+use crate::provenance::Provenance;
 use crate::store::Store;
 use crate::types::{Effect, Name};
 use crate::value::{Closure, Value};
@@ -597,6 +598,25 @@ impl Evaluator<'_> {
         Err(RuntimeError::UnknownLocal(name.clone()))
     }
 
+    /// Provenance for the value just produced by `expr`: the literal's
+    /// span, or the expression span plus a snapshot of its free locals.
+    /// Called *after* the operand is evaluated so the snapshot sees any
+    /// local mutations the operand performed — the VM reads the same
+    /// registers at the corresponding `PostLeaf`/`SetAttr` instruction.
+    fn provenance_of(&self, expr: &Expr) -> Option<Provenance> {
+        if crate::provenance::is_literal_expr(expr) {
+            return Some(Provenance::Literal(expr.span));
+        }
+        let env: Vec<(Name, Value)> = crate::provenance::free_locals(expr)
+            .into_iter()
+            .filter_map(|n| self.lookup_local(&n).cloned().map(|v| (n, v)))
+            .collect();
+        Some(Provenance::Expr {
+            span: expr.span,
+            env: Arc::new(env),
+        })
+    }
+
     /// Snapshot all visible bindings for closure capture, outermost
     /// first so later (inner) bindings shadow earlier ones on lookup.
     fn capture_env(&self) -> Arc<Vec<(Name, Value)>> {
@@ -863,8 +883,9 @@ impl Evaluator<'_> {
                     });
                 }
                 let v = self.eval(value)?;
+                let prov = self.provenance_of(value);
                 self.cost.posts += 1;
-                self.parent_frame()?.items.push(BoxItem::Leaf(v));
+                self.parent_frame()?.items.push(BoxItem::Leaf(v, prov));
                 Ok(Value::unit())
             }
             ExprKind::SetAttr(attr, value) => {
@@ -876,7 +897,10 @@ impl Evaluator<'_> {
                     });
                 }
                 let v = self.eval(value)?;
-                self.parent_frame()?.items.push(BoxItem::Attr(*attr, v));
+                let prov = self.provenance_of(value);
+                self.parent_frame()?
+                    .items
+                    .push(BoxItem::Attr(*attr, v, prov));
                 Ok(Value::unit())
             }
             ExprKind::Remember {

@@ -6,22 +6,61 @@
 
 use crate::attr::Attr;
 use crate::expr::BoxSourceId;
+use crate::provenance::Provenance;
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
 /// One item in a box's content sequence.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Leaves and attributes carry optional [`Provenance`] — where the value
+/// came from in the source — but provenance is **ignored by equality**:
+/// two frames that render the same pixels compare equal even if one was
+/// produced by an engine (smallstep) that tags nothing. This keeps the
+/// three-way differential oracles and damage diffing value-based.
+#[derive(Debug, Clone)]
 pub enum BoxItem {
-    /// `B v` — a posted leaf value.
-    Leaf(Value),
-    /// `B [a = v]` — an attribute setting.
-    Attr(Attr, Value),
+    /// `B v` — a posted leaf value, with the origin of the value.
+    Leaf(Value, Option<Provenance>),
+    /// `B [a = v]` — an attribute setting, with the origin of the value.
+    Attr(Attr, Value, Option<Provenance>),
     /// `B ⟨B⟩` — a nested box. Children are reference-counted so that
     /// unchanged subtrees can be *shared* across frames: a memo-cache
     /// splice is an O(1) pointer copy, and downstream passes (layout,
     /// paint) can detect "nothing changed here" by pointer identity.
     Child(Arc<BoxNode>),
+}
+
+impl PartialEq for BoxItem {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (BoxItem::Leaf(a, _), BoxItem::Leaf(b, _)) => a == b,
+            (BoxItem::Attr(aa, av, _), BoxItem::Attr(ba, bv, _)) => aa == ba && av == bv,
+            (BoxItem::Child(a), BoxItem::Child(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl BoxItem {
+    /// A leaf with no provenance (tests and synthetic trees).
+    pub fn leaf(value: Value) -> BoxItem {
+        BoxItem::Leaf(value, None)
+    }
+
+    /// An attribute setting with no provenance (tests and synthetic
+    /// trees).
+    pub fn attr(attr: Attr, value: Value) -> BoxItem {
+        BoxItem::Attr(attr, value, None)
+    }
+
+    /// The provenance carried by this item, if any.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        match self {
+            BoxItem::Leaf(_, p) | BoxItem::Attr(_, _, p) => p.as_ref(),
+            BoxItem::Child(_) => None,
+        }
+    }
 }
 
 /// A box: its content sequence plus the identity of the `boxed`
@@ -47,7 +86,17 @@ impl BoxNode {
     /// the sequence semantics of Fig. 7.
     pub fn attr(&self, attr: Attr) -> Option<&Value> {
         self.items.iter().rev().find_map(|item| match item {
-            BoxItem::Attr(a, v) if *a == attr => Some(v),
+            BoxItem::Attr(a, v, _) if *a == attr => Some(v),
+            _ => None,
+        })
+    }
+
+    /// The winning setting of attribute `a` together with its
+    /// provenance — the bidirectional-manipulation analogue of
+    /// [`BoxNode::attr`].
+    pub fn attr_with_provenance(&self, attr: Attr) -> Option<(&Value, Option<&Provenance>)> {
+        self.items.iter().rev().find_map(|item| match item {
+            BoxItem::Attr(a, v, p) if *a == attr => Some((v, p.as_ref())),
             _ => None,
         })
     }
@@ -55,9 +104,21 @@ impl BoxNode {
     /// Posted leaf values, in order.
     pub fn leaves(&self) -> impl Iterator<Item = &Value> {
         self.items.iter().filter_map(|item| match item {
-            BoxItem::Leaf(v) => Some(v),
+            BoxItem::Leaf(v, _) => Some(v),
             _ => None,
         })
+    }
+
+    /// The `ordinal`-th posted leaf (what hit-testing resolves a text
+    /// cell to) together with its provenance.
+    pub fn leaf_with_provenance(&self, ordinal: usize) -> Option<(&Value, Option<&Provenance>)> {
+        self.items
+            .iter()
+            .filter_map(|item| match item {
+                BoxItem::Leaf(v, p) => Some((v, p.as_ref())),
+                _ => None,
+            })
+            .nth(ordinal)
     }
 
     /// Nested child boxes, in order.
@@ -191,7 +252,7 @@ mod tests {
     use super::*;
 
     fn leaf(text: &str) -> BoxItem {
-        BoxItem::Leaf(Value::str(text))
+        BoxItem::leaf(Value::str(text))
     }
 
     fn sample() -> BoxNode {
@@ -205,7 +266,7 @@ mod tests {
         b.items.push(leaf("b"));
         let mut root = BoxNode::new(None);
         root.items
-            .push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
+            .push(BoxItem::attr(Attr::Margin, Value::Number(2.0)));
         root.push_child(a);
         root.push_child(b);
         root
@@ -215,9 +276,9 @@ mod tests {
     fn rightmost_attr_wins() {
         let mut b = BoxNode::new(None);
         b.items
-            .push(BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
+            .push(BoxItem::attr(Attr::Margin, Value::Number(1.0)));
         b.items
-            .push(BoxItem::Attr(Attr::Margin, Value::Number(9.0)));
+            .push(BoxItem::attr(Attr::Margin, Value::Number(9.0)));
         assert_eq!(b.attr(Attr::Margin), Some(&Value::Number(9.0)));
         assert_eq!(b.attr(Attr::Padding), None);
     }

@@ -61,6 +61,7 @@ pub mod persist;
 pub mod pretty;
 pub mod prim;
 pub mod program;
+pub mod provenance;
 pub mod smallstep;
 pub mod state_typing;
 pub mod store;
@@ -81,6 +82,7 @@ pub use incremental::IncrementalCompiler;
 pub use metrics::SystemMetrics;
 pub use prim::Prim;
 pub use program::{Program, START_PAGE};
+pub use provenance::Provenance;
 pub use store::Store;
 pub use types::{Effect, Name, Type};
 pub use value::{Color, Value};

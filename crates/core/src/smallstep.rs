@@ -835,7 +835,7 @@ impl Machine<'_> {
                     }
                     self.tick(Effect::Render, Rule::ErPost)?;
                     let v = expr_to_value(&value)?;
-                    self.current_box()?.items.push(BoxItem::Leaf(v));
+                    self.current_box()?.items.push(BoxItem::Leaf(v, None));
                     Ok(unit())
                 } else {
                     let value = self.step(*value)?;
@@ -853,7 +853,7 @@ impl Machine<'_> {
                     }
                     self.tick(Effect::Render, Rule::ErAttr)?;
                     let v = expr_to_value(&value)?;
-                    self.current_box()?.items.push(BoxItem::Attr(attr, v));
+                    self.current_box()?.items.push(BoxItem::Attr(attr, v, None));
                     Ok(unit())
                 } else {
                     let value = self.step(*value)?;

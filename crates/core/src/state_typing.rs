@@ -200,7 +200,7 @@ pub fn check_system(system: &System) -> Vec<StateTypeError> {
         while let Some(node) = stack.pop() {
             for item in &node.items {
                 match item {
-                    BoxItem::Leaf(v) | BoxItem::Attr(_, v) => check_value("D", v),
+                    BoxItem::Leaf(v, _) | BoxItem::Attr(_, v, _) => check_value("D", v),
                     BoxItem::Child(b) => stack.push(b),
                 }
             }
@@ -221,7 +221,7 @@ fn check_box(program: &crate::program::Program, node: &BoxNode, errors: &mut Vec
     }
     for item in &node.items {
         match item {
-            BoxItem::Attr(attr, value) => {
+            BoxItem::Attr(attr, value, _) => {
                 if !value.has_type(&attr.ty()) {
                     errors.push(StateTypeError {
                         component: "D",
@@ -229,7 +229,7 @@ fn check_box(program: &crate::program::Program, node: &BoxNode, errors: &mut Vec
                     });
                 }
             }
-            BoxItem::Leaf(_) => {}
+            BoxItem::Leaf(..) => {}
             BoxItem::Child(child) => check_box(program, child, errors),
         }
     }

@@ -25,7 +25,7 @@ use crate::program::Program;
 use crate::types::Name;
 use crate::value::Value;
 
-use super::{Chunk, GlobalSlot, GuardOp, Instr, LambdaInfo, PageEntry, Reg, VmProgram};
+use super::{Chunk, GlobalSlot, GuardOp, Instr, LambdaInfo, PageEntry, ProvSpec, Reg, VmProgram};
 
 /// Why a program is outside the VM subset. Never user-visible: the
 /// engine falls back to the tree walker, which reports the authoritative
@@ -81,6 +81,7 @@ struct Builder<'p> {
     const_cache: HashMap<ConstKey, u32>,
     lambdas: Vec<LambdaInfo>,
     captures: Vec<Arc<[(u32, Reg)]>>,
+    provs: Vec<ProvSpec>,
     globals: Vec<GlobalSlot>,
     global_idx: HashMap<Name, u32>,
     page_names: Vec<Name>,
@@ -137,6 +138,12 @@ impl Builder<'_> {
     fn capture_set(&mut self, set: Vec<(u32, Reg)>) -> u32 {
         let i = self.captures.len() as u32;
         self.captures.push(set.into());
+        i
+    }
+
+    fn prov_spec(&mut self, spec: ProvSpec) -> u32 {
+        let i = self.provs.len() as u32;
+        self.provs.push(spec);
         i
     }
 }
@@ -658,7 +665,8 @@ impl FnCompiler<'_, '_> {
                 self.push(Instr::Guard { op: GuardOp::Post });
                 let w = self.save();
                 let src = self.emit_operand(value, &[])?;
-                self.push(Instr::PostLeaf { src });
+                let prov = self.prov_for(value);
+                self.push(Instr::PostLeaf { src, prov });
                 self.restore(w);
                 self.emit_unit(dst)
             }
@@ -666,7 +674,12 @@ impl FnCompiler<'_, '_> {
                 self.push(Instr::Guard { op: GuardOp::Attr });
                 let w = self.save();
                 let src = self.emit_operand(value, &[])?;
-                self.push(Instr::SetAttr { attr: *attr, src });
+                let prov = self.prov_for(value);
+                self.push(Instr::SetAttr {
+                    attr: *attr,
+                    src,
+                    prov,
+                });
                 self.restore(w);
                 self.emit_unit(dst)
             }
@@ -842,6 +855,30 @@ impl FnCompiler<'_, '_> {
         Ok(())
     }
 
+    /// The compile-time provenance record for a `post`/`box.a :=`
+    /// operand: the literal's span, or the operand span plus its free
+    /// locals resolved to registers — the mirror of bigstep's runtime
+    /// `provenance_of`. Names that fail to resolve are skipped, exactly
+    /// as bigstep skips names its `lookup_local` misses.
+    fn prov_for(&mut self, value: &Expr) -> u32 {
+        let spec = if crate::provenance::is_literal_expr(value) {
+            ProvSpec::Literal(value.span)
+        } else {
+            let mut free = Vec::new();
+            for name in crate::provenance::free_locals(value) {
+                if let Some(r) = self.resolve(&name) {
+                    let sym = self.b.sym(&name);
+                    free.push((sym, r));
+                }
+            }
+            ProvSpec::Expr {
+                span: value.span,
+                free: free.into(),
+            }
+        };
+        self.b.prov_spec(spec)
+    }
+
     /// The current binding stack as a `(symbol, register)` capture set —
     /// bigstep's `capture_env`, resolved at compile time.
     fn capture_current(&mut self) -> u32 {
@@ -904,6 +941,7 @@ pub(crate) fn compile_program(p: &Program) -> Result<VmProgram, CompileError> {
         const_cache: HashMap::new(),
         lambdas: Vec::new(),
         captures: Vec::new(),
+        provs: Vec::new(),
         globals: Vec::new(),
         global_idx: HashMap::new(),
         page_names: Vec::new(),
@@ -987,6 +1025,7 @@ pub(crate) fn compile_program(p: &Program) -> Result<VmProgram, CompileError> {
     vmp.consts = b.consts;
     vmp.lambdas = b.lambdas;
     vmp.captures = b.captures;
+    vmp.provs = b.provs;
     vmp.globals = b.globals;
     vmp.page_names = b.page_names;
     vmp.syms = b.syms;

@@ -28,8 +28,10 @@ use crate::types::{Effect, Name};
 use crate::value::{Closure, Value};
 use crate::widget::WidgetStore;
 
+use crate::provenance::Provenance;
+
 use super::arena::Scratch;
-use super::{GuardOp, Instr, VmProgram};
+use super::{GuardOp, Instr, ProvSpec, VmProgram};
 
 /// Execution statistics for one VM run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -140,6 +142,29 @@ impl<'a> Vm<'a> {
             locals.push((name, v));
         }
         Ok(locals)
+    }
+
+    /// Materialize a compile-time [`ProvSpec`] into a runtime
+    /// [`Provenance`], reading the free-local registers *now* — after
+    /// the operand evaluated — to match bigstep's lookup-after-eval
+    /// snapshot order.
+    fn materialize_prov(&self, base: usize, prov: u32) -> Result<Option<Provenance>, RuntimeError> {
+        let spec = self.vmp.provs.get(prov as usize).ok_or(BAD_CODE)?;
+        Ok(Some(match spec {
+            ProvSpec::Literal(span) => Provenance::Literal(*span),
+            ProvSpec::Expr { span, free } => {
+                let mut env = Vec::with_capacity(free.len());
+                for &(sym, r) in free.iter() {
+                    let name = self.sym_name(sym)?.clone();
+                    let v = self.scratch.get(base + r as usize)?.clone();
+                    env.push((name, v));
+                }
+                Provenance::Expr {
+                    span: *span,
+                    env: Arc::new(env),
+                }
+            }
+        }))
     }
 
     /// Run one chunk in the window at `base` until its `Ret`.
@@ -432,14 +457,16 @@ impl<'a> Vm<'a> {
                     }
                     self.parent_frame()?.items.push(BoxItem::Child(node));
                 }
-                Instr::PostLeaf { src } => {
+                Instr::PostLeaf { src, prov } => {
                     let v = self.scratch.get(base + src as usize)?.clone();
+                    let p = self.materialize_prov(base, prov)?;
                     self.cost.posts += 1;
-                    self.parent_frame()?.items.push(BoxItem::Leaf(v));
+                    self.parent_frame()?.items.push(BoxItem::Leaf(v, p));
                 }
-                Instr::SetAttr { attr, src } => {
+                Instr::SetAttr { attr, src, prov } => {
                     let v = self.scratch.get(base + src as usize)?.clone();
-                    self.parent_frame()?.items.push(BoxItem::Attr(attr, v));
+                    let p = self.materialize_prov(base, prov)?;
+                    self.parent_frame()?.items.push(BoxItem::Attr(attr, v, p));
                 }
                 Instr::RememberBind { dst, id, done } => {
                     if self.mode != Effect::Render {

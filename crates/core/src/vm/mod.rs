@@ -46,6 +46,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use alive_syntax::ast::BinOp;
+use alive_syntax::Span;
 
 use crate::attr::Attr;
 use crate::expr::Expr;
@@ -140,10 +141,14 @@ pub(crate) enum Instr {
     },
     /// Close the current `boxed` frame; the body value is in `src`.
     BoxExit { id: u32, cap: u32, src: Reg },
-    /// `post` the value in `src` as a leaf of the open box.
-    PostLeaf { src: Reg },
-    /// `box.attr := src` on the open box.
-    SetAttr { attr: Attr, src: Reg },
+    /// `post` the value in `src` as a leaf of the open box. `prov`
+    /// indexes the program's [`ProvSpec`] table; the executor
+    /// materializes it into a [`crate::provenance::Provenance`] by
+    /// reading the listed registers *at this instruction* — after the
+    /// operand ran, matching bigstep's lookup-after-eval order.
+    PostLeaf { src: Reg, prov: u32 },
+    /// `box.attr := src` on the open box (`prov` as in `PostLeaf`).
+    SetAttr { attr: Attr, src: Reg, prov: u32 },
     /// `remember` slot bind: allocate the occurrence key for `id`, put
     /// its `WidgetRef` in `dst`, and jump `done` if the slot already
     /// holds a value (skipping the initializer).
@@ -172,6 +177,23 @@ pub(crate) enum GuardOp {
     Post,
     /// `box.a := e` requires render mode with an open box.
     Attr,
+}
+
+/// Compile-time provenance for one `post`/`box.a :=` operand: the
+/// literal's span, or the expression span plus its free locals resolved
+/// to `(symbol, register)` pairs in [`crate::provenance::free_locals`]
+/// order — the compile-time mirror of bigstep's `provenance_of`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ProvSpec {
+    /// The operand is a literal occurrence.
+    Literal(Span),
+    /// The operand is a computed expression with the given free locals.
+    Expr {
+        /// Span of the operand expression.
+        span: Span,
+        /// Free locals as `(symbol, frame register)`.
+        free: Arc<[(u32, Reg)]>,
+    },
 }
 
 /// One compiled body: a straight-line instruction vector plus its frame
@@ -226,6 +248,9 @@ pub struct VmProgram {
     pub(crate) lambdas: Vec<LambdaInfo>,
     /// Render-hook capture sets for `boxed` sites.
     pub(crate) captures: Vec<Arc<[(u32, Reg)]>>,
+    /// Constant-provenance table indexed by the `prov` operand of
+    /// `PostLeaf`/`SetAttr`.
+    pub(crate) provs: Vec<ProvSpec>,
     pub(crate) globals: Vec<GlobalSlot>,
     pub(crate) page_names: Vec<Name>,
     /// The intern table: symbol ID → name.
@@ -259,6 +284,7 @@ impl VmProgram {
             consts: Vec::new(),
             lambdas: Vec::new(),
             captures: Vec::new(),
+            provs: Vec::new(),
             globals: Vec::new(),
             page_names: Vec::new(),
             syms: Vec::new(),

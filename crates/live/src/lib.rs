@@ -10,8 +10,9 @@
 //! * **UI↔code navigation** ([`navigation`]): tap a box to find its
 //!   `boxed` statement; put the cursor in a `boxed` statement to find
 //!   all boxes it created (one-to-many under loops), as in Figure 2.
-//! * **Direct manipulation** ([`manipulate`]): change a box attribute
-//!   from the live view; the change is enshrined as a code edit.
+//! * **Direct manipulation & value repairs** ([`repair`]): change a box
+//!   attribute — or a rendered *value* — from the live view; the change
+//!   is inverted through provenance into ranked candidate code edits.
 //! * **Render memoization** ([`memo`]): the §5 optimization that reuses
 //!   box subtrees whose inputs have not changed.
 //! * **Frame pipeline** ([`pipeline`]): the same reuse extended through
@@ -53,18 +54,17 @@
 
 pub mod editor;
 pub mod fault_log;
-pub mod manipulate;
 pub mod memo;
 pub mod metrics;
 pub mod navigation;
 pub mod pipeline;
 pub mod protocol;
+pub mod repair;
 pub mod session;
 pub mod trace;
 
 pub use editor::{highlight_line, split_view, Selection, SplitViewOptions};
 pub use fault_log::{FaultLog, FAULT_LOG_CAPACITY};
-pub use manipulate::{attribute_edit, remove_attribute_edit, ManipulateError};
 pub use memo::{MemoCache, MemoStats, RenderDeps};
 pub use metrics::SessionMetrics;
 pub use navigation::{box_source_at, boxes_for_cursor, boxes_for_source, span_for_box};
@@ -72,6 +72,10 @@ pub use pipeline::{FramePipeline, FrameStats};
 pub use protocol::{
     format_frame_stats, format_metrics_snapshot, parse_commands, FrameSnapshot, ProtocolParseError,
     SessionCommand, SessionEffect, TxPhase,
+};
+pub use repair::{
+    attribute_edit, remove_attribute_edit, repairs_for, AttrEditError, CandidateRepair,
+    ManipulateError, RepairError,
 };
 // Re-exported so frontends can attach observability without a direct
 // alive-obs dependency.

@@ -230,7 +230,7 @@ mod tests {
 
     fn leaf(text: &str) -> BoxNode {
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Leaf(Value::str(text)));
+        b.items.push(BoxItem::leaf(Value::str(text)));
         b
     }
 

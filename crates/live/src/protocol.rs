@@ -21,10 +21,12 @@
 //! frames to a local frontend — there is no privileged side channel.
 
 use crate::pipeline::FrameStats;
+use crate::repair::CandidateRepair;
 use crate::session::{EditOutcome, LiveSession, UndoOutcome};
 use alive_core::boxtree::BoxNode;
 use alive_core::fixup::FixupReport;
 use alive_core::persist::LoadReport;
+use alive_core::Attr;
 use alive_core::Fault;
 use alive_obs::MetricsSnapshot;
 use alive_syntax::{Diagnostics, Span, TextEdit};
@@ -103,6 +105,36 @@ pub enum SessionCommand {
     /// Ask an open transaction's status (hosted: also advances a canary
     /// whose observation window has elapsed).
     TxStatus(u64),
+    /// Bidirectional manipulation: select the `leaf`-th text leaf of
+    /// the box at `path` and ask for its rendered value to become
+    /// `value`. Answers with ranked [`SessionEffect::Repairs`] (parked
+    /// for [`SessionCommand::ApplyRepair`]), or a refusal. Resolved
+    /// against the session's *current* display and source, never cached
+    /// spans.
+    ManipulateAt {
+        /// Child-index path to the box.
+        path: Vec<usize>,
+        /// Ordinal of the text leaf within the box.
+        leaf: usize,
+        /// Desired value, textual form (number, `true`/`false`,
+        /// `"quoted"` or bare string).
+        value: String,
+    },
+    /// Apply candidate `n` of the pending repair offer as a live edit.
+    ApplyRepair(usize),
+    /// Direct manipulation of a box attribute: set `attr` of the box at
+    /// `path` to the expression `value`, enshrining the change in code
+    /// (the paper's margin example) — resolved against the current
+    /// display and source at apply time.
+    AttrEdit {
+        /// Child-index path to the box.
+        path: Vec<usize>,
+        /// Attribute name (`margin`, `background`, ...); unknown names
+        /// are refused, keeping `apply` total.
+        attr: String,
+        /// Replacement value expression, source form.
+        value: String,
+    },
 }
 
 /// Where an edit transaction stands — the payload of
@@ -214,6 +246,11 @@ pub enum SessionEffect {
         /// Where it stands.
         phase: TxPhase,
     },
+    /// Ranked candidate repairs answering a
+    /// [`SessionCommand::ManipulateAt`] selection, best first. The
+    /// offer is parked on the session; `ApplyRepair(n)` applies the
+    /// `n`-th candidate.
+    Repairs(Vec<CandidateRepair>),
     /// Backpressure: the host refused the command because the session's
     /// mailbox is at its high-water capacity. The typed sibling of
     /// [`SessionEffect::Refused`] — remote clients distinguish "try
@@ -266,21 +303,10 @@ impl LiveSession {
                 Ok(()) => vec![SessionEffect::Frame(self.frame_snapshot())],
                 Err(e) => vec![SessionEffect::Refused(e.to_string())],
             },
-            SessionCommand::EditSource(src) => match self.edit_source(&src) {
-                EditOutcome::Applied(report) => vec![
-                    SessionEffect::EditApplied(report),
-                    SessionEffect::Frame(self.frame_snapshot()),
-                ],
-                // Rejected edits leave the display untouched: no frame.
-                EditOutcome::Rejected(diags) => vec![SessionEffect::EditRejected(diags)],
-                EditOutcome::Quarantined { fault, report } => vec![
-                    SessionEffect::EditQuarantined {
-                        fault: Box::new(fault),
-                        report,
-                    },
-                    SessionEffect::Frame(self.frame_snapshot()),
-                ],
-            },
+            SessionCommand::EditSource(src) => {
+                let outcome = self.edit_source(&src);
+                self.edit_outcome_effects(outcome)
+            }
             SessionCommand::Undo => self.history_effects(false),
             SessionCommand::Redo => self.history_effects(true),
             SessionCommand::Source => vec![SessionEffect::Source(self.source().to_string())],
@@ -377,6 +403,46 @@ impl LiveSession {
                     "no open transaction tx#{tx}"
                 ))],
             },
+            SessionCommand::ManipulateAt { path, leaf, value } => {
+                match self.repairs_at(&path, leaf, &value) {
+                    Ok(repairs) => vec![SessionEffect::Repairs(repairs)],
+                    Err(e) => vec![SessionEffect::Refused(e.to_string())],
+                }
+            }
+            SessionCommand::ApplyRepair(index) => match self.apply_repair(index) {
+                Ok(outcome) => self.edit_outcome_effects(outcome),
+                Err(e) => vec![SessionEffect::Refused(e.to_string())],
+            },
+            SessionCommand::AttrEdit { path, attr, value } => match Attr::from_name(&attr) {
+                None => vec![SessionEffect::Refused(format!(
+                    "unknown attribute `{attr}`"
+                ))],
+                Some(a) => match self.attribute_edit_at(&path, a, &value) {
+                    Ok(outcome) => self.edit_outcome_effects(outcome),
+                    Err(e) => vec![SessionEffect::Refused(e.to_string())],
+                },
+            },
+        }
+    }
+
+    /// The standard effect sequence for an [`EditOutcome`], shared by
+    /// every command that ends in a source edit (keystroke, repair,
+    /// attribute manipulation).
+    fn edit_outcome_effects(&mut self, outcome: EditOutcome) -> Vec<SessionEffect> {
+        match outcome {
+            EditOutcome::Applied(report) => vec![
+                SessionEffect::EditApplied(report),
+                SessionEffect::Frame(self.frame_snapshot()),
+            ],
+            // Rejected edits leave the display untouched: no frame.
+            EditOutcome::Rejected(diags) => vec![SessionEffect::EditRejected(diags)],
+            EditOutcome::Quarantined { fault, report } => vec![
+                SessionEffect::EditQuarantined {
+                    fault: Box::new(fault),
+                    report,
+                },
+                SessionEffect::Frame(self.frame_snapshot()),
+            ],
         }
     }
 
@@ -560,6 +626,25 @@ impl SessionCommand {
             SessionCommand::TxCommit(tx) => out.push_str(&format!("txcommit {tx}\n")),
             SessionCommand::TxAbort(tx) => out.push_str(&format!("txabort {tx}\n")),
             SessionCommand::TxStatus(tx) => out.push_str(&format!("txstatus {tx}\n")),
+            SessionCommand::ManipulateAt { path, leaf, value } => {
+                out.push_str("poke");
+                for p in path {
+                    out.push_str(&format!(" {p}"));
+                }
+                out.push_str(&format!(" {leaf} -- "));
+                out.push_str(&escape(value));
+                out.push('\n');
+            }
+            SessionCommand::ApplyRepair(n) => out.push_str(&format!("repair {n}\n")),
+            SessionCommand::AttrEdit { path, attr, value } => {
+                out.push_str("attredit");
+                for p in path {
+                    out.push_str(&format!(" {p}"));
+                }
+                out.push_str(&format!(" {attr} -- "));
+                out.push_str(&escape(value));
+                out.push('\n');
+            }
         }
         out
     }
@@ -695,6 +780,45 @@ pub fn parse_commands(text: &str) -> Result<Vec<SessionCommand>, ProtocolParseEr
                 // Leave the final newline for the generic strip below.
                 consumed_payload = consumed.saturating_sub(usize::from(count > 0));
                 SessionCommand::TxEdit { tx, edits }
+            }
+            "poke" => {
+                // `poke <path...> <leaf> -- <value>`: the last number
+                // before the separator is the leaf ordinal.
+                let (head, value) = args
+                    .split_once(" -- ")
+                    .ok_or_else(|| err("poke needs ` -- ` separator".to_string()))?;
+                let mut nums = parse_usize_path(head).map_err(&err)?;
+                let leaf = nums
+                    .pop()
+                    .ok_or_else(|| err("poke needs a leaf ordinal".to_string()))?;
+                SessionCommand::ManipulateAt {
+                    path: nums,
+                    leaf,
+                    value: unescape(value),
+                }
+            }
+            "repair" => {
+                let n: usize = args
+                    .parse()
+                    .map_err(|_| err(format!("bad repair index `{args}`")))?;
+                SessionCommand::ApplyRepair(n)
+            }
+            "attredit" => {
+                // `attredit <path...> <attr> -- <value>`: the last token
+                // before the separator is the attribute name.
+                let (head, value) = args
+                    .split_once(" -- ")
+                    .ok_or_else(|| err("attredit needs ` -- ` separator".to_string()))?;
+                let mut tokens: Vec<&str> = head.split_whitespace().collect();
+                let attr = tokens
+                    .pop()
+                    .ok_or_else(|| err("attredit needs an attribute name".to_string()))?;
+                let path = parse_usize_path(&tokens.join(" ")).map_err(&err)?;
+                SessionCommand::AttrEdit {
+                    path,
+                    attr: attr.to_string(),
+                    value: unescape(value),
+                }
             }
             "txcommit" | "txabort" | "txstatus" => {
                 let tx: u64 = args
@@ -848,6 +972,19 @@ impl SessionEffect {
                 }
                 TxPhase::Aborted => out.push_str(&format!("tx {tx} aborted\n")),
             },
+            SessionEffect::Repairs(repairs) => {
+                out.push_str(&format!("repairs count={}\n", repairs.len()));
+                for (i, r) in repairs.iter().enumerate() {
+                    out.push_str(&format!(
+                        "repair {i} rank={} {}..{} -- {} -- {}\n",
+                        r.rank,
+                        r.edit.span.start,
+                        r.edit.span.end,
+                        escape(&r.edit.replacement),
+                        r.description.replace('\n', " ")
+                    ));
+                }
+            }
             SessionEffect::Overloaded { depth } => {
                 out.push_str(&format!("overloaded depth={depth}\n"));
             }
@@ -911,6 +1048,29 @@ page start() {
             SessionCommand::TxCommit(1),
             SessionCommand::TxCommit(1), // already committed
             SessionCommand::TxAbort(7),  // unknown tx
+            SessionCommand::ManipulateAt {
+                path: vec![0],
+                leaf: 0,
+                value: "99".to_string(),
+            },
+            SessionCommand::ManipulateAt {
+                path: vec![9, 9],
+                leaf: 0,
+                value: "99".to_string(),
+            }, // no such box
+            SessionCommand::ApplyRepair(99), // out of range
+            SessionCommand::ApplyRepair(0),
+            SessionCommand::ApplyRepair(0), // offer consumed or absent
+            SessionCommand::AttrEdit {
+                path: vec![0],
+                attr: "margin".to_string(),
+                value: "2".to_string(),
+            },
+            SessionCommand::AttrEdit {
+                path: vec![0],
+                attr: "wobble".to_string(),
+                value: "2".to_string(),
+            }, // unknown attribute
         ];
         for command in commands {
             let effects = s.apply(command.clone());
@@ -1028,6 +1188,27 @@ page start() {
             SessionCommand::TxStatus(3),
             SessionCommand::TxCommit(3),
             SessionCommand::TxAbort(4),
+            SessionCommand::ManipulateAt {
+                path: vec![1, 0],
+                leaf: 2,
+                value: "two\nlines".to_string(),
+            },
+            SessionCommand::ManipulateAt {
+                path: vec![],
+                leaf: 0,
+                value: "root leaf".to_string(),
+            },
+            SessionCommand::ApplyRepair(1),
+            SessionCommand::AttrEdit {
+                path: vec![0, 2],
+                attr: "margin".to_string(),
+                value: "base + 2".to_string(),
+            },
+            SessionCommand::AttrEdit {
+                path: vec![],
+                attr: "background".to_string(),
+                value: "colors.light_blue".to_string(),
+            },
         ];
         let wire: String = commands.iter().map(SessionCommand::serialize).collect();
         let parsed = parse_commands(&wire).expect("parses");
@@ -1045,7 +1226,13 @@ page start() {
         assert!(parse_commands("txedit 1 2\n0 1 -- x\n").is_err()); // truncated
         assert!(parse_commands("txedit 1 1\nno separator\n").is_err());
         assert!(parse_commands("txcommit many\n").is_err());
-        // Comments and blank lines are fine.
+        assert!(parse_commands("poke 0 1\n").is_err()); // no separator
+        assert!(parse_commands("poke a 0 -- x\n").is_err()); // bad path
+        assert!(parse_commands("poke -- x\n").is_err()); // no leaf ordinal
+        assert!(parse_commands("repair many\n").is_err());
+        assert!(parse_commands("attredit 0 margin 4\n").is_err()); // no separator
+        assert!(parse_commands("attredit q margin -- 4\n").is_err()); // bad path
+                                                                      // Comments and blank lines are fine.
         let parsed = parse_commands("# a comment\n\nframe\n").expect("parses");
         assert_eq!(parsed, vec![SessionCommand::Frame]);
     }
@@ -1064,11 +1251,33 @@ page start() {
             SessionCommand::TxOpen,
             SessionCommand::TxStatus(1),
             SessionCommand::TxAbort(1),
+            SessionCommand::ManipulateAt {
+                path: vec![0],
+                leaf: 0,
+                value: "n = 1".to_string(),
+            },
+            SessionCommand::ApplyRepair(99),
+            SessionCommand::AttrEdit {
+                path: vec![0],
+                attr: "margin".to_string(),
+                value: "3".to_string(),
+            },
         ] {
             for effect in s.apply(command) {
                 assert!(!effect.serialize().is_empty());
             }
         }
+        // Repairs have a stable line-per-candidate wire form.
+        let wire = SessionEffect::Repairs(vec![CandidateRepair {
+            rank: 1,
+            edit: TextEdit::replace(Span::new(4, 9), "\"a\nb\""),
+            description: "change the string".to_string(),
+        }])
+        .serialize();
+        assert_eq!(
+            wire,
+            "repairs count=1\nrepair 0 rank=1 4..9 -- \"a\\nb\" -- change the string\n"
+        );
         // The typed backpressure and fleet-phase effects have stable
         // one-line wire forms.
         assert_eq!(
@@ -1097,6 +1306,89 @@ page start() {
             .serialize(),
             "tx 5 rolledback reverted=10 -- fault spike\n"
         );
+    }
+
+    #[test]
+    fn manipulate_then_repair_through_the_protocol() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        // count = 1 after init; the label renders "count is 1". Select
+        // it and ask for "n = 1".
+        let effects = s.apply(SessionCommand::ManipulateAt {
+            path: vec![0],
+            leaf: 0,
+            value: "n = 1".to_string(),
+        });
+        let [SessionEffect::Repairs(repairs)] = effects.as_slice() else {
+            panic!("expected repairs, got {effects:?}");
+        };
+        // Best first: rank 1 rewrites the string-literal head of the
+        // concatenation; rank 2 is the whole-expression fallback.
+        assert!(repairs.len() >= 2, "{repairs:?}");
+        assert_eq!(repairs[0].rank, 1);
+        assert!(
+            repairs[0].description.contains("change the string"),
+            "{:?}",
+            repairs[0]
+        );
+        assert_eq!(repairs.last().expect("fallback").rank, 2);
+        let effects = s.apply(SessionCommand::ApplyRepair(0));
+        assert!(matches!(effects[0], SessionEffect::EditApplied(_)));
+        let SessionEffect::Frame(frame) = &effects[1] else {
+            panic!("applied repair must re-frame");
+        };
+        // The repair re-renders to exactly the requested value, and the
+        // change is enshrined in code.
+        assert_eq!(frame.view, "n = 1\n");
+        assert!(s.source().contains(r#""n = " ++ count"#), "{}", s.source());
+        // The offer was consumed with the applied edit.
+        let effects = s.apply(SessionCommand::ApplyRepair(0));
+        assert!(matches!(effects[0], SessionEffect::Refused(_)));
+    }
+
+    #[test]
+    fn stale_repair_offers_are_refused_after_a_source_edit() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        let effects = s.apply(SessionCommand::ManipulateAt {
+            path: vec![0],
+            leaf: 0,
+            value: "n = 1".to_string(),
+        });
+        assert!(matches!(effects[0], SessionEffect::Repairs(_)));
+        // The source moves on between selection and application: the
+        // parked candidates address dead spans and must not fire.
+        let edited = s.source().replace("count is", "total is");
+        s.apply(SessionCommand::EditSource(edited));
+        let effects = s.apply(SessionCommand::ApplyRepair(0));
+        assert!(matches!(effects[0], SessionEffect::Refused(_)));
+        assert_eq!(s.live_view(), "total is 1\n");
+        // A fresh selection against the new source works again.
+        let effects = s.apply(SessionCommand::ManipulateAt {
+            path: vec![0],
+            leaf: 0,
+            value: "n = 1".to_string(),
+        });
+        assert!(matches!(effects[0], SessionEffect::Repairs(_)));
+    }
+
+    #[test]
+    fn attredit_through_the_protocol_survives_source_drift() {
+        let mut s = LiveSession::new(APP).expect("starts");
+        // Shift every span first (a comment up top), then manipulate by
+        // path: the command resolves against the *current* source.
+        let edited = format!("// drifted\n{}", s.source());
+        s.apply(SessionCommand::EditSource(edited));
+        let effects = s.apply(SessionCommand::AttrEdit {
+            path: vec![0],
+            attr: "margin".to_string(),
+            value: "2".to_string(),
+        });
+        assert!(matches!(effects[0], SessionEffect::EditApplied(_)));
+        let SessionEffect::Frame(frame) = &effects[1] else {
+            panic!("applied attredit must re-frame");
+        };
+        // Margin 2 indents the label (and pads above it).
+        assert!(frame.view.ends_with("  count is 1\n"), "{:?}", frame.view);
+        assert!(s.source().contains("box.margin := 2;"));
     }
 
     #[test]

@@ -223,6 +223,10 @@ pub struct LiveSession {
     pending_txs: BTreeMap<u64, PendingTx>,
     /// Next solo transaction id.
     next_tx: u64,
+    /// Candidate repairs offered by the last direct-manipulation
+    /// selection, together with the source snapshot they were computed
+    /// against (applying one refuses if the source has moved on).
+    pending_repairs: Option<crate::repair::PendingRepairs>,
 }
 
 impl LiveSession {
@@ -322,6 +326,7 @@ impl LiveSession {
             fleet_checkpoint: None,
             pending_txs: BTreeMap::new(),
             next_tx: 1,
+            pending_repairs: None,
         };
         session.refresh();
         session
@@ -669,6 +674,22 @@ impl LiveSession {
     pub fn apply_text_edits(&mut self, edits: &[TextEdit]) -> Result<EditOutcome, SessionError> {
         let new_source = apply_edits(&self.source, edits).map_err(SessionError::Edit)?;
         Ok(self.edit_source(&new_source))
+    }
+
+    /// Park the candidate repairs from a direct-manipulation selection
+    /// (see [`crate::repair`]); replaces any earlier offer.
+    pub(crate) fn set_pending_repairs(&mut self, pending: crate::repair::PendingRepairs) {
+        self.pending_repairs = Some(pending);
+    }
+
+    /// The parked repair offer, if any.
+    pub(crate) fn pending_repairs(&self) -> Option<&crate::repair::PendingRepairs> {
+        self.pending_repairs.as_ref()
+    }
+
+    /// Withdraw the parked repair offer.
+    pub(crate) fn clear_pending_repairs(&mut self) {
+        self.pending_repairs = None;
     }
 
     // -----------------------------------------------------------------

@@ -248,7 +248,7 @@ mod tests {
 
     fn leaf_box(text: &str) -> BoxNode {
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Leaf(Value::str(text)));
+        b.items.push(BoxItem::leaf(Value::str(text)));
         b
     }
 
@@ -279,7 +279,7 @@ mod tests {
         let mut changed = leaf_box("x");
         changed
             .items
-            .push(BoxItem::Attr(Attr::Margin, Value::Number(2.0)));
+            .push(BoxItem::attr(Attr::Margin, Value::Number(2.0)));
         let new = root_of(vec![changed]);
         assert_eq!(diff_displays(&old, &new), vec![BoxChange::Changed(vec![0])]);
     }
@@ -322,7 +322,7 @@ mod tests {
         let mut grown = leaf_box("top");
         grown
             .items
-            .insert(0, BoxItem::Attr(Attr::Margin, Value::Number(1.0)));
+            .insert(0, BoxItem::attr(Attr::Margin, Value::Number(1.0)));
         let new = root_of(vec![grown, leaf_box("below")]);
         let changes = diff_displays(&old, &new);
         let damage = damage_rects(&layout(&old), &layout(&new), &changes);

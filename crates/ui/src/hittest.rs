@@ -49,6 +49,30 @@ pub fn hit_test_tappable(tree: &LayoutTree, point: Point) -> Option<Vec<usize>> 
     found
 }
 
+/// The text cell under `point`: the deepest box containing the point
+/// that has a text item whose rect contains it, as `(box path, leaf
+/// ordinal)`. The ordinal counts `Text` items within the box in item
+/// order, which is exactly the order of `BoxNode::leaves()` — so the
+/// result keys straight into
+/// `BoxNode::leaf_with_provenance(ordinal)` for bidirectional
+/// manipulation (select a rendered value, recover where it came from).
+pub fn hit_test_leaf(tree: &LayoutTree, point: Point) -> Option<(Vec<usize>, usize)> {
+    let mut found = None;
+    for path in hit_stack(tree, point) {
+        let node = tree.by_path(&path).expect("hit paths are valid");
+        let mut ordinal = 0usize;
+        for item in &node.items {
+            if let LayoutItem::Text { rect, .. } = item {
+                if rect.contains(point) {
+                    found = Some((path.clone(), ordinal));
+                }
+                ordinal += 1;
+            }
+        }
+    }
+    found
+}
+
 /// The deepest box under `point` with an edit handler.
 pub fn hit_test_editable(tree: &LayoutTree, point: Point) -> Option<Vec<usize>> {
     let mut found = None;
@@ -71,11 +95,11 @@ mod tests {
     /// root(vertical): [a "aaaa"] [b: [c "cc"]] where b has ontap.
     fn sample() -> LayoutTree {
         let mut a = BoxNode::new(None);
-        a.items.push(BoxItem::Leaf(Value::str("aaaa")));
+        a.items.push(BoxItem::leaf(Value::str("aaaa")));
         let mut c = BoxNode::new(None);
-        c.items.push(BoxItem::Leaf(Value::str("cc")));
+        c.items.push(BoxItem::leaf(Value::str("cc")));
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Attr(
+        b.items.push(BoxItem::attr(
             Attr::OnTap,
             Value::Prim(alive_core::Prim::MathFloor),
         ));
@@ -100,6 +124,18 @@ mod tests {
         let tree = sample();
         let stack = hit_stack(&tree, Point::new(0, 1));
         assert_eq!(stack, vec![Vec::<usize>::new(), vec![1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn leaf_hit_resolves_box_and_ordinal() {
+        let tree = sample();
+        // Row 0 is the only leaf of box a; row 1 is the only leaf of c.
+        assert_eq!(hit_test_leaf(&tree, Point::new(0, 0)), Some((vec![0], 0)));
+        assert_eq!(
+            hit_test_leaf(&tree, Point::new(0, 1)),
+            Some((vec![1, 0], 0))
+        );
+        assert_eq!(hit_test_leaf(&tree, Point::new(50, 50)), None);
     }
 
     #[test]

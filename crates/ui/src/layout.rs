@@ -368,7 +368,7 @@ fn measure_items(
     let mut cross = 0i32;
     for item in &node.items {
         let size = match item {
-            BoxItem::Leaf(v) => {
+            BoxItem::Leaf(v, _) => {
                 let lines = text_lines(v);
                 let w = lines
                     .iter()
@@ -441,7 +441,7 @@ fn place(node: &BoxNode, measured: &Measured, origin: Point, path: Vec<usize>) -
     for item in &node.items {
         match item {
             BoxItem::Attr(..) => continue,
-            BoxItem::Leaf(_) => {
+            BoxItem::Leaf(..) => {
                 let Some(MeasuredItem::Text {
                     size,
                     lines,
@@ -501,12 +501,12 @@ mod tests {
 
     fn leaf_box(text: &str) -> BoxNode {
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Leaf(Value::str(text)));
+        b.items.push(BoxItem::leaf(Value::str(text)));
         b
     }
 
     fn with_attr(mut b: BoxNode, attr: Attr, v: Value) -> BoxNode {
-        b.items.insert(0, BoxItem::Attr(attr, v));
+        b.items.insert(0, BoxItem::attr(attr, v));
         b
     }
 
@@ -527,7 +527,7 @@ mod tests {
     fn horizontal_attribute_changes_axis() {
         let mut root = BoxNode::new(None);
         root.items
-            .push(BoxItem::Attr(Attr::Horizontal, Value::Bool(true)));
+            .push(BoxItem::attr(Attr::Horizontal, Value::Bool(true)));
         root.push_child(leaf_box("aaaa"));
         root.push_child(leaf_box("bb"));
         let tree = layout(&root);
@@ -603,7 +603,7 @@ mod tests {
     #[test]
     fn style_reads_handlers() {
         let mut b = leaf_box("x");
-        b.items.push(BoxItem::Attr(
+        b.items.push(BoxItem::attr(
             Attr::OnTap,
             Value::Prim(alive_core::Prim::MathFloor), // any function-ish value
         ));
@@ -628,9 +628,9 @@ mod tests {
     #[test]
     fn leaves_interleave_with_children() {
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Leaf(Value::str("top")));
+        root.items.push(BoxItem::leaf(Value::str("top")));
         root.push_child(leaf_box("mid"));
-        root.items.push(BoxItem::Leaf(Value::str("bottom")));
+        root.items.push(BoxItem::leaf(Value::str("bottom")));
         let tree = layout(&root);
         let LayoutItem::Text { rect: top, .. } = &tree.root.items[0] else {
             panic!()

@@ -38,7 +38,7 @@ pub mod render_text;
 
 pub use diff::{damage_ratio, damage_rects, diff_displays, BoxChange};
 pub use geom::{Point, Rect, Size};
-pub use hittest::{hit_stack, hit_test, hit_test_editable, hit_test_tappable};
+pub use hittest::{hit_stack, hit_test, hit_test_editable, hit_test_leaf, hit_test_tappable};
 pub use layout::{
     layout, layout_incremental, LayoutBox, LayoutCache, LayoutItem, LayoutStats, LayoutTree, Style,
 };

@@ -292,15 +292,15 @@ mod tests {
 
     fn colored_box() -> BoxNode {
         let mut inner = BoxNode::new(None);
-        inner.items.push(BoxItem::Attr(
+        inner.items.push(BoxItem::attr(
             Attr::Background,
             Value::Color(Color::new(170, 210, 240)),
         ));
-        inner.items.push(BoxItem::Attr(
+        inner.items.push(BoxItem::attr(
             Attr::Foreground,
             Value::Color(Color::new(220, 50, 47)),
         ));
-        inner.items.push(BoxItem::Leaf(Value::str("hi")));
+        inner.items.push(BoxItem::leaf(Value::str("hi")));
         let mut root = BoxNode::new(None);
         root.push_child(inner);
         root
@@ -325,8 +325,8 @@ mod tests {
     fn border_uses_box_drawing_chars() {
         let mut b = BoxNode::new(None);
         b.items
-            .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
-        b.items.push(BoxItem::Leaf(Value::str("x")));
+            .push(BoxItem::attr(Attr::Border, Value::Number(1.0)));
+        b.items.push(BoxItem::leaf(Value::str("x")));
         let mut root = BoxNode::new(None);
         root.push_child(b);
         let ansi = strip_ansi(&render_to_ansi(&layout(&root)));
@@ -341,9 +341,9 @@ mod tests {
 
     fn three_rows(mid: &str) -> BoxNode {
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Leaf(Value::str("top row")));
-        root.items.push(BoxItem::Leaf(Value::str(mid)));
-        root.items.push(BoxItem::Leaf(Value::str("bottom!")));
+        root.items.push(BoxItem::leaf(Value::str("top row")));
+        root.items.push(BoxItem::leaf(Value::str(mid)));
+        root.items.push(BoxItem::leaf(Value::str("bottom!")));
         root
     }
 
@@ -386,7 +386,7 @@ mod tests {
 
         // A size change also forces a full frame.
         let mut bigger = three_rows("mid one");
-        bigger.items.push(BoxItem::Leaf(Value::str("fourth")));
+        bigger.items.push(BoxItem::leaf(Value::str("fourth")));
         let big_tree = layout(&bigger);
         assert_eq!(fb.render(&big_tree), render_to_ansi(&big_tree));
         assert_eq!(fb.rows_repainted(), 4);

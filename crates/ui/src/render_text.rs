@@ -404,8 +404,8 @@ mod tests {
     #[test]
     fn renders_stacked_text() {
         let mut root = BoxNode::new(None);
-        root.items.push(BoxItem::Leaf(Value::str("hello")));
-        root.items.push(BoxItem::Leaf(Value::str("world")));
+        root.items.push(BoxItem::leaf(Value::str("hello")));
+        root.items.push(BoxItem::leaf(Value::str("world")));
         assert_eq!(render(&root), "hello\nworld\n");
     }
 
@@ -414,8 +414,8 @@ mod tests {
         let mut inner = BoxNode::new(None);
         inner
             .items
-            .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
-        inner.items.push(BoxItem::Leaf(Value::str("x")));
+            .push(BoxItem::attr(Attr::Border, Value::Number(1.0)));
+        inner.items.push(BoxItem::leaf(Value::str("x")));
         let mut root = BoxNode::new(None);
         root.push_child(inner);
         assert_eq!(render(&root), "+-+\n|x|\n+-+\n");
@@ -424,16 +424,16 @@ mod tests {
     #[test]
     fn renders_background_shading() {
         let mut inner = BoxNode::new(None);
-        inner.items.push(BoxItem::Attr(
+        inner.items.push(BoxItem::attr(
             Attr::Background,
             Value::Color(alive_core::Color::new(170, 210, 240)),
         ));
         inner
             .items
-            .push(BoxItem::Attr(Attr::Width, Value::Number(3.0)));
+            .push(BoxItem::attr(Attr::Width, Value::Number(3.0)));
         inner
             .items
-            .push(BoxItem::Attr(Attr::Height, Value::Number(1.0)));
+            .push(BoxItem::attr(Attr::Height, Value::Number(1.0)));
         let mut root = BoxNode::new(None);
         root.push_child(inner);
         assert_eq!(render(&root), "░░░\n");
@@ -443,8 +443,8 @@ mod tests {
     fn scaled_text_doubles_cells() {
         let mut root = BoxNode::new(None);
         root.items
-            .push(BoxItem::Attr(Attr::FontSize, Value::Number(2.0)));
-        root.items.push(BoxItem::Leaf(Value::str("a")));
+            .push(BoxItem::attr(Attr::FontSize, Value::Number(2.0)));
+        root.items.push(BoxItem::leaf(Value::str("a")));
         assert_eq!(render(&root), "aa\naa\n");
     }
 
@@ -453,8 +453,8 @@ mod tests {
         let mut inner = BoxNode::new(None);
         inner
             .items
-            .push(BoxItem::Attr(Attr::Padding, Value::Number(1.0)));
-        inner.items.push(BoxItem::Leaf(Value::str("x")));
+            .push(BoxItem::attr(Attr::Padding, Value::Number(1.0)));
+        inner.items.push(BoxItem::leaf(Value::str("x")));
         let mut root = BoxNode::new(None);
         root.push_child(inner);
         let tree = layout(&root);
@@ -476,11 +476,11 @@ mod tests {
         // structures at half size.
         let mut a = BoxNode::new(None);
         a.items
-            .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
-        a.items.push(BoxItem::Leaf(Value::str("alpha")));
+            .push(BoxItem::attr(Attr::Border, Value::Number(1.0)));
+        a.items.push(BoxItem::leaf(Value::str("alpha")));
         let mut b = BoxNode::new(None);
-        b.items.push(BoxItem::Leaf(Value::str("beta one")));
-        b.items.push(BoxItem::Leaf(Value::str("beta two")));
+        b.items.push(BoxItem::leaf(Value::str("beta one")));
+        b.items.push(BoxItem::leaf(Value::str("beta two")));
         let mut root = BoxNode::new(None);
         root.push_child(a);
         root.push_child(b);
@@ -512,14 +512,14 @@ mod tests {
 
         let build = |mid: &str| {
             let mut root = BoxNode::new(None);
-            root.items.push(BoxItem::Leaf(Value::str("header")));
+            root.items.push(BoxItem::leaf(Value::str("header")));
             let mut inner = BoxNode::new(None);
             inner
                 .items
-                .push(BoxItem::Attr(Attr::Border, Value::Number(1.0)));
-            inner.items.push(BoxItem::Leaf(Value::str(mid)));
+                .push(BoxItem::attr(Attr::Border, Value::Number(1.0)));
+            inner.items.push(BoxItem::leaf(Value::str(mid)));
             root.push_child(inner);
-            root.items.push(BoxItem::Leaf(Value::str("footer")));
+            root.items.push(BoxItem::leaf(Value::str("footer")));
             root
         };
         let old = build("aa");
@@ -548,10 +548,10 @@ mod tests {
     #[test]
     fn text_frame_refuses_size_changes() {
         let mut one = BoxNode::new(None);
-        one.items.push(BoxItem::Leaf(Value::str("x")));
+        one.items.push(BoxItem::leaf(Value::str("x")));
         let mut two = BoxNode::new(None);
-        two.items.push(BoxItem::Leaf(Value::str("x")));
-        two.items.push(BoxItem::Leaf(Value::str("y")));
+        two.items.push(BoxItem::leaf(Value::str("x")));
+        two.items.push(BoxItem::leaf(Value::str("y")));
         let mut frame = TextFrame::new();
         frame.render_full(&layout(&one));
         assert!(frame.render_damaged(&layout(&two), &[]).is_none());

@@ -1,7 +1,9 @@
 //! Direct manipulation (paper §3): select a box in the live view, change
 //! its attributes from a "property menu", and watch the change be
 //! enshrined in the code — then twiddle the value live, like the
-//! paper's margin example (improvement I1).
+//! paper's margin example (improvement I1). Finishes with bidirectional
+//! evaluation: edit a rendered *value* and the change is inverted
+//! through its provenance into a ranked menu of source repairs.
 //!
 //! Run with `cargo run --example direct_manipulation`.
 
@@ -9,7 +11,8 @@ use its_alive::core::Attr;
 use its_alive::live::{attribute_edit, span_for_box, LiveSession};
 use its_alive::ui::{hit_stack, layout, Point};
 
-const SRC: &str = r#"page start() {
+const SRC: &str = r#"global unread : number = 40
+page start() {
     render {
         boxed {
             post "Inbox";
@@ -18,7 +21,7 @@ const SRC: &str = r#"page start() {
             post "compose";
         }
         boxed {
-            post "42 unread messages";
+            post (unread + 2) ++ " unread messages";
         }
     }
 }"#;
@@ -77,8 +80,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", session.live_view());
     }
 
+    // Bidirectional evaluation: the user selects the rendered unread
+    // counter and types the value they want to see. The leaf's
+    // provenance is inverted into ranked candidate repairs — the best
+    // one rewrites the most local literal, leaving the computation (and
+    // the `unread` global) intact.
+    println!("\n=== value repair: \"42 unread messages\" -> \"41 unread messages\" ===");
+    let repairs = session.repairs_at(&[2], 0, "41 unread messages")?;
+    for (i, candidate) in repairs.iter().enumerate() {
+        println!("  [{i}] {}", candidate.description);
+    }
+    assert!(session.apply_repair(0)?.is_applied());
+    println!("\n=== live view after the repair ===");
+    print!("{}", session.live_view());
+
     println!("\n=== final code (the manipulations are enshrined) ===");
     println!("{}", session.source());
     assert_eq!(session.source().matches("box.margin").count(), 1);
+    assert!(session.source().contains("(unread + 1)"));
     Ok(())
 }

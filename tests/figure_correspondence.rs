@@ -1,7 +1,7 @@
 //! Figure-by-figure correspondence: every rule of the paper's Figures
-//! 8–12 is exercised by name. This is the reproduction-completeness
-//! checklist — if a rule is renamed or dropped in a refactor, a test
-//! here fails.
+//! 8–12 — plus the §5 direct-manipulation workflow — is exercised by
+//! name. This is the reproduction-completeness checklist — if a rule is
+//! renamed or dropped in a refactor, a test here fails.
 
 use its_alive::core::event::EventQueue;
 use its_alive::core::smallstep::{self, Rule};
@@ -393,6 +393,62 @@ page start() {
         );
     }
     host.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// §5 — direct manipulation: changes are enshrined in code
+// ---------------------------------------------------------------------
+
+/// The paper's direct-manipulation loop, end to end: a screen point
+/// resolves through hit-testing to a rendered leaf, the leaf's
+/// provenance inverts the desired value into ranked source edits, and
+/// applying one "enshrines the change in code" — the program text
+/// itself is rewritten, so the next render (and every later run)
+/// produces the manipulated value.
+#[test]
+fn section5_direct_manipulation_enshrines_changes_in_code() {
+    use its_alive::live::LiveSession;
+    use its_alive::ui::{hit_test_leaf, layout, Point};
+
+    let mut session = LiveSession::new(
+        r#"global price : number = 40
+page start() {
+    init { }
+    render { boxed { post "total: " ++ (price + 2); } }
+}"#,
+    )
+    .expect("starts");
+    assert_eq!(session.live_view(), "total: 42\n");
+
+    // Select the rendered cell by screen position, as a pointer would.
+    let tree = session.display_tree().expect("renders");
+    let (path, ordinal) = hit_test_leaf(&layout(&tree), Point::new(0, 0)).expect("hit");
+
+    // Ask for the displayed value to become "total: 45": the offer is
+    // ranked, best (most local) candidate first.
+    let repairs = session
+        .repairs_at(&path, ordinal, "total: 45")
+        .expect("invertible");
+    assert!(
+        repairs.windows(2).all(|p| p[0].rank <= p[1].rank),
+        "ranked best-first: {repairs:?}"
+    );
+    // The best candidate inverts through the concatenation and the
+    // addition down to the `2` literal: "total: 45" ⇒ price + 2 = 45
+    // ⇒ 2 becomes 5.
+    assert!(
+        repairs[0].description.contains("change `2` to `5`"),
+        "most local inversion reaches the literal: {repairs:?}"
+    );
+    assert!(session.apply_repair(0).expect("applies").is_applied());
+
+    // Enshrined: the *code* changed, and the view re-renders from it.
+    assert_eq!(session.live_view(), "total: 45\n");
+    assert!(
+        session.source().contains("price + 5"),
+        "the literal was rewritten in source: {}",
+        session.source()
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -182,21 +182,21 @@ fn fixup_keeps_exactly_the_well_typed() {
 
 fn arb_box_tree(rng: &mut Rng, depth: usize) -> BoxNode {
     let mut node = BoxNode::new(None);
-    node.items.push(BoxItem::Attr(
+    node.items.push(BoxItem::attr(
         Attr::Margin,
         Value::Number(rng.below(3) as f64),
     ));
-    node.items.push(BoxItem::Attr(
+    node.items.push(BoxItem::attr(
         Attr::Padding,
         Value::Number(rng.below(3) as f64),
     ));
     if rng.gen_bool() {
         node.items
-            .push(BoxItem::Attr(Attr::Horizontal, Value::Bool(true)));
+            .push(BoxItem::attr(Attr::Horizontal, Value::Bool(true)));
     }
     let text = rng.string_in("abcdefghijklmnopqrstuvwxyz", 0, 6);
     if !text.is_empty() {
-        node.items.push(BoxItem::Leaf(Value::str(text)));
+        node.items.push(BoxItem::leaf(Value::str(text)));
     }
     if depth > 0 {
         for _ in 0..rng.below(4) {
