@@ -42,6 +42,8 @@ commands:
   :find <line>:<col>    code -> boxes: which boxes does this cursor make?
   :stack                show the page stack and model store
   :stats                frame-pipeline reuse counters (eval/layout/paint)
+  :examples             evaluate the program's `example` probes against
+                        the live model (expect clauses report ok/fail)
   :metrics              session metrics snapshot (counters + latency quantiles)
   :trace                dump the session trace (replayable)
   :save <file>          snapshot the model (persistent data) to a file
@@ -278,6 +280,7 @@ fn dispatch(
             );
         }
         ":stats" => emit(session.apply(SessionCommand::Stats), "stats failed"),
+        ":examples" => emit(session.apply(SessionCommand::Examples), "examples failed"),
         ":metrics" => emit(session.apply(SessionCommand::Metrics), "metrics failed"),
         ":trace" => print!("{}", session.trace().serialize()),
         ":save" => {
@@ -412,6 +415,16 @@ fn emit(effects: Vec<SessionEffect>, fail_ctx: &str) {
             }
             SessionEffect::Overloaded { depth } => {
                 println!("{fail_ctx}: overloaded (mailbox depth {depth}); retry later.");
+            }
+            SessionEffect::Examples(probes) => {
+                if probes.is_empty() {
+                    println!("no examples — add `example name = expr [expect expr]` items.");
+                } else {
+                    println!("live examples:");
+                    for probe in &probes {
+                        println!("  {}", probe.render_line());
+                    }
+                }
             }
             SessionEffect::Source(_) | SessionEffect::Snapshot(_) => {}
         }

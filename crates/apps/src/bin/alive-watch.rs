@@ -198,7 +198,9 @@ fn apply_save(
     // The edit outcome decides the presentation: a clean apply patches
     // the live frame in place (the updated view itself is the
     // feedback); anything that scrolled output forces a full repaint.
-    let mut full_repaint = false;
+    // A program with live examples always repaints fully: its probe
+    // panel sits below the frame and must re-evaluate on every save.
+    let mut full_repaint = !session.system().program().examples().is_empty();
     for effect in effects {
         match effect {
             SessionEffect::EditApplied(report) if !report.dropped_anything() => {}
@@ -236,6 +238,12 @@ fn apply_save(
             }
             _ => {}
         }
+    }
+    // Continuous feedback: the probes re-evaluate on every save. After
+    // a full repaint the panel goes below the fresh frame; the in-place
+    // patch path skips it so cursor-addressed patching stays intact.
+    if full_repaint {
+        examples_panel(session);
     }
 }
 
@@ -291,6 +299,24 @@ fn paint(snapshot: &FrameSnapshot, frame: &mut AnsiFramebuffer, with_banner: boo
     std::io::stdout().flush().ok();
 }
 
+/// The Babylonian examples side panel: one line per `example` probe,
+/// evaluated against the live model, expect clauses reporting ok/fail.
+/// Prints nothing when the program declares no examples, so plain
+/// programs keep their plain frame.
+fn examples_panel(session: &mut LiveSession) {
+    for effect in session.apply(SessionCommand::Examples) {
+        if let SessionEffect::Examples(probes) = effect {
+            if probes.is_empty() {
+                return;
+            }
+            println!("── examples ──");
+            for probe in &probes {
+                println!("  {}", probe.render_line());
+            }
+        }
+    }
+}
+
 /// Print a header plus a full frame. Used at startup and whenever
 /// scrolling output (diagnostics, drop reports) has pushed the previous
 /// frame away, making an in-place patch impossible.
@@ -304,4 +330,5 @@ fn show(session: &mut LiveSession, path: &str, frame: &mut AnsiFramebuffer) {
             paint(&snapshot, frame, true);
         }
     }
+    examples_panel(session);
 }

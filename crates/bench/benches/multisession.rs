@@ -30,6 +30,13 @@
 //! shutdown snapshot must satisfy the worker accounting identity
 //! (busy + parked + steal-scan == wall) exactly.
 //!
+//! A third workload is the **scenario corpus**: one hosted session per
+//! generated `alive-corpus` program (twenty distinct programs, so the
+//! host's program cache keys per-program instead of sharing one
+//! compile), each driven with a tap fan scaled to its size and
+//! `Examples` probes mixed into the stream, with the same solo-replay
+//! byte-identity oracle.
+//!
 //! Env knobs (used by the CI smoke step):
 //! * `ALIVE_BENCH_SESSIONS` — K, default 16
 //! * `ALIVE_BENCH_COMMANDS` — M, default 200
@@ -454,6 +461,129 @@ fn run_loadgen(workers: usize) -> String {
     )
 }
 
+/// The corpus workload: one hosted session per generated scenario
+/// program — twenty *distinct* programs, so the host's program cache
+/// keys per-program (`programs_compiled == corpus size`, unlike the
+/// K-sessions runs that share one compile) while each session walks
+/// its own app with a tap fan scaled to its size and `Examples`
+/// probes mixed into the stream. The byte-identity oracle replays
+/// every session solo, exactly as in the homogeneous runs.
+fn run_corpus(workers: usize, m: usize) -> String {
+    let corpus = alive_corpus::corpus();
+    let host = Arc::new(SessionHost::new(HostConfig::with_workers(workers)));
+    let sessions: Vec<(SessionId, String, usize)> = corpus
+        .iter()
+        .map(|entry| {
+            let id = host
+                .create_session(&entry.source)
+                .expect("corpus programs compile");
+            (id, entry.source.clone(), entry.spec.size.rows() + 4)
+        })
+        .collect();
+    assert_eq!(
+        host.programs_compiled(),
+        corpus.len() as u64,
+        "each distinct corpus program compiles exactly once"
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = sessions
+        .iter()
+        .enumerate()
+        .map(|(index, &(id, _, width))| {
+            let host = Arc::clone(&host);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(m);
+                let mut probes = 0u64;
+                for command in corpus_stream(index, width, m) {
+                    let probing = matches!(command, SessionCommand::Examples);
+                    let t0 = Instant::now();
+                    let effects = host.apply(id, command).expect("host serves");
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    if probing {
+                        let probed = effects
+                            .iter()
+                            .any(|e| matches!(e, SessionEffect::Examples(p) if !p.is_empty()));
+                        assert!(probed, "corpus session {index}: examples probe was empty");
+                        probes += 1;
+                    }
+                }
+                (latencies, probes)
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(sessions.len() * m);
+    let mut examples_probed = 0u64;
+    for handle in handles {
+        let (latencies, probes) = handle.join().expect("client thread");
+        latencies_us.extend(latencies);
+        examples_probed += probes;
+    }
+    let seconds = started.elapsed().as_secs_f64().max(1e-9);
+
+    // Byte-identity oracle over every corpus session.
+    for (index, (id, source, width)) in sessions.iter().enumerate() {
+        let hosted = host.apply(*id, SessionCommand::Frame).expect("host serves");
+        let mut solo = LiveSession::new(source).expect("solo starts");
+        for command in corpus_stream(index, *width, m) {
+            solo.apply(command);
+        }
+        let local = solo.apply(SessionCommand::Frame);
+        assert_eq!(
+            hosted, local,
+            "corpus session {index}: hosted frame diverged from solo replay"
+        );
+    }
+
+    latencies_us.sort_unstable();
+    let stats = RunStats {
+        workers,
+        seconds,
+        commands: sessions.len() * m,
+        latencies_us,
+    };
+    eprintln!(
+        "corpus: {} programs x {m} commands: {:.1} commands/s, p50 {} µs, p99 {} µs, {examples_probed} example probes ({:.2}s)",
+        sessions.len(),
+        stats.commands_per_sec(),
+        stats.percentile_us(0.50),
+        stats.percentile_us(0.99),
+        seconds,
+    );
+    format!(
+        concat!(
+            "{{\"programs\":{},\"programs_compiled\":{},\"workers\":{},",
+            "\"commands\":{},\"seconds\":{:.4},\"commands_per_sec\":{:.1},",
+            "\"p50_us\":{},\"p99_us\":{},\"examples_probed\":{},",
+            "\"oracle_sessions\":{}}}"
+        ),
+        sessions.len(),
+        host.programs_compiled(),
+        workers,
+        stats.commands,
+        seconds,
+        stats.commands_per_sec(),
+        stats.percentile_us(0.50),
+        stats.percentile_us(0.99),
+        examples_probed,
+        sessions.len(),
+    )
+}
+
+/// The deterministic per-corpus-session command stream: taps across the
+/// program's own fan, navigation, frame reads, and `Examples` probes.
+fn corpus_stream(index: usize, width: usize, m: usize) -> Vec<SessionCommand> {
+    let mut rng = Rng::new(0xC0_9035 ^ index as u64);
+    (0..m)
+        .map(|_| match rng.below(10) {
+            0..=4 => SessionCommand::TapPath(vec![rng.below(width)]),
+            5 => SessionCommand::Back,
+            6 | 7 => SessionCommand::Examples,
+            _ => SessionCommand::Frame,
+        })
+        .collect()
+}
+
 /// Minimal JSON string escaping for the wire snapshot (names are
 /// registry-sanitized, so only newlines and the JSON specials occur).
 fn json_escape(text: &str) -> String {
@@ -564,9 +694,13 @@ fn main() {
     // traffic, pipelined submits — the shape of a network-facing host.
     let load = run_loadgen(ncpu);
 
+    // The heterogeneous corpus workload: twenty distinct scenario
+    // programs, one session each, example probes in the stream.
+    let corpus = run_corpus(ncpu, m);
+
     let body: Vec<String> = runs.iter().map(|r| r.to_json(k, single)).collect();
     let report = format!(
-        "{{\"sessions\":{},\"commands_per_session\":{},\"cpus\":{},\"max_workers\":{},\"speedup_at_max_workers\":{:.2},\"oracle\":\"byte-identical final frames vs solo replay\",\"runs\":[{}],\"loadgen\":{},\"metrics_overhead\":{{\"p50_us_metrics_off\":{},\"p50_us_metrics_on\":{},\"budget_us\":{}}},\"host_metrics\":{{\"cmd_latency_p50_us\":{},\"cmd_latency_p99_us\":{},\"snapshot_wire\":\"{}\"}}}}\n",
+        "{{\"sessions\":{},\"commands_per_session\":{},\"cpus\":{},\"max_workers\":{},\"speedup_at_max_workers\":{:.2},\"oracle\":\"byte-identical final frames vs solo replay\",\"runs\":[{}],\"loadgen\":{},\"corpus\":{},\"metrics_overhead\":{{\"p50_us_metrics_off\":{},\"p50_us_metrics_on\":{},\"budget_us\":{}}},\"host_metrics\":{{\"cmd_latency_p50_us\":{},\"cmd_latency_p99_us\":{},\"snapshot_wire\":\"{}\"}}}}\n",
         k,
         m,
         ncpu,
@@ -574,6 +708,7 @@ fn main() {
         speedup,
         body.join(","),
         load,
+        corpus,
         p50_off,
         p50_on,
         budget_us,

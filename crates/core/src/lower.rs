@@ -8,7 +8,7 @@
 use crate::attr::Attr;
 use crate::expr::{Expr, ExprKind, LambdaExpr, ParamSig};
 use crate::prim::Prim;
-use crate::program::{FunDef, GlobalDef, PageDef, Program};
+use crate::program::{ExampleDef, FunDef, GlobalDef, PageDef, Program};
 use crate::types::{Effect, Name, Type};
 use crate::value::Color;
 use alive_syntax::ast;
@@ -40,6 +40,7 @@ pub fn lower_program(ast: &ast::Program) -> LowerResult {
         globals: HashSet::new(),
         funs: HashSet::new(),
         pages: HashSet::new(),
+        examples: HashSet::new(),
         scopes: Vec::new(),
     };
     lowerer.collect_names(ast);
@@ -86,6 +87,9 @@ struct Lowerer {
     globals: HashSet<String>,
     funs: HashSet<String>,
     pages: HashSet<String>,
+    /// Examples live in their own namespace: a probe may share its name
+    /// with the global or function it observes.
+    examples: HashSet<String>,
     /// Local scopes, innermost last; each binding carries whether it is
     /// a `remember` widget slot (true) or a plain local (false).
     scopes: Vec<Vec<(Name, bool)>>,
@@ -101,6 +105,15 @@ impl Lowerer {
     fn collect_names(&mut self, ast: &ast::Program) {
         for item in &ast.items {
             let name = item.name();
+            if let ast::Item::Example(_) = item {
+                if !self.examples.insert(name.text.clone()) {
+                    self.error(
+                        name.span,
+                        format!("duplicate definition of example `{}`", name.text),
+                    );
+                }
+                continue;
+            }
             let already = self.globals.contains(&name.text)
                 || self.funs.contains(&name.text)
                 || self.pages.contains(&name.text);
@@ -121,6 +134,7 @@ impl Lowerer {
                 ast::Item::Page(_) => {
                     self.pages.insert(name.text.clone());
                 }
+                ast::Item::Example(_) => unreachable!("examples handled above"),
             }
         }
     }
@@ -171,6 +185,19 @@ impl Lowerer {
                         span: p.span,
                     };
                     self.program.add_page(def);
+                }
+                ast::Item::Example(e) => {
+                    // Examples are closed pure expressions: no parameter
+                    // scope, same name resolution as global initializers.
+                    let body = self.expr(&e.body);
+                    let expect = e.expect.as_ref().map(|x| Arc::new(self.expr(x)));
+                    let def = ExampleDef {
+                        name: Arc::from(e.name.text.as_str()),
+                        body: Arc::new(body),
+                        expect,
+                        span: e.span,
+                    };
+                    self.program.add_example(def);
                 }
             }
         }

@@ -71,6 +71,21 @@ impl PageDef {
     }
 }
 
+/// `example e = body [expect e']` — a Babylonian live example: a pure
+/// expression re-evaluated continuously while the program is edited,
+/// with an optional self-checking expected value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExampleDef {
+    /// Example (probe) name.
+    pub name: Name,
+    /// The probed pure expression.
+    pub body: Arc<Expr>,
+    /// Optional expected value expression (pure).
+    pub expect: Option<Arc<Expr>>,
+    /// Source span of the definition.
+    pub span: Span,
+}
+
 /// The name of the page every program starts on (rule STARTUP / T-SYS).
 pub const START_PAGE: &str = "start";
 
@@ -80,6 +95,7 @@ pub struct Program {
     globals: Vec<GlobalDef>,
     funs: Vec<FunDef>,
     pages: Vec<PageDef>,
+    examples: Vec<ExampleDef>,
     global_index: HashMap<Name, usize>,
     fun_index: HashMap<Name, usize>,
     page_index: HashMap<Name, usize>,
@@ -135,6 +151,19 @@ impl Program {
         true
     }
 
+    /// Add a live example definition. Returns `false` when another
+    /// example already uses the name (examples have their own
+    /// namespace: an example may legally probe a global of the same
+    /// name).
+    pub fn add_example(&mut self, def: ExampleDef) -> bool {
+        if self.examples.iter().any(|e| e.name == def.name) {
+            return false;
+        }
+        self.vm_cache = std::sync::OnceLock::new();
+        self.examples.push(def);
+        true
+    }
+
     /// Whether any definition uses this name (T-C-* uniqueness).
     pub fn is_defined(&self, name: &str) -> bool {
         self.global_index.contains_key(name)
@@ -170,6 +199,11 @@ impl Program {
     /// All pages, in definition order.
     pub fn pages(&self) -> &[PageDef] {
         &self.pages
+    }
+
+    /// All live examples, in definition order.
+    pub fn examples(&self) -> &[ExampleDef] {
+        &self.examples
     }
 
     /// Allocate a fresh box-source id for a `boxed` statement at `span`.
@@ -226,6 +260,12 @@ impl Program {
         }
         for p in &self.pages {
             n += p.init.node_count() + p.render.node_count();
+        }
+        for e in &self.examples {
+            n += e.body.node_count();
+            if let Some(expect) = &e.expect {
+                n += expect.node_count();
+            }
         }
         n
     }

@@ -120,6 +120,25 @@ impl Checker<'_> {
             self.check_expect(&mut env, Effect::Pure, &g.init, &g.ty);
         }
 
+        for e in self.program.examples() {
+            // Examples are closed pure probes; an `expect` clause must
+            // produce the same type as the probed body.
+            let mut env = TypeEnv::new();
+            let body_ty = self.infer(&mut env, Effect::Pure, &e.body, None);
+            if let Some(expect) = &e.expect {
+                match &body_ty {
+                    Some(t) => {
+                        let mut env = TypeEnv::new();
+                        self.check_expect(&mut env, Effect::Pure, expect, t);
+                    }
+                    None => {
+                        let mut env = TypeEnv::new();
+                        self.infer(&mut env, Effect::Pure, expect, None);
+                    }
+                }
+            }
+        }
+
         for f in self.program.funs() {
             // T-C-FUN: body types under the declared effect and returns
             // the declared type.
@@ -192,6 +211,14 @@ impl Checker<'_> {
                 &mut used_funs,
                 &mut pending,
             );
+        }
+        // A probed definition is a used definition: live examples keep
+        // the code they observe out of the dead-code lint.
+        for e in self.program.examples() {
+            scan(&e.body, &mut used_globals, &mut used_funs, &mut pending);
+            if let Some(expect) = &e.expect {
+                scan(expect, &mut used_globals, &mut used_funs, &mut pending);
+            }
         }
         while let Some(name) = pending.pop() {
             if let Some(def) = self.program.fun(&name) {

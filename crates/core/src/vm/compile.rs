@@ -25,7 +25,9 @@ use crate::program::Program;
 use crate::types::Name;
 use crate::value::Value;
 
-use super::{Chunk, GlobalSlot, GuardOp, Instr, LambdaInfo, PageEntry, ProvSpec, Reg, VmProgram};
+use super::{
+    Chunk, ExampleSlot, GlobalSlot, GuardOp, Instr, LambdaInfo, PageEntry, ProvSpec, Reg, VmProgram,
+};
 
 /// Why a program is outside the VM subset. Never user-visible: the
 /// engine falls back to the tree walker, which reports the authoritative
@@ -995,6 +997,24 @@ pub(crate) fn compile_program(p: &Program) -> Result<VmProgram, CompileError> {
             }
         }
     }
+    // Example bodies evaluate like global initializers: pure, in an
+    // empty scope.
+    let mut examples = Vec::new();
+    for e in p.examples() {
+        let body = e.body.clone();
+        let body_chunk = compile_chunk(&mut b, Vec::new(), 0, 0, &body)?;
+        let expect_chunk = match &e.expect {
+            Some(expect) => {
+                let expect = expect.clone();
+                Some(compile_chunk(&mut b, Vec::new(), 0, 0, &expect)?)
+            }
+            None => None,
+        };
+        examples.push(ExampleSlot {
+            body_chunk,
+            expect_chunk,
+        });
+    }
     let mut pages = HashMap::new();
     for pg in p.pages() {
         let init_chunk = compile_chunk(
@@ -1027,6 +1047,7 @@ pub(crate) fn compile_program(p: &Program) -> Result<VmProgram, CompileError> {
     vmp.captures = b.captures;
     vmp.provs = b.provs;
     vmp.globals = b.globals;
+    vmp.examples = examples;
     vmp.page_names = b.page_names;
     vmp.syms = b.syms;
     vmp.pages = pages;

@@ -847,6 +847,51 @@ pub fn transition_page_init(
     })
 }
 
+/// VM counterpart of [`crate::bigstep::run_pure`] for a live example
+/// chunk: evaluate example `index`'s body (or, with `expect` set, its
+/// `expect` clause) in pure mode against a read-only store. Returns
+/// `None` — with no state touched — when the index is out of range or
+/// the example has no `expect` clause.
+pub fn run_example(
+    vmp: &VmProgram,
+    scratch: &mut Scratch,
+    store: &Store,
+    version: u64,
+    fuel: u64,
+    index: usize,
+    expect: bool,
+) -> Option<VmRun<Value>> {
+    let slot = vmp.examples.get(index)?;
+    let chunk = if expect {
+        slot.expect_chunk?
+    } else {
+        slot.body_chunk
+    };
+    scratch.begin();
+    let mut vm = Vm {
+        vmp,
+        scratch,
+        store: StoreView::Ref(store),
+        queue: None,
+        mode: Effect::Pure,
+        boxes: Vec::new(),
+        fuel,
+        version,
+        cost: Cost::default(),
+        instructions: 0,
+        hook: None,
+        widgets: None,
+        faults: None,
+    };
+    let result = vm.run_entry(chunk, &[]);
+    let (cost, stats) = (vm.cost, vm.stats());
+    Some(VmRun {
+        result,
+        cost,
+        stats,
+    })
+}
+
 /// VM counterpart of [`crate::bigstep::transition_render`]. Returns
 /// `None` — with no state touched — when the page or its bindings don't
 /// match the compiled program. The widget store's occurrence counters

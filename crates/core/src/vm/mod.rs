@@ -40,7 +40,9 @@ mod exec;
 
 pub use arena::Scratch;
 pub use compile::CompileError;
-pub use exec::{transition_page_init, transition_page_render, transition_thunk, RunStats, VmRun};
+pub use exec::{
+    run_example, transition_page_init, transition_page_render, transition_thunk, RunStats, VmRun,
+};
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -231,6 +233,15 @@ pub(crate) struct GlobalSlot {
     pub init_chunk: u32,
 }
 
+/// One compiled live example: its pure body chunk (slot order matches
+/// `Program::examples()`, so names live on the `Program` side).
+#[derive(Debug, Clone)]
+pub(crate) struct ExampleSlot {
+    pub body_chunk: u32,
+    /// The `expect` clause's chunk, when the example is self-checking.
+    pub expect_chunk: Option<u32>,
+}
+
 /// Compiled entry points for one page.
 #[derive(Debug, Clone)]
 pub(crate) struct PageEntry {
@@ -252,6 +263,7 @@ pub struct VmProgram {
     /// `PostLeaf`/`SetAttr`.
     pub(crate) provs: Vec<ProvSpec>,
     pub(crate) globals: Vec<GlobalSlot>,
+    pub(crate) examples: Vec<ExampleSlot>,
     pub(crate) page_names: Vec<Name>,
     /// The intern table: symbol ID → name.
     pub(crate) syms: Vec<Name>,
@@ -286,6 +298,7 @@ impl VmProgram {
             captures: Vec::new(),
             provs: Vec::new(),
             globals: Vec::new(),
+            examples: Vec::new(),
             page_names: Vec::new(),
             syms: Vec::new(),
             pages: HashMap::new(),

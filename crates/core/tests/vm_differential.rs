@@ -381,18 +381,21 @@ fn assert_systems_agree(vm_sys: &System, bs_sys: &System, step: usize) -> Result
 }
 
 /// Drive both systems through one action + cascade + render, asserting
-/// agreement at every point. `step` labels failures.
-fn walk_step(
+/// agreement at every point. `step` labels failures; `width` is the tap
+/// fan (how many top-level boxes the random taps may address — misses
+/// included on purpose, both engines must agree on the error too).
+fn walk_step_wide(
     rng: &mut Rng,
     vm_sys: &mut System,
     bs_sys: &mut System,
     step: usize,
+    width: usize,
 ) -> Result<(), String> {
     match rng.below(6) {
         // Tap a random (possibly nonexistent) box: both engines must
         // agree on the error too.
         0..=3 => {
-            let path = [rng.below(6)];
+            let path = [rng.below(width)];
             let a = vm_sys.tap(&path);
             let b = bs_sys.tap(&path);
             prop_assert_eq!(a, b, "tap outcome at step {}", step);
@@ -422,6 +425,16 @@ fn walk_step(
         step
     );
     assert_systems_agree(vm_sys, bs_sys, step)
+}
+
+/// The generated-program walk: a six-box tap fan.
+fn walk_step(
+    rng: &mut Rng,
+    vm_sys: &mut System,
+    bs_sys: &mut System,
+    step: usize,
+) -> Result<(), String> {
+    walk_step_wide(rng, vm_sys, bs_sys, step, 6)
 }
 
 #[test]
@@ -542,4 +555,88 @@ fn lock_plan(
 ) -> std::sync::MutexGuard<'_, FaultPlan> {
     plan.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// 4. Corpus: every scenario program, walked differentially
+// ---------------------------------------------------------------------
+
+/// Every program of the scenario corpus — 5 kinds × 4 sizes — drives a
+/// VM-engine and a bigstep-engine system through the same seeded walk;
+/// stores, queues, stacks, view state, and frames must stay
+/// byte-identical, and the example probes must agree value-for-value on
+/// the walked store. Seed-replayable per program: a failure prints the
+/// seed and `ALIVE_TESTKIT_SEED=<seed>` reruns the identical walk.
+#[test]
+fn vm_system_walk_matches_bigstep_on_every_corpus_program() {
+    for entry in alive_corpus::corpus() {
+        let name = entry.spec.name();
+        // Tap fan sized to the program: header + rows + trailing
+        // buttons, plus deliberate misses past the end.
+        let width = entry.spec.size.rows() + 4;
+        let program = compile(&entry.source)
+            .unwrap_or_else(|e| panic!("{name}: corpus programs are well-typed: {e}"));
+        prop::check(
+            &format!("corpus_walk_{name}"),
+            prop::Config::with_cases(2),
+            |rng| NoShrink(rng.fork()),
+            |case: &NoShrink<Rng>| {
+                let mut rng = case.0.clone();
+                let config = SystemConfig {
+                    fuel: 2_000_000,
+                    max_transitions: 500,
+                    ..SystemConfig::default()
+                };
+                let mut vm_sys = System::with_config(program.clone(), config);
+                let mut bs_sys = System::with_config(
+                    program.clone(),
+                    SystemConfig {
+                        engine: EvalEngine::Bigstep,
+                        ..config
+                    },
+                );
+                for step in 0..48 {
+                    walk_step_wide(&mut rng, &mut vm_sys, &mut bs_sys, step, width)?;
+                }
+                prop_assert!(vm_sys.vm_stats().runs > 0, "the VM actually ran");
+                prop_assert_eq!(vm_sys.vm_stats().fallbacks, 0, "no silent fallbacks");
+
+                // Example probes: byte-identical VM vs bigstep values
+                // against the walked (not initial) store.
+                let vmp = program.vm().expect("corpus programs compile to bytecode");
+                let mut scratch = vm::Scratch::new();
+                for (index, def) in program.examples().iter().enumerate() {
+                    for (expect, expr) in [(false, Some(&def.body)), (true, def.expect.as_ref())] {
+                        let Some(expr) = expr else { continue };
+                        let vm_run = vm::run_example(
+                            &vmp,
+                            &mut scratch,
+                            vm_sys.store(),
+                            vm_sys.version(),
+                            FUEL,
+                            index,
+                            expect,
+                        )
+                        .expect("example slot exists");
+                        let bs = bigstep::run_pure(
+                            &program,
+                            bs_sys.store(),
+                            bs_sys.version(),
+                            FUEL,
+                            expr,
+                        )
+                        .map(|(v, _)| v);
+                        prop_assert_eq!(
+                            dbg(&vm_run.result),
+                            dbg(&bs),
+                            "probe `{}` (expect={}) diverged",
+                            def.name,
+                            expect
+                        );
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
 }

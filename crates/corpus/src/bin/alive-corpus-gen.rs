@@ -1,0 +1,31 @@
+//! Regenerate the checked-in corpus goldens (`programs/*.alive` and
+//! `programs/*.manifest`) from the generator. Run after any generator
+//! change; the determinism suite fails until the goldens match again.
+//!
+//! ```text
+//! cargo run -p alive-corpus --bin alive-corpus-gen
+//! ```
+
+use alive_corpus::{corpus_dir, generate, manifest_for, specs};
+
+fn main() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create programs/");
+    let mut written = 0usize;
+    for spec in specs() {
+        let name = spec.name();
+        let source = generate(&spec);
+        let manifest =
+            manifest_for(&spec).unwrap_or_else(|e| panic!("{name} does not compile/render: {e}"));
+        std::fs::write(dir.join(format!("{name}.alive")), &source).expect("write program");
+        std::fs::write(dir.join(format!("{name}.manifest")), manifest.to_text())
+            .expect("write manifest");
+        println!(
+            "{name}: {} bytes, hash {:#018x}",
+            source.len(),
+            manifest.first_frame_hash
+        );
+        written += 1;
+    }
+    println!("{written} programs written to {}", dir.display());
+}

@@ -1,0 +1,808 @@
+//! # alive-corpus
+//!
+//! A seeded scenario corpus: "handles many scenarios" as a measured
+//! property instead of a vibe. The corpus is 20 alive programs —
+//! 5 application kinds × 4 sizes — generated deterministically from
+//! per-program seeds, each carrying a manifest that pins:
+//!
+//! * the expected **page count**,
+//! * the **event vocabulary** the program responds to (`tap`, `edit`),
+//! * the number of live `example` probes it declares,
+//! * a **golden first-frame hash** (FNV-1a over the settled first
+//!   frame's box tree, store, and page stack).
+//!
+//! The generated sources and manifests are also checked in under
+//! `programs/` as goldens: `same seed → byte-identical program` is a
+//! test, not an assumption. Regenerate with
+//! `cargo run -p alive-corpus --bin alive-corpus-gen` after changing
+//! the generator (the determinism suite fails loudly until the goldens
+//! match again).
+//!
+//! The differential, fault-tolerance, and repair harnesses iterate
+//! [`corpus`] instead of a handful of hand-picked demo apps, so "works
+//! on the counter" silently generalizing to "works" is off the table.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------
+// Deterministic building blocks (no external dependencies)
+// ---------------------------------------------------------------------
+
+/// A splitmix64 PRNG: tiny, seedable, and stable across platforms —
+/// the corpus contract is `same seed → byte-identical program`.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// A uniformly chosen element of a nonempty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// 64-bit FNV-1a over a byte string — the corpus hash function for
+/// golden first-frame hashes and seed derivation.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// The corpus grid
+// ---------------------------------------------------------------------
+
+/// The five application kinds the paper's "many scenarios" claim gets
+/// measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusKind {
+    /// Editable numeric fields with a derived sum and a submit page.
+    Form,
+    /// A scrolling feed of rows whose taps bump per-row scores.
+    Feed,
+    /// A clicker game: bounded cell values, score, move counter.
+    Game,
+    /// Derived aggregate tiles over metric globals with a refresh.
+    Dashboard,
+    /// A line editor: editable string rows plus an inspect page.
+    Editor,
+}
+
+impl CorpusKind {
+    /// Every kind, in corpus order.
+    pub fn all() -> [CorpusKind; 5] {
+        [
+            CorpusKind::Form,
+            CorpusKind::Feed,
+            CorpusKind::Game,
+            CorpusKind::Dashboard,
+            CorpusKind::Editor,
+        ]
+    }
+
+    /// The manifest name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Form => "form",
+            CorpusKind::Feed => "feed",
+            CorpusKind::Game => "game",
+            CorpusKind::Dashboard => "dashboard",
+            CorpusKind::Editor => "editor",
+        }
+    }
+
+    fn parse(text: &str) -> Option<CorpusKind> {
+        CorpusKind::all().into_iter().find(|k| k.name() == text)
+    }
+}
+
+/// Program scale: how many rows the main page renders (and with it how
+/// much code the generator emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CorpusSize {
+    /// A handful of rows — the demo-app scale.
+    Small,
+    /// A screenful.
+    Medium,
+    /// Several screenfuls.
+    Large,
+    /// The §5 scaling regime: recreating the tree each frame hurts.
+    Huge,
+}
+
+impl CorpusSize {
+    /// Every size, in corpus order.
+    pub fn all() -> [CorpusSize; 4] {
+        [
+            CorpusSize::Small,
+            CorpusSize::Medium,
+            CorpusSize::Large,
+            CorpusSize::Huge,
+        ]
+    }
+
+    /// The manifest name of the size.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusSize::Small => "small",
+            CorpusSize::Medium => "medium",
+            CorpusSize::Large => "large",
+            CorpusSize::Huge => "huge",
+        }
+    }
+
+    /// Rows on the main page.
+    pub fn rows(self) -> usize {
+        match self {
+            CorpusSize::Small => 3,
+            CorpusSize::Medium => 10,
+            CorpusSize::Large => 40,
+            CorpusSize::Huge => 120,
+        }
+    }
+
+    fn parse(text: &str) -> Option<CorpusSize> {
+        CorpusSize::all().into_iter().find(|s| s.name() == text)
+    }
+}
+
+/// One corpus cell: a kind, a size, and the seed its program is
+/// generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Application kind.
+    pub kind: CorpusKind,
+    /// Program scale.
+    pub size: CorpusSize,
+    /// Generation seed — derived from the name, so it never drifts.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// The canonical program name, e.g. `form-small`.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.kind.name(), self.size.name())
+    }
+}
+
+/// The full 5×4 corpus grid. Seeds are `fnv1a_64(name)`, so adding a
+/// kind or size never reshuffles existing programs.
+pub fn specs() -> Vec<CorpusSpec> {
+    let mut out = Vec::with_capacity(20);
+    for kind in CorpusKind::all() {
+        for size in CorpusSize::all() {
+            let name = format!("{}-{}", kind.name(), size.name());
+            out.push(CorpusSpec {
+                kind,
+                size,
+                seed: fnv1a_64(name.as_bytes()),
+            });
+        }
+    }
+    out
+}
+
+/// One generated corpus program.
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// The grid cell it fills.
+    pub spec: CorpusSpec,
+    /// The generated alive source.
+    pub source: String,
+}
+
+/// Generate the whole corpus in memory. Deterministic: every call (on
+/// every machine) yields byte-identical sources.
+pub fn corpus() -> Vec<CorpusProgram> {
+    specs()
+        .into_iter()
+        .map(|spec| CorpusProgram {
+            spec,
+            source: generate(&spec),
+        })
+        .collect()
+}
+
+/// The checked-in goldens directory (`crates/corpus/programs`).
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("programs")
+}
+
+// ---------------------------------------------------------------------
+// Manifests
+// ---------------------------------------------------------------------
+
+/// What a corpus program promises about itself — checked by the
+/// determinism suite against a fresh compile-and-render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Program name (`<kind>-<size>`).
+    pub name: String,
+    /// Application kind.
+    pub kind: CorpusKind,
+    /// Program scale.
+    pub size: CorpusSize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Rows on the main page.
+    pub rows: usize,
+    /// Number of `page` items.
+    pub pages: usize,
+    /// Event vocabulary, sorted (`edit`, `tap`).
+    pub events: Vec<String>,
+    /// Number of live `example` probes.
+    pub examples: usize,
+    /// FNV-1a over the settled first frame (box tree + store + page
+    /// stack, `Debug`-rendered — the differential suite's byte-identity
+    /// key).
+    pub first_frame_hash: u64,
+}
+
+impl Manifest {
+    /// Serialize to the `#alive-corpus v1` key=value text format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "#alive-corpus v1\n\
+             name={}\n\
+             kind={}\n\
+             size={}\n\
+             seed={:#018x}\n\
+             rows={}\n\
+             pages={}\n\
+             events={}\n\
+             examples={}\n\
+             first_frame_hash={:#018x}\n",
+            self.name,
+            self.kind.name(),
+            self.size.name(),
+            self.seed,
+            self.rows,
+            self.pages,
+            self.events.join(","),
+            self.examples,
+            self.first_frame_hash,
+        )
+    }
+
+    /// Parse the text format back.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending line or field.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("#alive-corpus v1") {
+            return Err("missing `#alive-corpus v1` header".to_string());
+        }
+        let mut name = None;
+        let mut kind = None;
+        let mut size = None;
+        let mut seed = None;
+        let mut rows = None;
+        let mut pages = None;
+        let mut events = None;
+        let mut examples = None;
+        let mut hash = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed line `{line}`"))?;
+            let parse_hex = |v: &str| {
+                u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .map_err(|_| format!("bad hex `{v}`"))
+            };
+            let parse_num = |v: &str| v.parse::<usize>().map_err(|_| format!("bad number `{v}`"));
+            match key {
+                "name" => name = Some(value.to_string()),
+                "kind" => {
+                    kind = Some(
+                        CorpusKind::parse(value).ok_or_else(|| format!("bad kind `{value}`"))?,
+                    );
+                }
+                "size" => {
+                    size = Some(
+                        CorpusSize::parse(value).ok_or_else(|| format!("bad size `{value}`"))?,
+                    );
+                }
+                "seed" => seed = Some(parse_hex(value)?),
+                "rows" => rows = Some(parse_num(value)?),
+                "pages" => pages = Some(parse_num(value)?),
+                "events" => {
+                    events = Some(
+                        value
+                            .split(',')
+                            .filter(|e| !e.is_empty())
+                            .map(str::to_string)
+                            .collect(),
+                    );
+                }
+                "examples" => examples = Some(parse_num(value)?),
+                "first_frame_hash" => hash = Some(parse_hex(value)?),
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        let missing = |what: &str| format!("missing `{what}`");
+        Ok(Manifest {
+            name: name.ok_or_else(|| missing("name"))?,
+            kind: kind.ok_or_else(|| missing("kind"))?,
+            size: size.ok_or_else(|| missing("size"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            rows: rows.ok_or_else(|| missing("rows"))?,
+            pages: pages.ok_or_else(|| missing("pages"))?,
+            events: events.ok_or_else(|| missing("events"))?,
+            examples: examples.ok_or_else(|| missing("examples"))?,
+            first_frame_hash: hash.ok_or_else(|| missing("first_frame_hash"))?,
+        })
+    }
+}
+
+impl fmt::Display for Manifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Compile `source`, settle the first frame, and hash the observable
+/// state (box tree + store + page stack) — the golden first-frame hash.
+///
+/// # Errors
+///
+/// The compile or runtime error, rendered.
+pub fn first_frame_hash(source: &str) -> Result<u64, String> {
+    let program = alive_core::compile(source).map_err(|e| e.to_string())?;
+    let mut sys = alive_core::system::System::new(program);
+    sys.run_to_stable().map_err(|e| e.to_string())?;
+    let root = sys.rendered().map_err(|e| e.to_string())?.clone();
+    let canon = format!("{:?}\n{:?}\n{:?}\n", root, sys.store(), sys.page_stack());
+    Ok(fnv1a_64(canon.as_bytes()))
+}
+
+/// Build the full manifest for a spec: static facts from the generator
+/// plus the golden hash from a fresh compile-and-render.
+///
+/// # Errors
+///
+/// The compile or runtime error from [`first_frame_hash`].
+pub fn manifest_for(spec: &CorpusSpec) -> Result<Manifest, String> {
+    let source = generate(spec);
+    let shape = shape_of(spec.kind);
+    Ok(Manifest {
+        name: spec.name(),
+        kind: spec.kind,
+        size: spec.size,
+        seed: spec.seed,
+        rows: spec.size.rows(),
+        pages: shape.pages,
+        events: shape.events.iter().map(|e| e.to_string()).collect(),
+        examples: shape.examples,
+        first_frame_hash: first_frame_hash(&source)?,
+    })
+}
+
+/// Static shape facts per kind (same for every size and seed).
+struct Shape {
+    pages: usize,
+    events: &'static [&'static str],
+    examples: usize,
+}
+
+fn shape_of(kind: CorpusKind) -> Shape {
+    match kind {
+        CorpusKind::Form => Shape {
+            pages: 2,
+            events: &["edit", "tap"],
+            examples: 2,
+        },
+        CorpusKind::Feed => Shape {
+            pages: 1,
+            events: &["tap"],
+            examples: 1,
+        },
+        CorpusKind::Game => Shape {
+            pages: 1,
+            events: &["tap"],
+            examples: 2,
+        },
+        CorpusKind::Dashboard => Shape {
+            pages: 1,
+            events: &["tap"],
+            examples: 3,
+        },
+        CorpusKind::Editor => Shape {
+            pages: 2,
+            events: &["edit", "tap"],
+            examples: 1,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+const WORDS: &[&str] = &[
+    "amber", "birch", "cedar", "delta", "ember", "fjord", "grove", "heron", "iris", "juniper",
+    "kelp", "lumen", "maple", "north", "opal", "pine", "quartz", "reef", "slate", "tundra",
+];
+
+/// Generate the alive source for one corpus cell. Pure function of the
+/// spec: `generate(s) == generate(s)` byte-for-byte, on every platform.
+pub fn generate(spec: &CorpusSpec) -> String {
+    let mut rng = Rng::new(spec.seed);
+    let n = spec.size.rows();
+    let name = spec.name();
+    match spec.kind {
+        CorpusKind::Form => gen_form(&mut rng, &name, n),
+        CorpusKind::Feed => gen_feed(&mut rng, &name, n),
+        CorpusKind::Game => gen_game(&mut rng, &name, n),
+        CorpusKind::Dashboard => gen_dashboard(&mut rng, &name, n),
+        CorpusKind::Editor => gen_editor(&mut rng, &name, n),
+    }
+}
+
+fn gen_form(rng: &mut Rng, name: &str, n: usize) -> String {
+    let title = *rng.choose(WORDS);
+    let cap = 1000 + rng.below(9000);
+    let probe = rng.below(50);
+    format!(
+        r#"// corpus: {name} — editable fields, a derived sum, a submit page.
+global fields : list number = []
+global focus : number = 0
+global submitted : number = 0
+
+fun field_sum() : number pure {{
+    let total = 0;
+    foreach v in fields {{ total := total + v; }}
+    total
+}}
+
+fun field_cap(v : number) : number pure {{
+    math.min(math.max(v, 0), {cap})
+}}
+
+example sum_twice = field_sum() * 2 expect field_sum() + field_sum()
+example cap_idempotent = field_cap(field_cap({probe})) expect field_cap({probe})
+
+page start() {{
+    init {{ fields := list.range(0, {n}); }}
+    render {{
+        boxed {{
+            post "{title} form (" ++ list.length(fields) ++ " fields, sum " ++ field_sum() ++ ")";
+            box.background := colors.light_gray;
+            box.padding := 1;
+        }}
+        foreach i in list.range(0, list.length(fields)) {{
+            boxed {{
+                post "field " ++ i ++ ": " ++ list.nth(fields, i);
+                box.border := 1;
+                on edited(text : string) {{
+                    let v = str.to_number(text);
+                    fields := list.set(fields, i, field_cap(v));
+                }}
+                on tap {{ focus := i; }}
+            }}
+        }}
+        boxed {{
+            post "[ submit ]";
+            box.border := 1;
+            on tap {{
+                submitted := submitted + 1;
+                push summary(field_sum());
+            }}
+        }}
+        boxed {{ post "focused " ++ focus ++ ", submitted " ++ submitted; }}
+    }}
+}}
+
+page summary(total : number) {{
+    render {{
+        boxed {{ post "{title} total: " ++ total; box.font_size := 2; }}
+        boxed {{ post "[ back ]"; box.border := 1; on tap {{ pop; }} }}
+    }}
+}}
+"#
+    )
+}
+
+fn gen_feed(rng: &mut Rng, name: &str, n: usize) -> String {
+    let title = *rng.choose(WORDS);
+    let step = 1 + rng.below(8);
+    let probe = rng.below(40);
+    format!(
+        r#"// corpus: {name} — a feed of rows; taps bump per-row scores.
+global ids : list number = []
+global scores : list number = []
+global taps : number = 0
+global hot : number = 0
+
+fun rank(v : number) : number pure {{
+    math.max(v, hot)
+}}
+
+example rank_absorbs = rank(math.max({probe}, hot)) expect rank({probe})
+
+page start() {{
+    init {{
+        ids := list.range(0, {n});
+        scores := list.range(0, {n});
+    }}
+    render {{
+        boxed {{
+            post "{title} feed (" ++ taps ++ " taps, hot " ++ hot ++ ")";
+            box.background := colors.light_gray;
+        }}
+        foreach i in ids {{
+            boxed {{
+                post "story " ++ i ++ " rank " ++ rank(list.nth(scores, i));
+                on tap {{
+                    taps := taps + 1;
+                    hot := math.max(hot, list.nth(scores, i));
+                    scores := list.set(scores, i, list.nth(scores, i) + {step});
+                }}
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+fn gen_game(rng: &mut Rng, name: &str, n: usize) -> String {
+    let title = *rng.choose(WORDS);
+    let gain = 1 + rng.below(9);
+    let cap = 10_000 + rng.below(10_000);
+    format!(
+        r#"// corpus: {name} — a clicker game with bounded cells and a score.
+global board : list number = []
+global cells : list number = []
+global score : number = 0
+global moves : number = 0
+
+fun clamp(v : number) : number pure {{
+    math.min(math.max(v, 0), {cap})
+}}
+
+fun best() : number pure {{
+    let m = 0;
+    foreach c in cells {{ m := math.max(m, c); }}
+    m
+}}
+
+example best_in_bounds = clamp(best()) expect best()
+example score_signed = math.abs(score) expect score
+
+page start() {{
+    init {{
+        board := list.range(0, {n});
+        cells := list.range(0, {n});
+    }}
+    render {{
+        boxed {{
+            post "{title} game — score " ++ score ++ ", moves " ++ moves ++ ", best " ++ best();
+            box.background := colors.light_gray;
+        }}
+        foreach i in board {{
+            boxed {{
+                post "cell " ++ i ++ " = " ++ list.nth(cells, i);
+                on tap {{
+                    moves := moves + 1;
+                    cells := list.set(cells, i, clamp(list.nth(cells, i) + {gain}));
+                    score := score + math.abs({gain});
+                }}
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+fn gen_dashboard(rng: &mut Rng, name: &str, n: usize) -> String {
+    let title = *rng.choose(WORDS);
+    let a0 = rng.below(90);
+    let b0 = rng.below(90);
+    let d1 = 1 + rng.below(6);
+    let d2 = 1 + rng.below(6);
+    let tiles = 2 + rng.below(4);
+    format!(
+        r#"// corpus: {name} — derived aggregate tiles over metric globals.
+global metric_a : number = {a0}
+global metric_b : number = {b0}
+global samples : list number = []
+global refreshes : number = 0
+
+fun lo() : number pure {{
+    math.min(metric_a, metric_b)
+}}
+
+fun hi() : number pure {{
+    math.max(metric_a, metric_b)
+}}
+
+fun spread() : number pure {{
+    hi() - lo()
+}}
+
+fun total() : number pure {{
+    let t = 0;
+    foreach s in samples {{ t := t + s; }}
+    t
+}}
+
+example lo_of_both = math.min(lo(), hi()) expect lo()
+example spread_signed = math.abs(spread()) expect spread()
+example total_twice = total() * 2 expect total() + total()
+
+page start() {{
+    init {{ samples := list.range(0, {n}); }}
+    render {{
+        boxed {{
+            post "{title} dashboard — lo " ++ lo() ++ ", hi " ++ hi() ++ ", spread " ++ spread();
+            box.background := colors.light_gray;
+            box.padding := 1;
+        }}
+        boxed {{ post "total " ++ total() ++ " over " ++ list.length(samples) ++ " samples"; }}
+        for t in 0 .. {tiles} {{
+            boxed {{ post "tile " ++ t ++ ": " ++ (t * spread() + lo()); box.border := 1; }}
+        }}
+        foreach s in samples {{
+            boxed {{ post "sample " ++ s ++ " -> " ++ (s + spread()); }}
+        }}
+        boxed {{
+            post "[ refresh ]";
+            box.border := 1;
+            on tap {{
+                refreshes := refreshes + 1;
+                metric_a := metric_a + {d1};
+                metric_b := metric_b + {d2};
+                samples := list.append(samples, refreshes);
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+fn gen_editor(rng: &mut Rng, name: &str, n: usize) -> String {
+    let title = *rng.choose(WORDS);
+    let clip = *rng.choose(WORDS);
+    let lines: Vec<String> = (0..n)
+        .map(|_| format!("\"{}\"", rng.choose(WORDS)))
+        .collect();
+    let lines = lines.join(", ");
+    format!(
+        r#"// corpus: {name} — editable string rows plus an inspect page.
+global lines : list string = [{lines}]
+global edits : number = 0
+global clip : string = "{clip}"
+
+fun shout(s : string) : string pure {{
+    str.upper(s)
+}}
+
+example shout_idempotent = shout(shout(clip)) expect shout(clip)
+
+page start() {{
+    init {{ }}
+    render {{
+        boxed {{
+            post "{title} editor (" ++ list.length(lines) ++ " lines, " ++ edits ++ " edits)";
+            box.background := colors.light_gray;
+        }}
+        foreach i in list.range(0, list.length(lines)) {{
+            boxed {{
+                post i ++ ": " ++ list.nth(lines, i);
+                box.border := 1;
+                on edited(text : string) {{
+                    edits := edits + 1;
+                    lines := list.set(lines, i, text);
+                }}
+                on tap {{ push inspect(list.nth(lines, i)); }}
+            }}
+        }}
+        boxed {{
+            post "[ append ]";
+            box.border := 1;
+            on tap {{
+                edits := edits + 1;
+                lines := list.append(lines, clip);
+            }}
+        }}
+    }}
+}}
+
+page inspect(line : string) {{
+    render {{
+        boxed {{ post shout(line); box.font_size := 2; }}
+        boxed {{ post "length " ++ str.len(line); }}
+        boxed {{ post "[ close ]"; box.border := 1; on tap {{ pop; }} }}
+    }}
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_complete() {
+        let specs = specs();
+        assert_eq!(specs.len(), 20);
+        let names: std::collections::HashSet<String> = specs.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 20, "names are unique");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in specs() {
+            assert_eq!(generate(&spec), generate(&spec), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn every_program_compiles_and_renders() {
+        for program in corpus() {
+            let hash = first_frame_hash(&program.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", program.spec.name()));
+            assert_ne!(hash, 0, "{}", program.spec.name());
+        }
+    }
+
+    #[test]
+    fn manifests_round_trip() {
+        for spec in specs().into_iter().take(5) {
+            let manifest = manifest_for(&spec).expect("manifest");
+            let parsed = Manifest::parse(&manifest.to_text()).expect("parses");
+            assert_eq!(parsed, manifest);
+        }
+    }
+
+    #[test]
+    fn examples_probe_as_declared() {
+        for program in corpus() {
+            let compiled = alive_core::compile(&program.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", program.spec.name()));
+            let shape = shape_of(program.spec.kind);
+            assert_eq!(
+                compiled.examples().len(),
+                shape.examples,
+                "{} example count",
+                program.spec.name()
+            );
+        }
+    }
+}

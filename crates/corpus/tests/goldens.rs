@@ -1,0 +1,88 @@
+//! Corpus determinism goldens: the checked-in `programs/` files are
+//! the byte-for-byte output of the generator, and every manifest's
+//! golden first-frame hash matches a fresh compile-and-render.
+//!
+//! If a generator change fails this suite, regenerate with
+//! `cargo run -p alive-corpus --bin alive-corpus-gen` and review the
+//! golden diff like any other code change.
+
+use alive_corpus::{corpus_dir, first_frame_hash, generate, manifest_for, specs, Manifest};
+
+#[test]
+fn checked_in_programs_match_the_generator_byte_for_byte() {
+    for spec in specs() {
+        let name = spec.name();
+        let path = corpus_dir().join(format!("{name}.alive"));
+        let checked_in = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing golden {path:?}: {e}"));
+        assert_eq!(
+            checked_in,
+            generate(&spec),
+            "{name}: golden drifted — regenerate with alive-corpus-gen"
+        );
+    }
+}
+
+#[test]
+fn checked_in_manifests_match_fresh_generation() {
+    for spec in specs() {
+        let name = spec.name();
+        let path = corpus_dir().join(format!("{name}.manifest"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing manifest {path:?}: {e}"));
+        let checked_in = Manifest::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let fresh = manifest_for(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            checked_in, fresh,
+            "{name}: manifest drifted — regenerate with alive-corpus-gen"
+        );
+    }
+}
+
+#[test]
+fn golden_first_frame_hashes_pin_the_first_frame() {
+    for spec in specs() {
+        let name = spec.name();
+        let text = std::fs::read_to_string(corpus_dir().join(format!("{name}.manifest")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let manifest = Manifest::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Hash the *checked-in* source, not a regeneration: the golden
+        // pins what is in the repository.
+        let source = std::fs::read_to_string(corpus_dir().join(format!("{name}.alive")))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let hash = first_frame_hash(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            hash, manifest.first_frame_hash,
+            "{name}: first frame diverged from its golden hash"
+        );
+    }
+}
+
+#[test]
+fn manifest_shape_facts_hold_against_the_source() {
+    for spec in specs() {
+        let name = spec.name();
+        let source = generate(&spec);
+        let manifest = manifest_for(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let count = |needle: &str| source.matches(needle).count();
+        assert_eq!(count("\npage "), manifest.pages, "{name}: page count");
+        assert_eq!(
+            count("example "),
+            manifest.examples,
+            "{name}: example count"
+        );
+        assert_eq!(
+            manifest.events.contains(&"tap".to_string()),
+            source.contains("on tap"),
+            "{name}: tap vocabulary"
+        );
+        assert_eq!(
+            manifest.events.contains(&"edit".to_string()),
+            source.contains("on edited"),
+            "{name}: edit vocabulary"
+        );
+        let mut sorted = manifest.events.clone();
+        sorted.sort();
+        assert_eq!(sorted, manifest.events, "{name}: events are sorted");
+    }
+}

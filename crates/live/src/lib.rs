@@ -53,6 +53,7 @@
 )]
 
 pub mod editor;
+pub mod examples;
 pub mod fault_log;
 pub mod memo;
 pub mod metrics;
@@ -64,6 +65,7 @@ pub mod session;
 pub mod trace;
 
 pub use editor::{highlight_line, split_view, Selection, SplitViewOptions};
+pub use examples::{ExampleProbe, ExampleStats, ProbeStatus};
 pub use fault_log::{FaultLog, FAULT_LOG_CAPACITY};
 pub use memo::{MemoCache, MemoStats, RenderDeps};
 pub use metrics::SessionMetrics;

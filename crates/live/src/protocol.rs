@@ -20,6 +20,7 @@
 //! so a networked host driving sessions over a wire sees byte-identical
 //! frames to a local frontend — there is no privileged side channel.
 
+use crate::examples::ExampleProbe;
 use crate::pipeline::FrameStats;
 use crate::repair::CandidateRepair;
 use crate::session::{EditOutcome, LiveSession, UndoOutcome};
@@ -77,6 +78,10 @@ pub enum SessionCommand {
     /// reconcile with the session's observable history (fault log,
     /// update counts, display generation).
     Metrics,
+    /// Evaluate the program's Babylonian live examples (settling and
+    /// rendering first, so probes see the current model) and return one
+    /// probe per `example` item.
+    Examples,
     /// Snapshot the model (persistent data) to its text format.
     Snapshot,
     /// Restore a model snapshot against the current code.
@@ -234,6 +239,9 @@ pub enum SessionEffect {
     /// A metrics snapshot (empty when the session has no registry
     /// attached — metrics are an opt-in, never an error).
     Metrics(MetricsSnapshot),
+    /// Live-example probes, one per `example` item, in program order.
+    /// An empty list means the program declares no examples.
+    Examples(Vec<ExampleProbe>),
     /// A model snapshot in its text format.
     Snapshot(String),
     /// A snapshot was restored; entries that no longer type-check were
@@ -322,6 +330,12 @@ impl LiveSession {
                 // render, so the query doesn't perturb frame metrics.
                 self.refresh();
                 vec![SessionEffect::Metrics(self.metrics_snapshot())]
+            }
+            SessionCommand::Examples => {
+                // Settle and render first so the probes (and the cache
+                // key's display generation) see the current model.
+                self.live_view();
+                vec![SessionEffect::Examples(self.examples())]
             }
             SessionCommand::Snapshot => match self.system().snapshot() {
                 Ok(snapshot) => vec![SessionEffect::Snapshot(snapshot)],
@@ -607,6 +621,7 @@ impl SessionCommand {
             SessionCommand::Source => out.push_str("source\n"),
             SessionCommand::Stats => out.push_str("stats\n"),
             SessionCommand::Metrics => out.push_str("metrics\n"),
+            SessionCommand::Examples => out.push_str("examples\n"),
             SessionCommand::Snapshot => out.push_str("snapshot\n"),
             SessionCommand::Restore(snapshot) => push_block(&mut out, "restore", snapshot),
             SessionCommand::TxOpen => out.push_str("txopen\n"),
@@ -733,6 +748,7 @@ pub fn parse_commands(text: &str) -> Result<Vec<SessionCommand>, ProtocolParseEr
             "source" => SessionCommand::Source,
             "stats" => SessionCommand::Stats,
             "metrics" => SessionCommand::Metrics,
+            "examples" => SessionCommand::Examples,
             "snapshot" => SessionCommand::Snapshot,
             "restore" => {
                 let (payload, len) = take_block(after)?;
@@ -948,6 +964,12 @@ impl SessionEffect {
                 // `MetricsSnapshot::parse_wire` recovers it losslessly.
                 push_block(&mut out, "metrics", &snapshot.to_wire());
             }
+            SessionEffect::Examples(probes) => {
+                out.push_str(&format!("examples count={}\n", probes.len()));
+                for probe in probes {
+                    out.push_str(&format!("example {}\n", escape(&probe.render_line())));
+                }
+            }
             SessionEffect::Snapshot(snapshot) => push_block(&mut out, "snapshot", snapshot),
             SessionEffect::Restored(report) => {
                 out.push_str(&format!("restored skipped={}\n", report.skipped.len()));
@@ -1032,6 +1054,7 @@ page start() {
             SessionCommand::Source,
             SessionCommand::Stats,
             SessionCommand::Metrics,
+            SessionCommand::Examples,
             SessionCommand::Snapshot,
             SessionCommand::Restore("#alive-store v1\n".to_string()),
             SessionCommand::Restore("garbage".to_string()),
@@ -1170,6 +1193,7 @@ page start() {
             SessionCommand::Source,
             SessionCommand::Stats,
             SessionCommand::Metrics,
+            SessionCommand::Examples,
             SessionCommand::Snapshot,
             SessionCommand::Restore("#alive-store v1\nnum count 3\n".to_string()),
             SessionCommand::TxOpen,
@@ -1247,6 +1271,7 @@ page start() {
             SessionCommand::EditSource("bad".to_string()),
             SessionCommand::Undo,
             SessionCommand::Stats,
+            SessionCommand::Examples,
             SessionCommand::Snapshot,
             SessionCommand::TxOpen,
             SessionCommand::TxStatus(1),
@@ -1306,6 +1331,41 @@ page start() {
             .serialize(),
             "tx 5 rolledback reverted=10 -- fault spike\n"
         );
+    }
+
+    #[test]
+    fn examples_probe_the_live_model_through_the_protocol() {
+        let app = format!(
+            "{APP}example count = count\nexample doubled = count * 2 expect count + count\n"
+        );
+        let mut s = LiveSession::new(&app).expect("starts");
+        // init ran: count = 1. Probes see the live model, not the
+        // initializer.
+        let effects = s.apply(SessionCommand::Examples);
+        let [SessionEffect::Examples(probes)] = effects.as_slice() else {
+            panic!("expected examples, got {effects:?}");
+        };
+        assert_eq!(probes.len(), 2);
+        assert_eq!(probes[0].render_line(), "count = 1");
+        assert_eq!(probes[1].render_line(), "doubled = 2 ok");
+        let wire = SessionEffect::Examples(probes.clone()).serialize();
+        assert_eq!(
+            wire,
+            "examples count=2\nexample count = 1\nexample doubled = 2 ok\n"
+        );
+        // A tap mutates the model; the probes follow continuously.
+        s.apply(SessionCommand::TapPath(vec![0])); // count = 11
+        let effects = s.apply(SessionCommand::Examples);
+        let [SessionEffect::Examples(probes)] = effects.as_slice() else {
+            panic!("expected examples, got {effects:?}");
+        };
+        assert_eq!(probes[0].render_line(), "count = 11");
+        assert_eq!(probes[1].render_line(), "doubled = 22 ok");
+        // A program with no examples answers with an empty (but
+        // present) effect, never a refusal.
+        let mut bare = LiveSession::new(APP).expect("starts");
+        let effects = bare.apply(SessionCommand::Examples);
+        assert_eq!(effects, vec![SessionEffect::Examples(Vec::new())]);
     }
 
     #[test]

@@ -207,7 +207,9 @@ fn find_boxed_body(program: &alive_syntax::Program, span: Span) -> Option<&Block
         let found = match item {
             Item::Fun(f) => in_block(&f.body, span),
             Item::Page(p) => in_block(&p.init, span).or_else(|| in_block(&p.render, span)),
-            Item::Global(_) => None,
+            // Globals and examples are bare expressions: no `boxed`
+            // statement can occur inside them.
+            Item::Global(_) | Item::Example(_) => None,
         };
         if found.is_some() {
             return found;
@@ -369,10 +371,14 @@ fn lit_str(e: &Expr) -> Option<(&str, Span)> {
 /// search recurses: a literal operand at any level can be solved
 /// directly, and when one operand is a literal the (old, desired) pair
 /// is pushed through the operator into the *computed* operand and the
-/// search continues there. Every derivation and every solved literal is
-/// verified by forward recomputation in both the `old` and `desired`
-/// directions (floats do not always invert exactly); anything that
-/// fails verification is dropped — the rank-2 literal fallback remains.
+/// search continues there. `math.abs` / `math.min` / `math.max` calls
+/// pass the pair through as well, pinning the surviving operand from
+/// the old result or (for `abs`, whose operand sign the algebra cannot
+/// recover) the captured environment. Every derivation and every solved
+/// literal is verified by forward recomputation in both the `old` and
+/// `desired` directions (floats do not always invert exactly); anything
+/// that fails verification is dropped — the rank-2 literal fallback
+/// remains.
 fn invert_operand(
     base: u32,
     slice: &str,
@@ -382,7 +388,54 @@ fn invert_operand(
     env: &[(alive_core::types::Name, Value)],
     out: &mut Vec<CandidateRepair>,
 ) {
-    invert_rec(base, slice, expr, old, desired, &env_note(env), out, 8);
+    invert_rec(base, slice, expr, old, desired, env, &env_note(env), out, 8);
+}
+
+/// Best-effort pure evaluation of a re-parsed provenance sub-expression
+/// under the captured environment. Used where the algebra alone cannot
+/// pin an operand's value — e.g. the sign of a `math.abs` argument — so
+/// prim-call passthrough stays forward-verified instead of guessed.
+fn eval_num_ast(e: &Expr, env: &[(alive_core::types::Name, Value)]) -> Option<f64> {
+    match &e.kind {
+        ExprKind::Number(n) => Some(*n),
+        ExprKind::Name(n) => env
+            .iter()
+            .rev()
+            .find(|(k, _)| k.as_ref() == n.as_str())
+            .and_then(|(_, v)| match v {
+                Value::Number(x) => Some(*x),
+                _ => None,
+            }),
+        ExprKind::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => Some(-eval_num_ast(expr, env)?),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let (a, b) = (eval_num_ast(lhs, env)?, eval_num_ast(rhs, env)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div => Some(a / b),
+                _ => None,
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            let ExprKind::Qualified { ns, name } = &callee.kind else {
+                return None;
+            };
+            if ns.text != "math" {
+                return None;
+            }
+            match (name.text.as_str(), args.as_slice()) {
+                ("abs", [x]) => Some(eval_num_ast(x, env)?.abs()),
+                ("min", [x, y]) => Some(eval_num_ast(x, env)?.min(eval_num_ast(y, env)?)),
+                ("max", [x, y]) => Some(eval_num_ast(x, env)?.max(eval_num_ast(y, env)?)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
 }
 
 /// Offer a solved numeric literal, if finite and verified.
@@ -450,6 +503,7 @@ fn invert_rec(
     expr: &Expr,
     old: &Value,
     desired: &Value,
+    env: &[(alive_core::types::Name, Value)],
     note: &str,
     out: &mut Vec<CandidateRepair>,
     depth: usize,
@@ -469,6 +523,7 @@ fn invert_rec(
                 sub,
                 &Value::Number(o2),
                 &Value::Number(d2),
+                env,
                 note,
                 out,
                 depth - 1,
@@ -602,7 +657,7 @@ fn invert_rec(
                             }
                             if let Some(tail) = d.strip_prefix(s) {
                                 recurse_concat_operand(
-                                    base, slice, rhs, rest, tail, note, out, depth,
+                                    base, slice, rhs, rest, tail, env, note, out, depth,
                                 );
                             }
                         }
@@ -614,12 +669,86 @@ fn invert_rec(
                             }
                             if let Some(front) = d.strip_suffix(s) {
                                 recurse_concat_operand(
-                                    base, slice, lhs, head, front, note, out, depth,
+                                    base, slice, lhs, head, front, env, note, out, depth,
                                 );
                             }
                         }
                     }
                 }
+            }
+        }
+        // Prim-call passthrough: `math.abs` / `math.min` / `math.max`
+        // invert when the old result pins the surviving operand, so the
+        // offered literal is still checked by recomputing the call
+        // forward (with the pinned operand) before it is offered.
+        ExprKind::Call { callee, args } => {
+            let prim = match &callee.kind {
+                ExprKind::Qualified { ns, name } if ns.text == "math" => name.text.as_str(),
+                _ => return,
+            };
+            let (Value::Number(o), Value::Number(d)) = (old, desired) else {
+                return;
+            };
+            let (o, d) = (*o, *d);
+            match (prim, args.as_slice()) {
+                ("abs", [arg]) => {
+                    // o = |x| requires d ≥ 0 to be reachable at all.
+                    if d < 0.0 {
+                        return;
+                    }
+                    if let Some((n, s)) = lit_num(arg) {
+                        // Keep the literal's sign so the edit is minimal.
+                        let n2 = if n < 0.0 { -d } else { d };
+                        push_num(out, base, slice, note, n, s, n2, n2.abs() == d);
+                    } else if let Some(x) = eval_num_ast(arg, env) {
+                        // The algebra alone cannot recover the operand's
+                        // sign from o = |x|; the captured env pins the
+                        // actual value, keeping the pushed-through pair
+                        // forward-verified rather than guessed.
+                        if x.abs() == o {
+                            let d2 = if x < 0.0 { -d } else { d };
+                            recurse_num(arg, x, d2, d2.abs() == d, out);
+                        }
+                    }
+                }
+                ("min", [lhs, rhs]) => {
+                    for (lit_side, other) in [(lhs, rhs), (rhs, lhs)] {
+                        if let Some((a, s)) = lit_num(lit_side) {
+                            // min(a, x) = o pins x = o whenever o < a;
+                            // lowering the literal to d < o then
+                            // recomputes to d regardless of x (x ≥ o > d).
+                            let verified = if o < a {
+                                d.min(o) == d
+                            } else {
+                                o == a && d < o
+                            };
+                            if d < o {
+                                push_num(out, base, slice, note, a, s, d, verified);
+                            }
+                            if o < a && a.min(d) == d {
+                                recurse_num(other, o, d, true, out);
+                            }
+                        }
+                    }
+                }
+                ("max", [lhs, rhs]) => {
+                    for (lit_side, other) in [(lhs, rhs), (rhs, lhs)] {
+                        if let Some((a, s)) = lit_num(lit_side) {
+                            let verified = if o > a {
+                                d.max(o) == d
+                            } else {
+                                o == a && d > o
+                            };
+                            if d > o {
+                                push_num(out, base, slice, note, a, s, d, verified);
+                            }
+                            if o > a && a.max(d) == d {
+                                recurse_num(other, o, d, true, out);
+                            }
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         ExprKind::Unary {
@@ -658,6 +787,7 @@ fn recurse_concat_operand(
     sub: &Expr,
     old_text: &str,
     new_text: &str,
+    env: &[(alive_core::types::Name, Value)],
     note: &str,
     out: &mut Vec<CandidateRepair>,
     depth: usize,
@@ -669,6 +799,7 @@ fn recurse_concat_operand(
             sub,
             &Value::Number(o),
             &Value::Number(d),
+            env,
             note,
             out,
             depth - 1,
@@ -680,6 +811,7 @@ fn recurse_concat_operand(
         sub,
         &Value::str(old_text),
         &Value::str(new_text),
+        env,
         note,
         out,
         depth - 1,
@@ -1089,6 +1221,65 @@ mod tests {
         assert_eq!(repairs[0].rank, 1, "{repairs:?}");
         assert_eq!(repairs[0].edit.replacement, "9");
         assert_eq!(repairs[0].edit.span.slice(src), "5");
+    }
+
+    #[test]
+    fn prim_min_max_invert_the_literal_bound() {
+        // math.min(x, 100) rendered 42 (so x = 42, pinned by 42 < 100);
+        // want 30 → the bound drops to 30 and min(42, 30) recomputes
+        // to exactly 30.
+        let src = "post math.min(x, 100);";
+        let prov = prov_expr(src, "math.min(x, 100)", vec![("x", Value::Number(42.0))]);
+        let repairs = repairs_for(src, &prov, &Value::Number(42.0), &Value::Number(30.0));
+        assert_eq!(repairs[0].rank, 1, "{repairs:?}");
+        assert_eq!(repairs[0].edit.replacement, "30");
+        assert_eq!(repairs[0].edit.span.slice(src), "100");
+
+        // math.max(0, x) rendered 0 (the floor won, so x ≤ 0); want 5 →
+        // raising the floor to 5 recomputes to 5 for every such x.
+        let src = "post math.max(0, x);";
+        let prov = prov_expr(src, "math.max(0, x)", vec![("x", Value::Number(-3.0))]);
+        let repairs = repairs_for(src, &prov, &Value::Number(0.0), &Value::Number(5.0));
+        assert_eq!(repairs[0].rank, 1, "{repairs:?}");
+        assert_eq!(repairs[0].edit.replacement, "5");
+        assert_eq!(repairs[0].edit.span.slice(src), "0");
+    }
+
+    #[test]
+    fn min_passthrough_recurses_into_the_computed_operand() {
+        // min(x + 2, 100) rendered 12 (x = 10); want 40 — the bound
+        // stays, the computed side's literal solves: x + 30 = 40 and
+        // min(100, 40) = 40.
+        let src = "post math.min(x + 2, 100);";
+        let prov = prov_expr(
+            src,
+            "math.min(x + 2, 100)",
+            vec![("x", Value::Number(10.0))],
+        );
+        let repairs = repairs_for(src, &prov, &Value::Number(12.0), &Value::Number(40.0));
+        let solved: Vec<_> = repairs
+            .iter()
+            .filter(|r| r.rank == 1 && r.edit.span.slice(src) == "2")
+            .collect();
+        assert_eq!(solved.len(), 1, "{repairs:?}");
+        assert_eq!(solved[0].edit.replacement, "30");
+    }
+
+    #[test]
+    fn abs_passthrough_pins_the_operand_sign_from_the_env() {
+        // math.abs(x - 9) rendered 5 with x = 4: the operand was -5, so
+        // asking for 2 rewrites the literal to 6 (abs(4 - 6) = 2). The
+        // wrong-sign guess (9 → 12, valid only if the operand had been
+        // +5) must not be offered: abs(4 - 12) = 8, not 2.
+        let src = "post math.abs(x - 9);";
+        let prov = prov_expr(src, "math.abs(x - 9)", vec![("x", Value::Number(4.0))]);
+        let repairs = repairs_for(src, &prov, &Value::Number(5.0), &Value::Number(2.0));
+        let lits: Vec<&str> = repairs
+            .iter()
+            .filter(|r| r.rank == 1)
+            .map(|r| r.edit.replacement.as_str())
+            .collect();
+        assert_eq!(lits, vec!["6"], "{repairs:?}");
     }
 
     #[test]

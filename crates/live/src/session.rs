@@ -227,6 +227,10 @@ pub struct LiveSession {
     /// selection, together with the source snapshot they were computed
     /// against (applying one refuses if the source has moved on).
     pending_repairs: Option<crate::repair::PendingRepairs>,
+    /// Babylonian live-example probes, cached per
+    /// `(version, display generation)` so continuous evaluation costs
+    /// nothing while neither code nor model changes.
+    examples: crate::examples::ExampleCache,
 }
 
 impl LiveSession {
@@ -327,6 +331,7 @@ impl LiveSession {
             pending_txs: BTreeMap::new(),
             next_tx: 1,
             pending_repairs: None,
+            examples: crate::examples::ExampleCache::default(),
         };
         session.refresh();
         session
@@ -411,6 +416,24 @@ impl LiveSession {
             .as_ref()
             .map(|metrics| metrics.registry().snapshot())
             .unwrap_or_default()
+    }
+
+    /// Evaluate the program's Babylonian live examples against the
+    /// running model — every `example` item's body (and `expect`
+    /// clause, when present), through the session's configured engine.
+    /// Results are cached per `(program version, display generation)`:
+    /// every state change is followed by a render that bumps the
+    /// generation and every edit bumps the version, so the continuous
+    /// re-evaluation the probes promise costs nothing while the program
+    /// and model stand still.
+    pub fn examples(&mut self) -> Vec<crate::examples::ExampleProbe> {
+        self.examples.probes(&self.system)
+    }
+
+    /// Probe-cache counters: recomputations vs cache hits across
+    /// [`LiveSession::examples`] calls.
+    pub fn example_stats(&self) -> crate::examples::ExampleStats {
+        self.examples.stats
     }
 
     /// The log of contained faults.
@@ -652,6 +675,8 @@ impl LiveSession {
                 .unwrap_or_else(|| unreachable!("total() grew, so a fault was recorded"));
             self.system = checkpoint;
             self.source = old_source;
+            // The probe cache may be keyed to the quarantined version.
+            self.examples.invalidate();
             if let Some(memo) = self.memo.as_mut() {
                 // The cache may hold entries keyed to the quarantined
                 // version; rebuild it against the restored program.
@@ -858,6 +883,8 @@ impl LiveSession {
         };
         self.system = checkpoint.system;
         self.source = checkpoint.source;
+        // The probe cache may be keyed to the reverted version.
+        self.examples.invalidate();
         self.faults = checkpoint.faults;
         self.undo_stack = checkpoint.undo_stack;
         self.redo_stack = checkpoint.redo_stack;

@@ -134,6 +134,14 @@ impl Program {
             _ => None,
         })
     }
+
+    /// Iterate over live example definitions.
+    pub fn examples(&self) -> impl Iterator<Item = &ExampleDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Example(e) => Some(e),
+            _ => None,
+        })
+    }
 }
 
 /// A top-level item.
@@ -145,6 +153,8 @@ pub enum Item {
     Fun(FunDef),
     /// `page p(params) { init { ... } render { ... } }`
     Page(PageDef),
+    /// `example e = expr [expect expr]` — a Babylonian live example.
+    Example(ExampleDef),
 }
 
 impl Item {
@@ -154,6 +164,7 @@ impl Item {
             Item::Global(g) => &g.name,
             Item::Fun(f) => &f.name,
             Item::Page(p) => &p.name,
+            Item::Example(e) => &e.name,
         }
     }
 
@@ -163,8 +174,24 @@ impl Item {
             Item::Global(g) => g.span,
             Item::Fun(f) => f.span,
             Item::Page(p) => p.span,
+            Item::Example(e) => e.span,
         }
     }
+}
+
+/// `example e = body [expect e']` — a continuously evaluated probe in
+/// the Babylonian style: `body` is a pure expression re-run on every
+/// edit, and the optional `expect` clause makes the probe self-checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExampleDef {
+    /// Example name (its probe label).
+    pub name: Ident,
+    /// The probed expression (must be pure).
+    pub body: Expr,
+    /// Optional expected value (must be pure).
+    pub expect: Option<Expr>,
+    /// Full item span.
+    pub span: Span,
 }
 
 /// `global g : τ = e` — model state, as in Figure 7's `global` definitions.

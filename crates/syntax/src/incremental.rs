@@ -42,7 +42,9 @@ pub fn chunk_items(src: &str) -> Vec<Chunk> {
         match &token.kind {
             TokenKind::LBrace | TokenKind::LParen | TokenKind::LBracket => depth += 1,
             TokenKind::RBrace | TokenKind::RParen | TokenKind::RBracket => depth -= 1,
-            TokenKind::Global | TokenKind::Fun | TokenKind::Page if depth <= 0 => {
+            TokenKind::Global | TokenKind::Fun | TokenKind::Page | TokenKind::Example
+                if depth <= 0 =>
+            {
                 starts.push(token.span.start);
             }
             _ => {}

@@ -141,9 +141,10 @@ impl Parser {
                 TokenKind::Global => items.push(Item::Global(self.global_def())),
                 TokenKind::Fun => items.push(Item::Fun(self.fun_def())),
                 TokenKind::Page => items.push(Item::Page(self.page_def())),
+                TokenKind::Example => items.push(Item::Example(self.example_def())),
                 other => {
                     let msg = format!(
-                        "expected `global`, `fun`, or `page`, found {}",
+                        "expected `global`, `fun`, `page`, or `example`, found {}",
                         other.describe()
                     );
                     self.error(msg);
@@ -164,7 +165,11 @@ impl Parser {
     fn recover_to_item(&mut self) {
         loop {
             match self.peek() {
-                TokenKind::Global | TokenKind::Fun | TokenKind::Page | TokenKind::Eof => break,
+                TokenKind::Global
+                | TokenKind::Fun
+                | TokenKind::Page
+                | TokenKind::Example
+                | TokenKind::Eof => break,
                 _ => {
                     self.bump();
                 }
@@ -184,6 +189,26 @@ impl Parser {
             name,
             ty,
             init,
+            span,
+        }
+    }
+
+    fn example_def(&mut self) -> ExampleDef {
+        let start = self.expect(TokenKind::Example);
+        let name = self.ident();
+        self.expect(TokenKind::Eq);
+        let body = self.expr();
+        let expect = if self.eat(TokenKind::Expect) {
+            Some(self.expr())
+        } else {
+            None
+        };
+        let end = expect.as_ref().map(|e| e.span).unwrap_or(body.span);
+        let span = start.merge(end);
+        ExampleDef {
+            name,
+            body,
+            expect,
             span,
         }
     }
@@ -846,6 +871,7 @@ impl Parser {
             TokenKind::Global
                 | TokenKind::Fun
                 | TokenKind::Page
+                | TokenKind::Example
                 | TokenKind::RBrace
                 | TokenKind::Semi
                 | TokenKind::Eof

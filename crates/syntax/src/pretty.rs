@@ -115,6 +115,13 @@ impl Printer {
                 self.indent -= 1;
                 self.line("}");
             }
+            Item::Example(e) => {
+                let mut s = format!("example {} = {}", e.name, pretty_expr(&e.body));
+                if let Some(expect) = &e.expect {
+                    let _ = write!(s, " expect {}", pretty_expr(expect));
+                }
+                self.line(&s);
+            }
         }
     }
 

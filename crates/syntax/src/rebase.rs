@@ -49,6 +49,14 @@ pub fn rebase_item(item: &mut Item, delta: i64) {
             rebase_block(&mut p.init, delta);
             rebase_block(&mut p.render, delta);
         }
+        Item::Example(e) => {
+            e.span = shift(e.span, delta);
+            rebase_ident(&mut e.name, delta);
+            rebase_expr(&mut e.body, delta);
+            if let Some(expect) = &mut e.expect {
+                rebase_expr(expect, delta);
+            }
+        }
     }
 }
 

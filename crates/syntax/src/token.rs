@@ -21,6 +21,8 @@ pub enum TokenKind {
     Global,
     Fun,
     Page,
+    Example,
+    Expect,
     Init,
     Render,
     Pure,
@@ -96,6 +98,8 @@ impl TokenKind {
             "global" => Global,
             "fun" => Fun,
             "page" => Page,
+            "example" => Example,
+            "expect" => Expect,
             "init" => Init,
             "render" => Render,
             "pure" => Pure,
@@ -145,6 +149,8 @@ impl TokenKind {
             Global => "global",
             Fun => "fun",
             Page => "page",
+            Example => "example",
+            Expect => "expect",
             Init => "init",
             Render => "render",
             Pure => "pure",

@@ -383,6 +383,117 @@ fn random_walk_with_faults_never_kills_the_session() {
     );
 }
 
+// ---------------------------------------------------------------------
+// 5. The same walk over the whole scenario corpus
+// ---------------------------------------------------------------------
+
+/// Corpus-generic source mutators: every corpus program has a
+/// `render {` to diverge, an `on tap {` to poison, and room for a
+/// benign probe item — so the same four edit classes (benign /
+/// rejected / quarantined / fault-on-tap) apply to all 20 programs.
+fn edited_generic(src: &str, which: u8) -> String {
+    match which {
+        // Benign toggle: add (or remove) a self-checking example probe.
+        0 => {
+            let probe = "example walk_probe = 1 expect 1\n";
+            if src.contains(probe) {
+                src.replace(probe, "")
+            } else {
+                format!("{src}{probe}")
+            }
+        }
+        // Syntax error: rejected, the old program keeps running.
+        1 => src.replace("render {", "render {{"),
+        // Diverging main render: type-correct, quarantined on arrival.
+        2 => src.replacen("render {", "render { while true { 0; }", 1),
+        // First tap handler faults when (and only when) tapped.
+        _ => src.replacen("on tap {", "on tap { list.nth([1], 9); ", 1),
+    }
+}
+
+#[test]
+fn corpus_walk_with_faults_never_kills_any_scenario() {
+    for entry in alive_corpus::corpus() {
+        let name = entry.spec.name();
+        let width = entry.spec.size.rows() + 4;
+        let original = entry.source.clone();
+        prop::check(
+            &format!("corpus_fault_walk_{name}"),
+            prop::Config::with_cases(6),
+            arb_case,
+            |(rules, steps): &(Vec<Rule>, Vec<Step>)| {
+                let mut session = LiveSession::with_options(
+                    &original,
+                    SystemConfig {
+                        fuel: 500_000,
+                        max_transitions: 500,
+                        ..SystemConfig::default()
+                    },
+                    false,
+                )
+                .unwrap_or_else(|e| panic!("{name} starts: {e}"));
+                let mut plan = FaultPlan::new();
+                for rule in rules {
+                    plan = match *rule {
+                        Rule::FailAbs(n) => plan.fail_prim(Prim::MathAbs, n),
+                        Rule::FailNth(n) => plan.fail_prim(Prim::ListNth, n),
+                        Rule::Starve(n) => plan.throttle_any_fuel(n, 1),
+                    };
+                }
+                session.system_mut().set_fault_injector(plan.shared());
+
+                for step in steps {
+                    let store_before = session.system().store().clone();
+                    let source_before = session.source().to_string();
+
+                    // The corpus walk scales the tap fan to the program
+                    // and swaps in the corpus-generic edits.
+                    match step {
+                        Step::Tap(p) => {
+                            let p = p % width;
+                            match session.tap_path(&[p]) {
+                                Ok(()) | Err(SessionError::Action(_)) => {}
+                                Err(e) => return Err(format!("{name}: tap {p}: {e}")),
+                            }
+                        }
+                        Step::Back => match session.back() {
+                            Ok(()) | Err(SessionError::Action(_)) => {}
+                            Err(e) => return Err(format!("{name}: back: {e}")),
+                        },
+                        Step::Undo => {
+                            session.undo();
+                        }
+                        Step::Edit(w) => {
+                            let new_src = edited_generic(session.source(), *w);
+                            let _ = session.edit_source(&new_src);
+                        }
+                    }
+
+                    let view = session.live_view();
+                    prop_assert!(!view.is_empty(), "{}: live_view went blank", name);
+                    assert_well_typed(session.system());
+                    // Quarantined edits revert source AND store.
+                    if matches!(step, Step::Edit(_)) && session.source() == source_before {
+                        prop_assert_eq!(session.system().store(), &store_before);
+                    }
+                }
+
+                // Still alive: restoring the pristine corpus source
+                // applies (or quarantines under an active fault rule).
+                let outcome = session.edit_source(&original);
+                prop_assert!(
+                    outcome.is_applied() || outcome.is_quarantined(),
+                    "{}: final known-good edit neither applied nor quarantined: {:?}",
+                    name,
+                    outcome
+                );
+                prop_assert!(!session.live_view().is_empty());
+                Ok(())
+            },
+        );
+    }
+}
+
 /// The replay contract the walk leans on: the same seed generates the
 /// identical (rules, steps) cases — so `ALIVE_TESTKIT_SEED` reproduces
 /// a failure's fault injections exactly, not just its UI actions.

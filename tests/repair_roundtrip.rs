@@ -1,13 +1,14 @@
-//! Bidirectional-evaluation round trips over the scenario apps.
+//! Bidirectional-evaluation round trips over the scenario corpus.
 //!
 //! The repair engine promises that an *applied* candidate re-renders
 //! the selected leaf to exactly the requested value — every numeric
 //! inversion is verified by forward recomputation before it is offered.
-//! This suite holds that promise against the real demo programs
-//! (mortgage, shopping, gallery, counter, calculator) with a seeded
-//! walk: pick any provenance-carrying leaf of the live display, ask for
-//! a perturbed value, apply a random candidate, and check the display
-//! byte-for-byte. Replay a failure with `ALIVE_TESTKIT_SEED=<seed>`.
+//! This suite holds that promise against the five real demo programs
+//! (mortgage, shopping, gallery, counter, calculator) *and* all twenty
+//! generated `alive-corpus` programs with a seeded walk: pick any
+//! provenance-carrying leaf of the live display, ask for a perturbed
+//! value, apply a random candidate, and check the display byte-for-byte.
+//! Replay a failure with `ALIVE_TESTKIT_SEED=<seed>`.
 //!
 //! A second test pins the tentpole invariant the repairs stand on: the
 //! bytecode VM (via its compile-time constant-provenance table) must
@@ -22,15 +23,20 @@ use its_alive::core::value::fmt_number;
 use its_alive::core::{compile, Value};
 use its_alive::live::{LiveSession, RepairError};
 
-/// The scenario corpus: every demo program in `alive-apps`.
-fn scenario_sources() -> Vec<(&'static str, String)> {
-    vec![
-        ("mortgage", mortgage::default_src()),
-        ("shopping", shopping::SHOPPING_SRC.to_string()),
-        ("gallery", gallery::gallery_src(5)),
-        ("counter", counter::COUNTER_SRC.to_string()),
-        ("calculator", calculator::CALCULATOR_SRC.to_string()),
-    ]
+/// The walk pool: every demo program in `alive-apps` plus the full
+/// generated scenario corpus.
+fn scenario_sources() -> Vec<(String, String)> {
+    let mut pool: Vec<(String, String)> = vec![
+        ("mortgage".into(), mortgage::default_src()),
+        ("shopping".into(), shopping::SHOPPING_SRC.to_string()),
+        ("gallery".into(), gallery::gallery_src(5)),
+        ("counter".into(), counter::COUNTER_SRC.to_string()),
+        ("calculator".into(), calculator::CALCULATOR_SRC.to_string()),
+    ];
+    for entry in alive_corpus::corpus() {
+        pool.push((entry.spec.name(), entry.source));
+    }
+    pool
 }
 
 /// Every `(path, leaf-ordinal, value)` in the tree that carries
@@ -87,10 +93,11 @@ fn applied_repairs_re_render_the_desired_value() {
     // slide through on typed refusals.
     static APPLIED: AtomicUsize = AtomicUsize::new(0);
     let corpus = scenario_sources();
+    let pool = corpus.len();
     prop::check(
         "applied_repairs_re_render_the_desired_value",
-        prop::Config::with_cases(48),
-        |rng| NoShrink((rng.below(5), rng.fork())),
+        prop::Config::with_cases(128),
+        move |rng| NoShrink((rng.below(pool), rng.fork())),
         |case: &NoShrink<(usize, Rng)>| {
             let (app, walk_rng) = &case.0;
             let mut rng = walk_rng.clone();
@@ -184,7 +191,7 @@ fn applied_repairs_re_render_the_desired_value() {
     );
     let applied = APPLIED.load(Ordering::Relaxed);
     assert!(
-        applied >= 12,
+        applied >= 64,
         "the walk must exercise real applies, got {applied}"
     );
 }
@@ -214,9 +221,9 @@ fn assert_provenance_agrees(name: &str, vm: &BoxNode, bs: &BoxNode, tagged: &mut
 }
 
 #[test]
-fn vm_and_bigstep_tag_identical_provenance_on_scenario_apps() {
+fn vm_and_bigstep_tag_identical_provenance_on_every_scenario() {
     for (name, source) in scenario_sources() {
-        let program = compile(&source).expect("scenario apps compile");
+        let program = compile(&source).expect("scenario programs compile");
         let mut vm_sys = System::with_config(program.clone(), SystemConfig::default());
         let mut bs_sys = System::with_config(
             program,
@@ -231,7 +238,7 @@ fn vm_and_bigstep_tag_identical_provenance_on_scenario_apps() {
         let bs_frame = bs_sys.rendered().expect("bigstep frame").clone();
         assert_eq!(vm_frame, bs_frame, "{name}: frames byte-identical");
         let mut tagged = 0;
-        assert_provenance_agrees(name, &vm_frame, &bs_frame, &mut tagged);
+        assert_provenance_agrees(&name, &vm_frame, &bs_frame, &mut tagged);
         assert!(tagged > 0, "{name}: provenance actually present");
         let stats = vm_sys.vm_stats();
         assert_eq!(
